@@ -1,0 +1,225 @@
+(** The [homeguard] command-line tool.
+
+    Subcommands:
+    - [extract FILE]: symbolically execute a SmartApp source file and
+      print its rules (optionally as the JSON rule file).
+    - [detect FILE...]: extract several apps and report pairwise CAI
+      threats (offline device-type matching).
+    - [audit]: run the corpus-wide audit and print Fig 8 statistics.
+    - [instrument FILE]: print the instrumented source (Listing 3).
+    - [simulate SCENARIO]: replay a §VIII-A exploitation scenario.
+    - [corpus]: list the bundled corpus. *)
+
+module Rule = Homeguard_rules.Rule
+module Extract = Homeguard_symexec.Extract
+module Detector = Homeguard_detector.Detector
+module Threat = Homeguard_detector.Threat
+module Rule_interpreter = Homeguard_frontend.Rule_interpreter
+module Threat_interpreter = Homeguard_frontend.Threat_interpreter
+open Cmdliner
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let load_app path =
+  let src = read_file path in
+  let name = Filename.remove_extension (Filename.basename path) in
+  Extract.extract_source ~name src
+
+(* -- extract ---------------------------------------------------------------- *)
+
+let extract_cmd =
+  let file =
+    Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE" ~doc:"SmartApp source file")
+  in
+  let json =
+    Arg.(value & flag & info [ "json" ] ~doc:"Print the JSON rule file instead of prose")
+  in
+  let run file json =
+    match load_app file with
+    | { Extract.app; diags } ->
+      if json then print_endline (Homeguard_rules.Rule_json.to_string app)
+      else begin
+        Printf.printf "%s: %d rule(s)\n" app.Rule.name (List.length app.Rule.rules);
+        print_endline (Rule_interpreter.describe_app app);
+        if diags.Extract.unknown_calls <> [] then
+          Printf.printf "note: unmodeled APIs encountered: %s\n"
+            (String.concat ", " diags.Extract.unknown_calls);
+        if diags.Extract.truncated then
+          print_endline "warning: path budget exhausted, extraction may be partial"
+      end;
+      0
+    | exception Extract.Extraction_error msg ->
+      Printf.eprintf "error: %s\n" msg;
+      1
+  in
+  Cmd.v
+    (Cmd.info "extract" ~doc:"Extract automation rules from a SmartApp via symbolic execution")
+    Term.(const run $ file $ json)
+
+(* -- detect ----------------------------------------------------------------- *)
+
+let detect_cmd =
+  let files =
+    Arg.(non_empty & pos_all file [] & info [] ~docv:"FILE..." ~doc:"SmartApp source files")
+  in
+  let run files =
+    match List.map (fun f -> (load_app f).Extract.app) files with
+    | apps ->
+      let ctx = Detector.create Detector.offline_config in
+      let threats = Detector.detect_all ctx apps in
+      print_endline (Threat_interpreter.describe_all threats);
+      if threats = [] then 0 else 2
+    | exception Extract.Extraction_error msg ->
+      Printf.eprintf "error: %s\n" msg;
+      1
+  in
+  Cmd.v
+    (Cmd.info "detect" ~doc:"Detect cross-app interference threats among SmartApps")
+    Term.(const run $ files)
+
+(* -- audit ------------------------------------------------------------------ *)
+
+let audit_cmd =
+  let run () =
+    let open Homeguard_corpus in
+    let apps =
+      List.map
+        (fun (e : App_entry.t) ->
+          (Extract.extract_source ~name:e.App_entry.name e.App_entry.source).Extract.app)
+        Corpus.audit_apps
+    in
+    let ctx = Detector.create Detector.offline_config in
+    let threats = Detector.detect_all ctx apps in
+    Printf.printf "%s\n" (Corpus.stats ());
+    Printf.printf "threat instances: %d\n" (List.length threats);
+    List.iter
+      (fun cat ->
+        Printf.printf "  %-3s %d\n"
+          (Threat.category_to_string cat)
+          (List.length
+             (List.filter (fun (t : Threat.t) -> t.Threat.category = cat) threats)))
+      Threat.all_categories;
+    0
+  in
+  Cmd.v
+    (Cmd.info "audit" ~doc:"Audit the bundled corpus pairwise (the paper's §VIII-B run)")
+    Term.(const run $ const ())
+
+(* -- instrument -------------------------------------------------------------- *)
+
+let instrument_cmd =
+  let file =
+    Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE" ~doc:"SmartApp source file")
+  in
+  let http =
+    Arg.(value & flag & info [ "http" ] ~doc:"Use HTTP/FCM messaging instead of SMS")
+  in
+  let run file http =
+    let src = read_file file in
+    let name = Filename.remove_extension (Filename.basename file) in
+    let transport = if http then `Http else `Sms in
+    print_endline (Homeguard_config.Instrument.instrument_source ~transport ~app_name:name src);
+    0
+  in
+  Cmd.v
+    (Cmd.info "instrument"
+       ~doc:"Insert the configuration-collection code (paper Listing 3) into a SmartApp")
+    Term.(const run $ file $ http)
+
+(* -- simulate ----------------------------------------------------------------- *)
+
+let simulate_cmd =
+  let module Engine = Homeguard_sim.Engine in
+  let module Trace = Homeguard_sim.Trace in
+  let module Device = Homeguard_st.Device in
+  let scenario =
+    Arg.(
+      required
+      & pos 0 (some (enum [ ("race", `Race); ("covert", `Covert); ("disable", `Disable) ])) None
+      & info [] ~docv:"SCENARIO" ~doc:"One of: race, covert, disable (the paper's §VIII-A runs)")
+  in
+  let seed = Arg.(value & opt int 1 & info [ "seed" ] ~doc:"Jitter seed") in
+  let corpus_app name =
+    let open Homeguard_corpus in
+    let e = Option.get (Corpus.find name) in
+    (Extract.extract_source ~name:e.App_entry.name e.App_entry.source).Extract.app
+  in
+  let run scenario seed =
+    let tv = Device.make ~label:"TV" ~device_type:"tv" [ "switch" ] in
+    let window = Device.make ~label:"Window" ~device_type:"window" [ "switch" ] in
+    let tsensor = Device.make ~label:"Thermo" ~device_type:"temp" [ "temperatureMeasurement" ] in
+    let weather = Device.make ~label:"Weather" ~device_type:"weather" [ "weatherSensor" ] in
+    let voice = Device.make ~label:"Voice" ~device_type:"speaker" [ "musicPlayer" ] in
+    let lamp = Device.make ~label:"Floor lamp" ~device_type:"light" [ "switch" ] in
+    let motion = Device.make ~label:"Motion" ~device_type:"motion" [ "motionSensor" ] in
+    let siren = Device.make ~label:"Alarm" ~device_type:"alarm" [ "alarm" ] in
+    let t = Engine.create ~seed () in
+    let comfort () =
+      Engine.install t (corpus_app "ComfortTV")
+        [ ("tv1", Engine.B_device tv); ("tSensor", Engine.B_device tsensor);
+          ("threshold1", Engine.B_int 30); ("window1", Engine.B_device window) ]
+    in
+    (match scenario with
+    | `Race ->
+      comfort ();
+      Engine.install t (corpus_app "ColdDefender")
+        [ ("tv2", Engine.B_device tv); ("wSensor", Engine.B_device weather);
+          ("window2", Engine.B_device window) ];
+      Engine.stimulate t tsensor.Device.id "temperature" "31";
+      Engine.stimulate t weather.Device.id "weather" "rainy";
+      Engine.stimulate t tv.Device.id "switch" "on";
+      Engine.run t ~until_ms:10_000
+    | `Covert ->
+      comfort ();
+      Engine.install t (corpus_app "CatchLiveShow")
+        [ ("voicePlayer", Engine.B_device voice); ("tv3", Engine.B_device tv) ];
+      Engine.stimulate t tsensor.Device.id "temperature" "31";
+      Engine.stimulate t voice.Device.id "status" "playing";
+      Engine.run t ~until_ms:10_000
+    | `Disable ->
+      Engine.install t (corpus_app "BurglarFinder")
+        [ ("motion1", Engine.B_device motion); ("floorLamp", Engine.B_device lamp);
+          ("alarm1", Engine.B_device siren) ];
+      Engine.install t (corpus_app "NightCare") [ ("lamp5", Engine.B_device lamp) ];
+      Engine.set_mode t "Night";
+      Engine.run t ~until_ms:1_000;
+      Engine.stimulate t lamp.Device.id "switch" "on";
+      Engine.run t ~until_ms:400_000;
+      Engine.stimulate t motion.Device.id "motion" "active";
+      Engine.run t ~until_ms:500_000);
+    print_endline (Trace.to_string (Engine.trace t));
+    0
+  in
+  Cmd.v
+    (Cmd.info "simulate"
+       ~doc:"Replay one of the paper's exploitation scenarios in the home simulator")
+    Term.(const run $ scenario $ seed)
+
+(* -- corpus ------------------------------------------------------------------ *)
+
+let corpus_cmd =
+  let run () =
+    let open Homeguard_corpus in
+    Printf.printf "%-34s %-28s %s\n" "name" "category" "rules (ground truth)";
+    List.iter
+      (fun (e : App_entry.t) ->
+        Printf.printf "%-34s %-28s %s\n" e.App_entry.name
+          (App_entry.category_to_string e.App_entry.category)
+          (if e.App_entry.ground_truth_rules < 0 then "web service"
+           else string_of_int e.App_entry.ground_truth_rules))
+      Corpus.all;
+    0
+  in
+  Cmd.v (Cmd.info "corpus" ~doc:"List the bundled SmartApp corpus") Term.(const run $ const ())
+
+let main =
+  let doc = "detect and handle cross-app interference threats in smart homes" in
+  Cmd.group
+    (Cmd.info "homeguard" ~version:Homeguard_core.Homeguard.version ~doc)
+    [ extract_cmd; detect_cmd; audit_cmd; instrument_cmd; simulate_cmd; corpus_cmd ]
+
+let () = exit (Cmd.eval' main)

@@ -1,0 +1,1 @@
+examples/ifttt_bridge.mli:

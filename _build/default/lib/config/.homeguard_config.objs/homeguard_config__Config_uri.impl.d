@@ -1,0 +1,1 @@
+lib/config/config_uri.ml: Buffer List String

@@ -1,0 +1,1 @@
+lib/config/instrument.ml: Config_uri Homeguard_groovy Homeguard_rules Homeguard_symexec List String

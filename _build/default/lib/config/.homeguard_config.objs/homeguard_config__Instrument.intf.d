@@ -1,0 +1,1 @@
+lib/config/instrument.mli: Homeguard_groovy

@@ -1,0 +1,1 @@
+lib/config/messaging.ml: List

@@ -1,0 +1,1 @@
+lib/config/recorder.mli: Config_uri Homeguard_detector Homeguard_rules Homeguard_solver

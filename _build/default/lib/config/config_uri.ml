@@ -1,0 +1,44 @@
+(** URI encoding of configuration information (paper §VII-A, Fig 7a).
+
+    The instrumented app assembles a URI
+    ["http://my.com/appname:ComfortTV/tv1:<128-bit id>/threshold1:30/"]
+    carrying the app name, the device-variable → device-id bindings and
+    the user-specified values; the HomeGuard phone app parses it back. *)
+
+type t = {
+  app_name : string;
+  devices : (string * string) list;  (** variable -> 128-bit device id *)
+  values : (string * string) list;  (** variable -> rendered value *)
+}
+
+let base = "http://my.com/"
+
+let is_hex_id s = String.length s = 32 && String.for_all (function '0' .. '9' | 'a' .. 'f' -> true | _ -> false) s
+
+let encode t =
+  let buf = Buffer.create 128 in
+  Buffer.add_string buf base;
+  Buffer.add_string buf ("appname:" ^ t.app_name ^ "/");
+  List.iter (fun (var, id) -> Buffer.add_string buf (var ^ ":" ^ id ^ "/")) t.devices;
+  List.iter (fun (var, v) -> Buffer.add_string buf (var ^ ":" ^ v ^ "/")) t.values;
+  Buffer.contents buf
+
+exception Malformed of string
+
+let decode uri =
+  let payload =
+    if String.length uri >= String.length base && String.sub uri 0 (String.length base) = base
+    then String.sub uri (String.length base) (String.length uri - String.length base)
+    else raise (Malformed "missing scheme/host prefix")
+  in
+  let segments = List.filter (fun s -> s <> "") (String.split_on_char '/' payload) in
+  let parse_segment seg =
+    match String.index_opt seg ':' with
+    | Some i -> (String.sub seg 0 i, String.sub seg (i + 1) (String.length seg - i - 1))
+    | None -> raise (Malformed ("segment without ':': " ^ seg))
+  in
+  match List.map parse_segment segments with
+  | ("appname", app_name) :: rest ->
+    let devices, values = List.partition (fun (_, v) -> is_hex_id v) rest in
+    { app_name; devices; values }
+  | _ -> raise (Malformed "first segment must be appname")

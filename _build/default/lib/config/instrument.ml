@@ -1,0 +1,184 @@
+(** SmartApp code instrumentation (paper §VII-A, Listing 3).
+
+    A source-to-source pass that (1) adds the [patchedphone] input so the
+    homeowner can point the app at their HomeGuard phone, (2) inserts the
+    configuration-collection preamble into [updated] — the lifecycle
+    method invoked on every install or configuration change — and (3)
+    appends the [collectConfigInfo] helper that assembles the URI and
+    ships it over SMS. The pass reuses the rule extractor's input scan,
+    so instrumentation is fully automatic. *)
+
+module Ast = Homeguard_groovy.Ast
+module Rule = Homeguard_rules.Rule
+
+let str s = Ast.Lit (Ast.Str s)
+
+let phone_input =
+  Ast.Top_stmt
+    (Ast.Expr_stmt
+       (Ast.Call
+          ( None,
+            "input",
+            [
+              Ast.Pos (str "patchedphone");
+              Ast.Pos (str "phone");
+              Ast.Named ("required", Ast.Lit (Ast.Bool true));
+              Ast.Named ("title", str "Phone number?");
+            ] )))
+
+(* [[devRefStr:"tv1", devRef:tv1], ...] *)
+let devices_literal device_vars =
+  Ast.List_lit
+    (List.map
+       (fun var ->
+         Ast.Map_lit [ ("devRefStr", str var); ("devRef", Ast.Ident var) ])
+       device_vars)
+
+let values_literal value_vars =
+  Ast.List_lit
+    (List.map
+       (fun var -> Ast.Map_lit [ ("varStr", str var); ("var", Ast.Ident var) ])
+       value_vars)
+
+let collection_preamble ~app_name ~device_vars ~value_vars =
+  [
+    Ast.Def_var ("appname", Some (str app_name));
+    Ast.Def_var ("devices", Some (devices_literal device_vars));
+    Ast.Def_var ("values", Some (values_literal value_vars));
+    Ast.Expr_stmt
+      (Ast.Call
+         ( None,
+           "collectConfigInfo",
+           [ Ast.Pos (Ast.Ident "appname"); Ast.Pos (Ast.Ident "devices"); Ast.Pos (Ast.Ident "values") ] ));
+  ]
+
+(* The collectConfigInfo method of Listing 3, as an AST. *)
+let collect_config_info_method ~transport =
+  let send_call =
+    match transport with
+    | `Sms ->
+      Ast.Expr_stmt
+        (Ast.Call
+           (None, "sendSmsMessage", [ Ast.Pos (Ast.Ident "patchedphone"); Ast.Pos (Ast.Ident "uri") ]))
+    | `Http ->
+      Ast.Expr_stmt
+        (Ast.Call
+           ( None,
+             "httpPost",
+             [ Ast.Pos (str "https://fcm.googleapis.com/fcm/send"); Ast.Pos (Ast.Ident "uri") ] ))
+  in
+  Ast.Method
+    {
+      Ast.name = "collectConfigInfo";
+      params = [ "appname"; "devices"; "values" ];
+      body =
+        [
+          Ast.Def_var
+            ( "uri",
+              Some
+                (Ast.Gstring
+                   [ Ast.Text "http://my.com/appname:"; Ast.Interp (Ast.Ident "appname"); Ast.Text "/" ]) );
+          Ast.Expr_stmt
+            (Ast.Call
+               ( Some (Ast.Ident "devices"),
+                 "each",
+                 [
+                   Ast.Pos
+                     (Ast.Closure
+                        ( [ "dev" ],
+                          [
+                            Ast.Expr_stmt
+                              (Ast.Assign
+                                 ( Ast.Ident "uri",
+                                   Ast.Binop
+                                     ( Ast.Add,
+                                       Ast.Binop
+                                         ( Ast.Add,
+                                           Ast.Binop
+                                             ( Ast.Add,
+                                               Ast.Ident "uri",
+                                               Ast.Prop (Ast.Ident "dev", "devRefStr") ),
+                                           str ":" ),
+                                       Ast.Binop
+                                         ( Ast.Add,
+                                           Ast.Call
+                                             (Some (Ast.Prop (Ast.Ident "dev", "devRef")), "getId", []),
+                                           str "/" ) ) ));
+                          ] ));
+                 ] ));
+          Ast.Expr_stmt
+            (Ast.Call
+               ( Some (Ast.Ident "values"),
+                 "each",
+                 [
+                   Ast.Pos
+                     (Ast.Closure
+                        ( [ "val" ],
+                          [
+                            Ast.Expr_stmt
+                              (Ast.Assign
+                                 ( Ast.Ident "uri",
+                                   Ast.Binop
+                                     ( Ast.Add,
+                                       Ast.Binop
+                                         ( Ast.Add,
+                                           Ast.Binop
+                                             (Ast.Add, Ast.Ident "uri", Ast.Prop (Ast.Ident "val", "varStr")),
+                                           str ":" ),
+                                       Ast.Binop (Ast.Add, Ast.Prop (Ast.Ident "val", "var"), str "/") ) ));
+                          ] ));
+                 ] ));
+          send_call;
+        ];
+    }
+
+(** Instrument a parsed SmartApp. [transport] selects SMS (default) or
+    HTTP/FCM messaging (§VII-B). *)
+let instrument_program ?(transport = `Sms) ~app_name prog =
+  let inputs = Homeguard_symexec.Extract.scan_inputs prog in
+  let device_vars =
+    List.filter_map
+      (fun (i : Rule.input_decl) ->
+        let is_device =
+          (String.length i.Rule.input_type > 11 && String.sub i.Rule.input_type 0 11 = "capability.")
+          || (String.length i.Rule.input_type > 7 && String.sub i.Rule.input_type 0 7 = "device.")
+        in
+        if is_device then Some i.Rule.var else None)
+      inputs
+  in
+  let value_vars =
+    List.filter_map
+      (fun (i : Rule.input_decl) ->
+        match i.Rule.input_type with
+        | "number" | "decimal" | "text" | "enum" | "time" | "bool" | "boolean" -> Some i.Rule.var
+        | _ -> None)
+      inputs
+  in
+  let preamble = collection_preamble ~app_name ~device_vars ~value_vars in
+  let has_updated = Ast.find_method prog "updated" <> None in
+  let instrumented =
+    List.map
+      (fun top ->
+        match top with
+        | Ast.Method m when m.Ast.name = "updated" ->
+          Ast.Method { m with Ast.body = m.Ast.body @ preamble }
+        | top -> top)
+      prog
+  in
+  let instrumented =
+    if has_updated then instrumented
+    else instrumented @ [ Ast.Method { Ast.name = "updated"; params = []; body = preamble } ]
+  in
+  (phone_input :: instrumented) @ [ collect_config_info_method ~transport ]
+
+(** Instrument source text, returning the instrumented source. *)
+let instrument_source ?transport ~app_name src =
+  let prog = Homeguard_groovy.Parser.parse src in
+  Homeguard_groovy.Pretty.program_to_string (instrument_program ?transport ~app_name prog)
+
+(** What the instrumented [updated] method produces at install time,
+    given concrete bindings: the configuration URI the phone receives.
+    This mirrors executing Listing 3 against the user's configuration. *)
+let collected_uri ~app_name ~device_bindings ~value_bindings =
+  Config_uri.encode
+    { Config_uri.app_name; devices = device_bindings; values = value_bindings }

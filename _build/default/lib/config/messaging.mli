@@ -1,0 +1,25 @@
+(** SMS / HTTP(FCM) transport between the cloud and the HomeGuard phone
+    app, as a latency model calibrated to the paper's §VIII-C
+    measurements, with optional loss injection. *)
+
+type transport = Sms | Http
+
+val transport_to_string : transport -> string
+
+val cloud_processing_mean : float
+val sms_delivery_mean : float
+val http_delivery_mean : float
+
+type t
+
+val create : ?seed:int -> ?loss_per_thousand:int -> unit -> t
+
+val sample_latency : t -> transport -> float
+(** One delivery's latency in ms, including cloud-side processing. *)
+
+val send : t -> transport -> string -> float option
+(** Deliver a URI; [None] when loss injection drops it. *)
+
+val measure_mean : t -> transport -> trials:int -> float
+val delivered : t -> (transport * string * float) list
+val lost_count : t -> int

@@ -1,0 +1,64 @@
+(** Configuration recorder: per-home history of install-time bindings.
+
+    Keeps the device-variable → 128-bit-device-id map and the user value
+    map for every installed app (paper §IV-C). It supplies the detector's
+    online notion of "same device" — exact id equality — and the
+    configuration-value constraints (e.g. [threshold1 = 30]) that make
+    overlap detection precise. *)
+
+module Rule = Homeguard_rules.Rule
+module Term = Homeguard_solver.Term
+
+type app_config = {
+  app_name : string;
+  devices : (string * string) list;  (** var -> device id *)
+  values : (string * Term.t) list;  (** var -> configured value *)
+}
+
+type t = { mutable configs : app_config list }
+
+let create () = { configs = [] }
+
+let record t config =
+  t.configs <-
+    config :: List.filter (fun c -> c.app_name <> config.app_name) t.configs
+
+(** Record from a received configuration URI. Values that parse as
+    integers become numeric terms. *)
+let record_uri t (uri : Config_uri.t) =
+  record t
+    {
+      app_name = uri.Config_uri.app_name;
+      devices = uri.Config_uri.devices;
+      values =
+        List.map
+          (fun (var, v) ->
+            match int_of_string_opt v with
+            | Some n -> (var, Term.Int n)
+            | None -> (var, Term.Str v))
+          uri.Config_uri.values;
+    }
+
+let find t app_name = List.find_opt (fun c -> c.app_name = app_name) t.configs
+
+let device_id t app_name var =
+  Option.bind (find t app_name) (fun c -> List.assoc_opt var c.devices)
+
+(** Online same-device test: identical 128-bit device ids. *)
+let same_device t (app1 : Rule.smartapp) v1 (app2 : Rule.smartapp) v2 =
+  match (device_id t app1.Rule.name v1, device_id t app2.Rule.name v2) with
+  | Some id1, Some id2 -> id1 = id2
+  | _ -> false
+
+(** Configured value constraints for an app (fed to the solver). *)
+let app_constraints t (app : Rule.smartapp) =
+  match find t app.Rule.name with Some c -> c.values | None -> []
+
+(** A detector configuration backed by this recorder (the online,
+    deployment-accurate mode). *)
+let detector_config t : Homeguard_detector.Detector.config =
+  {
+    Homeguard_detector.Detector.same_device = same_device t;
+    app_constraints = app_constraints t;
+    reuse = true;
+  }

@@ -1,0 +1,23 @@
+(** Per-home configuration recorder: device-id bindings and user values
+    for each installed app; backs the online (exact-identity) detector
+    configuration. *)
+
+module Rule = Homeguard_rules.Rule
+module Term = Homeguard_solver.Term
+
+type app_config = {
+  app_name : string;
+  devices : (string * string) list;
+  values : (string * Term.t) list;
+}
+
+type t
+
+val create : unit -> t
+val record : t -> app_config -> unit
+val record_uri : t -> Config_uri.t -> unit
+val find : t -> string -> app_config option
+val device_id : t -> string -> string -> string option
+val same_device : t -> Rule.smartapp -> string -> Rule.smartapp -> string -> bool
+val app_constraints : t -> Rule.smartapp -> (string * Term.t) list
+val detector_config : t -> Homeguard_detector.Detector.config

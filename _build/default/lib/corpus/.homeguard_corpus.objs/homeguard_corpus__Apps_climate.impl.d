@@ -1,0 +1,1 @@
+lib/corpus/apps_climate.ml: App_entry

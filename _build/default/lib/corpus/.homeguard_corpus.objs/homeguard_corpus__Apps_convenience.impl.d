@@ -1,0 +1,1 @@
+lib/corpus/apps_convenience.ml: App_entry

@@ -1,0 +1,1 @@
+lib/corpus/apps_demo.ml: App_entry

@@ -1,0 +1,1 @@
+lib/corpus/apps_energy.ml: App_entry

@@ -1,0 +1,1 @@
+lib/corpus/apps_extra.ml: App_entry

@@ -1,0 +1,1 @@
+lib/corpus/apps_lighting.ml: App_entry

@@ -1,0 +1,1 @@
+lib/corpus/apps_malicious.ml: App_entry

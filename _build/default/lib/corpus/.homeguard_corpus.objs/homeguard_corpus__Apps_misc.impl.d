@@ -1,0 +1,1 @@
+lib/corpus/apps_misc.ml: App_entry

@@ -1,0 +1,1 @@
+lib/corpus/apps_modes.ml: App_entry

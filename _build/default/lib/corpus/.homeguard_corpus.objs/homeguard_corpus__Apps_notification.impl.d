@@ -1,0 +1,1 @@
+lib/corpus/apps_notification.ml: App_entry Printf

@@ -1,0 +1,1 @@
+lib/corpus/apps_safety.ml: App_entry

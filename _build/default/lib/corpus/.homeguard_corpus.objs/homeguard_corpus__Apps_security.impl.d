@@ -1,0 +1,1 @@
+lib/corpus/apps_security.ml: App_entry

@@ -1,0 +1,1 @@
+lib/corpus/apps_webservice.ml: App_entry

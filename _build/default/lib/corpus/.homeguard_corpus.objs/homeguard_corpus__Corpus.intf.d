@@ -1,0 +1,1 @@
+lib/corpus/corpus.mli: App_entry

@@ -1,0 +1,70 @@
+(** Corpus entry metadata.
+
+    Each entry carries the SmartApp source (in the Groovy subset), a
+    functional category used by the evaluation (Fig 8 grouping), the
+    manually established ground-truth rule count (paper §VIII-B uses
+    manual review as ground truth) and, for malicious apps, the attack
+    class of Table III. *)
+
+type attack =
+  | Malicious_control
+  | Abusing_permission
+  | Adware
+  | Spyware
+  | Ransomware
+  | Remote_control
+  | Ipc_collusion
+  | Shadow_payload
+  | Endpoint_attack
+  | App_update
+
+let attack_to_string = function
+  | Malicious_control -> "Malicious Control"
+  | Abusing_permission -> "Abusing Permission"
+  | Adware -> "Adware"
+  | Spyware -> "Spyware"
+  | Ransomware -> "Ransomware"
+  | Remote_control -> "Remote Control"
+  | Ipc_collusion -> "IPC"
+  | Shadow_payload -> "Shadow Payload"
+  | Endpoint_attack -> "Endpoint Attack"
+  | App_update -> "App Update"
+
+type category =
+  | Demo  (** the paper's 5 running-example apps *)
+  | Lighting
+  | Climate
+  | Security
+  | Energy
+  | Convenience
+  | Modes
+  | Safety
+  | Notification  (** notification-only: excluded from the 90-app audit *)
+  | Web_service  (** exposes endpoints; defines no rules itself *)
+  | Malicious of attack
+
+let category_to_string = function
+  | Demo -> "demo"
+  | Lighting -> "lighting"
+  | Climate -> "climate"
+  | Security -> "security"
+  | Energy -> "energy"
+  | Convenience -> "convenience"
+  | Modes -> "modes"
+  | Safety -> "safety"
+  | Notification -> "notification"
+  | Web_service -> "web service"
+  | Malicious a -> "malicious (" ^ attack_to_string a ^ ")"
+
+type t = {
+  name : string;
+  category : category;
+  source : string;
+  ground_truth_rules : int;
+      (** rules a manual review finds; -1 when rules live outside the app
+          (web services) *)
+  controls_devices : bool;  (** issues device/mode commands *)
+}
+
+let entry ?(controls_devices = true) name category ground_truth_rules source =
+  { name; category; source; ground_truth_rules; controls_devices }

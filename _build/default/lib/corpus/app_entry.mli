@@ -1,0 +1,40 @@
+(** Corpus entry metadata: source, category, manual ground truth. *)
+
+type attack =
+  | Malicious_control
+  | Abusing_permission
+  | Adware
+  | Spyware
+  | Ransomware
+  | Remote_control
+  | Ipc_collusion
+  | Shadow_payload
+  | Endpoint_attack
+  | App_update
+
+val attack_to_string : attack -> string
+
+type category =
+  | Demo
+  | Lighting
+  | Climate
+  | Security
+  | Energy
+  | Convenience
+  | Modes
+  | Safety
+  | Notification
+  | Web_service
+  | Malicious of attack
+
+val category_to_string : category -> string
+
+type t = {
+  name : string;
+  category : category;
+  source : string;
+  ground_truth_rules : int;  (** -1 for web-services apps *)
+  controls_devices : bool;
+}
+
+val entry : ?controls_devices:bool -> string -> category -> int -> string -> t

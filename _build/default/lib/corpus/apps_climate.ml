@@ -1,0 +1,408 @@
+(** Climate/HVAC SmartApps. It's Too Hot participates in the paper's
+    Self-Disabling case with Energy Saver (§VIII-B item 5); Virtual
+    Thermostat is the classic two-rule hysteresis app. *)
+
+open App_entry
+
+let its_too_hot =
+  entry "ItsTooHot" Climate 1
+    {|
+definition(name: "ItsTooHot", description: "Turn on the air conditioner when the temperature rises above a limit")
+
+preferences {
+  section("Monitor the temperature...") {
+    input "tempSensor", "capability.temperatureMeasurement", title: "Where?"
+    input "hotLimit", "number", title: "Too hot above?"
+  }
+  section("Turn on the AC...") {
+    input "acSwitch", "capability.switch", title: "Air conditioner switch"
+  }
+}
+
+def installed() {
+  subscribe(tempSensor, "temperature", temperatureHandler)
+}
+
+def updated() {
+  unsubscribe()
+  subscribe(tempSensor, "temperature", temperatureHandler)
+}
+
+def temperatureHandler(evt) {
+  def currentTemp = evt.integerValue
+  if (currentTemp > hotLimit) {
+    acSwitch.on()
+  }
+}
+|}
+
+let its_too_cold =
+  entry "ItsTooCold" Climate 1
+    {|
+definition(name: "ItsTooCold", description: "Turn on the space heater when the temperature drops below a limit")
+
+preferences {
+  section("Monitor the temperature...") {
+    input "tempSensor", "capability.temperatureMeasurement", title: "Where?"
+    input "coldLimit", "number", title: "Too cold below?"
+  }
+  section("Turn on the heater...") {
+    input "heaterSwitch", "capability.switch", title: "Space heater switch"
+  }
+}
+
+def installed() {
+  subscribe(tempSensor, "temperature", temperatureHandler)
+}
+
+def updated() {
+  unsubscribe()
+  subscribe(tempSensor, "temperature", temperatureHandler)
+}
+
+def temperatureHandler(evt) {
+  if (evt.integerValue < coldLimit) {
+    heaterSwitch.on()
+  }
+}
+|}
+
+let virtual_thermostat =
+  entry "VirtualThermostat" Climate 2
+    {|
+definition(name: "VirtualThermostat", description: "Control a space heater in conjunction with a temperature sensor")
+
+preferences {
+  section("Choose a temperature sensor...") {
+    input "sensor", "capability.temperatureMeasurement", title: "Sensor"
+  }
+  section("Select the heater outlet...") {
+    input "heaterOutlet", "capability.switch", title: "Heater outlet"
+  }
+  section("Set the desired temperature...") {
+    input "setpoint", "number", title: "Set temp"
+  }
+}
+
+def installed() {
+  subscribe(sensor, "temperature", temperatureHandler)
+}
+
+def updated() {
+  unsubscribe()
+  subscribe(sensor, "temperature", temperatureHandler)
+}
+
+def temperatureHandler(evt) {
+  def t = evt.integerValue
+  if (t < setpoint) {
+    heaterOutlet.on()
+  } else {
+    if (t > setpoint + 1) {
+      heaterOutlet.off()
+    }
+  }
+}
+|}
+
+let vent_when_humid =
+  entry "VentWhenHumid" Climate 1
+    {|
+definition(name: "VentWhenHumid", description: "Run the bathroom fan when humidity gets high")
+
+preferences {
+  section("Monitor humidity...") {
+    input "humiditySensor", "capability.relativeHumidityMeasurement", title: "Where?"
+    input "humidLimit", "number", title: "Above what %?"
+  }
+  section("Run this fan...") {
+    input "ventFan", "capability.switch", title: "Vent fan"
+  }
+}
+
+def installed() {
+  subscribe(humiditySensor, "humidity", humidityHandler)
+}
+
+def updated() {
+  unsubscribe()
+  subscribe(humiditySensor, "humidity", humidityHandler)
+}
+
+def humidityHandler(evt) {
+  if (evt.integerValue > humidLimit) {
+    ventFan.on()
+  }
+}
+|}
+
+let comfort_window =
+  entry "ComfortWindow" Climate 2
+    {|
+definition(name: "ComfortWindow", description: "Open the window opener when the room gets stuffy, close it when it cools down")
+
+preferences {
+  section("Monitor the temperature...") {
+    input "roomSensor", "capability.temperatureMeasurement", title: "Where?"
+    input "openAbove", "number", title: "Open above?"
+    input "closeBelow", "number", title: "Close below?"
+  }
+  section("Control this window opener...") {
+    input "windowSwitch", "capability.switch", title: "Window opener"
+  }
+}
+
+def installed() {
+  subscribe(roomSensor, "temperature", temperatureHandler)
+}
+
+def updated() {
+  unsubscribe()
+  subscribe(roomSensor, "temperature", temperatureHandler)
+}
+
+def temperatureHandler(evt) {
+  def t = evt.integerValue
+  if (t > openAbove) {
+    windowSwitch.on()
+  } else {
+    if (t < closeBelow) {
+      windowSwitch.off()
+    }
+  }
+}
+|}
+
+let winter_guard =
+  entry "WinterGuard" Climate 1
+    {|
+definition(name: "WinterGuard", description: "Close the window opener whenever it gets cold outside")
+
+preferences {
+  section("Outdoor temperature...") {
+    input "outdoorSensor", "capability.temperatureMeasurement", title: "Where?"
+    input "coldPoint", "number", title: "Below?"
+  }
+  section("Close this window opener...") {
+    input "windowSwitch", "capability.switch", title: "Window opener"
+  }
+}
+
+def installed() {
+  subscribe(outdoorSensor, "temperature", temperatureHandler)
+}
+
+def updated() {
+  unsubscribe()
+  subscribe(outdoorSensor, "temperature", temperatureHandler)
+}
+
+def temperatureHandler(evt) {
+  if (evt.integerValue < coldPoint) {
+    windowSwitch.off()
+  }
+}
+|}
+
+let thermostat_mode_director =
+  entry "ThermostatModeDirector" Climate 2
+    {|
+definition(name: "ThermostatModeDirector", description: "Switch the thermostat between heating and cooling by outdoor temperature")
+
+preferences {
+  section("Outdoor temperature...") {
+    input "outdoor", "capability.temperatureMeasurement", title: "Where?"
+    input "heatBelow", "number", title: "Heat below?"
+    input "coolAbove", "number", title: "Cool above?"
+  }
+  section("Direct this thermostat...") {
+    input "thermostat1", "capability.thermostat", title: "Thermostat"
+  }
+}
+
+def installed() {
+  subscribe(outdoor, "temperature", temperatureHandler)
+}
+
+def updated() {
+  unsubscribe()
+  subscribe(outdoor, "temperature", temperatureHandler)
+}
+
+def temperatureHandler(evt) {
+  def t = evt.integerValue
+  if (t < heatBelow) {
+    thermostat1.heat()
+  } else {
+    if (t > coolAbove) {
+      thermostat1.cool()
+    }
+  }
+}
+|}
+
+let heater_off_at_night =
+  entry "HeaterOffAtNight" Climate 1
+    {|
+definition(name: "HeaterOffAtNight", description: "Turn the space heater off when the home goes to Night mode")
+
+preferences {
+  section("Turn off this heater...") {
+    input "heaterSwitch", "capability.switch", title: "Space heater"
+  }
+}
+
+def installed() {
+  subscribe(location, "mode", modeHandler)
+}
+
+def updated() {
+  unsubscribe()
+  subscribe(location, "mode", modeHandler)
+}
+
+def modeHandler(evt) {
+  if (evt.value == "Night") {
+    heaterSwitch.off()
+  }
+}
+|}
+
+let morning_warmup =
+  entry "MorningWarmup" Climate 1
+    {|
+definition(name: "MorningWarmup", description: "Raise the heating setpoint every morning")
+
+preferences {
+  section("Warm up this thermostat...") {
+    input "thermostat1", "capability.thermostat", title: "Thermostat"
+    input "morningTemp", "number", title: "Setpoint?"
+  }
+}
+
+def installed() {
+  schedule("0 30 6 * * ?", warmUp)
+}
+
+def updated() {
+  unschedule()
+  schedule("0 30 6 * * ?", warmUp)
+}
+
+def warmUp() {
+  thermostat1.setHeatingSetpoint(morningTemp)
+}
+|}
+
+let cool_down_evening =
+  entry "CoolDownEvening" Climate 1
+    {|
+definition(name: "CoolDownEvening", description: "Lower the cooling setpoint for sleep every evening")
+
+preferences {
+  section("Cool down this thermostat...") {
+    input "thermostat1", "capability.thermostat", title: "Thermostat"
+    input "eveningTemp", "number", title: "Setpoint?"
+  }
+}
+
+def installed() {
+  schedule("0 0 21 * * ?", coolDown)
+}
+
+def updated() {
+  unschedule()
+  schedule("0 0 21 * * ?", coolDown)
+}
+
+def coolDown() {
+  thermostat1.setCoolingSetpoint(eveningTemp)
+}
+|}
+
+let window_fan_vent =
+  entry "WindowFanVent" Climate 2
+    {|
+definition(name: "WindowFanVent", description: "Run the window fan when it is cooler outside than inside")
+
+preferences {
+  section("Temperatures...") {
+    input "indoor", "capability.temperatureMeasurement", title: "Indoor sensor"
+    input "outdoor", "capability.temperatureMeasurement", title: "Outdoor sensor"
+  }
+  section("Run this fan...") {
+    input "windowFan", "capability.switch", title: "Window fan"
+  }
+}
+
+def installed() {
+  subscribe(indoor, "temperature", temperatureHandler)
+}
+
+def updated() {
+  unsubscribe()
+  subscribe(indoor, "temperature", temperatureHandler)
+}
+
+def temperatureHandler(evt) {
+  def tIn = evt.integerValue
+  def tOut = outdoor.currentTemperature
+  if (tOut < tIn) {
+    windowFan.on()
+  } else {
+    windowFan.off()
+  }
+}
+|}
+
+let auto_humidify =
+  entry "AutoHumidify" Climate 2
+    {|
+definition(name: "AutoHumidify", description: "Keep winter air comfortable with a humidifier")
+
+preferences {
+  section("Monitor humidity...") {
+    input "humiditySensor", "capability.relativeHumidityMeasurement", title: "Where?"
+    input "dryLimit", "number", title: "Too dry below?"
+  }
+  section("Control this humidifier...") {
+    input "humidifier1", "capability.switch", title: "Humidifier"
+  }
+}
+
+def installed() {
+  subscribe(humiditySensor, "humidity", humidityHandler)
+}
+
+def updated() {
+  unsubscribe()
+  subscribe(humiditySensor, "humidity", humidityHandler)
+}
+
+def humidityHandler(evt) {
+  def h = evt.integerValue
+  if (h < dryLimit) {
+    humidifier1.on()
+  } else {
+    if (h > dryLimit + 10) {
+      humidifier1.off()
+    }
+  }
+}
+|}
+
+let all =
+  [
+    its_too_hot;
+    its_too_cold;
+    virtual_thermostat;
+    vent_when_humid;
+    comfort_window;
+    winter_guard;
+    thermostat_mode_director;
+    heater_off_at_night;
+    morning_warmup;
+    cool_down_evening;
+    window_fan_vent;
+    auto_humidify;
+  ]

@@ -1,0 +1,465 @@
+(** Convenience SmartApps, including the paper's three extraction
+    special cases: Feed My Pet ([device.petfeedershield] instead of a
+    capability), Sleepy Time ([device.jawboneUser]) and Camera Power
+    Scheduler (the undocumented [runDaily] API) — all of §VIII-B. *)
+
+open App_entry
+
+let feed_my_pet =
+  entry "FeedMyPet" Convenience 1
+    {|
+definition(name: "FeedMyPet", description: "Feed your pet on a schedule")
+
+preferences {
+  section("Feed my pet at...") {
+    input "feedTime", "time", title: "When?"
+  }
+  section("Which feeder...") {
+    input "feeder", "device.petfeedershield", title: "Pet feeder"
+  }
+}
+
+def installed() {
+  schedule("0 0 8 * * ?", scheduledFeed)
+}
+
+def updated() {
+  unschedule()
+  schedule("0 0 8 * * ?", scheduledFeed)
+}
+
+def scheduledFeed() {
+  feeder.feed()
+}
+|}
+
+let sleepy_time =
+  entry "SleepyTime" Convenience 2
+    {|
+definition(name: "SleepyTime", description: "Change the mode when your Jawbone UP signals sleep")
+
+preferences {
+  section("Which Jawbone...") {
+    input "jawbone", "device.jawboneUser", title: "Jawbone UP"
+  }
+}
+
+def installed() {
+  subscribe(jawbone, "sleeping", sleepHandler)
+}
+
+def updated() {
+  unsubscribe()
+  subscribe(jawbone, "sleeping", sleepHandler)
+}
+
+def sleepHandler(evt) {
+  if (evt.value == "sleeping") {
+    setLocationMode("Night")
+  } else {
+    setLocationMode("Home")
+  }
+}
+|}
+
+let camera_power_scheduler =
+  entry "CameraPowerScheduler" Convenience 2
+    {|
+definition(name: "CameraPowerScheduler", description: "Power the camera outlet on and off on a daily schedule")
+
+preferences {
+  section("Camera outlet...") {
+    input "cameraOutlet", "capability.switch", title: "Which camera outlet?"
+  }
+}
+
+def installed() {
+  runDaily("09:00", cameraOn)
+  runDaily("18:00", cameraOff)
+}
+
+def updated() {
+  unschedule()
+  runDaily("09:00", cameraOn)
+  runDaily("18:00", cameraOff)
+}
+
+def cameraOn() {
+  cameraOutlet.on()
+}
+
+def cameraOff() {
+  cameraOutlet.off()
+}
+|}
+
+let coffee_after_shower =
+  entry "CoffeeAfterShower" Convenience 1
+    {|
+definition(name: "CoffeeAfterShower", description: "Start the coffee maker when the bathroom gets steamy")
+
+preferences {
+  section("Monitor bathroom humidity...") {
+    input "bathroomHumidity", "capability.relativeHumidityMeasurement", title: "Where?"
+    input "steamLimit", "number", title: "Steamy above?"
+  }
+  section("Start this coffee maker...") {
+    input "coffeeMaker", "capability.switch", title: "Coffee maker"
+  }
+}
+
+def installed() {
+  subscribe(bathroomHumidity, "humidity", humidityHandler)
+}
+
+def updated() {
+  unsubscribe()
+  subscribe(bathroomHumidity, "humidity", humidityHandler)
+}
+
+def humidityHandler(evt) {
+  if (evt.integerValue > steamLimit) {
+    coffeeMaker.on()
+  }
+}
+|}
+
+let the_big_switch =
+  entry "TheBigSwitch" Convenience 2
+    {|
+definition(name: "TheBigSwitch", description: "One master switch controls a whole group")
+
+preferences {
+  section("When this master switch changes...") {
+    input "masterSwitch", "capability.switch", title: "Master"
+  }
+  section("Control these switches...") {
+    input "groupSwitches", "capability.switch", multiple: true, title: "Group"
+  }
+}
+
+def installed() {
+  subscribe(masterSwitch, "switch", masterHandler)
+}
+
+def updated() {
+  unsubscribe()
+  subscribe(masterSwitch, "switch", masterHandler)
+}
+
+def masterHandler(evt) {
+  if (evt.value == "on") {
+    groupSwitches.on()
+  } else {
+    if (evt.value == "off") {
+      groupSwitches.off()
+    }
+  }
+}
+|}
+
+let honey_im_home =
+  entry "HoneyImHome" Convenience 1
+    {|
+definition(name: "HoneyImHome", description: "Play a welcome message when someone arrives")
+
+preferences {
+  section("When someone arrives...") {
+    input "familyPresence", "capability.presenceSensor", title: "Who?"
+  }
+  section("Play on this speaker...") {
+    input "hallSpeaker", "capability.musicPlayer", title: "Which speaker?"
+  }
+}
+
+def installed() {
+  subscribe(familyPresence, "presence.present", arrivalHandler)
+}
+
+def updated() {
+  unsubscribe()
+  subscribe(familyPresence, "presence.present", arrivalHandler)
+}
+
+def arrivalHandler(evt) {
+  hallSpeaker.playText("Welcome home!")
+}
+|}
+
+let good_morning_coffee =
+  entry "GoodMorningCoffee" Convenience 1
+    {|
+definition(name: "GoodMorningCoffee", description: "Brew coffee every weekday morning")
+
+preferences {
+  section("Start this coffee maker...") {
+    input "coffeeMaker", "capability.switch", title: "Coffee maker"
+  }
+}
+
+def installed() {
+  schedule("0 0 7 * * ?", brew)
+}
+
+def updated() {
+  unschedule()
+  schedule("0 0 7 * * ?", brew)
+}
+
+def brew() {
+  coffeeMaker.on()
+}
+|}
+
+let media_controller =
+  entry "MediaController" Convenience 1
+    {|
+definition(name: "MediaController", description: "One tap starts movie night: TV on, speakers playing")
+
+preferences {
+  section("Gear...") {
+    input "theaterTv", "capability.switch", title: "Which TV?"
+    input "soundbar", "capability.musicPlayer", title: "Which speaker?"
+  }
+}
+
+def installed() {
+  subscribe(app, "appTouch", showtimeHandler)
+}
+
+def updated() {
+  unsubscribe()
+  subscribe(app, "appTouch", showtimeHandler)
+}
+
+def showtimeHandler(evt) {
+  theaterTv.on()
+  soundbar.play()
+}
+|}
+
+let smart_alarm_clock =
+  entry "SmartAlarmClock" Convenience 1
+    {|
+definition(name: "SmartAlarmClock", description: "Wake up to music and morning light")
+
+preferences {
+  section("Wake-up gear...") {
+    input "wakeSpeaker", "capability.musicPlayer", title: "Which speaker?"
+    input "curtainShade", "capability.windowShade", title: "Which curtain?"
+  }
+}
+
+def installed() {
+  schedule("0 45 6 * * ?", wakeUp)
+}
+
+def updated() {
+  unschedule()
+  schedule("0 45 6 * * ?", wakeUp)
+}
+
+def wakeUp() {
+  wakeSpeaker.play()
+  curtainShade.open()
+}
+|}
+
+let curtain_by_daylight =
+  entry "CurtainByDaylight" Convenience 2
+    {|
+definition(name: "CurtainByDaylight", description: "Open the curtain when it is bright outside, close it when dark")
+
+preferences {
+  section("Monitor the luminosity...") {
+    input "outdoorLux", "capability.illuminanceMeasurement", title: "Where?"
+  }
+  section("Control this curtain...") {
+    input "curtainShade", "capability.windowShade", title: "Which curtain?"
+  }
+}
+
+def installed() {
+  subscribe(outdoorLux, "illuminance", luxHandler)
+}
+
+def updated() {
+  unsubscribe()
+  subscribe(outdoorLux, "illuminance", luxHandler)
+}
+
+def luxHandler(evt) {
+  def lux = evt.integerValue
+  if (lux > 400) {
+    curtainShade.open()
+  } else {
+    if (lux < 100) {
+      curtainShade.close()
+    }
+  }
+}
+|}
+
+let pause_music_on_call =
+  entry "PauseMusicOnCall" Convenience 1
+    {|
+definition(name: "PauseMusicOnCall", description: "Pause the speakers when the doorbell button is pressed, resume later")
+
+preferences {
+  section("Doorbell button...") {
+    input "doorbell", "capability.button", title: "Which button?"
+  }
+  section("Pause these speakers...") {
+    input "speakers", "capability.musicPlayer", multiple: true, title: "Which speakers?"
+  }
+}
+
+def installed() {
+  subscribe(doorbell, "button", buttonHandler)
+}
+
+def updated() {
+  unsubscribe()
+  subscribe(doorbell, "button", buttonHandler)
+}
+
+def buttonHandler(evt) {
+  if (evt.value == "pushed") {
+    speakers.pause()
+    runIn(120, resumeMusic)
+  }
+}
+
+def resumeMusic() {
+  speakers.play()
+}
+|}
+
+let back_door_watch =
+  entry "BackDoorWatch" Convenience 1
+    {|
+definition(name: "BackDoorWatch", description: "Snap a photo whenever the back door opens")
+
+preferences {
+  section("Watch this door...") {
+    input "backDoor", "capability.contactSensor", title: "Which contact?"
+  }
+  section("Use this camera...") {
+    input "backCamera", "capability.imageCapture", title: "Which camera?"
+  }
+}
+
+def installed() {
+  subscribe(backDoor, "contact.open", doorHandler)
+}
+
+def updated() {
+  unsubscribe()
+  subscribe(backDoor, "contact.open", doorHandler)
+}
+
+def doorHandler(evt) {
+  backCamera.take()
+}
+|}
+
+let walk_the_dog =
+  entry "WalkTheDog" Convenience 1
+    {|
+definition(name: "WalkTheDog", description: "Remind me to walk the dog by beeping at a fixed time")
+
+preferences {
+  section("Beep this device...") {
+    input "beeper", "capability.tone", title: "Which beeper?"
+  }
+}
+
+def installed() {
+  schedule("0 0 18 * * ?", walkReminder)
+}
+
+def updated() {
+  unschedule()
+  schedule("0 0 18 * * ?", walkReminder)
+}
+
+def walkReminder() {
+  beeper.beep()
+}
+|}
+
+let occupancy_simulator =
+  entry "OccupancySimulator" Convenience 1
+    {|
+definition(name: "OccupancySimulator", description: "Cycle the radio on and off while nobody is home")
+
+preferences {
+  section("Cycle this radio outlet...") {
+    input "radioOutlet", "capability.switch", title: "Which outlet?"
+  }
+}
+
+def installed() {
+  runEvery1Hour(radioCycle)
+}
+
+def updated() {
+  unschedule()
+  runEvery1Hour(radioCycle)
+}
+
+def radioCycle() {
+  if (location.mode == "Away") {
+    radioOutlet.on()
+    runIn(900, radioOff)
+  }
+}
+
+def radioOff() {
+  radioOutlet.off()
+}
+|}
+
+let sunrise_curtain =
+  entry "SunriseCurtain" Convenience 1
+    {|
+definition(name: "SunriseCurtain", description: "Open the bedroom curtain at sunrise")
+
+preferences {
+  section("Open this curtain...") {
+    input "bedroomCurtain", "capability.windowShade", title: "Which curtain?"
+  }
+}
+
+def installed() {
+  subscribe(location, "sunrise", sunriseHandler)
+}
+
+def updated() {
+  unsubscribe()
+  subscribe(location, "sunrise", sunriseHandler)
+}
+
+def sunriseHandler(evt) {
+  bedroomCurtain.open()
+}
+|}
+
+let all =
+  [
+    feed_my_pet;
+    sleepy_time;
+    camera_power_scheduler;
+    coffee_after_shower;
+    the_big_switch;
+    honey_im_home;
+    good_morning_coffee;
+    media_controller;
+    smart_alarm_clock;
+    curtain_by_daylight;
+    pause_music_on_call;
+    back_door_watch;
+    walk_the_dog;
+    occupancy_simulator;
+    sunrise_curtain;
+  ]

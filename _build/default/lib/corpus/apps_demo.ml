@@ -1,0 +1,176 @@
+(** The paper's five running-example SmartApps (Rules 1-5, §V).
+
+    ComfortTV and ColdDefender exhibit the Actuator Race of Fig 3;
+    CatchLiveShow covertly triggers ComfortTV (Fig 4); NightCare's
+    delayed lamp-off disables BurglarFinder's condition (Fig 5). *)
+
+open App_entry
+
+(* Rule 1 (Fig 3): when the TV turns on, if the room is hotter than the
+   threshold, open the window (the window opener is a switch). *)
+let comfort_tv =
+  entry "ComfortTV" Demo 1
+    {|
+definition(name: "ComfortTV", description: "Open the window opener when watching TV in a hot room")
+
+preferences {
+  section("Devices") {
+    input "tv1", "capability.switch", title: "Which TV?"
+    input "tSensor", "capability.temperatureMeasurement", title: "Temperature sensor"
+    input "threshold1", "number", title: "Higher than?"
+    input "window1", "capability.switch", title: "Window opener switch"
+  }
+}
+
+def installed() {
+  subscribe(tv1, "switch", onHandler)
+}
+
+def updated() {
+  unsubscribe()
+  subscribe(tv1, "switch", onHandler)
+}
+
+def onHandler(evt) {
+  def t = tSensor.currentValue("temperature")
+  if ((evt.value == "on") && (t > threshold1)) turnOnWindow()
+}
+
+def turnOnWindow() {
+  if (window1.currentSwitch == "off")
+    window1.on()
+}
+|}
+
+(* Rule 2 (Fig 3): when the TV turns on, if it is raining, close the
+   window. *)
+let cold_defender =
+  entry "ColdDefender" Demo 1
+    {|
+definition(name: "ColdDefender", description: "Close the window opener when it rains while the TV is on")
+
+preferences {
+  section("Devices") {
+    input "tv2", "capability.switch", title: "Which TV?"
+    input "wSensor", "capability.weatherSensor", title: "Weather source"
+    input "window2", "capability.switch", title: "Window opener switch"
+  }
+}
+
+def installed() {
+  subscribe(tv2, "switch", rainHandler)
+}
+
+def updated() {
+  unsubscribe()
+  subscribe(tv2, "switch", rainHandler)
+}
+
+def rainHandler(evt) {
+  if (evt.value == "on") {
+    def w = wSensor.currentValue("weather")
+    if (w == "rainy") {
+      window2.off()
+    }
+  }
+}
+|}
+
+(* Rule 3 (Fig 4): a voice message arriving home turns on the TV on
+   Thursdays (to catch a live show). *)
+let catch_live_show =
+  entry "CatchLiveShow" Demo 1
+    {|
+definition(name: "CatchLiveShow", description: "Turn on the TV when a voice message is sent home on show day")
+
+preferences {
+  section("Devices") {
+    input "voicePlayer", "capability.musicPlayer", title: "Voice message player"
+    input "tv3", "capability.switch", title: "Which TV?"
+  }
+}
+
+def installed() {
+  subscribe(voicePlayer, "status", messageHandler)
+}
+
+def updated() {
+  unsubscribe()
+  subscribe(voicePlayer, "status", messageHandler)
+}
+
+def messageHandler(evt) {
+  if (evt.value == "playing") {
+    def day = dayOfWeek()
+    if (day == "Thursday") {
+      tv3.on()
+    }
+  }
+}
+|}
+
+(* Rule 4 (Fig 5): motion at midnight while the floor lamp has been on
+   raises the burglar alarm. *)
+let burglar_finder =
+  entry "BurglarFinder" Demo 1
+    {|
+definition(name: "BurglarFinder", description: "Sound the alarm on midnight motion while the floor lamp is on")
+
+preferences {
+  section("Devices") {
+    input "motion1", "capability.motionSensor", title: "Motion sensor"
+    input "floorLamp", "capability.switch", title: "Floor lamp"
+    input "alarm1", "capability.alarm", title: "Burglar alarm"
+  }
+}
+
+def installed() {
+  subscribe(motion1, "motion.active", motionHandler)
+}
+
+def updated() {
+  unsubscribe()
+  subscribe(motion1, "motion.active", motionHandler)
+}
+
+def motionHandler(evt) {
+  if ((location.mode == "Night") && (floorLamp.currentSwitch == "on")) {
+    alarm1.siren()
+  }
+}
+|}
+
+(* Rule 5 (Fig 5): when the floor lamp turns on during sleep mode, turn
+   it off after five minutes to save energy. *)
+let night_care =
+  entry "NightCare" Demo 1
+    {|
+definition(name: "NightCare", description: "Turn the floor lamp off after 5 minutes in sleep mode")
+
+preferences {
+  section("Devices") {
+    input "lamp5", "capability.switch", title: "Floor lamp"
+  }
+}
+
+def installed() {
+  subscribe(lamp5, "switch.on", lampHandler)
+}
+
+def updated() {
+  unsubscribe()
+  subscribe(lamp5, "switch.on", lampHandler)
+}
+
+def lampHandler(evt) {
+  if (location.mode == "Night") {
+    runIn(300, turnOffLamp)
+  }
+}
+
+def turnOffLamp() {
+  lamp5.off()
+}
+|}
+
+let all = [ comfort_tv; cold_defender; catch_live_show; burglar_finder; night_care ]

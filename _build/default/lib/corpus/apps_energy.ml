@@ -1,0 +1,230 @@
+(** Energy-management SmartApps. Energy Saver is the app that disables
+    It's Too Hot in the paper's Self-Disabling case: turning on the air
+    conditioner is "the last straw" that pushes consumption over the
+    user's threshold (§VIII-B item 5). *)
+
+open App_entry
+
+let energy_saver =
+  entry "EnergySaver" Energy 1
+    {|
+definition(name: "EnergySaver", description: "Turn appliances off when real-time electricity usage exceeds a threshold")
+
+preferences {
+  section("Monitor this power meter...") {
+    input "powerMeter", "capability.powerMeter", title: "Which meter?"
+    input "wattLimit", "number", title: "Limit (W)?"
+  }
+  section("Turn off these devices...") {
+    input "hungryDevices", "capability.switch", multiple: true, title: "Which devices?"
+  }
+}
+
+def installed() {
+  subscribe(powerMeter, "power", powerHandler)
+}
+
+def updated() {
+  unsubscribe()
+  subscribe(powerMeter, "power", powerHandler)
+}
+
+def powerHandler(evt) {
+  def watts = evt.integerValue
+  if (watts > wattLimit) {
+    hungryDevices.off()
+  }
+}
+|}
+
+let lights_out_when_bright =
+  entry "LightsOutWhenBright" Energy 1
+    {|
+definition(name: "LightsOutWhenBright", description: "Save energy by turning lights off when there is plenty of daylight")
+
+preferences {
+  section("Monitor the luminosity...") {
+    input "luxSensor", "capability.illuminanceMeasurement", title: "Where?"
+    input "brightLimit", "number", title: "Brighter than?"
+  }
+  section("Turn off these lights...") {
+    input "dayLights", "capability.switch", multiple: true, title: "Which lights?"
+  }
+}
+
+def installed() {
+  subscribe(luxSensor, "illuminance", luxHandler)
+}
+
+def updated() {
+  unsubscribe()
+  subscribe(luxSensor, "illuminance", luxHandler)
+}
+
+def luxHandler(evt) {
+  if (evt.integerValue > brightLimit) {
+    dayLights.off()
+  }
+}
+|}
+
+let standby_killer =
+  entry "StandbyKiller" Energy 1
+    {|
+definition(name: "StandbyKiller", description: "Kill standby power by switching entertainment outlets off every night")
+
+preferences {
+  section("Turn off these outlets...") {
+    input "standbyOutlets", "capability.switch", multiple: true, title: "Which outlets?"
+  }
+}
+
+def installed() {
+  schedule("0 0 23 * * ?", killStandby)
+}
+
+def updated() {
+  unschedule()
+  schedule("0 0 23 * * ?", killStandby)
+}
+
+def killStandby() {
+  standbyOutlets.off()
+}
+|}
+
+let green_mode =
+  entry "GreenMode" Energy 1
+    {|
+definition(name: "GreenMode", description: "Cut power hogs and lower heating when everyone is away")
+
+preferences {
+  section("Turn off these devices...") {
+    input "powerHogs", "capability.switch", multiple: true, title: "Which devices?"
+  }
+  section("Lower this thermostat...") {
+    input "mainThermostat", "capability.thermostat", title: "Thermostat"
+    input "awayTemp", "number", title: "Away heating setpoint?"
+  }
+}
+
+def installed() {
+  subscribe(location, "mode", modeHandler)
+}
+
+def updated() {
+  unsubscribe()
+  subscribe(location, "mode", modeHandler)
+}
+
+def modeHandler(evt) {
+  if (evt.value == "Away") {
+    powerHogs.off()
+    mainThermostat.setHeatingSetpoint(awayTemp)
+  }
+}
+|}
+
+let power_allowance =
+  entry "PowerAllowance" Energy 1
+    {|
+definition(name: "PowerAllowance", description: "Turn a switch off N minutes after it is turned on, every time")
+
+preferences {
+  section("When this switch turns on...") {
+    input "allowanceSwitch", "capability.switch", title: "Which switch?"
+  }
+}
+
+def installed() {
+  subscribe(allowanceSwitch, "switch.on", switchOnHandler)
+}
+
+def updated() {
+  unsubscribe()
+  subscribe(allowanceSwitch, "switch.on", switchOnHandler)
+}
+
+def switchOnHandler(evt) {
+  runIn(1800, turnOffAllowance)
+}
+
+def turnOffAllowance() {
+  allowanceSwitch.off()
+}
+|}
+
+let power_spike_responder =
+  entry "PowerSpikeResponder" Energy 1
+    {|
+definition(name: "PowerSpikeResponder", description: "Shut down the space heater and warn me when power spikes")
+
+preferences {
+  section("Monitor this power meter...") {
+    input "meter", "capability.powerMeter", title: "Which meter?"
+    input "spikeLimit", "number", title: "Spike above (W)?"
+  }
+  section("Shut down...") {
+    input "heaterSwitch", "capability.switch", title: "Space heater"
+    input "phone1", "phone", title: "Warn this phone"
+  }
+}
+
+def installed() {
+  subscribe(meter, "power", powerHandler)
+}
+
+def updated() {
+  unsubscribe()
+  subscribe(meter, "power", powerHandler)
+}
+
+def powerHandler(evt) {
+  if (evt.integerValue > spikeLimit) {
+    heaterSwitch.off()
+    sendSmsMessage(phone1, "Power spike detected, heater shut down")
+  }
+}
+|}
+
+let off_peak_laundry =
+  entry "OffPeakLaundry" Energy 2
+    {|
+definition(name: "OffPeakLaundry", description: "Only let the washer outlet run during off-peak hours")
+
+preferences {
+  section("Washer outlet...") {
+    input "washerOutlet", "capability.switch", title: "Which outlet?"
+  }
+}
+
+def installed() {
+  schedule("0 0 22 * * ?", enableWasher)
+  schedule("0 0 6 * * ?", disableWasher)
+}
+
+def updated() {
+  unschedule()
+  schedule("0 0 22 * * ?", enableWasher)
+  schedule("0 0 6 * * ?", disableWasher)
+}
+
+def enableWasher() {
+  washerOutlet.on()
+}
+
+def disableWasher() {
+  washerOutlet.off()
+}
+|}
+
+let all =
+  [
+    energy_saver;
+    lights_out_when_bright;
+    standby_killer;
+    green_mode;
+    power_allowance;
+    power_spike_responder;
+    off_peak_laundry;
+  ]

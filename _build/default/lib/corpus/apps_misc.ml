@@ -1,0 +1,764 @@
+(** Additional public-repo-style SmartApps that round the corpus out to
+    the paper's scale: more lighting/presence/notification variants and
+    the long tail of single-purpose automations. *)
+
+open App_entry
+
+let bright_when_cloudy =
+  entry "BrightWhenCloudy" Lighting 2
+    {|
+definition(name: "BrightWhenCloudy", description: "Raise the dimmer when clouds roll in, dim when it clears")
+
+preferences {
+  section("Watch the light level...") {
+    input "outdoorLux", "capability.illuminanceMeasurement", title: "Where?"
+  }
+  section("Adjust this dimmer light...") {
+    input "deskDimmer", "capability.switchLevel", title: "Which dimmer?"
+  }
+}
+
+def installed() {
+  subscribe(outdoorLux, "illuminance", luxHandler)
+}
+
+def updated() {
+  unsubscribe()
+  subscribe(outdoorLux, "illuminance", luxHandler)
+}
+
+def luxHandler(evt) {
+  def lux = evt.integerValue
+  if (lux < 200) {
+    deskDimmer.setLevel(90)
+  } else {
+    deskDimmer.setLevel(30)
+  }
+}
+|}
+
+let hall_light_on_arrival =
+  entry "HallLightOnArrival" Lighting 1
+    {|
+definition(name: "HallLightOnArrival", description: "Light the hallway when the front door opens after dark")
+
+preferences {
+  section("Front door...") {
+    input "frontDoor", "capability.contactSensor", title: "Which contact?"
+  }
+  section("And it is dark...") {
+    input "hallLux", "capability.illuminanceMeasurement", title: "Light sensor"
+  }
+  section("Light this lamp...") {
+    input "hallLamp", "capability.switch", title: "Hall lamp"
+  }
+}
+
+def installed() {
+  subscribe(frontDoor, "contact.open", doorHandler)
+}
+
+def updated() {
+  unsubscribe()
+  subscribe(frontDoor, "contact.open", doorHandler)
+}
+
+def doorHandler(evt) {
+  if (hallLux.currentIlluminance < 40) {
+    hallLamp.on()
+  }
+}
+|}
+
+let closet_light =
+  entry "ClosetLight" Lighting 2
+    {|
+definition(name: "ClosetLight", description: "Closet light follows the closet door")
+
+preferences {
+  section("Closet door...") {
+    input "closetDoor", "capability.contactSensor", title: "Which contact?"
+  }
+  section("Closet light...") {
+    input "closetLight", "capability.switch", title: "Which light?"
+  }
+}
+
+def installed() {
+  subscribe(closetDoor, "contact", doorHandler)
+}
+
+def updated() {
+  unsubscribe()
+  subscribe(closetDoor, "contact", doorHandler)
+}
+
+def doorHandler(evt) {
+  if (evt.value == "open") {
+    closetLight.on()
+  } else {
+    closetLight.off()
+  }
+}
+|}
+
+let night_path_dimmer =
+  entry "NightPathDimmer" Lighting 1
+    {|
+definition(name: "NightPathDimmer", description: "Dim hallway light softly for midnight walks")
+
+preferences {
+  section("When motion at night...") {
+    input "hallMotion", "capability.motionSensor", title: "Where?"
+  }
+  section("Dim this light...") {
+    input "pathDimmer", "capability.switchLevel", title: "Which dimmer light?"
+  }
+}
+
+def installed() {
+  subscribe(hallMotion, "motion.active", motionHandler)
+}
+
+def updated() {
+  unsubscribe()
+  subscribe(hallMotion, "motion.active", motionHandler)
+}
+
+def motionHandler(evt) {
+  if (location.mode == "Night") {
+    pathDimmer.setLevel(15)
+  }
+}
+|}
+
+let single_button_controller =
+  entry "SingleButtonController" Convenience 2
+    {|
+definition(name: "SingleButtonController", description: "A button toggles a switch: push on, hold off")
+
+preferences {
+  section("Button...") {
+    input "remoteButton", "capability.button", title: "Which button?"
+  }
+  section("Control this switch...") {
+    input "controlled", "capability.switch", title: "Which switch?"
+  }
+}
+
+def installed() {
+  subscribe(remoteButton, "button", buttonHandler)
+}
+
+def updated() {
+  unsubscribe()
+  subscribe(remoteButton, "button", buttonHandler)
+}
+
+def buttonHandler(evt) {
+  if (evt.value == "pushed") {
+    controlled.on()
+  } else {
+    if (evt.value == "held") {
+      controlled.off()
+    }
+  }
+}
+|}
+
+let thermostat_window_check =
+  entry "ThermostatWindowCheck" Climate 1
+    {|
+definition(name: "ThermostatWindowCheck", description: "Pause heating when a window contact opens")
+
+preferences {
+  section("Watch these windows...") {
+    input "windowContact", "capability.contactSensor", title: "Which contact?"
+  }
+  section("Pause this thermostat...") {
+    input "mainThermostat", "capability.thermostat", title: "Thermostat"
+  }
+}
+
+def installed() {
+  subscribe(windowContact, "contact.open", openHandler)
+}
+
+def updated() {
+  unsubscribe()
+  subscribe(windowContact, "contact.open", openHandler)
+}
+
+def openHandler(evt) {
+  mainThermostat.off()
+}
+|}
+
+let resume_heating =
+  entry "ResumeHeating" Climate 1
+    {|
+definition(name: "ResumeHeating", description: "Resume heating when the window closes again")
+
+preferences {
+  section("Watch these windows...") {
+    input "windowContact", "capability.contactSensor", title: "Which contact?"
+  }
+  section("Resume this thermostat...") {
+    input "mainThermostat", "capability.thermostat", title: "Thermostat"
+  }
+}
+
+def installed() {
+  subscribe(windowContact, "contact.closed", closedHandler)
+}
+
+def updated() {
+  unsubscribe()
+  subscribe(windowContact, "contact.closed", closedHandler)
+}
+
+def closedHandler(evt) {
+  mainThermostat.heat()
+}
+|}
+
+let too_cold_valve =
+  entry "TooColdValveShutoff" Safety 1
+    {|
+definition(name: "TooColdValveShutoff", description: "Shut the water main before pipes freeze")
+
+preferences {
+  section("Pipe temperature...") {
+    input "pipeTemp", "capability.temperatureMeasurement", title: "Where?"
+  }
+  section("Shut this valve...") {
+    input "mainValve", "capability.valve", title: "Which valve?"
+  }
+}
+
+def installed() {
+  subscribe(pipeTemp, "temperature", temperatureHandler)
+}
+
+def updated() {
+  unsubscribe()
+  subscribe(pipeTemp, "temperature", temperatureHandler)
+}
+
+def temperatureHandler(evt) {
+  if (evt.integerValue < 33) {
+    mainValve.close()
+  }
+}
+|}
+
+let garage_left_open =
+  entry "GarageLeftOpen" Security 1
+    {|
+definition(name: "GarageLeftOpen", description: "Close the garage door if it sits open too long")
+
+preferences {
+  section("Garage door...") {
+    input "garageDoor", "capability.garageDoorControl", title: "Which door?"
+  }
+}
+
+def installed() {
+  subscribe(garageDoor, "door.open", openHandler)
+}
+
+def updated() {
+  unsubscribe()
+  subscribe(garageDoor, "door.open", openHandler)
+}
+
+def openHandler(evt) {
+  runIn(900, closeIfStillOpen)
+}
+
+def closeIfStillOpen() {
+  if (garageDoor.currentDoor == "open") {
+    garageDoor.close()
+  }
+}
+|}
+
+let shade_against_heat =
+  entry "ShadeAgainstHeat" Climate 1
+    {|
+definition(name: "ShadeAgainstHeat", description: "Drop the shades when the room overheats in the sun")
+
+preferences {
+  section("Room temperature...") {
+    input "roomTemp", "capability.temperatureMeasurement", title: "Where?"
+    input "shadePoint", "number", title: "Above?"
+  }
+  section("Close this shade...") {
+    input "sunShade", "capability.windowShade", title: "Which shade?"
+  }
+}
+
+def installed() {
+  subscribe(roomTemp, "temperature", temperatureHandler)
+}
+
+def updated() {
+  unsubscribe()
+  subscribe(roomTemp, "temperature", temperatureHandler)
+}
+
+def temperatureHandler(evt) {
+  if (evt.integerValue > shadePoint) {
+    sunShade.close()
+  }
+}
+|}
+
+let workout_playlist =
+  entry "WorkoutPlaylist" Convenience 1
+    {|
+definition(name: "WorkoutPlaylist", description: "Start the workout playlist when the basement gets busy")
+
+preferences {
+  section("Basement motion...") {
+    input "gymMotion", "capability.motionSensor", title: "Where?"
+  }
+  section("Play on...") {
+    input "gymSpeaker", "capability.musicPlayer", title: "Which speaker?"
+  }
+}
+
+def installed() {
+  subscribe(gymMotion, "motion.active", motionHandler)
+}
+
+def updated() {
+  unsubscribe()
+  subscribe(gymMotion, "motion.active", motionHandler)
+}
+
+def motionHandler(evt) {
+  if (location.mode == "Home") {
+    gymSpeaker.play()
+  }
+}
+|}
+
+let quiet_after_hours =
+  entry "QuietAfterHours" Convenience 1
+    {|
+definition(name: "QuietAfterHours", description: "Mute the speakers on a curfew schedule")
+
+preferences {
+  section("Mute these speakers...") {
+    input "speakers", "capability.musicPlayer", multiple: true, title: "Which speakers?"
+  }
+}
+
+def installed() {
+  schedule("0 30 22 * * ?", curfew)
+}
+
+def updated() {
+  unschedule()
+  schedule("0 30 22 * * ?", curfew)
+}
+
+def curfew() {
+  speakers.mute()
+}
+|}
+
+let seasonal_color =
+  entry "SeasonalColor" Lighting 1
+    {|
+definition(name: "SeasonalColor", description: "Set the accent bulb color every evening")
+
+preferences {
+  section("Accent bulb...") {
+    input "accentBulb", "capability.colorControl", title: "Which bulb?"
+  }
+}
+
+def installed() {
+  schedule("0 0 18 * * ?", paint)
+}
+
+def updated() {
+  unschedule()
+  schedule("0 0 18 * * ?", paint)
+}
+
+def paint() {
+  accentBulb.setColor("purple")
+}
+|}
+
+let warm_white_evening =
+  entry "WarmWhiteEvening" Lighting 1
+    {|
+definition(name: "WarmWhiteEvening", description: "Shift color temperature warm at sunset")
+
+preferences {
+  section("Tunable bulb...") {
+    input "tunableBulb", "capability.colorTemperature", title: "Which bulb?"
+  }
+}
+
+def installed() {
+  subscribe(location, "sunset", sunsetHandler)
+}
+
+def updated() {
+  unsubscribe()
+  subscribe(location, "sunset", sunsetHandler)
+}
+
+def sunsetHandler(evt) {
+  tunableBulb.setColorTemperature(2700)
+}
+|}
+
+let knock_to_photo =
+  entry "KnockToPhoto" Security 1
+    {|
+definition(name: "KnockToPhoto", description: "Photograph whoever knocks while nobody is home")
+
+preferences {
+  section("Knock sensor...") {
+    input "doorKnock", "capability.accelerationSensor", title: "Which sensor?"
+  }
+  section("Camera...") {
+    input "doorCamera", "capability.imageCapture", title: "Which camera?"
+  }
+}
+
+def installed() {
+  subscribe(doorKnock, "acceleration.active", knockHandler)
+}
+
+def updated() {
+  unsubscribe()
+  subscribe(doorKnock, "acceleration.active", knockHandler)
+}
+
+def knockHandler(evt) {
+  if (location.mode == "Away") {
+    doorCamera.take()
+  }
+}
+|}
+
+let step_goal_celebration =
+  entry ~controls_devices:false "StepGoalCelebration" Notification 1
+    {|
+definition(name: "StepGoalCelebration", description: "Congratulate me when I hit my step goal")
+
+preferences {
+  section("Step tracker...") {
+    input "steps", "capability.stepSensor", title: "Which tracker?"
+    input "goal", "number", title: "Step goal?"
+    input "phone1", "phone", title: "Phone number?"
+  }
+}
+
+def installed() {
+  subscribe(steps, "steps", stepHandler)
+}
+
+def updated() {
+  unsubscribe()
+  subscribe(steps, "steps", stepHandler)
+}
+
+def stepHandler(evt) {
+  if (evt.integerValue > goal) {
+    sendSmsMessage(phone1, "Step goal reached!")
+  }
+}
+|}
+
+let sunrise_report =
+  entry ~controls_devices:false "SunriseReport" Notification 1
+    {|
+definition(name: "SunriseReport", description: "Morning weather text at sunrise")
+
+preferences {
+  section("Weather source...") {
+    input "wSensor", "capability.weatherSensor", title: "Weather tile"
+    input "phone1", "phone", title: "Phone number?"
+  }
+}
+
+def installed() {
+  subscribe(location, "sunrise", sunriseHandler)
+}
+
+def updated() {
+  unsubscribe()
+  subscribe(location, "sunrise", sunriseHandler)
+}
+
+def sunriseHandler(evt) {
+  def w = wSensor.currentWeather
+  sendSmsMessage(phone1, "Good morning! Weather: ${w}")
+}
+|}
+
+let door_left_unlocked =
+  entry ~controls_devices:false "DoorLeftUnlocked" Notification 1
+    {|
+definition(name: "DoorLeftUnlocked", description: "Warn me if the door is unlocked at bedtime")
+
+preferences {
+  section("Watch this lock...") {
+    input "frontLock", "capability.lock", title: "Which lock?"
+    input "phone1", "phone", title: "Phone number?"
+  }
+}
+
+def installed() {
+  schedule("0 0 23 * * ?", bedtimeCheck)
+}
+
+def updated() {
+  unschedule()
+  schedule("0 0 23 * * ?", bedtimeCheck)
+}
+
+def bedtimeCheck() {
+  if (frontLock.currentLock == "unlocked") {
+    sendPush("The front door is still unlocked")
+  }
+}
+|}
+
+let laundry_done =
+  entry ~controls_devices:false "LaundryDone" Notification 1
+    {|
+definition(name: "LaundryDone", description: "Tell me when the washer stops shaking")
+
+preferences {
+  section("Washer sensor...") {
+    input "washerShake", "capability.accelerationSensor", title: "Which sensor?"
+    input "phone1", "phone", title: "Phone number?"
+  }
+}
+
+def installed() {
+  subscribe(washerShake, "acceleration.inactive", stillHandler)
+}
+
+def updated() {
+  unsubscribe()
+  subscribe(washerShake, "acceleration.inactive", stillHandler)
+}
+
+def stillHandler(evt) {
+  runIn(120, confirmDone)
+}
+
+def confirmDone() {
+  if (washerShake.currentAcceleration == "inactive") {
+    sendPush("Laundry is done")
+  }
+}
+|}
+
+let curfew_mode =
+  entry "CurfewMode" Modes 1
+    {|
+definition(name: "CurfewMode", description: "Force Night mode at curfew on school nights")
+
+def installed() {
+  schedule("0 0 22 * * ?", curfew)
+}
+
+def updated() {
+  unschedule()
+  schedule("0 0 22 * * ?", curfew)
+}
+
+def curfew() {
+  if (location.mode == "Home") {
+    setLocationMode("Night")
+  }
+}
+|}
+
+let holiday_inflatables =
+  entry "HolidayInflatables" Lighting 2
+    {|
+definition(name: "HolidayInflatables", description: "Inflate the lawn decorations in the evening, deflate late")
+
+preferences {
+  section("Decoration outlet...") {
+    input "lawnOutlet", "capability.switch", title: "Which outlet?"
+  }
+}
+
+def installed() {
+  schedule("0 0 17 * * ?", inflate)
+  schedule("0 0 22 * * ?", deflate)
+}
+
+def updated() {
+  unschedule()
+  schedule("0 0 17 * * ?", inflate)
+  schedule("0 0 22 * * ?", deflate)
+}
+
+def inflate() {
+  lawnOutlet.on()
+}
+
+def deflate() {
+  lawnOutlet.off()
+}
+|}
+
+let everyone_sleeps_lock =
+  entry "EveryoneSleepsLock" Security 1
+    {|
+definition(name: "EveryoneSleepsLock", description: "Lock up and arm when the home goes quiet at night")
+
+preferences {
+  section("Lock these...") {
+    input "doors", "capability.lock", multiple: true, title: "Which locks?"
+    input "nightAlarm", "capability.alarm", title: "Arm this alarm"
+  }
+}
+
+def installed() {
+  subscribe(location, "mode", modeHandler)
+}
+
+def updated() {
+  unsubscribe()
+  subscribe(location, "mode", modeHandler)
+}
+
+def modeHandler(evt) {
+  if (evt.value == "Night") {
+    doors.lock()
+  }
+}
+|}
+
+let pet_door_watch =
+  entry ~controls_devices:false "PetDoorWatch" Notification 1
+    {|
+definition(name: "PetDoorWatch", description: "Count the pet door swings while we are out")
+
+preferences {
+  section("Pet door sensor...") {
+    input "petFlap", "capability.contactSensor", title: "Which contact?"
+    input "phone1", "phone", title: "Phone number?"
+  }
+}
+
+def installed() {
+  subscribe(petFlap, "contact.open", flapHandler)
+}
+
+def updated() {
+  unsubscribe()
+  subscribe(petFlap, "contact.open", flapHandler)
+}
+
+def flapHandler(evt) {
+  state.count = state.count + 1
+  if (location.mode == "Away") {
+    sendPush("Pet door used ${state.count} times today")
+  }
+}
+|}
+
+let dawn_chicken_coop =
+  entry "DawnChickenCoop" Convenience 2
+    {|
+definition(name: "DawnChickenCoop", description: "Open the coop door at sunrise, close it at sunset")
+
+preferences {
+  section("Coop door...") {
+    input "coopDoor", "capability.doorControl", title: "Which door?"
+  }
+}
+
+def installed() {
+  subscribe(location, "sunrise", sunriseHandler)
+  subscribe(location, "sunset", sunsetHandler)
+}
+
+def updated() {
+  unsubscribe()
+  subscribe(location, "sunrise", sunriseHandler)
+  subscribe(location, "sunset", sunsetHandler)
+}
+
+def sunriseHandler(evt) {
+  coopDoor.open()
+}
+
+def sunsetHandler(evt) {
+  coopDoor.close()
+}
+|}
+
+let welcome_heat =
+  entry "WelcomeHeat" Climate 1
+    {|
+definition(name: "WelcomeHeat", description: "Warm the house up when someone is on the way home")
+
+preferences {
+  section("When someone arrives...") {
+    input "anyPresence", "capability.presenceSensor", title: "Whose sensor?"
+  }
+  section("Warm with...") {
+    input "mainThermostat", "capability.thermostat", title: "Thermostat"
+    input "comfortTemp", "number", title: "Setpoint?"
+  }
+}
+
+def installed() {
+  subscribe(anyPresence, "presence.present", arrivalHandler)
+}
+
+def updated() {
+  unsubscribe()
+  subscribe(anyPresence, "presence.present", arrivalHandler)
+}
+
+def arrivalHandler(evt) {
+  mainThermostat.setHeatingSetpoint(comfortTemp)
+}
+|}
+
+let all =
+  [
+    bright_when_cloudy;
+    hall_light_on_arrival;
+    closet_light;
+    night_path_dimmer;
+    single_button_controller;
+    thermostat_window_check;
+    resume_heating;
+    too_cold_valve;
+    garage_left_open;
+    shade_against_heat;
+    workout_playlist;
+    quiet_after_hours;
+    seasonal_color;
+    warm_white_evening;
+    knock_to_photo;
+    step_goal_celebration;
+    sunrise_report;
+    door_left_unlocked;
+    laundry_done;
+    curfew_mode;
+    holiday_inflatables;
+    everyone_sleeps_lock;
+    pet_door_watch;
+    dawn_chicken_coop;
+    welcome_heat;
+  ]

@@ -1,0 +1,289 @@
+(** Mode-automation SmartApps: apps that read or set the location mode —
+    the group Fig 8 shows is involved in every threat category. *)
+
+open App_entry
+
+let good_night =
+  entry "GoodNight" Modes 1
+    {|
+definition(name: "GoodNight", description: "Tap to put the house to sleep: Night mode and all lights off")
+
+preferences {
+  section("Turn off these lights...") {
+    input "houseLights", "capability.switch", multiple: true, title: "Which lights?"
+  }
+}
+
+def installed() {
+  subscribe(app, "appTouch", goodNightHandler)
+}
+
+def updated() {
+  unsubscribe()
+  subscribe(app, "appTouch", goodNightHandler)
+}
+
+def goodNightHandler(evt) {
+  setLocationMode("Night")
+  houseLights.off()
+}
+|}
+
+let rise_and_shine =
+  entry "RiseAndShine" Modes 1
+    {|
+definition(name: "RiseAndShine", description: "Switch to Home mode on the first morning motion")
+
+preferences {
+  section("Watch for morning motion...") {
+    input "bedroomMotion", "capability.motionSensor", title: "Where?"
+  }
+}
+
+def installed() {
+  subscribe(bedroomMotion, "motion.active", motionHandler)
+}
+
+def updated() {
+  unsubscribe()
+  subscribe(bedroomMotion, "motion.active", motionHandler)
+}
+
+def motionHandler(evt) {
+  if (location.mode == "Night") {
+    setLocationMode("Home")
+  }
+}
+|}
+
+let bon_voyage =
+  entry "BonVoyage" Modes 1
+    {|
+definition(name: "BonVoyage", description: "Set Away mode when a presence sensor leaves")
+
+preferences {
+  section("When this person leaves...") {
+    input "traveler", "capability.presenceSensor", title: "Who?"
+  }
+}
+
+def installed() {
+  subscribe(traveler, "presence.not present", departedHandler)
+}
+
+def updated() {
+  unsubscribe()
+  subscribe(traveler, "presence.not present", departedHandler)
+}
+
+def departedHandler(evt) {
+  setLocationMode("Away")
+}
+|}
+
+let scheduled_mode_change =
+  entry "ScheduledModeChange" Modes 1
+    {|
+definition(name: "ScheduledModeChange", description: "Change the home mode at a fixed time every day")
+
+preferences {
+  section("Switch to this mode...") {
+    input "targetMode", "mode", title: "Which mode?"
+  }
+}
+
+def installed() {
+  schedule("0 0 23 * * ?", changeMode)
+}
+
+def updated() {
+  unschedule()
+  schedule("0 0 23 * * ?", changeMode)
+}
+
+def changeMode() {
+  setLocationMode(targetMode)
+}
+|}
+
+let sunset_mode =
+  entry "SunsetMode" Modes 1
+    {|
+definition(name: "SunsetMode", description: "Switch the home to Night mode at sunset")
+
+def installed() {
+  subscribe(location, "sunset", sunsetHandler)
+}
+
+def updated() {
+  unsubscribe()
+  subscribe(location, "sunset", sunsetHandler)
+}
+
+def sunsetHandler(evt) {
+  setLocationMode("Night")
+}
+|}
+
+let mode_based_thermostat =
+  entry "ModeBasedThermostat" Modes 2
+    {|
+definition(name: "ModeBasedThermostat", description: "Set thermostat setpoints whenever the home changes mode")
+
+preferences {
+  section("Control this thermostat...") {
+    input "mainThermostat", "capability.thermostat", title: "Thermostat"
+    input "homeHeat", "number", title: "Home heating setpoint?"
+    input "awayHeat", "number", title: "Away heating setpoint?"
+  }
+}
+
+def installed() {
+  subscribe(location, "mode", modeHandler)
+}
+
+def updated() {
+  unsubscribe()
+  subscribe(location, "mode", modeHandler)
+}
+
+def modeHandler(evt) {
+  if (evt.value == "Home") {
+    mainThermostat.setHeatingSetpoint(homeHeat)
+  } else {
+    if (evt.value == "Away") {
+      mainThermostat.setHeatingSetpoint(awayHeat)
+    }
+  }
+}
+|}
+
+let quiet_time =
+  entry "QuietTime" Modes 1
+    {|
+definition(name: "QuietTime", description: "Stop the speakers when the home enters Night mode")
+
+preferences {
+  section("Silence these speakers...") {
+    input "speakers", "capability.musicPlayer", multiple: true, title: "Which speakers?"
+  }
+}
+
+def installed() {
+  subscribe(location, "mode", modeHandler)
+}
+
+def updated() {
+  unsubscribe()
+  subscribe(location, "mode", modeHandler)
+}
+
+def modeHandler(evt) {
+  if (evt.value == "Night") {
+    speakers.stop()
+  }
+}
+|}
+
+let movie_time =
+  entry "MovieTime" Modes 1
+    {|
+definition(name: "MovieTime", description: "Dim the room when the TV comes on in the evening")
+
+preferences {
+  section("When this TV turns on...") {
+    input "livingTv", "capability.switch", title: "Which TV?"
+  }
+  section("Turn off these lights...") {
+    input "movieLights", "capability.switch", multiple: true, title: "Which lights?"
+  }
+}
+
+def installed() {
+  subscribe(livingTv, "switch.on", tvOnHandler)
+}
+
+def updated() {
+  unsubscribe()
+  subscribe(livingTv, "switch.on", tvOnHandler)
+}
+
+def tvOnHandler(evt) {
+  if (location.mode == "Home") {
+    movieLights.off()
+  }
+}
+|}
+
+let party_mode =
+  entry "PartyMode" Modes 1
+    {|
+definition(name: "PartyMode", description: "One tap: lights on, music playing")
+
+preferences {
+  section("Party gear...") {
+    input "partyLights", "capability.switch", multiple: true, title: "Which lights?"
+    input "partySpeaker", "capability.musicPlayer", title: "Which speaker?"
+  }
+}
+
+def installed() {
+  subscribe(app, "appTouch", partyHandler)
+}
+
+def updated() {
+  unsubscribe()
+  subscribe(app, "appTouch", partyHandler)
+}
+
+def partyHandler(evt) {
+  partyLights.on()
+  partySpeaker.play()
+}
+|}
+
+let vacation_lighting_director =
+  entry "VacationLightingDirector" Modes 1
+    {|
+definition(name: "VacationLightingDirector", description: "Fake occupancy with lights while in Away mode")
+
+preferences {
+  section("Cycle these lights...") {
+    input "fakeLights", "capability.switch", multiple: true, title: "Which lights?"
+  }
+}
+
+def installed() {
+  runEvery30Minutes(cycleLights)
+}
+
+def updated() {
+  unschedule()
+  runEvery30Minutes(cycleLights)
+}
+
+def cycleLights() {
+  if (location.mode == "Away") {
+    fakeLights.on()
+    runIn(600, cycleOff)
+  }
+}
+
+def cycleOff() {
+  fakeLights.off()
+}
+|}
+
+let all =
+  [
+    good_night;
+    rise_and_shine;
+    bon_voyage;
+    scheduled_mode_change;
+    sunset_mode;
+    mode_based_thermostat;
+    quiet_time;
+    movie_time;
+    party_mode;
+    vacation_lighting_director;
+  ]

@@ -1,0 +1,217 @@
+(** Notification-only SmartApps: they send SMS/push but control no
+    devices, so the paper excludes them from the 90-app audit
+    ("their functionalities are to send notifications ... and do not
+    control devices", §VIII-B). *)
+
+open App_entry
+
+let notification name description trigger_section install_body handler =
+  entry ~controls_devices:false name Notification 1
+    (Printf.sprintf
+       {|
+definition(name: "%s", description: "%s")
+
+preferences {
+%s
+  section("Notify...") {
+    input "phone1", "phone", title: "Phone number?"
+  }
+}
+
+def installed() {
+%s
+}
+
+def updated() {
+  unsubscribe()
+%s
+}
+
+%s
+|}
+       name description trigger_section install_body install_body handler)
+
+let notify_when_door_opens =
+  notification "NotifyWhenDoorOpens" "Text me when the front door opens"
+    {|  section("When this door opens...") {
+    input "frontContact", "capability.contactSensor", title: "Which contact?"
+  }|}
+    {|  subscribe(frontContact, "contact.open", openHandler)|}
+    {|def openHandler(evt) {
+  sendSmsMessage(phone1, "The front door just opened")
+}|}
+
+let notify_on_motion =
+  notification "NotifyOnMotion" "Push a note when motion is seen"
+    {|  section("When motion is seen...") {
+    input "watchMotion", "capability.motionSensor", title: "Where?"
+  }|}
+    {|  subscribe(watchMotion, "motion.active", motionHandler)|}
+    {|def motionHandler(evt) {
+  sendPush("Motion detected")
+}|}
+
+let temperature_alert =
+  notification "TemperatureAlert" "Warn me when it gets too cold inside"
+    {|  section("Monitor...") {
+    input "tempSensor", "capability.temperatureMeasurement", title: "Where?"
+    input "lowPoint", "number", title: "Below?"
+  }|}
+    {|  subscribe(tempSensor, "temperature", temperatureHandler)|}
+    {|def temperatureHandler(evt) {
+  if (evt.integerValue < lowPoint) {
+    sendSmsMessage(phone1, "Temperature is dropping at home")
+  }
+}|}
+
+let humidity_alert =
+  notification "HumidityAlert" "Warn me when humidity leaves the comfort band"
+    {|  section("Monitor...") {
+    input "humSensor", "capability.relativeHumidityMeasurement", title: "Where?"
+    input "highPoint", "number", title: "Above?"
+  }|}
+    {|  subscribe(humSensor, "humidity", humidityHandler)|}
+    {|def humidityHandler(evt) {
+  if (evt.integerValue > highPoint) {
+    sendPush("Humidity is high")
+  }
+}|}
+
+let power_alert =
+  notification "PowerAlert" "Tell me when power use is unusual"
+    {|  section("Monitor...") {
+    input "meter", "capability.powerMeter", title: "Which meter?"
+    input "wattPoint", "number", title: "Above (W)?"
+  }|}
+    {|  subscribe(meter, "power", powerHandler)|}
+    {|def powerHandler(evt) {
+  if (evt.integerValue > wattPoint) {
+    sendSmsMessage(phone1, "High power draw right now")
+  }
+}|}
+
+let battery_monitor =
+  notification "BatteryMonitor" "Remind me to change batteries"
+    {|  section("Monitor...") {
+    input "batteryDevice", "capability.battery", title: "Which device?"
+  }|}
+    {|  subscribe(batteryDevice, "battery", batteryHandler)|}
+    {|def batteryHandler(evt) {
+  if (evt.integerValue < 15) {
+    sendPush("A battery is running low")
+  }
+}|}
+
+let presence_notify =
+  notification "PresenceNotify" "Text me when the kids get home"
+    {|  section("When they arrive...") {
+    input "kidPresence", "capability.presenceSensor", title: "Whose sensor?"
+  }|}
+    {|  subscribe(kidPresence, "presence.present", arrivalHandler)|}
+    {|def arrivalHandler(evt) {
+  sendSmsMessage(phone1, "They are home")
+}|}
+
+let smoke_notify =
+  notification "SmokeNotify" "Push immediately on smoke"
+    {|  section("When smoke is detected...") {
+    input "smokeSensor", "capability.smokeDetector", title: "Where?"
+  }|}
+    {|  subscribe(smokeSensor, "smoke.detected", smokeHandler)|}
+    {|def smokeHandler(evt) {
+  sendPush("SMOKE DETECTED")
+  sendSmsMessage(phone1, "SMOKE DETECTED AT HOME")
+}|}
+
+let leak_notify =
+  notification "LeakNotify" "Text me on any water leak"
+    {|  section("When water is sensed...") {
+    input "leakSensor", "capability.waterSensor", title: "Where?"
+  }|}
+    {|  subscribe(leakSensor, "water.wet", wetHandler)|}
+    {|def wetHandler(evt) {
+  sendSmsMessage(phone1, "Water detected!")
+}|}
+
+let mode_change_notify =
+  notification "ModeChangeNotify" "Tell me whenever the home changes mode"
+    {|  section("Watch the home mode...") {
+    paragraph "No devices needed"
+  }|}
+    {|  subscribe(location, "mode", modeHandler)|}
+    {|def modeHandler(evt) {
+  sendPush("Home mode is now ${evt.value}")
+}|}
+
+let left_it_open =
+  notification "LeftItOpen" "Nag me when the fridge is left open"
+    {|  section("Watch this door...") {
+    input "fridgeContact", "capability.contactSensor", title: "Which contact?"
+  }|}
+    {|  subscribe(fridgeContact, "contact.open", openHandler)|}
+    {|def openHandler(evt) {
+  runIn(300, checkStillOpen)
+}
+
+def checkStillOpen() {
+  if (fridgeContact.currentContact == "open") {
+    sendPush("The door is still open")
+  }
+}|}
+
+let energy_report =
+  entry ~controls_devices:false "EnergyReport" Notification 1
+    {|
+definition(name: "EnergyReport", description: "Send a nightly energy usage report")
+
+preferences {
+  section("Report on this meter...") {
+    input "meter", "capability.energyMeter", title: "Which meter?"
+    input "phone1", "phone", title: "Phone number?"
+  }
+}
+
+def installed() {
+  schedule("0 0 21 * * ?", report)
+}
+
+def updated() {
+  unschedule()
+  schedule("0 0 21 * * ?", report)
+}
+
+def report() {
+  def kwh = meter.currentEnergy
+  sendSmsMessage(phone1, "Used ${kwh} kWh so far")
+}
+|}
+
+let door_knocker =
+  notification "DoorKnocker" "Know when someone knocks while the door stays closed"
+    {|  section("Knock sensor...") {
+    input "knockSensor", "capability.accelerationSensor", title: "Which sensor?"
+    input "doorContact", "capability.contactSensor", title: "Door contact"
+  }|}
+    {|  subscribe(knockSensor, "acceleration.active", knockHandler)|}
+    {|def knockHandler(evt) {
+  if (doorContact.currentContact == "closed") {
+    sendPush("Someone is knocking")
+  }
+}|}
+
+let all =
+  [
+    notify_when_door_opens;
+    notify_on_motion;
+    temperature_alert;
+    humidity_alert;
+    power_alert;
+    battery_monitor;
+    presence_notify;
+    smoke_notify;
+    leak_notify;
+    mode_change_notify;
+    left_it_open;
+    energy_report;
+    door_knocker;
+  ]

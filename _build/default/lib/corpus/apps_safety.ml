@@ -1,0 +1,281 @@
+(** Life-safety SmartApps: smoke, CO, leak and flood responders. *)
+
+open App_entry
+
+let smoke_alarm_lights =
+  entry "SmokeAlarmLights" Safety 1
+    {|
+definition(name: "SmokeAlarmLights", description: "Turn on all lights and sound the siren when smoke is detected")
+
+preferences {
+  section("When smoke is detected...") {
+    input "smokeSensor", "capability.smokeDetector", title: "Where?"
+  }
+  section("React with...") {
+    input "escapeLights", "capability.switch", multiple: true, title: "Which lights?"
+    input "fireSiren", "capability.alarm", title: "Which siren?"
+  }
+}
+
+def installed() {
+  subscribe(smokeSensor, "smoke.detected", smokeHandler)
+}
+
+def updated() {
+  unsubscribe()
+  subscribe(smokeSensor, "smoke.detected", smokeHandler)
+}
+
+def smokeHandler(evt) {
+  escapeLights.on()
+  fireSiren.siren()
+}
+|}
+
+let co_response =
+  entry "COResponse" Safety 1
+    {|
+definition(name: "COResponse", description: "Ventilate and warn when carbon monoxide is detected")
+
+preferences {
+  section("When CO is detected...") {
+    input "coSensor", "capability.carbonMonoxideDetector", title: "Where?"
+  }
+  section("React with...") {
+    input "ventFan", "capability.switch", title: "Ventilation fan"
+    input "phone1", "phone", title: "Warn this phone"
+  }
+}
+
+def installed() {
+  subscribe(coSensor, "carbonMonoxide.detected", coHandler)
+}
+
+def updated() {
+  unsubscribe()
+  subscribe(coSensor, "carbonMonoxide.detected", coHandler)
+}
+
+def coHandler(evt) {
+  ventFan.on()
+  sendSmsMessage(phone1, "Carbon monoxide detected at home!")
+}
+|}
+
+let leak_shutoff =
+  entry "LeakShutoff" Safety 1
+    {|
+definition(name: "LeakShutoff", description: "Close the main water valve when a leak is sensed")
+
+preferences {
+  section("When water is sensed...") {
+    input "leakSensor", "capability.waterSensor", title: "Where?"
+  }
+  section("Close this valve...") {
+    input "mainValve", "capability.valve", title: "Which valve?"
+  }
+}
+
+def installed() {
+  subscribe(leakSensor, "water.wet", leakHandler)
+}
+
+def updated() {
+  unsubscribe()
+  subscribe(leakSensor, "water.wet", leakHandler)
+}
+
+def leakHandler(evt) {
+  mainValve.close()
+}
+|}
+
+let flood_light =
+  entry "FloodLight" Safety 1
+    {|
+definition(name: "FloodLight", description: "Light up the basement when the sump area gets wet")
+
+preferences {
+  section("When water is sensed...") {
+    input "sumpSensor", "capability.waterSensor", title: "Where?"
+  }
+  section("Turn on this light...") {
+    input "basementLight", "capability.switch", title: "Which light?"
+  }
+}
+
+def installed() {
+  subscribe(sumpSensor, "water.wet", wetHandler)
+}
+
+def updated() {
+  unsubscribe()
+  subscribe(sumpSensor, "water.wet", wetHandler)
+}
+
+def wetHandler(evt) {
+  basementLight.on()
+}
+|}
+
+let dry_the_wet_spot =
+  entry "DryTheWetSpot" Safety 2
+    {|
+definition(name: "DryTheWetSpot", description: "Run the sump pump outlet while the spot is wet")
+
+preferences {
+  section("When water is sensed...") {
+    input "wetSensor", "capability.waterSensor", title: "Where?"
+  }
+  section("Run this pump outlet...") {
+    input "pumpOutlet", "capability.switch", title: "Which outlet?"
+  }
+}
+
+def installed() {
+  subscribe(wetSensor, "water", waterHandler)
+}
+
+def updated() {
+  unsubscribe()
+  subscribe(wetSensor, "water", waterHandler)
+}
+
+def waterHandler(evt) {
+  if (evt.value == "wet") {
+    pumpOutlet.on()
+  } else {
+    if (evt.value == "dry") {
+      pumpOutlet.off()
+    }
+  }
+}
+|}
+
+let smoke_vent =
+  entry "SmokeVent" Safety 1
+    {|
+definition(name: "SmokeVent", description: "Open the window openers to vent smoke")
+
+preferences {
+  section("When smoke is detected...") {
+    input "smokeSensor", "capability.smokeDetector", title: "Where?"
+  }
+  section("Open these window openers...") {
+    input "ventWindows", "capability.switch", multiple: true, title: "Which windows?"
+  }
+}
+
+def installed() {
+  subscribe(smokeSensor, "smoke.detected", smokeHandler)
+}
+
+def updated() {
+  unsubscribe()
+  subscribe(smokeSensor, "smoke.detected", smokeHandler)
+}
+
+def smokeHandler(evt) {
+  ventWindows.on()
+}
+|}
+
+let medicine_reminder =
+  entry "MedicineReminder" Safety 1
+    {|
+definition(name: "MedicineReminder", description: "Flash the bedroom light at pill time")
+
+preferences {
+  section("Flash this light...") {
+    input "bedroomLight", "capability.switch", title: "Which light?"
+  }
+}
+
+def installed() {
+  schedule("0 0 9 * * ?", remind)
+}
+
+def updated() {
+  unschedule()
+  schedule("0 0 9 * * ?", remind)
+}
+
+def remind() {
+  bedroomLight.on()
+  runIn(60, remindOff)
+}
+
+def remindOff() {
+  bedroomLight.off()
+}
+|}
+
+let freeze_protect =
+  entry "FreezeProtect" Safety 1
+    {|
+definition(name: "FreezeProtect", description: "Run the space heater if the pipes risk freezing")
+
+preferences {
+  section("Monitor this temperature...") {
+    input "pipeSensor", "capability.temperatureMeasurement", title: "Where?"
+  }
+  section("Run this heater...") {
+    input "pipeHeater", "capability.switch", title: "Space heater"
+  }
+}
+
+def installed() {
+  subscribe(pipeSensor, "temperature", temperatureHandler)
+}
+
+def updated() {
+  unsubscribe()
+  subscribe(pipeSensor, "temperature", temperatureHandler)
+}
+
+def temperatureHandler(evt) {
+  if (evt.integerValue < 35) {
+    pipeHeater.on()
+  }
+}
+|}
+
+let siren_curfew =
+  entry "SirenCurfew" Safety 1
+    {|
+definition(name: "SirenCurfew", description: "Silence any siren during sleeping hours")
+
+preferences {
+  section("Silence this siren...") {
+    input "noisySiren", "capability.alarm", title: "Which siren?"
+  }
+}
+
+def installed() {
+  subscribe(noisySiren, "alarm", alarmHandler)
+}
+
+def updated() {
+  unsubscribe()
+  subscribe(noisySiren, "alarm", alarmHandler)
+}
+
+def alarmHandler(evt) {
+  if ((evt.value == "siren") && (location.mode == "Night")) {
+    noisySiren.off()
+  }
+}
+|}
+
+let all =
+  [
+    smoke_alarm_lights;
+    co_response;
+    leak_shutoff;
+    flood_light;
+    dry_the_wet_spot;
+    smoke_vent;
+    medicine_reminder;
+    freeze_protect;
+    siren_curfew;
+  ]

@@ -1,0 +1,484 @@
+(** Security SmartApps. SwitchChangesMode + MakeItSo form the paper's
+    covert-rule case 1; CurlingIron chains into them (case 2);
+    NFCTagToggle vs LockItWhenILeave is case 3 (§VIII-B). *)
+
+open App_entry
+
+let switch_changes_mode =
+  entry "SwitchChangesMode" Security 2
+    {|
+definition(name: "SwitchChangesMode", description: "Change the mode of your home according to a switch state")
+
+preferences {
+  section("Which switch...") {
+    input "modeSwitch", "capability.switch", title: "Switch"
+  }
+  section("Modes...") {
+    input "onMode", "mode", title: "Mode when on?"
+    input "offMode", "mode", title: "Mode when off?"
+  }
+}
+
+def installed() {
+  subscribe(modeSwitch, "switch", switchHandler)
+}
+
+def updated() {
+  unsubscribe()
+  subscribe(modeSwitch, "switch", switchHandler)
+}
+
+def switchHandler(evt) {
+  if (evt.value == "on") {
+    setLocationMode(onMode)
+  } else {
+    if (evt.value == "off") {
+      setLocationMode(offMode)
+    }
+  }
+}
+|}
+
+let make_it_so =
+  entry "MakeItSo" Security 2
+    {|
+definition(name: "MakeItSo", description: "Restore switch and lock states when the home enters a mode")
+
+preferences {
+  section("When entering Home mode, restore...") {
+    input "homeSwitches", "capability.switch", multiple: true, title: "Switches to turn on"
+    input "frontDoor", "capability.lock", title: "Lock to unlock"
+  }
+}
+
+def installed() {
+  subscribe(location, "mode", modeChangeHandler)
+}
+
+def updated() {
+  unsubscribe()
+  subscribe(location, "mode", modeChangeHandler)
+}
+
+def modeChangeHandler(evt) {
+  if (evt.value == "Home") {
+    homeSwitches.on()
+    frontDoor.unlock()
+  } else {
+    if (evt.value == "Away") {
+      homeSwitches.off()
+      frontDoor.lock()
+    }
+  }
+}
+|}
+
+let curling_iron =
+  entry "CurlingIron" Security 1
+    {|
+definition(name: "CurlingIron", description: "Turn on the outlets when motion is detected, and off again after a while")
+
+preferences {
+  section("When there is motion...") {
+    input "bathroomMotion", "capability.motionSensor", title: "Where?"
+  }
+  section("Turn on these outlets...") {
+    input "outlets", "capability.switch", multiple: true, title: "Which outlets?"
+  }
+}
+
+def installed() {
+  subscribe(bathroomMotion, "motion.active", motionHandler)
+}
+
+def updated() {
+  unsubscribe()
+  subscribe(bathroomMotion, "motion.active", motionHandler)
+}
+
+def motionHandler(evt) {
+  outlets.on()
+  runIn(1800, outletsOff)
+}
+
+def outletsOff() {
+  outlets.off()
+}
+|}
+
+let nfc_tag_toggle =
+  entry "NFCTagToggle" Security 4
+    {|
+definition(name: "NFCTagToggle", description: "Toggle appliances and door locks by tapping the app button")
+
+preferences {
+  section("Toggle these...") {
+    input "applianceSwitch", "capability.switch", title: "Appliance switch"
+    input "doorLock", "capability.lock", title: "Door lock"
+  }
+}
+
+def installed() {
+  subscribe(app, "appTouch", touchHandler)
+}
+
+def updated() {
+  unsubscribe()
+  subscribe(app, "appTouch", touchHandler)
+}
+
+def touchHandler(evt) {
+  if (applianceSwitch.currentSwitch == "on") {
+    applianceSwitch.off()
+  } else {
+    applianceSwitch.on()
+  }
+  if (doorLock.currentLock == "locked") {
+    doorLock.unlock()
+  } else {
+    doorLock.lock()
+  }
+}
+|}
+
+let lock_it_when_i_leave =
+  entry "LockItWhenILeave" Security 1
+    {|
+definition(name: "LockItWhenILeave", description: "Lock the door when your presence sensor leaves")
+
+preferences {
+  section("When I leave...") {
+    input "myPresence", "capability.presenceSensor", title: "Whose presence?"
+  }
+  section("Lock this door...") {
+    input "doorLock", "capability.lock", title: "Which lock?"
+  }
+}
+
+def installed() {
+  subscribe(myPresence, "presence.not present", departureHandler)
+}
+
+def updated() {
+  unsubscribe()
+  subscribe(myPresence, "presence.not present", departureHandler)
+}
+
+def departureHandler(evt) {
+  doorLock.lock()
+}
+|}
+
+let unlock_it_when_i_arrive =
+  entry "UnlockItWhenIArrive" Security 1
+    {|
+definition(name: "UnlockItWhenIArrive", description: "Unlock the door when your presence sensor arrives")
+
+preferences {
+  section("When I arrive...") {
+    input "myPresence", "capability.presenceSensor", title: "Whose presence?"
+  }
+  section("Unlock this door...") {
+    input "doorLock", "capability.lock", title: "Which lock?"
+  }
+}
+
+def installed() {
+  subscribe(myPresence, "presence.present", arrivalHandler)
+}
+
+def updated() {
+  unsubscribe()
+  subscribe(myPresence, "presence.present", arrivalHandler)
+}
+
+def arrivalHandler(evt) {
+  doorLock.unlock()
+}
+|}
+
+let auto_lock_door =
+  entry "AutoLockDoor" Security 1
+    {|
+definition(name: "AutoLockDoor", description: "Automatically lock the door a few minutes after it closes")
+
+preferences {
+  section("When this door closes...") {
+    input "doorContact", "capability.contactSensor", title: "Which contact?"
+  }
+  section("Lock this lock...") {
+    input "doorLock", "capability.lock", title: "Which lock?"
+    input "lockDelay", "number", title: "Delay (seconds)?"
+  }
+}
+
+def installed() {
+  subscribe(doorContact, "contact.closed", doorClosedHandler)
+}
+
+def updated() {
+  unsubscribe()
+  subscribe(doorContact, "contact.closed", doorClosedHandler)
+}
+
+def doorClosedHandler(evt) {
+  runIn(120, lockTheDoor)
+}
+
+def lockTheDoor() {
+  doorLock.lock()
+}
+|}
+
+let smart_security =
+  entry "SmartSecurity" Security 1
+    {|
+definition(name: "SmartSecurity", description: "Sound the alarm on motion while the home is in Away mode")
+
+preferences {
+  section("Watch for motion...") {
+    input "securityMotion", "capability.motionSensor", title: "Where?"
+  }
+  section("Sound this alarm...") {
+    input "securityAlarm", "capability.alarm", title: "Which alarm?"
+  }
+}
+
+def installed() {
+  subscribe(securityMotion, "motion.active", motionHandler)
+}
+
+def updated() {
+  unsubscribe()
+  subscribe(securityMotion, "motion.active", motionHandler)
+}
+
+def motionHandler(evt) {
+  if (location.mode == "Away") {
+    securityAlarm.siren()
+    sendPush("Motion detected while you are away!")
+  }
+}
+|}
+
+let everyone_leaves =
+  (* two subscriptions share one handler: two rules *)
+  entry "EveryoneLeaves" Security 2
+    {|
+definition(name: "EveryoneLeaves", description: "Set the home to Away mode when the last person leaves")
+
+preferences {
+  section("Track these people...") {
+    input "person1", "capability.presenceSensor", title: "Person 1"
+    input "person2", "capability.presenceSensor", title: "Person 2"
+  }
+}
+
+def installed() {
+  subscribe(person1, "presence", presenceHandler)
+  subscribe(person2, "presence", presenceHandler)
+}
+
+def updated() {
+  unsubscribe()
+  subscribe(person1, "presence", presenceHandler)
+  subscribe(person2, "presence", presenceHandler)
+}
+
+def presenceHandler(evt) {
+  if (evt.value == "not present") {
+    if ((person1.currentPresence == "not present") && (person2.currentPresence == "not present")) {
+      setLocationMode("Away")
+    }
+  }
+}
+|}
+
+let someone_arrives =
+  entry "SomeoneArrives" Security 1
+    {|
+definition(name: "SomeoneArrives", description: "Set the home to Home mode when anyone arrives")
+
+preferences {
+  section("Track these people...") {
+    input "person1", "capability.presenceSensor", title: "Person 1"
+  }
+}
+
+def installed() {
+  subscribe(person1, "presence.present", arrivalHandler)
+}
+
+def updated() {
+  unsubscribe()
+  subscribe(person1, "presence.present", arrivalHandler)
+}
+
+def arrivalHandler(evt) {
+  setLocationMode("Home")
+}
+|}
+
+let forgiving_security =
+  entry "ForgivingSecurity" Security 1
+    {|
+definition(name: "ForgivingSecurity", description: "Silence the alarm when the home returns to Home mode")
+
+preferences {
+  section("Silence this alarm...") {
+    input "securityAlarm", "capability.alarm", title: "Which alarm?"
+  }
+}
+
+def installed() {
+  subscribe(location, "mode", modeHandler)
+}
+
+def updated() {
+  unsubscribe()
+  subscribe(location, "mode", modeHandler)
+}
+
+def modeHandler(evt) {
+  if (evt.value == "Home") {
+    securityAlarm.off()
+  }
+}
+|}
+
+let garage_closer =
+  entry "GarageCloser" Security 1
+    {|
+definition(name: "GarageCloser", description: "Close the garage door every night")
+
+preferences {
+  section("Close this garage door...") {
+    input "garageDoor", "capability.garageDoorControl", title: "Which door?"
+  }
+}
+
+def installed() {
+  schedule("0 0 22 * * ?", closeGarage)
+}
+
+def updated() {
+  unschedule()
+  schedule("0 0 22 * * ?", closeGarage)
+}
+
+def closeGarage() {
+  garageDoor.close()
+}
+|}
+
+let intruder_strobe =
+  entry "IntruderStrobe" Security 1
+    {|
+definition(name: "IntruderStrobe", description: "Strobe the alarm if a door opens while the home is Away")
+
+preferences {
+  section("Watch this door...") {
+    input "entryContact", "capability.contactSensor", title: "Which contact?"
+  }
+  section("Strobe this alarm...") {
+    input "strobeAlarm", "capability.alarm", title: "Which alarm?"
+  }
+}
+
+def installed() {
+  subscribe(entryContact, "contact.open", openHandler)
+}
+
+def updated() {
+  unsubscribe()
+  subscribe(entryContact, "contact.open", openHandler)
+}
+
+def openHandler(evt) {
+  if (location.mode == "Away") {
+    strobeAlarm.strobe()
+  }
+}
+|}
+
+let lock_it_at_night =
+  entry "LockItAtNight" Security 2
+    {|
+definition(name: "LockItAtNight", description: "Lock the doors when the home enters Night mode, unlock in the morning")
+
+preferences {
+  section("Control this lock...") {
+    input "nightLock", "capability.lock", title: "Which lock?"
+  }
+}
+
+def installed() {
+  subscribe(location, "mode", modeHandler)
+  schedule("0 0 7 * * ?", morningUnlock)
+}
+
+def updated() {
+  unsubscribe()
+  unschedule()
+  subscribe(location, "mode", modeHandler)
+  schedule("0 0 7 * * ?", morningUnlock)
+}
+
+def modeHandler(evt) {
+  if (evt.value == "Night") {
+    nightLock.lock()
+  }
+}
+
+def morningUnlock() {
+  if (location.mode == "Home") {
+    nightLock.unlock()
+  }
+}
+|}
+
+let valve_guard =
+  entry "ValveGuard" Security 1
+    {|
+definition(name: "ValveGuard", description: "Close the water valve when the home is set to Away")
+
+preferences {
+  section("Close this valve...") {
+    input "mainValve", "capability.valve", title: "Which valve?"
+  }
+}
+
+def installed() {
+  subscribe(location, "mode", modeHandler)
+}
+
+def updated() {
+  unsubscribe()
+  subscribe(location, "mode", modeHandler)
+}
+
+def modeHandler(evt) {
+  if (evt.value == "Away") {
+    mainValve.close()
+  }
+}
+|}
+
+let all =
+  [
+    switch_changes_mode;
+    make_it_so;
+    curling_iron;
+    nfc_tag_toggle;
+    lock_it_when_i_leave;
+    unlock_it_when_i_arrive;
+    auto_lock_door;
+    smart_security;
+    everyone_leaves;
+    someone_arrives;
+    forgiving_security;
+    garage_closer;
+    intruder_strobe;
+    lock_it_at_night;
+    valve_guard;
+  ]

@@ -1,0 +1,150 @@
+(** Web-services SmartApps: they expose HTTP endpoints for external
+    callers instead of defining automation rules, so rule extraction
+    legitimately finds no rules (paper §VIII-B removes the 36 such apps
+    from the corpus before measuring extraction accuracy). *)
+
+open App_entry
+
+let web_dashboard =
+  entry ~controls_devices:false "WebDashboard" Web_service (-1)
+    {|
+definition(name: "WebDashboard", description: "Expose device states to a web dashboard")
+
+preferences {
+  section("Expose these devices...") {
+    input "switches", "capability.switch", multiple: true, title: "Switches"
+    input "temps", "capability.temperatureMeasurement", multiple: true, title: "Thermometers"
+  }
+}
+
+mappings {
+  path("/switches") {
+    action: [GET: "listSwitches"]
+  }
+  path("/temperatures") {
+    action: [GET: "listTemperatures"]
+  }
+}
+
+def installed() {
+}
+
+def updated() {
+}
+
+def listSwitches() {
+  def result = []
+  switches.each { sw ->
+    result.push(sw.currentSwitch)
+  }
+  return result
+}
+
+def listTemperatures() {
+  def result = []
+  temps.each { t ->
+    result.push(t.currentTemperature)
+  }
+  return result
+}
+|}
+
+let remote_control_api =
+  entry ~controls_devices:false "RemoteControlAPI" Web_service (-1)
+    {|
+definition(name: "RemoteControlAPI", description: "Let an external application switch devices")
+
+preferences {
+  section("Allow control of...") {
+    input "switches", "capability.switch", multiple: true, title: "Switches"
+  }
+}
+
+mappings {
+  path("/switches/on") {
+    action: [PUT: "turnAllOn"]
+  }
+  path("/switches/off") {
+    action: [PUT: "turnAllOff"]
+  }
+}
+
+def installed() {
+}
+
+def updated() {
+}
+
+def turnAllOn() {
+  switches.on()
+}
+
+def turnAllOff() {
+  switches.off()
+}
+|}
+
+let ifttt_bridge =
+  entry ~controls_devices:false "IFTTTBridge" Web_service (-1)
+    {|
+definition(name: "IFTTTBridge", description: "Bridge IFTTT recipes into SmartThings")
+
+preferences {
+  section("IFTTT may use...") {
+    input "switches", "capability.switch", multiple: true, title: "Switches"
+    input "locks", "capability.lock", multiple: true, title: "Locks"
+  }
+}
+
+mappings {
+  path("/trigger") {
+    action: [POST: "handleTrigger"]
+  }
+}
+
+def installed() {
+}
+
+def updated() {
+}
+
+def handleTrigger() {
+  switches.on()
+}
+|}
+
+let status_endpoint =
+  entry ~controls_devices:false "StatusEndpoint" Web_service (-1)
+    {|
+definition(name: "StatusEndpoint", description: "A single endpoint reporting whether anyone is home")
+
+preferences {
+  section("Report on...") {
+    input "people", "capability.presenceSensor", multiple: true, title: "Presence sensors"
+  }
+}
+
+mappings {
+  path("/status") {
+    action: [GET: "homeStatus"]
+  }
+}
+
+def installed() {
+}
+
+def updated() {
+}
+
+def homeStatus() {
+  def anyoneHome = false
+  people.each { p ->
+    if (p.currentPresence == "present") {
+      anyoneHome = true
+    }
+  }
+  return anyoneHome
+}
+|}
+
+let all = [ web_dashboard; remote_control_api; ifttt_bridge; status_endpoint ]

@@ -1,0 +1,35 @@
+(** The full evaluation corpus.
+
+    Mirrors the paper's §VIII-B corpus construction: rule-defining apps
+    plus web-services apps (which define no rules) plus the Table III
+    malicious apps. {!audit_apps} is the 90-app-style subset: benign,
+    rule-defining, device-controlling apps used for pairwise CAI
+    detection; {!rule_defining} is the 146-app-style extraction set. *)
+
+let benign : App_entry.t list =
+  Apps_demo.all @ Apps_lighting.all @ Apps_climate.all @ Apps_security.all
+  @ Apps_energy.all @ Apps_modes.all @ Apps_safety.all @ Apps_convenience.all
+  @ Apps_notification.all @ Apps_misc.all @ Apps_extra.all
+
+let web_services : App_entry.t list = Apps_webservice.all
+
+let malicious : App_entry.t list = Apps_malicious.all
+
+let all : App_entry.t list = benign @ web_services @ malicious
+
+(** Apps that define automation rules (web-services apps removed), the
+    analogue of the paper's 146. *)
+let rule_defining : App_entry.t list = benign
+
+(** Benign, device-controlling apps: the pairwise-audit pool (the
+    analogue of the paper's 90). *)
+let audit_apps : App_entry.t list =
+  List.filter (fun (e : App_entry.t) -> e.App_entry.controls_devices) benign
+
+let find name = List.find_opt (fun (e : App_entry.t) -> e.App_entry.name = name) all
+
+let stats () =
+  Printf.sprintf
+    "corpus: %d apps total (%d benign rule-defining, %d web-service, %d malicious); %d in audit pool"
+    (List.length all) (List.length benign) (List.length web_services)
+    (List.length malicious) (List.length audit_apps)

@@ -1,0 +1,16 @@
+(** The full evaluation corpus, partitioned as in paper §VIII-B. *)
+
+val benign : App_entry.t list
+val web_services : App_entry.t list
+val malicious : App_entry.t list
+val all : App_entry.t list
+
+val rule_defining : App_entry.t list
+(** Apps that define automation rules (the paper's 146-analogue). *)
+
+val audit_apps : App_entry.t list
+(** Benign device-controlling apps: the pairwise-audit pool (the
+    paper's 90-analogue). *)
+
+val find : string -> App_entry.t option
+val stats : unit -> string

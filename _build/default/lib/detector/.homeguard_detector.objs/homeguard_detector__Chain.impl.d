@@ -1,0 +1,1 @@
+lib/detector/chain.ml: Homeguard_rules List String Threat

@@ -1,0 +1,1 @@
+lib/detector/chain.mli: Threat

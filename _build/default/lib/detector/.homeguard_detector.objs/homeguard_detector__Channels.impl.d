@@ -1,0 +1,1 @@
+lib/detector/channels.ml: Effects Homeguard_rules Homeguard_solver Homeguard_st List Option String

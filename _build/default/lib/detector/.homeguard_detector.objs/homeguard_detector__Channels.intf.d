@@ -1,0 +1,1 @@
+lib/detector/channels.mli: Effects Homeguard_rules Homeguard_solver Homeguard_st

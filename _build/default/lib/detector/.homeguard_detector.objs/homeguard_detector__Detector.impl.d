@@ -1,0 +1,1 @@
+lib/detector/detector.ml: Channels Effects Hashtbl Homeguard_rules Homeguard_solver Homeguard_st List Printf String Threat

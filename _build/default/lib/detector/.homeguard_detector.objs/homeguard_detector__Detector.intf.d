@@ -1,0 +1,1 @@
+lib/detector/detector.mli: Hashtbl Homeguard_rules Homeguard_solver Threat

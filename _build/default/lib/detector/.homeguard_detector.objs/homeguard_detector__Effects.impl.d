@@ -1,0 +1,1 @@
+lib/detector/effects.ml: Homeguard_rules Homeguard_solver Homeguard_st List String

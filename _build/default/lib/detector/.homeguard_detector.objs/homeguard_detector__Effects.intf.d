@@ -1,0 +1,1 @@
+lib/detector/effects.mli: Homeguard_rules Homeguard_st

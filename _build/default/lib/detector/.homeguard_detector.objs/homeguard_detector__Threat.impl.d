@@ -1,0 +1,1 @@
+lib/detector/threat.ml: Homeguard_rules Homeguard_solver Printf

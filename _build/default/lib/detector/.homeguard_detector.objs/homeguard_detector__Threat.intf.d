@@ -1,0 +1,1 @@
+lib/detector/threat.mli: Homeguard_rules Homeguard_solver

@@ -1,0 +1,22 @@
+(** Chained CAI threats through the Allowed list (paper §VI-D). *)
+
+type allowed_edge = {
+  from_rule : string;
+  to_rule : string;
+  category : Threat.category;
+}
+
+type t
+
+val create : unit -> t
+
+val allow : t -> Threat.t list -> unit
+(** Record the edges of threats the user decided to keep. *)
+
+type chain = { rules : string list; categories : Threat.category list }
+
+val chain_to_string : chain -> string
+
+val find_chains : t -> Threat.t list -> chain list
+(** Extend freshly detected propagating edges (CT/EC) through allowed
+    edges into chains of three or more rules. *)

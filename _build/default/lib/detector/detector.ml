@@ -1,0 +1,597 @@
+(** The CAI threat detection engine (paper §VI).
+
+    Pairwise analysis of rules: candidate filtering against the action/
+    channel maps, then overlapping-condition detection as constraint
+    satisfaction. Solver results are memoized per rule pair so CT/SD/LT
+    reuse the AR solve and DC reuses the EC solve (Fig 9's green lines);
+    pass [~reuse:false] to measure the unmemoized cost (ablation A1). *)
+
+module Rule = Homeguard_rules.Rule
+module Formula = Homeguard_solver.Formula
+module Term = Homeguard_solver.Term
+module Solver = Homeguard_solver.Solver
+module Store = Homeguard_solver.Store
+module Domain = Homeguard_solver.Domain
+module Capability = Homeguard_st.Capability
+module Env = Homeguard_st.Env_feature
+
+type tagged_rule = Rule.smartapp * Rule.t
+
+type config = {
+  same_device : Rule.smartapp -> string -> Rule.smartapp -> string -> bool;
+      (** do two input variables denote the same device? *)
+  app_constraints : Rule.smartapp -> (string * Term.t) list;
+      (** configuration values: user-input variable bindings *)
+  reuse : bool;  (** memoize constraint solving across threat types *)
+}
+
+(** Offline corpus mode: two inputs denote the same device when they
+    share a capability, with [capability.switch] disambiguated by device
+    class from titles/descriptions (paper §VIII-B). A generic,
+    unclassifiable switch may be bound to any switch device, so it
+    matches every switch class (this is what lets Energy Saver's generic
+    "devices to turn off" disable It's Too Hot's air conditioner). *)
+let offline_same_device app1 v1 app2 v2 =
+  match (Rule.capability_of_input app1 v1, Rule.capability_of_input app2 v2) with
+  | Some c1, Some c2 when c1 = c2 ->
+    if c1 = "switch" || c1 = "switchLevel" then begin
+      let cls1 = Effects.classify app1 v1 and cls2 = Effects.classify app2 v2 in
+      cls1 = cls2 || cls1 = Effects.Generic_switch || cls2 = Effects.Generic_switch
+    end
+    else true
+  | _ -> false
+
+let offline_config = { same_device = offline_same_device; app_constraints = (fun _ -> []); reuse = true }
+
+type ctx = {
+  config : config;
+  overlap_cache : (string * string, Solver.model option) Hashtbl.t;
+  mutable solver_calls : int;  (** number of actual constraint solves *)
+}
+
+let create config = { config; overlap_cache = Hashtbl.create 64; solver_calls = 0 }
+
+(* -- variable qualification and unification ------------------------------ *)
+
+let is_shared_var var =
+  var = "location.mode" || var = "app.touch"
+  || (String.length var > 5 && String.sub var 0 5 = "time.")
+  || (String.length var > 4 && String.sub var 0 4 = "env.")
+
+let qualify app_name var = if is_shared_var var then var else app_name ^ "::" ^ var
+
+(* Split a qualified variable "App::v.attr" into its base and attribute. *)
+let split_attr var =
+  match String.rindex_opt var '.' with
+  | Some i -> (String.sub var 0 i, Some (String.sub var (i + 1) (String.length var - i - 1)))
+  | None -> (var, None)
+
+(* Build the unification renaming: matched device variables of app2 are
+   renamed to app1's qualified name so shared state is shared in the
+   solver. *)
+let unifier ctx (app1 : Rule.smartapp) (app2 : Rule.smartapp) =
+  let pairs =
+    List.concat_map
+      (fun v1 ->
+        List.filter_map
+          (fun v2 ->
+            if ctx.config.same_device app1 v1 app2 v2 then
+              Some (qualify app2.Rule.name v2, qualify app1.Rule.name v1)
+            else None)
+          (Rule.device_inputs app2))
+      (Rule.device_inputs app1)
+  in
+  fun var ->
+    let base, attr = split_attr var in
+    match List.assoc_opt base pairs with
+    | Some base' -> ( match attr with Some a -> base' ^ "." ^ a | None -> base')
+    | None -> var
+
+let rename_formula rename f =
+  let sub = List.map (fun v -> (v, Term.Var (rename v))) (Formula.free_vars f) in
+  Formula.subst sub f
+
+(* Qualified situation (trigger constraint + data + predicate) of a rule,
+   with app-level config-value constraints folded in. *)
+let qualified_formula ctx ~situation (app : Rule.smartapp) (rule : Rule.t) rename =
+  let base = if situation then Rule.situation rule else
+      Formula.conj
+        (List.map (fun (v, t) -> Formula.eq (Term.Var v) t) rule.Rule.condition.Rule.data
+        @ [ rule.Rule.condition.Rule.predicate ])
+  in
+  let config_eqs =
+    List.map
+      (fun (v, t) -> Formula.eq (Term.Var v) t)
+      (ctx.config.app_constraints app)
+  in
+  let f = Formula.conj (base :: config_eqs) in
+  let qualified =
+    rename_formula (fun v -> rename (qualify app.Rule.name v)) f
+  in
+  qualified
+
+(* Store typing qualified variables by resolving each base back to its
+   app's input declarations. *)
+let store_for ctx apps formula =
+  ignore ctx;
+  let cap_of_var base =
+    match String.index_opt base ':' with
+    | Some i when i + 1 < String.length base && base.[i + 1] = ':' ->
+      let app_name = String.sub base 0 i in
+      let var = String.sub base (i + 2) (String.length base - i - 2) in
+      List.find_map
+        (fun (app : Rule.smartapp) ->
+          if app.Rule.name = app_name then Rule.capability_of_input app var else None)
+        apps
+    | _ -> None
+  in
+  Rule.store_for_vars ~cap_of_var (Formula.free_vars formula)
+
+(* Memoized satisfiability of the two rules' combined formulas. *)
+let solve_overlap ctx ~situation ((app1, r1) : tagged_rule) ((app2, r2) : tagged_rule) =
+  let key =
+    ( (if situation then "sit:" else "cond:") ^ app1.Rule.name ^ "/" ^ r1.Rule.rule_id,
+      app2.Rule.name ^ "/" ^ r2.Rule.rule_id )
+  in
+  let compute () =
+    ctx.solver_calls <- ctx.solver_calls + 1;
+    let rename = unifier ctx app1 app2 in
+    let f1 = qualified_formula ctx ~situation app1 r1 (fun v -> v) in
+    let f2 = qualified_formula ctx ~situation app2 r2 rename in
+    let f = Formula.conj [ f1; f2 ] in
+    let store = store_for ctx [ app1; app2 ] f in
+    Solver.satisfiable store f
+  in
+  if not ctx.config.reuse then compute ()
+  else
+    match Hashtbl.find_opt ctx.overlap_cache key with
+    | Some r -> r
+    | None ->
+      let r = compute () in
+      Hashtbl.replace ctx.overlap_cache key r;
+      r
+
+(** Overlapping situations: trigger+condition of both rules jointly
+    satisfiable (used by AR, GC). *)
+let situations_overlap ctx p1 p2 = solve_overlap ctx ~situation:true p1 p2
+
+(** Overlapping conditions only (used by trigger/condition interference). *)
+let conditions_overlap ctx p1 p2 = solve_overlap ctx ~situation:false p1 p2
+
+(* -- Action-Interference (AR, GC) ----------------------------------------- *)
+
+let same_action_target ctx (app1, a1) (app2, a2) =
+  match (a1.Rule.target, a2.Rule.target) with
+  | Rule.Act_device v1, Rule.Act_device v2 -> ctx.config.same_device app1 v1 app2 v2
+  | Rule.Act_location_mode, Rule.Act_location_mode -> true
+  | _ -> false
+
+let const_param a = match a.Rule.params with (Term.Int _ | Term.Str _) as t :: _ -> Some t | _ -> None
+
+(* Contradictory commands: declared opposites, or same command with
+   different constant parameters. *)
+let commands_contradict (app1, (a1 : Rule.action)) (app2, (a2 : Rule.action)) =
+  ignore app1;
+  ignore app2;
+  let opposite =
+    List.exists
+      (fun cap -> Capability.contradicts cap a1.Rule.command a2.Rule.command)
+      (Capability.capabilities_with_command a1.Rule.command)
+  in
+  let conflicting_params =
+    a1.Rule.command = a2.Rule.command
+    &&
+    match (const_param a1, const_param a2) with
+    | Some p1, Some p2 -> p1 <> p2
+    | _ -> false
+  in
+  opposite || conflicting_params
+
+(** Actuator-Race candidate: some pair of actions issues contradictory
+    commands to the same actuator. *)
+let ar_candidate ctx ((app1, r1) : tagged_rule) ((app2, r2) : tagged_rule) =
+  List.exists
+    (fun a1 ->
+      List.exists
+        (fun a2 ->
+          same_action_target ctx (app1, a1) (app2, a2)
+          && commands_contradict (app1, a1) (app2, a2))
+        r2.Rule.actions)
+    r1.Rule.actions
+
+let triggers_unify ctx ((app1, r1) : tagged_rule) ((app2, r2) : tagged_rule) =
+  match (r1.Rule.trigger, r2.Rule.trigger) with
+  | Rule.Event e1, Rule.Event e2 -> (
+    e1.attribute = e2.attribute
+    &&
+    match (e1.subject, e2.subject) with
+    | Rule.Device v1, Rule.Device v2 -> ctx.config.same_device app1 v1 app2 v2
+    | Rule.Location, Rule.Location -> true
+    | Rule.App_touch, Rule.App_touch -> true
+    | _ -> false)
+  | Rule.Scheduled s1, Rule.Scheduled s2 -> (
+    (* two fixed times must coincide; anything involving a period or an
+       unknown time may overlap *)
+    match (s1.at_minutes, s2.at_minutes) with
+    | Some a1, Some a2 -> a1 = a2
+    | _ -> true)
+  | _ -> false
+
+(* AR uses the conditions-only overlap: the paper's formalism asks for
+   identical triggers, but its evaluation reports races between rules
+   whose independent triggers merely can co-occur (e.g. LetThereBeDark's
+   door-close vs UndeadEarlyWarning's door-open, §VIII-B item 4), and
+   Fig 9 has CT/SD/LT reusing "the solving result of AR" — which is
+   exactly this conditions overlap. Mutually exclusive *conditions*
+   still rule the race out. *)
+let detect_ar ctx p1 p2 =
+  if ar_candidate ctx p1 p2 then
+    match conditions_overlap ctx p1 p2 with
+    | Some witness ->
+      let app1, r1 = p1 and app2, r2 = p2 in
+      let detail =
+        Printf.sprintf "contradictory commands on the same actuator (%s vs %s)"
+          (String.concat "," (List.map (fun a -> a.Rule.command) r1.Rule.actions))
+          (String.concat "," (List.map (fun a -> a.Rule.command) r2.Rule.actions))
+      in
+      [ Threat.make Threat.AR (app1, r1) (app2, r2) ~witness detail ]
+    | None -> []
+  else []
+
+let detect_gc ctx p1 p2 =
+  let app1, r1 = p1 and app2, r2 = p2 in
+  let goal_pairs =
+    List.concat_map
+      (fun a1 ->
+        List.concat_map
+          (fun a2 ->
+            if same_action_target ctx (app1, a1) (app2, a2) then []
+            else
+              Effects.conflicting_goals
+                (Effects.effects_of_action app1 a1)
+                (Effects.effects_of_action app2 a2))
+          r2.Rule.actions)
+      r1.Rule.actions
+    |> List.sort_uniq compare
+  in
+  if goal_pairs = [] then []
+  else
+    match situations_overlap ctx p1 p2 with
+    | Some witness ->
+      let detail =
+        Printf.sprintf "actions with contradictory goals over %s"
+          (String.concat ", " (List.map Env.to_string goal_pairs))
+      in
+      [ Threat.make Threat.GC (app1, r1) (app2, r2) ~witness detail ]
+    | None -> []
+
+(* -- Trigger-Interference (CT, SD, LT) ------------------------------------ *)
+
+(* Does action a1 (of app1/r1) satisfy r2's trigger?  Returns a
+   human-readable channel description when it can. *)
+let action_triggers ctx ((app1 : Rule.smartapp), (a1 : Rule.action)) ((app2, r2) : tagged_rule) =
+  match r2.Rule.trigger with
+  | Rule.Scheduled _ -> None
+  | Rule.Event { subject; attribute; constraint_ } -> (
+    (* way 1: direct attribute write *)
+    let direct =
+      List.find_map
+        (fun (w : Channels.attr_write) ->
+          let subject_matches =
+            match (w.Channels.w_target, subject) with
+            | Rule.Act_device v1, Rule.Device v2 ->
+              ctx.config.same_device app1 v1 app2 v2 && w.Channels.w_attr = attribute
+            | Rule.Act_location_mode, Rule.Location -> attribute = "mode"
+            | _ -> false
+          in
+          if not subject_matches then None
+          else
+            (* value compatibility: written value must satisfy the
+               trigger constraint *)
+            let subject_var =
+              match subject with
+              | Rule.Device v2 -> qualify app2.Rule.name (v2 ^ "." ^ attribute)
+              | Rule.Location -> "location.mode"
+              | Rule.App_touch -> "app.touch"
+            in
+            let trig =
+              rename_formula (fun v -> qualify app2.Rule.name v) constraint_
+            in
+            let value_ok =
+              match w.Channels.w_value with
+              | Some ((Term.Int _ | Term.Str _) as value) ->
+                let f = Formula.conj [ trig; Formula.eq (Term.Var subject_var) value ] in
+                ctx.solver_calls <- ctx.solver_calls + 1;
+                Solver.sat (store_for ctx [ app1; app2 ] f) f
+              | _ -> true
+            in
+            if value_ok then
+              Some
+                (Printf.sprintf "command %s sets %s, the trigger of %s" a1.Rule.command
+                   attribute r2.Rule.rule_id)
+            else None)
+        (Channels.attribute_writes app1 a1)
+    in
+    match direct with
+    | Some _ -> direct
+    | None -> (
+      (* way 2: through the environment *)
+      match Channels.sensed_feature_of_trigger r2.Rule.trigger with
+      | None -> None
+      | Some feature ->
+        let effects = Channels.environment_effects app1 a1 in
+        List.find_map
+          (fun (f, pol) ->
+            if f <> feature then None
+            else
+              let subject_var =
+                match subject with
+                | Rule.Device v2 -> v2 ^ "." ^ attribute
+                | Rule.Location -> "location." ^ attribute
+                | Rule.App_touch -> "app.touch"
+              in
+              let compatible =
+                constraint_ = Formula.True
+                || Channels.polarity_can_satisfy constraint_ subject_var pol
+              in
+              if compatible then
+                Some
+                  (Printf.sprintf "command %s changes %s sensed by %s's trigger"
+                     a1.Rule.command (Env.to_string f) r2.Rule.rule_id)
+              else None)
+          effects))
+
+let ct_edge ctx ((app1, r1) as p1 : tagged_rule) ((app2, r2) as p2 : tagged_rule) =
+  if r1.Rule.rule_id = r2.Rule.rule_id && app1.Rule.name = app2.Rule.name then None
+  else
+    let channel =
+      List.find_map (fun a1 -> action_triggers ctx (app1, a1) (app2, r2)) r1.Rule.actions
+    in
+    match channel with
+    | None -> None
+    | Some detail -> (
+      match conditions_overlap ctx p1 p2 with
+      | Some witness -> Some (witness, detail)
+      | None -> None)
+
+let detect_trigger_interference ctx p1 p2 =
+  let app1, r1 = p1 and app2, r2 = p2 in
+  let e12 = ct_edge ctx p1 p2 in
+  let e21 = ct_edge ctx p2 p1 in
+  let ar_cand = ar_candidate ctx p1 p2 in
+  let ct_threats =
+    (match e12 with
+    | Some (w, detail) -> [ Threat.make Threat.CT (app1, r1) (app2, r2) ~witness:w detail ]
+    | None -> [])
+    @
+    match e21 with
+    | Some (w, detail) -> [ Threat.make Threat.CT (app2, r2) (app1, r1) ~witness:w detail ]
+    | None -> []
+  in
+  let sd_threats =
+    match (e12, ar_cand) with
+    | Some (w, _), true ->
+      [
+        Threat.make Threat.SD (app1, r1) (app2, r2) ~witness:w
+          (Printf.sprintf "%s triggers %s whose action undoes it" r1.Rule.rule_id
+             r2.Rule.rule_id);
+      ]
+    | _ -> (
+      match (e21, ar_cand) with
+      | Some (w, _), true ->
+        [
+          Threat.make Threat.SD (app2, r2) (app1, r1) ~witness:w
+            (Printf.sprintf "%s triggers %s whose action undoes it" r2.Rule.rule_id
+               r1.Rule.rule_id);
+        ]
+      | _ -> [])
+  in
+  let lt_threats =
+    match (e12, e21, ar_cand) with
+    | Some (w, _), Some _, true ->
+      [
+        Threat.make Threat.LT (app1, r1) (app2, r2) ~witness:w
+          "rules trigger each other with contradictory actions";
+      ]
+    | _ -> []
+  in
+  ct_threats @ sd_threats @ lt_threats
+
+(* -- Condition-Interference (EC, DC) -------------------------------------- *)
+
+(* Effect constraints of action a1 on r2's condition variables. The
+   predicate is used with data constraints expanded so pure bindings
+   (e.g. [t = sensor.temperature] feeding only the trigger) don't count
+   as condition state. *)
+let condition_effects ctx ((app1 : Rule.smartapp), (a1 : Rule.action)) ((app2, r2) : tagged_rule) =
+  let cond = Rule.expanded_predicate r2 in
+  let cond_vars = Formula.free_vars cond in
+  (* way 1: direct writes to condition-tested attributes *)
+  let direct =
+    List.concat_map
+      (fun (w : Channels.attr_write) ->
+        List.filter_map
+          (fun var ->
+            let base, attr = split_attr var in
+            let matches =
+              match (w.Channels.w_target, attr) with
+              | Rule.Act_device v1, Some a when a = w.Channels.w_attr ->
+                base <> "location" && ctx.config.same_device app1 v1 app2 base
+              | Rule.Act_location_mode, Some "mode" -> base = "location"
+              | _ -> false
+            in
+            if not matches then None
+            else
+              match w.Channels.w_value with
+              | Some value -> Some (`Eq (var, value))
+              | None -> Some (`Touches var))
+          cond_vars)
+      (Channels.attribute_writes app1 a1)
+  in
+  (* way 2: environment effects on sensed condition variables *)
+  let env_effects =
+    List.concat_map
+      (fun (feature, pol) ->
+        List.map
+          (fun var ->
+            match (a1.Rule.params, pol) with
+            | ((Term.Int _ | Term.Var _) as p) :: _, Effects.Incr
+              when a1.Rule.command = "setHeatingSetpoint" ->
+              `Ge (var, p)
+            | ((Term.Int _ | Term.Var _) as p) :: _, Effects.Decr
+              when a1.Rule.command = "setCoolingSetpoint" ->
+              `Le (var, p)
+            | _ -> `Dir (var, pol))
+          (Channels.vars_sensing feature cond))
+      (Channels.environment_effects app1 a1)
+  in
+  (direct @ env_effects, cond)
+
+let detect_condition_interference_dir ctx ((app1, r1) : tagged_rule)
+    ((app2, r2) as p2 : tagged_rule) =
+  if r1.Rule.rule_id = r2.Rule.rule_id && app1.Rule.name = app2.Rule.name then []
+  else
+    let all_effects =
+      List.concat_map
+        (fun a1 ->
+          let effects, cond = condition_effects ctx (app1, a1) p2 in
+          List.map (fun e -> (a1, e, cond)) effects)
+        r1.Rule.actions
+    in
+    if all_effects = [] then []
+    else
+      (* merge effect constraints with R2's condition and solve; solvable
+         means the condition may be enabled, otherwise disabled *)
+      let qualified_cond rename =
+        qualified_formula ctx ~situation:false app2 r2 rename
+      in
+      let rename = unifier ctx app2 app1 in
+      ignore rename;
+      let results =
+        List.filter_map
+          (fun (a1, effect, _cond) ->
+            let q v = qualify app2.Rule.name v in
+            let cond_q = qualified_cond (fun v -> v) in
+            match effect with
+            | `Eq (var, value) ->
+              let f = Formula.conj [ cond_q; Formula.eq (Term.Var (q var)) value ] in
+              ctx.solver_calls <- ctx.solver_calls + 1;
+              let sat = Solver.satisfiable (store_for ctx [ app1; app2 ] f) f in
+              Some
+                (match sat with
+                | Some w ->
+                  (Threat.EC, Some w,
+                   Printf.sprintf "%s sets %s enabling %s's condition" a1.Rule.command var
+                     r2.Rule.rule_id)
+                | None ->
+                  (Threat.DC, None,
+                   Printf.sprintf "%s sets %s disabling %s's condition" a1.Rule.command var
+                     r2.Rule.rule_id))
+            | `Ge (var, bound) ->
+              let f = Formula.conj [ cond_q; Formula.ge (Term.Var (q var)) bound ] in
+              ctx.solver_calls <- ctx.solver_calls + 1;
+              let sat = Solver.satisfiable (store_for ctx [ app1; app2 ] f) f in
+              Some
+                (match sat with
+                | Some w ->
+                  (Threat.EC, Some w,
+                   Printf.sprintf "%s raises %s enabling %s's condition" a1.Rule.command var
+                     r2.Rule.rule_id)
+                | None ->
+                  (Threat.DC, None,
+                   Printf.sprintf "%s raises %s disabling %s's condition" a1.Rule.command
+                     var r2.Rule.rule_id))
+            | `Le (var, bound) ->
+              let f = Formula.conj [ cond_q; Formula.le (Term.Var (q var)) bound ] in
+              ctx.solver_calls <- ctx.solver_calls + 1;
+              let sat = Solver.satisfiable (store_for ctx [ app1; app2 ] f) f in
+              Some
+                (match sat with
+                | Some w ->
+                  (Threat.EC, Some w,
+                   Printf.sprintf "%s lowers %s enabling %s's condition" a1.Rule.command var
+                     r2.Rule.rule_id)
+                | None ->
+                  (Threat.DC, None,
+                   Printf.sprintf "%s lowers %s disabling %s's condition" a1.Rule.command
+                     var r2.Rule.rule_id))
+            | `Dir (var, pol) ->
+              let can = Channels.polarity_can_satisfy _cond var pol in
+              let opposite =
+                Channels.polarity_can_satisfy _cond var
+                  (match pol with Effects.Incr -> Effects.Decr | Effects.Decr -> Effects.Incr)
+              in
+              if can then
+                Some
+                  (Threat.EC, None,
+                   Printf.sprintf "%s pushes %s toward satisfying %s's condition"
+                     a1.Rule.command var r2.Rule.rule_id)
+              else if opposite then
+                Some
+                  (Threat.DC, None,
+                   Printf.sprintf "%s pushes %s away from %s's condition" a1.Rule.command
+                     var r2.Rule.rule_id)
+              else None
+            | `Touches var ->
+              Some
+                (Threat.EC, None,
+                 Printf.sprintf "%s writes %s used in %s's condition" a1.Rule.command var
+                   r2.Rule.rule_id))
+          all_effects
+      in
+      (* report at most one EC and one DC per direction *)
+      let pick cat =
+        List.find_map
+          (fun (c, w, d) -> if c = cat then Some (c, w, d) else None)
+          results
+      in
+      List.filter_map
+        (fun entry ->
+          match entry with
+          | Some (cat, witness, detail) ->
+            Some { (Threat.make cat (app1, r1) (app2, r2) detail) with Threat.witness }
+          | None -> None)
+        [ pick Threat.EC; pick Threat.DC ]
+
+let detect_condition_interference ctx p1 p2 =
+  detect_condition_interference_dir ctx p1 p2 @ detect_condition_interference_dir ctx p2 p1
+
+(* -- top level ------------------------------------------------------------- *)
+
+(** All CAI threats between two rules. *)
+let detect_pair ctx (p1 : tagged_rule) (p2 : tagged_rule) =
+  let app1, r1 = p1 and app2, r2 = p2 in
+  if app1.Rule.name = app2.Rule.name && r1.Rule.rule_id = r2.Rule.rule_id then []
+  else
+    detect_ar ctx p1 p2 @ detect_gc ctx p1 p2
+    @ detect_trigger_interference ctx p1 p2
+    @ detect_condition_interference ctx p1 p2
+
+(** Threats between a newly installed app and every already-installed
+    app recorded in [db] (the online install-time flow, §IV-C). *)
+let detect_new_app ctx (db : Homeguard_rules.Rule_db.t) (new_app : Rule.smartapp) =
+  let installed = Homeguard_rules.Rule_db.all_rules db in
+  List.concat_map
+    (fun new_rule ->
+      List.concat_map
+        (fun (old_app, old_rule) ->
+          if old_app.Rule.name = new_app.Rule.name then []
+          else detect_pair ctx (new_app, new_rule) (old_app, old_rule))
+        installed)
+    new_app.Rule.rules
+
+(** Exhaustive pairwise detection over a set of apps (the corpus audit,
+    §VIII-B). *)
+let detect_all ctx (apps : Rule.smartapp list) =
+  let tagged =
+    List.concat_map (fun app -> List.map (fun r -> (app, r)) app.Rule.rules) apps
+  in
+  let rec pairs = function
+    | [] -> []
+    | p :: rest -> List.map (fun q -> (p, q)) rest @ pairs rest
+  in
+  List.concat_map
+    (fun ((app1, r1), (app2, r2)) ->
+      if app1.Rule.name = app2.Rule.name then []
+      else detect_pair ctx (app1, r1) (app2, r2))
+    (pairs tagged)

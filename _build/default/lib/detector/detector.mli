@@ -1,0 +1,55 @@
+(** The CAI threat detection engine (paper §VI): pairwise candidate
+    filtering followed by overlapping-condition constraint solving, with
+    memoized solver results shared across threat types (Fig 9). *)
+
+module Rule = Homeguard_rules.Rule
+
+type tagged_rule = Rule.smartapp * Rule.t
+
+type config = {
+  same_device : Rule.smartapp -> string -> Rule.smartapp -> string -> bool;
+  app_constraints : Rule.smartapp -> (string * Homeguard_solver.Term.t) list;
+  reuse : bool;
+}
+
+val offline_same_device : Rule.smartapp -> string -> Rule.smartapp -> string -> bool
+(** Same-capability matching with switch classes disambiguated by
+    titles/descriptions; generic switches act as wildcards. *)
+
+val offline_config : config
+(** Corpus-audit mode: device-type matching, no config constraints. *)
+
+type ctx = {
+  config : config;
+  overlap_cache : (string * string, Homeguard_solver.Solver.model option) Hashtbl.t;
+  mutable solver_calls : int;
+}
+
+val create : config -> ctx
+
+val situations_overlap :
+  ctx -> tagged_rule -> tagged_rule -> Homeguard_solver.Solver.model option
+(** Joint satisfiability of both rules' trigger+condition formulas, with
+    variables of matched devices unified. *)
+
+val conditions_overlap :
+  ctx -> tagged_rule -> tagged_rule -> Homeguard_solver.Solver.model option
+(** Conditions-only variant (memoized; shared by AR and CT/SD/LT). *)
+
+val ar_candidate : ctx -> tagged_rule -> tagged_rule -> bool
+val triggers_unify : ctx -> tagged_rule -> tagged_rule -> bool
+
+val detect_ar : ctx -> tagged_rule -> tagged_rule -> Threat.t list
+val detect_gc : ctx -> tagged_rule -> tagged_rule -> Threat.t list
+val detect_trigger_interference : ctx -> tagged_rule -> tagged_rule -> Threat.t list
+val detect_condition_interference : ctx -> tagged_rule -> tagged_rule -> Threat.t list
+
+val detect_pair : ctx -> tagged_rule -> tagged_rule -> Threat.t list
+(** All seven categories between two rules. *)
+
+val detect_new_app :
+  ctx -> Homeguard_rules.Rule_db.t -> Rule.smartapp -> Threat.t list
+(** Install-time flow: the new app against every installed rule. *)
+
+val detect_all : ctx -> Rule.smartapp list -> Threat.t list
+(** Exhaustive pairwise audit across distinct apps. *)

@@ -1,0 +1,199 @@
+(** Goal analysis: effects of actions on measurable home properties.
+
+    The paper's M_GC mapping (§VI-A1) records how each command of a
+    device type affects goal properties such as temperature or
+    illuminance, denoted + (increasing), − (decreasing) or # (irrelevant).
+    Because many devices are bound through bare [capability.switch], the
+    device *class* is derived from the input declaration and app
+    description, exactly as the paper's evaluation disambiguates switch
+    devices (§VIII-B). *)
+
+module Rule = Homeguard_rules.Rule
+module Env = Homeguard_st.Env_feature
+module Term = Homeguard_solver.Term
+
+type polarity = Incr | Decr
+
+type device_class =
+  | Light
+  | Outlet
+  | Tv
+  | Heater
+  | Air_conditioner
+  | Fan
+  | Window_opener
+  | Curtain
+  | Speaker
+  | Camera
+  | Coffee_maker
+  | Humidifier
+  | Generic_switch
+  | Lock_device
+  | Door
+  | Valve_device
+  | Thermostat_device
+  | Alarm_device
+  | Shade
+  | Music_player
+  | Other of string  (** capability name for non-switch devices *)
+
+let class_to_string = function
+  | Light -> "light"
+  | Outlet -> "outlet"
+  | Tv -> "tv"
+  | Heater -> "heater"
+  | Air_conditioner -> "air conditioner"
+  | Fan -> "fan"
+  | Window_opener -> "window opener"
+  | Curtain -> "curtain"
+  | Speaker -> "speaker"
+  | Camera -> "camera"
+  | Coffee_maker -> "coffee maker"
+  | Humidifier -> "humidifier"
+  | Generic_switch -> "switch"
+  | Lock_device -> "lock"
+  | Door -> "door"
+  | Valve_device -> "valve"
+  | Thermostat_device -> "thermostat"
+  | Alarm_device -> "alarm"
+  | Shade -> "shade"
+  | Music_player -> "music player"
+  | Other cap -> cap
+
+let contains_word haystack word =
+  let h = String.lowercase_ascii haystack and n = String.length word in
+  let hl = String.length h in
+  let rec go i = i + n <= hl && (String.sub h i n = word || go (i + 1)) in
+  go 0
+
+(* Keyword classification of a switch-bound device from its input
+   variable name, title and the app's name/description. *)
+(* Function-bearing words win over mounting words: a "heater outlet" is a
+   heater that happens to be plugged in, so "outlet"/"plug" are checked
+   last. *)
+let classify_switch_text text =
+  let has w = contains_word text w in
+  if has "light" || has "lamp" || has "bulb" || has "led" then Light
+  else if has "tv" || has "television" then Tv
+  else if has "heater" || has "heating" then Heater
+  else if has "air condition" || has " ac " || has "a/c" || has "aircon" then Air_conditioner
+  else if has "fan" then Fan
+  else if has "window" then Window_opener
+  else if has "curtain" || has "blind" then Curtain
+  else if has "speaker" || has "sound" then Speaker
+  else if has "camera" then Camera
+  else if has "coffee" then Coffee_maker
+  else if has "humidifier" then Humidifier
+  else if has "outlet" || has "plug" then Outlet
+  else Generic_switch
+
+(** Device class of an input variable given app metadata. *)
+let classify (app : Rule.smartapp) var =
+  match Rule.capability_of_input app var with
+  | None -> Other "unknown"
+  | Some cap -> (
+    match cap with
+    | "lock" -> Lock_device
+    | "doorControl" | "garageDoorControl" -> Door
+    | "valve" -> Valve_device
+    | "thermostat" | "thermostatHeatingSetpoint" | "thermostatCoolingSetpoint" ->
+      Thermostat_device
+    | "alarm" -> Alarm_device
+    | "windowShade" -> Shade
+    | "musicPlayer" -> Music_player
+    | "switch" | "switchLevel" -> (
+      (* the input's own name and title are authoritative; the app name
+         and description only break ties *)
+      let input = List.find_opt (fun i -> i.Rule.var = var) app.Rule.inputs in
+      let title = match input with Some { Rule.title = Some t; _ } -> t | _ -> "" in
+      match classify_switch_text (var ^ " " ^ title) with
+      | Generic_switch ->
+        classify_switch_text (String.concat " " [ app.Rule.name; app.Rule.description ])
+      | cls -> cls)
+    | cap -> Other cap)
+
+(* Power draw of switching a device class on. *)
+let draws_power = function
+  | Light | Outlet | Tv | Heater | Air_conditioner | Fan | Speaker | Camera | Coffee_maker
+  | Humidifier | Generic_switch | Music_player ->
+    true
+  | Window_opener | Curtain | Lock_device | Door | Valve_device | Thermostat_device
+  | Alarm_device | Shade | Other _ ->
+    false
+
+(* Environment effects of activating a device class. *)
+let activation_effects = function
+  | Light -> [ (Env.Illuminance, Incr) ]
+  | Tv -> [ (Env.Noise, Incr) ]
+  | Heater -> [ (Env.Temperature, Incr) ]
+  | Air_conditioner -> [ (Env.Temperature, Decr) ]
+  | Fan -> [ (Env.Temperature, Decr) ]
+  | Window_opener -> [ (Env.Temperature, Decr) ]
+  | Curtain | Shade -> [ (Env.Illuminance, Incr) ]
+  | Speaker | Music_player -> [ (Env.Noise, Incr) ]
+  | Humidifier -> [ (Env.Humidity, Incr) ]
+  | Alarm_device -> [ (Env.Noise, Incr) ]
+  | Outlet | Camera | Coffee_maker | Generic_switch | Lock_device | Door | Valve_device
+  | Thermostat_device | Other _ ->
+    []
+
+let negate_effects effects =
+  List.map (fun (f, p) -> (f, match p with Incr -> Decr | Decr -> Incr)) effects
+
+(** Environment effects (the M_GC entry) of executing [action] declared
+    by [app]. Virtual actuators (mode, messaging) have no entry
+    (paper: "virtual actuators that have no direct effect on the goal
+    properties are not included"). *)
+let effects_of_action (app : Rule.smartapp) (action : Rule.action) :
+    (Env.t * polarity) list =
+  match action.Rule.target with
+  | Rule.Act_location_mode | Rule.Act_messaging | Rule.Act_http | Rule.Act_hub -> []
+  | Rule.Act_device var -> (
+    let cls = classify app var in
+    let power_on =
+      if draws_power cls then [ (Env.Power, Incr); (Env.Energy, Incr) ] else []
+    in
+    let power_off = if draws_power cls then [ (Env.Power, Decr) ] else [] in
+    match action.Rule.command with
+    | "on" | "play" -> activation_effects cls @ power_on
+    | "off" | "stop" | "pause" -> negate_effects (activation_effects cls) @ power_off
+    | "open" -> (
+      match cls with
+      | Door -> [ (Env.Temperature, Decr); (Env.Noise, Incr) ]
+      | Valve_device -> [ (Env.Moisture, Incr) ]
+      | Shade | Curtain -> [ (Env.Illuminance, Incr) ]
+      | Window_opener -> [ (Env.Temperature, Decr); (Env.Noise, Incr) ]
+      | _ -> activation_effects cls)
+    | "close" -> (
+      match cls with
+      | Door -> [ (Env.Temperature, Incr) ]
+      | Valve_device -> [ (Env.Moisture, Decr) ]
+      | Shade | Curtain -> [ (Env.Illuminance, Decr) ]
+      | Window_opener -> [ (Env.Temperature, Incr) ]
+      | _ -> negate_effects (activation_effects cls))
+    | "heat" | "setHeatingSetpoint" | "emergencyHeat" -> [ (Env.Temperature, Incr) ]
+    | "cool" | "setCoolingSetpoint" -> [ (Env.Temperature, Decr) ]
+    | "fanOn" | "fanCirculate" -> [ (Env.Temperature, Decr) ]
+    | "siren" | "strobe" | "both" | "beep" -> [ (Env.Noise, Incr) ]
+    | "setLevel" -> (
+      match cls with
+      | Light -> [ (Env.Illuminance, Incr) ]
+      | Speaker | Music_player -> [ (Env.Noise, Incr) ]
+      | _ -> [])
+    | _ -> [])
+
+(** Opposite-polarity overlap of two effect lists: the goal properties
+    the two actions fight over. Power/energy are deliberately excluded —
+    they would flag every on-vs-off pair — but remain available to the
+    condition/trigger channels (e.g. the EnergySaver Self-Disabling
+    case). *)
+let conflicting_goals effs1 effs2 =
+  List.filter_map
+    (fun (f1, p1) ->
+      match f1 with
+      | Env.Power | Env.Energy -> None
+      | _ -> (
+        match List.assoc_opt f1 effs2 with
+        | Some p2 when p1 <> p2 -> Some f1
+        | _ -> None))
+    effs1

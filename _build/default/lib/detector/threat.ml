@@ -1,0 +1,55 @@
+(** CAI threat categories and detection reports (paper Table I). *)
+
+module Rule = Homeguard_rules.Rule
+
+type category =
+  | AR  (** Actuator Race: contradictory actions on the same actuator *)
+  | GC  (** Goal Conflict: actions with contradictory goals *)
+  | CT  (** Covert Triggering: rule 1's action triggers rule 2 *)
+  | SD  (** Self Disabling: triggered rule 2 undoes rule 1's action *)
+  | LT  (** Loop Triggering: mutual triggering with contradictory actions *)
+  | EC  (** Enabling-Condition interference *)
+  | DC  (** Disabling-Condition interference *)
+
+let all_categories = [ AR; GC; CT; SD; LT; EC; DC ]
+
+let category_to_string = function
+  | AR -> "AR"
+  | GC -> "GC"
+  | CT -> "CT"
+  | SD -> "SD"
+  | LT -> "LT"
+  | EC -> "EC"
+  | DC -> "DC"
+
+let category_name = function
+  | AR -> "Actuator Race"
+  | GC -> "Goal Conflict"
+  | CT -> "Covert Triggering"
+  | SD -> "Self Disabling"
+  | LT -> "Loop Triggering"
+  | EC -> "Enabling-Condition Interference"
+  | DC -> "Disabling-Condition Interference"
+
+(** Categories are directional except AR, GC and LT: the threat record
+    always reads "rule1 interferes with rule2". *)
+let is_directional = function CT | SD | EC | DC -> true | AR | GC | LT -> false
+
+type t = {
+  category : category;
+  app1 : Rule.smartapp;
+  rule1 : Rule.t;
+  app2 : Rule.smartapp;
+  rule2 : Rule.t;
+  witness : Homeguard_solver.Search.model option;
+      (** a concrete situation in which the interference manifests *)
+  detail : string;  (** which devices/goals/attributes are involved *)
+}
+
+let make category (app1, rule1) (app2, rule2) ?witness detail =
+  { category; app1; rule1; app2; rule2; witness; detail }
+
+let to_string t =
+  Printf.sprintf "[%s] %s <-> %s: %s"
+    (category_to_string t.category)
+    t.rule1.Rule.rule_id t.rule2.Rule.rule_id t.detail

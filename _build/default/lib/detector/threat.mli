@@ -1,0 +1,32 @@
+(** CAI threat categories (paper Table I) and detection reports. *)
+
+module Rule = Homeguard_rules.Rule
+
+type category = AR | GC | CT | SD | LT | EC | DC
+
+val all_categories : category list
+val category_to_string : category -> string
+val category_name : category -> string
+
+val is_directional : category -> bool
+(** CT/SD/EC/DC read "rule1 interferes with rule2". *)
+
+type t = {
+  category : category;
+  app1 : Rule.smartapp;
+  rule1 : Rule.t;
+  app2 : Rule.smartapp;
+  rule2 : Rule.t;
+  witness : Homeguard_solver.Search.model option;
+  detail : string;
+}
+
+val make :
+  category ->
+  Rule.smartapp * Rule.t ->
+  Rule.smartapp * Rule.t ->
+  ?witness:Homeguard_solver.Search.model ->
+  string ->
+  t
+
+val to_string : t -> string

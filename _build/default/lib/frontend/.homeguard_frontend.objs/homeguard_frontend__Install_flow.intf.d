@@ -1,0 +1,1 @@
+lib/frontend/install_flow.mli: Homeguard_detector Homeguard_rules

@@ -1,0 +1,1 @@
+lib/frontend/rule_interpreter.ml: Homeguard_rules Homeguard_solver List Printf String

@@ -1,0 +1,1 @@
+lib/frontend/rule_interpreter.mli: Homeguard_rules Homeguard_solver

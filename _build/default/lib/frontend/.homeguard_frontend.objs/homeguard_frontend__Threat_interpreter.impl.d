@@ -1,0 +1,1 @@
+lib/frontend/threat_interpreter.ml: Buffer Homeguard_detector Homeguard_rules Homeguard_solver List Option Printf String

@@ -1,0 +1,71 @@
+(** The one-time install-time decision flow (paper §IV-C, §VIII-D1).
+
+    When a new app is installed: configuration arrives from the
+    instrumented app, rules are fetched from the backend, threats are
+    detected against everything already installed, and the user makes a
+    single keep/reject/reconfigure decision. Accepted threat pairs join
+    the Allowed list so future installs can detect chained threats. *)
+
+module Rule = Homeguard_rules.Rule
+module Rule_db = Homeguard_rules.Rule_db
+module Detector = Homeguard_detector.Detector
+module Threat = Homeguard_detector.Threat
+module Chain = Homeguard_detector.Chain
+
+type decision = Keep | Reject | Reconfigure
+
+type report = {
+  app : Rule.smartapp;
+  rules_text : string;  (** rule interpreter output *)
+  threats : Threat.t list;
+  chains : Chain.chain list;
+  threats_text : string;  (** threat interpreter output *)
+}
+
+type t = {
+  db : Rule_db.t;
+  allowed : Chain.t;
+  mutable pending : report option;
+  detector_config : Detector.config;
+}
+
+let create ?(detector_config = Detector.offline_config) () =
+  { db = Rule_db.create (); allowed = Chain.create (); pending = None; detector_config }
+
+(** Step 1-3: collect config (already folded into [detector_config] when
+    using a {!Homeguard_config.Recorder}), fetch rules, detect threats.
+    Returns the report to present to the user. *)
+let propose t (app : Rule.smartapp) =
+  let ctx = Detector.create t.detector_config in
+  let threats = Detector.detect_new_app ctx t.db app in
+  let chains = Chain.find_chains t.allowed threats in
+  let report =
+    {
+      app;
+      rules_text = Rule_interpreter.describe_app app;
+      threats;
+      chains;
+      threats_text = Threat_interpreter.describe_all threats;
+    }
+  in
+  t.pending <- Some report;
+  report
+
+exception No_pending_install
+
+(** Step 4: the user's one-time decision. [Keep] installs the app and
+    records its threat pairs as allowed; [Reject] discards it;
+    [Reconfigure] discards the proposal so the user can re-run with a
+    different configuration. *)
+let decide t decision =
+  match t.pending with
+  | None -> raise No_pending_install
+  | Some report ->
+    t.pending <- None;
+    (match decision with
+    | Keep ->
+      ignore (Rule_db.install t.db report.app);
+      Chain.allow t.allowed report.threats
+    | Reject | Reconfigure -> ())
+
+let installed_apps t = Rule_db.installed_apps t.db

@@ -1,0 +1,29 @@
+(** The one-time install-time decision flow (paper §IV-C, §VIII-D1). *)
+
+module Rule = Homeguard_rules.Rule
+
+type decision = Keep | Reject | Reconfigure
+
+type report = {
+  app : Rule.smartapp;
+  rules_text : string;
+  threats : Homeguard_detector.Threat.t list;
+  chains : Homeguard_detector.Chain.chain list;
+  threats_text : string;
+}
+
+type t
+
+exception No_pending_install
+
+val create : ?detector_config:Homeguard_detector.Detector.config -> unit -> t
+
+val propose : t -> Rule.smartapp -> report
+(** Detect threats against the installed home; the report is what the
+    user sees. *)
+
+val decide : t -> decision -> unit
+(** [Keep] installs and records the threat pairs as allowed; [Reject]
+    and [Reconfigure] discard the proposal. *)
+
+val installed_apps : t -> Rule.smartapp list

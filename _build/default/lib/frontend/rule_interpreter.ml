@@ -1,0 +1,105 @@
+(** Rule interpreter: render extracted rules in a human-readable form so
+    users "can check if the app itself will behave as it claims"
+    (paper §IV-C, Fig 7b). *)
+
+module Rule = Homeguard_rules.Rule
+module Term = Homeguard_solver.Term
+module Formula = Homeguard_solver.Formula
+
+let describe_var var =
+  match String.rindex_opt var '.' with
+  | Some i ->
+    let base = String.sub var 0 i in
+    let attr = String.sub var (i + 1) (String.length var - i - 1) in
+    if base = "location" then "the home's " ^ attr
+    else if base = "time" then "the time"
+    else Printf.sprintf "the %s of %s" attr base
+  | None -> var
+
+let rec describe_term = function
+  | Term.Int n -> string_of_int n
+  | Term.Str s -> s
+  | Term.Var v -> describe_var v
+  | Term.Add (a, b) -> describe_term a ^ " + " ^ describe_term b
+  | Term.Sub (a, b) -> describe_term a ^ " - " ^ describe_term b
+  | Term.Mul (a, b) -> describe_term a ^ " * " ^ describe_term b
+  | Term.Neg a -> "-" ^ describe_term a
+
+let describe_cmp = function
+  | Formula.Eq -> "is"
+  | Formula.Neq -> "is not"
+  | Formula.Lt -> "is below"
+  | Formula.Le -> "is at most"
+  | Formula.Gt -> "is above"
+  | Formula.Ge -> "is at least"
+
+let rec describe_formula = function
+  | Formula.True -> "always"
+  | Formula.False -> "never"
+  | Formula.Atom (cmp, a, b) ->
+    Printf.sprintf "%s %s %s" (describe_term a) (describe_cmp cmp) (describe_term b)
+  | Formula.And fs -> String.concat " and " (List.map describe_formula fs)
+  | Formula.Or fs -> "either " ^ String.concat " or " (List.map describe_formula fs)
+  | Formula.Not f -> "not (" ^ describe_formula f ^ ")"
+
+let describe_trigger = function
+  | Rule.Event { subject; attribute; constraint_ } ->
+    let subject_str =
+      match subject with
+      | Rule.Device var -> var
+      | Rule.Location -> "the home"
+      | Rule.App_touch -> "the app button"
+    in
+    let base = Printf.sprintf "when %s's %s changes" subject_str attribute in
+    (match constraint_ with
+    | Formula.True -> base
+    | f -> Printf.sprintf "when %s" (describe_formula f))
+  | Rule.Scheduled { at_minutes = Some m; _ } ->
+    Printf.sprintf "every day at %02d:%02d" (m / 60) (m mod 60)
+  | Rule.Scheduled { period_seconds = Some p; _ } ->
+    if p mod 3600 = 0 then Printf.sprintf "every %d hour(s)" (p / 3600)
+    else Printf.sprintf "every %d minute(s)" (p / 60)
+  | Rule.Scheduled { at_minutes = None; period_seconds = None } -> "at a scheduled time"
+
+let describe_command (a : Rule.action) =
+  let cmd =
+    match (a.Rule.command, a.Rule.params) with
+    | "setLocationMode", Term.Str m :: _ -> Printf.sprintf "set the home mode to %s" m
+    | ("sendSms" | "sendSmsMessage"), _ -> "send an SMS"
+    | ("sendPush" | "sendPushMessage" | "sendNotification"), _ -> "send a notification"
+    | cmd, [] -> (
+      match a.Rule.target with
+      | Rule.Act_device var -> Printf.sprintf "%s %s" cmd var
+      | _ -> cmd)
+    | cmd, params ->
+      let args = String.concat ", " (List.map describe_term params) in
+      (match a.Rule.target with
+      | Rule.Act_device var -> Printf.sprintf "%s %s to %s" cmd var args
+      | _ -> Printf.sprintf "%s(%s)" cmd args)
+  in
+  let timing =
+    (if a.Rule.when_ > 0 then Printf.sprintf " after %d seconds" a.Rule.when_ else "")
+    ^
+    if a.Rule.period > 0 then Printf.sprintf " (repeating every %d seconds)" a.Rule.period
+    else ""
+  in
+  cmd ^ timing
+
+(** One-sentence description of a rule. *)
+let describe (rule : Rule.t) =
+  let trigger = describe_trigger rule.Rule.trigger in
+  let condition =
+    match rule.Rule.condition.Rule.predicate with
+    | Formula.True -> ""
+    | f -> ", if " ^ describe_formula f
+  in
+  let actions = String.concat " and " (List.map describe_command rule.Rule.actions) in
+  Printf.sprintf "%s%s, then %s." (String.capitalize_ascii trigger) condition actions
+
+(** All rules of an app, numbered. *)
+let describe_app (app : Rule.smartapp) =
+  match app.Rule.rules with
+  | [] -> Printf.sprintf "%s defines no automation rules." app.Rule.name
+  | rules ->
+    String.concat "\n"
+      (List.mapi (fun i r -> Printf.sprintf "  R%d. %s" (i + 1) (describe r)) rules)

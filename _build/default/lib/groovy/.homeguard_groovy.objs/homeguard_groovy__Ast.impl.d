@@ -1,0 +1,1 @@
+lib/groovy/ast.ml: List

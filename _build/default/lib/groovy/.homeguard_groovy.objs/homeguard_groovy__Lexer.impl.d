@@ -1,0 +1,1 @@
+lib/groovy/lexer.ml: Buffer List Printf String Token

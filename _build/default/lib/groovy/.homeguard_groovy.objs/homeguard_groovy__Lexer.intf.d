@@ -1,0 +1,1 @@
+lib/groovy/lexer.mli: Token

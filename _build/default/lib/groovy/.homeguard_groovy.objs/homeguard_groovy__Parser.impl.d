@@ -1,0 +1,1 @@
+lib/groovy/parser.ml: Array Ast Lexer List Printf String Token

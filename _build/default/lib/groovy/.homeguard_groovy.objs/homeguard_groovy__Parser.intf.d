@@ -1,0 +1,1 @@
+lib/groovy/parser.mli: Ast

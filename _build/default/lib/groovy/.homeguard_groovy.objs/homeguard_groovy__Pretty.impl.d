@@ -1,0 +1,1 @@
+lib/groovy/pretty.ml: Ast Buffer List Printf String

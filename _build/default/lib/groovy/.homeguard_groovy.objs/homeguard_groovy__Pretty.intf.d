@@ -1,0 +1,1 @@
+lib/groovy/pretty.mli: Ast

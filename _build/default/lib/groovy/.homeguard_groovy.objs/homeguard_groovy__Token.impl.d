@@ -1,0 +1,1 @@
+lib/groovy/token.ml: List Printf String

@@ -1,0 +1,160 @@
+(** Abstract syntax tree for the SmartApp Groovy subset.
+
+    The subset covers the sandboxed language SmartApps are written in
+    (paper §VIII-D2): method definitions, closures, command-style calls
+    (`input "tv1", "capability.switch", title: "..."`), conditionals,
+    switch, loops over collections, GString interpolation, maps, lists,
+    ranges, and the usual expression operators including safe navigation
+    and elvis. Polymorphic structural equality is valid on all AST types
+    (no functional or cyclic components). *)
+
+type lit =
+  | Int of int
+  | Float of float
+  | Str of string
+  | Bool of bool
+  | Null
+
+type binop =
+  | Add
+  | Sub
+  | Mul
+  | Div
+  | Mod
+  | Eq
+  | Neq
+  | Lt
+  | Le
+  | Gt
+  | Ge
+  | And
+  | Or
+  | In_op  (** [x in collection] *)
+  | Elvis  (** [a ?: b] *)
+
+type unop = Not | Neg
+
+type expr =
+  | Lit of lit
+  | Gstring of gpart list  (** double-quoted string with interpolation *)
+  | Ident of string
+  | List_lit of expr list
+  | Map_lit of (string * expr) list
+  | Range of expr * expr  (** [a..b] *)
+  | Binop of binop * expr * expr
+  | Unop of unop * expr
+  | Ternary of expr * expr * expr
+  | Prop of expr * string  (** [e.name] *)
+  | Safe_prop of expr * string  (** [e?.name] *)
+  | Index of expr * expr  (** [e[k]] *)
+  | Call of expr option * string * arg list
+      (** [recv.name(args)] or [name(args)]; trailing closures appear as
+          the final positional argument *)
+  | Closure of string list * stmt list
+      (** [{ p1, p2 -> body }]; empty params means implicit [it] *)
+  | Assign of expr * expr  (** lvalue = rhs (compound ops are desugared) *)
+  | New of string * arg list
+
+and gpart = Text of string | Interp of expr
+
+and arg = Pos of expr | Named of string * expr
+
+and stmt =
+  | Expr_stmt of expr
+  | Def_var of string * expr option  (** [def x = e] *)
+  | If of expr * stmt list * stmt list
+  | Switch of expr * case list
+  | Return of expr option
+  | For_in of string * expr * stmt list  (** [for (x in e) { ... }] *)
+  | While of expr * stmt list
+  | Break
+  | Continue
+  | Try of stmt list * string * stmt list  (** try body / catch (e) body *)
+
+and case = Case of expr * stmt list | Default of stmt list
+
+type method_def = { name : string; params : string list; body : stmt list }
+
+type top = Method of method_def | Top_stmt of stmt
+
+type program = top list
+
+(** [methods prog] returns all method definitions in declaration order. *)
+let methods prog =
+  List.filter_map (function Method m -> Some m | Top_stmt _ -> None) prog
+
+(** [find_method prog name] looks up a method definition by name. *)
+let find_method prog name =
+  List.find_opt (fun (m : method_def) -> m.name = name) (methods prog)
+
+(** [top_stmts prog] returns all top-level statements in order. *)
+let top_stmts prog =
+  List.filter_map (function Top_stmt s -> Some s | Method _ -> None) prog
+
+(** Fold [f] over every expression in a statement list, visiting
+    subexpressions of closures and nested statements too. *)
+let rec fold_exprs_stmts f acc stmts = List.fold_left (fold_exprs_stmt f) acc stmts
+
+and fold_exprs_stmt f acc = function
+  | Expr_stmt e -> fold_exprs_expr f acc e
+  | Def_var (_, Some e) -> fold_exprs_expr f acc e
+  | Def_var (_, None) -> acc
+  | If (c, t, e) ->
+    let acc = fold_exprs_expr f acc c in
+    let acc = fold_exprs_stmts f acc t in
+    fold_exprs_stmts f acc e
+  | Switch (e, cases) ->
+    let acc = fold_exprs_expr f acc e in
+    List.fold_left
+      (fun acc -> function
+        | Case (e, body) -> fold_exprs_stmts f (fold_exprs_expr f acc e) body
+        | Default body -> fold_exprs_stmts f acc body)
+      acc cases
+  | Return (Some e) -> fold_exprs_expr f acc e
+  | Return None -> acc
+  | For_in (_, e, body) -> fold_exprs_stmts f (fold_exprs_expr f acc e) body
+  | While (c, body) -> fold_exprs_stmts f (fold_exprs_expr f acc c) body
+  | Break | Continue -> acc
+  | Try (body, _, handler) ->
+    fold_exprs_stmts f (fold_exprs_stmts f acc body) handler
+
+and fold_exprs_expr f acc e =
+  let acc = f acc e in
+  match e with
+  | Lit _ | Ident _ -> acc
+  | Gstring parts ->
+    List.fold_left
+      (fun acc -> function Text _ -> acc | Interp e -> fold_exprs_expr f acc e)
+      acc parts
+  | List_lit es -> List.fold_left (fold_exprs_expr f) acc es
+  | Map_lit kvs -> List.fold_left (fun acc (_, e) -> fold_exprs_expr f acc e) acc kvs
+  | Range (a, b) | Binop (_, a, b) | Index (a, b) | Assign (a, b) ->
+    fold_exprs_expr f (fold_exprs_expr f acc a) b
+  | Unop (_, e) | Prop (e, _) | Safe_prop (e, _) -> fold_exprs_expr f acc e
+  | Ternary (a, b, c) ->
+    fold_exprs_expr f (fold_exprs_expr f (fold_exprs_expr f acc a) b) c
+  | Call (recv, _, args) ->
+    let acc = match recv with Some r -> fold_exprs_expr f acc r | None -> acc in
+    List.fold_left
+      (fun acc -> function Pos e | Named (_, e) -> fold_exprs_expr f acc e)
+      acc args
+  | Closure (_, body) -> fold_exprs_stmts f acc body
+  | New (_, args) ->
+    List.fold_left
+      (fun acc -> function Pos e | Named (_, e) -> fold_exprs_expr f acc e)
+      acc args
+
+(** All calls [(receiver, name, args)] appearing anywhere in the program. *)
+let all_calls prog =
+  let collect acc = function
+    | Call (recv, name, args) -> (recv, name, args) :: acc
+    | _ -> acc
+  in
+  let acc =
+    List.fold_left
+      (fun acc -> function
+        | Method m -> fold_exprs_stmts collect acc m.body
+        | Top_stmt s -> fold_exprs_stmt collect acc s)
+      [] prog
+  in
+  List.rev acc

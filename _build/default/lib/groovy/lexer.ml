@@ -1,0 +1,405 @@
+(** Lexer for the SmartApp Groovy subset.
+
+    Groovy is newline-sensitive: a newline terminates a statement unless
+    the statement is obviously unfinished. We resolve this entirely in the
+    lexer: a newline is suppressed (not emitted) when it occurs inside an
+    open paren/bracket or when the previous significant token cannot end a
+    statement (operator, comma, dot, opening brace, [else], ...). The
+    parser then only ever sees meaningful NEWLINE tokens, which it treats
+    like semicolons. *)
+
+exception Error of string * int  (** message, line *)
+
+type located = { tok : Token.t; line : int }
+
+let error line fmt = Printf.ksprintf (fun m -> raise (Error (m, line))) fmt
+
+let is_digit c = c >= '0' && c <= '9'
+let is_ident_start c = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_' || c = '$'
+let is_ident_char c = is_ident_start c || is_digit c
+
+(* Can the given token end a statement? If not, a following newline is
+   just line continuation. *)
+let ends_statement = function
+  | Token.INT _ | Token.FLOAT _ | Token.STRING _ | Token.DSTRING _
+  | Token.IDENT _ | Token.KW_TRUE | Token.KW_FALSE | Token.KW_NULL
+  | Token.KW_BREAK | Token.KW_CONTINUE | Token.KW_RETURN | Token.RPAREN
+  | Token.RBRACE | Token.RBRACKET | Token.PLUS_PLUS | Token.MINUS_MINUS ->
+    true
+  | _ -> false
+
+type state = {
+  src : string;
+  mutable pos : int;
+  mutable line : int;
+  mutable depth : int;  (** nesting of ( and [ — newlines suppressed inside *)
+  mutable last : Token.t option;  (** last significant token emitted *)
+  mutable toks : located list;  (** accumulated tokens, reversed *)
+}
+
+let peek st ofs = if st.pos + ofs < String.length st.src then Some st.src.[st.pos + ofs] else None
+let cur st = peek st 0
+
+let advance st = st.pos <- st.pos + 1
+
+let emit st tok =
+  (match tok with
+  | Token.LPAREN | Token.LBRACKET -> st.depth <- st.depth + 1
+  | Token.RPAREN | Token.RBRACKET -> st.depth <- max 0 (st.depth - 1)
+  | _ -> ());
+  st.last <- Some tok;
+  st.toks <- { tok; line = st.line } :: st.toks
+
+let emit_newline st =
+  let suppress =
+    st.depth > 0
+    ||
+    match st.last with
+    | None | Some Token.NEWLINE -> true
+    | Some t -> not (ends_statement t)
+  in
+  if not suppress then begin
+    st.toks <- { tok = Token.NEWLINE; line = st.line } :: st.toks;
+    st.last <- Some Token.NEWLINE
+  end
+
+let lex_line_comment st =
+  let rec go () =
+    match cur st with
+    | Some '\n' | None -> ()
+    | Some _ ->
+      advance st;
+      go ()
+  in
+  go ()
+
+let lex_block_comment st =
+  let rec go () =
+    match (cur st, peek st 1) with
+    | Some '*', Some '/' ->
+      advance st;
+      advance st
+    | Some '\n', _ ->
+      st.line <- st.line + 1;
+      advance st;
+      go ()
+    | Some _, _ ->
+      advance st;
+      go ()
+    | None, _ -> error st.line "unterminated block comment"
+  in
+  go ()
+
+let lex_number st =
+  let start = st.pos in
+  let rec digits () =
+    match cur st with
+    | Some c when is_digit c ->
+      advance st;
+      digits ()
+    | _ -> ()
+  in
+  digits ();
+  let is_float =
+    match (cur st, peek st 1) with
+    | Some '.', Some c when is_digit c ->
+      advance st;
+      digits ();
+      true
+    | _ -> false
+  in
+  let text = String.sub st.src start (st.pos - start) in
+  if is_float then emit st (Token.FLOAT (float_of_string text))
+  else emit st (Token.INT (int_of_string text))
+
+(* Single-quoted string: plain, supports \' \\ \n \t escapes. *)
+let lex_sq_string st =
+  advance st;
+  let buf = Buffer.create 16 in
+  let rec go () =
+    match cur st with
+    | None -> error st.line "unterminated string"
+    | Some '\'' -> advance st
+    | Some '\\' -> (
+      advance st;
+      match cur st with
+      | Some 'n' ->
+        Buffer.add_char buf '\n';
+        advance st;
+        go ()
+      | Some 't' ->
+        Buffer.add_char buf '\t';
+        advance st;
+        go ()
+      | Some c ->
+        Buffer.add_char buf c;
+        advance st;
+        go ()
+      | None -> error st.line "unterminated string escape")
+    | Some '\n' -> error st.line "newline in string literal"
+    | Some c ->
+      Buffer.add_char buf c;
+      advance st;
+      go ()
+  in
+  go ();
+  emit st (Token.STRING (Buffer.contents buf))
+
+(* Double-quoted GString with ${expr} and $ident interpolation. *)
+let lex_dq_string st =
+  advance st;
+  let parts = ref [] in
+  let buf = Buffer.create 16 in
+  let flush_text () =
+    if Buffer.length buf > 0 then begin
+      parts := Token.G_text (Buffer.contents buf) :: !parts;
+      Buffer.clear buf
+    end
+  in
+  let rec go () =
+    match cur st with
+    | None -> error st.line "unterminated string"
+    | Some '"' -> advance st
+    | Some '\\' -> (
+      advance st;
+      match cur st with
+      | Some 'n' ->
+        Buffer.add_char buf '\n';
+        advance st;
+        go ()
+      | Some 't' ->
+        Buffer.add_char buf '\t';
+        advance st;
+        go ()
+      | Some c ->
+        Buffer.add_char buf c;
+        advance st;
+        go ()
+      | None -> error st.line "unterminated string escape")
+    | Some '$' when peek st 1 = Some '{' ->
+      flush_text ();
+      advance st;
+      advance st;
+      let start = st.pos in
+      let depth = ref 1 in
+      let rec scan () =
+        match cur st with
+        | None -> error st.line "unterminated interpolation"
+        | Some '{' ->
+          incr depth;
+          advance st;
+          scan ()
+        | Some '}' ->
+          decr depth;
+          if !depth = 0 then ()
+          else begin
+            advance st;
+            scan ()
+          end
+        | Some '\n' ->
+          st.line <- st.line + 1;
+          advance st;
+          scan ()
+        | Some _ ->
+          advance st;
+          scan ()
+      in
+      scan ();
+      parts := Token.G_code (String.sub st.src start (st.pos - start)) :: !parts;
+      advance st;
+      go ()
+    | Some '$' when (match peek st 1 with Some c -> is_ident_start c | None -> false) ->
+      flush_text ();
+      advance st;
+      let start = st.pos in
+      let rec scan () =
+        match cur st with
+        | Some c when is_ident_char c || c = '.' ->
+          (* $a.b.c style property interpolation *)
+          advance st;
+          scan ()
+        | _ -> ()
+      in
+      scan ();
+      parts := Token.G_code (String.sub st.src start (st.pos - start)) :: !parts;
+      go ()
+    | Some '\n' -> error st.line "newline in string literal"
+    | Some c ->
+      Buffer.add_char buf c;
+      advance st;
+      go ()
+  in
+  go ();
+  flush_text ();
+  emit st (Token.DSTRING (List.rev !parts))
+
+let lex_ident st =
+  let start = st.pos in
+  let rec go () =
+    match cur st with
+    | Some c when is_ident_char c ->
+      advance st;
+      go ()
+    | _ -> ()
+  in
+  go ();
+  let text = String.sub st.src start (st.pos - start) in
+  match Token.keyword_of_string text with
+  | Some kw -> emit st kw
+  | None -> emit st (Token.IDENT text)
+
+let rec lex_token st =
+  match cur st with
+  | None -> ()
+  | Some c ->
+    (match c with
+    | ' ' | '\t' | '\r' -> advance st
+    | '\n' ->
+      advance st;
+      emit_newline st;
+      st.line <- st.line + 1
+    | '/' when peek st 1 = Some '/' -> lex_line_comment st
+    | '/' when peek st 1 = Some '*' ->
+      advance st;
+      advance st;
+      lex_block_comment st
+    | '\'' -> lex_sq_string st
+    | '"' -> lex_dq_string st
+    | c when is_digit c -> lex_number st
+    | c when is_ident_start c -> lex_ident st
+    | '(' ->
+      advance st;
+      emit st Token.LPAREN
+    | ')' ->
+      advance st;
+      emit st Token.RPAREN
+    | '{' ->
+      advance st;
+      emit st Token.LBRACE
+    | '}' ->
+      advance st;
+      emit st Token.RBRACE
+    | '[' ->
+      advance st;
+      emit st Token.LBRACKET
+    | ']' ->
+      advance st;
+      emit st Token.RBRACKET
+    | ',' ->
+      advance st;
+      emit st Token.COMMA
+    | ';' ->
+      advance st;
+      emit st Token.SEMI
+    | ':' ->
+      advance st;
+      emit st Token.COLON
+    | '.' ->
+      advance st;
+      if cur st = Some '.' then begin
+        advance st;
+        emit st Token.DOTDOT
+      end
+      else emit st Token.DOT
+    | '?' -> (
+      advance st;
+      match cur st with
+      | Some '.' ->
+        advance st;
+        emit st Token.SAFE_DOT
+      | Some ':' ->
+        advance st;
+        emit st Token.ELVIS
+      | _ -> emit st Token.QUESTION)
+    | '=' ->
+      advance st;
+      if cur st = Some '=' then begin
+        advance st;
+        emit st Token.EQ
+      end
+      else emit st Token.ASSIGN
+    | '!' ->
+      advance st;
+      if cur st = Some '=' then begin
+        advance st;
+        emit st Token.NEQ
+      end
+      else emit st Token.BANG
+    | '<' ->
+      advance st;
+      if cur st = Some '=' then begin
+        advance st;
+        emit st Token.LE
+      end
+      else emit st Token.LT
+    | '>' ->
+      advance st;
+      if cur st = Some '=' then begin
+        advance st;
+        emit st Token.GE
+      end
+      else emit st Token.GT
+    | '+' -> (
+      advance st;
+      match cur st with
+      | Some '+' ->
+        advance st;
+        emit st Token.PLUS_PLUS
+      | Some '=' ->
+        advance st;
+        emit st Token.PLUS_ASSIGN
+      | _ -> emit st Token.PLUS)
+    | '-' -> (
+      advance st;
+      match cur st with
+      | Some '-' ->
+        advance st;
+        emit st Token.MINUS_MINUS
+      | Some '=' ->
+        advance st;
+        emit st Token.MINUS_ASSIGN
+      | Some '>' ->
+        advance st;
+        emit st Token.ARROW
+      | _ -> emit st Token.MINUS)
+    | '*' ->
+      advance st;
+      if cur st = Some '=' then begin
+        advance st;
+        emit st Token.STAR_ASSIGN
+      end
+      else emit st Token.STAR
+    | '/' ->
+      advance st;
+      if cur st = Some '=' then begin
+        advance st;
+        emit st Token.SLASH_ASSIGN
+      end
+      else emit st Token.SLASH
+    | '%' ->
+      advance st;
+      emit st Token.PERCENT
+    | '&' ->
+      advance st;
+      if cur st = Some '&' then begin
+        advance st;
+        emit st Token.AND_AND
+      end
+      else error st.line "unexpected character '&'"
+    | '|' ->
+      advance st;
+      if cur st = Some '|' then begin
+        advance st;
+        emit st Token.OR_OR
+      end
+      else error st.line "unexpected character '|'"
+    | c -> error st.line "unexpected character %C" c);
+    lex_token st
+
+(** Tokenize a complete source string. The resulting stream always ends
+    with an [EOF] token. *)
+let tokenize src =
+  let st = { src; pos = 0; line = 1; depth = 0; last = None; toks = [] } in
+  lex_token st;
+  st.toks <- { tok = Token.EOF; line = st.line } :: st.toks;
+  List.rev st.toks

@@ -1,0 +1,13 @@
+(** Lexer for the SmartApp Groovy subset.
+
+    Newline-sensitivity is resolved here: newlines inside brackets or
+    after tokens that cannot end a statement are suppressed, so the
+    parser only sees meaningful [NEWLINE] tokens. *)
+
+exception Error of string * int
+(** Message and 1-based line number. *)
+
+type located = { tok : Token.t; line : int }
+
+val tokenize : string -> located list
+(** Tokenize a complete source string; always ends with [EOF]. *)

@@ -1,0 +1,16 @@
+(** Recursive-descent parser for the SmartApp Groovy subset: method
+    definitions, command-style calls, trailing closures, named
+    arguments, GString interpolation, switch/case, safe navigation. *)
+
+exception Error of string * int
+(** Message and 1-based line number. *)
+
+val parse : string -> Ast.program
+(** Parse a complete SmartApp source string. *)
+
+val parse_expr_string : string -> Ast.expr
+(** Parse a standalone expression (used for GString holes). *)
+
+val parse_stmt : string -> Ast.stmt
+(** Parse a source string containing exactly one statement.
+    @raise Invalid_argument otherwise. *)

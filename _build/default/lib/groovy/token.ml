@@ -1,0 +1,163 @@
+(** Lexical tokens of the SmartApp Groovy subset.
+
+    The lexer produces a flat token stream; double-quoted strings keep
+    their interpolation holes as raw source text ([G_code]) which the
+    parser re-enters to parse as expressions. *)
+
+type gpart =
+  | G_text of string  (** literal text between interpolation holes *)
+  | G_code of string  (** raw source of a [${...}] or [$ident] hole *)
+
+type t =
+  | INT of int
+  | FLOAT of float
+  | STRING of string  (** single-quoted: no interpolation *)
+  | DSTRING of gpart list  (** double-quoted GString *)
+  | IDENT of string
+  (* keywords *)
+  | KW_DEF
+  | KW_IF
+  | KW_ELSE
+  | KW_SWITCH
+  | KW_CASE
+  | KW_DEFAULT
+  | KW_RETURN
+  | KW_TRUE
+  | KW_FALSE
+  | KW_NULL
+  | KW_FOR
+  | KW_WHILE
+  | KW_IN
+  | KW_BREAK
+  | KW_CONTINUE
+  | KW_NEW
+  | KW_TRY
+  | KW_CATCH
+  (* punctuation and operators *)
+  | LPAREN
+  | RPAREN
+  | LBRACE
+  | RBRACE
+  | LBRACKET
+  | RBRACKET
+  | COMMA
+  | SEMI
+  | NEWLINE
+  | DOT
+  | SAFE_DOT  (** [?.] *)
+  | COLON
+  | QUESTION
+  | ELVIS  (** [?:] *)
+  | ARROW  (** [->] *)
+  | ASSIGN
+  | PLUS_ASSIGN
+  | MINUS_ASSIGN
+  | STAR_ASSIGN
+  | SLASH_ASSIGN
+  | PLUS_PLUS
+  | MINUS_MINUS
+  | EQ
+  | NEQ
+  | LT
+  | LE
+  | GT
+  | GE
+  | PLUS
+  | MINUS
+  | STAR
+  | SLASH
+  | PERCENT
+  | BANG
+  | AND_AND
+  | OR_OR
+  | DOTDOT  (** range [a..b] *)
+  | EOF
+
+let keyword_of_string = function
+  | "def" -> Some KW_DEF
+  | "if" -> Some KW_IF
+  | "else" -> Some KW_ELSE
+  | "switch" -> Some KW_SWITCH
+  | "case" -> Some KW_CASE
+  | "default" -> Some KW_DEFAULT
+  | "return" -> Some KW_RETURN
+  | "true" -> Some KW_TRUE
+  | "false" -> Some KW_FALSE
+  | "null" -> Some KW_NULL
+  | "for" -> Some KW_FOR
+  | "while" -> Some KW_WHILE
+  | "in" -> Some KW_IN
+  | "break" -> Some KW_BREAK
+  | "continue" -> Some KW_CONTINUE
+  | "new" -> Some KW_NEW
+  | "try" -> Some KW_TRY
+  | "catch" -> Some KW_CATCH
+  | _ -> None
+
+let to_string = function
+  | INT n -> string_of_int n
+  | FLOAT f -> string_of_float f
+  | STRING s -> Printf.sprintf "'%s'" s
+  | DSTRING parts ->
+    let part = function
+      | G_text s -> s
+      | G_code s -> "${" ^ s ^ "}"
+    in
+    Printf.sprintf "\"%s\"" (String.concat "" (List.map part parts))
+  | IDENT s -> s
+  | KW_DEF -> "def"
+  | KW_IF -> "if"
+  | KW_ELSE -> "else"
+  | KW_SWITCH -> "switch"
+  | KW_CASE -> "case"
+  | KW_DEFAULT -> "default"
+  | KW_RETURN -> "return"
+  | KW_TRUE -> "true"
+  | KW_FALSE -> "false"
+  | KW_NULL -> "null"
+  | KW_FOR -> "for"
+  | KW_WHILE -> "while"
+  | KW_IN -> "in"
+  | KW_BREAK -> "break"
+  | KW_CONTINUE -> "continue"
+  | KW_NEW -> "new"
+  | KW_TRY -> "try"
+  | KW_CATCH -> "catch"
+  | LPAREN -> "("
+  | RPAREN -> ")"
+  | LBRACE -> "{"
+  | RBRACE -> "}"
+  | LBRACKET -> "["
+  | RBRACKET -> "]"
+  | COMMA -> ","
+  | SEMI -> ";"
+  | NEWLINE -> "<newline>"
+  | DOT -> "."
+  | SAFE_DOT -> "?."
+  | COLON -> ":"
+  | QUESTION -> "?"
+  | ELVIS -> "?:"
+  | ARROW -> "->"
+  | ASSIGN -> "="
+  | PLUS_ASSIGN -> "+="
+  | MINUS_ASSIGN -> "-="
+  | STAR_ASSIGN -> "*="
+  | SLASH_ASSIGN -> "/="
+  | PLUS_PLUS -> "++"
+  | MINUS_MINUS -> "--"
+  | EQ -> "=="
+  | NEQ -> "!="
+  | LT -> "<"
+  | LE -> "<="
+  | GT -> ">"
+  | GE -> ">="
+  | PLUS -> "+"
+  | MINUS -> "-"
+  | STAR -> "*"
+  | SLASH -> "/"
+  | PERCENT -> "%"
+  | BANG -> "!"
+  | AND_AND -> "&&"
+  | OR_OR -> "||"
+  | DOTDOT -> ".."
+  | EOF -> "<eof>"

@@ -1,0 +1,1 @@
+lib/ifttt/ifttt.ml: Hashtbl Homeguard_rules Homeguard_solver Homeguard_st Homeguard_symexec List Option Printf String

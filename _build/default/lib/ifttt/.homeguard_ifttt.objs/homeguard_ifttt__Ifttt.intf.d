@@ -1,0 +1,1 @@
+lib/ifttt/ifttt.mli: Homeguard_rules

@@ -1,0 +1,245 @@
+(** IFTTT-style template rules (paper §VIII-D4, Table IV).
+
+    IFTTT defines automation by templates rather than programs; the
+    paper notes such rules "can be extracted by crawling text data on
+    the related pages" — no symbolic execution needed. This module
+    parses a small applet grammar modeled on IFTTT recipe titles and
+    lowers applets into the same {!Homeguard_rules.Rule} IR the
+    SmartApp extractor produces, so the threat detector is platform
+    independent exactly as the paper claims.
+
+    Grammar (case-insensitive keywords, one applet per line):
+    {v
+    IF <device>.<attribute> IS <value>
+      [WHILE <device>.<attribute> IS <value>]...
+      THEN <device> DO <command> [WITH <arg>]
+    IF <device>.<attribute> IS <value> THEN MODE <mode>
+    EVERY DAY AT <HH:MM> THEN <device> DO <command> [WITH <arg>]
+    v} *)
+
+module Rule = Homeguard_rules.Rule
+module Formula = Homeguard_solver.Formula
+module Term = Homeguard_solver.Term
+module Capability = Homeguard_st.Capability
+
+type trigger_template =
+  | On_state of { device : string; attribute : string; value : string }
+  | Daily_at of int  (** minutes after midnight *)
+
+type action_template =
+  | Do_command of { device : string; command : string; arg : string option }
+  | Set_mode of string
+
+type applet = {
+  applet_name : string;
+  trigger : trigger_template;
+  filters : (string * string * string) list;  (** device, attribute, value *)
+  action : action_template;
+}
+
+exception Parse_error of string
+
+let fail fmt = Printf.ksprintf (fun m -> raise (Parse_error m)) fmt
+
+(* -- applet text parsing --------------------------------------------------- *)
+
+let tokenize line =
+  String.split_on_char ' ' line |> List.filter (fun t -> t <> "")
+
+let keyword t k = String.uppercase_ascii t = k
+
+let split_device_attr token =
+  match String.index_opt token '.' with
+  | Some i ->
+    (String.sub token 0 i, String.sub token (i + 1) (String.length token - i - 1))
+  | None -> fail "expected <device>.<attribute>, got %S" token
+
+(* parse "<device>.<attribute> IS <value>" from the token stream *)
+let parse_state_test = function
+  | da :: is :: value :: rest when keyword is "IS" ->
+    let device, attribute = split_device_attr da in
+    ((device, attribute, value), rest)
+  | toks -> fail "expected '<device>.<attr> IS <value>' near %S" (String.concat " " toks)
+
+let parse_time s =
+  match Homeguard_symexec.Api_model.minutes_of_time_string s with
+  | Some m -> m
+  | None -> fail "bad time %S (expected HH:MM)" s
+
+let rec parse_filters acc = function
+  | w :: rest when keyword w "WHILE" ->
+    let test, rest = parse_state_test rest in
+    parse_filters (test :: acc) rest
+  | rest -> (List.rev acc, rest)
+
+let parse_action = function
+  | m :: mode :: [] when keyword m "MODE" -> Set_mode mode
+  | device :: d :: command :: rest when keyword d "DO" -> (
+    match rest with
+    | [] -> Do_command { device; command; arg = None }
+    | [ w; arg ] when keyword w "WITH" -> Do_command { device; command; arg = Some arg }
+    | toks -> fail "unexpected tokens after action: %S" (String.concat " " toks))
+  | toks -> fail "expected '<device> DO <command>' or 'MODE <mode>', got %S" (String.concat " " toks)
+
+let rec split_at_then acc = function
+  | [] -> fail "missing THEN"
+  | t :: rest when keyword t "THEN" -> (List.rev acc, rest)
+  | t :: rest -> split_at_then (t :: acc) rest
+
+(** Parse one applet line. *)
+let parse ?(name = "applet") line =
+  match tokenize line with
+  | i :: rest when keyword i "IF" ->
+    let before_then, after_then = split_at_then [] rest in
+    let (device, attribute, value), remaining = parse_state_test before_then in
+    let filters, leftover = parse_filters [] remaining in
+    if leftover <> [] then fail "unexpected tokens before THEN: %S" (String.concat " " leftover);
+    {
+      applet_name = name;
+      trigger = On_state { device; attribute; value };
+      filters;
+      action = parse_action after_then;
+    }
+  | e :: d :: a :: time :: rest
+    when keyword e "EVERY" && keyword d "DAY" && keyword a "AT" ->
+    let before_then, after_then = split_at_then [] (time :: rest) in
+    (match before_then with
+    | [ t ] ->
+      {
+        applet_name = name;
+        trigger = Daily_at (parse_time t);
+        filters = [];
+        action = parse_action after_then;
+      }
+    | toks -> fail "unexpected tokens before THEN: %S" (String.concat " " toks))
+  | _ -> fail "applet must start with IF or EVERY DAY AT: %S" line
+
+(* -- lowering to the rule IR ------------------------------------------------ *)
+
+(* Infer the capability of a device variable from the attributes it is
+   tested on and the commands issued to it. *)
+let infer_capability ~attributes ~commands =
+  let candidates =
+    match attributes with
+    | attr :: _ -> Capability.capabilities_with_attribute attr
+    | [] -> ( match commands with cmd :: _ -> Capability.capabilities_with_command cmd | [] -> [])
+  in
+  let fits cap =
+    List.for_all (fun a -> Capability.attribute_of cap a <> None) attributes
+    && List.for_all (fun c -> Capability.command_of cap c <> None) commands
+  in
+  match List.find_opt fits candidates with
+  | Some cap -> Some cap.Capability.cap_name
+  | None -> ( match candidates with cap :: _ -> Some cap.Capability.cap_name | [] -> None)
+
+let value_term v =
+  match int_of_string_opt v with Some n -> Term.Int n | None -> Term.Str v
+
+(** Lower applets into a {!Rule.smartapp}: IFTTT is just another rule
+    source to the detector. *)
+let to_smartapp ~name applets =
+  (* collect per-device usage to infer input capabilities *)
+  let usage : (string, string list * string list) Hashtbl.t = Hashtbl.create 8 in
+  let note_attr device attr =
+    let attrs, cmds = Option.value ~default:([], []) (Hashtbl.find_opt usage device) in
+    Hashtbl.replace usage device ((if List.mem attr attrs then attrs else attr :: attrs), cmds)
+  in
+  let note_cmd device cmd =
+    let attrs, cmds = Option.value ~default:([], []) (Hashtbl.find_opt usage device) in
+    Hashtbl.replace usage device (attrs, if List.mem cmd cmds then cmds else cmd :: cmds)
+  in
+  List.iter
+    (fun a ->
+      (match a.trigger with
+      | On_state { device; attribute; _ } -> note_attr device attribute
+      | Daily_at _ -> ());
+      List.iter (fun (d, at, _) -> note_attr d at) a.filters;
+      match a.action with
+      | Do_command { device; command; _ } -> note_cmd device command
+      | Set_mode _ -> ())
+    applets;
+  let inputs =
+    Hashtbl.fold
+      (fun device (attributes, commands) acc ->
+        let input_type =
+          match infer_capability ~attributes ~commands with
+          | Some cap -> "capability." ^ cap
+          | None -> "capability.switch"
+        in
+        { Rule.var = device; input_type; title = Some device; multiple = false } :: acc)
+      usage []
+    |> List.sort compare
+  in
+  let rules =
+    List.mapi
+      (fun i a ->
+        let trigger =
+          match a.trigger with
+          | On_state { device; attribute; value } ->
+            Rule.Event
+              {
+                subject = Rule.Device device;
+                attribute;
+                constraint_ =
+                  Formula.eq (Term.Var (device ^ "." ^ attribute)) (value_term value);
+              }
+          | Daily_at m -> Rule.Scheduled { at_minutes = Some m; period_seconds = None }
+        in
+        let predicate =
+          Formula.conj
+            (List.map
+               (fun (d, at, v) -> Formula.eq (Term.Var (d ^ "." ^ at)) (value_term v))
+               a.filters)
+        in
+        let actions =
+          match a.action with
+          | Do_command { device; command; arg } ->
+            [
+              {
+                Rule.target = Rule.Act_device device;
+                command;
+                params = (match arg with Some v -> [ value_term v ] | None -> []);
+                when_ = 0;
+                period = 0;
+                action_data = [];
+              };
+            ]
+          | Set_mode mode ->
+            [
+              {
+                Rule.target = Rule.Act_location_mode;
+                command = "setLocationMode";
+                params = [ Term.Str mode ];
+                when_ = 0;
+                period = 0;
+                action_data = [];
+              };
+            ]
+        in
+        {
+          Rule.app_name = name;
+          rule_id = Printf.sprintf "%s#%d" name (i + 1);
+          trigger;
+          condition = { Rule.data = []; predicate };
+          actions;
+        })
+      applets
+  in
+  {
+    Rule.name;
+    description = "IFTTT applets: " ^ String.concat "; " (List.map (fun a -> a.applet_name) applets);
+    inputs;
+    rules;
+    uses_web_services = false;
+  }
+
+(** Parse a multi-line recipe file (one applet per non-empty line;
+    [#] starts a comment) straight into a smartapp. *)
+let parse_recipes ~name text =
+  let applets =
+    String.split_on_char '\n' text
+    |> List.map String.trim
+    |> List.filter (fun l -> l <> "" && l.[0] <> '#')
+    |> List.mapi (fun i l -> parse ~name:(Printf.sprintf "%s-%d" name (i + 1)) l)
+  in
+  to_smartapp ~name applets

@@ -1,0 +1,1 @@
+lib/rules/json.ml: Buffer Char List Printf String

@@ -1,0 +1,1 @@
+lib/rules/rule.ml: Homeguard_solver Homeguard_st List Option String

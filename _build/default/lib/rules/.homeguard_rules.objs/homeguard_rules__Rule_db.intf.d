@@ -1,0 +1,1 @@
+lib/rules/rule_db.mli: Rule

@@ -1,0 +1,1 @@
+lib/rules/rule_json.ml: Homeguard_solver Json List Printf Rule

@@ -1,0 +1,1 @@
+lib/rules/rule_json.mli: Homeguard_solver Json Rule

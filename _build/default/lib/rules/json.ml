@@ -1,0 +1,228 @@
+(** Minimal JSON representation, printer and parser.
+
+    The HomeGuard backend stores extracted rules as JSON strings (paper
+    §VIII-C reports ~6.2 KB per app); no JSON package is available in
+    the sealed environment, so this is a small self-contained
+    implementation sufficient for rule files. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | String of string
+  | List of t list
+  | Obj of (string * t) list
+
+let escape s =
+  let buf = Buffer.create (String.length s + 2) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | c when Char.code c < 0x20 -> Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let rec to_buf buf = function
+  | Null -> Buffer.add_string buf "null"
+  | Bool b -> Buffer.add_string buf (string_of_bool b)
+  | Int n -> Buffer.add_string buf (string_of_int n)
+  | Float f -> Buffer.add_string buf (Printf.sprintf "%.12g" f)
+  | String s ->
+    Buffer.add_char buf '"';
+    Buffer.add_string buf (escape s);
+    Buffer.add_char buf '"'
+  | List items ->
+    Buffer.add_char buf '[';
+    List.iteri
+      (fun i item ->
+        if i > 0 then Buffer.add_char buf ',';
+        to_buf buf item)
+      items;
+    Buffer.add_char buf ']'
+  | Obj fields ->
+    Buffer.add_char buf '{';
+    List.iteri
+      (fun i (k, v) ->
+        if i > 0 then Buffer.add_char buf ',';
+        Buffer.add_char buf '"';
+        Buffer.add_string buf (escape k);
+        Buffer.add_string buf "\":";
+        to_buf buf v)
+      fields;
+    Buffer.add_char buf '}'
+
+let to_string json =
+  let buf = Buffer.create 256 in
+  to_buf buf json;
+  Buffer.contents buf
+
+exception Parse_error of string
+
+(* -- parser -------------------------------------------------------------- *)
+
+type pstate = { src : string; mutable pos : int }
+
+let peek_char st = if st.pos < String.length st.src then Some st.src.[st.pos] else None
+
+let skip_ws st =
+  while
+    st.pos < String.length st.src
+    && match st.src.[st.pos] with ' ' | '\t' | '\n' | '\r' -> true | _ -> false
+  do
+    st.pos <- st.pos + 1
+  done
+
+let expect st c =
+  if peek_char st = Some c then st.pos <- st.pos + 1
+  else raise (Parse_error (Printf.sprintf "expected %C at %d" c st.pos))
+
+let parse_string_body st =
+  expect st '"';
+  let buf = Buffer.create 16 in
+  let rec go () =
+    match peek_char st with
+    | None -> raise (Parse_error "unterminated string")
+    | Some '"' -> st.pos <- st.pos + 1
+    | Some '\\' -> (
+      st.pos <- st.pos + 1;
+      match peek_char st with
+      | Some 'n' ->
+        Buffer.add_char buf '\n';
+        st.pos <- st.pos + 1;
+        go ()
+      | Some 't' ->
+        Buffer.add_char buf '\t';
+        st.pos <- st.pos + 1;
+        go ()
+      | Some 'r' ->
+        Buffer.add_char buf '\r';
+        st.pos <- st.pos + 1;
+        go ()
+      | Some 'u' ->
+        let hex = String.sub st.src (st.pos + 1) 4 in
+        Buffer.add_char buf (Char.chr (int_of_string ("0x" ^ hex) land 0xff));
+        st.pos <- st.pos + 5;
+        go ()
+      | Some c ->
+        Buffer.add_char buf c;
+        st.pos <- st.pos + 1;
+        go ()
+      | None -> raise (Parse_error "unterminated escape"))
+    | Some c ->
+      Buffer.add_char buf c;
+      st.pos <- st.pos + 1;
+      go ()
+  in
+  go ();
+  Buffer.contents buf
+
+let rec parse_value st =
+  skip_ws st;
+  match peek_char st with
+  | Some '"' -> String (parse_string_body st)
+  | Some '{' ->
+    st.pos <- st.pos + 1;
+    skip_ws st;
+    if peek_char st = Some '}' then begin
+      st.pos <- st.pos + 1;
+      Obj []
+    end
+    else begin
+      let rec fields acc =
+        skip_ws st;
+        let k = parse_string_body st in
+        skip_ws st;
+        expect st ':';
+        let v = parse_value st in
+        skip_ws st;
+        match peek_char st with
+        | Some ',' ->
+          st.pos <- st.pos + 1;
+          fields ((k, v) :: acc)
+        | Some '}' ->
+          st.pos <- st.pos + 1;
+          List.rev ((k, v) :: acc)
+        | _ -> raise (Parse_error "expected ',' or '}'")
+      in
+      Obj (fields [])
+    end
+  | Some '[' ->
+    st.pos <- st.pos + 1;
+    skip_ws st;
+    if peek_char st = Some ']' then begin
+      st.pos <- st.pos + 1;
+      List []
+    end
+    else begin
+      let rec items acc =
+        let v = parse_value st in
+        skip_ws st;
+        match peek_char st with
+        | Some ',' ->
+          st.pos <- st.pos + 1;
+          items (v :: acc)
+        | Some ']' ->
+          st.pos <- st.pos + 1;
+          List.rev (v :: acc)
+        | _ -> raise (Parse_error "expected ',' or ']'")
+      in
+      List (items [])
+    end
+  | Some 't' ->
+    if String.length st.src - st.pos >= 4 && String.sub st.src st.pos 4 = "true" then begin
+      st.pos <- st.pos + 4;
+      Bool true
+    end
+    else raise (Parse_error "bad literal")
+  | Some 'f' ->
+    if String.length st.src - st.pos >= 5 && String.sub st.src st.pos 5 = "false" then begin
+      st.pos <- st.pos + 5;
+      Bool false
+    end
+    else raise (Parse_error "bad literal")
+  | Some 'n' ->
+    if String.length st.src - st.pos >= 4 && String.sub st.src st.pos 4 = "null" then begin
+      st.pos <- st.pos + 4;
+      Null
+    end
+    else raise (Parse_error "bad literal")
+  | Some c when c = '-' || (c >= '0' && c <= '9') ->
+    let start = st.pos in
+    let is_float = ref false in
+    let rec scan () =
+      match peek_char st with
+      | Some c when (c >= '0' && c <= '9') || c = '-' || c = '+' ->
+        st.pos <- st.pos + 1;
+        scan ()
+      | Some ('.' | 'e' | 'E') ->
+        is_float := true;
+        st.pos <- st.pos + 1;
+        scan ()
+      | _ -> ()
+    in
+    scan ();
+    let text = String.sub st.src start (st.pos - start) in
+    if !is_float then Float (float_of_string text) else Int (int_of_string text)
+  | _ -> raise (Parse_error (Printf.sprintf "unexpected input at %d" st.pos))
+
+let of_string src =
+  let st = { src; pos = 0 } in
+  let v = parse_value st in
+  skip_ws st;
+  if st.pos <> String.length src then raise (Parse_error "trailing input");
+  v
+
+(* -- accessors ----------------------------------------------------------- *)
+
+let member key = function Obj fields -> List.assoc_opt key fields | _ -> None
+
+let get_string = function String s -> Some s | _ -> None
+let get_int = function Int n -> Some n | _ -> None
+let get_list = function List l -> Some l | _ -> None

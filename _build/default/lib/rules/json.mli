@@ -1,0 +1,20 @@
+(** Minimal self-contained JSON representation, printer and parser. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | String of string
+  | List of t list
+  | Obj of (string * t) list
+
+exception Parse_error of string
+
+val to_string : t -> string
+val of_string : string -> t
+
+val member : string -> t -> t option
+val get_string : t -> string option
+val get_int : t -> int option
+val get_list : t -> t list option

@@ -1,0 +1,88 @@
+(** Automation-rule intermediate representation (paper Listing 2):
+    trigger, condition (data + predicate constraints) and actions, plus
+    extracted-app metadata.
+
+    Solver-variable naming convention used throughout the system:
+    ["<inputVar>.<attribute>"] for device state, ["<inputVar>"] for user
+    values, ["location.mode"], ["time.now"], ["env.<feature>"]. *)
+
+module Formula = Homeguard_solver.Formula
+module Term = Homeguard_solver.Term
+
+type subject =
+  | Device of string  (** the input variable binding the device *)
+  | Location
+  | App_touch
+
+type trigger =
+  | Event of { subject : subject; attribute : string; constraint_ : Formula.t }
+  | Scheduled of { at_minutes : int option; period_seconds : int option }
+
+type condition = {
+  data : (string * Term.t) list;  (** path assignments [var := term] *)
+  predicate : Formula.t;
+}
+
+type action_target =
+  | Act_device of string
+  | Act_location_mode
+  | Act_messaging
+  | Act_http
+  | Act_hub
+
+type action = {
+  target : action_target;
+  command : string;
+  params : Term.t list;
+  when_ : int;  (** delay in seconds *)
+  period : int;  (** repetition interval in seconds *)
+  action_data : (string * Term.t) list;
+}
+
+type t = {
+  app_name : string;
+  rule_id : string;
+  trigger : trigger;
+  condition : condition;
+  actions : action list;
+}
+
+type input_decl = {
+  var : string;
+  input_type : string;
+  title : string option;
+  multiple : bool;
+}
+
+type smartapp = {
+  name : string;
+  description : string;
+  inputs : input_decl list;
+  rules : t list;
+  uses_web_services : bool;
+}
+
+val subject_to_string : subject -> string
+val target_to_string : action_target -> string
+
+val capability_of_input : smartapp -> string -> string option
+(** The capability an input variable was declared with. *)
+
+val device_inputs : smartapp -> string list
+
+val controls_devices : t -> bool
+(** Does the rule control devices/modes (vs. notification only)? *)
+
+val expanded_predicate : t -> Formula.t
+(** The predicate with data constraints substituted away: free
+    variables are exactly the state the rule genuinely tests. *)
+
+val situation : t -> Formula.t
+(** Trigger constraint ∧ data equalities ∧ predicate — the situation in
+    which the rule takes effect (overlap detection, paper §VI-A2). *)
+
+val store_for_vars :
+  cap_of_var:(string -> string option) -> string list -> Homeguard_solver.Store.t
+(** Type qualified variables from the capability registry. *)
+
+val store_for_rules : (smartapp * t) list -> Homeguard_solver.Store.t

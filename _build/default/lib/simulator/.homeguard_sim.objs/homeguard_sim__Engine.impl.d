@@ -1,0 +1,1 @@
+lib/simulator/engine.ml: Env_model Event_queue Float Hashtbl Homeguard_detector Homeguard_rules Homeguard_solver Homeguard_st List String Trace

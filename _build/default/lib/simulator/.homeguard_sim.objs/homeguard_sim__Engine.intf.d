@@ -1,0 +1,1 @@
+lib/simulator/engine.mli: Env_model Event_queue Hashtbl Homeguard_rules Homeguard_st Trace

@@ -1,0 +1,1 @@
+lib/simulator/env_model.ml: Homeguard_detector Homeguard_st List

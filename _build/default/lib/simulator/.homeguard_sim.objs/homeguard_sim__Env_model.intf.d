@@ -1,0 +1,1 @@
+lib/simulator/env_model.mli: Homeguard_detector Homeguard_st

@@ -1,0 +1,1 @@
+lib/simulator/scenario.ml: Engine Homeguard_rules Homeguard_st List Trace

@@ -1,0 +1,1 @@
+lib/simulator/scenario.mli: Engine Trace

@@ -1,0 +1,1 @@
+lib/simulator/trace.ml: List Printf String

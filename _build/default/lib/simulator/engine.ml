@@ -1,0 +1,383 @@
+(** The discrete-event smart-home simulation engine.
+
+    Substitutes for the paper's SmartThings testbed (§VIII-A/B): devices
+    hold attribute state, the environment evolves under actuator
+    influences, rules compiled from extracted {!Homeguard_rules.Rule}
+    values subscribe to events and issue (possibly delayed) commands, and
+    everything lands in a {!Trace}. Same-time command interleavings are
+    perturbed by a seeded jitter so actuator races exhibit their
+    nondeterministic outcomes across seeds. *)
+
+module Rule = Homeguard_rules.Rule
+module Term = Homeguard_solver.Term
+module Formula = Homeguard_solver.Formula
+module Device = Homeguard_st.Device
+module Capability = Homeguard_st.Capability
+module Location = Homeguard_st.Location
+module Env = Homeguard_st.Env_feature
+module Effects = Homeguard_detector.Effects
+
+type binding = B_device of Device.t | B_int of int | B_str of string
+
+type installed_app = { app : Rule.smartapp; bindings : (string * binding) list }
+
+type device_state = {
+  device : Device.t;
+  mutable attrs : (string * string) list;  (** attribute -> rendered value *)
+}
+
+type pending =
+  | Deliver of { source : string option; attribute : string; value : string }
+      (** [source = None] means a location event *)
+  | Execute of { iapp : installed_app; rule : Rule.t; action : Rule.action }
+  | Sample  (** periodic environment sampling *)
+
+type t = {
+  devices : (string, device_state) Hashtbl.t;  (** keyed by device id *)
+  env : Env_model.t;
+  location : Location.t;
+  queue : pending Event_queue.t;
+  mutable now : int;
+  mutable trace_rev : Trace.entry list;
+  mutable apps : installed_app list;
+  mutable rng : int;
+  command_latency_ms : int;
+  jitter_ms : int;
+  sample_interval_ms : int;
+}
+
+let create ?(seed = 1) ?(command_latency_ms = 40) ?(jitter_ms = 150)
+    ?(sample_interval_ms = 30_000) () =
+  {
+    devices = Hashtbl.create 16;
+    env = Env_model.create ();
+    location = Location.create ();
+    queue = Event_queue.create ();
+    now = 0;
+    trace_rev = [];
+    apps = [];
+    rng = (seed * 2_654_435_761) land 0x3FFFFFFF;
+    command_latency_ms;
+    jitter_ms;
+    sample_interval_ms;
+  }
+
+let next_random t bound =
+  t.rng <- ((t.rng * 1_103_515_245) + 12_345) land 0x3FFFFFFF;
+  if bound <= 0 then 0 else t.rng mod bound
+
+let log t entry = t.trace_rev <- entry :: t.trace_rev
+
+let trace t = List.rev t.trace_rev
+
+(* -- devices --------------------------------------------------------------- *)
+
+(* Devices start in their quiescent state. *)
+let preferred_defaults =
+  [ "off"; "closed"; "locked"; "inactive"; "not present"; "clear"; "dry"; "stopped"; "idle"; "unmuted"; "auto" ]
+
+let default_attr_value = function
+  | Capability.Enum values -> (
+    match List.find_opt (fun v -> List.mem v preferred_defaults) values with
+    | Some v -> v
+    | None -> ( match values with v :: _ -> v | [] -> ""))
+  | Capability.Numeric (lo, hi) -> string_of_int ((lo + hi) / 2)
+
+(** Register a device; attributes start at capability defaults. *)
+let add_device t device =
+  let attrs =
+    List.concat_map
+      (fun cap_name ->
+        match Capability.find cap_name with
+        | Some cap ->
+          List.map
+            (fun a -> (a.Capability.attr_name, default_attr_value a.Capability.domain))
+            cap.Capability.attributes
+        | None -> [])
+      device.Device.capabilities
+  in
+  Hashtbl.replace t.devices device.Device.id { device; attrs }
+
+let device_state t id = Hashtbl.find_opt t.devices id
+
+let set_attribute t id attribute value =
+  match device_state t id with
+  | None -> ()
+  | Some ds ->
+    let current = List.assoc_opt attribute ds.attrs in
+    if current <> Some value then begin
+      ds.attrs <- (attribute, value) :: List.remove_assoc attribute ds.attrs;
+      log t (Trace.Attr_change { at = t.now; device = ds.device.Device.label; attribute; value });
+      Event_queue.push t.queue (t.now + 10)
+        (Deliver { source = Some id; attribute; value })
+    end
+
+(** Externally inject a sensor reading / state change (test stimulus). *)
+let stimulate t id attribute value = set_attribute t id attribute value
+
+let set_mode t mode =
+  if t.location.Location.current_mode <> mode then begin
+    Location.set_mode t.location mode;
+    log t (Trace.Mode_change { at = t.now; mode });
+    Event_queue.push t.queue (t.now + 10) (Deliver { source = None; attribute = "mode"; value = mode })
+  end
+
+(* -- app installation ------------------------------------------------------ *)
+
+let install t app bindings =
+  List.iter (fun (_, b) -> match b with B_device d -> if device_state t d.Device.id = None then add_device t d | _ -> ()) bindings;
+  let iapp = { app; bindings } in
+  t.apps <- t.apps @ [ iapp ];
+  (* prime scheduled rules *)
+  List.iter
+    (fun (rule : Rule.t) ->
+      match rule.Rule.trigger with
+      | Rule.Scheduled { at_minutes; period_seconds } ->
+        let first =
+          match (at_minutes, period_seconds) with
+          | Some m, _ -> m * 60_000
+          | None, Some p -> p * 1000
+          | None, None -> 60_000
+        in
+        List.iter
+          (fun action -> Event_queue.push t.queue first (Execute { iapp; rule; action }))
+          rule.Rule.actions
+      | Rule.Event _ -> ())
+    app.Rule.rules
+
+let device_of_var iapp var =
+  match List.assoc_opt var iapp.bindings with
+  | Some (B_device d) -> Some d
+  | _ -> None
+
+(* -- concrete formula evaluation ------------------------------------------ *)
+
+(* Value of a qualified variable in the current home state; [data] maps
+   path-local names to their defining terms. *)
+let rec var_value t iapp data var =
+  match List.assoc_opt var data with
+  | Some term -> term_value t iapp data term
+  | None -> (
+    if var = "location.mode" then Some (`S t.location.Location.current_mode)
+    else if var = "time.now" then Some (`I (t.now / 60_000 mod 1440))
+    else
+      match String.rindex_opt var '.' with
+      | Some i -> (
+        let base = String.sub var 0 i in
+        let attr = String.sub var (i + 1) (String.length var - i - 1) in
+        match device_of_var iapp base with
+        | Some d -> (
+          match device_state t d.Device.id with
+          | Some ds -> (
+            match List.assoc_opt attr ds.attrs with
+            | Some v -> (
+              match int_of_string_opt v with Some n -> Some (`I n) | None -> Some (`S v))
+            | None -> None)
+          | None -> None)
+        | None -> None)
+      | None -> (
+        match List.assoc_opt var iapp.bindings with
+        | Some (B_int n) -> Some (`I n)
+        | Some (B_str s) -> Some (`S s)
+        | Some (B_device _) | None -> None))
+
+and term_value t iapp data = function
+  | Term.Int n -> Some (`I n)
+  | Term.Str s -> Some (`S s)
+  | Term.Var v -> var_value t iapp data v
+  | Term.Add (a, b) -> arith t iapp data ( + ) a b
+  | Term.Sub (a, b) -> arith t iapp data ( - ) a b
+  | Term.Mul (a, b) -> arith t iapp data ( * ) a b
+  | Term.Neg a -> (
+    match term_value t iapp data a with Some (`I n) -> Some (`I (-n)) | _ -> None)
+
+and arith t iapp data op a b =
+  match (term_value t iapp data a, term_value t iapp data b) with
+  | Some (`I x), Some (`I y) -> Some (`I (op x y))
+  | _ -> None
+
+(* Optimistic evaluation: atoms over unresolvable data (opaque symbols)
+   hold, so controlled scenarios drive the rules they intend to. *)
+let rec holds t iapp data = function
+  | Formula.True -> true
+  | Formula.False -> false
+  | Formula.And fs -> List.for_all (holds t iapp data) fs
+  | Formula.Or fs -> List.exists (holds t iapp data) fs
+  | Formula.Not f -> not (holds t iapp data f)
+  | Formula.Atom (cmp, a, b) -> (
+    match (term_value t iapp data a, term_value t iapp data b) with
+    | Some (`I x), Some (`I y) -> (
+      match cmp with
+      | Formula.Eq -> x = y
+      | Formula.Neq -> x <> y
+      | Formula.Lt -> x < y
+      | Formula.Le -> x <= y
+      | Formula.Gt -> x > y
+      | Formula.Ge -> x >= y)
+    | Some (`S x), Some (`S y) -> (
+      match cmp with
+      | Formula.Eq -> x = y
+      | Formula.Neq -> x <> y
+      | Formula.Lt | Formula.Le | Formula.Gt | Formula.Ge -> false)
+    | Some (`I _), Some (`S _) | Some (`S _), Some (`I _) -> cmp = Formula.Neq
+    | _ -> true)
+
+(* -- rule firing ------------------------------------------------------------ *)
+
+let trigger_matches t iapp (rule : Rule.t) ~source ~attribute ~value =
+  match rule.Rule.trigger with
+  | Rule.Scheduled _ -> false
+  | Rule.Event { subject; attribute = sub_attr; constraint_ } ->
+    sub_attr = attribute
+    && (match (subject, source) with
+       | Rule.Device var, Some id -> (
+         match device_of_var iapp var with Some d -> d.Device.id = id | None -> false)
+       | Rule.Location, None -> true
+       | _ -> false)
+    &&
+    (* trigger constraint over the event value *)
+    let subject_var =
+      match subject with
+      | Rule.Device var -> var ^ "." ^ attribute
+      | Rule.Location -> "location." ^ attribute
+      | Rule.App_touch -> "app.touch"
+    in
+    let data =
+      (subject_var, match int_of_string_opt value with
+       | Some n -> Term.Int n
+       | None -> Term.Str value)
+      :: rule.Rule.condition.Rule.data
+    in
+    holds t iapp data constraint_
+
+let fire_rule t iapp (rule : Rule.t) =
+  List.iter
+    (fun (action : Rule.action) ->
+      let delay =
+        (action.Rule.when_ * 1000) + t.command_latency_ms + next_random t t.jitter_ms
+      in
+      Event_queue.push t.queue (t.now + delay) (Execute { iapp; rule; action }))
+    rule.Rule.actions
+
+let deliver t ~source ~attribute ~value =
+  log t
+    (Trace.Event_fired
+       {
+         at = t.now;
+         source =
+           (match source with
+           | Some id -> (
+             match device_state t id with
+             | Some ds -> ds.device.Device.label
+             | None -> id)
+           | None -> "location");
+         attribute;
+         value;
+       });
+  List.iter
+    (fun iapp ->
+      List.iter
+        (fun rule ->
+          if trigger_matches t iapp rule ~source ~attribute ~value then
+            if holds t iapp rule.Rule.condition.Rule.data rule.Rule.condition.Rule.predicate
+            then fire_rule t iapp rule)
+        iapp.app.Rule.rules)
+    t.apps
+
+(* Apply an actuator command: update the written attribute, adjust
+   environment influences per the goal-effect map. *)
+let execute t iapp (rule : Rule.t) (action : Rule.action) =
+  match action.Rule.target with
+  | Rule.Act_location_mode -> (
+    match action.Rule.params with
+    | Term.Str mode :: _ ->
+      log t
+        (Trace.Command
+           {
+             at = t.now;
+             app = iapp.app.Rule.name;
+             rule = rule.Rule.rule_id;
+             device = "location";
+             command = "setLocationMode(" ^ mode ^ ")";
+           });
+      set_mode t mode
+    | _ -> ())
+  | Rule.Act_messaging | Rule.Act_http | Rule.Act_hub ->
+    log t
+      (Trace.Command
+         {
+           at = t.now;
+           app = iapp.app.Rule.name;
+           rule = rule.Rule.rule_id;
+           device = Rule.target_to_string action.Rule.target;
+           command = action.Rule.command;
+         })
+  | Rule.Act_device var -> (
+    match device_of_var iapp var with
+    | None -> ()
+    | Some d ->
+      log t
+        (Trace.Command
+           {
+             at = t.now;
+             app = iapp.app.Rule.name;
+             rule = rule.Rule.rule_id;
+             device = d.Device.label;
+             command = action.Rule.command;
+           });
+      (* attribute write via the capability registry *)
+      List.iter
+        (fun (w : Homeguard_detector.Channels.attr_write) ->
+          match w.Homeguard_detector.Channels.w_value with
+          | Some (Term.Str v) -> set_attribute t d.Device.id w.Homeguard_detector.Channels.w_attr v
+          | Some (Term.Int n) ->
+            set_attribute t d.Device.id w.Homeguard_detector.Channels.w_attr (string_of_int n)
+          | Some term -> (
+            match term_value t iapp rule.Rule.condition.Rule.data term with
+            | Some (`I n) ->
+              set_attribute t d.Device.id w.Homeguard_detector.Channels.w_attr (string_of_int n)
+            | Some (`S s) -> set_attribute t d.Device.id w.Homeguard_detector.Channels.w_attr s
+            | None -> ())
+          | None -> ())
+        (Homeguard_detector.Channels.attribute_writes iapp.app action);
+      (* environment influence *)
+      let effects = Effects.effects_of_action iapp.app action in
+      let deactivating = List.mem action.Rule.command [ "off"; "close"; "stop"; "pause" ] in
+      if deactivating then Env_model.clear_influences t.env d.Device.id
+      else if effects <> [] then
+        Env_model.set_influences t.env d.Device.id (Env_model.rates_of_effects effects))
+
+(* Sample: step the environment and refresh sensor readings. *)
+let sample t =
+  Env_model.step t.env ~dt_ms:t.sample_interval_ms;
+  Hashtbl.iter
+    (fun id ds ->
+      List.iter
+        (fun attr ->
+          match Env.of_sensor_attribute attr with
+          | Some feature ->
+            let v = int_of_float (Float.round (Env_model.value t.env feature)) in
+            set_attribute t id attr (string_of_int v)
+          | None -> ())
+        (Device.attributes ds.device))
+    t.devices
+
+(** Run the simulation until [until_ms]. *)
+let run t ~until_ms =
+  Event_queue.push t.queue (t.now + t.sample_interval_ms) Sample;
+  let rec loop () =
+    match Event_queue.pop t.queue with
+    | None -> ()
+    | Some (time, _) when time > until_ms -> ()
+    | Some (time, item) ->
+      t.now <- max t.now time;
+      (match item with
+      | Deliver { source; attribute; value } -> deliver t ~source ~attribute ~value
+      | Execute { iapp; rule; action } -> execute t iapp rule action
+      | Sample ->
+        sample t;
+        Event_queue.push t.queue (t.now + t.sample_interval_ms) Sample);
+      loop ()
+  in
+  loop ();
+  t.now <- until_ms

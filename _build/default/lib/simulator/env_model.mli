@@ -1,0 +1,28 @@
+(** Physical environment dynamics: actuator influences drive measurable
+    features; integrative features relax toward baselines, instantaneous
+    ones (power, illuminance, noise) follow their sources directly. *)
+
+module Env = Homeguard_st.Env_feature
+
+type influence = { source : string; feature : Env.t; rate_per_minute : float }
+
+type t = {
+  mutable values : (Env.t * float) list;
+  mutable baselines : (Env.t * float) list;
+  relax_per_minute : float;
+  mutable influences : influence list;
+}
+
+val default_baselines : (Env.t * float) list
+val create : ?baselines:(Env.t * float) list -> unit -> t
+val value : t -> Env.t -> float
+val set_value : t -> Env.t -> float -> unit
+val set_baseline : t -> Env.t -> float -> unit
+val set_influences : t -> string -> (Env.t * float) list -> unit
+val clear_influences : t -> string -> unit
+val step : t -> dt_ms:int -> unit
+
+val rates_of_effects :
+  (Env.t * Homeguard_detector.Effects.polarity) list -> (Env.t * float) list
+(** Influence rates matching the detector's M_GC map, so statically
+    predicted conflicts play out dynamically. *)

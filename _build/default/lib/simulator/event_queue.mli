@@ -1,0 +1,11 @@
+(** Deterministic time-ordered event queue: same-time entries pop in
+    insertion order. *)
+
+type 'a t
+
+val create : unit -> 'a t
+val is_empty : 'a t -> bool
+val size : 'a t -> int
+val push : 'a t -> int -> 'a -> unit
+val pop : 'a t -> (int * 'a) option
+val peek_time : 'a t -> int option

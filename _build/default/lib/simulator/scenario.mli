@@ -1,0 +1,26 @@
+(** Pre-built verification scenarios (the paper's install-and-observe
+    methodology, §VIII-A). *)
+
+type outcome = {
+  trace : Trace.t;
+  final_states : (string * string * string option) list;
+}
+
+val run_once :
+  ?seed:int ->
+  until_ms:int ->
+  setup:(Engine.t -> unit) ->
+  watch:(string * string) list ->
+  unit ->
+  outcome
+
+val race_outcomes :
+  ?seeds:int list ->
+  until_ms:int ->
+  setup:(Engine.t -> unit) ->
+  device:string ->
+  attribute:string ->
+  unit ->
+  (string list * string option) list
+(** Distinct (timeline, final state) pairs of the watched attribute
+    across seeded runs — the actuator-race nondeterminism measurement. *)

@@ -1,0 +1,26 @@
+(** Simulation traces and the analyzers used to verify threats
+    dynamically. *)
+
+type entry =
+  | Command of { at : int; app : string; rule : string; device : string; command : string }
+  | Attr_change of { at : int; device : string; attribute : string; value : string }
+  | Mode_change of { at : int; mode : string }
+  | Event_fired of { at : int; source : string; attribute : string; value : string }
+
+type t = entry list
+
+val time_of : entry -> int
+val entry_to_string : entry -> string
+val to_string : t -> string
+
+val commands_on : t -> string -> (int * string) list
+val attribute_timeline : t -> string -> string -> (int * string) list
+val final_attribute : t -> string -> string -> string option
+
+val flap_count : t -> string -> string -> int
+(** Value flips of an attribute (Loop-Triggering witness). *)
+
+val opposite_commands_within :
+  t -> string -> window_ms:int -> opposites:(string * string) list -> bool
+(** Did contradictory commands land on the device within the window?
+    (Actuator-race witness.) *)

@@ -1,0 +1,1 @@
+lib/smartthings/api.ml: List

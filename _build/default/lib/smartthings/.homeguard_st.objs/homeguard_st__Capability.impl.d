@@ -1,0 +1,1 @@
+lib/smartthings/capability.ml: List Option String

@@ -1,0 +1,1 @@
+lib/smartthings/device.ml: Capability Format Hashtbl List Printf String

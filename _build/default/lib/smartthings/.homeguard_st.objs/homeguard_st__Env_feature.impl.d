@@ -1,0 +1,1 @@
+lib/smartthings/env_feature.ml:

@@ -1,0 +1,1 @@
+lib/smartthings/event.ml: Device Format Printf String

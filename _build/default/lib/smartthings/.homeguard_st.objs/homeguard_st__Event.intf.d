@@ -1,0 +1,1 @@
+lib/smartthings/event.mli: Device Format

@@ -1,0 +1,35 @@
+(** Platform events.
+
+    The cloud listens to all sensor reports and broadcasts events to
+    subscribed SmartApps (paper §II-A). An event carries the originating
+    device (or platform feature such as the location mode), the attribute
+    that changed and its new value. *)
+
+type value = V_str of string | V_num of int
+
+type source =
+  | Device of Device.id
+  | Location  (** location-mode and other platform-level events *)
+  | Timer of string  (** scheduled-execution pseudo-events (method name) *)
+  | App of string  (** app touch / virtual events *)
+
+type t = {
+  source : source;
+  attribute : string;
+  value : value;
+  at : int;  (** milliseconds since simulation epoch *)
+}
+
+let value_to_string = function V_str s -> s | V_num n -> string_of_int n
+
+let make ?(at = 0) source attribute value = { source; attribute; value; at }
+
+let pp fmt e =
+  let src =
+    match e.source with
+    | Device id -> Printf.sprintf "device:%s" (String.sub id 0 (min 8 (String.length id)))
+    | Location -> "location"
+    | Timer m -> "timer:" ^ m
+    | App a -> "app:" ^ a
+  in
+  Format.fprintf fmt "[%dms %s %s=%s]" e.at src e.attribute (value_to_string e.value)

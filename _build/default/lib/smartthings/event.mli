@@ -1,0 +1,15 @@
+(** Platform events broadcast to subscribed apps. *)
+
+type value = V_str of string | V_num of int
+
+type source =
+  | Device of Device.id
+  | Location
+  | Timer of string
+  | App of string
+
+type t = { source : source; attribute : string; value : value; at : int }
+
+val value_to_string : value -> string
+val make : ?at:int -> source -> string -> value -> t
+val pp : Format.formatter -> t -> unit

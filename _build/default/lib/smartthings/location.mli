@@ -1,0 +1,16 @@
+(** The per-home location object: modes and sun times. *)
+
+type t = {
+  mutable modes : string list;
+  mutable current_mode : string;
+  mutable sunrise_minutes : int;
+  mutable sunset_minutes : int;
+}
+
+val default_modes : string list
+val create : ?modes:string list -> ?current_mode:string -> unit -> t
+
+val set_mode : t -> string -> unit
+(** Unknown modes are registered on first use. *)
+
+val mode_attribute : string

@@ -1,0 +1,1 @@
+lib/solver/dnf.ml: Formula List Term

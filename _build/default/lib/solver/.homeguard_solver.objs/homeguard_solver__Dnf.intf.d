@@ -1,0 +1,1 @@
+lib/solver/dnf.mli: Formula Term

@@ -1,0 +1,1 @@
+lib/solver/domain.ml: List Option Printf String

@@ -1,0 +1,1 @@
+lib/solver/explain.ml: Domain List Printf Solver Store String

@@ -1,0 +1,1 @@
+lib/solver/explain.mli: Domain Solver

@@ -1,0 +1,1 @@
+lib/solver/formula.ml: Domain List Printf String Term

@@ -1,0 +1,1 @@
+lib/solver/propagate.ml: Domain Formula List Map Option String Term

@@ -1,0 +1,1 @@
+lib/solver/propagate.mli: Dnf Domain Map

@@ -1,0 +1,1 @@
+lib/solver/search.ml: Dnf Domain Formula List Option Propagate Store Term

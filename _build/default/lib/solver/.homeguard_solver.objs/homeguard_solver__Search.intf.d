@@ -1,0 +1,1 @@
+lib/solver/search.mli: Dnf Domain Store

@@ -1,0 +1,1 @@
+lib/solver/solver.ml: Dnf Formula List Option Search Store

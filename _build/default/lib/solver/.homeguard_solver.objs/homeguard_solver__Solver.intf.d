@@ -1,0 +1,1 @@
+lib/solver/solver.mli: Formula Search Store

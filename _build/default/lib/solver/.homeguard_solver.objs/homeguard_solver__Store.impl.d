@@ -1,0 +1,1 @@
+lib/solver/store.ml: Domain Formula Hashtbl List Map String Term

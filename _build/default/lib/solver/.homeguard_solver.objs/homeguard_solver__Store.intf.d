@@ -1,0 +1,1 @@
+lib/solver/store.mli: Domain Formula

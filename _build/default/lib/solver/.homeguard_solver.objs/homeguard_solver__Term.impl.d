@@ -1,0 +1,1 @@
+lib/solver/term.ml: List Option Printf

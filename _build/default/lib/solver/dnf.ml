@@ -1,0 +1,41 @@
+(** Disjunctive normal form of quantifier-free formulas.
+
+    After NNF (negations pushed into comparators) a formula is a
+    positive combination of atoms; DNF yields a list of conjuncts, each a
+    plain atom list. Rule formulas are small, so the exponential
+    worst case is bounded by {!max_conjuncts} as a safety valve. *)
+
+exception Too_large
+
+type atom = Formula.cmp * Term.t * Term.t
+
+type conjunct = atom list
+
+let max_conjuncts = 4096
+
+(* Cartesian conjunction of two DNFs. *)
+let cross d1 d2 =
+  let result = List.concat_map (fun c1 -> List.map (fun c2 -> c1 @ c2) d2) d1 in
+  if List.length result > max_conjuncts then raise Too_large;
+  result
+
+(** [of_formula f] converts to DNF. An empty list means unsatisfiable
+    ([False]); a list containing an empty conjunct means [True]. *)
+let of_formula f =
+  let rec go = function
+    | Formula.True -> [ [] ]
+    | Formula.False -> []
+    | Formula.Atom (cmp, a, b) -> [ [ (cmp, a, b) ] ]
+    | Formula.And fs -> List.fold_left (fun acc f -> cross acc (go f)) [ [] ] fs
+    | Formula.Or fs ->
+      let result = List.concat_map go fs in
+      if List.length result > max_conjuncts then raise Too_large;
+      result
+    | Formula.Not _ -> invalid_arg "Dnf.of_formula: formula not in NNF"
+  in
+  go (Formula.nnf f)
+
+let conjunct_to_formula atoms =
+  Formula.conj (List.map (fun (cmp, a, b) -> Formula.Atom (cmp, a, b)) atoms)
+
+let to_formula conjuncts = Formula.disj (List.map conjunct_to_formula conjuncts)

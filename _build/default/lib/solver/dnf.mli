@@ -1,0 +1,16 @@
+(** Disjunctive normal form of quantifier-free formulas. *)
+
+exception Too_large
+(** Raised when the DNF would exceed {!max_conjuncts}. *)
+
+type atom = Formula.cmp * Term.t * Term.t
+type conjunct = atom list
+
+val max_conjuncts : int
+
+val of_formula : Formula.t -> conjunct list
+(** NNF then distribution. [[]] means the formula is [False]; a list
+    containing [[]] contains a trivially true conjunct. *)
+
+val conjunct_to_formula : conjunct -> Formula.t
+val to_formula : conjunct list -> Formula.t

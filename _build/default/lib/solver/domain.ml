@@ -1,0 +1,161 @@
+(** Finite domains for solver variables.
+
+    Integer domains are interval sets: sorted lists of disjoint,
+    non-adjacent closed intervals — the classic FD-solver representation
+    (JaCoP's IntervalDomain, which the paper uses, has the same shape).
+    Enumerated domains are sorted string lists. *)
+
+type iset = (int * int) list  (** sorted, disjoint, non-adjacent [lo,hi] *)
+
+type t = Ints of iset | Enums of string list  (** sorted, distinct *)
+
+let empty_ints : t = Ints []
+let empty_enums : t = Enums []
+
+(* -- interval-set algebra ------------------------------------------------ *)
+
+(* Normalise a list of possibly overlapping intervals. *)
+let normalize intervals =
+  let sorted = List.sort (fun (a, _) (b, _) -> compare a b) intervals in
+  let rec merge = function
+    | [] -> []
+    | [ iv ] -> [ iv ]
+    | (a1, b1) :: (a2, b2) :: rest ->
+      if a2 <= b1 + 1 then merge ((a1, max b1 b2) :: rest)
+      else (a1, b1) :: merge ((a2, b2) :: rest)
+  in
+  merge (List.filter (fun (a, b) -> a <= b) sorted)
+
+let interval lo hi : t = Ints (normalize [ (lo, hi) ])
+let int_singleton n : t = Ints [ (n, n) ]
+
+let enums values : t = Enums (List.sort_uniq compare values)
+let enum_singleton v : t = Enums [ v ]
+
+let is_empty = function Ints iv -> iv = [] | Enums vs -> vs = []
+
+let size = function
+  | Ints iv -> List.fold_left (fun acc (a, b) -> acc + (b - a + 1)) 0 iv
+  | Enums vs -> List.length vs
+
+let iset_mem n iv = List.exists (fun (a, b) -> a <= n && n <= b) iv
+
+let mem_int n = function Ints iv -> iset_mem n iv | Enums _ -> false
+let mem_str s = function Enums vs -> List.mem s vs | Ints _ -> false
+
+let min_int_opt = function Ints ((a, _) :: _) -> Some a | _ -> None
+let max_int_opt = function
+  | Ints iv -> ( match List.rev iv with (_, b) :: _ -> Some b | [] -> None)
+  | Enums _ -> None
+
+let iset_inter xs ys =
+  let rec go xs ys acc =
+    match (xs, ys) with
+    | [], _ | _, [] -> List.rev acc
+    | (a1, b1) :: xs', (a2, b2) :: ys' ->
+      let lo = max a1 a2 and hi = min b1 b2 in
+      let acc = if lo <= hi then (lo, hi) :: acc else acc in
+      if b1 < b2 then go xs' ys acc else go xs ys' acc
+  in
+  go xs ys []
+
+let iset_union xs ys = normalize (xs @ ys)
+
+let iset_remove n iv =
+  List.concat_map
+    (fun (a, b) ->
+      if n < a || n > b then [ (a, b) ]
+      else List.filter (fun (x, y) -> x <= y) [ (a, n - 1); (n + 1, b) ])
+    iv
+
+(* Keep only values <= hi. *)
+let iset_at_most hi iv =
+  List.filter_map (fun (a, b) -> if a > hi then None else Some (a, min b hi)) iv
+
+let iset_at_least lo iv =
+  List.filter_map (fun (a, b) -> if b < lo then None else Some (max a lo, b)) iv
+
+exception Type_clash
+
+(** Intersection; raises {!Type_clash} on int/enum mismatch. *)
+let inter d1 d2 =
+  match (d1, d2) with
+  | Ints x, Ints y -> Ints (iset_inter x y)
+  | Enums x, Enums y -> Enums (List.filter (fun v -> List.mem v y) x)
+  | _ -> raise Type_clash
+
+let union d1 d2 =
+  match (d1, d2) with
+  | Ints x, Ints y -> Ints (iset_union x y)
+  | Enums x, Enums y -> Enums (List.sort_uniq compare (x @ y))
+  | _ -> raise Type_clash
+
+let remove_int n = function Ints iv -> Ints (iset_remove n iv) | Enums _ as d -> d
+let remove_str s = function
+  | Enums vs -> Enums (List.filter (fun v -> v <> s) vs)
+  | Ints _ as d -> d
+
+let at_most hi = function Ints iv -> Ints (iset_at_most hi iv) | Enums _ as d -> d
+let at_least lo = function Ints iv -> Ints (iset_at_least lo iv) | Enums _ as d -> d
+
+(** The single value if the domain is a singleton. *)
+type value = Int of int | Str of string
+
+let value_to_string = function Int n -> string_of_int n | Str s -> s
+
+let singleton_value = function
+  | Ints [ (a, b) ] when a = b -> Some (Int a)
+  | Enums [ v ] -> Some (Str v)
+  | _ -> None
+
+(** Any representative value — for ints, the member closest to zero, so
+    witness models read naturally. *)
+let choose = function
+  | Ints [] | Enums [] -> None
+  | Ints iv ->
+    let best (a, b) = if a <= 0 && 0 <= b then 0 else if abs a < abs b then a else b in
+    let candidates = List.map best iv in
+    Some
+      (Int
+         (List.fold_left
+            (fun acc n -> if abs n < abs acc then n else acc)
+            (List.hd candidates) candidates))
+  | Enums (v :: _) -> Some (Str v)
+
+(** Distance from the domain to zero (0 when 0 is a member); used to
+    order search branches so models prefer small-magnitude values. *)
+let distance_to_zero = function
+  | Enums _ -> 0
+  | Ints iv -> (
+    match choose (Ints iv) with Some (Int n) -> abs n | _ -> max_int)
+
+(** Split a domain into two non-empty halves for search (requires
+    [size >= 2]). *)
+let split = function
+  | Ints iv as d ->
+    let lo = Option.get (min_int_opt d) and hi = Option.get (max_int_opt d) in
+    let mid = lo + ((hi - lo) / 2) in
+    (Ints (iset_at_most mid iv), Ints (iset_at_least (mid + 1) iv))
+  | Enums vs ->
+    let n = List.length vs / 2 in
+    let rec take k = function
+      | x :: rest when k > 0 ->
+        let l, r = take (k - 1) rest in
+        (x :: l, r)
+      | rest -> ([], rest)
+    in
+    let l, r = take (max 1 n) vs in
+    (Enums l, Enums r)
+
+let values = function
+  | Ints iv ->
+    List.concat_map (fun (a, b) -> List.init (b - a + 1) (fun i -> Int (a + i))) iv
+  | Enums vs -> List.map (fun v -> Str v) vs
+
+let to_string = function
+  | Ints iv ->
+    let part (a, b) = if a = b then string_of_int a else Printf.sprintf "%d..%d" a b in
+    "{" ^ String.concat ", " (List.map part iv) ^ "}"
+  | Enums vs -> "{" ^ String.concat ", " vs ^ "}"
+
+let equal d1 d2 = d1 = d2

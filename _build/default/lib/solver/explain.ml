@@ -1,0 +1,24 @@
+(** Human-readable rendering of solver models.
+
+    The frontend shows users the concrete situation in which two rules
+    interfere (paper Fig 7b); a model is rendered as "when
+    tSensor.temperature is 31 and weather is rainy". *)
+
+let value_to_string = Domain.value_to_string
+
+let binding_to_string (var, value) =
+  Printf.sprintf "%s is %s" var (value_to_string value)
+
+(** Render a model, skipping solver-internal sentinel values. *)
+let model_to_string (model : Solver.model) =
+  let visible =
+    List.filter
+      (fun (_, v) ->
+        match v with
+        | Domain.Str s -> s <> Store.other_value
+        | Domain.Int _ -> true)
+      model
+  in
+  match visible with
+  | [] -> "in any situation"
+  | bindings -> "when " ^ String.concat " and " (List.map binding_to_string bindings)

@@ -1,0 +1,7 @@
+(** Human-readable rendering of solver models. *)
+
+val value_to_string : Domain.value -> string
+val binding_to_string : string * Domain.value -> string
+
+val model_to_string : Solver.model -> string
+(** "when x is 31 and y is rainy"; solver-internal sentinels hidden. *)

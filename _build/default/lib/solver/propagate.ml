@@ -1,0 +1,211 @@
+(** Constraint propagation over a conjunct of atoms (HC4-style).
+
+    Each atom is revised by a forward interval-evaluation of both term
+    sides followed by backward narrowing through the term tree (the HC4
+    algorithm used in interval CP solvers). Enum-typed atoms use set
+    intersection/removal. Revision iterates to a fixpoint, capped by
+    {!max_rounds} for safety — the cap never compromises soundness, only
+    how much search has to do. *)
+
+module SMap = Map.Make (String)
+
+exception Unsat
+
+type approx =
+  | A_int of int * int  (** interval hull *)
+  | A_enum of string list
+
+let approx_of_domain = function
+  | Domain.Ints [] -> raise Unsat
+  | Domain.Ints _ as d ->
+    A_int (Option.get (Domain.min_int_opt d), Option.get (Domain.max_int_opt d))
+  | Domain.Enums [] -> raise Unsat
+  | Domain.Enums vs -> A_enum vs
+
+(* Saturating arithmetic guards against overflow on the ±1e6 defaults. *)
+let sat_add a b =
+  let r = a + b in
+  if a > 0 && b > 0 && r < 0 then max_int else if a < 0 && b < 0 && r > 0 then min_int else r
+
+let sat_sub a b = sat_add a (if b = min_int then max_int else -b)
+
+let sat_mul a b =
+  if a = 0 || b = 0 then 0
+  else
+    let r = a * b in
+    if r / b <> a then if (a > 0) = (b > 0) then max_int else min_int else r
+
+let mul_bounds (la, ha) (lb, hb) =
+  let products = [ sat_mul la lb; sat_mul la hb; sat_mul ha lb; sat_mul ha hb ] in
+  (List.fold_left min max_int products, List.fold_left max min_int products)
+
+type state = { mutable domains : Domain.t SMap.t }
+
+let get st v =
+  match SMap.find_opt v st.domains with
+  | Some d -> d
+  | None -> invalid_arg ("Propagate: variable not in store: " ^ v)
+
+let set st v d =
+  if Domain.is_empty d then raise Unsat;
+  st.domains <- SMap.add v d st.domains
+
+(* Forward: interval/set approximation of a term. *)
+let rec forward st = function
+  | Term.Int n -> A_int (n, n)
+  | Term.Str s -> A_enum [ s ]
+  | Term.Var v -> approx_of_domain (get st v)
+  | Term.Add (a, b) -> (
+    match (forward st a, forward st b) with
+    | A_int (la, ha), A_int (lb, hb) -> A_int (sat_add la lb, sat_add ha hb)
+    | _ -> invalid_arg "Propagate: arithmetic on enum term")
+  | Term.Sub (a, b) -> (
+    match (forward st a, forward st b) with
+    | A_int (la, ha), A_int (lb, hb) -> A_int (sat_sub la hb, sat_sub ha lb)
+    | _ -> invalid_arg "Propagate: arithmetic on enum term")
+  | Term.Mul (a, b) -> (
+    match (forward st a, forward st b) with
+    | A_int (la, ha), A_int (lb, hb) ->
+      let lo, hi = mul_bounds (la, ha) (lb, hb) in
+      A_int (lo, hi)
+    | _ -> invalid_arg "Propagate: arithmetic on enum term")
+  | Term.Neg a -> (
+    match forward st a with
+    | A_int (la, ha) -> A_int (-ha, -la)
+    | A_enum _ -> invalid_arg "Propagate: negation of enum term")
+
+(* Backward: narrow a term's variables so the term fits [lo, hi]. *)
+let rec narrow_int st term lo hi =
+  if lo > hi then raise Unsat;
+  match term with
+  | Term.Int n -> if n < lo || n > hi then raise Unsat
+  | Term.Str _ -> invalid_arg "Propagate: narrowing enum term with interval"
+  | Term.Var v ->
+    let d = get st v in
+    set st v (Domain.at_least lo (Domain.at_most hi d))
+  | Term.Add (a, b) -> (
+    match (forward st a, forward st b) with
+    | A_int (la, ha), A_int (lb, hb) ->
+      narrow_int st a (max la (sat_sub lo hb)) (min ha (sat_sub hi lb));
+      narrow_int st b (max lb (sat_sub lo ha)) (min hb (sat_sub hi la))
+    | _ -> invalid_arg "Propagate: arithmetic on enum term")
+  | Term.Sub (a, b) -> (
+    (* a - b in [lo, hi]  =>  a in [lo + lb, hi + hb], b in [la - hi, ha - lo] *)
+    match (forward st a, forward st b) with
+    | A_int (la, ha), A_int (lb, hb) ->
+      narrow_int st a (max la (sat_add lo lb)) (min ha (sat_add hi hb));
+      narrow_int st b (max lb (sat_sub la hi)) (min hb (sat_sub ha lo))
+    | _ -> invalid_arg "Propagate: arithmetic on enum term")
+  | Term.Mul (a, b) -> (
+    (* Narrow only through constant factors (the common linear case). *)
+    match (a, b) with
+    | Term.Int k, other | other, Term.Int k ->
+      if k > 0 then
+        (* k*x in [lo,hi] => x in [ceil(lo/k), floor(hi/k)] *)
+        let ceil_div p q = if p >= 0 then (p + q - 1) / q else p / q in
+        let floor_div p q = if p >= 0 then p / q else -((-p + q - 1) / q) in
+        narrow_int st other (ceil_div lo k) (floor_div hi k)
+      else if k < 0 then
+        let k' = -k in
+        let ceil_div p q = if p >= 0 then (p + q - 1) / q else p / q in
+        let floor_div p q = if p >= 0 then p / q else -((-p + q - 1) / q) in
+        narrow_int st other (ceil_div (-hi) k') (floor_div (-lo) k')
+      else if lo > 0 || hi < 0 then raise Unsat
+    | _ -> () (* sound: no narrowing for var*var *))
+  | Term.Neg a -> narrow_int st a (-hi) (-lo)
+
+let narrow_enum st term allowed =
+  match term with
+  | Term.Str s -> if not (List.mem s allowed) then raise Unsat
+  | Term.Var v ->
+    let d = get st v in
+    set st v (Domain.inter d (Domain.enums allowed))
+  | _ -> invalid_arg "Propagate: enum narrowing of arithmetic term"
+
+(* Classify an atom's sides: both enum, both int, or mixed. *)
+type side_type = S_int | S_enum
+
+let rec side_type st = function
+  | Term.Int _ -> S_int
+  | Term.Str _ -> S_enum
+  | Term.Var v -> (
+    match get st v with Domain.Ints _ -> S_int | Domain.Enums _ -> S_enum)
+  | Term.Add _ | Term.Sub _ | Term.Mul _ -> S_int
+  | Term.Neg t -> side_type st t
+
+let revise_atom st (cmp, a, b) =
+  match (side_type st a, side_type st b) with
+  | S_int, S_int -> (
+    match (forward st a, forward st b) with
+    | A_int (la, ha), A_int (lb, hb) -> (
+      match cmp with
+      | Formula.Eq ->
+        let lo = max la lb and hi = min ha hb in
+        narrow_int st a lo hi;
+        narrow_int st b lo hi
+      | Formula.Le ->
+        narrow_int st a la (min ha hb);
+        narrow_int st b (max la lb) hb
+      | Formula.Lt ->
+        narrow_int st a la (min ha (sat_sub hb 1));
+        narrow_int st b (max (sat_add la 1) lb) hb
+      | Formula.Ge ->
+        narrow_int st a (max la lb) ha;
+        narrow_int st b lb (min ha hb)
+      | Formula.Gt ->
+        narrow_int st a (max la (sat_add lb 1)) ha;
+        narrow_int st b lb (min hb (sat_sub ha 1))
+      | Formula.Neq -> (
+        if la = ha && lb = hb && la = lb then raise Unsat
+        else
+          (* prune only the bare-variable-vs-singleton cases *)
+          match (a, b) with
+          | Term.Var v, _ when lb = hb -> set st v (Domain.remove_int lb (get st v))
+          | _, Term.Var v when la = ha -> set st v (Domain.remove_int la (get st v))
+          | _ -> ()))
+    | _ -> assert false)
+  | S_enum, S_enum -> (
+    match (forward st a, forward st b) with
+    | A_enum va, A_enum vb -> (
+      match cmp with
+      | Formula.Eq ->
+        let common = List.filter (fun v -> List.mem v vb) va in
+        narrow_enum st a common;
+        narrow_enum st b common
+      | Formula.Neq -> (
+        match (va, vb) with
+        | [ x ], [ y ] when x = y -> raise Unsat
+        | [ x ], _ -> (
+          match b with
+          | Term.Var v -> set st v (Domain.remove_str x (get st v))
+          | _ -> ())
+        | _, [ y ] -> (
+          match a with
+          | Term.Var v -> set st v (Domain.remove_str y (get st v))
+          | _ -> ())
+        | _ -> ())
+      | Formula.Lt | Formula.Le | Formula.Gt | Formula.Ge ->
+        invalid_arg "Propagate: ordering on enum terms")
+    | _ -> assert false)
+  | _ -> (
+    (* mixed int/enum: equality is impossible, disequality trivial *)
+    match cmp with
+    | Formula.Eq -> raise Unsat
+    | Formula.Neq -> ()
+    | _ -> invalid_arg "Propagate: ordering between int and enum terms")
+
+let max_rounds = 100
+
+(** [run domains atoms] propagates to fixpoint. Returns the narrowed
+    domains; raises {!Unsat} on wipe-out. *)
+let run domains atoms =
+  let st = { domains } in
+  let changed = ref true in
+  let rounds = ref 0 in
+  while !changed && !rounds < max_rounds do
+    incr rounds;
+    let before = st.domains in
+    List.iter (revise_atom st) atoms;
+    changed := not (SMap.equal Domain.equal before st.domains)
+  done;
+  st.domains

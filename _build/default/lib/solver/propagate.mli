@@ -1,0 +1,12 @@
+(** HC4-style constraint propagation over a conjunct of atoms. *)
+
+module SMap : Map.S with type key = string
+
+exception Unsat
+(** A domain was wiped out: the conjunct has no model. *)
+
+val max_rounds : int
+
+val run : Domain.t SMap.t -> Dnf.conjunct -> Domain.t SMap.t
+(** Revise every atom to fixpoint (bounded by {!max_rounds} rounds,
+    which never compromises soundness). *)

@@ -1,0 +1,80 @@
+(** Backtracking search over a conjunct of atoms.
+
+    Propagate-and-split: after {!Propagate.run} reaches a fixpoint, pick
+    the unfixed variable with the smallest domain, bisect it, and recurse.
+    Domains are finite so the search terminates; a generous depth cap
+    guards against pathological inputs. *)
+
+module SMap = Propagate.SMap
+
+type model = (string * Domain.value) list
+
+let max_depth = 10_000
+
+(* Restrict the domain map to variables the atoms mention; everything
+   else is unconstrained and can take any value. *)
+let relevant_vars atoms =
+  List.fold_left
+    (fun acc (_, a, b) -> Term.vars (Term.vars acc a) b)
+    [] atoms
+
+let model_of_domains vars domains =
+  List.filter_map
+    (fun v ->
+      match SMap.find_opt v domains with
+      | Some d -> Option.map (fun value -> (v, value)) (Domain.choose d)
+      | None -> None)
+    vars
+
+let all_atoms_hold domains atoms =
+  let env v =
+    match SMap.find_opt v domains with
+    | Some d -> ( match Domain.choose d with Some value -> value | None -> raise Not_found)
+    | None -> raise Not_found
+  in
+  List.for_all
+    (fun (cmp, a, b) -> Formula.eval env (Formula.Atom (cmp, a, b)))
+    atoms
+
+(** [solve store atoms] finds a model of the conjunction, if any. *)
+let solve (store : Store.t) (atoms : Dnf.conjunct) : model option =
+  let vars = relevant_vars atoms in
+  let domains =
+    List.fold_left
+      (fun m v ->
+        match Store.find_opt v store with
+        | Some d -> SMap.add v d m
+        | None -> invalid_arg ("Search.solve: variable not in store: " ^ v))
+      SMap.empty vars
+  in
+  let rec go domains depth =
+    if depth > max_depth then None
+    else
+      match Propagate.run domains atoms with
+      | exception Propagate.Unsat -> None
+      | domains ->
+        let unfixed =
+          SMap.fold
+            (fun v d acc ->
+              let n = Domain.size d in
+              match acc with
+              | Some (_, best) when best <= n -> acc
+              | _ -> if n >= 2 then Some (v, n) else acc)
+            domains None
+        in
+        (match unfixed with
+        | None ->
+          if all_atoms_hold domains atoms then Some (model_of_domains vars domains)
+          else None
+        | Some (v, _) ->
+          let d = SMap.find v domains in
+          let left, right = Domain.split d in
+          (* explore the half nearer zero first for natural witnesses *)
+          let first, second =
+            if Domain.distance_to_zero right < Domain.distance_to_zero left then (right, left)
+            else (left, right)
+          in
+          let try_branch half = go (SMap.add v half domains) (depth + 1) in
+          (match try_branch first with Some m -> Some m | None -> try_branch second))
+  in
+  go domains 0

@@ -1,0 +1,9 @@
+(** Backtracking propagate-and-split search over a conjunct of atoms. *)
+
+type model = (string * Domain.value) list
+
+val max_depth : int
+
+val solve : Store.t -> Dnf.conjunct -> model option
+(** Find a model of the conjunction. Every variable mentioned by the
+    atoms must be typed in the store. *)

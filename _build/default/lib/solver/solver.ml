@@ -1,0 +1,55 @@
+(** Top-level constraint-satisfaction interface.
+
+    This is HomeGuard's substitute for the JaCoP solver: decide
+    satisfiability of quantifier-free formulas over bounded integers and
+    enumerated strings, and return a witness model used to explain under
+    which situation two rules interfere (paper §VI-A2). *)
+
+type model = Search.model
+
+(** Lazy DPLL-style solving (also the ablation A3 variant): split on
+    disjunctions without materialising the full DNF. *)
+let satisfiable_dpll store f : model option =
+  let store = Store.infer store f in
+  let f = Formula.nnf f in
+  (* Separate a conjunction into literal atoms and remaining disjunctions. *)
+  let rec flatten acc_atoms acc_ors = function
+    | [] -> (acc_atoms, List.rev acc_ors)
+    | Formula.True :: rest -> flatten acc_atoms acc_ors rest
+    | Formula.False :: _ -> raise Exit
+    | Formula.Atom (cmp, a, b) :: rest -> flatten ((cmp, a, b) :: acc_atoms) acc_ors rest
+    | Formula.And fs :: rest -> flatten acc_atoms acc_ors (fs @ rest)
+    | (Formula.Or _ as f) :: rest -> flatten acc_atoms (f :: acc_ors) rest
+    | Formula.Not _ :: _ -> invalid_arg "satisfiable_dpll: not in NNF"
+  in
+  let rec go fs =
+    match flatten [] [] fs with
+    | exception Exit -> None
+    | atoms, [] -> Search.solve store atoms
+    | atoms, Formula.Or disjuncts :: ors ->
+      List.find_map
+        (fun d ->
+          go (d :: ors @ List.map (fun (cmp, a, b) -> Formula.Atom (cmp, a, b)) atoms))
+        disjuncts
+    | _, _ :: _ -> assert false
+  in
+  go [ f ]
+
+(** [satisfiable store f] — DNF + propagate-and-split per conjunct; the
+    store is closed over free variables via {!Store.infer}. Formulas
+    whose DNF would explode fall back to the lazy splitting above. *)
+let satisfiable store f : model option =
+  let store' = Store.infer store f in
+  match Dnf.of_formula f with
+  | conjuncts -> List.find_map (Search.solve store') conjuncts
+  | exception Dnf.Too_large -> satisfiable_dpll store f
+
+(** [sat store f] — satisfiability as a boolean. *)
+let sat store f = Option.is_some (satisfiable store f)
+
+(** [entails store f g]: every model of [f] satisfies [g]
+    (i.e. f ∧ ¬g is unsatisfiable). *)
+let entails store f g = not (sat store (Formula.conj [ f; Formula.Not g ]))
+
+(** [conflicts store f g]: f ∧ g has no model. *)
+let conflicts store f g = not (sat store (Formula.conj [ f; g ]))

@@ -1,0 +1,21 @@
+(** Top-level constraint-satisfaction interface — HomeGuard's substitute
+    for the JaCoP solver: satisfiability of quantifier-free formulas
+    over bounded integers and enumerated strings, with witness models. *)
+
+type model = Search.model
+
+val satisfiable : Store.t -> Formula.t -> model option
+(** DNF + propagate-and-split per conjunct; the store is closed over
+    free variables via {!Store.infer}. Falls back to {!satisfiable_dpll}
+    when the DNF would exceed {!Dnf.max_conjuncts}. *)
+
+val satisfiable_dpll : Store.t -> Formula.t -> model option
+(** Lazy DPLL-style splitting on disjunctions (ablation A3 variant). *)
+
+val sat : Store.t -> Formula.t -> bool
+
+val entails : Store.t -> Formula.t -> Formula.t -> bool
+(** [entails store f g]: every model of [f] satisfies [g]. *)
+
+val conflicts : Store.t -> Formula.t -> Formula.t -> bool
+(** [conflicts store f g]: [f] and [g] have no common model. *)

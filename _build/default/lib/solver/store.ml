@@ -1,0 +1,132 @@
+(** Variable stores: typed domains for solver variables.
+
+    The rules layer populates a store from capability attribute domains
+    (e.g. ["tv1.switch"] gets [{on, off}]) and from configuration values;
+    {!infer} then closes the store over a formula's remaining free
+    variables — numeric by default, enum when only ever compared against
+    string constants (with a sentinel extra value so Neq stays
+    satisfiable). *)
+
+module SMap = Map.Make (String)
+
+type t = Domain.t SMap.t
+
+let empty : t = SMap.empty
+let add = SMap.add
+let of_list l = List.fold_left (fun m (k, v) -> SMap.add k v m) SMap.empty l
+let find_opt = SMap.find_opt
+let bindings = SMap.bindings
+let mem = SMap.mem
+
+(** Default bounds for untyped numeric variables (user thresholds,
+    sensor readings without a capability domain). *)
+let default_int_lo = -1_000_000
+let default_int_hi = 1_000_000
+
+(** Sentinel enum value: "some value other than the constants mentioned". *)
+let other_value = "__other__"
+
+(* Collect, for each variable, the string constants it is compared
+   against anywhere in the formula. *)
+let enum_universe f =
+  let tbl = Hashtbl.create 16 in
+  let note v s =
+    let cur = try Hashtbl.find tbl v with Not_found -> [] in
+    if not (List.mem s cur) then Hashtbl.replace tbl v (s :: cur)
+  in
+  let rec atom_sides a b =
+    match (a, b) with
+    | Term.Var v, Term.Str s | Term.Str s, Term.Var v -> note v s
+    | Term.Var v1, Term.Var v2 ->
+      (* joined enum variables share their universes at inference time *)
+      note v1 ("__join__" ^ v2);
+      note v2 ("__join__" ^ v1)
+    | _ -> ()
+  and go = function
+    | Formula.True | Formula.False -> ()
+    | Formula.Atom (_, a, b) -> atom_sides a b
+    | Formula.And fs | Formula.Or fs -> List.iter go fs
+    | Formula.Not f -> go f
+  in
+  go f;
+  tbl
+
+(* Is a variable ever used arithmetically or ordered (=> numeric)? *)
+let numeric_vars f =
+  let tbl = Hashtbl.create 16 in
+  let rec note_term = function
+    | Term.Int _ | Term.Str _ -> ()
+    | Term.Var v -> Hashtbl.replace tbl v true
+    | Term.Add (a, b) | Term.Sub (a, b) | Term.Mul (a, b) ->
+      note_term a;
+      note_term b
+    | Term.Neg a -> note_term a
+  in
+  let note_arith = function
+    | Term.Add _ | Term.Sub _ | Term.Mul _ | Term.Neg _ as t -> note_term t
+    | Term.Int _ | Term.Str _ | Term.Var _ -> ()
+  in
+  let rec go = function
+    | Formula.True | Formula.False -> ()
+    | Formula.Atom (cmp, a, b) ->
+      (match cmp with
+      | Formula.Lt | Formula.Le | Formula.Gt | Formula.Ge ->
+        (* ordering implies numeric on both sides *)
+        let rec all_vars = function
+          | Term.Var v -> Hashtbl.replace tbl v true
+          | Term.Int _ | Term.Str _ -> ()
+          | Term.Add (x, y) | Term.Sub (x, y) | Term.Mul (x, y) ->
+            all_vars x;
+            all_vars y
+          | Term.Neg x -> all_vars x
+        in
+        all_vars a;
+        all_vars b
+      | Formula.Eq | Formula.Neq -> ());
+      note_arith a;
+      note_arith b;
+      (* equality against an int constant implies numeric *)
+      (match (a, b) with
+      | Term.Var v, Term.Int _ | Term.Int _, Term.Var v -> Hashtbl.replace tbl v true
+      | _ -> ())
+    | Formula.And fs | Formula.Or fs -> List.iter go fs
+    | Formula.Not f -> go f
+  in
+  go f;
+  tbl
+
+(** [infer store f] extends [store] with domains for every free variable
+    of [f] not already typed. *)
+let infer store f =
+  let universe = enum_universe f in
+  let numeric = numeric_vars f in
+  (* Resolve enum universes across __join__ links (one step suffices for
+     rule-sized formulas; iterate to a small fixpoint to be safe). *)
+  let resolve v =
+    let seen = Hashtbl.create 4 in
+    let rec go v acc =
+      if Hashtbl.mem seen v then acc
+      else begin
+        Hashtbl.replace seen v ();
+        let entries = try Hashtbl.find universe v with Not_found -> [] in
+        List.fold_left
+          (fun acc s ->
+            if String.length s > 8 && String.sub s 0 8 = "__join__" then
+              go (String.sub s 8 (String.length s - 8)) acc
+            else if List.mem s acc then acc
+            else s :: acc)
+          acc entries
+      end
+    in
+    go v []
+  in
+  List.fold_left
+    (fun store v ->
+      if mem v store then store
+      else if Hashtbl.mem numeric v then
+        add v (Domain.interval default_int_lo default_int_hi) store
+      else
+        match resolve v with
+        | [] -> add v (Domain.interval default_int_lo default_int_hi) store
+        | consts -> add v (Domain.enums (other_value :: consts)) store)
+    store (Formula.free_vars f)

@@ -1,0 +1,62 @@
+(** Terms of the quantifier-free constraint language.
+
+    Rules extracted from SmartApps are represented as quantifier-free
+    first-order formulas (paper §I) whose terms are integer/string
+    constants, solver variables (qualified names such as
+    ["tSensor.temperature"] or ["threshold1"]) and linear arithmetic. *)
+
+type t =
+  | Int of int
+  | Str of string
+  | Var of string
+  | Add of t * t
+  | Sub of t * t
+  | Mul of t * t
+  | Neg of t
+
+let rec vars acc = function
+  | Int _ | Str _ -> acc
+  | Var v -> if List.mem v acc then acc else v :: acc
+  | Add (a, b) | Sub (a, b) | Mul (a, b) -> vars (vars acc a) b
+  | Neg a -> vars acc a
+
+(** Free variables, in first-occurrence order. *)
+let free_vars t = List.rev (vars [] t)
+
+(** Is this term a string-typed constant? (Variables may be either;
+    typing is resolved against the store.) *)
+let is_string_const = function Str _ -> true | _ -> false
+
+let rec to_string = function
+  | Int n -> string_of_int n
+  | Str s -> Printf.sprintf "%S" s
+  | Var v -> v
+  | Add (a, b) -> Printf.sprintf "(%s + %s)" (to_string a) (to_string b)
+  | Sub (a, b) -> Printf.sprintf "(%s - %s)" (to_string a) (to_string b)
+  | Mul (a, b) -> Printf.sprintf "(%s * %s)" (to_string a) (to_string b)
+  | Neg a -> Printf.sprintf "-(%s)" (to_string a)
+
+(** Substitute variables by terms. *)
+let rec subst map t =
+  match t with
+  | Int _ | Str _ -> t
+  | Var v -> ( match List.assoc_opt v map with Some t' -> t' | None -> t)
+  | Add (a, b) -> Add (subst map a, subst map b)
+  | Sub (a, b) -> Sub (subst map a, subst map b)
+  | Mul (a, b) -> Mul (subst map a, subst map b)
+  | Neg a -> Neg (subst map a)
+
+(** Evaluate a ground (variable-free) integer term. *)
+let rec eval_ground = function
+  | Int n -> Some n
+  | Str _ | Var _ -> None
+  | Add (a, b) -> ( match (eval_ground a, eval_ground b) with
+    | Some x, Some y -> Some (x + y)
+    | _ -> None)
+  | Sub (a, b) -> ( match (eval_ground a, eval_ground b) with
+    | Some x, Some y -> Some (x - y)
+    | _ -> None)
+  | Mul (a, b) -> ( match (eval_ground a, eval_ground b) with
+    | Some x, Some y -> Some (x * y)
+    | _ -> None)
+  | Neg a -> Option.map (fun x -> -x) (eval_ground a)

@@ -1,0 +1,1 @@
+lib/symexec/api_model.ml: Homeguard_solver String

@@ -1,0 +1,1 @@
+lib/symexec/api_model.mli: Homeguard_solver

@@ -1,0 +1,1 @@
+lib/symexec/exec.ml: Api_model Fun Homeguard_groovy Homeguard_rules Homeguard_solver Homeguard_st List Printf SMap String Symval

@@ -1,0 +1,1 @@
+lib/symexec/exec.mli: Homeguard_groovy Homeguard_rules Symval

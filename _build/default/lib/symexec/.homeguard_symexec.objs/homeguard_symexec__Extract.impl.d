@@ -1,0 +1,1 @@
+lib/symexec/extract.ml: Exec Homeguard_groovy Homeguard_rules Homeguard_solver List Option Printf Symval

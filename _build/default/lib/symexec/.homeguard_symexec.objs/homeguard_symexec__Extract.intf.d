@@ -1,0 +1,1 @@
+lib/symexec/extract.mli: Homeguard_groovy Homeguard_rules

@@ -1,0 +1,1 @@
+lib/symexec/symval.ml: Float Homeguard_groovy Homeguard_rules Homeguard_solver List Map String

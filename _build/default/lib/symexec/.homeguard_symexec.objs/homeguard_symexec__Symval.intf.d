@@ -1,0 +1,1 @@
+lib/symexec/symval.mli: Homeguard_groovy Homeguard_rules Homeguard_solver Map

@@ -1,0 +1,83 @@
+(** Static models of SmartThings platform APIs and object properties.
+
+    The paper models 173 API methods and 94 object-property accesses by
+    reviewing the developer documentation (§V-B "API modeling"); this
+    module is the OCaml counterpart: pure helpers that map API names and
+    property accesses to symbolic values, plus time parsing used by
+    scheduling APIs. *)
+
+module Term = Homeguard_solver.Term
+
+(** [attribute_of_current_prop "currentSwitch"] = [Some "switch"] —
+    SmartThings synthesises a [currentX] property per attribute [x]. *)
+let attribute_of_current_prop name =
+  let prefix = "current" in
+  let pl = String.length prefix in
+  if String.length name > pl && String.sub name 0 pl = prefix then begin
+    let rest = String.sub name pl (String.length name - pl) in
+    Some (String.uncapitalize_ascii rest)
+  end
+  else None
+
+(** Parse "HH:mm" (or ISO "yyyy-MM-dd'T'HH:mm:ss") to minutes after
+    midnight. Scheduling inputs of type [time] render this way. *)
+let minutes_of_time_string s =
+  let parse_hm hm =
+    match String.split_on_char ':' hm with
+    | [ h; m ] -> (
+      match (int_of_string_opt h, int_of_string_opt (String.sub m 0 (min 2 (String.length m)))) with
+      | Some h, Some m when h >= 0 && h < 24 && m >= 0 && m < 60 -> Some ((h * 60) + m)
+      | _ -> None)
+    | _ -> None
+  in
+  match String.index_opt s 'T' with
+  | Some i when String.length s > i + 5 -> parse_hm (String.sub s (i + 1) 5)
+  | _ -> parse_hm s
+
+(** Parse a Quartz cron expression's fixed minute/hour fields
+    ("0 30 18 * * ?" -> 18:30). *)
+let minutes_of_cron s =
+  match String.split_on_char ' ' (String.trim s) with
+  | _seconds :: minute :: hour :: _ -> (
+    match (int_of_string_opt minute, int_of_string_opt hour) with
+    | Some m, Some h when h >= 0 && h < 24 && m >= 0 && m < 60 -> Some ((h * 60) + m)
+    | _ -> None)
+  | _ -> None
+
+(** Properties of the [location] object. *)
+let location_property name =
+  match name with
+  | "mode" | "currentMode" -> Some (Term.Var "location.mode")
+  | "name" -> Some (Term.Str "home")
+  | "id" -> Some (Term.Str "@location-id")
+  | "timeZone" -> Some (Term.Str "@tz")
+  | "latitude" | "longitude" -> Some (Term.Int 0)
+  | _ -> None
+
+(** Zero-argument platform functions returning symbolic time sources. *)
+let time_api name =
+  match name with
+  | "now" -> Some (Term.Var "time.now_ms")
+  | "timeToday" | "timeTodayAfter" -> Some (Term.Var "time.today")
+  | _ -> None
+
+(** String-returning instance methods that we model as identity or
+    constants — receiver-preserving conversions. *)
+let is_identity_conversion = function
+  | "toInteger" | "toFloat" | "toDouble" | "toBigDecimal" | "toString" | "trim"
+  | "toLowerCase" | "toUpperCase" | "intValue" | "floatValue" | "round" ->
+    true
+  | _ -> false
+
+(** Collection methods whose closure argument we execute once with a
+    representative element. *)
+let is_collection_iterator = function
+  | "each" | "findAll" | "collect" | "find" | "any" | "every" | "eachWithIndex" -> true
+  | _ -> false
+
+(** Event-object properties resolving to the event's value. *)
+let is_event_value_prop = function
+  | "value" | "doubleValue" | "integerValue" | "numericValue" | "numberValue"
+  | "floatValue" | "stringValue" ->
+    true
+  | _ -> false

@@ -1,0 +1,17 @@
+(** Static models of SmartThings APIs and object properties used by the
+    symbolic executor (paper §V-B "API modeling"). *)
+
+val attribute_of_current_prop : string -> string option
+(** ["currentSwitch"] -> [Some "switch"]. *)
+
+val minutes_of_time_string : string -> int option
+(** "HH:mm" or ISO timestamps -> minutes after midnight. *)
+
+val minutes_of_cron : string -> int option
+(** Fixed minute/hour fields of a Quartz cron expression. *)
+
+val location_property : string -> Homeguard_solver.Term.t option
+val time_api : string -> Homeguard_solver.Term.t option
+val is_identity_conversion : string -> bool
+val is_collection_iterator : string -> bool
+val is_event_value_prop : string -> bool

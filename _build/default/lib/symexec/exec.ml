@@ -1,0 +1,972 @@
+(** Symbolic execution of SmartApp programs.
+
+    Depth-first path exploration (paper §V-B): every conditional,
+    switch case and ternary splits the path; sinks (capability commands
+    and sensitive platform APIs) are recorded as actions together with
+    the accumulated [runIn] delay; [subscribe]/[schedule] calls found
+    while executing the lifecycle entry points become triggers. *)
+
+module Ast = Homeguard_groovy.Ast
+module Term = Homeguard_solver.Term
+module Formula = Homeguard_solver.Formula
+module Rule = Homeguard_rules.Rule
+module Capability = Homeguard_st.Capability
+module Api = Homeguard_st.Api
+open Symval
+
+type subscription = {
+  sub_subject : Rule.subject;
+  sub_attribute : string;
+  sub_value : string option;  (** ["switch.on"]-style subscription value *)
+  sub_handler : string;
+}
+
+type schedule = {
+  sched_handler : string;
+  sched_at : int option;  (** minutes after midnight *)
+  sched_period : int option;  (** seconds *)
+}
+
+type ctx = {
+  prog : Ast.program;
+  inputs : Rule.input_decl list;
+  subs : subscription list ref;
+  schedules : schedule list ref;
+  fresh_counter : int ref;
+  unknown_calls : string list ref;
+  paths : int ref;
+  in_setup : bool;  (** executing installed/updated (collect triggers) *)
+}
+
+exception Path_budget
+
+let max_paths = 512
+let max_inline_depth = 5
+let max_loop_unroll = 8
+
+let fresh ctx hint =
+  incr ctx.fresh_counter;
+  Printf.sprintf "sym_%d_%s" !(ctx.fresh_counter) hint
+
+let note_unknown ctx name =
+  if not (List.mem name !(ctx.unknown_calls)) then
+    ctx.unknown_calls := name :: !(ctx.unknown_calls)
+
+let charge_path ctx =
+  incr ctx.paths;
+  if !(ctx.paths) > max_paths then raise Path_budget
+
+(* Does the value name a handler method of the program? *)
+let handler_name ctx = function
+  | V_method m -> Some m
+  | V_term (Term.Str s) when Ast.find_method ctx.prog s <> None -> Some s
+  | _ -> None
+
+
+(* Initial bindings: every declared input becomes a symbolic source. *)
+let bind_inputs ctx st =
+  List.fold_left
+    (fun st (i : Rule.input_decl) ->
+      let value =
+        if String.length i.input_type > 11 && String.sub i.input_type 0 11 = "capability."
+        then if i.multiple then V_devices i.var else V_device i.var
+        else if String.length i.input_type > 7 && String.sub i.input_type 0 7 = "device."
+        then if i.multiple then V_devices i.var else V_device i.var
+        else V_term (Term.Var i.var)
+      in
+      bind st i.var value)
+    st ctx.inputs
+
+(* -- expression evaluation ---------------------------------------------- *)
+
+let rec eval ctx st (e : Ast.expr) : (state * value) list =
+  match e with
+  | Ast.Lit l -> [ (st, lit_to_value l) ]
+  | Ast.Gstring parts -> eval_gstring ctx st parts
+  | Ast.Ident name -> [ (st, eval_ident ctx st name) ]
+  | Ast.List_lit es ->
+    eval_list ctx st es (fun st vs -> [ (st, V_list vs) ])
+  | Ast.Map_lit kvs ->
+    let keys = List.map fst kvs in
+    eval_list ctx st (List.map snd kvs) (fun st vs ->
+        [ (st, V_map (List.combine keys vs)) ])
+  | Ast.Range (a, b) ->
+    eval ctx st a |> bind_results (fun st _va ->
+        eval ctx st b |> bind_results (fun st _vb -> [ (st, V_list []) ]))
+  | Ast.Binop (op, a, b) -> eval_binop ctx st op a b
+  | Ast.Unop (Ast.Not, a) ->
+    eval ctx st a |> bind_results (fun st v -> [ (st, V_bool (Formula.Not (truthiness v))) ])
+  | Ast.Unop (Ast.Neg, a) ->
+    eval ctx st a
+    |> bind_results (fun st v -> [ (st, V_term (Term.Neg (to_term ~fresh:(fresh ctx) v))) ])
+  | Ast.Ternary (c, t, f) ->
+    eval ctx st c
+    |> bind_results (fun st vc ->
+           let cond = truthiness vc in
+           charge_path ctx;
+           let then_paths =
+             eval ctx (assume st cond) t
+           in
+           let else_paths = eval ctx (assume st (Formula.Not cond)) f in
+           then_paths @ else_paths)
+  | Ast.Prop (r, name) -> eval_prop ctx st r name
+  | Ast.Safe_prop (r, name) -> eval_prop ctx st r name
+  | Ast.Index (r, i) ->
+    eval ctx st r
+    |> bind_results (fun st vr ->
+           eval ctx st i
+           |> bind_results (fun st vi ->
+                  let result =
+                    match (vr, vi) with
+                    | V_list vs, V_term (Term.Int n) when n >= 0 && n < List.length vs ->
+                      List.nth vs n
+                    | V_map kvs, V_term (Term.Str k) -> (
+                      match List.assoc_opt k kvs with Some v -> v | None -> V_null)
+                    | _ -> V_term (Term.Var (fresh ctx "index"))
+                  in
+                  [ (st, result) ]))
+  | Ast.Call (recv, name, args) -> eval_call ctx st recv name args
+  | Ast.Closure (params, body) -> [ (st, V_closure (params, body)) ]
+  | Ast.Assign (lv, rhs) ->
+    eval ctx st rhs |> bind_results (fun st v -> [ (exec_assign ctx st lv v, v) ])
+  | Ast.New (_cls, _args) -> [ (st, V_term (Term.Var (fresh ctx "new"))) ]
+
+and bind_results f results = List.concat_map (fun (st, v) -> f st v) results
+
+and eval_list ctx st es k =
+  match es with
+  | [] -> k st []
+  | e :: rest ->
+    eval ctx st e
+    |> bind_results (fun st v -> eval_list ctx st rest (fun st vs -> k st (v :: vs)))
+
+and eval_gstring ctx st parts =
+  (* Constant-fold when every hole evaluates to a constant; otherwise the
+     whole string is a fresh symbolic source. *)
+  let rec go st acc_strs all_const = function
+    | [] ->
+      if all_const then [ (st, V_term (Term.Str (String.concat "" (List.rev acc_strs)))) ]
+      else [ (st, V_term (Term.Var (fresh ctx "gstring"))) ]
+    | Ast.Text s :: rest -> go st (s :: acc_strs) all_const rest
+    | Ast.Interp e :: rest ->
+      eval ctx st e
+      |> bind_results (fun st v ->
+             match v with
+             | V_term (Term.Str s) -> go st (s :: acc_strs) all_const rest
+             | V_term (Term.Int n) -> go st (string_of_int n :: acc_strs) all_const rest
+             | _ -> go st acc_strs false rest)
+  in
+  go st [] true parts
+
+and eval_ident ctx st name =
+  match lookup st name with
+  | Some v -> v
+  | None -> (
+    match name with
+    | "location" -> V_location
+    | "app" -> V_method "@app"
+    | "it" -> V_term (Term.Var (fresh ctx "it"))
+    | _ ->
+      if Ast.find_method ctx.prog name <> None then V_method name
+      else V_term (Term.Var name))
+
+and eval_prop ctx st r name =
+  match r with
+  | Ast.Ident ("state" | "atomicState") ->
+    let v =
+      match SMap.find_opt name st.state_obj with
+      | Some t -> V_term t
+      | None -> V_term (Term.Var ("state." ^ name))
+    in
+    [ (st, v) ]
+  | _ ->
+    eval ctx st r
+    |> bind_results (fun st vr ->
+           let result =
+             match vr with
+             | V_device d | V_devices d -> device_prop ctx d name
+             | V_location -> (
+               match Api_model.location_property name with
+               | Some t -> V_term t
+               | None ->
+                 if name = "modes" then V_list []
+                 else V_term (Term.Var (fresh ctx ("location_" ^ name))))
+             | V_event { value; name = ev_name; device } ->
+               event_prop ctx ~value ~ev_name ~device name
+             | V_map kvs -> (
+               match List.assoc_opt name kvs with Some v -> v | None -> V_null)
+             | V_list vs -> (
+               match name with
+               | "size" -> V_term (Term.Int (List.length vs))
+               | "first" -> ( match vs with v :: _ -> v | [] -> V_null)
+               | "last" -> ( match List.rev vs with v :: _ -> v | [] -> V_null)
+               | _ -> V_term (Term.Var (fresh ctx ("list_" ^ name))))
+             | _ -> V_term (Term.Var (fresh ctx ("prop_" ^ name)))
+           in
+           [ (st, result) ])
+
+and device_prop ctx d name =
+  match name with
+  | "id" -> V_term (Term.Str ("@id:" ^ d))
+  | "label" | "displayName" | "name" -> V_term (Term.Str d)
+  | _ -> (
+    match Api_model.attribute_of_current_prop name with
+    | Some attr -> V_term (Term.Var (d ^ "." ^ attr))
+    | None ->
+      (* direct attribute access: [tSensor.temperature] *)
+      if Capability.capabilities_with_attribute name <> [] then
+        V_term (Term.Var (d ^ "." ^ name))
+      else V_term (Term.Var (fresh ctx ("dev_" ^ name))))
+
+and event_prop ctx ~value ~ev_name ~device name =
+  if Api_model.is_event_value_prop name then V_term value
+  else
+    match name with
+    | "name" -> V_term (Term.Str ev_name)
+    | "deviceId" -> (
+      match device with
+      | Some d -> V_term (Term.Str ("@id:" ^ d))
+      | None -> V_term (Term.Str "@id:unknown"))
+    | "displayName" | "device" -> (
+      match device with Some d -> V_device d | None -> V_null)
+    | "isStateChange" -> V_bool Formula.True
+    | "date" | "dateValue" -> V_term (Term.Var "time.now_ms")
+    | _ -> V_term (Term.Var (fresh ctx ("evt_" ^ name)))
+
+and exec_assign ctx st lv v =
+  match lv with
+  | Ast.Ident name ->
+    let st =
+      match v with
+      | V_term t -> record_data st name t
+      | _ -> st
+    in
+    bind st name v
+  | Ast.Prop (Ast.Ident ("state" | "atomicState"), field) ->
+    let t = to_term ~fresh:(fresh ctx) v in
+    let st = record_data st ("state." ^ field) t in
+    { st with state_obj = SMap.add field t st.state_obj }
+  | Ast.Prop (Ast.Ident "location", "mode") ->
+    record_action st
+      {
+        Rule.target = Rule.Act_location_mode;
+        command = "setLocationMode";
+        params = [ to_term ~fresh:(fresh ctx) v ];
+        when_ = st.delay;
+        period = st.period;
+        action_data = [];
+      }
+  | _ -> st
+
+and eval_binop ctx st op a b =
+  match op with
+  | Ast.And ->
+    eval ctx st a
+    |> bind_results (fun st va ->
+           eval ctx st b
+           |> bind_results (fun st vb ->
+                  [ (st, V_bool (Formula.conj [ truthiness va; truthiness vb ])) ]))
+  | Ast.Or ->
+    eval ctx st a
+    |> bind_results (fun st va ->
+           eval ctx st b
+           |> bind_results (fun st vb ->
+                  [ (st, V_bool (Formula.disj [ truthiness va; truthiness vb ])) ]))
+  | Ast.Elvis ->
+    eval ctx st a
+    |> bind_results (fun st va ->
+           match va with
+           | V_null -> eval ctx st b
+           | V_term (Term.Str _ | Term.Int _) | V_bool _ | V_device _ | V_devices _ ->
+             [ (st, va) ]
+           | _ ->
+             charge_path ctx;
+             let truthy = truthiness va in
+             (assume st truthy, va)
+             :: eval ctx (assume st (Formula.Not truthy)) b)
+  | Ast.Eq | Ast.Neq -> eval_equality ctx st op a b
+  | Ast.Lt | Ast.Le | Ast.Gt | Ast.Ge ->
+    let cmp =
+      match op with
+      | Ast.Lt -> Formula.Lt
+      | Ast.Le -> Formula.Le
+      | Ast.Gt -> Formula.Gt
+      | Ast.Ge -> Formula.Ge
+      | _ -> assert false
+    in
+    eval ctx st a
+    |> bind_results (fun st va ->
+           eval ctx st b
+           |> bind_results (fun st vb ->
+                  let ta = to_term ~fresh:(fresh ctx) va in
+                  let tb = to_term ~fresh:(fresh ctx) vb in
+                  [ (st, V_bool (Formula.atom cmp ta tb)) ]))
+  | Ast.In_op ->
+    eval ctx st a
+    |> bind_results (fun st va ->
+           eval ctx st b
+           |> bind_results (fun st vb ->
+                  let ta = to_term ~fresh:(fresh ctx) va in
+                  let result =
+                    match vb with
+                    | V_list vs ->
+                      V_bool
+                        (Formula.disj
+                           (List.map (fun v -> Formula.eq ta (to_term ~fresh:(fresh ctx) v)) vs))
+                    | _ -> V_bool (Formula.neq (Term.Var (fresh ctx "in")) (Term.Str "__falsy__"))
+                  in
+                  [ (st, result) ]))
+  | Ast.Add | Ast.Sub | Ast.Mul | Ast.Div | Ast.Mod ->
+    eval ctx st a
+    |> bind_results (fun st va ->
+           eval ctx st b
+           |> bind_results (fun st vb ->
+                  let ta = to_term ~fresh:(fresh ctx) va in
+                  let tb = to_term ~fresh:(fresh ctx) vb in
+                  let t =
+                    match op with
+                    | Ast.Add -> (
+                      (* string concatenation folds constants *)
+                      match (ta, tb) with
+                      | Term.Str x, Term.Str y -> Term.Str (x ^ y)
+                      | Term.Str _, _ | _, Term.Str _ -> Term.Var (fresh ctx "concat")
+                      | _ -> Term.Add (ta, tb))
+                    | Ast.Sub -> Term.Sub (ta, tb)
+                    | Ast.Mul -> Term.Mul (ta, tb)
+                    | Ast.Div | Ast.Mod -> (
+                      match (Term.eval_ground ta, Term.eval_ground tb) with
+                      | Some x, Some y when y <> 0 ->
+                        if op = Ast.Div then Term.Int (x / y) else Term.Int (x mod y)
+                      | _ -> Term.Var (fresh ctx "div"))
+                    | _ -> assert false
+                  in
+                  [ (st, V_term t) ]))
+
+and eval_equality ctx st op a b =
+  eval ctx st a
+  |> bind_results (fun st va ->
+         eval ctx st b
+         |> bind_results (fun st vb ->
+                let negate f = if op = Ast.Eq then f else Formula.Not f in
+                let result =
+                  match (va, vb) with
+                  | V_bool f, V_bool Formula.True | V_bool Formula.True, V_bool f -> negate f
+                  | V_bool f, V_bool Formula.False | V_bool Formula.False, V_bool f ->
+                    negate (Formula.Not f)
+                  | V_null, V_null -> negate Formula.True
+                  | V_null, (V_device _ | V_devices _ | V_location)
+                  | (V_device _ | V_devices _ | V_location), V_null ->
+                    negate Formula.False
+                  | V_null, V_term (Term.Var v) | V_term (Term.Var v), V_null ->
+                    negate (Formula.eq (Term.Var v) (Term.Str "null"))
+                  | _ ->
+                    let ta = to_term ~fresh:(fresh ctx) va in
+                    let tb = to_term ~fresh:(fresh ctx) vb in
+                    if op = Ast.Eq then Formula.eq ta tb else Formula.neq ta tb
+                in
+                [ (st, V_bool result) ]))
+
+(* -- calls ---------------------------------------------------------------- *)
+
+and positional args =
+  List.filter_map (function Ast.Pos e -> Some e | Ast.Named _ -> None) args
+
+and eval_call ctx st recv name args : (state * value) list =
+  match recv with
+  | None -> eval_global_call ctx st name args
+  | Some r ->
+    (* [location.setMode] and friends need the receiver identified before
+       generic evaluation *)
+    eval ctx st r |> bind_results (fun st vr -> eval_method_call ctx st vr name args)
+
+and eval_global_call ctx st name args =
+  let pos = positional args in
+  match name with
+  | "subscribe" -> exec_subscribe ctx st args
+  | "unsubscribe" | "unschedule" -> [ (st, V_null) ]
+  | "input" | "definition" | "preferences" | "section" | "paragraph" | "label" | "mode"
+  | "page" | "dynamicPage" | "href" ->
+    [ (st, V_null) ]
+  | "runIn" -> exec_run_in ctx st pos
+  | "runOnce" -> exec_run_once ctx st pos
+  | "schedule" | "runDaily" -> exec_schedule ctx st pos
+  | _ when String.length name > 8 && String.sub name 0 8 = "runEvery" ->
+    exec_run_every ctx st name pos
+  | "setLocationMode" ->
+    eval_args_terms ctx st pos (fun st params ->
+        [ (record_action st (make_action st Rule.Act_location_mode "setLocationMode" params), V_null) ])
+  | "sendSms" | "sendSmsMessage" | "sendPush" | "sendPushMessage" | "sendNotification"
+  | "sendNotificationEvent" | "sendNotificationToContacts" ->
+    eval_args_terms ctx st pos (fun st params ->
+        [ (record_action st (make_action st Rule.Act_messaging name params), V_null) ])
+  | "sendHubCommand" ->
+    eval_args_terms ctx st pos (fun st params ->
+        [ (record_action st (make_action st Rule.Act_hub name params), V_null) ])
+  | "httpDelete" | "httpGet" | "httpHead" | "httpPost" | "httpPostJson" | "httpPut"
+  | "httpPutJson" ->
+    exec_http ctx st name args
+  | "sendEvent" -> [ (st, V_null) ]
+  | "timeOfDayIsBetween" -> exec_time_between ctx st pos
+  | "getSunriseAndSunset" ->
+    [
+      ( st,
+        V_map
+          [
+            ("sunrise", V_term (Term.Var "time.sunrise")); ("sunset", V_term (Term.Var "time.sunset"));
+          ] );
+    ]
+  | "timeToday" | "timeTodayAfter" | "now" -> (
+    match Api_model.time_api name with
+    | Some t -> [ (st, V_term t) ]
+    | None -> [ (st, V_term (Term.Var (fresh ctx name))) ])
+  | "parseJson" | "parseLanMessage" -> [ (st, V_term (Term.Var (fresh ctx name))) ]
+  | "celsiusToFahrenheit" | "fahrenheitToCelsius" -> (
+    match pos with
+    | [ e ] -> eval ctx st e
+    | _ -> [ (st, V_null) ])
+  | "getTemperatureScale" | "temperatureScale" -> [ (st, V_term (Term.Str "F")) ]
+  | "log" -> [ (st, V_null) ]
+  | _ -> (
+    match Ast.find_method ctx.prog name with
+    | Some m -> inline_method ctx st m args
+    | None ->
+      (* [log.debug ...] arrives as receiver-call; bare unknown calls are
+         modeled as fresh symbolic returns *)
+      note_unknown ctx name;
+      [ (st, V_term (Term.Var (fresh ctx name))) ])
+
+and eval_args_terms ctx st exprs k =
+  eval_list ctx st exprs (fun st vs -> k st (List.map (to_term ~fresh:(fresh ctx)) vs))
+
+and make_action st target command params =
+  let action_data =
+    List.mapi
+      (fun i t ->
+        match t with
+        | Term.Int _ | Term.Str _ -> None
+        | t -> Some (Printf.sprintf "param%d" i, t))
+      params
+    |> List.filter_map Fun.id
+  in
+  { Rule.target; command; params; when_ = st.delay; period = st.period; action_data }
+
+and exec_subscribe ctx st args =
+  let pos = positional args in
+  match pos with
+  | [ target_e; attr_e; handler_e ] ->
+    eval ctx st attr_e
+    |> bind_results (fun st attr_v ->
+           eval ctx st handler_e
+           |> bind_results (fun st handler_v ->
+                  let attr_str =
+                    match attr_v with
+                    | V_term (Term.Str s) -> s
+                    | _ -> "unknown"
+                  in
+                  let attribute, value =
+                    match String.index_opt attr_str '.' with
+                    | Some i ->
+                      ( String.sub attr_str 0 i,
+                        Some (String.sub attr_str (i + 1) (String.length attr_str - i - 1)) )
+                    | None -> (attr_str, None)
+                  in
+                  let handler =
+                    match handler_name ctx handler_v with Some h -> h | None -> "unknown"
+                  in
+                  let subjects =
+                    match target_e with
+                    | Ast.Ident "location" -> [ Rule.Location ]
+                    | Ast.Ident "app" -> [ Rule.App_touch ]
+                    | _ ->
+                      eval ctx st target_e
+                      |> List.filter_map (fun (_, v) ->
+                             match v with
+                             | V_device d | V_devices d -> Some (Rule.Device d)
+                             | V_location -> Some Rule.Location
+                             | _ -> None)
+                  in
+                  List.iter
+                    (fun sub_subject ->
+                      let sub =
+                        { sub_subject; sub_attribute = attribute; sub_value = value; sub_handler = handler }
+                      in
+                      if not (List.mem sub !(ctx.subs)) then ctx.subs := sub :: !(ctx.subs))
+                    subjects;
+                  [ (st, V_null) ]))
+  | _ -> [ (st, V_null) ]
+
+and exec_run_in ctx st pos =
+  match pos with
+  | delay_e :: handler_e :: _ ->
+    eval ctx st delay_e
+    |> bind_results (fun st delay_v ->
+           eval ctx st handler_e
+           |> bind_results (fun st handler_v ->
+                  let seconds =
+                    match delay_v with
+                    | V_term (Term.Int n) -> n
+                    | V_term t -> ( match Term.eval_ground t with Some n -> n | None -> 60)
+                    | _ -> 60
+                  in
+                  match handler_name ctx handler_v with
+                  | Some h -> run_scheduled_method ctx st h ~delay:seconds ~period:0
+                  | None -> [ (st, V_null) ]))
+  | _ -> [ (st, V_null) ]
+
+and exec_run_once ctx st pos =
+  match pos with
+  | _time_e :: handler_e :: _ ->
+    eval ctx st handler_e
+    |> bind_results (fun st handler_v ->
+           match handler_name ctx handler_v with
+           | Some h ->
+             if ctx.in_setup then begin
+               let sched = { sched_handler = h; sched_at = None; sched_period = None } in
+               if not (List.mem sched !(ctx.schedules)) then ctx.schedules := sched :: !(ctx.schedules);
+               [ (st, V_null) ]
+             end
+             else run_scheduled_method ctx st h ~delay:0 ~period:0
+           | None -> [ (st, V_null) ])
+  | _ -> [ (st, V_null) ]
+
+and exec_schedule ctx st pos =
+  match pos with
+  | [ time_e; handler_e ] ->
+    eval ctx st time_e
+    |> bind_results (fun st time_v ->
+           eval ctx st handler_e
+           |> bind_results (fun st handler_v ->
+                  let at =
+                    match time_v with
+                    | V_term (Term.Str s) -> (
+                      match Api_model.minutes_of_time_string s with
+                      | Some m -> Some m
+                      | None -> Api_model.minutes_of_cron s)
+                    | _ -> None
+                  in
+                  (match handler_name ctx handler_v with
+                  | Some h ->
+                    let sched = { sched_handler = h; sched_at = at; sched_period = None } in
+                    if not (List.mem sched !(ctx.schedules)) then
+                      ctx.schedules := sched :: !(ctx.schedules)
+                  | None -> ());
+                  [ (st, V_null) ]))
+  | _ -> [ (st, V_null) ]
+
+and exec_run_every ctx st name pos =
+  let period =
+    match Api.kind_of name with Some (Api.Periodic_run p) -> p | _ -> 3600
+  in
+  match pos with
+  | handler_e :: _ ->
+    eval ctx st handler_e
+    |> bind_results (fun st handler_v ->
+           match handler_name ctx handler_v with
+           | Some h ->
+             if ctx.in_setup then begin
+               let sched = { sched_handler = h; sched_at = None; sched_period = Some period } in
+               if not (List.mem sched !(ctx.schedules)) then ctx.schedules := sched :: !(ctx.schedules);
+               [ (st, V_null) ]
+             end
+             else run_scheduled_method ctx st h ~delay:0 ~period
+           | None -> [ (st, V_null) ])
+  | _ -> [ (st, V_null) ]
+
+(* Trace into a scheduled method with the delay attached to downstream
+   sinks (paper §V-B "API modeling"). *)
+and run_scheduled_method ctx st h ~delay ~period =
+  match Ast.find_method ctx.prog h with
+  | None -> [ (st, V_null) ]
+  | Some m ->
+    if st.depth >= max_inline_depth then [ (st, V_null) ]
+    else
+      let st' = { st with delay = st.delay + delay; period = max st.period period; depth = st.depth + 1 } in
+      exec_stmts ctx st' m.Ast.body
+      |> List.map (fun final ->
+             ( { final with delay = st.delay; period = st.period; depth = st.depth; flow = F_normal },
+               V_null ))
+
+and exec_http ctx st name args =
+  let pos = positional args in
+  eval_args_terms ctx st pos (fun st params ->
+      let st = record_action st (make_action st Rule.Act_http name params) in
+      (* execute the response closure with an opaque response *)
+      let closure =
+        List.find_map
+          (function Ast.Pos (Ast.Closure (ps, body)) -> Some (ps, body) | _ -> None)
+          args
+      in
+      match closure with
+      | Some (ps, body) ->
+        let st =
+          match ps with
+          | p :: _ -> bind st p (V_term (Term.Var (fresh ctx "resp")))
+          | [] -> bind st "it" (V_term (Term.Var (fresh ctx "resp")))
+        in
+        exec_stmts ctx st body |> List.map (fun s -> ({ s with flow = F_normal }, V_null))
+      | None -> [ (st, V_null) ])
+
+and exec_time_between ctx st pos =
+  match pos with
+  | start_e :: stop_e :: _ ->
+    eval ctx st start_e
+    |> bind_results (fun st sv ->
+           eval ctx st stop_e
+           |> bind_results (fun st ev ->
+                  let bound v =
+                    match v with
+                    | V_term (Term.Str s) -> (
+                      match Api_model.minutes_of_time_string s with
+                      | Some m -> Some (Term.Int m)
+                      | None -> None)
+                    | V_term (Term.Var v) -> Some (Term.Var (v ^ ".minutes"))
+                    | _ -> None
+                  in
+                  let now = Term.Var "time.now" in
+                  let f =
+                    match (bound sv, bound ev) with
+                    | Some lo, Some hi ->
+                      Formula.conj [ Formula.ge now lo; Formula.le now hi ]
+                    | _ ->
+                      Formula.neq (Term.Var (fresh ctx "timewindow")) (Term.Str "__falsy__")
+                  in
+                  [ (st, V_bool f) ]))
+  | _ -> [ (st, V_bool Formula.True) ]
+
+and eval_method_call ctx st vr name args =
+  let pos = positional args in
+  match vr with
+  | V_device d | V_devices d -> eval_device_call ctx st vr d name args
+  | V_location -> (
+    match name with
+    | "setMode" ->
+      eval_args_terms ctx st pos (fun st params ->
+          [
+            (record_action st (make_action st Rule.Act_location_mode "setLocationMode" params), V_null);
+          ])
+    | "getMode" | "currentMode" -> [ (st, V_term (Term.Var "location.mode")) ]
+    | _ ->
+      note_unknown ctx ("location." ^ name);
+      [ (st, V_term (Term.Var (fresh ctx ("location_" ^ name)))) ])
+  | V_event ev -> (
+    match name with
+    | "isStateChange" -> [ (st, V_bool Formula.True) ]
+    | "getValue" | "getStringValue" | "getNumberValue" | "getDoubleValue" ->
+      [ (st, V_term ev.value) ]
+    | "getName" -> [ (st, V_term (Term.Str ev.name)) ]
+    | "getDevice" -> (
+      match ev.device with
+      | Some d -> [ (st, V_device d) ]
+      | None -> [ (st, V_null) ])
+    | _ when Api_model.is_identity_conversion name -> [ (st, V_term ev.value) ]
+    | _ -> [ (st, V_term (Term.Var (fresh ctx ("evt_" ^ name)))) ])
+  | V_list vs -> eval_list_call ctx st vs name args
+  | V_map kvs -> (
+    match (name, pos) with
+    | "get", [ key_e ] ->
+      eval ctx st key_e
+      |> bind_results (fun st kv ->
+             match kv with
+             | V_term (Term.Str k) -> (
+               match List.assoc_opt k kvs with
+               | Some v -> [ (st, v) ]
+               | None -> [ (st, V_null) ])
+             | _ -> [ (st, V_term (Term.Var (fresh ctx "mapget"))) ])
+    | "containsKey", [ key_e ] ->
+      eval ctx st key_e
+      |> bind_results (fun st kv ->
+             match kv with
+             | V_term (Term.Str k) ->
+               [ (st, V_bool (if List.mem_assoc k kvs then Formula.True else Formula.False)) ]
+             | _ -> [ (st, V_bool Formula.True) ])
+    | "each", _ -> exec_iterator ctx st name args (List.map snd kvs)
+    | _ -> [ (st, V_term (Term.Var (fresh ctx ("map_" ^ name)))) ])
+  | V_term t -> (
+    if Api_model.is_identity_conversion name then [ (st, V_term t) ]
+    else
+      match name with
+      | "contains" | "startsWith" | "endsWith" | "equalsIgnoreCase" | "matches" -> (
+        match (t, pos) with
+        | _, [ arg_e ] ->
+          eval ctx st arg_e
+          |> bind_results (fun st av ->
+                 match (t, av, name) with
+                 | Term.Str s, V_term (Term.Str sub), "contains" ->
+                   let found =
+                     let n = String.length sub in
+                     let rec go i =
+                       i + n <= String.length s && (String.sub s i n = sub || go (i + 1))
+                     in
+                     n = 0 || go 0
+                   in
+                   [ (st, V_bool (if found then Formula.True else Formula.False)) ]
+                 | _ ->
+                   [
+                     ( st,
+                       V_bool (Formula.neq (Term.Var (fresh ctx name)) (Term.Str "__falsy__")) );
+                   ])
+        | _ -> [ (st, V_bool Formula.True) ])
+      | "plus" -> (
+        match pos with
+        | [ arg_e ] ->
+          eval ctx st arg_e
+          |> bind_results (fun st av ->
+                 [ (st, V_term (Term.Add (t, to_term ~fresh:(fresh ctx) av))) ])
+        | _ -> [ (st, V_term t) ])
+      | "split" | "tokenize" -> [ (st, V_list [ V_term (Term.Var (fresh ctx "tok")) ]) ]
+      | "size" | "length" -> [ (st, V_term (Term.Var (fresh ctx "len"))) ]
+      | "format" -> [ (st, V_term (Term.Var (fresh ctx "fmt"))) ]
+      | _ ->
+        note_unknown ctx name;
+        [ (st, V_term (Term.Var (fresh ctx name))) ])
+  | V_null | V_bool _ | V_closure _ | V_method _ ->
+    note_unknown ctx name;
+    [ (st, V_term (Term.Var (fresh ctx name))) ]
+
+and eval_device_call ctx st vr d name args =
+  let pos = positional args in
+  match name with
+  | "currentValue" | "latestValue" -> (
+    match pos with
+    | [ attr_e ] ->
+      eval ctx st attr_e
+      |> bind_results (fun st av ->
+             match av with
+             | V_term (Term.Str attr) -> [ (st, V_term (Term.Var (d ^ "." ^ attr))) ]
+             | _ -> [ (st, V_term (Term.Var (fresh ctx "attr"))) ])
+    | _ -> [ (st, V_term (Term.Var (fresh ctx "attr"))) ])
+  | "currentState" | "latestState" -> (
+    match pos with
+    | [ attr_e ] ->
+      eval ctx st attr_e
+      |> bind_results (fun st av ->
+             match av with
+             | V_term (Term.Str attr) ->
+               [ (st, V_map [ ("value", V_term (Term.Var (d ^ "." ^ attr))) ]) ]
+             | _ -> [ (st, V_map []) ])
+    | _ -> [ (st, V_map []) ])
+  | "getId" -> [ (st, V_term (Term.Str ("@id:" ^ d))) ]
+  | "getLabel" | "getDisplayName" -> [ (st, V_term (Term.Str d)) ]
+  | "hasCapability" | "hasCommand" | "hasAttribute" -> [ (st, V_bool Formula.True) ]
+  | _ when Api_model.is_collection_iterator name ->
+    exec_iterator ctx st name args [ (match vr with V_devices _ -> V_device d | v -> v) ]
+  | _ when Capability.is_capability_command name ->
+    eval_args_terms ctx st pos (fun st params ->
+        [ (record_action st (make_action st (Rule.Act_device d) name params), V_null) ])
+  | _ ->
+    note_unknown ctx ("device." ^ name);
+    [ (st, V_term (Term.Var (fresh ctx ("dev_" ^ name)))) ]
+
+and eval_list_call ctx st vs name args =
+  let pos = positional args in
+  match name with
+  | _ when Api_model.is_collection_iterator name -> exec_iterator ctx st name args vs
+  | "size" -> [ (st, V_term (Term.Int (List.length vs))) ]
+  | "contains" -> (
+    match pos with
+    | [ arg_e ] ->
+      eval ctx st arg_e
+      |> bind_results (fun st av ->
+             let ta = to_term ~fresh:(fresh ctx) av in
+             let f =
+               Formula.disj (List.map (fun v -> Formula.eq ta (to_term ~fresh:(fresh ctx) v)) vs)
+             in
+             [ (st, V_bool f) ])
+    | _ -> [ (st, V_bool Formula.False) ])
+  | "first" -> [ (st, match vs with v :: _ -> v | [] -> V_null) ]
+  | "last" -> [ (st, match List.rev vs with v :: _ -> v | [] -> V_null) ]
+  | "sum" | "max" | "min" -> [ (st, V_term (Term.Var (fresh ctx name))) ]
+  | "join" -> [ (st, V_term (Term.Var (fresh ctx "join"))) ]
+  | "push" | "add" -> [ (st, V_null) ]
+  | _ ->
+    note_unknown ctx ("list." ^ name);
+    [ (st, V_term (Term.Var (fresh ctx ("list_" ^ name)))) ]
+
+(* Execute a closure-taking iterator once per element (bounded). *)
+and exec_iterator ctx st name args elements =
+  let closure =
+    List.find_map (function Ast.Pos (Ast.Closure (ps, body)) -> Some (ps, body) | _ -> None) args
+  in
+  match closure with
+  | None -> [ (st, V_null) ]
+  | Some (params, body) ->
+    let elements =
+      if List.length elements > max_loop_unroll then
+        List.filteri (fun i _ -> i < max_loop_unroll) elements
+      else elements
+    in
+    let run_element st v =
+      let st =
+        match params with
+        | p :: _ -> bind st p v
+        | [] -> bind st "it" v
+      in
+      exec_stmts ctx st body |> List.map (fun s -> { s with flow = F_normal })
+    in
+    let states =
+      List.fold_left
+        (fun states v -> List.concat_map (fun st -> run_element st v) states)
+        [ st ] elements
+    in
+    let result =
+      match name with
+      | "findAll" | "collect" -> V_list elements
+      | "find" | "any" | "every" ->
+        V_bool (Formula.neq (Term.Var (fresh ctx name)) (Term.Str "__falsy__"))
+      | _ -> V_null
+    in
+    List.map (fun st -> (st, result)) states
+
+and inline_method ctx st (m : Ast.method_def) args =
+  if st.depth >= max_inline_depth then [ (st, V_term (Term.Var (fresh ctx m.Ast.name))) ]
+  else
+    let pos = positional args in
+    eval_list ctx st pos (fun st argvs ->
+        let rec bind_params st params argvs =
+          match (params, argvs) with
+          | [], _ -> st
+          | p :: ps, v :: vs -> bind_params (bind st p v) ps vs
+          | p :: ps, [] -> bind_params (bind st p V_null) ps []
+        in
+        let st' = bind_params { st with depth = st.depth + 1 } m.Ast.params argvs in
+        exec_stmts ctx st' m.Ast.body
+        |> List.map (fun final ->
+               let value = match final.flow with F_return v -> v | _ -> V_null in
+               ({ final with depth = st.depth; flow = F_normal; env = final.env }, value)))
+
+(* -- statements ----------------------------------------------------------- *)
+
+and exec_stmts ctx st stmts : state list =
+  match st.flow with
+  | F_return _ | F_break | F_continue -> [ st ]
+  | F_normal -> (
+    match stmts with
+    | [] -> [ st ]
+    | s :: rest ->
+      exec_stmt ctx st s |> List.concat_map (fun st' -> exec_stmts ctx st' rest))
+
+and exec_stmt ctx st (s : Ast.stmt) : state list =
+  match s with
+  | Ast.Expr_stmt e -> eval ctx st e |> List.map fst
+  | Ast.Def_var (n, None) -> [ bind st n V_null ]
+  | Ast.Def_var (n, Some e) ->
+    eval ctx st e
+    |> List.map (fun (st, v) ->
+           let st =
+             match v with V_term t -> record_data st n t | _ -> st
+           in
+           bind st n v)
+  | Ast.If (c, t, f) ->
+    eval ctx st c
+    |> List.concat_map (fun (st, vc) ->
+           let cond = truthiness vc in
+           match cond with
+           | Formula.True -> exec_stmts ctx st t
+           | Formula.False -> exec_stmts ctx st f
+           | _ ->
+             charge_path ctx;
+             exec_stmts ctx (assume st cond) t
+             @ exec_stmts ctx (assume st (Formula.Not cond)) f)
+  | Ast.Switch (e, cases) ->
+    eval ctx st e
+    |> List.concat_map (fun (st, v) ->
+           let scrut = to_term ~fresh:(fresh ctx) v in
+           let rec go st_neg cases acc =
+             match cases with
+             | [] -> acc
+             | Ast.Case (ce, body) :: rest ->
+               let case_paths =
+                 eval ctx st_neg ce
+                 |> List.concat_map (fun (stc, cv) ->
+                        charge_path ctx;
+                        let eqf = Formula.eq scrut (to_term ~fresh:(fresh ctx) cv) in
+                        exec_stmts ctx (assume stc eqf) body
+                        |> List.map (fun s ->
+                               match s.flow with F_break -> { s with flow = F_normal } | _ -> s))
+               in
+               let st_neg' =
+                 eval ctx st_neg ce
+                 |> List.map (fun (stc, cv) ->
+                        assume stc (Formula.neq scrut (to_term ~fresh:(fresh ctx) cv)))
+                 |> function
+                 | first :: _ -> first
+                 | [] -> st_neg
+               in
+               go st_neg' rest (acc @ case_paths)
+             | Ast.Default body :: rest ->
+               let default_paths =
+                 exec_stmts ctx st_neg body
+                 |> List.map (fun s ->
+                        match s.flow with F_break -> { s with flow = F_normal } | _ -> s)
+               in
+               go st_neg rest (acc @ default_paths)
+           in
+           let has_default = List.exists (function Ast.Default _ -> true | _ -> false) cases in
+           let paths = go st cases [] in
+           if has_default then paths
+           else
+             (* fall-through path: no case matched *)
+             let all_neq =
+               List.filter_map
+                 (function
+                   | Ast.Case (ce, _) -> (
+                     match eval ctx st ce with
+                     | (_, cv) :: _ ->
+                       Some (Formula.neq scrut (to_term ~fresh:(fresh ctx) cv))
+                     | [] -> None)
+                   | Ast.Default _ -> None)
+                 cases
+             in
+             paths @ [ assume st (Formula.conj all_neq) ])
+  | Ast.Return None -> [ { st with flow = F_return V_null } ]
+  | Ast.Return (Some e) ->
+    eval ctx st e |> List.map (fun (st, v) -> { st with flow = F_return v })
+  | Ast.For_in (x, coll, body) ->
+    eval ctx st coll
+    |> List.concat_map (fun (st, cv) ->
+           let elements =
+             match cv with
+             | V_list vs ->
+               if List.length vs > max_loop_unroll then
+                 List.filteri (fun i _ -> i < max_loop_unroll) vs
+               else vs
+             | V_devices d -> [ V_device d ]
+             | _ -> [ V_term (Term.Var (fresh ctx ("elem_" ^ x))) ]
+           in
+           List.fold_left
+             (fun states v ->
+               List.concat_map
+                 (fun st ->
+                   match st.flow with
+                   | F_break -> [ st ]
+                   | _ ->
+                     exec_stmts ctx (bind st x v) body
+                     |> List.map (fun s ->
+                            match s.flow with F_continue -> { s with flow = F_normal } | _ -> s))
+                 states)
+             [ st ] elements
+           |> List.map (fun s ->
+                  match s.flow with F_break -> { s with flow = F_normal } | _ -> s))
+  | Ast.While (c, body) ->
+    (* single unrolling: explore body once plus the skip path *)
+    eval ctx st c
+    |> List.concat_map (fun (st, vc) ->
+           let cond = truthiness vc in
+           match cond with
+           | Formula.False -> [ st ]
+           | _ ->
+             charge_path ctx;
+             let once =
+               exec_stmts ctx (assume st cond) body
+               |> List.map (fun s ->
+                      match s.flow with
+                      | F_break | F_continue -> { s with flow = F_normal }
+                      | _ -> s)
+             in
+             assume st (Formula.Not cond) :: once)
+  | Ast.Break -> [ { st with flow = F_break } ]
+  | Ast.Continue -> [ { st with flow = F_continue } ]
+  | Ast.Try (body, exn, handler) ->
+    let ok = exec_stmts ctx st body in
+    let failed = exec_stmts ctx (bind st exn (V_term (Term.Var (fresh ctx "exn")))) handler in
+    ok @ failed

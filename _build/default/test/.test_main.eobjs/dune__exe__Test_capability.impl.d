@@ -1,0 +1,1 @@
+test/test_capability.ml: Alcotest Api Capability Device Env_feature Helpers Homeguard_st List Location String

@@ -1,0 +1,1 @@
+test/test_chain.ml: Helpers Homeguard_detector Homeguard_rules Homeguard_solver List

@@ -1,0 +1,1 @@
+test/test_detector.ml: Alcotest Helpers Homeguard_detector Homeguard_rules Homeguard_solver Homeguard_st List String

@@ -1,0 +1,1 @@
+test/test_domain.ml: Alcotest Domain Format Helpers Homeguard_solver List QCheck2

@@ -1,0 +1,1 @@
+test/test_exec_more.ml: Alcotest Helpers Homeguard_rules Homeguard_solver List Printf

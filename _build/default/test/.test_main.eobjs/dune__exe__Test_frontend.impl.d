@@ -1,0 +1,1 @@
+test/test_frontend.ml: Alcotest Helpers Homeguard_detector Homeguard_frontend Homeguard_rules List String

@@ -1,0 +1,1 @@
+test/test_json.ml: Alcotest Format Helpers Homeguard_corpus Homeguard_frontend Homeguard_rules Homeguard_solver List Printf QCheck2 String

@@ -1,0 +1,1 @@
+test/test_lexer.ml: Alcotest Format Helpers Homeguard_groovy Lexer List Token

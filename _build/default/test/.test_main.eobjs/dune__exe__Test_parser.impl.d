@@ -1,0 +1,1 @@
+test/test_parser.ml: Alcotest Ast Format Helpers Homeguard_groovy Parser Pretty QCheck2

@@ -1,0 +1,1 @@
+test/test_rules.ml: Alcotest Helpers Homeguard_rules Homeguard_solver List

@@ -1,0 +1,1 @@
+test/test_sim.ml: Alcotest Helpers Homeguard_sim Homeguard_st List Option QCheck2

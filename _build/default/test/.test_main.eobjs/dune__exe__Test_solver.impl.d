@@ -1,0 +1,1 @@
+test/test_solver.ml: Alcotest Dnf Domain Formula Helpers Homeguard_solver List Option QCheck2 Solver Store Term

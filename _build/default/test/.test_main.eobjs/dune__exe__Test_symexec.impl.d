@@ -1,0 +1,1 @@
+test/test_symexec.ml: Alcotest Helpers Homeguard_rules Homeguard_solver Homeguard_symexec List Printf String

@@ -1,0 +1,28 @@
+(** Shared helpers for the test suites. *)
+
+module Extract = Homeguard_symexec.Extract
+module Rule = Homeguard_rules.Rule
+module Formula = Homeguard_solver.Formula
+module Term = Homeguard_solver.Term
+
+let extract ?name src = (Extract.extract_source ?name src).Extract.app
+
+let extract_corpus name =
+  match Homeguard_corpus.Corpus.find name with
+  | Some e -> extract ~name:e.Homeguard_corpus.App_entry.name e.Homeguard_corpus.App_entry.source
+  | None -> Alcotest.failf "corpus app not found: %s" name
+
+let the_rule app =
+  match app.Rule.rules with
+  | [ r ] -> r
+  | rs -> Alcotest.failf "expected exactly one rule in %s, got %d" app.Rule.name (List.length rs)
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+let check_string = Alcotest.(check string)
+
+let test name f = Alcotest.test_case name `Quick f
+
+(* QCheck integration *)
+let qtest ?(count = 200) name gen prop =
+  QCheck_alcotest.to_alcotest (QCheck2.Test.make ~name ~count gen prop)

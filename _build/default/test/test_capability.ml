@@ -1,0 +1,175 @@
+(** Capability-registry sanity tests. *)
+
+open Homeguard_st
+
+let find_qualified =
+  Helpers.test "find accepts qualified and short names" (fun () ->
+      Helpers.check_bool "short" true (Capability.find "switch" <> None);
+      Helpers.check_bool "qualified" true (Capability.find "capability.switch" <> None);
+      Helpers.check_bool "missing" true (Capability.find "capability.nonsense" = None))
+
+let find_exn_raises =
+  Helpers.test "find_exn raises on unknown" (fun () ->
+      match Capability.find_exn "nope" with
+      | exception Capability.Unknown_capability "nope" -> ()
+      | _ -> Alcotest.fail "expected Unknown_capability")
+
+let opposites_symmetric =
+  Helpers.test "declared opposites point back" (fun () ->
+      List.iter
+        (fun cap ->
+          List.iter
+            (fun (c : Capability.command) ->
+              match c.Capability.opposite with
+              | Some other -> (
+                match Capability.command_of cap other with
+                | Some _ -> ()
+                | None ->
+                  Alcotest.failf "opposite %s of %s.%s not a command" other
+                    cap.Capability.cap_name c.Capability.cmd_name)
+              | None -> ())
+            cap.Capability.commands)
+        Capability.registry)
+
+let writes_target_declared_attrs =
+  Helpers.test "command writes target declared attributes" (fun () ->
+      List.iter
+        (fun cap ->
+          List.iter
+            (fun (c : Capability.command) ->
+              match c.Capability.writes with
+              | Some w -> (
+                match Capability.attribute_of cap w.Capability.target_attr with
+                | Some _ -> ()
+                | None ->
+                  Alcotest.failf "%s.%s writes undeclared attribute %s" cap.Capability.cap_name
+                    c.Capability.cmd_name w.Capability.target_attr)
+              | None -> ())
+            cap.Capability.commands)
+        Capability.registry)
+
+let fixed_values_in_domain =
+  Helpers.test "fixed written values lie in the attribute domain" (fun () ->
+      List.iter
+        (fun cap ->
+          List.iter
+            (fun (c : Capability.command) ->
+              match c.Capability.writes with
+              | Some { Capability.target_attr; fixed_value = Some v } -> (
+                match Capability.attribute_of cap target_attr with
+                | Some { Capability.domain = Capability.Enum values; _ } ->
+                  if not (List.mem v values) then
+                    Alcotest.failf "%s.%s writes %s outside domain" cap.Capability.cap_name
+                      c.Capability.cmd_name v
+                | _ -> ())
+              | _ -> ())
+            cap.Capability.commands)
+        Capability.registry)
+
+let switch_contradiction =
+  Helpers.test "on/off contradict" (fun () ->
+      let sw = Capability.find_exn "switch" in
+      Helpers.check_bool "on vs off" true (Capability.contradicts sw "on" "off");
+      Helpers.check_bool "off vs on" true (Capability.contradicts sw "off" "on");
+      Helpers.check_bool "on vs on" false (Capability.contradicts sw "on" "on"))
+
+let lock_contradiction =
+  Helpers.test "lock/unlock contradict" (fun () ->
+      let lk = Capability.find_exn "lock" in
+      Helpers.check_bool "lock vs unlock" true (Capability.contradicts lk "lock" "unlock"))
+
+let command_lookup =
+  Helpers.test "is_capability_command" (fun () ->
+      Helpers.check_bool "on" true (Capability.is_capability_command "on");
+      Helpers.check_bool "setHeatingSetpoint" true
+        (Capability.is_capability_command "setHeatingSetpoint");
+      Helpers.check_bool "subscribe is not" false (Capability.is_capability_command "subscribe"))
+
+let attribute_domain_lookup =
+  Helpers.test "attribute_domain" (fun () ->
+      (match Capability.attribute_domain "switch" with
+      | Some (Capability.Enum values) ->
+        Helpers.check_bool "on in domain" true (List.mem "on" values)
+      | _ -> Alcotest.fail "expected enum domain");
+      match Capability.attribute_domain "temperature" with
+      | Some (Capability.Numeric (lo, hi)) -> Helpers.check_bool "bounds" true (lo < hi)
+      | _ -> Alcotest.fail "expected numeric domain")
+
+let registry_size =
+  Helpers.test "registry covers a realistic capability surface" (fun () ->
+      Helpers.check_bool "40+ capabilities" true (List.length Capability.registry >= 40);
+      Helpers.check_bool "40+ commands" true (Capability.command_count () >= 40))
+
+let sink_table =
+  Helpers.test "Table VI sink classification" (fun () ->
+      Helpers.check_bool "httpGet" true (Api.is_table_vi_sink "httpGet");
+      Helpers.check_bool "runIn" true (Api.is_table_vi_sink "runIn");
+      Helpers.check_bool "setLocationMode" true (Api.is_table_vi_sink "setLocationMode");
+      Helpers.check_bool "sendPush excluded" false (Api.is_table_vi_sink "sendPush");
+      Helpers.check_bool "subscribe excluded" false (Api.is_table_vi_sink "subscribe"))
+
+let table_vi_count =
+  Helpers.test "Table VI has 22 sinks (21 + runDaily found in §VIII-B)" (fun () ->
+      let n = List.length (List.filter (fun (n, _) -> Api.is_table_vi_sink n) Api.sink_apis) in
+      Helpers.check_int "sinks" 22 n)
+
+let scheduling_apis =
+  Helpers.test "scheduling API classification" (fun () ->
+      Helpers.check_bool "runIn" true (Api.is_scheduling "runIn");
+      Helpers.check_bool "runEvery5Minutes" true (Api.is_scheduling "runEvery5Minutes");
+      Helpers.check_bool "schedule" true (Api.is_scheduling "schedule");
+      Helpers.check_bool "httpGet not" false (Api.is_scheduling "httpGet"))
+
+let env_feature_mapping =
+  Helpers.test "sensor attributes map to environment features" (fun () ->
+      Helpers.check_bool "temperature" true
+        (Env_feature.of_sensor_attribute "temperature" = Some Env_feature.Temperature);
+      Helpers.check_bool "power" true
+        (Env_feature.of_sensor_attribute "power" = Some Env_feature.Power);
+      Helpers.check_bool "switch is not a feature" true
+        (Env_feature.of_sensor_attribute "switch" = None))
+
+let device_helpers =
+  Helpers.test "device capability helpers" (fun () ->
+      let d = Device.make ~label:"Bulb" ~device_type:"light" [ "switch"; "switchLevel" ] in
+      Helpers.check_bool "supports" true (Device.supports d "capability.switch");
+      Helpers.check_bool "supports short" true (Device.supports d "switchLevel");
+      Helpers.check_bool "not lock" false (Device.supports d "lock");
+      Helpers.check_bool "attrs" true (List.mem "level" (Device.attributes d));
+      Helpers.check_bool "cmds" true (List.mem "setLevel" (Device.commands d)))
+
+let device_id_deterministic =
+  Helpers.test "device ids are deterministic 128-bit hex" (fun () ->
+      let d1 = Device.make ~label:"X" ~device_type:"t" [ "switch" ] in
+      let d2 = Device.make ~label:"X" ~device_type:"t" [ "switch" ] in
+      Helpers.check_string "same seed same id" d1.Device.id d2.Device.id;
+      Helpers.check_int "length" 32 (String.length d1.Device.id))
+
+let location_modes =
+  Helpers.test "location mode handling" (fun () ->
+      let loc = Location.create () in
+      Helpers.check_string "default" "Home" loc.Location.current_mode;
+      Location.set_mode loc "Vacation";
+      Helpers.check_string "set" "Vacation" loc.Location.current_mode;
+      Helpers.check_bool "new mode registered" true (List.mem "Vacation" loc.Location.modes))
+
+let tests =
+  [
+    find_qualified;
+    find_exn_raises;
+    opposites_symmetric;
+    writes_target_declared_attrs;
+    fixed_values_in_domain;
+    switch_contradiction;
+    lock_contradiction;
+    command_lookup;
+    attribute_domain_lookup;
+    registry_size;
+    sink_table;
+    table_vi_count;
+    scheduling_apis;
+    env_feature_mapping;
+    device_helpers;
+    device_id_deterministic;
+    location_modes;
+  ]

@@ -1,0 +1,79 @@
+(** Chained-threat (Allowed list) unit tests. *)
+
+module Chain = Homeguard_detector.Chain
+module Threat = Homeguard_detector.Threat
+module Rule = Homeguard_rules.Rule
+module Formula = Homeguard_solver.Formula
+open Helpers
+
+let mk_rule app id =
+  {
+    Rule.app_name = app;
+    rule_id = id;
+    trigger = Rule.Event { subject = Rule.Location; attribute = "mode"; constraint_ = Formula.True };
+    condition = { Rule.data = []; predicate = Formula.True };
+    actions = [];
+  }
+
+let mk_app name = { Rule.name; description = ""; inputs = []; rules = []; uses_web_services = false }
+
+let threat cat a1 r1 a2 r2 =
+  Threat.make cat (mk_app a1, mk_rule a1 r1) (mk_app a2, mk_rule a2 r2) "test edge"
+
+let two_hop_chain =
+  test "a new CT edge extends through an allowed CT edge" (fun () ->
+      let allowed = Chain.create () in
+      Chain.allow allowed [ threat Threat.CT "B" "B#1" "C" "C#1" ];
+      let chains = Chain.find_chains allowed [ threat Threat.CT "A" "A#1" "B" "B#1" ] in
+      check_bool "A->B->C found" true
+        (List.exists (fun c -> c.Chain.rules = [ "A#1"; "B#1"; "C#1" ]) chains))
+
+let three_hop_chain =
+  test "chains extend multiple allowed hops" (fun () ->
+      let allowed = Chain.create () in
+      Chain.allow allowed
+        [ threat Threat.CT "B" "B#1" "C" "C#1"; threat Threat.EC "C" "C#1" "D" "D#1" ];
+      let chains = Chain.find_chains allowed [ threat Threat.CT "A" "A#1" "B" "B#1" ] in
+      check_bool "4-rule chain found" true
+        (List.exists (fun c -> c.Chain.rules = [ "A#1"; "B#1"; "C#1"; "D#1" ]) chains))
+
+let non_propagating_edges_ignored =
+  test "AR/DC edges do not propagate chains" (fun () ->
+      let allowed = Chain.create () in
+      Chain.allow allowed [ threat Threat.AR "B" "B#1" "C" "C#1" ];
+      let chains = Chain.find_chains allowed [ threat Threat.CT "A" "A#1" "B" "B#1" ] in
+      check_int "no chains" 0 (List.length chains))
+
+let cycles_terminate =
+  test "cyclic allowed edges do not loop forever" (fun () ->
+      let allowed = Chain.create () in
+      Chain.allow allowed
+        [ threat Threat.CT "B" "B#1" "C" "C#1"; threat Threat.CT "C" "C#1" "B" "B#1" ];
+      let chains = Chain.find_chains allowed [ threat Threat.CT "A" "A#1" "B" "B#1" ] in
+      check_bool "terminates with chains" true (chains <> []);
+      List.iter
+        (fun c ->
+          let rs = c.Chain.rules in
+          check_int "no repeated rule" (List.length rs) (List.length (List.sort_uniq compare rs)))
+        chains)
+
+let no_allowed_no_chain =
+  test "a single new edge alone forms no chain" (fun () ->
+      let allowed = Chain.create () in
+      let chains = Chain.find_chains allowed [ threat Threat.CT "A" "A#1" "B" "B#1" ] in
+      check_int "none" 0 (List.length chains))
+
+let chain_rendering =
+  test "chains render readably" (fun () ->
+      let c = { Chain.rules = [ "A#1"; "B#1"; "C#1" ]; categories = [ Threat.CT; Threat.CT ] } in
+      check_string "format" "A#1 -> B#1 -> C#1 [CT,CT]" (Chain.chain_to_string c))
+
+let tests =
+  [
+    two_hop_chain;
+    three_hop_chain;
+    non_propagating_edges_ignored;
+    cycles_terminate;
+    no_allowed_no_chain;
+    chain_rendering;
+  ]

@@ -1,0 +1,242 @@
+(** Additional symbolic-execution coverage: loops, exception handling,
+    collections, receiver forms and budget behaviour. *)
+
+module Rule = Homeguard_rules.Rule
+module Formula = Homeguard_solver.Formula
+module Term = Homeguard_solver.Term
+open Helpers
+
+let wrap body =
+  Printf.sprintf
+    {|
+input "sw1", "capability.switch"
+input "lock1", "capability.lock"
+input "lights", "capability.switch", multiple: true
+def installed() {
+  subscribe(sw1, "switch.on", handler)
+}
+%s
+|}
+    body
+
+let for_in_list_unrolls =
+  test "for-in over a literal list unrolls fully" (fun () ->
+      let app =
+        extract
+          (wrap
+             {|def handler(evt) {
+  def levels = [1, 2, 3]
+  for (x in levels) {
+    sendPush("x")
+  }
+}|})
+      in
+      let r = the_rule app in
+      check_int "three notifications" 3 (List.length r.Rule.actions))
+
+let for_in_devices_once =
+  test "for-in over a device collection runs once symbolically" (fun () ->
+      let app = extract (wrap {|def handler(evt) {
+  for (l in lights) {
+    l.off()
+  }
+}|}) in
+      let r = the_rule app in
+      check_int "one action" 1 (List.length r.Rule.actions))
+
+let while_unrolls_once =
+  test "while loops unroll once plus the skip path" (fun () ->
+      let app =
+        extract
+          (wrap
+             {|def handler(evt) {
+  while (state.counter < 3) {
+    sw1.off()
+  }
+}|})
+      in
+      (* one rule from the loop-taken path; the skip path has no sink *)
+      check_int "one rule" 1 (List.length app.Rule.rules))
+
+let break_stops_loop =
+  test "break leaves the loop" (fun () ->
+      let app =
+        extract
+          (wrap
+             {|def handler(evt) {
+  for (x in [1, 2, 3]) {
+    sendPush("once")
+    break
+  }
+}|})
+      in
+      let r = the_rule app in
+      check_int "only one notification" 1 (List.length r.Rule.actions))
+
+let continue_skips_iteration =
+  test "continue resumes the next iteration" (fun () ->
+      let app =
+        extract
+          (wrap
+             {|def handler(evt) {
+  for (x in [1, 2]) {
+    continue
+    sendPush("never")
+  }
+}|})
+      in
+      check_int "no rules (unreachable sink)" 0 (List.length app.Rule.rules))
+
+let try_catch_both_paths =
+  test "try/catch explores body and handler" (fun () ->
+      let app =
+        extract
+          (wrap
+             {|def handler(evt) {
+  try {
+    sw1.off()
+  } catch (e) {
+    sendPush("failed")
+  }
+}|})
+      in
+      check_int "two rules" 2 (List.length app.Rule.rules))
+
+let location_set_mode_receiver =
+  test "location.setMode is recognised as the mode actuator" (fun () ->
+      let app = extract (wrap {|def handler(evt) { location.setMode("Away") }|}) in
+      let r = the_rule app in
+      match r.Rule.actions with
+      | [ { Rule.target = Rule.Act_location_mode; params = [ Term.Str "Away" ]; _ } ] -> ()
+      | _ -> Alcotest.fail "expected mode action")
+
+let location_mode_assignment =
+  test "location.mode = ... is recognised as the mode actuator" (fun () ->
+      let app = extract (wrap {|def handler(evt) { location.mode = "Night" }|}) in
+      let r = the_rule app in
+      match r.Rule.actions with
+      | [ { Rule.target = Rule.Act_location_mode; params = [ Term.Str "Night" ]; _ } ] -> ()
+      | _ -> Alcotest.fail "expected mode action")
+
+let safe_navigation_tolerated =
+  test "safe navigation evaluates like property access" (fun () ->
+      let app =
+        extract (wrap {|def handler(evt) {
+  if (sw1?.currentSwitch == "on") { lock1.lock() }
+}|})
+      in
+      let r = the_rule app in
+      check_bool "condition on switch state" true
+        (List.mem "sw1.switch" (Formula.free_vars r.Rule.condition.Rule.predicate)))
+
+let in_operator_over_list =
+  test "the in operator over a literal list becomes a disjunction" (fun () ->
+      let app =
+        extract
+          (wrap
+             {|def handler(evt) {
+  if (location.mode in ["Home", "Night"]) { sw1.off() }
+}|})
+      in
+      let r = the_rule app in
+      match r.Rule.condition.Rule.predicate with
+      | Formula.Or [ _; _ ] -> ()
+      | f -> Alcotest.failf "expected 2-way disjunction, got %s" (Formula.to_string f))
+
+let unreachable_branch_still_recorded =
+  test "statically contradictory branches still produce (unsat) rules" (fun () ->
+      (* the detector's solver, not the extractor, decides feasibility *)
+      let app =
+        extract
+          (wrap
+             {|def handler(evt) {
+  def x = 5
+  if (x > 10) { sw1.off() }
+}|})
+      in
+      (* constant folding is not performed: the path exists with 5 > 10 *)
+      match app.Rule.rules with
+      | [ r ] ->
+        check_string "contradictory predicate" "5 > 10"
+          (Formula.to_string r.Rule.condition.Rule.predicate)
+      | rs -> Alcotest.failf "expected 1 rule, got %d" (List.length rs))
+
+let string_concat_folds =
+  test "constant string concatenation folds" (fun () ->
+      let app = extract (wrap {|def handler(evt) {
+  def msg = "a" + "b"
+  sendPush(msg)
+}|}) in
+      let r = the_rule app in
+      match r.Rule.actions with
+      | [ { Rule.params = [ Term.Str "ab" ]; _ } ] -> ()
+      | _ -> Alcotest.fail "expected folded concatenation")
+
+let method_return_values_flow =
+  test "helper-method return values flow into constraints" (fun () ->
+      let app =
+        extract
+          (wrap
+             {|def handler(evt) {
+  def lim = limit()
+  if (sw1.currentSwitch == "off") { sendPush("low ${lim}") }
+}
+
+def limit() {
+  return 42
+}|})
+      in
+      check_int "one rule" 1 (List.length app.Rule.rules))
+
+let deep_recursion_capped =
+  test "recursive helpers hit the inlining cap, not a loop" (fun () ->
+      let app =
+        extract
+          (wrap {|def handler(evt) { spin() }
+def spin() { spin() }|})
+      in
+      check_int "no sinks, no rules" 0 (List.length app.Rule.rules))
+
+let multiple_subscriptions_one_handler =
+  test "multiple subscriptions to one handler yield distinct rules" (fun () ->
+      let app =
+        extract
+          {|
+input "sw1", "capability.switch"
+input "sw2", "capability.switch"
+def installed() {
+  subscribe(sw1, "switch.on", h)
+  subscribe(sw2, "switch.on", h)
+}
+def h(evt) { sendPush("hi") }
+|}
+      in
+      check_int "two rules" 2 (List.length app.Rule.rules);
+      let subjects =
+        List.filter_map
+          (fun (r : Rule.t) ->
+            match r.Rule.trigger with
+            | Rule.Event { subject = Rule.Device d; _ } -> Some d
+            | _ -> None)
+          app.Rule.rules
+      in
+      Alcotest.(check (list string)) "both subjects" [ "sw1"; "sw2" ] (List.sort compare subjects))
+
+let tests =
+  [
+    for_in_list_unrolls;
+    for_in_devices_once;
+    while_unrolls_once;
+    break_stops_loop;
+    continue_skips_iteration;
+    try_catch_both_paths;
+    location_set_mode_receiver;
+    location_mode_assignment;
+    safe_navigation_tolerated;
+    in_operator_over_list;
+    unreachable_branch_still_recorded;
+    string_concat_folds;
+    method_return_values_flow;
+    deep_recursion_capped;
+    multiple_subscriptions_one_handler;
+  ]

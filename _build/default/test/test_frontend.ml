@@ -1,0 +1,123 @@
+(** Frontend tests: rule/threat interpreters and the install flow. *)
+
+module Rule = Homeguard_rules.Rule
+module Rule_interpreter = Homeguard_frontend.Rule_interpreter
+module Threat_interpreter = Homeguard_frontend.Threat_interpreter
+module Install_flow = Homeguard_frontend.Install_flow
+module Threat = Homeguard_detector.Threat
+module Detector = Homeguard_detector.Detector
+open Helpers
+
+let contains haystack needle =
+  let n = String.length needle and h = String.length haystack in
+  let rec go i = i + n <= h && (String.sub haystack i n = needle || go (i + 1)) in
+  go 0
+
+let describe_comfort_tv =
+  test "rule interpreter renders ComfortTV readably" (fun () ->
+      let app = extract_corpus "ComfortTV" in
+      let text = Rule_interpreter.describe (the_rule app) in
+      check_bool "mentions trigger value" true (contains text "switch of tv1 is on");
+      check_bool "mentions temperature" true (contains text "temperature");
+      check_bool "mentions window action" true (contains text "window1"))
+
+let describe_delay =
+  test "rule interpreter reports delays" (fun () ->
+      let app = extract_corpus "NightCare" in
+      let text = Rule_interpreter.describe (the_rule app) in
+      check_bool "after 300 seconds" true (contains text "after 300 seconds"))
+
+let describe_schedule =
+  test "rule interpreter renders schedules" (fun () ->
+      let app = extract_corpus "GoodMorningCoffee" in
+      let text = Rule_interpreter.describe (the_rule app) in
+      check_bool "daily time" true (contains text "day at 07:00"))
+
+let describe_app_numbering =
+  test "describe_app numbers the rules" (fun () ->
+      let app = extract_corpus "LightUpTheNight" in
+      let text = Rule_interpreter.describe_app app in
+      check_bool "R1" true (contains text "R1.");
+      check_bool "R2" true (contains text "R2."))
+
+let describe_empty_app =
+  test "describe_app handles rule-less apps" (fun () ->
+      let app = extract_corpus "WebDashboard" in
+      check_bool "no rules message" true
+        (contains (Rule_interpreter.describe_app app) "no automation rules"))
+
+let threat_description =
+  test "threat interpreter explains category, apps and risk" (fun () ->
+      let a = extract_corpus "ComfortTV" and b = extract_corpus "ColdDefender" in
+      let ctx = Detector.create Detector.offline_config in
+      let threats =
+        Detector.detect_pair ctx (a, List.hd a.Rule.rules) (b, List.hd b.Rule.rules)
+      in
+      let ar = List.find (fun (t : Threat.t) -> t.Threat.category = Threat.AR) threats in
+      let text = Threat_interpreter.describe ar in
+      check_bool "names the category" true (contains text "Actuator Race");
+      check_bool "names both apps" true
+        (contains text "ComfortTV" && contains text "ColdDefender");
+      check_bool "shows a situation" true (contains text "Example situation");
+      check_bool "hides solver internals" false (contains text "__other__");
+      check_bool "strips app qualifiers" false (contains text "::"))
+
+let describe_all_empty =
+  test "describe_all with no threats" (fun () ->
+      check_bool "calm message" true
+        (contains (Threat_interpreter.describe_all []) "No cross-app interference"))
+
+let install_flow_keep =
+  test "install flow: keep installs and records allowed pairs" (fun () ->
+      let flow = Install_flow.create () in
+      let report1 = Install_flow.propose flow (extract_corpus "ComfortTV") in
+      check_int "no threats for the first app" 0 (List.length report1.Install_flow.threats);
+      Install_flow.decide flow Install_flow.Keep;
+      let report2 = Install_flow.propose flow (extract_corpus "ColdDefender") in
+      check_bool "threats against installed app" true (report2.Install_flow.threats <> []);
+      Install_flow.decide flow Install_flow.Keep;
+      check_int "both installed" 2 (List.length (Install_flow.installed_apps flow)))
+
+let install_flow_reject =
+  test "install flow: reject leaves the home unchanged" (fun () ->
+      let flow = Install_flow.create () in
+      ignore (Install_flow.propose flow (extract_corpus "ComfortTV"));
+      Install_flow.decide flow Install_flow.Keep;
+      ignore (Install_flow.propose flow (extract_corpus "ColdDefender"));
+      Install_flow.decide flow Install_flow.Reject;
+      check_int "only first installed" 1 (List.length (Install_flow.installed_apps flow)))
+
+let install_flow_no_pending =
+  test "deciding without a proposal raises" (fun () ->
+      let flow = Install_flow.create () in
+      match Install_flow.decide flow Install_flow.Keep with
+      | exception Install_flow.No_pending_install -> ()
+      | _ -> Alcotest.fail "expected No_pending_install")
+
+let install_flow_chained =
+  test "install flow: chains surface through the Allowed list" (fun () ->
+      let flow = Install_flow.create () in
+      (* SwitchChangesMode -> MakeItSo forms CT edges; keep both *)
+      ignore (Install_flow.propose flow (extract_corpus "MakeItSo"));
+      Install_flow.decide flow Install_flow.Keep;
+      ignore (Install_flow.propose flow (extract_corpus "SwitchChangesMode"));
+      Install_flow.decide flow Install_flow.Keep;
+      (* CurlingIron turns on outlets; via SwitchChangesMode the mode
+         flips, and MakeItSo then unlocks the door: a 3-rule chain *)
+      let report = Install_flow.propose flow (extract_corpus "CurlingIron") in
+      check_bool "chained threat reported" true (report.Install_flow.chains <> []))
+
+let tests =
+  [
+    describe_comfort_tv;
+    describe_delay;
+    describe_schedule;
+    describe_app_numbering;
+    describe_empty_app;
+    threat_description;
+    describe_all_empty;
+    install_flow_keep;
+    install_flow_reject;
+    install_flow_no_pending;
+    install_flow_chained;
+  ]

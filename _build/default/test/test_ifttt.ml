@@ -1,0 +1,159 @@
+(** IFTTT template-rule tests: the §VIII-D4 multi-platform path —
+    template parsing, lowering into the shared rule IR, and cross-platform
+    CAI detection against SmartApps. *)
+
+module Ifttt = Homeguard_ifttt.Ifttt
+module Rule = Homeguard_rules.Rule
+module Formula = Homeguard_solver.Formula
+module Term = Homeguard_solver.Term
+module Detector = Homeguard_detector.Detector
+module Threat = Homeguard_detector.Threat
+open Helpers
+
+let parse_state_applet =
+  test "IF ... IS ... THEN ... DO parses" (fun () ->
+      let a = Ifttt.parse "IF porch.motion IS active THEN porchLight DO on" in
+      (match a.Ifttt.trigger with
+      | Ifttt.On_state { device = "porch"; attribute = "motion"; value = "active" } -> ()
+      | _ -> Alcotest.fail "wrong trigger");
+      match a.Ifttt.action with
+      | Ifttt.Do_command { device = "porchLight"; command = "on"; arg = None } -> ()
+      | _ -> Alcotest.fail "wrong action")
+
+let parse_filters =
+  test "WHILE filters parse" (fun () ->
+      let a =
+        Ifttt.parse
+          "IF door.contact IS open WHILE lux.illuminance IS 10 THEN hallLight DO on"
+      in
+      check_int "one filter" 1 (List.length a.Ifttt.filters))
+
+let parse_daily =
+  test "EVERY DAY AT parses to minutes" (fun () ->
+      let a = Ifttt.parse "EVERY DAY AT 07:30 THEN coffeeMaker DO on" in
+      match a.Ifttt.trigger with
+      | Ifttt.Daily_at 450 -> ()
+      | _ -> Alcotest.fail "wrong time")
+
+let parse_mode_action =
+  test "THEN MODE parses" (fun () ->
+      let a = Ifttt.parse "IF everyone.presence IS not_present THEN MODE Away" in
+      match a.Ifttt.action with
+      | Ifttt.Set_mode "Away" -> ()
+      | _ -> Alcotest.fail "wrong action")
+
+let parse_with_arg =
+  test "WITH argument parses" (fun () ->
+      let a = Ifttt.parse "EVERY DAY AT 21:00 THEN bedroomDimmer DO setLevel WITH 20" in
+      match a.Ifttt.action with
+      | Ifttt.Do_command { command = "setLevel"; arg = Some "20"; _ } -> ()
+      | _ -> Alcotest.fail "wrong action")
+
+let parse_errors =
+  test "malformed applets raise Parse_error" (fun () ->
+      List.iter
+        (fun line ->
+          match Ifttt.parse line with
+          | exception Ifttt.Parse_error _ -> ()
+          | _ -> Alcotest.failf "expected error on %S" line)
+        [
+          "WHEN x.y IS z THEN a DO b";
+          "IF door.contact IS open";
+          "IF nodot IS open THEN a DO b";
+          "EVERY DAY AT noon THEN a DO b";
+          "IF a.b IS c THEN MODE";
+        ])
+
+let lowering_infers_capabilities =
+  test "lowering infers input capabilities from usage" (fun () ->
+      let app =
+        Ifttt.parse_recipes ~name:"Recipes"
+          "IF porch.motion IS active THEN frontLock DO unlock"
+      in
+      check_bool "motion sensor inferred" true
+        (Rule.capability_of_input app "porch" = Some "motionSensor");
+      check_bool "lock inferred" true (Rule.capability_of_input app "frontLock" = Some "lock"))
+
+let lowering_builds_rules =
+  test "lowering produces TCA rules with constraints" (fun () ->
+      let app =
+        Ifttt.parse_recipes ~name:"Recipes"
+          "IF door.contact IS open WHILE lux.illuminance IS 10 THEN hallLight DO on"
+      in
+      let r = the_rule app in
+      (match r.Rule.trigger with
+      | Rule.Event { attribute = "contact"; constraint_; _ } ->
+        check_string "trigger" "door.contact == \"open\"" (Formula.to_string constraint_)
+      | _ -> Alcotest.fail "wrong trigger");
+      check_string "filter becomes predicate" "lux.illuminance == 10"
+        (Formula.to_string r.Rule.condition.Rule.predicate))
+
+let recipes_multi_line =
+  test "multi-line recipe files parse with comments" (fun () ->
+      let app =
+        Ifttt.parse_recipes ~name:"Recipes"
+          {|
+# my recipes
+IF porch.motion IS active THEN porchLight DO on
+
+EVERY DAY AT 23:00 THEN porchLight DO off
+|}
+      in
+      check_int "two rules" 2 (List.length app.Rule.rules))
+
+let cross_platform_detection =
+  test "IFTTT applets and SmartApps interfere in one detector" (fun () ->
+      (* an IFTTT applet turns the night lamp ON at any motion; the
+         SmartApp NightCare turns the same lamp off in Night mode: the
+         applet's ON covertly triggers NightCare *)
+      let applet_app =
+        Ifttt.parse_recipes ~name:"IftttMotionLamp"
+          "IF hall.motion IS active THEN floorLamp DO on"
+      in
+      let night_care = extract_corpus "NightCare" in
+      let ctx = Detector.create Detector.offline_config in
+      let threats =
+        List.concat_map
+          (fun r1 ->
+            List.concat_map
+              (fun r2 -> Detector.detect_pair ctx (applet_app, r1) (night_care, r2))
+              night_care.Rule.rules)
+          applet_app.Rule.rules
+      in
+      check_bool "cross-platform CT detected" true
+        (List.exists (fun (t : Threat.t) -> t.Threat.category = Threat.CT) threats);
+      check_bool "cross-platform SD detected (off undoes on)" true
+        (List.exists (fun (t : Threat.t) -> t.Threat.category = Threat.SD) threats))
+
+let cross_platform_race =
+  test "IFTTT vs SmartApp actuator race" (fun () ->
+      let applet_app =
+        Ifttt.parse_recipes ~name:"IftttEveningLamp" "EVERY DAY AT 19:00 THEN lamp DO on"
+      in
+      let good_night = extract_corpus "GoodNightLights" in
+      let ctx = Detector.create Detector.offline_config in
+      let threats =
+        List.concat_map
+          (fun r1 ->
+            List.concat_map
+              (fun r2 -> Detector.detect_pair ctx (applet_app, r1) (good_night, r2))
+              good_night.Rule.rules)
+          applet_app.Rule.rules
+      in
+      check_bool "AR across platforms" true
+        (List.exists (fun (t : Threat.t) -> t.Threat.category = Threat.AR) threats))
+
+let tests =
+  [
+    parse_state_applet;
+    parse_filters;
+    parse_daily;
+    parse_mode_action;
+    parse_with_arg;
+    parse_errors;
+    lowering_infers_capabilities;
+    lowering_builds_rules;
+    recipes_multi_line;
+    cross_platform_detection;
+    cross_platform_race;
+  ]

@@ -1,0 +1,219 @@
+(** End-to-end pipeline tests through the {!Homeguard} facade:
+    instrumented configuration -> messaging -> recorder -> detection ->
+    one-time decision, plus chained threats (§VI-D). *)
+
+module Homeguard = Homeguard_core.Homeguard
+module Rule = Homeguard_rules.Rule
+module Threat = Homeguard_detector.Threat
+module Install_flow = Homeguard_frontend.Install_flow
+module Chain = Homeguard_detector.Chain
+module Device = Homeguard_st.Device
+open Helpers
+
+let tv_id = Device.id_of_seed "living tv"
+let window_id = Device.id_of_seed "window opener"
+let tsensor_id = Device.id_of_seed "temp sensor"
+let weather_id = Device.id_of_seed "weather"
+
+let install home name ~devices ~values =
+  let app = extract_corpus name in
+  Homeguard.begin_install home ~app ~device_bindings:devices ~value_bindings:values ()
+
+let full_pipeline_detects_fig3 =
+  test "online pipeline: Fig 3 race detected with exact device ids" (fun () ->
+      let home = Homeguard.create_home () in
+      let report1, latency1 =
+        install home "ComfortTV"
+          ~devices:[ ("tv1", tv_id); ("tSensor", tsensor_id); ("window1", window_id) ]
+          ~values:[ ("threshold1", "30") ]
+      in
+      check_bool "messaging latency observed" true (latency1 <> None);
+      check_int "first install clean" 0 (List.length report1.Install_flow.threats);
+      Homeguard.decide home Install_flow.Keep;
+      let report2, _ =
+        install home "ColdDefender"
+          ~devices:[ ("tv2", tv_id); ("wSensor", weather_id); ("window2", window_id) ]
+          ~values:[]
+      in
+      check_bool "AR detected" true
+        (List.exists
+           (fun (t : Threat.t) -> t.Threat.category = Threat.AR)
+           report2.Install_flow.threats))
+
+let online_distinguishes_devices =
+  test "online pipeline: different window devices -> no race" (fun () ->
+      let home = Homeguard.create_home () in
+      ignore
+        (install home "ComfortTV"
+           ~devices:[ ("tv1", tv_id); ("tSensor", tsensor_id); ("window1", window_id) ]
+           ~values:[ ("threshold1", "30") ]);
+      Homeguard.decide home Install_flow.Keep;
+      let other_window = Device.id_of_seed "bedroom window" in
+      let report, _ =
+        install home "ColdDefender"
+          ~devices:[ ("tv2", tv_id); ("wSensor", weather_id); ("window2", other_window) ]
+          ~values:[]
+      in
+      check_bool "no AR across distinct windows" false
+        (List.exists
+           (fun (t : Threat.t) -> t.Threat.category = Threat.AR)
+           report.Install_flow.threats))
+
+let config_values_sharpen_detection =
+  test "online pipeline: configured thresholds participate in solving" (fun () ->
+      (* VirtualThermostat heats below setpoint; ItsTooHot cools above
+         hotLimit. With setpoint 90 and hotLimit 70 the two situations
+         overlap (70 < t < 90): a goal conflict. With setpoint 40 and
+         hotLimit 90 they cannot hold together. *)
+      let sensor_id = Device.id_of_seed "shared sensor" in
+      let run ~setpoint ~hot_limit =
+        let home = Homeguard.create_home () in
+        ignore
+          (install home "VirtualThermostat"
+             ~devices:
+               [ ("sensor", sensor_id); ("heaterOutlet", Device.id_of_seed "heater outlet") ]
+             ~values:[ ("setpoint", string_of_int setpoint) ]);
+        Homeguard.decide home Install_flow.Keep;
+        let report, _ =
+          install home "ItsTooHot"
+            ~devices:[ ("tempSensor", sensor_id); ("acSwitch", Device.id_of_seed "ac switch") ]
+            ~values:[ ("hotLimit", string_of_int hot_limit) ]
+        in
+        List.exists
+          (fun (t : Threat.t) -> t.Threat.category = Threat.GC)
+          report.Install_flow.threats
+      in
+      check_bool "overlapping configs conflict" true (run ~setpoint:90 ~hot_limit:70);
+      check_bool "disjoint configs do not" false (run ~setpoint:40 ~hot_limit:90))
+
+let lights = Device.id_of_seed "hall lights"
+let mode_switch = Device.id_of_seed "mode switch"
+let front_lock = Device.id_of_seed "front lock"
+let motion_id = Device.id_of_seed "bathroom motion"
+
+let chained_threat_via_allowed =
+  test "§VIII-B(2): CurlingIron chains through SwitchChangesMode to MakeItSo" (fun () ->
+      let home = Homeguard.create_home () in
+      ignore
+        (install home "MakeItSo"
+           ~devices:[ ("homeSwitches", lights); ("frontDoor", front_lock) ]
+           ~values:[]);
+      Homeguard.decide home Install_flow.Keep;
+      ignore
+        (install home "SwitchChangesMode" ~devices:[ ("modeSwitch", mode_switch) ]
+           ~values:[ ("onMode", "Home"); ("offMode", "Away") ]);
+      Homeguard.decide home Install_flow.Keep;
+      let report, _ =
+        install home "CurlingIron"
+          ~devices:[ ("bathroomMotion", motion_id); ("outlets", mode_switch) ]
+          ~values:[]
+      in
+      (* direct CT: outlets.on triggers SwitchChangesMode *)
+      check_bool "direct CT" true
+        (List.exists
+           (fun (t : Threat.t) -> t.Threat.category = Threat.CT)
+           report.Install_flow.threats);
+      (* chained: motion -> mode change -> MakeItSo unlocks the door *)
+      check_bool "3-rule chain found" true
+        (List.exists
+           (fun (c : Chain.chain) -> List.length c.Chain.rules >= 3)
+           report.Install_flow.chains))
+
+let message_loss_skips_recording =
+  test "failure injection: lost configuration message is not recorded" (fun () ->
+      let home = Homeguard.create_home () in
+      (* force certain loss *)
+      let lossy =
+        { home with
+          Homeguard.messaging =
+            Homeguard_config.Messaging.create ~seed:1 ~loss_per_thousand:1000 () }
+      in
+      let _, latency =
+        install lossy "ComfortTV"
+          ~devices:[ ("tv1", tv_id); ("tSensor", tsensor_id); ("window1", window_id) ]
+          ~values:[ ("threshold1", "30") ]
+      in
+      check_bool "message lost" true (latency = None);
+      check_bool "nothing recorded" true
+        (Homeguard_config.Recorder.device_id lossy.Homeguard.recorder "ComfortTV" "tv1" = None))
+
+let static_and_dynamic_agree =
+  test "static detection and dynamic simulation agree on the Fig 3 race" (fun () ->
+      (* statically: AR detected (see above). dynamically: both commands
+         hit the window in the simulator. The reproduction requires both
+         views to agree, which is the paper's verification methodology. *)
+      let comfort = extract_corpus "ComfortTV" and cold = extract_corpus "ColdDefender" in
+      let ctx = Homeguard_detector.Detector.create Homeguard_detector.Detector.offline_config in
+      let statically =
+        Homeguard_detector.Detector.detect_pair ctx
+          (comfort, List.hd comfort.Rule.rules)
+          (cold, List.hd cold.Rule.rules)
+        |> List.exists (fun (t : Threat.t) -> t.Threat.category = Threat.AR)
+      in
+      let module Engine = Homeguard_sim.Engine in
+      let module Trace = Homeguard_sim.Trace in
+      let tv = Device.make ~label:"TV" ~device_type:"tv" [ "switch" ] in
+      let window = Device.make ~label:"Window" ~device_type:"window" [ "switch" ] in
+      let ts = Device.make ~label:"T" ~device_type:"temp" [ "temperatureMeasurement" ] in
+      let ws = Device.make ~label:"W" ~device_type:"weather" [ "weatherSensor" ] in
+      let t = Engine.create ~seed:3 () in
+      Engine.install t comfort
+        [ ("tv1", Engine.B_device tv); ("tSensor", Engine.B_device ts);
+          ("threshold1", Engine.B_int 30); ("window1", Engine.B_device window) ];
+      Engine.install t cold
+        [ ("tv2", Engine.B_device tv); ("wSensor", Engine.B_device ws);
+          ("window2", Engine.B_device window) ];
+      Engine.stimulate t ts.Device.id "temperature" "31";
+      Engine.stimulate t ws.Device.id "weather" "rainy";
+      Engine.stimulate t tv.Device.id "switch" "on";
+      Engine.run t ~until_ms:10_000;
+      let dynamically =
+        Trace.opposite_commands_within (Engine.trace t) "Window" ~window_ms:5_000
+          ~opposites:[ ("on", "off"); ("off", "on") ]
+      in
+      check_bool "both agree" true (statically && dynamically))
+
+let tests =
+  [
+    full_pipeline_detects_fig3;
+    online_distinguishes_devices;
+    config_values_sharpen_detection;
+    chained_threat_via_allowed;
+    message_loss_skips_recording;
+    static_and_dynamic_agree;
+  ]
+
+(* appended: §VIII-D3 backward compatibility *)
+let retrofit_existing_home =
+  test "§VIII-D3: retrofitting a pre-HomeGuard home surfaces latent threats" (fun () ->
+      let home = Homeguard.create_home () in
+      let reports =
+        Homeguard.retrofit home
+          [
+            ( extract_corpus "ComfortTV",
+              [ ("tv1", tv_id); ("tSensor", tsensor_id); ("window1", window_id) ],
+              [ ("threshold1", "30") ] );
+            ( extract_corpus "ColdDefender",
+              [ ("tv2", tv_id); ("wSensor", weather_id); ("window2", window_id) ],
+              [] );
+            ( extract_corpus "CatchLiveShow",
+              [ ("voicePlayer", Device.id_of_seed "voice player"); ("tv3", tv_id) ],
+              [] );
+          ]
+      in
+      check_int "three reports" 3 (List.length reports);
+      check_int "all kept installed" 3 (List.length (Homeguard.installed home));
+      (* the latent Fig 3 race surfaces while processing ColdDefender *)
+      let second = List.nth reports 1 in
+      check_bool "latent AR surfaced" true
+        (List.exists
+           (fun (t : Threat.t) -> t.Threat.category = Threat.AR)
+           second.Install_flow.threats);
+      (* and CatchLiveShow's covert trigger appears in the third report *)
+      let third = List.nth reports 2 in
+      check_bool "latent CT surfaced" true
+        (List.exists
+           (fun (t : Threat.t) -> t.Threat.category = Threat.CT)
+           third.Install_flow.threats))
+
+let tests = tests @ [ retrofit_existing_home ]

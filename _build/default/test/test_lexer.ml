@@ -1,0 +1,141 @@
+(** Lexer unit tests: token classes, newline suppression, string forms,
+    error reporting. *)
+
+open Homeguard_groovy
+
+let toks src = List.map (fun l -> l.Lexer.tok) (Lexer.tokenize src)
+
+let tok_list = Alcotest.testable (fun fmt t -> Format.fprintf fmt "%s" (Token.to_string t)) ( = )
+
+let check_toks name src expected =
+  Helpers.test name (fun () ->
+      Alcotest.(check (list tok_list)) name expected (toks src))
+
+let numbers =
+  check_toks "numbers" "1 42 3.5"
+    [ Token.INT 1; Token.INT 42; Token.FLOAT 3.5; Token.EOF ]
+
+let identifiers =
+  check_toks "identifiers and keywords" "def x if else tv1 _y"
+    [
+      Token.KW_DEF; Token.IDENT "x"; Token.KW_IF; Token.KW_ELSE; Token.IDENT "tv1";
+      Token.IDENT "_y"; Token.EOF;
+    ]
+
+let operators =
+  check_toks "operators" "== != <= >= && || ?: ?. -> .. ++ +="
+    [
+      Token.EQ; Token.NEQ; Token.LE; Token.GE; Token.AND_AND; Token.OR_OR; Token.ELVIS;
+      Token.SAFE_DOT; Token.ARROW; Token.DOTDOT; Token.PLUS_PLUS; Token.PLUS_ASSIGN;
+      Token.EOF;
+    ]
+
+let sq_string =
+  check_toks "single-quoted string" "'hello world'"
+    [ Token.STRING "hello world"; Token.EOF ]
+
+let sq_escapes =
+  check_toks "string escapes" {|'a\'b\nc'|} [ Token.STRING "a'b\nc"; Token.EOF ]
+
+let dq_plain =
+  check_toks "double-quoted without interpolation" {|"plain"|}
+    [ Token.DSTRING [ Token.G_text "plain" ]; Token.EOF ]
+
+let dq_interp =
+  check_toks "GString interpolation" {|"a${x + 1}b"|}
+    [
+      Token.DSTRING [ Token.G_text "a"; Token.G_code "x + 1"; Token.G_text "b" ]; Token.EOF;
+    ]
+
+let dq_dollar_ident =
+  check_toks "GString $ident form" {|"v=$val.x"|}
+    [ Token.DSTRING [ Token.G_text "v="; Token.G_code "val.x" ]; Token.EOF ]
+
+let nested_interp =
+  Helpers.test "nested braces inside interpolation" (fun () ->
+      match toks {|"x${ [a: 1].size() }y"|} with
+      | [ Token.DSTRING [ Token.G_text "x"; Token.G_code code; Token.G_text "y" ]; Token.EOF ]
+        ->
+        Helpers.check_string "code" " [a: 1].size() " code
+      | _ -> Alcotest.fail "unexpected token shape")
+
+let comments =
+  check_toks "comments are skipped" "1 // line\n/* block\nmore */ 2"
+    [ Token.INT 1; Token.NEWLINE; Token.INT 2; Token.EOF ]
+
+let newline_statement_break =
+  check_toks "newline separates statements" "a\nb"
+    [ Token.IDENT "a"; Token.NEWLINE; Token.IDENT "b"; Token.EOF ]
+
+let newline_suppressed_after_operator =
+  check_toks "newline suppressed after operator" "a +\nb"
+    [ Token.IDENT "a"; Token.PLUS; Token.IDENT "b"; Token.EOF ]
+
+let newline_suppressed_in_parens =
+  check_toks "newline suppressed inside parens" "f(a,\nb)"
+    [
+      Token.IDENT "f"; Token.LPAREN; Token.IDENT "a"; Token.COMMA; Token.IDENT "b";
+      Token.RPAREN; Token.EOF;
+    ]
+
+let newline_suppressed_after_comma =
+  check_toks "newline suppressed after comma in list" "[a,\nb]"
+    [
+      Token.LBRACKET; Token.IDENT "a"; Token.COMMA; Token.IDENT "b"; Token.RBRACKET;
+      Token.EOF;
+    ]
+
+let newline_kept_after_rparen =
+  check_toks "newline kept after closing paren" "f()\ng()"
+    [
+      Token.IDENT "f"; Token.LPAREN; Token.RPAREN; Token.NEWLINE; Token.IDENT "g";
+      Token.LPAREN; Token.RPAREN; Token.EOF;
+    ]
+
+let unterminated_string =
+  Helpers.test "unterminated string raises" (fun () ->
+      match Lexer.tokenize "'abc" with
+      | exception Lexer.Error (_, 1) -> ()
+      | _ -> Alcotest.fail "expected lexer error")
+
+let unterminated_comment =
+  Helpers.test "unterminated block comment raises" (fun () ->
+      match Lexer.tokenize "/* abc" with
+      | exception Lexer.Error (_, _) -> ()
+      | _ -> Alcotest.fail "expected lexer error")
+
+let bad_char =
+  Helpers.test "unexpected character raises with line" (fun () ->
+      match Lexer.tokenize "a\n#" with
+      | exception Lexer.Error (_, 2) -> ()
+      | _ -> Alcotest.fail "expected lexer error at line 2")
+
+let line_tracking =
+  Helpers.test "line numbers track newlines" (fun () ->
+      let located = Lexer.tokenize "a\nb\nc" in
+      let lines = List.filter_map (fun l ->
+          match l.Lexer.tok with Token.IDENT _ -> Some l.Lexer.line | _ -> None) located in
+      Alcotest.(check (list int)) "lines" [ 1; 2; 3 ] lines)
+
+let tests =
+  [
+    numbers;
+    identifiers;
+    operators;
+    sq_string;
+    sq_escapes;
+    dq_plain;
+    dq_interp;
+    dq_dollar_ident;
+    nested_interp;
+    comments;
+    newline_statement_break;
+    newline_suppressed_after_operator;
+    newline_suppressed_in_parens;
+    newline_suppressed_after_comma;
+    newline_kept_after_rparen;
+    unterminated_string;
+    unterminated_comment;
+    bad_char;
+    line_tracking;
+  ]

@@ -1,0 +1,274 @@
+(** Parser unit tests plus the print/parse round-trip property. *)
+
+open Homeguard_groovy
+
+let parse_e src =
+  match Parser.parse src with
+  | [ Ast.Top_stmt (Ast.Expr_stmt e) ] -> e
+  | _ -> Alcotest.failf "not a single expression: %s" src
+
+let expr = Alcotest.testable (fun fmt e -> Format.fprintf fmt "%s" (Pretty.expr_to_string e)) ( = )
+
+let check_expr name src expected =
+  Helpers.test name (fun () -> Alcotest.check expr name expected (parse_e src))
+
+open Ast
+
+let precedence_arith =
+  check_expr "arithmetic precedence" "1 + 2 * 3"
+    (Binop (Add, Lit (Int 1), Binop (Mul, Lit (Int 2), Lit (Int 3))))
+
+let precedence_bool =
+  check_expr "boolean precedence" "a || b && c"
+    (Binop (Or, Ident "a", Binop (And, Ident "b", Ident "c")))
+
+let precedence_cmp =
+  check_expr "comparison binds tighter than &&" "a < 1 && b > 2"
+    (Binop (And, Binop (Lt, Ident "a", Lit (Int 1)), Binop (Gt, Ident "b", Lit (Int 2))))
+
+let ternary =
+  check_expr "ternary" "a ? 1 : 2" (Ternary (Ident "a", Lit (Int 1), Lit (Int 2)))
+
+let elvis = check_expr "elvis" "a ?: 2" (Binop (Elvis, Ident "a", Lit (Int 2)))
+
+let safe_nav = check_expr "safe navigation" "a?.b" (Safe_prop (Ident "a", "b"))
+
+let prop_chain =
+  check_expr "property chains" "a.b.c" (Prop (Prop (Ident "a", "b"), "c"))
+
+let method_chain =
+  check_expr "method call chains" "a.b(1).c()"
+    (Call (Some (Call (Some (Ident "a"), "b", [ Pos (Lit (Int 1)) ])), "c", []))
+
+let index = check_expr "indexing" "a[0]" (Index (Ident "a", Lit (Int 0)))
+
+let list_lit =
+  check_expr "list literal" "[1, 2]" (List_lit [ Lit (Int 1); Lit (Int 2) ])
+
+let map_lit =
+  check_expr "map literal" "[a: 1, b: 2]" (Map_lit [ ("a", Lit (Int 1)); ("b", Lit (Int 2)) ])
+
+let empty_map = check_expr "empty map" "[:]" (Map_lit [])
+
+let named_args =
+  check_expr "named arguments" "f(x: 1, 2)"
+    (Call (None, "f", [ Named ("x", Lit (Int 1)); Pos (Lit (Int 2)) ]))
+
+let trailing_closure =
+  check_expr "trailing closure after parens" "f(1) { x -> x }"
+    (Call (None, "f", [ Pos (Lit (Int 1)); Pos (Closure ([ "x" ], [ Expr_stmt (Ident "x") ])) ]))
+
+let bare_closure_call =
+  Helpers.test "bare trailing closure statement" (fun () ->
+      match Parser.parse "preferences { input 'a', 'b' }" with
+      | [ Top_stmt (Expr_stmt (Call (None, "preferences", [ Pos (Closure ([], _)) ]))) ] -> ()
+      | _ -> Alcotest.fail "unexpected parse")
+
+let command_call =
+  Helpers.test "command-style call" (fun () ->
+      match Parser.parse "input \"tv1\", \"capability.switch\", title: \"Which?\"" with
+      | [
+       Top_stmt
+         (Expr_stmt
+           (Call
+             ( None,
+               "input",
+               [ Pos (Lit (Str "tv1")); Pos (Lit (Str "capability.switch")); Named ("title", _) ]
+             )));
+      ] ->
+        ()
+      | _ -> Alcotest.fail "unexpected parse")
+
+let label_statement =
+  Helpers.test "labeled statement (mappings action:)" (fun () ->
+      match Parser.parse "action: [GET: \"list\"]" with
+      | [ Top_stmt (Expr_stmt (Call (None, "action", [ Named ("action", Map_lit _) ]))) ] -> ()
+      | _ -> Alcotest.fail "unexpected parse")
+
+let if_else_chain =
+  Helpers.test "if / else if / else" (fun () ->
+      match Parser.parse "if (a) { f() } else if (b) { g() } else { h() }" with
+      | [ Top_stmt (If (Ident "a", [ _ ], [ If (Ident "b", [ _ ], [ _ ]) ])) ] -> ()
+      | _ -> Alcotest.fail "unexpected parse")
+
+let else_on_next_line =
+  Helpers.test "else on its own line" (fun () ->
+      match Parser.parse "if (a) {\n f()\n}\nelse {\n g()\n}" with
+      | [ Top_stmt (If (Ident "a", [ _ ], [ _ ])) ] -> ()
+      | _ -> Alcotest.fail "unexpected parse")
+
+let single_stmt_branches =
+  Helpers.test "braceless if branch" (fun () ->
+      match Parser.parse "if (a) f()" with
+      | [ Top_stmt (If (Ident "a", [ Expr_stmt (Call _) ], [])) ] -> ()
+      | _ -> Alcotest.fail "unexpected parse")
+
+let switch_cases =
+  Helpers.test "switch with cases and default" (fun () ->
+      match Parser.parse "switch (x) {\ncase 'a':\n f()\n break\ndefault:\n g()\n}" with
+      | [ Top_stmt (Switch (Ident "x", [ Case (Lit (Str "a"), [ _; Break ]); Default [ _ ] ])) ]
+        ->
+        ()
+      | _ -> Alcotest.fail "unexpected parse")
+
+let for_in_loop =
+  Helpers.test "for-in loop" (fun () ->
+      match Parser.parse "for (s in switches) { s.off() }" with
+      | [ Top_stmt (For_in ("s", Ident "switches", [ _ ])) ] -> ()
+      | _ -> Alcotest.fail "unexpected parse")
+
+let while_loop =
+  Helpers.test "while loop" (fun () ->
+      match Parser.parse "while (x < 3) { x = x + 1 }" with
+      | [ Top_stmt (While (Binop (Lt, _, _), [ _ ])) ] -> ()
+      | _ -> Alcotest.fail "unexpected parse")
+
+let try_catch =
+  Helpers.test "try/catch" (fun () ->
+      match Parser.parse "try {\n f()\n} catch (e) {\n g()\n}" with
+      | [ Top_stmt (Try ([ _ ], "e", [ _ ])) ] -> ()
+      | _ -> Alcotest.fail "unexpected parse")
+
+let method_def =
+  Helpers.test "method definition" (fun () ->
+      match Parser.parse "def handler(evt) {\n return evt\n}" with
+      | [ Method { name = "handler"; params = [ "evt" ]; body = [ Return (Some (Ident "evt")) ] } ]
+        ->
+        ()
+      | _ -> Alcotest.fail "unexpected parse")
+
+let compound_assign =
+  check_expr "compound assignment desugars" "x += 2"
+    (Assign (Ident "x", Binop (Add, Ident "x", Lit (Int 2))))
+
+let increment =
+  check_expr "postfix increment desugars" "x++"
+    (Assign (Ident "x", Binop (Add, Ident "x", Lit (Int 1))))
+
+let gstring_parses =
+  Helpers.test "GString interpolation parses its holes" (fun () ->
+      match parse_e {|"a${x + 1}b"|} with
+      | Gstring [ Text "a"; Interp (Binop (Add, Ident "x", Lit (Int 1))); Text "b" ] -> ()
+      | _ -> Alcotest.fail "unexpected parse")
+
+let plain_dstring_is_literal =
+  check_expr "uninterpolated GString collapses to Str" {|"plain"|} (Lit (Str "plain"))
+
+let parse_error_has_line =
+  Helpers.test "parse error carries a line" (fun () ->
+      match Parser.parse "def f() {\n if (\n}" with
+      | exception Parser.Error (_, line) -> Helpers.check_bool "line >= 2" true (line >= 2)
+      | _ -> Alcotest.fail "expected parse error")
+
+(* -- round-trip property -------------------------------------------------- *)
+
+let gen_ident = QCheck2.Gen.oneofl [ "a"; "b"; "tv1"; "x"; "evt"; "dev" ]
+let gen_name = QCheck2.Gen.oneofl [ "on"; "off"; "value"; "currentSwitch"; "size" ]
+
+let gen_expr =
+  let open QCheck2.Gen in
+  sized (fun n ->
+      fix
+        (fun self n ->
+          let leaf =
+            oneof
+              [
+                map (fun i -> Lit (Int i)) (int_bound 1000);
+                map (fun s -> Lit (Str s)) (oneofl [ "on"; "off"; "Home"; "rainy" ]);
+                return (Lit (Bool true));
+                return (Lit Null);
+                map (fun v -> Ident v) gen_ident;
+              ]
+          in
+          if n <= 0 then leaf
+          else
+            let sub = self (n / 2) in
+            oneof
+              [
+                leaf;
+                map2 (fun a b -> Binop (Add, a, b)) sub sub;
+                map2 (fun a b -> Binop (Eq, a, b)) sub sub;
+                map2 (fun a b -> Binop (And, a, b)) sub sub;
+                map2 (fun a b -> Binop (Elvis, a, b)) sub sub;
+                map (fun a -> Unop (Not, a)) sub;
+                map3 (fun a b c -> Ternary (a, b, c)) sub sub sub;
+                map2 (fun e nm -> Prop (e, nm)) sub gen_name;
+                map2 (fun e nm -> Safe_prop (e, nm)) sub gen_name;
+                map2 (fun e i -> Index (e, i)) sub sub;
+                map3 (fun r nm arg -> Call (Some r, nm, [ Pos arg ])) sub gen_name sub;
+                map2 (fun nm arg -> Call (None, nm, [ Pos arg; Named ("title", Lit (Str "t")) ])) gen_name sub;
+                map (fun es -> List_lit es) (list_size (int_bound 3) sub);
+                map (fun e -> Map_lit [ ("k", e) ]) sub;
+                map2 (fun a b -> Range (a, b)) sub sub;
+              ])
+        (min n 8))
+
+let gen_stmt =
+  let open QCheck2.Gen in
+  oneof
+    [
+      map (fun e -> Expr_stmt e) gen_expr;
+      map2 (fun v e -> Def_var (v, Some e)) gen_ident gen_expr;
+      map (fun e -> Return (Some e)) gen_expr;
+      map3 (fun c a b -> If (c, [ Expr_stmt a ], [ Expr_stmt b ])) gen_expr gen_expr gen_expr;
+      map2 (fun v e -> Expr_stmt (Assign (Ident v, e))) gen_ident gen_expr;
+      map2 (fun v e -> For_in (v, e, [ Expr_stmt (Ident v) ])) gen_ident gen_expr;
+    ]
+
+let gen_program =
+  let open QCheck2.Gen in
+  let gen_method =
+    map2
+      (fun name body -> Method { name = "m" ^ name; params = [ "evt" ]; body })
+      (oneofl [ "1"; "2"; "handler" ])
+      (list_size (int_range 1 4) gen_stmt)
+  in
+  list_size (int_range 1 5) (oneof [ gen_method; map (fun s -> Top_stmt s) gen_stmt ])
+
+let roundtrip_expr =
+  Helpers.qtest ~count:500 "pretty/parse round-trip (expressions)" gen_expr (fun e ->
+      let printed = Pretty.expr_to_string e in
+      match Parser.parse printed with
+      | [ Top_stmt (Expr_stmt e') ] -> e = e'
+      | _ -> false)
+
+let roundtrip_program =
+  Helpers.qtest ~count:300 "pretty/parse round-trip (programs)" gen_program (fun prog ->
+      let printed = Pretty.program_to_string prog in
+      Parser.parse printed = prog)
+
+let tests =
+  [
+    precedence_arith;
+    precedence_bool;
+    precedence_cmp;
+    ternary;
+    elvis;
+    safe_nav;
+    prop_chain;
+    method_chain;
+    index;
+    list_lit;
+    map_lit;
+    empty_map;
+    named_args;
+    trailing_closure;
+    bare_closure_call;
+    command_call;
+    label_statement;
+    if_else_chain;
+    else_on_next_line;
+    single_stmt_branches;
+    switch_cases;
+    for_in_loop;
+    while_loop;
+    try_catch;
+    method_def;
+    compound_assign;
+    increment;
+    gstring_parses;
+    plain_dstring_is_literal;
+    parse_error_has_line;
+    roundtrip_expr;
+    roundtrip_program;
+  ]

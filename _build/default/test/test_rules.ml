@@ -1,0 +1,125 @@
+(** Rule IR and rule-database tests. *)
+
+module Rule = Homeguard_rules.Rule
+module Rule_db = Homeguard_rules.Rule_db
+module Formula = Homeguard_solver.Formula
+module Term = Homeguard_solver.Term
+module Domain = Homeguard_solver.Domain
+module Store = Homeguard_solver.Store
+open Helpers
+
+let mk_app ?(inputs = []) ?(rules = []) name =
+  { Rule.name; description = ""; inputs; rules; uses_web_services = false }
+
+let input var input_type = { Rule.var; input_type; title = None; multiple = false }
+
+let mk_rule ?(app = "A") ?(id = "A#1") ?(data = []) ?(predicate = Formula.True)
+    ?(actions = []) trigger =
+  { Rule.app_name = app; rule_id = id; trigger; condition = { Rule.data; predicate }; actions }
+
+let event_trigger ?(constraint_ = Formula.True) var attr =
+  Rule.Event { subject = Rule.Device var; attribute = attr; constraint_ }
+
+let capability_of_input =
+  test "capability_of_input parses capability types" (fun () ->
+      let app =
+        mk_app "A" ~inputs:[ input "sw" "capability.switch"; input "n" "number" ]
+      in
+      check_bool "switch" true (Rule.capability_of_input app "sw" = Some "switch");
+      check_bool "number" true (Rule.capability_of_input app "n" = None);
+      check_bool "missing" true (Rule.capability_of_input app "zz" = None))
+
+let device_inputs_test =
+  test "device_inputs filters to capability-typed inputs" (fun () ->
+      let app =
+        mk_app "A"
+          ~inputs:[ input "sw" "capability.switch"; input "n" "number"; input "l" "capability.lock" ]
+      in
+      Alcotest.(check (list string)) "devices" [ "sw"; "l" ] (Rule.device_inputs app))
+
+let controls_devices_test =
+  test "controls_devices distinguishes notification-only rules" (fun () ->
+      let dev_rule =
+        mk_rule (event_trigger "sw" "switch")
+          ~actions:
+            [ { Rule.target = Rule.Act_device "sw"; command = "on"; params = []; when_ = 0;
+                period = 0; action_data = [] } ]
+      in
+      let msg_rule =
+        mk_rule (event_trigger "sw" "switch")
+          ~actions:
+            [ { Rule.target = Rule.Act_messaging; command = "sendPush"; params = []; when_ = 0;
+                period = 0; action_data = [] } ]
+      in
+      check_bool "device rule" true (Rule.controls_devices dev_rule);
+      check_bool "messaging rule" false (Rule.controls_devices msg_rule))
+
+let situation_combines =
+  test "situation conjoins trigger, data and predicate" (fun () ->
+      let r =
+        mk_rule
+          (event_trigger "sw" "switch"
+             ~constraint_:(Formula.eq (Term.Var "sw.switch") (Term.Str "on")))
+          ~data:[ ("t", Term.Var "s.temperature") ]
+          ~predicate:(Formula.gt (Term.Var "t") (Term.Int 30))
+      in
+      let vars = Formula.free_vars (Rule.situation r) in
+      check_bool "has trigger var" true (List.mem "sw.switch" vars);
+      check_bool "has data var" true (List.mem "s.temperature" vars);
+      check_bool "has predicate var" true (List.mem "t" vars))
+
+let store_types_capability_attrs =
+  test "store_for_vars types device attributes from the registry" (fun () ->
+      let cap_of_var = function "sw" -> Some "switch" | _ -> None in
+      let store = Rule.store_for_vars ~cap_of_var [ "sw.switch"; "location.mode"; "time.now" ] in
+      (match Store.find_opt "sw.switch" store with
+      | Some (Domain.Enums vs) -> check_bool "on in domain" true (List.mem "on" vs)
+      | _ -> Alcotest.fail "switch attr untyped");
+      (match Store.find_opt "location.mode" store with
+      | Some (Domain.Enums _) -> ()
+      | _ -> Alcotest.fail "mode untyped");
+      match Store.find_opt "time.now" store with
+      | Some (Domain.Ints _) -> ()
+      | _ -> Alcotest.fail "time untyped")
+
+let store_falls_back_on_attribute =
+  test "store_for_vars falls back to any capability with the attribute" (fun () ->
+      let store = Rule.store_for_vars ~cap_of_var:(fun _ -> None) [ "x.temperature" ] in
+      match Store.find_opt "x.temperature" store with
+      | Some (Domain.Ints _) -> ()
+      | _ -> Alcotest.fail "temperature untyped")
+
+let db_install_uninstall =
+  test "rule db installs, updates, uninstalls" (fun () ->
+      let db = Rule_db.create () in
+      let r = mk_rule (event_trigger "sw" "switch") in
+      let app = mk_app "A" ~rules:[ r ] in
+      ignore (Rule_db.install db app);
+      check_int "installed" 1 (List.length (Rule_db.installed_apps db));
+      check_int "rules" 1 (Rule_db.rule_count db);
+      Rule_db.update db { app with Rule.rules = [ r; { r with Rule.rule_id = "A#2" } ] };
+      check_int "still one app" 1 (List.length (Rule_db.installed_apps db));
+      check_int "two rules" 2 (Rule_db.rule_count db);
+      Rule_db.uninstall db "A";
+      check_int "empty" 0 (List.length (Rule_db.installed_apps db)))
+
+let db_all_rules_tagged =
+  test "all_rules tags rules with their app" (fun () ->
+      let db = Rule_db.create () in
+      let r = mk_rule (event_trigger "sw" "switch") in
+      ignore (Rule_db.install db (mk_app "A" ~rules:[ r ]));
+      ignore (Rule_db.install db (mk_app "B" ~rules:[ { r with Rule.app_name = "B" } ]));
+      let tags = List.map (fun (a, _) -> a.Rule.name) (Rule_db.all_rules db) in
+      Alcotest.(check (list string)) "apps in order" [ "A"; "B" ] tags)
+
+let tests =
+  [
+    capability_of_input;
+    device_inputs_test;
+    controls_devices_test;
+    situation_combines;
+    store_types_capability_attrs;
+    store_falls_back_on_attribute;
+    db_install_uninstall;
+    db_all_rules_tagged;
+  ]

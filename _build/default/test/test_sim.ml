@@ -1,0 +1,300 @@
+(** Simulator tests: event queue, environment physics, rule execution,
+    and dynamic verification of statically detected threats (the role
+    the paper's SmartThings testbed plays in §VIII-A). *)
+
+module Engine = Homeguard_sim.Engine
+module Event_queue = Homeguard_sim.Event_queue
+module Env_model = Homeguard_sim.Env_model
+module Trace = Homeguard_sim.Trace
+module Scenario = Homeguard_sim.Scenario
+module Device = Homeguard_st.Device
+module Env = Homeguard_st.Env_feature
+open Helpers
+
+(* -- event queue ----------------------------------------------------------- *)
+
+let queue_ordering =
+  test "events pop in time order" (fun () ->
+      let q = Event_queue.create () in
+      Event_queue.push q 30 "c";
+      Event_queue.push q 10 "a";
+      Event_queue.push q 20 "b";
+      let order = List.init 3 (fun _ -> Option.get (Event_queue.pop q)) in
+      Alcotest.(check (list (pair int string))) "order" [ (10, "a"); (20, "b"); (30, "c") ] order)
+
+let queue_fifo_same_time =
+  test "same-time events preserve insertion order" (fun () ->
+      let q = Event_queue.create () in
+      Event_queue.push q 5 "first";
+      Event_queue.push q 5 "second";
+      check_string "first" "first" (snd (Option.get (Event_queue.pop q)));
+      check_string "second" "second" (snd (Option.get (Event_queue.pop q))))
+
+let queue_empty =
+  test "empty queue behaviour" (fun () ->
+      let q = Event_queue.create () in
+      check_bool "is_empty" true (Event_queue.is_empty q);
+      check_bool "pop none" true (Event_queue.pop q = None);
+      check_bool "peek none" true (Event_queue.peek_time q = None))
+
+let queue_property =
+  qtest "queue pops are globally time-sorted"
+    QCheck2.Gen.(list_size (int_range 1 30) (int_bound 1000))
+    (fun times ->
+      let q = Event_queue.create () in
+      List.iter (fun t -> Event_queue.push q t t) times;
+      let rec drain acc =
+        match Event_queue.pop q with None -> List.rev acc | Some (t, _) -> drain (t :: acc)
+      in
+      let popped = drain [] in
+      popped = List.sort compare times)
+
+(* -- environment model ------------------------------------------------------ *)
+
+let env_relaxes_to_baseline =
+  test "environment relaxes toward baseline" (fun () ->
+      let env = Env_model.create () in
+      Env_model.set_value env Env.Temperature 100.0;
+      Env_model.step env ~dt_ms:600_000;
+      let t = Env_model.value env Env.Temperature in
+      check_bool "cooled toward 72" true (t < 100.0 && t > 72.0))
+
+let env_influences_push =
+  test "influences push features" (fun () ->
+      let env = Env_model.create () in
+      Env_model.set_influences env "heater" [ (Env.Temperature, 1.0) ];
+      let before = Env_model.value env Env.Temperature in
+      Env_model.step env ~dt_ms:600_000;
+      check_bool "warmer" true (Env_model.value env Env.Temperature > before);
+      Env_model.clear_influences env "heater";
+      Env_model.set_value env Env.Temperature 90.0;
+      Env_model.step env ~dt_ms:600_000;
+      check_bool "relaxing after clear" true (Env_model.value env Env.Temperature < 90.0))
+
+let env_power_instantaneous =
+  test "power reflects active influences instantly" (fun () ->
+      let env = Env_model.create () in
+      Env_model.set_influences env "ac" [ (Env.Power, 900.0) ];
+      Env_model.step env ~dt_ms:1000;
+      check_bool "power above baseline" true (Env_model.value env Env.Power >= 900.0))
+
+let env_energy_integrates =
+  test "energy integrates power over time" (fun () ->
+      let env = Env_model.create () in
+      let e0 = Env_model.value env Env.Energy in
+      Env_model.step env ~dt_ms:3_600_000;
+      check_bool "energy grew" true (Env_model.value env Env.Energy > e0))
+
+(* -- engine ------------------------------------------------------------------ *)
+
+let motion = Device.make ~label:"Motion" ~device_type:"motion" [ "motionSensor" ]
+let lamp = Device.make ~label:"Lamp" ~device_type:"light" [ "switch" ]
+
+let install_brighten t =
+  let app = extract_corpus "BrightenMyPath" in
+  Engine.install t app
+    [ ("motion1", Engine.B_device motion); ("pathLights", Engine.B_device lamp) ]
+
+let rule_fires_on_event =
+  test "a rule fires when its trigger event arrives" (fun () ->
+      let t = Engine.create () in
+      install_brighten t;
+      Engine.stimulate t motion.Device.id "motion" "active";
+      Engine.run t ~until_ms:5_000;
+      check_bool "lamp turned on" true
+        (Trace.final_attribute (Engine.trace t) "Lamp" "switch" = Some "on"))
+
+let trigger_value_respected =
+  test "trigger value constraints are respected" (fun () ->
+      let t = Engine.create () in
+      install_brighten t;
+      (* motion.inactive must NOT fire the motion.active subscription *)
+      Engine.stimulate t motion.Device.id "motion" "active";
+      Engine.run t ~until_ms:2_000;
+      Engine.stimulate t lamp.Device.id "switch" "off";
+      Engine.stimulate t motion.Device.id "motion" "inactive";
+      Engine.run t ~until_ms:10_000;
+      check_bool "lamp stays off" true
+        (Trace.final_attribute (Engine.trace t) "Lamp" "switch" = Some "off"))
+
+let condition_blocks_execution =
+  test "a false condition blocks the action" (fun () ->
+      let t = Engine.create () in
+      let app = extract_corpus "SmartSecurity" in
+      let siren = Device.make ~label:"Siren" ~device_type:"alarm" [ "alarm" ] in
+      Engine.install t app
+        [ ("securityMotion", Engine.B_device motion); ("securityAlarm", Engine.B_device siren) ];
+      (* mode is Home, not Away -> rule must not fire *)
+      Engine.stimulate t motion.Device.id "motion" "active";
+      Engine.run t ~until_ms:5_000;
+      check_bool "no siren" true (Trace.final_attribute (Engine.trace t) "Siren" "alarm" = None))
+
+let delayed_action_fires_late =
+  test "runIn-delayed actions execute after the delay" (fun () ->
+      let t = Engine.create () in
+      let app = extract_corpus "TurnItOnFor5Minutes" in
+      let contact = Device.make ~label:"Door" ~device_type:"contact" [ "contactSensor" ] in
+      Engine.install t app
+        [ ("contact1", Engine.B_device contact); ("timedLight", Engine.B_device lamp) ];
+      Engine.stimulate t contact.Device.id "contact" "open";
+      Engine.run t ~until_ms:400_000;
+      let timeline = Trace.attribute_timeline (Engine.trace t) "Lamp" "switch" in
+      (match timeline with
+      | [ (t_on, "on"); (t_off, "off") ] ->
+        check_bool "off about 300s after on" true (t_off - t_on >= 299_000)
+      | _ -> Alcotest.fail "expected on-then-off timeline"))
+
+let user_value_binding =
+  test "user-configured thresholds drive conditions" (fun () ->
+      let t = Engine.create () in
+      let app = extract_corpus "ItsTooHot" in
+      let sensor = Device.make ~label:"Thermo" ~device_type:"temp" [ "temperatureMeasurement" ] in
+      let ac = Device.make ~label:"AC unit" ~device_type:"ac" [ "switch" ] in
+      Engine.install t app
+        [ ("tempSensor", Engine.B_device sensor); ("hotLimit", Engine.B_int 85);
+          ("acSwitch", Engine.B_device ac) ];
+      Engine.stimulate t sensor.Device.id "temperature" "80";
+      Engine.run t ~until_ms:3_000;
+      check_bool "below limit: AC stays off" true
+        (Trace.final_attribute (Engine.trace t) "AC unit" "switch" = None);
+      Engine.stimulate t sensor.Device.id "temperature" "90";
+      Engine.run t ~until_ms:6_000;
+      check_bool "above limit: AC on" true
+        (Trace.final_attribute (Engine.trace t) "AC unit" "switch" = Some "on"))
+
+let mode_events_fire_rules =
+  test "location-mode changes trigger mode-subscribed rules" (fun () ->
+      let t = Engine.create () in
+      let app = extract_corpus "GoodNightLights" in
+      Engine.install t app [ ("bedtimeLights", Engine.B_device lamp) ];
+      Engine.stimulate t lamp.Device.id "switch" "on";
+      Engine.run t ~until_ms:1_000;
+      Engine.set_mode t "Night";
+      Engine.run t ~until_ms:5_000;
+      check_bool "lights off in Night mode" true
+        (Trace.final_attribute (Engine.trace t) "Lamp" "switch" = Some "off"))
+
+let scheduled_rule_fires =
+  test "scheduled rules fire at their time of day" (fun () ->
+      let t = Engine.create () in
+      let app = extract_corpus "GoodMorningCoffee" in
+      let coffee = Device.make ~label:"Coffee maker" ~device_type:"coffee" [ "switch" ] in
+      Engine.install t app [ ("coffeeMaker", Engine.B_device coffee) ];
+      (* 07:00 = 25_200_000 ms after the simulated midnight start *)
+      Engine.run t ~until_ms:26_000_000;
+      check_bool "coffee on" true
+        (Trace.final_attribute (Engine.trace t) "Coffee maker" "switch" = Some "on"))
+
+(* -- dynamic verification of detected threats -------------------------------- *)
+
+let window = Device.make ~label:"Window opener" ~device_type:"window" [ "switch" ]
+let tv = Device.make ~label:"TV" ~device_type:"tv" [ "switch" ]
+let tsensor = Device.make ~label:"Thermo" ~device_type:"temp" [ "temperatureMeasurement" ]
+let weather = Device.make ~label:"Weather" ~device_type:"weather" [ "weatherSensor" ]
+
+let race_setup t =
+  Engine.install t (extract_corpus "ComfortTV")
+    [ ("tv1", Engine.B_device tv); ("tSensor", Engine.B_device tsensor);
+      ("threshold1", Engine.B_int 30); ("window1", Engine.B_device window) ];
+  Engine.install t (extract_corpus "ColdDefender")
+    [ ("tv2", Engine.B_device tv); ("wSensor", Engine.B_device weather);
+      ("window2", Engine.B_device window) ];
+  Engine.stimulate t tsensor.Device.id "temperature" "31";
+  Engine.stimulate t weather.Device.id "weather" "rainy";
+  Engine.stimulate t tv.Device.id "switch" "on"
+
+let actuator_race_nondeterministic =
+  test "§VIII-A: the Fig 3 race has nondeterministic outcomes across seeds" (fun () ->
+      let outcomes =
+        Scenario.race_outcomes
+          ~seeds:(List.init 12 (fun i -> i + 1))
+          ~until_ms:10_000 ~setup:race_setup ~device:"Window opener" ~attribute:"switch" ()
+      in
+      check_bool "more than one distinct outcome" true (List.length outcomes >= 2))
+
+let race_commands_both_issued =
+  test "both racing commands reach the actuator" (fun () ->
+      let o =
+        Scenario.run_once ~seed:3 ~until_ms:10_000 ~setup:race_setup
+          ~watch:[ ("Window opener", "switch") ] ()
+      in
+      let cmds = List.map snd (Trace.commands_on o.Scenario.trace "Window opener") in
+      check_bool "on and off both issued" true (List.mem "on" cmds && List.mem "off" cmds))
+
+let dc_alarm_bypass =
+  test "Fig 5 dynamically: NightCare turns the lamp off, disabling BurglarFinder" (fun () ->
+      let floor_lamp = Device.make ~label:"Floor lamp" ~device_type:"light" [ "switch" ] in
+      let siren = Device.make ~label:"Siren" ~device_type:"alarm" [ "alarm" ] in
+      let t = Engine.create () in
+      Engine.install t (extract_corpus "BurglarFinder")
+        [ ("motion1", Engine.B_device motion); ("floorLamp", Engine.B_device floor_lamp);
+          ("alarm1", Engine.B_device siren) ];
+      Engine.install t (extract_corpus "NightCare") [ ("lamp5", Engine.B_device floor_lamp) ];
+      Engine.set_mode t "Night";
+      Engine.run t ~until_ms:1_000;
+      Engine.stimulate t floor_lamp.Device.id "switch" "on";
+      (* NightCare turns the lamp off after 300s... *)
+      Engine.run t ~until_ms:400_000;
+      check_bool "lamp was turned off" true
+        (Trace.final_attribute (Engine.trace t) "Floor lamp" "switch" = Some "off");
+      (* ...so the burglar's motion no longer raises the alarm *)
+      Engine.stimulate t motion.Device.id "motion" "active";
+      Engine.run t ~until_ms:500_000;
+      check_bool "alarm never fired (false negative)" true
+        (Trace.final_attribute (Engine.trace t) "Siren" "alarm" = None))
+
+let lt_flapping =
+  test "LightUpTheNight flaps when driven by its own illuminance" (fun () ->
+      let lux = Device.make ~label:"Lux" ~device_type:"lux" [ "illuminanceMeasurement" ] in
+      let lamp = Device.make ~label:"Night lamp" ~device_type:"light" [ "switch" ] in
+      let t = Engine.create ~sample_interval_ms:5_000 () in
+      Engine.install t (extract_corpus "LightUpTheNight")
+        [ ("lightSensor", Engine.B_device lux); ("lights", Engine.B_device lamp) ];
+      (* night: both the ambient level and its baseline are dark, so only
+         the lamp's own light moves the sensor *)
+      Homeguard_sim.Env_model.set_value t.Engine.env Env.Illuminance 10.0;
+      Homeguard_sim.Env_model.set_baseline t.Engine.env Env.Illuminance 10.0;
+      Engine.run t ~until_ms:600_000;
+      let flaps = Trace.flap_count (Engine.trace t) "Night lamp" "switch" in
+      check_bool "lamp flapped repeatedly" true (flaps >= 3))
+
+let covert_trigger_chain =
+  test "Fig 4 dynamically: CatchLiveShow opens the window via ComfortTV" (fun () ->
+      let voice = Device.make ~label:"Voice player" ~device_type:"speaker" [ "musicPlayer" ] in
+      let t = Engine.create () in
+      Engine.install t (extract_corpus "ComfortTV")
+        [ ("tv1", Engine.B_device tv); ("tSensor", Engine.B_device tsensor);
+          ("threshold1", Engine.B_int 30); ("window1", Engine.B_device window) ];
+      Engine.install t (extract_corpus "CatchLiveShow")
+        [ ("voicePlayer", Engine.B_device voice); ("tv3", Engine.B_device tv) ];
+      Engine.stimulate t tsensor.Device.id "temperature" "31";
+      Engine.stimulate t voice.Device.id "status" "playing";
+      Engine.run t ~until_ms:10_000;
+      check_bool "tv turned on by CatchLiveShow" true
+        (Trace.final_attribute (Engine.trace t) "TV" "switch" = Some "on");
+      check_bool "window opened covertly" true
+        (Trace.final_attribute (Engine.trace t) "Window opener" "switch" = Some "on"))
+
+let tests =
+  [
+    queue_ordering;
+    queue_fifo_same_time;
+    queue_empty;
+    queue_property;
+    env_relaxes_to_baseline;
+    env_influences_push;
+    env_power_instantaneous;
+    env_energy_integrates;
+    rule_fires_on_event;
+    trigger_value_respected;
+    condition_blocks_execution;
+    delayed_action_fires_late;
+    user_value_binding;
+    mode_events_fire_rules;
+    scheduled_rule_fires;
+    actuator_race_nondeterministic;
+    race_commands_both_issued;
+    dc_alarm_bypass;
+    lt_flapping;
+    covert_trigger_chain;
+  ]

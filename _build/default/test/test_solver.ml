@@ -1,0 +1,259 @@
+(** Constraint-solver tests: satisfiability, entailment, DNF, model
+    soundness, agreement with brute force and with the DPLL-style
+    variant. *)
+
+open Homeguard_solver
+open Formula
+open Term
+
+let sat ?(store = Store.empty) f = Solver.sat store f
+
+let model ?(store = Store.empty) f = Solver.satisfiable store f
+
+let simple_sat =
+  Helpers.test "x > 5 is satisfiable" (fun () ->
+      Helpers.check_bool "sat" true (sat (gt (Var "x") (Int 5))))
+
+let simple_unsat =
+  Helpers.test "x > 5 && x < 3 is unsat" (fun () ->
+      Helpers.check_bool "unsat" false
+        (sat (conj [ gt (Var "x") (Int 5); lt (Var "x") (Int 3) ])))
+
+let equality_chain =
+  Helpers.test "transitive equality propagates" (fun () ->
+      Helpers.check_bool "unsat" false
+        (sat
+           (conj
+              [ eq (Var "a") (Var "b"); eq (Var "b") (Var "c"); gt (Var "a") (Int 10);
+                lt (Var "c") (Int 5);
+              ])))
+
+let arithmetic =
+  Helpers.test "x + y == 10 with bounds" (fun () ->
+      let f =
+        conj
+          [ eq (Add (Var "x", Var "y")) (Int 10); ge (Var "x") (Int 0); ge (Var "y") (Int 0);
+            gt (Var "x") (Int 8);
+          ]
+      in
+      match model f with
+      | Some m ->
+        let get v = List.assoc v m in
+        (match (get "x", get "y") with
+        | Domain.Int x, Domain.Int y ->
+          Helpers.check_int "sum" 10 (x + y);
+          Helpers.check_bool "x > 8" true (x > 8)
+        | _ -> Alcotest.fail "non-int model")
+      | None -> Alcotest.fail "expected sat")
+
+let subtraction =
+  Helpers.test "x - y > 0 && x < y is unsat" (fun () ->
+      Helpers.check_bool "unsat" false
+        (sat (conj [ gt (Sub (Var "x", Var "y")) (Int 0); lt (Var "x") (Var "y") ])))
+
+let multiplication_by_const =
+  Helpers.test "2 * x == 7 is unsat over ints" (fun () ->
+      Helpers.check_bool "unsat" false (sat (eq (Mul (Int 2, Var "x")) (Int 7))))
+
+let multiplication_sat =
+  Helpers.test "3 * x == 12 solves to 4" (fun () ->
+      match model (eq (Mul (Int 3, Var "x")) (Int 12)) with
+      | Some [ ("x", Domain.Int 4) ] -> ()
+      | Some _ -> Alcotest.fail "wrong model"
+      | None -> Alcotest.fail "expected sat")
+
+let negation_pushing =
+  Helpers.test "Not flips comparators" (fun () ->
+      Helpers.check_bool "unsat" false
+        (sat (conj [ gt (Var "x") (Int 5); Not (gt (Var "x") (Int 3)) ])))
+
+let enum_sat =
+  Helpers.test "enum equality with store" (fun () ->
+      let store = Store.of_list [ ("sw", Domain.enums [ "on"; "off" ]) ] in
+      Helpers.check_bool "sat" true (sat ~store (eq (Var "sw") (Str "on")));
+      Helpers.check_bool "unsat" false (sat ~store (eq (Var "sw") (Str "open"))))
+
+let enum_neq_chain =
+  Helpers.test "exhausting an enum domain is unsat" (fun () ->
+      let store = Store.of_list [ ("sw", Domain.enums [ "on"; "off" ]) ] in
+      Helpers.check_bool "unsat" false
+        (sat ~store (conj [ neq (Var "sw") (Str "on"); neq (Var "sw") (Str "off") ])))
+
+let enum_inference =
+  Helpers.test "untyped enum vars get inferred universes" (fun () ->
+      (* without a store, an extra __other__ value keeps Neq satisfiable *)
+      Helpers.check_bool "sat" true
+        (sat (conj [ neq (Var "mode") (Str "Home"); neq (Var "mode") (Str "Away") ])))
+
+let enum_join =
+  Helpers.test "var-var enum equality joins universes" (fun () ->
+      Helpers.check_bool "sat" true
+        (sat (conj [ eq (Var "a") (Var "b"); eq (Var "b") (Str "on") ])))
+
+let mixed_types_eq_unsat =
+  Helpers.test "int = string is unsat" (fun () ->
+      let store = Store.of_list [ ("x", Domain.interval 0 5) ] in
+      Helpers.check_bool "unsat" false (sat ~store (eq (Var "x") (Str "on"))))
+
+let disjunction =
+  Helpers.test "disjunction explores both branches" (fun () ->
+      let f =
+        conj
+          [ disj [ gt (Var "x") (Int 100); lt (Var "x") (Int (-100)) ]; ge (Var "x") (Int 0) ]
+      in
+      match model f with
+      | Some [ ("x", Domain.Int x) ] -> Helpers.check_bool "x > 100" true (x > 100)
+      | _ -> Alcotest.fail "expected model")
+
+let entails_works =
+  Helpers.test "entailment" (fun () ->
+      Helpers.check_bool "x>5 |= x>3" true
+        (Solver.entails Store.empty (gt (Var "x") (Int 5)) (gt (Var "x") (Int 3)));
+      Helpers.check_bool "x>3 |/= x>5" false
+        (Solver.entails Store.empty (gt (Var "x") (Int 3)) (gt (Var "x") (Int 5))))
+
+let conflicts_works =
+  Helpers.test "conflict detection" (fun () ->
+      Helpers.check_bool "conflict" true
+        (Solver.conflicts Store.empty (gt (Var "x") (Int 5)) (lt (Var "x") (Int 2)));
+      Helpers.check_bool "no conflict" false
+        (Solver.conflicts Store.empty (gt (Var "x") (Int 5)) (lt (Var "x") (Int 9))))
+
+let true_false =
+  Helpers.test "True/False literals" (fun () ->
+      Helpers.check_bool "true sat" true (sat True);
+      Helpers.check_bool "false unsat" false (sat False);
+      Helpers.check_bool "conj false" false (sat (conj [ True; False ])))
+
+(* -- DNF ------------------------------------------------------------------- *)
+
+let dnf_shape =
+  Helpers.test "DNF distributes" (fun () ->
+      let f =
+        conj [ disj [ eq (Var "a") (Int 1); eq (Var "a") (Int 2) ]; eq (Var "b") (Int 3) ]
+      in
+      Helpers.check_int "conjuncts" 2 (List.length (Dnf.of_formula f)))
+
+let dnf_true_false =
+  Helpers.test "DNF of True/False" (fun () ->
+      Helpers.check_bool "true" true (Dnf.of_formula True = [ [] ]);
+      Helpers.check_bool "false" true (Dnf.of_formula False = []))
+
+(* -- property tests -------------------------------------------------------- *)
+
+let var_pool = [ "p"; "q"; "r" ]
+
+let gen_formula =
+  let open QCheck2.Gen in
+  let gen_var = oneofl var_pool in
+  let gen_term =
+    oneof
+      [ map (fun v -> Var v) gen_var; map (fun n -> Int n) (int_range 0 6) ]
+  in
+  let gen_atom =
+    let* cmp = oneofl [ Eq; Neq; Lt; Le; Gt; Ge ] in
+    let* a = gen_term and* b = gen_term in
+    return (Atom (cmp, a, b))
+  in
+  (* size is capped: adversarial thousand-atom formulas are out of scope
+     for rule-sized solving and would make the property run unbounded *)
+  let rec gen n =
+    if n <= 0 then gen_atom
+    else
+      let sub = gen (n / 2) in
+      oneof
+        [
+          gen_atom;
+          map (fun fs -> And fs) (list_size (int_range 1 3) sub);
+          map (fun fs -> Or fs) (list_size (int_range 1 3) sub);
+          map (fun f -> Not f) sub;
+        ]
+  in
+  sized (fun n -> gen (min n 10))
+
+let small_store =
+  Store.of_list (List.map (fun v -> (v, Domain.interval 0 6)) var_pool)
+
+let brute_force_sat f =
+  let rec assign vars acc =
+    match vars with
+    | [] -> Formula.eval (fun v -> Domain.Int (List.assoc v acc)) f
+    | v :: rest ->
+      List.exists (fun n -> assign rest ((v, n) :: acc)) [ 0; 1; 2; 3; 4; 5; 6 ]
+  in
+  assign var_pool []
+
+let prop_agrees_with_brute_force =
+  Helpers.qtest ~count:300 "solver agrees with brute force on small domains" gen_formula
+    (fun f -> Solver.sat small_store f = brute_force_sat f)
+
+let prop_model_satisfies =
+  Helpers.qtest ~count:300 "returned models satisfy the formula" gen_formula (fun f ->
+      match Solver.satisfiable small_store f with
+      | None -> true
+      | Some m ->
+        let env v =
+          match List.assoc_opt v m with
+          | Some value -> value
+          | None -> Domain.Int 0 (* unconstrained *)
+        in
+        Formula.eval env f)
+
+let prop_dpll_agrees =
+  Helpers.qtest ~count:300 "DPLL variant agrees with DNF solver" gen_formula (fun f ->
+      Option.is_some (Solver.satisfiable_dpll small_store f) = Solver.sat small_store f)
+
+let prop_nnf_preserves =
+  Helpers.qtest ~count:300 "NNF preserves semantics" gen_formula (fun f ->
+      let g = Formula.nnf f in
+      let rec assign vars acc =
+        match vars with
+        | [] ->
+          let env v = Domain.Int (List.assoc v acc) in
+          Formula.eval env f = Formula.eval env g
+        | v :: rest -> List.for_all (fun n -> assign rest ((v, n) :: acc)) [ 0; 3; 6 ]
+      in
+      assign var_pool [])
+
+let prop_dnf_preserves =
+  Helpers.qtest ~count:200 "DNF preserves semantics" gen_formula (fun f ->
+      match Dnf.of_formula f with
+      | conjuncts ->
+        let g = Dnf.to_formula conjuncts in
+        let rec assign vars acc =
+          match vars with
+          | [] ->
+            let env v = Domain.Int (List.assoc v acc) in
+            Formula.eval env f = Formula.eval env g
+          | v :: rest -> List.for_all (fun n -> assign rest ((v, n) :: acc)) [ 0; 2; 5 ]
+        in
+        assign var_pool []
+      | exception Dnf.Too_large -> true)
+
+let tests =
+  [
+    simple_sat;
+    simple_unsat;
+    equality_chain;
+    arithmetic;
+    subtraction;
+    multiplication_by_const;
+    multiplication_sat;
+    negation_pushing;
+    enum_sat;
+    enum_neq_chain;
+    enum_inference;
+    enum_join;
+    mixed_types_eq_unsat;
+    disjunction;
+    entails_works;
+    conflicts_works;
+    true_false;
+    dnf_shape;
+    dnf_true_false;
+    prop_agrees_with_brute_force;
+    prop_model_satisfies;
+    prop_dpll_agrees;
+    prop_nnf_preserves;
+    prop_dnf_preserves;
+  ]

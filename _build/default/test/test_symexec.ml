@@ -1,0 +1,455 @@
+(** Symbolic-execution rule-extraction tests, including the paper's
+    Table II reproduction and the §VIII-B special cases. *)
+
+module Rule = Homeguard_rules.Rule
+module Formula = Homeguard_solver.Formula
+module Term = Homeguard_solver.Term
+module Extract = Homeguard_symexec.Extract
+open Helpers
+
+let wrap body =
+  Printf.sprintf
+    {|
+definition(name: "T", description: "test app")
+preferences {
+  section("s") {
+    input "sw1", "capability.switch", title: "A switch"
+    input "tSensor", "capability.temperatureMeasurement"
+    input "threshold1", "number", title: "Limit"
+    input "lock1", "capability.lock"
+  }
+}
+def installed() {
+  subscribe(sw1, "switch", handler)
+}
+def updated() {
+  unsubscribe()
+  subscribe(sw1, "switch", handler)
+}
+%s
+|}
+    body
+
+(* Table II: the paper's reference extraction of Rule 1. *)
+let table_ii =
+  test "Table II: ComfortTV extraction matches the paper" (fun () ->
+      let app = extract_corpus "ComfortTV" in
+      let r = the_rule app in
+      (match r.Rule.trigger with
+      | Rule.Event { subject = Rule.Device "tv1"; attribute = "switch"; constraint_ } ->
+        check_string "trigger constraint" "tv1.switch == \"on\""
+          (Formula.to_string constraint_)
+      | _ -> Alcotest.fail "wrong trigger");
+      check_bool "data constraint t = tSensor.temperature" true
+        (List.mem ("t", Term.Var "tSensor.temperature") r.Rule.condition.Rule.data);
+      check_string "predicate"
+        "(tSensor.temperature > threshold1 && window1.switch == \"off\")"
+        (Formula.to_string r.Rule.condition.Rule.predicate);
+      match r.Rule.actions with
+      | [ { Rule.target = Rule.Act_device "window1"; command = "on"; params = []; when_ = 0;
+            period = 0; _ } ] ->
+        ()
+      | _ -> Alcotest.fail "wrong action")
+
+let inputs_scanned =
+  test "input declarations are scanned" (fun () ->
+      let app = extract (wrap "def handler(evt) { sw1.off() }") in
+      check_int "inputs" 4 (List.length app.Rule.inputs);
+      check_bool "capability recorded" true
+        (Rule.capability_of_input app "sw1" = Some "switch");
+      check_bool "number input" true
+        (List.exists (fun i -> i.Rule.var = "threshold1" && i.Rule.input_type = "number")
+           app.Rule.inputs))
+
+let both_branches_explored =
+  test "if/else yields two rules" (fun () ->
+      let app =
+        extract
+          (wrap
+             {|def handler(evt) {
+  if (evt.value == "on") { lock1.lock() } else { lock1.unlock() }
+}|})
+      in
+      check_int "rules" 2 (List.length app.Rule.rules))
+
+let no_sink_no_rule =
+  test "paths without sinks yield no rule" (fun () ->
+      let app = extract (wrap "def handler(evt) { def x = 1 }") in
+      check_int "rules" 0 (List.length app.Rule.rules))
+
+let nested_conditions_conjoin =
+  test "nested branches accumulate the path condition" (fun () ->
+      let app =
+        extract
+          (wrap
+             {|def handler(evt) {
+  def t = tSensor.currentTemperature
+  if (t > 10) {
+    if (t < 50) {
+      sw1.off()
+    }
+  }
+}|})
+      in
+      let r = the_rule app in
+      let p = Formula.to_string r.Rule.condition.Rule.predicate in
+      check_bool "both constraints present" true
+        (p = "(tSensor.temperature > 10 && tSensor.temperature < 50)"))
+
+let run_in_attaches_delay =
+  test "runIn attaches the when delay to downstream sinks" (fun () ->
+      let app =
+        extract
+          (wrap {|def handler(evt) { runIn(300, later) }
+def later() { sw1.off() }|})
+      in
+      let r = the_rule app in
+      match r.Rule.actions with
+      | [ { Rule.when_ = 300; command = "off"; _ } ] -> ()
+      | _ -> Alcotest.fail "expected delayed action")
+
+let nested_run_in_accumulates =
+  test "nested runIn delays accumulate" (fun () ->
+      let app =
+        extract
+          (wrap
+             {|def handler(evt) { runIn(60, stage1) }
+def stage1() { runIn(60, stage2) }
+def stage2() { sw1.on() }|})
+      in
+      let r = the_rule app in
+      match r.Rule.actions with
+      | [ { Rule.when_ = 120; _ } ] -> ()
+      | _ -> Alcotest.fail "expected accumulated delay of 120")
+
+let subscribe_with_value =
+  test "subscribe(dev, \"switch.on\") constrains the trigger" (fun () ->
+      let app =
+        extract
+          {|
+input "sw1", "capability.switch"
+def installed() { subscribe(sw1, "switch.on", h) }
+def h(evt) { sw1.off() }
+|}
+      in
+      let r = the_rule app in
+      match r.Rule.trigger with
+      | Rule.Event { constraint_; _ } ->
+        check_string "constraint" "sw1.switch == \"on\"" (Formula.to_string constraint_)
+      | _ -> Alcotest.fail "wrong trigger")
+
+let switch_statement_branches =
+  test "switch statements branch per case" (fun () ->
+      let app =
+        extract
+          (wrap
+             {|def handler(evt) {
+  switch (evt.value) {
+    case "on":
+      lock1.lock()
+      break
+    case "off":
+      lock1.unlock()
+      break
+  }
+}|})
+      in
+      check_int "rules" 2 (List.length app.Rule.rules))
+
+let ternary_branches =
+  test "ternary expressions split the path" (fun () ->
+      let app =
+        extract
+          (wrap
+             {|def handler(evt) {
+  def target = (evt.value == "on") ? "locked" : "unlocked"
+  if (target == "locked") { lock1.lock() } else { lock1.unlock() }
+}|})
+      in
+      (* 2 ternary paths x 2 if branches, infeasible ones still recorded *)
+      check_bool "at least 2 rules" true (List.length app.Rule.rules >= 2))
+
+let state_strong_update =
+  test "state fields are strongly updated along a path" (fun () ->
+      let app =
+        extract
+          (wrap
+             {|def handler(evt) {
+  state.armed = "yes"
+  if (state.armed == "yes") { sw1.off() }
+}|})
+      in
+      (* condition folds to "yes" == "yes": no residual predicate on state *)
+      let r = the_rule app in
+      check_bool "no state var in predicate" true
+        (not (List.mem "state.armed" (Formula.free_vars r.Rule.condition.Rule.predicate))))
+
+let state_symbolic_read =
+  test "unwritten state fields are symbolic sources" (fun () ->
+      let app =
+        extract (wrap {|def handler(evt) { if (state.mode == "guard") { sw1.off() } }|})
+      in
+      let r = the_rule app in
+      check_bool "state var in predicate" true
+        (List.mem "state.armed" (Formula.free_vars r.Rule.condition.Rule.predicate)
+        || List.mem "state.mode" (Formula.free_vars r.Rule.condition.Rule.predicate)))
+
+let location_mode_source =
+  test "location.mode reads become the shared mode variable" (fun () ->
+      let app =
+        extract (wrap {|def handler(evt) { if (location.mode == "Night") { sw1.off() } }|})
+      in
+      let r = the_rule app in
+      check_bool "location.mode in predicate" true
+        (List.mem "location.mode" (Formula.free_vars r.Rule.condition.Rule.predicate)))
+
+let set_location_mode_action =
+  test "setLocationMode is a location-mode action" (fun () ->
+      let app = extract (wrap {|def handler(evt) { setLocationMode("Away") }|}) in
+      let r = the_rule app in
+      match r.Rule.actions with
+      | [ { Rule.target = Rule.Act_location_mode; command = "setLocationMode";
+            params = [ Term.Str "Away" ]; _ } ] ->
+        ()
+      | _ -> Alcotest.fail "expected setLocationMode action")
+
+let messaging_action =
+  test "sendSmsMessage is a messaging action" (fun () ->
+      let app = extract (wrap {|def handler(evt) { sendSmsMessage("555", "hello") }|}) in
+      let r = the_rule app in
+      match r.Rule.actions with
+      | [ { Rule.target = Rule.Act_messaging; command = "sendSmsMessage"; _ } ] -> ()
+      | _ -> Alcotest.fail "expected messaging action")
+
+let http_sink_and_closure =
+  test "httpGet is a sink and its closure is executed" (fun () ->
+      let app =
+        extract
+          (wrap
+             {|def handler(evt) {
+  httpGet("http://x") { resp ->
+    if (resp.data == "go") { sw1.on() }
+  }
+}|})
+      in
+      check_bool "two paths" true (List.length app.Rule.rules = 2);
+      check_bool "http action on every rule" true
+        (List.for_all
+           (fun (r : Rule.t) ->
+             List.exists (fun a -> a.Rule.target = Rule.Act_http) r.Rule.actions)
+           app.Rule.rules))
+
+let scheduled_trigger =
+  test "schedule() produces a Scheduled rule with the right time" (fun () ->
+      let app =
+        extract
+          {|
+input "sw1", "capability.switch"
+def installed() { schedule("0 30 18 * * ?", nightly) }
+def nightly() { sw1.on() }
+|}
+      in
+      let r = the_rule app in
+      match r.Rule.trigger with
+      | Rule.Scheduled { at_minutes = Some m; _ } -> check_int "18:30" (18 * 60 + 30) m
+      | _ -> Alcotest.fail "expected scheduled trigger")
+
+let run_every_trigger =
+  test "runEvery15Minutes produces a periodic rule" (fun () ->
+      let app =
+        extract
+          {|
+input "sw1", "capability.switch"
+def installed() { runEvery15Minutes(tick) }
+def tick() { sw1.off() }
+|}
+      in
+      let r = the_rule app in
+      match r.Rule.trigger with
+      | Rule.Scheduled { period_seconds = Some 900; _ } -> ()
+      | _ -> Alcotest.fail "expected periodic trigger")
+
+let device_collection_commands =
+  test "commands on multiple-bound inputs are sinks" (fun () ->
+      let app =
+        extract
+          {|
+input "lights", "capability.switch", multiple: true
+def installed() { subscribe(lights, "switch", h) }
+def h(evt) { lights.off() }
+|}
+      in
+      let r = the_rule app in
+      match r.Rule.actions with
+      | [ { Rule.target = Rule.Act_device "lights"; command = "off"; _ } ] -> ()
+      | _ -> Alcotest.fail "expected collection command")
+
+let each_closure =
+  test "each over a device collection executes the closure" (fun () ->
+      let app =
+        extract
+          {|
+input "lights", "capability.switch", multiple: true
+def installed() { subscribe(lights, "switch.on", h) }
+def h(evt) { lights.each { it.off() } }
+|}
+      in
+      let r = the_rule app in
+      check_int "one action" 1 (List.length r.Rule.actions))
+
+let gstring_folds_constants =
+  test "constant GStrings fold during execution" (fun () ->
+      let app =
+        extract
+          (wrap {|def handler(evt) {
+  def msg = "all"
+  sendPush("status: ${msg}")
+}|})
+      in
+      let r = the_rule app in
+      match r.Rule.actions with
+      | [ { Rule.params = [ Term.Str "status: all" ]; _ } ] -> ()
+      | _ -> Alcotest.fail "expected folded GString parameter")
+
+let elvis_default =
+  test "elvis operator takes the default branch symbolically" (fun () ->
+      let app =
+        extract (wrap {|def handler(evt) {
+  def lim = threshold1 ?: 30
+  if (tSensor.currentTemperature > lim) { sw1.on() }
+}|})
+      in
+      check_bool "at least one rule" true (List.length app.Rule.rules >= 1))
+
+let command_params_recorded =
+  test "command parameters become action params and data constraints" (fun () ->
+      let app =
+        extract
+          {|
+input "dimmer", "capability.switchLevel"
+input "lvl", "number"
+def installed() { subscribe(dimmer, "level", h) }
+def h(evt) { dimmer.setLevel(lvl + 10) }
+|}
+      in
+      let r = the_rule app in
+      match r.Rule.actions with
+      | [ { Rule.command = "setLevel"; params = [ Term.Add (Term.Var "lvl", Term.Int 10) ];
+            action_data = [ ("param0", _) ]; _ } ] ->
+        ()
+      | _ -> Alcotest.fail "expected parameterized action")
+
+let rules_dedup =
+  test "identical paths deduplicate" (fun () ->
+      let app =
+        extract
+          (wrap
+             {|def handler(evt) {
+  if (evt.value == "on") { sw1.off() }
+  if (evt.value == "on") { sw1.off() }
+}|})
+      in
+      (* 4 paths but only distinct (trigger, condition, action) kept; the
+         satisfiable distinct ones collapse *)
+      check_bool "deduplicated" true (List.length app.Rule.rules <= 3))
+
+let web_service_flag =
+  test "mappings marks a web-services app" (fun () ->
+      let app =
+        extract
+          {|
+mappings {
+  path("/x") {
+    action: [GET: "get"]
+  }
+}
+def get() { return 1 }
+|}
+      in
+      check_bool "flagged" true app.Rule.uses_web_services)
+
+let unknown_api_diagnostic =
+  test "unknown APIs are reported in diagnostics" (fun () ->
+      let r = Extract.extract_source (wrap {|def handler(evt) {
+  def d = dayOfWeek()
+  if (d == "Monday") { sw1.on() }
+}|}) in
+      check_bool "dayOfWeek noted" true
+        (List.mem "dayOfWeek" r.Extract.diags.Extract.unknown_calls))
+
+let parse_error_wrapped =
+  test "parse errors raise Extraction_error" (fun () ->
+      match Extract.extract_source "def broken( {" with
+      | exception Extract.Extraction_error _ -> ()
+      | _ -> Alcotest.fail "expected Extraction_error")
+
+let path_budget_reported =
+  test "path explosion is truncated and reported" (fun () ->
+      (* 2^20 paths from 20 sequential branches *)
+      let branches =
+        String.concat "\n"
+          (List.init 20 (fun i ->
+               Printf.sprintf "if (tSensor.currentTemperature > %d) { def x%d = 1 }" i i))
+      in
+      let r =
+        Extract.extract_source
+          (wrap (Printf.sprintf "def handler(evt) {\n%s\nsw1.off()\n}" branches))
+      in
+      check_bool "truncated" true r.Extract.diags.Extract.truncated)
+
+let special_case_petfeeder =
+  test "special case: device.petfeedershield (Feed My Pet)" (fun () ->
+      let app = extract_corpus "FeedMyPet" in
+      check_int "one rule" 1 (List.length app.Rule.rules);
+      let r = the_rule app in
+      check_bool "feed command" true
+        (List.exists (fun a -> a.Rule.command = "feed") r.Rule.actions))
+
+let special_case_jawbone =
+  test "special case: device.jawboneUser (Sleepy Time)" (fun () ->
+      let app = extract_corpus "SleepyTime" in
+      check_int "two rules" 2 (List.length app.Rule.rules))
+
+let special_case_run_daily =
+  test "special case: undocumented runDaily (Camera Power Scheduler)" (fun () ->
+      let app = extract_corpus "CameraPowerScheduler" in
+      check_int "two rules" 2 (List.length app.Rule.rules);
+      check_bool "scheduled at 9:00" true
+        (List.exists
+           (fun (r : Rule.t) ->
+             match r.Rule.trigger with
+             | Rule.Scheduled { at_minutes = Some m; _ } -> m = 9 * 60
+             | _ -> false)
+           app.Rule.rules))
+
+let tests =
+  [
+    table_ii;
+    inputs_scanned;
+    both_branches_explored;
+    no_sink_no_rule;
+    nested_conditions_conjoin;
+    run_in_attaches_delay;
+    nested_run_in_accumulates;
+    subscribe_with_value;
+    switch_statement_branches;
+    ternary_branches;
+    state_strong_update;
+    state_symbolic_read;
+    location_mode_source;
+    set_location_mode_action;
+    messaging_action;
+    http_sink_and_closure;
+    scheduled_trigger;
+    run_every_trigger;
+    device_collection_commands;
+    each_closure;
+    gstring_folds_constants;
+    elvis_default;
+    command_params_recorded;
+    rules_dedup;
+    web_service_flag;
+    unknown_api_diagnostic;
+    parse_error_wrapped;
+    path_budget_reported;
+  ]
