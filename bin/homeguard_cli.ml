@@ -29,6 +29,19 @@ let load_app path =
   let name = Filename.remove_extension (Filename.basename path) in
   Extract.extract_source ~name src
 
+(* Shared --jobs option: how many domains the detection engine fans
+   candidate pairs out across. 0 selects the hardware parallelism. *)
+let jobs_arg =
+  Arg.(
+    value & opt int 1
+    & info [ "j"; "jobs" ] ~docv:"N"
+        ~doc:
+          "Number of detection domains. 1 (the default) detects \
+           sequentially; 0 uses every core. The threat output is \
+           identical for any value.")
+
+let resolve_jobs n = if n <= 0 then Homeguard_detector.Schedule.default_jobs () else n
+
 (* -- extract ---------------------------------------------------------------- *)
 
 let extract_cmd =
@@ -66,11 +79,11 @@ let detect_cmd =
   let files =
     Arg.(non_empty & pos_all file [] & info [] ~docv:"FILE..." ~doc:"SmartApp source files")
   in
-  let run files =
+  let run files jobs =
     match List.map (fun f -> (load_app f).Extract.app) files with
     | apps ->
       let ctx = Detector.create Detector.offline_config in
-      let threats = Detector.detect_all ctx apps in
+      let threats = Detector.detect_all ~jobs:(resolve_jobs jobs) ctx apps in
       print_endline (Threat_interpreter.describe_all threats);
       if threats = [] then 0 else 2
     | exception Extract.Extraction_error msg ->
@@ -79,12 +92,12 @@ let detect_cmd =
   in
   Cmd.v
     (Cmd.info "detect" ~doc:"Detect cross-app interference threats among SmartApps")
-    Term.(const run $ files)
+    Term.(const run $ files $ jobs_arg)
 
 (* -- audit ------------------------------------------------------------------ *)
 
 let audit_cmd =
-  let run () =
+  let run jobs =
     let open Homeguard_corpus in
     let apps =
       List.map
@@ -92,9 +105,13 @@ let audit_cmd =
           (Extract.extract_source ~name:e.App_entry.name e.App_entry.source).Extract.app)
         Corpus.audit_apps
     in
+    let jobs = resolve_jobs jobs in
     let ctx = Detector.create Detector.offline_config in
-    let threats = Detector.detect_all ctx apps in
+    let pairs = Detector.candidate_pairs ctx apps in
+    let threats = Detector.detect_all ~jobs ctx apps in
     Printf.printf "%s\n" (Corpus.stats ());
+    Printf.printf "candidate rule pairs after pre-filters: %d (jobs: %d, solver calls: %d)\n"
+      (Array.length pairs) jobs ctx.Detector.solver_calls;
     Printf.printf "threat instances: %d\n" (List.length threats);
     List.iter
       (fun cat ->
@@ -107,7 +124,7 @@ let audit_cmd =
   in
   Cmd.v
     (Cmd.info "audit" ~doc:"Audit the bundled corpus pairwise (the paper's §VIII-B run)")
-    Term.(const run $ const ())
+    Term.(const run $ jobs_arg)
 
 (* -- instrument -------------------------------------------------------------- *)
 

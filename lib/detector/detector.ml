@@ -127,11 +127,16 @@ let store_for ctx apps formula =
   in
   Rule.store_for_vars ~cap_of_var (Formula.free_vars formula)
 
-(* Memoized satisfiability of the two rules' combined formulas. *)
+(* Memoized satisfiability of the two rules' combined formulas. The
+   solved formula [conj [f1; f2]] is symmetric in the two rules, so the
+   key is ordered canonically: a reverse-direction query hits the cache
+   entry of the forward solve instead of solving again. *)
 let solve_overlap ctx ~situation ((app1, r1) : tagged_rule) ((app2, r2) : tagged_rule) =
   let key =
-    ( (if situation then "sit:" else "cond:") ^ app1.Rule.name ^ "/" ^ r1.Rule.rule_id,
-      app2.Rule.name ^ "/" ^ r2.Rule.rule_id )
+    let id1 = app1.Rule.name ^ "/" ^ r1.Rule.rule_id
+    and id2 = app2.Rule.name ^ "/" ^ r2.Rule.rule_id in
+    let lo, hi = if id1 <= id2 then (id1, id2) else (id2, id1) in
+    ((if situation then "sit:" else "cond:") ^ lo, hi)
   in
   let compute () =
     ctx.solver_calls <- ctx.solver_calls + 1;
@@ -238,22 +243,25 @@ let detect_ar ctx p1 p2 =
     | None -> []
   else []
 
+(* Pairs of environment goals the two rules' actions push in opposite
+   directions (solver-free; the GC candidate filter). *)
+let conflicting_goal_pairs ctx ((app1, r1) : tagged_rule) ((app2, r2) : tagged_rule) =
+  List.concat_map
+    (fun a1 ->
+      List.concat_map
+        (fun a2 ->
+          if same_action_target ctx (app1, a1) (app2, a2) then []
+          else
+            Effects.conflicting_goals
+              (Effects.effects_of_action app1 a1)
+              (Effects.effects_of_action app2 a2))
+        r2.Rule.actions)
+    r1.Rule.actions
+  |> List.sort_uniq compare
+
 let detect_gc ctx p1 p2 =
   let app1, r1 = p1 and app2, r2 = p2 in
-  let goal_pairs =
-    List.concat_map
-      (fun a1 ->
-        List.concat_map
-          (fun a2 ->
-            if same_action_target ctx (app1, a1) (app2, a2) then []
-            else
-              Effects.conflicting_goals
-                (Effects.effects_of_action app1 a1)
-                (Effects.effects_of_action app2 a2))
-          r2.Rule.actions)
-      r1.Rule.actions
-    |> List.sort_uniq compare
-  in
+  let goal_pairs = conflicting_goal_pairs ctx p1 p2 in
   if goal_pairs = [] then []
   else
     match situations_overlap ctx p1 p2 with
@@ -268,8 +276,11 @@ let detect_gc ctx p1 p2 =
 (* -- Trigger-Interference (CT, SD, LT) ------------------------------------ *)
 
 (* Does action a1 (of app1/r1) satisfy r2's trigger?  Returns a
-   human-readable channel description when it can. *)
-let action_triggers ctx ((app1 : Rule.smartapp), (a1 : Rule.action)) ((app2, r2) : tagged_rule) =
+   human-readable channel description when it can. [~approx:true] skips
+   the written-value compatibility solve (over-approximating: a value
+   mismatch is treated as compatible) so the check is solver-free and
+   usable as a planning pre-filter. *)
+let action_triggers ?(approx = false) ctx ((app1 : Rule.smartapp), (a1 : Rule.action)) ((app2, r2) : tagged_rule) =
   match r2.Rule.trigger with
   | Rule.Scheduled _ -> None
   | Rule.Event { subject; attribute; constraint_ } -> (
@@ -299,7 +310,7 @@ let action_triggers ctx ((app1 : Rule.smartapp), (a1 : Rule.action)) ((app2, r2)
             in
             let value_ok =
               match w.Channels.w_value with
-              | Some ((Term.Int _ | Term.Str _) as value) ->
+              | Some ((Term.Int _ | Term.Str _) as value) when not approx ->
                 let f = Formula.conj [ trig; Formula.eq (Term.Var subject_var) value ] in
                 ctx.solver_calls <- ctx.solver_calls + 1;
                 Solver.sat (store_for ctx [ app1; app2 ] f) f
@@ -465,16 +476,28 @@ let detect_condition_interference_dir ctx ((app1, r1) : tagged_rule)
       let qualified_cond rename =
         qualified_formula ctx ~situation:false app2 r2 rename
       in
+      (* Rename app1's matched device variables to app2's qualified
+         names (as [solve_overlap] does) so an action parameter that
+         reads a shared device is the *same* solver variable as the one
+         the condition tests. *)
       let rename = unifier ctx app2 app1 in
-      ignore rename;
+      let import_term t =
+        Term.subst
+          (List.map
+             (fun v -> (v, Term.Var (rename (qualify app1.Rule.name v))))
+             (Term.free_vars t))
+          t
+      in
       let results =
         List.filter_map
           (fun (a1, effect, _cond) ->
             let q v = qualify app2.Rule.name v in
-            let cond_q = qualified_cond (fun v -> v) in
+            let cond_q = qualified_cond rename in
             match effect with
             | `Eq (var, value) ->
-              let f = Formula.conj [ cond_q; Formula.eq (Term.Var (q var)) value ] in
+              let f =
+                Formula.conj [ cond_q; Formula.eq (Term.Var (q var)) (import_term value) ]
+              in
               ctx.solver_calls <- ctx.solver_calls + 1;
               let sat = Solver.satisfiable (store_for ctx [ app1; app2 ] f) f in
               Some
@@ -488,7 +511,9 @@ let detect_condition_interference_dir ctx ((app1, r1) : tagged_rule)
                    Printf.sprintf "%s sets %s disabling %s's condition" a1.Rule.command var
                      r2.Rule.rule_id))
             | `Ge (var, bound) ->
-              let f = Formula.conj [ cond_q; Formula.ge (Term.Var (q var)) bound ] in
+              let f =
+                Formula.conj [ cond_q; Formula.ge (Term.Var (q var)) (import_term bound) ]
+              in
               ctx.solver_calls <- ctx.solver_calls + 1;
               let sat = Solver.satisfiable (store_for ctx [ app1; app2 ] f) f in
               Some
@@ -502,7 +527,9 @@ let detect_condition_interference_dir ctx ((app1, r1) : tagged_rule)
                    Printf.sprintf "%s raises %s disabling %s's condition" a1.Rule.command
                      var r2.Rule.rule_id))
             | `Le (var, bound) ->
-              let f = Formula.conj [ cond_q; Formula.le (Term.Var (q var)) bound ] in
+              let f =
+                Formula.conj [ cond_q; Formula.le (Term.Var (q var)) (import_term bound) ]
+              in
               ctx.solver_calls <- ctx.solver_calls + 1;
               let sat = Solver.satisfiable (store_for ctx [ app1; app2 ] f) f in
               Some
@@ -567,22 +594,37 @@ let detect_pair ctx (p1 : tagged_rule) (p2 : tagged_rule) =
     @ detect_trigger_interference ctx p1 p2
     @ detect_condition_interference ctx p1 p2
 
-(** Threats between a newly installed app and every already-installed
-    app recorded in [db] (the online install-time flow, §IV-C). *)
-let detect_new_app ctx (db : Homeguard_rules.Rule_db.t) (new_app : Rule.smartapp) =
-  let installed = Homeguard_rules.Rule_db.all_rules db in
-  List.concat_map
-    (fun new_rule ->
-      List.concat_map
-        (fun (old_app, old_rule) ->
-          if old_app.Rule.name = new_app.Rule.name then []
-          else detect_pair ctx (new_app, new_rule) (old_app, old_rule))
-        installed)
-    new_app.Rule.rules
+(* -- planning and batched parallel execution ------------------------------- *)
 
-(** Exhaustive pairwise detection over a set of apps (the corpus audit,
-    §VIII-B). *)
-let detect_all ctx (apps : Rule.smartapp list) =
+(* Something in detect_pair has an action of app1 that can reach r2's
+   condition state. Solver-free. *)
+let has_condition_effects ctx ((app1, r1) : tagged_rule) ((app2, r2) as p2 : tagged_rule) =
+  (not (r1.Rule.rule_id = r2.Rule.rule_id && app1.Rule.name = app2.Rule.name))
+  && List.exists
+       (fun a1 -> fst (condition_effects ctx (app1, a1) p2) <> [])
+       r1.Rule.actions
+
+(** Cheap, solver-free over-approximation of [detect_pair <> []]: the
+    per-category candidate pre-filters (action targets, goal effects,
+    attribute/environment channel maps) without any constraint solving.
+    A pair that fails every pre-filter cannot produce a threat, so the
+    planner drops it before scheduling. *)
+let pair_candidate ctx ((app1, r1) as p1 : tagged_rule) ((app2, r2) as p2 : tagged_rule) =
+  if app1.Rule.name = app2.Rule.name && r1.Rule.rule_id = r2.Rule.rule_id then false
+  else
+    let may_trigger ((appa, ra) : tagged_rule) pb =
+      List.exists
+        (fun a -> action_triggers ~approx:true ctx (appa, a) pb <> None)
+        ra.Rule.actions
+    in
+    ar_candidate ctx p1 p2
+    || conflicting_goal_pairs ctx p1 p2 <> []
+    || may_trigger p1 p2 || may_trigger p2 p1
+    || has_condition_effects ctx p1 p2 || has_condition_effects ctx p2 p1
+
+(** The audit plan: every cross-app rule pair that survives the cheap
+    pre-filters, in the deterministic sequential enumeration order. *)
+let candidate_pairs ctx (apps : Rule.smartapp list) =
   let tagged =
     List.concat_map (fun app -> List.map (fun r -> (app, r)) app.Rule.rules) apps
   in
@@ -590,8 +632,63 @@ let detect_all ctx (apps : Rule.smartapp list) =
     | [] -> []
     | p :: rest -> List.map (fun q -> (p, q)) rest @ pairs rest
   in
-  List.concat_map
-    (fun ((app1, r1), (app2, r2)) ->
-      if app1.Rule.name = app2.Rule.name then []
-      else detect_pair ctx (app1, r1) (app2, r2))
-    (pairs tagged)
+  pairs tagged
+  |> List.filter (fun (((app1, _) : tagged_rule), ((app2, _) : tagged_rule)) ->
+         app1.Rule.name <> app2.Rule.name)
+  |> List.filter (fun (p1, p2) -> pair_candidate ctx p1 p2)
+  |> Array.of_list
+
+(* Run a planned pair array. [jobs <= 1] detects sequentially in the
+   caller's ctx (the default-compatible mode). Otherwise batches are
+   fanned out across domains, each with its own ctx — the overlap cache
+   and the solver-call counter are mutable and not thread-safe — and the
+   per-domain ctxs are merged back afterwards. Per-pair detection does
+   not depend on cache contents, so the threat list is identical (and
+   identically ordered) for every [jobs]. *)
+let run_pairs ~jobs ctx (pairs : (tagged_rule * tagged_rule) array) =
+  if jobs <= 1 then
+    List.concat_map (fun (p1, p2) -> detect_pair ctx p1 p2) (Array.to_list pairs)
+  else begin
+    let results =
+      Schedule.map_batches ~jobs
+        (fun batch ->
+          let c = create ctx.config in
+          let threats =
+            List.concat_map (fun (p1, p2) -> detect_pair c p1 p2) (Array.to_list batch)
+          in
+          (threats, c))
+        pairs
+    in
+    Array.iter
+      (fun (_, c) ->
+        ctx.solver_calls <- ctx.solver_calls + c.solver_calls;
+        Hashtbl.iter
+          (fun k v ->
+            if not (Hashtbl.mem ctx.overlap_cache k) then Hashtbl.add ctx.overlap_cache k v)
+          c.overlap_cache)
+      results;
+    List.concat_map fst (Array.to_list results)
+  end
+
+(** Threats between a newly installed app and every already-installed
+    app recorded in [db] (the online install-time flow, §IV-C). *)
+let detect_new_app ?(jobs = 1) ctx (db : Homeguard_rules.Rule_db.t) (new_app : Rule.smartapp) =
+  let installed = Homeguard_rules.Rule_db.all_rules db in
+  let pairs =
+    List.concat_map
+      (fun new_rule ->
+        List.filter_map
+          (fun ((old_app, old_rule) : tagged_rule) ->
+            if old_app.Rule.name = new_app.Rule.name then None
+            else Some ((new_app, new_rule), (old_app, old_rule)))
+          installed)
+      new_app.Rule.rules
+    |> List.filter (fun (p1, p2) -> pair_candidate ctx p1 p2)
+    |> Array.of_list
+  in
+  run_pairs ~jobs ctx pairs
+
+(** Exhaustive pairwise detection over a set of apps (the corpus audit,
+    §VIII-B). *)
+let detect_all ?(jobs = 1) ctx (apps : Rule.smartapp list) =
+  run_pairs ~jobs ctx (candidate_pairs ctx apps)

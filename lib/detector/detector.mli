@@ -47,9 +47,23 @@ val detect_condition_interference : ctx -> tagged_rule -> tagged_rule -> Threat.
 val detect_pair : ctx -> tagged_rule -> tagged_rule -> Threat.t list
 (** All seven categories between two rules. *)
 
-val detect_new_app :
-  ctx -> Homeguard_rules.Rule_db.t -> Rule.smartapp -> Threat.t list
-(** Install-time flow: the new app against every installed rule. *)
+val pair_candidate : ctx -> tagged_rule -> tagged_rule -> bool
+(** Solver-free over-approximation of [detect_pair <> []]: the
+    per-category candidate pre-filters only. Used by the planner. *)
 
-val detect_all : ctx -> Rule.smartapp list -> Threat.t list
-(** Exhaustive pairwise audit across distinct apps. *)
+val candidate_pairs :
+  ctx -> Rule.smartapp list -> (tagged_rule * tagged_rule) array
+(** The audit plan: every cross-app rule pair surviving the cheap
+    pre-filters, in the deterministic sequential enumeration order. *)
+
+val detect_new_app :
+  ?jobs:int -> ctx -> Homeguard_rules.Rule_db.t -> Rule.smartapp -> Threat.t list
+(** Install-time flow: the new app against every installed rule.
+    [~jobs] > 1 fans candidate pairs out across domains via {!Schedule}
+    (default [1]: sequential in the caller's ctx). *)
+
+val detect_all : ?jobs:int -> ctx -> Rule.smartapp list -> Threat.t list
+(** Exhaustive pairwise audit across distinct apps. The threat list is
+    identical, and identically ordered, for every [~jobs] value; with
+    [~jobs] > 1 each domain detects on its own ctx and the solver-call
+    counts and overlap caches are merged back afterwards. *)

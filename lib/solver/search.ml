@@ -12,11 +12,22 @@ type model = (string * Domain.value) list
 let max_depth = 10_000
 
 (* Restrict the domain map to variables the atoms mention; everything
-   else is unconstrained and can take any value. *)
+   else is unconstrained and can take any value. Order-preserving and
+   duplicate-free: [model_of_domains] folds over this list, so a
+   repeated variable would yield a witness with duplicate bindings. *)
 let relevant_vars atoms =
-  List.fold_left
-    (fun acc (_, a, b) -> Term.vars (Term.vars acc a) b)
-    [] atoms
+  let vs =
+    List.fold_left (fun acc (_, a, b) -> Term.vars (Term.vars acc a) b) [] atoms
+  in
+  let seen = Hashtbl.create 16 in
+  List.filter
+    (fun v ->
+      if Hashtbl.mem seen v then false
+      else begin
+        Hashtbl.add seen v ();
+        true
+      end)
+    vs
 
 let model_of_domains vars domains =
   List.filter_map

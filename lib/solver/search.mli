@@ -4,6 +4,10 @@ type model = (string * Domain.value) list
 
 val max_depth : int
 
+val relevant_vars : Dnf.conjunct -> string list
+(** Variables the atoms mention, in first-occurrence order, without
+    duplicates (a witness model carries one binding per variable). *)
+
 val solve : Store.t -> Dnf.conjunct -> model option
 (** Find a model of the conjunction. Every variable mentioned by the
     atoms must be typed in the store. *)

@@ -278,6 +278,70 @@ let ec_dc_direction =
       check_bool "on enables" true (has Threat.EC (detect_between (writer "on") checker));
       check_bool "off disables" true (has Threat.DC (detect_between (writer "off") checker)))
 
+let condition_unifier_shared_device =
+  test "condition interference unifies shared devices (regression)" (fun () ->
+      (* Writer copies a shared temperature sensor's reading into the
+         level of a shared dimmer; Checker's condition wants the dimmer
+         above 50 while the same sensor reads below 10. Unified, the
+         written value IS the cold reading, so the condition can only be
+         disabled (DC). Without the unifier the action parameter was a
+         free unconstrained variable and the solve was spuriously
+         satisfiable (EC). *)
+      let writer =
+        let act =
+          { (dev_action "d1" "setLevel") with Rule.params = [ Term.Var "t1.temperature" ] }
+        in
+        mk_app "Writer"
+          [ mk_input "m" "capability.motionSensor";
+            mk_input ~title:(Some "Desk lamp") "d1" "capability.switchLevel";
+            mk_input "t1" "capability.temperatureMeasurement" ]
+          [ simple_rule "Writer" "W#1" ~trigger_var:"m" ~attr:"motion" ~value:"active"
+              ~actions:[ act ] ]
+      in
+      let checker =
+        mk_app "Checker"
+          [ mk_input "c" "capability.contactSensor";
+            mk_input ~title:(Some "Desk lamp") "d2" "capability.switchLevel";
+            mk_input "t2" "capability.temperatureMeasurement";
+            mk_input "siren" "capability.alarm" ]
+          [
+            {
+              (simple_rule "Checker" "C#1" ~trigger_var:"c" ~attr:"contact" ~value:"open"
+                 ~actions:[ dev_action "siren" "siren" ])
+              with
+              Rule.condition =
+                {
+                  Rule.data = [];
+                  predicate =
+                    Formula.conj
+                      [ Formula.gt (Term.Var "d2.level") (Term.Int 50);
+                        Formula.lt (Term.Var "t2.temperature") (Term.Int 10) ];
+                };
+            };
+          ]
+      in
+      let threats = detect_between writer checker in
+      check_bool "DC (unified value cannot enable the condition)" true
+        (has Threat.DC threats);
+      check_bool "no spurious EC" false (has Threat.EC threats))
+
+let symmetric_cache_hits_reverse_direction =
+  test "overlap cache is direction-symmetric (regression)" (fun () ->
+      let a = extract_corpus "ComfortTV" and b = extract_corpus "ColdDefender" in
+      let c = ctx () in
+      let p1 = (a, List.hd a.Rule.rules) and p2 = (b, List.hd b.Rule.rules) in
+      ignore (Detector.conditions_overlap c p1 p2);
+      let after_forward = c.Detector.solver_calls in
+      check_bool "forward direction solved" true (after_forward > 0);
+      ignore (Detector.conditions_overlap c p2 p1);
+      check_int "reverse direction served from the cache" after_forward
+        c.Detector.solver_calls;
+      ignore (Detector.situations_overlap c p1 p2);
+      let after_sit = c.Detector.solver_calls in
+      check_bool "situation overlap is a distinct entry" true (after_sit > after_forward);
+      ignore (Detector.situations_overlap c p2 p1);
+      check_int "reverse situation also cached" after_sit c.Detector.solver_calls)
+
 let solver_reuse_reduces_calls =
   test "memoization reduces solver calls (Fig 9 green lines)" (fun () ->
       let a = extract_corpus "ComfortTV" and b = extract_corpus "ColdDefender" in
@@ -391,6 +455,8 @@ let tests =
     directional_ct;
     ct_value_mismatch_filtered;
     ec_dc_direction;
+    condition_unifier_shared_device;
+    symmetric_cache_hits_reverse_direction;
     solver_reuse_reduces_calls;
     same_rule_skipped;
     classify_titles;

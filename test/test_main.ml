@@ -12,6 +12,7 @@ let () =
       ("json", Test_json.tests);
       ("symexec", Test_symexec.tests);
       ("detector", Test_detector.tests);
+      ("schedule", Test_schedule.tests);
       ("exec-more", Test_exec_more.tests);
       ("chain", Test_chain.tests);
       ("ifttt", Test_ifttt.tests);

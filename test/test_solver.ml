@@ -230,8 +230,38 @@ let prop_dnf_preserves =
         assign var_pool []
       | exception Dnf.Too_large -> true)
 
+let relevant_vars_deduped =
+  Helpers.test "relevant_vars: a variable in several atoms appears once" (fun () ->
+      let atoms =
+        [ (Gt, Var "x", Int 1); (Lt, Var "x", Int 5); (Neq, Var "x", Var "y");
+          (Eq, Add (Var "y", Var "x"), Int 4);
+        ]
+      in
+      let vars = Search.relevant_vars atoms in
+      Helpers.check_bool "no duplicate variables" true
+        (List.length vars = List.length (List.sort_uniq compare vars));
+      Helpers.check_bool "both variables present" true
+        (List.mem "x" vars && List.mem "y" vars))
+
+let witness_bindings_unique =
+  Helpers.test "witness models carry one binding per variable" (fun () ->
+      let f =
+        conj
+          [ gt (Var "x") (Int 1); lt (Var "x") (Int 5); neq (Var "x") (Int 3);
+            eq (Var "y") (Var "x");
+          ]
+      in
+      match model f with
+      | Some m ->
+        let names = List.map fst m in
+        Helpers.check_bool "unique bindings" true
+          (List.length names = List.length (List.sort_uniq compare names))
+      | None -> Alcotest.fail "expected a model")
+
 let tests =
   [
+    relevant_vars_deduped;
+    witness_bindings_unique;
     simple_sat;
     simple_unsat;
     equality_chain;
