@@ -257,6 +257,37 @@ let p1_parallel_audit () =
   Printf.printf "threat sets identical and order-stable across job counts: %b (%d threats)\n"
     (t1 = tn) (List.length t1)
 
+(* ------------------------------------------------------------------ P2 *)
+
+(* Budget-check overhead: the fuel counters are decremented on every
+   propagation step and search node, so compare the corpus audit with
+   budgets disabled against the default budgets, sequentially and at the
+   hardware job count. Under default budgets the whole corpus must stay
+   decided (zero undecided pairs). *)
+let p2_budget_overhead () =
+  let module Budget = Homeguard_solver.Budget in
+  section "P2. Solver budget overhead — unlimited vs default budgets";
+  let apps = Lazy.force audit_apps in
+  let run ~jobs spec =
+    let ctx = Detector.create { Detector.offline_config with Detector.budget = spec } in
+    let result, ms = time_ms (fun () -> Detector.audit_all ~jobs ctx apps) in
+    (ms, result.Detector.undecided, List.length result.Detector.failures)
+  in
+  let njobs = Schedule.default_jobs () in
+  Printf.printf "%-34s %10s %10s %8s\n" "configuration" "ms" "undecided" "failed";
+  List.iter
+    (fun (label, jobs, spec) ->
+      let ms, undecided, failed = run ~jobs spec in
+      Printf.printf "%-34s %10.0f %10d %8d\n" label ms undecided failed)
+    [
+      ("jobs=1, no budget", 1, Budget.unlimited_spec);
+      ("jobs=1, default budget", 1, Budget.default_spec);
+      (Printf.sprintf "jobs=%d, no budget" njobs, njobs, Budget.unlimited_spec);
+      (Printf.sprintf "jobs=%d, default budget" njobs, njobs, Budget.default_spec);
+    ];
+  print_endline
+    "(budget checks are two int decrements per step; default budgets must leave 0 undecided)"
+
 (* ------------------------------------------------------------------ E6 *)
 
 let e6_extraction_cost () =
@@ -570,6 +601,7 @@ let () =
   e4_table_iii ();
   e5_fig8 ();
   p1_parallel_audit ();
+  p2_budget_overhead ();
   e6_extraction_cost ();
   e7_messaging ();
   e8_fig9 ();

@@ -42,6 +42,51 @@ let jobs_arg =
 
 let resolve_jobs n = if n <= 0 then Homeguard_detector.Schedule.default_jobs () else n
 
+(* Shared --solver-budget option, in search nodes per solve. -1 keeps
+   the default budgets, 0 disables budgeting entirely. *)
+let budget_arg =
+  Arg.(
+    value & opt int (-1)
+    & info [ "solver-budget" ] ~docv:"NODES"
+        ~doc:
+          "Per-solve search-node budget. A solve that exhausts it is \
+           retried once with an 8x budget and then reported as \
+           $(i,undecided) rather than decided. -1 (the default) uses \
+           the built-in budgets; 0 removes all budgets.")
+
+let resolve_budget n =
+  let module Budget = Homeguard_solver.Budget in
+  if n < 0 then Budget.default_spec
+  else if n = 0 then Budget.unlimited_spec
+  else Budget.spec_of_nodes n
+
+let strict_arg =
+  Arg.(
+    value & flag
+    & info [ "strict" ]
+        ~doc:
+          "Exit with status 3 if any rule pair was undecided (solver \
+           budget exhausted) or failed (detection crashed), instead of \
+           completing best-effort.")
+
+let config_with_budget budget =
+  { Detector.offline_config with Detector.budget = resolve_budget budget }
+
+let print_audit_health (result : Detector.audit_result) =
+  if result.Detector.undecided > 0 then
+    Printf.printf "undecided threats (budget exhausted): %d\n" result.Detector.undecided;
+  if result.Detector.failures <> [] then begin
+    Printf.printf "failed pairs (detection crashed): %d\n"
+      (List.length result.Detector.failures);
+    List.iter
+      (fun (f : Detector.failure) ->
+        Printf.printf "  %s: %s\n" f.Detector.pair f.Detector.exn)
+      result.Detector.failures
+  end
+
+let strict_violation strict (result : Detector.audit_result) =
+  strict && (result.Detector.undecided > 0 || result.Detector.failures <> [])
+
 (* -- extract ---------------------------------------------------------------- *)
 
 let extract_cmd =
@@ -79,25 +124,28 @@ let detect_cmd =
   let files =
     Arg.(non_empty & pos_all file [] & info [] ~docv:"FILE..." ~doc:"SmartApp source files")
   in
-  let run files jobs =
+  let run files jobs budget strict =
     match List.map (fun f -> (load_app f).Extract.app) files with
     | apps ->
-      let ctx = Detector.create Detector.offline_config in
-      let threats = Detector.detect_all ~jobs:(resolve_jobs jobs) ctx apps in
-      print_endline (Threat_interpreter.describe_all threats);
-      if threats = [] then 0 else 2
+      let ctx = Detector.create (config_with_budget budget) in
+      let result = Detector.audit_all ~jobs:(resolve_jobs jobs) ctx apps in
+      print_endline (Threat_interpreter.describe_all result.Detector.threats);
+      print_audit_health result;
+      if strict_violation strict result then 3
+      else if result.Detector.threats = [] then 0
+      else 2
     | exception Extract.Extraction_error msg ->
       Printf.eprintf "error: %s\n" msg;
       1
   in
   Cmd.v
     (Cmd.info "detect" ~doc:"Detect cross-app interference threats among SmartApps")
-    Term.(const run $ files $ jobs_arg)
+    Term.(const run $ files $ jobs_arg $ budget_arg $ strict_arg)
 
 (* -- audit ------------------------------------------------------------------ *)
 
 let audit_cmd =
-  let run jobs =
+  let run jobs budget strict =
     let open Homeguard_corpus in
     let apps =
       List.map
@@ -106,12 +154,15 @@ let audit_cmd =
         Corpus.audit_apps
     in
     let jobs = resolve_jobs jobs in
-    let ctx = Detector.create Detector.offline_config in
+    let ctx = Detector.create (config_with_budget budget) in
     let pairs = Detector.candidate_pairs ctx apps in
-    let threats = Detector.detect_all ~jobs ctx apps in
+    let result = Detector.audit_all ~jobs ctx apps in
+    let threats = result.Detector.threats in
     Printf.printf "%s\n" (Corpus.stats ());
     Printf.printf "candidate rule pairs after pre-filters: %d (jobs: %d, solver calls: %d)\n"
       (Array.length pairs) jobs ctx.Detector.solver_calls;
+    if ctx.Detector.escalations > 0 then
+      Printf.printf "budget escalations: %d\n" ctx.Detector.escalations;
     Printf.printf "threat instances: %d\n" (List.length threats);
     List.iter
       (fun cat ->
@@ -120,11 +171,12 @@ let audit_cmd =
           (List.length
              (List.filter (fun (t : Threat.t) -> t.Threat.category = cat) threats)))
       Threat.all_categories;
-    0
+    print_audit_health result;
+    if strict_violation strict result then 3 else 0
   in
   Cmd.v
     (Cmd.info "audit" ~doc:"Audit the bundled corpus pairwise (the paper's §VIII-B run)")
-    Term.(const run $ jobs_arg)
+    Term.(const run $ jobs_arg $ budget_arg $ strict_arg)
 
 (* -- instrument -------------------------------------------------------------- *)
 

@@ -61,6 +61,21 @@ let send t transport uri =
     Some latency
   end
 
+(** Deliver with retries and exponential backoff: up to [max_attempts]
+    sends, waiting (in simulated time) [backoff_ms] before the second
+    attempt and doubling before each further one. Returns
+    [Some (total_ms, attempts)] — delivery latency plus all backoff
+    spent — or [None] when every attempt was lost. *)
+let send_with_retry ?(max_attempts = 4) ?(backoff_ms = 250.0) t transport uri =
+  let rec go attempt backoff waited =
+    match send t transport uri with
+    | Some latency -> Some (waited +. latency, attempt)
+    | None ->
+      if attempt >= max_attempts then None
+      else go (attempt + 1) (backoff *. 2.0) (waited +. backoff)
+  in
+  if max_attempts <= 0 then None else go 1 backoff_ms 0.0
+
 (** Mean latency over [trials] deliveries (the §VIII-C experiment). *)
 let measure_mean t transport ~trials =
   let total = ref 0.0 and count = ref 0 in

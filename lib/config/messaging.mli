@@ -20,6 +20,13 @@ val sample_latency : t -> transport -> float
 val send : t -> transport -> string -> float option
 (** Deliver a URI; [None] when loss injection drops it. *)
 
+val send_with_retry :
+  ?max_attempts:int -> ?backoff_ms:float -> t -> transport -> string -> (float * int) option
+(** Deliver with up to [max_attempts] (default 4) sends, doubling the
+    simulated backoff (default 250 ms) between attempts. Returns the
+    total elapsed time (backoff included) and the attempts used, or
+    [None] when every attempt was lost. *)
+
 val measure_mean : t -> transport -> trials:int -> float
 val delivered : t -> (transport * string * float) list
 val lost_count : t -> int

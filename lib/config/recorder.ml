@@ -61,4 +61,5 @@ let detector_config t : Homeguard_detector.Detector.config =
     Homeguard_detector.Detector.same_device = same_device t;
     app_constraints = app_constraints t;
     reuse = true;
+    budget = Homeguard_solver.Budget.default_spec;
   }

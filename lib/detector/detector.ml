@@ -12,6 +12,7 @@ module Term = Homeguard_solver.Term
 module Solver = Homeguard_solver.Solver
 module Store = Homeguard_solver.Store
 module Domain = Homeguard_solver.Domain
+module Budget = Homeguard_solver.Budget
 module Capability = Homeguard_st.Capability
 module Env = Homeguard_st.Env_feature
 
@@ -23,6 +24,9 @@ type config = {
   app_constraints : Rule.smartapp -> (string * Term.t) list;
       (** configuration values: user-input variable bindings *)
   reuse : bool;  (** memoize constraint solving across threat types *)
+  budget : Budget.spec;
+      (** per-solve resource budget; an exhausted solve is retried once
+          with {!Budget.escalate} and then surfaced as [Undecided] *)
 }
 
 (** Offline corpus mode: two inputs denote the same device when they
@@ -41,15 +45,52 @@ let offline_same_device app1 v1 app2 v2 =
     else true
   | _ -> false
 
-let offline_config = { same_device = offline_same_device; app_constraints = (fun _ -> []); reuse = true }
+let offline_config =
+  {
+    same_device = offline_same_device;
+    app_constraints = (fun _ -> []);
+    reuse = true;
+    budget = Budget.default_spec;
+  }
 
 type ctx = {
   config : config;
-  overlap_cache : (string * string, Solver.model option) Hashtbl.t;
+  overlap_cache : (string * string, Solver.verdict) Hashtbl.t;
+      (** keys carry the budget fingerprint: an [Unknown] cached under a
+          small budget can never answer for a larger one *)
   mutable solver_calls : int;  (** number of actual constraint solves *)
+  mutable escalations : int;  (** undecided solves retried with a bigger budget *)
+  mutable undecided_solves : int;  (** solves still undecided after escalation *)
 }
 
-let create config = { config; overlap_cache = Hashtbl.create 64; solver_calls = 0 }
+let create config =
+  {
+    config;
+    overlap_cache = Hashtbl.create 64;
+    solver_calls = 0;
+    escalations = 0;
+    undecided_solves = 0;
+  }
+
+(* Every detector solve goes through here: run under the configured
+   budget and, if the verdict is Unknown, retry once with an escalated
+   budget before surfacing the undecided answer. *)
+let budgeted_solve ctx store f : Solver.verdict =
+  ctx.solver_calls <- ctx.solver_calls + 1;
+  match Solver.solve ~budget:(Budget.start ctx.config.budget) store f with
+  | Budget.Unknown _ ->
+    ctx.escalations <- ctx.escalations + 1;
+    ctx.solver_calls <- ctx.solver_calls + 1;
+    let retry =
+      Solver.solve ~budget:(Budget.start (Budget.escalate ctx.config.budget)) store f
+    in
+    (match retry with
+    | Budget.Unknown _ -> ctx.undecided_solves <- ctx.undecided_solves + 1
+    | _ -> ());
+    retry
+  | verdict -> verdict
+
+let undecided_severity reason = Threat.Undecided (Budget.reason_to_string reason)
 
 (* -- variable qualification and unification ------------------------------ *)
 
@@ -130,22 +171,23 @@ let store_for ctx apps formula =
 (* Memoized satisfiability of the two rules' combined formulas. The
    solved formula [conj [f1; f2]] is symmetric in the two rules, so the
    key is ordered canonically: a reverse-direction query hits the cache
-   entry of the forward solve instead of solving again. *)
+   entry of the forward solve instead of solving again. The key also
+   carries the budget fingerprint, so an [Unknown] obtained under one
+   budget is never replayed as the answer for a different budget. *)
 let solve_overlap ctx ~situation ((app1, r1) : tagged_rule) ((app2, r2) : tagged_rule) =
   let key =
     let id1 = app1.Rule.name ^ "/" ^ r1.Rule.rule_id
     and id2 = app2.Rule.name ^ "/" ^ r2.Rule.rule_id in
     let lo, hi = if id1 <= id2 then (id1, id2) else (id2, id1) in
-    ((if situation then "sit:" else "cond:") ^ lo, hi)
+    ((if situation then "sit:" else "cond:") ^ Budget.fingerprint ctx.config.budget ^ ":" ^ lo, hi)
   in
   let compute () =
-    ctx.solver_calls <- ctx.solver_calls + 1;
     let rename = unifier ctx app1 app2 in
     let f1 = qualified_formula ctx ~situation app1 r1 (fun v -> v) in
     let f2 = qualified_formula ctx ~situation app2 r2 rename in
     let f = Formula.conj [ f1; f2 ] in
     let store = store_for ctx [ app1; app2 ] f in
-    Solver.satisfiable store f
+    budgeted_solve ctx store f
   in
   if not ctx.config.reuse then compute ()
   else
@@ -230,17 +272,21 @@ let triggers_unify ctx ((app1, r1) : tagged_rule) ((app2, r2) : tagged_rule) =
    exactly this conditions overlap. Mutually exclusive *conditions*
    still rule the race out. *)
 let detect_ar ctx p1 p2 =
-  if ar_candidate ctx p1 p2 then
+  if ar_candidate ctx p1 p2 then begin
+    let app1, r1 = p1 and app2, r2 = p2 in
+    let detail =
+      Printf.sprintf "contradictory commands on the same actuator (%s vs %s)"
+        (String.concat "," (List.map (fun a -> a.Rule.command) r1.Rule.actions))
+        (String.concat "," (List.map (fun a -> a.Rule.command) r2.Rule.actions))
+    in
     match conditions_overlap ctx p1 p2 with
-    | Some witness ->
-      let app1, r1 = p1 and app2, r2 = p2 in
-      let detail =
-        Printf.sprintf "contradictory commands on the same actuator (%s vs %s)"
-          (String.concat "," (List.map (fun a -> a.Rule.command) r1.Rule.actions))
-          (String.concat "," (List.map (fun a -> a.Rule.command) r2.Rule.actions))
-      in
-      [ Threat.make Threat.AR (app1, r1) (app2, r2) ~witness detail ]
-    | None -> []
+    | Budget.Sat witness -> [ Threat.make Threat.AR (app1, r1) (app2, r2) ~witness detail ]
+    | Budget.Unsat -> []
+    | Budget.Unknown reason ->
+      (* undecided overlap: the candidate is a *potential* race and must
+         be reported, never silently treated as "no threat" *)
+      [ Threat.make Threat.AR (app1, r1) (app2, r2) ~severity:(undecided_severity reason) detail ]
+  end
   else []
 
 (* Pairs of environment goals the two rules' actions push in opposite
@@ -264,14 +310,15 @@ let detect_gc ctx p1 p2 =
   let goal_pairs = conflicting_goal_pairs ctx p1 p2 in
   if goal_pairs = [] then []
   else
+    let detail =
+      Printf.sprintf "actions with contradictory goals over %s"
+        (String.concat ", " (List.map Env.to_string goal_pairs))
+    in
     match situations_overlap ctx p1 p2 with
-    | Some witness ->
-      let detail =
-        Printf.sprintf "actions with contradictory goals over %s"
-          (String.concat ", " (List.map Env.to_string goal_pairs))
-      in
-      [ Threat.make Threat.GC (app1, r1) (app2, r2) ~witness detail ]
-    | None -> []
+    | Budget.Sat witness -> [ Threat.make Threat.GC (app1, r1) (app2, r2) ~witness detail ]
+    | Budget.Unsat -> []
+    | Budget.Unknown reason ->
+      [ Threat.make Threat.GC (app1, r1) (app2, r2) ~severity:(undecided_severity reason) detail ]
 
 (* -- Trigger-Interference (CT, SD, LT) ------------------------------------ *)
 
@@ -310,10 +357,15 @@ let action_triggers ?(approx = false) ctx ((app1 : Rule.smartapp), (a1 : Rule.ac
             in
             let value_ok =
               match w.Channels.w_value with
-              | Some ((Term.Int _ | Term.Str _) as value) when not approx ->
+              | Some ((Term.Int _ | Term.Str _) as value) when not approx -> (
                 let f = Formula.conj [ trig; Formula.eq (Term.Var subject_var) value ] in
-                ctx.solver_calls <- ctx.solver_calls + 1;
-                Solver.sat (store_for ctx [ app1; app2 ] f) f
+                match budgeted_solve ctx (store_for ctx [ app1; app2 ] f) f with
+                | Budget.Sat _ -> true
+                | Budget.Unsat -> false
+                (* undecided compatibility is treated as compatible: the
+                   over-approximation may flag a spurious edge but can
+                   never hide a real one *)
+                | Budget.Unknown _ -> true)
               | _ -> true
             in
             if value_ok then
@@ -352,6 +404,9 @@ let action_triggers ?(approx = false) ctx ((app1 : Rule.smartapp), (a1 : Rule.ac
               else None)
           effects))
 
+(* A triggering edge: [Some (witness, severity, detail)]. A decisive
+   non-overlap kills the edge; an undecided overlap keeps it alive as a
+   potential edge (no witness, [Undecided] severity). *)
 let ct_edge ctx ((app1, r1) as p1 : tagged_rule) ((app2, r2) as p2 : tagged_rule) =
   if r1.Rule.rule_id = r2.Rule.rule_id && app1.Rule.name = app2.Rule.name then None
   else
@@ -362,47 +417,57 @@ let ct_edge ctx ((app1, r1) as p1 : tagged_rule) ((app2, r2) as p2 : tagged_rule
     | None -> None
     | Some detail -> (
       match conditions_overlap ctx p1 p2 with
-      | Some witness -> Some (witness, detail)
-      | None -> None)
+      | Budget.Sat witness -> Some (Some witness, Threat.Confirmed, detail)
+      | Budget.Unsat -> None
+      | Budget.Unknown reason -> Some (None, undecided_severity reason, detail))
+
+(* The worse of two edge severities: a threat built from edges is only
+   [Confirmed] when every contributing edge is. *)
+let worst_severity s1 s2 = if Threat.is_undecided s1 then s1 else s2
 
 let detect_trigger_interference ctx p1 p2 =
   let app1, r1 = p1 and app2, r2 = p2 in
   let e12 = ct_edge ctx p1 p2 in
   let e21 = ct_edge ctx p2 p1 in
   let ar_cand = ar_candidate ctx p1 p2 in
+  let edge_threat cat pa pb (witness, severity, detail) =
+    { (Threat.make cat pa pb ~severity detail) with Threat.witness }
+  in
   let ct_threats =
     (match e12 with
-    | Some (w, detail) -> [ Threat.make Threat.CT (app1, r1) (app2, r2) ~witness:w detail ]
+    | Some e -> [ edge_threat Threat.CT (app1, r1) (app2, r2) e ]
     | None -> [])
     @
     match e21 with
-    | Some (w, detail) -> [ Threat.make Threat.CT (app2, r2) (app1, r1) ~witness:w detail ]
+    | Some e -> [ edge_threat Threat.CT (app2, r2) (app1, r1) e ]
     | None -> []
   in
   let sd_threats =
     match (e12, ar_cand) with
-    | Some (w, _), true ->
+    | Some (w, sev, _), true ->
       [
-        Threat.make Threat.SD (app1, r1) (app2, r2) ~witness:w
-          (Printf.sprintf "%s triggers %s whose action undoes it" r1.Rule.rule_id
-             r2.Rule.rule_id);
+        edge_threat Threat.SD (app1, r1) (app2, r2)
+          ( w, sev,
+            Printf.sprintf "%s triggers %s whose action undoes it" r1.Rule.rule_id
+              r2.Rule.rule_id );
       ]
     | _ -> (
       match (e21, ar_cand) with
-      | Some (w, _), true ->
+      | Some (w, sev, _), true ->
         [
-          Threat.make Threat.SD (app2, r2) (app1, r1) ~witness:w
-            (Printf.sprintf "%s triggers %s whose action undoes it" r2.Rule.rule_id
-               r1.Rule.rule_id);
+          edge_threat Threat.SD (app2, r2) (app1, r1)
+            ( w, sev,
+              Printf.sprintf "%s triggers %s whose action undoes it" r2.Rule.rule_id
+                r1.Rule.rule_id );
         ]
       | _ -> [])
   in
   let lt_threats =
     match (e12, e21, ar_cand) with
-    | Some (w, _), Some _, true ->
+    | Some (w, sev12, _), Some (_, sev21, _), true ->
       [
-        Threat.make Threat.LT (app1, r1) (app2, r2) ~witness:w
-          "rules trigger each other with contradictory actions";
+        edge_threat Threat.LT (app1, r1) (app2, r2)
+          (w, worst_severity sev12 sev21, "rules trigger each other with contradictory actions");
       ]
     | _ -> []
   in
@@ -458,6 +523,22 @@ let condition_effects ctx ((app1 : Rule.smartapp), (a1 : Rule.action)) ((app2, r
   in
   (direct @ env_effects, cond)
 
+(* One budgeted enable/disable solve: Sat means the write can enable the
+   condition (EC, with witness); a decisive Unsat means it provably
+   falsifies it (DC). Unknown is reported as a *potential* EC — a tripped
+   budget must never masquerade as a proven DC. *)
+let solved_effect ctx apps f ~verb ~rule_id =
+  match budgeted_solve ctx (store_for ctx apps f) f with
+  | Budget.Sat w ->
+    ( Threat.EC, Some w, Threat.Confirmed,
+      Printf.sprintf "%s enabling %s's condition" verb rule_id )
+  | Budget.Unsat ->
+    ( Threat.DC, None, Threat.Confirmed,
+      Printf.sprintf "%s disabling %s's condition" verb rule_id )
+  | Budget.Unknown reason ->
+    ( Threat.EC, None, undecided_severity reason,
+      Printf.sprintf "%s possibly enabling %s's condition" verb rule_id )
+
 let detect_condition_interference_dir ctx ((app1, r1) : tagged_rule)
     ((app2, r2) as p2 : tagged_rule) =
   if r1.Rule.rule_id = r2.Rule.rule_id && app1.Rule.name = app2.Rule.name then []
@@ -498,50 +579,26 @@ let detect_condition_interference_dir ctx ((app1, r1) : tagged_rule)
               let f =
                 Formula.conj [ cond_q; Formula.eq (Term.Var (q var)) (import_term value) ]
               in
-              ctx.solver_calls <- ctx.solver_calls + 1;
-              let sat = Solver.satisfiable (store_for ctx [ app1; app2 ] f) f in
               Some
-                (match sat with
-                | Some w ->
-                  (Threat.EC, Some w,
-                   Printf.sprintf "%s sets %s enabling %s's condition" a1.Rule.command var
-                     r2.Rule.rule_id)
-                | None ->
-                  (Threat.DC, None,
-                   Printf.sprintf "%s sets %s disabling %s's condition" a1.Rule.command var
-                     r2.Rule.rule_id))
+                (solved_effect ctx [ app1; app2 ] f
+                   ~verb:(Printf.sprintf "%s sets %s" a1.Rule.command var)
+                   ~rule_id:r2.Rule.rule_id)
             | `Ge (var, bound) ->
               let f =
                 Formula.conj [ cond_q; Formula.ge (Term.Var (q var)) (import_term bound) ]
               in
-              ctx.solver_calls <- ctx.solver_calls + 1;
-              let sat = Solver.satisfiable (store_for ctx [ app1; app2 ] f) f in
               Some
-                (match sat with
-                | Some w ->
-                  (Threat.EC, Some w,
-                   Printf.sprintf "%s raises %s enabling %s's condition" a1.Rule.command var
-                     r2.Rule.rule_id)
-                | None ->
-                  (Threat.DC, None,
-                   Printf.sprintf "%s raises %s disabling %s's condition" a1.Rule.command
-                     var r2.Rule.rule_id))
+                (solved_effect ctx [ app1; app2 ] f
+                   ~verb:(Printf.sprintf "%s raises %s" a1.Rule.command var)
+                   ~rule_id:r2.Rule.rule_id)
             | `Le (var, bound) ->
               let f =
                 Formula.conj [ cond_q; Formula.le (Term.Var (q var)) (import_term bound) ]
               in
-              ctx.solver_calls <- ctx.solver_calls + 1;
-              let sat = Solver.satisfiable (store_for ctx [ app1; app2 ] f) f in
               Some
-                (match sat with
-                | Some w ->
-                  (Threat.EC, Some w,
-                   Printf.sprintf "%s lowers %s enabling %s's condition" a1.Rule.command var
-                     r2.Rule.rule_id)
-                | None ->
-                  (Threat.DC, None,
-                   Printf.sprintf "%s lowers %s disabling %s's condition" a1.Rule.command
-                     var r2.Rule.rule_id))
+                (solved_effect ctx [ app1; app2 ] f
+                   ~verb:(Printf.sprintf "%s lowers %s" a1.Rule.command var)
+                   ~rule_id:r2.Rule.rule_id)
             | `Dir (var, pol) ->
               let can = Channels.polarity_can_satisfy _cond var pol in
               let opposite =
@@ -550,33 +607,36 @@ let detect_condition_interference_dir ctx ((app1, r1) : tagged_rule)
               in
               if can then
                 Some
-                  (Threat.EC, None,
+                  (Threat.EC, None, Threat.Confirmed,
                    Printf.sprintf "%s pushes %s toward satisfying %s's condition"
                      a1.Rule.command var r2.Rule.rule_id)
               else if opposite then
                 Some
-                  (Threat.DC, None,
+                  (Threat.DC, None, Threat.Confirmed,
                    Printf.sprintf "%s pushes %s away from %s's condition" a1.Rule.command
                      var r2.Rule.rule_id)
               else None
             | `Touches var ->
               Some
-                (Threat.EC, None,
+                (Threat.EC, None, Threat.Confirmed,
                  Printf.sprintf "%s writes %s used in %s's condition" a1.Rule.command var
                    r2.Rule.rule_id))
           all_effects
       in
-      (* report at most one EC and one DC per direction *)
+      (* report at most one EC and one DC per direction; prefer a
+         decisive entry over an undecided one for the same category *)
       let pick cat =
-        List.find_map
-          (fun (c, w, d) -> if c = cat then Some (c, w, d) else None)
-          results
+        let of_cat = List.filter (fun (c, _, _, _) -> c = cat) results in
+        match List.find_opt (fun (_, _, sev, _) -> not (Threat.is_undecided sev)) of_cat with
+        | Some e -> Some e
+        | None -> ( match of_cat with e :: _ -> Some e | [] -> None)
       in
       List.filter_map
         (fun entry ->
           match entry with
-          | Some (cat, witness, detail) ->
-            Some { (Threat.make cat (app1, r1) (app2, r2) detail) with Threat.witness }
+          | Some (cat, witness, severity, detail) ->
+            Some
+              { (Threat.make cat (app1, r1) (app2, r2) ~severity detail) with Threat.witness }
           | None -> None)
         [ pick Threat.EC; pick Threat.DC ]
 
@@ -638,57 +698,114 @@ let candidate_pairs ctx (apps : Rule.smartapp list) =
   |> List.filter (fun (p1, p2) -> pair_candidate ctx p1 p2)
   |> Array.of_list
 
-(* Run a planned pair array. [jobs <= 1] detects sequentially in the
-   caller's ctx (the default-compatible mode). Otherwise batches are
-   fanned out across domains, each with its own ctx — the overlap cache
-   and the solver-call counter are mutable and not thread-safe — and the
-   per-domain ctxs are merged back afterwards. Per-pair detection does
-   not depend on cache contents, so the threat list is identical (and
-   identically ordered) for every [jobs]. *)
+(* -- crash-isolated execution ---------------------------------------------- *)
+
+type failure = { pair : string; exn : string; backtrace : string }
+
+type audit_result = {
+  threats : Threat.t list;
+  undecided : int;  (** threats carrying an [Undecided] severity *)
+  failures : failure list;  (** pairs whose detection crashed twice *)
+  retried : int;  (** pairs retried on the coordinator after a crash *)
+}
+
+let pair_label ((app1, r1) : tagged_rule) ((app2, r2) : tagged_rule) =
+  Printf.sprintf "%s/%s ~ %s/%s" app1.Rule.name r1.Rule.rule_id app2.Rule.name
+    r2.Rule.rule_id
+
+let merge_ctx into c =
+  into.solver_calls <- into.solver_calls + c.solver_calls;
+  into.escalations <- into.escalations + c.escalations;
+  into.undecided_solves <- into.undecided_solves + c.undecided_solves;
+  Hashtbl.iter
+    (fun k v ->
+      if not (Hashtbl.mem into.overlap_cache k) then Hashtbl.add into.overlap_cache k v)
+    c.overlap_cache
+
+(* Run a planned pair array with per-item crash isolation. Each pair is
+   detected under [Schedule.capture], so one raising pair cannot tear
+   down its batch or the audit. [jobs <= 1] detects sequentially in the
+   caller's ctx. Otherwise batches fan out across domains, each with its
+   own ctx — the overlap cache and counters are mutable and not
+   thread-safe — and the per-domain ctxs are merged back *before* the
+   coordinator retries failed pairs, so a retry sees the same cache
+   state the sequential mode would. Failed pairs are retried exactly
+   once on the coordinator domain; pairs that fail both attempts land in
+   [failures], in pair order. Per-pair detection does not depend on
+   cache contents, so threats, undecided set and failures are identical
+   (and identically ordered) for every [jobs]. *)
 let run_pairs ~jobs ctx (pairs : (tagged_rule * tagged_rule) array) =
-  if jobs <= 1 then
-    List.concat_map (fun (p1, p2) -> detect_pair ctx p1 p2) (Array.to_list pairs)
-  else begin
-    let results =
-      Schedule.map_batches ~jobs
-        (fun batch ->
-          let c = create ctx.config in
-          let threats =
-            List.concat_map (fun (p1, p2) -> detect_pair c p1 p2) (Array.to_list batch)
-          in
-          (threats, c))
-        pairs
-    in
-    Array.iter
-      (fun (_, c) ->
-        ctx.solver_calls <- ctx.solver_calls + c.solver_calls;
-        Hashtbl.iter
-          (fun k v ->
-            if not (Hashtbl.mem ctx.overlap_cache k) then Hashtbl.add ctx.overlap_cache k v)
-          c.overlap_cache)
-      results;
-    List.concat_map fst (Array.to_list results)
-  end
-
-(** Threats between a newly installed app and every already-installed
-    app recorded in [db] (the online install-time flow, §IV-C). *)
-let detect_new_app ?(jobs = 1) ctx (db : Homeguard_rules.Rule_db.t) (new_app : Rule.smartapp) =
-  let installed = Homeguard_rules.Rule_db.all_rules db in
-  let pairs =
-    List.concat_map
-      (fun new_rule ->
-        List.filter_map
-          (fun ((old_app, old_rule) : tagged_rule) ->
-            if old_app.Rule.name = new_app.Rule.name then None
-            else Some ((new_app, new_rule), (old_app, old_rule)))
-          installed)
-      new_app.Rule.rules
-    |> List.filter (fun (p1, p2) -> pair_candidate ctx p1 p2)
-    |> Array.of_list
+  let detect_one c (p1, p2) = Schedule.capture (fun () -> detect_pair c p1 p2) in
+  let first_pass =
+    if jobs <= 1 then Array.map (detect_one ctx) pairs
+    else begin
+      let results =
+        Schedule.map_batches ~jobs
+          (fun batch ->
+            let c = create ctx.config in
+            (Array.map (detect_one c) batch, c))
+          pairs
+      in
+      Array.iter (fun (_, c) -> merge_ctx ctx c) results;
+      Array.concat (List.map fst (Array.to_list results))
+    end
   in
-  run_pairs ~jobs ctx pairs
+  let retried = ref 0 and failures = ref [] and threats = ref [] in
+  Array.iteri
+    (fun i result ->
+      let p1, p2 = pairs.(i) in
+      match result with
+      | Ok ts -> threats := ts :: !threats
+      | Error (_ : Schedule.exn_info) -> (
+        incr retried;
+        match detect_one ctx (p1, p2) with
+        | Ok ts -> threats := ts :: !threats
+        | Error info ->
+          failures :=
+            {
+              pair = pair_label p1 p2;
+              exn = info.Schedule.exn;
+              backtrace = info.Schedule.backtrace;
+            }
+            :: !failures))
+    first_pass;
+  let threats = List.concat (List.rev !threats) in
+  {
+    threats;
+    undecided =
+      List.length (List.filter (fun t -> Threat.is_undecided t.Threat.severity) threats);
+    failures = List.rev !failures;
+    retried = !retried;
+  }
 
-(** Exhaustive pairwise detection over a set of apps (the corpus audit,
+(** Crash-isolated audit of an explicit pair plan. *)
+let audit_pairs ?(jobs = 1) ctx pairs = run_pairs ~jobs ctx pairs
+
+let new_app_pairs ctx (db : Homeguard_rules.Rule_db.t) (new_app : Rule.smartapp) =
+  let installed = Homeguard_rules.Rule_db.all_rules db in
+  List.concat_map
+    (fun new_rule ->
+      List.filter_map
+        (fun ((old_app, old_rule) : tagged_rule) ->
+          if old_app.Rule.name = new_app.Rule.name then None
+          else Some ((new_app, new_rule), (old_app, old_rule)))
+        installed)
+    new_app.Rule.rules
+  |> List.filter (fun (p1, p2) -> pair_candidate ctx p1 p2)
+  |> Array.of_list
+
+(** Install-time audit of a newly installed app against every
+    already-installed app recorded in [db] (the online flow, §IV-C). *)
+let audit_new_app ?(jobs = 1) ctx db new_app =
+  run_pairs ~jobs ctx (new_app_pairs ctx db new_app)
+
+(** Exhaustive pairwise audit over a set of apps (the corpus audit,
     §VIII-B). *)
-let detect_all ?(jobs = 1) ctx (apps : Rule.smartapp list) =
+let audit_all ?(jobs = 1) ctx (apps : Rule.smartapp list) =
   run_pairs ~jobs ctx (candidate_pairs ctx apps)
+
+(** Threat-list views of the audits, for callers that only consume the
+    reports (the structured counts stay available via [audit_*]). *)
+let detect_new_app ?jobs ctx db new_app = (audit_new_app ?jobs ctx db new_app).threats
+
+let detect_all ?jobs ctx apps = (audit_all ?jobs ctx apps).threats

@@ -1,8 +1,16 @@
 (** The CAI threat detection engine (paper §VI): pairwise candidate
     filtering followed by overlapping-condition constraint solving, with
-    memoized solver results shared across threat types (Fig 9). *)
+    memoized solver results shared across threat types (Fig 9).
+
+    Every solve runs under a resource budget ({!Budget.spec}); an
+    exhausted solve is retried once with an escalated budget and, if
+    still undecided, surfaced as a *potential* threat ([Undecided]
+    severity) rather than dropped. Pair detection is crash-isolated: a
+    raising pair is retried once on the coordinator and otherwise lands
+    in the audit's structured error summary. *)
 
 module Rule = Homeguard_rules.Rule
+module Budget = Homeguard_solver.Budget
 
 type tagged_rule = Rule.smartapp * Rule.t
 
@@ -10,6 +18,9 @@ type config = {
   same_device : Rule.smartapp -> string -> Rule.smartapp -> string -> bool;
   app_constraints : Rule.smartapp -> (string * Homeguard_solver.Term.t) list;
   reuse : bool;
+  budget : Budget.spec;
+      (** per-solve resource budget; exhausted solves are retried once
+          with {!Budget.escalate}, then reported [Undecided] *)
 }
 
 val offline_same_device : Rule.smartapp -> string -> Rule.smartapp -> string -> bool
@@ -17,23 +28,28 @@ val offline_same_device : Rule.smartapp -> string -> Rule.smartapp -> string -> 
     titles/descriptions; generic switches act as wildcards. *)
 
 val offline_config : config
-(** Corpus-audit mode: device-type matching, no config constraints. *)
+(** Corpus-audit mode: device-type matching, no config constraints,
+    {!Budget.default_spec} budgets. *)
 
 type ctx = {
   config : config;
-  overlap_cache : (string * string, Homeguard_solver.Solver.model option) Hashtbl.t;
+  overlap_cache : (string * string, Homeguard_solver.Solver.verdict) Hashtbl.t;
+      (** keys carry the budget fingerprint, so an [Unknown] cached
+          under a small budget never answers for a larger one *)
   mutable solver_calls : int;
+  mutable escalations : int;  (** undecided solves retried with a bigger budget *)
+  mutable undecided_solves : int;  (** solves undecided even after escalation *)
 }
 
 val create : config -> ctx
 
 val situations_overlap :
-  ctx -> tagged_rule -> tagged_rule -> Homeguard_solver.Solver.model option
+  ctx -> tagged_rule -> tagged_rule -> Homeguard_solver.Solver.verdict
 (** Joint satisfiability of both rules' trigger+condition formulas, with
     variables of matched devices unified. *)
 
 val conditions_overlap :
-  ctx -> tagged_rule -> tagged_rule -> Homeguard_solver.Solver.model option
+  ctx -> tagged_rule -> tagged_rule -> Homeguard_solver.Solver.verdict
 (** Conditions-only variant (memoized; shared by AR and CT/SD/LT). *)
 
 val ar_candidate : ctx -> tagged_rule -> tagged_rule -> bool
@@ -56,14 +72,39 @@ val candidate_pairs :
 (** The audit plan: every cross-app rule pair surviving the cheap
     pre-filters, in the deterministic sequential enumeration order. *)
 
+(** {2 Crash-isolated audits} *)
+
+type failure = { pair : string; exn : string; backtrace : string }
+(** One pair whose detection raised on both the worker attempt and the
+    coordinator retry. *)
+
+type audit_result = {
+  threats : Threat.t list;
+  undecided : int;  (** threats carrying an [Undecided] severity *)
+  failures : failure list;  (** pairs whose detection crashed twice *)
+  retried : int;  (** pairs retried on the coordinator after a crash *)
+}
+
+val audit_pairs :
+  ?jobs:int -> ctx -> (tagged_rule * tagged_rule) array -> audit_result
+(** Run an explicit pair plan with per-pair crash isolation. Failed
+    pairs are retried once on the coordinator domain; double failures
+    land in [failures] (pair order), and the rest of the audit still
+    completes. Threats, undecided set and failures are identical, and
+    identically ordered, for every [~jobs] value. *)
+
+val audit_new_app :
+  ?jobs:int -> ctx -> Homeguard_rules.Rule_db.t -> Rule.smartapp -> audit_result
+(** Install-time flow: the new app against every installed rule. *)
+
+val audit_all : ?jobs:int -> ctx -> Rule.smartapp list -> audit_result
+(** Exhaustive pairwise audit across distinct apps. With [~jobs] > 1
+    each domain detects on its own ctx; per-domain caches and counters
+    are merged back before the coordinator retries any failed pair. *)
+
 val detect_new_app :
   ?jobs:int -> ctx -> Homeguard_rules.Rule_db.t -> Rule.smartapp -> Threat.t list
-(** Install-time flow: the new app against every installed rule.
-    [~jobs] > 1 fans candidate pairs out across domains via {!Schedule}
-    (default [1]: sequential in the caller's ctx). *)
+(** [(audit_new_app ...).threats]. *)
 
 val detect_all : ?jobs:int -> ctx -> Rule.smartapp list -> Threat.t list
-(** Exhaustive pairwise audit across distinct apps. The threat list is
-    identical, and identically ordered, for every [~jobs] value; with
-    [~jobs] > 1 each domain detects on its own ctx and the solver-call
-    counts and overlap caches are merged back afterwards. *)
+(** [(audit_all ...).threats]. *)

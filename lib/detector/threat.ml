@@ -35,6 +35,18 @@ let category_name = function
     always reads "rule1 interferes with rule2". *)
 let is_directional = function CT | SD | EC | DC -> true | AR | GC | LT -> false
 
+(** Verdict honesty: a [Confirmed] threat is backed by a decisive solver
+    answer; [Undecided] means the overlap solve exhausted its budget (the
+    string records which budget tripped and where), so the pair is a
+    *potential* threat that must never be silently dropped. *)
+type severity = Confirmed | Undecided of string
+
+let severity_to_string = function
+  | Confirmed -> "confirmed"
+  | Undecided reason -> "undecided: " ^ reason
+
+let is_undecided = function Confirmed -> false | Undecided _ -> true
+
 type t = {
   category : category;
   app1 : Rule.smartapp;
@@ -43,13 +55,15 @@ type t = {
   rule2 : Rule.t;
   witness : Homeguard_solver.Search.model option;
       (** a concrete situation in which the interference manifests *)
+  severity : severity;  (** decisive solver verdict, or budget-undecided *)
   detail : string;  (** which devices/goals/attributes are involved *)
 }
 
-let make category (app1, rule1) (app2, rule2) ?witness detail =
-  { category; app1; rule1; app2; rule2; witness; detail }
+let make category (app1, rule1) (app2, rule2) ?witness ?(severity = Confirmed) detail =
+  { category; app1; rule1; app2; rule2; witness; severity; detail }
 
 let to_string t =
-  Printf.sprintf "[%s] %s <-> %s: %s"
+  Printf.sprintf "[%s%s] %s <-> %s: %s"
     (category_to_string t.category)
+    (if is_undecided t.severity then "?" else "")
     t.rule1.Rule.rule_id t.rule2.Rule.rule_id t.detail

@@ -11,6 +11,13 @@ val category_name : category -> string
 val is_directional : category -> bool
 (** CT/SD/EC/DC read "rule1 interferes with rule2". *)
 
+type severity = Confirmed | Undecided of string
+(** [Undecided reason]: the overlap solve ran out of budget, so this is
+    a potential threat reported conservatively, never dropped. *)
+
+val severity_to_string : severity -> string
+val is_undecided : severity -> bool
+
 type t = {
   category : category;
   app1 : Rule.smartapp;
@@ -18,6 +25,7 @@ type t = {
   app2 : Rule.smartapp;
   rule2 : Rule.t;
   witness : Homeguard_solver.Search.model option;
+  severity : severity;
   detail : string;
 }
 
@@ -26,7 +34,9 @@ val make :
   Rule.smartapp * Rule.t ->
   Rule.smartapp * Rule.t ->
   ?witness:Homeguard_solver.Search.model ->
+  ?severity:severity ->
   string ->
   t
+(** Severity defaults to [Confirmed]. *)
 
 val to_string : t -> string

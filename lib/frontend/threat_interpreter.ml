@@ -44,17 +44,27 @@ let risk_note = function
   | Threat.DC ->
     "This app can silently disarm another rule's condition (e.g. disabling a security check)."
 
-(** Multi-line, user-facing explanation of one threat. *)
+(** Multi-line, user-facing explanation of one threat. An undecided
+    threat is clearly marked as unconfirmed rather than presented like a
+    proven interference. *)
 let describe (t : Threat.t) =
   let buf = Buffer.create 256 in
+  let undecided = Threat.is_undecided t.Threat.severity in
   Buffer.add_string buf
-    (Printf.sprintf "%s (%s)\n"
+    (Printf.sprintf "%s (%s)%s\n"
        (Threat.category_name t.Threat.category)
-       (Threat.category_to_string t.Threat.category));
+       (Threat.category_to_string t.Threat.category)
+       (if undecided then " — UNDECIDED" else ""));
   Buffer.add_string buf
     (Printf.sprintf "  Between %s (%s) and %s (%s)\n" t.Threat.rule1.Rule.rule_id
        t.Threat.app1.Rule.name t.Threat.rule2.Rule.rule_id t.Threat.app2.Rule.name);
   Buffer.add_string buf (Printf.sprintf "  How: %s\n" t.Threat.detail);
+  (match t.Threat.severity with
+  | Threat.Undecided reason ->
+    Buffer.add_string buf
+      (Printf.sprintf
+         "  Status: analysis ran out of budget (%s); treat as a potential threat\n" reason)
+  | Threat.Confirmed -> ());
   (match Option.bind t.Threat.witness describe_witness with
   | Some situation -> Buffer.add_string buf (Printf.sprintf "  Example situation: %s\n" situation)
   | None -> ());
@@ -66,6 +76,11 @@ let describe_all threats =
   match threats with
   | [] -> "No cross-app interference threats detected."
   | threats ->
-    Printf.sprintf "%d potential cross-app interference threat(s) detected:\n\n%s"
-      (List.length threats)
+    let undecided = List.length (List.filter (fun t -> Threat.is_undecided t.Threat.severity) threats) in
+    let undecided_note =
+      if undecided = 0 then ""
+      else Printf.sprintf " (%d undecided: solver budget exhausted, shown conservatively)" undecided
+    in
+    Printf.sprintf "%d potential cross-app interference threat(s) detected%s:\n\n%s"
+      (List.length threats) undecided_note
       (String.concat "\n\n" (List.map describe threats))

@@ -1,0 +1,55 @@
+(** Solver resource budgets (propagation fuel, search-node fuel,
+    wall-clock deadline) and the three-valued {!verdict} that keeps
+    budget exhaustion distinct from unsatisfiability. *)
+
+type trip = Prop_fuel | Node_fuel | Deadline | Depth
+
+type reason = { trip : trip; where : string }
+(** Which budget tripped, and in which solver stage. *)
+
+exception Exhausted of reason
+
+val trip_to_string : trip -> string
+val reason_to_string : reason -> string
+
+type 'a verdict = Sat of 'a | Unsat | Unknown of reason
+(** [Unknown] means "budget ran out before deciding"; no solver or
+    detector path may convert it into [Unsat] / "no threat". *)
+
+type spec = {
+  prop_steps : int option;
+  search_nodes : int option;
+  timeout_ms : float option;
+}
+(** Immutable budget configuration; [None] fields are unlimited. *)
+
+val unlimited_spec : spec
+
+val default_spec : spec
+(** Generous caps that rule-sized formulas never approach: the full
+    corpus audit reports zero undecided pairs under this spec. *)
+
+val spec_of_nodes : int -> spec
+(** From the CLI's single [--solver-budget] knob: [n] search nodes with
+    proportional propagation fuel; [n <= 0] is unlimited. *)
+
+val escalate : ?factor:int -> spec -> spec
+(** The retry budget: every finite limit multiplied (default 8x). *)
+
+val fingerprint : spec -> string
+(** Stable string identifying the spec, for verdict cache keys. *)
+
+type t
+(** Mutable fuel state for one solve. *)
+
+val start : spec -> t
+val unlimited : unit -> t
+
+val spend_prop : t -> where:string -> unit
+(** Consume one propagation step; raises {!Exhausted} when fuel or the
+    deadline runs out. *)
+
+val spend_node : t -> where:string -> unit
+(** Consume one search node; raises {!Exhausted} on exhaustion. *)
+
+val check_deadline : t -> where:string -> unit

@@ -1,0 +1,71 @@
+(** Test-only fault injection for the solver.
+
+    The detection pipeline's crash isolation and three-valued verdicts
+    need a way to make the solver raise, time out or exhaust its budget
+    on demand. The hook is armed globally (disarmed by default and in
+    production); whether a given solve fails is a pure function of the
+    armed seed and the solve's key, so injection is deterministic and
+    independent of call order and of how many domains run the audit —
+    [detect_all ~jobs:1] and [~jobs:N] fail the same solves. *)
+
+exception Injected of string
+(** The injected crash (the [Raise] mode). *)
+
+type mode =
+  | Raise  (** raise {!Injected}: a worker crash *)
+  | Exhaust  (** raise {!Budget.Exhausted} with {!Budget.Node_fuel} *)
+  | Timeout  (** raise {!Budget.Exhausted} with {!Budget.Deadline} *)
+
+type plan = { seed : int; rate_per_thousand : int; mode : mode; once : bool }
+
+let state : plan option Atomic.t = Atomic.make None
+
+(* Keys that already fired, for [once] plans. Guarded: several domains
+   consult it concurrently. *)
+let fired : (string, unit) Hashtbl.t = Hashtbl.create 64
+let lock = Mutex.create ()
+
+let arm ?(once = false) ?(seed = 1) ~rate_per_thousand mode =
+  Mutex.lock lock;
+  Hashtbl.reset fired;
+  Atomic.set state (Some { seed; rate_per_thousand; mode; once });
+  Mutex.unlock lock
+
+let disarm () =
+  Mutex.lock lock;
+  Atomic.set state None;
+  Hashtbl.reset fired;
+  Mutex.unlock lock
+
+let armed () = Atomic.get state <> None
+
+(* Order-independent decision: hash of (seed, key), not an RNG stream. *)
+let selects plan key = Hashtbl.hash (plan.seed, key) mod 1000 < plan.rate_per_thousand
+
+let check key =
+  match Atomic.get state with
+  | None -> ()
+  | Some plan ->
+    if selects plan key then begin
+      let fire =
+        if not plan.once then true
+        else begin
+          Mutex.lock lock;
+          let first = not (Hashtbl.mem fired key) in
+          if first then Hashtbl.add fired key ();
+          Mutex.unlock lock;
+          first
+        end
+      in
+      if fire then
+        match plan.mode with
+        | Raise -> raise (Injected key)
+        | Exhaust ->
+          raise
+            (Budget.Exhausted
+               { Budget.trip = Budget.Node_fuel; where = "fault injection: " ^ key })
+        | Timeout ->
+          raise
+            (Budget.Exhausted
+               { Budget.trip = Budget.Deadline; where = "fault injection: " ^ key })
+    end

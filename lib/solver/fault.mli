@@ -1,0 +1,20 @@
+(** Deterministic, test-only fault injection for the solver: make
+    solves raise, time out or exhaust their budget on demand. Disarmed
+    by default; whether a solve fails depends only on the armed seed and
+    the solve's key, never on call order or domain count. *)
+
+exception Injected of string
+
+type mode = Raise | Exhaust | Timeout
+
+val arm : ?once:bool -> ?seed:int -> rate_per_thousand:int -> mode -> unit
+(** Arm the hook. [~once] fires each selected key only on its first
+    solve (so a retry succeeds); the default fires on every solve of a
+    selected key. *)
+
+val disarm : unit -> unit
+val armed : unit -> bool
+
+val check : string -> unit
+(** Called by the solver with the solve's key; raises {!Injected} or
+    {!Budget.Exhausted} when the armed plan selects the key. *)

@@ -196,16 +196,27 @@ let revise_atom st (cmp, a, b) =
 
 let max_rounds = 100
 
-(** [run domains atoms] propagates to fixpoint. Returns the narrowed
-    domains; raises {!Unsat} on wipe-out. *)
-let run domains atoms =
+(** [run ?budget domains atoms] propagates to fixpoint. Returns the
+    narrowed domains; raises {!Unsat} on wipe-out. Each atom revision
+    spends one step of [budget]'s propagation fuel, so an exhausted
+    budget surfaces as {!Budget.Exhausted} — never as {!Unsat}. *)
+let run ?budget domains atoms =
   let st = { domains } in
+  let spend =
+    match budget with
+    | None -> fun () -> ()
+    | Some b -> fun () -> Budget.spend_prop b ~where:"Propagate.run"
+  in
   let changed = ref true in
   let rounds = ref 0 in
   while !changed && !rounds < max_rounds do
     incr rounds;
     let before = st.domains in
-    List.iter (revise_atom st) atoms;
+    List.iter
+      (fun atom ->
+        spend ();
+        revise_atom st atom)
+      atoms;
     changed := not (SMap.equal Domain.equal before st.domains)
   done;
   st.domains

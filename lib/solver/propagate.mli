@@ -7,6 +7,8 @@ exception Unsat
 
 val max_rounds : int
 
-val run : Domain.t SMap.t -> Dnf.conjunct -> Domain.t SMap.t
+val run : ?budget:Budget.t -> Domain.t SMap.t -> Dnf.conjunct -> Domain.t SMap.t
 (** Revise every atom to fixpoint (bounded by {!max_rounds} rounds,
-    which never compromises soundness). *)
+    which never compromises soundness). Each revision spends one step of
+    [budget]'s propagation fuel; exhaustion raises {!Budget.Exhausted},
+    never {!Unsat}. *)

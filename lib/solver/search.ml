@@ -2,8 +2,9 @@
 
     Propagate-and-split: after {!Propagate.run} reaches a fixpoint, pick
     the unfixed variable with the smallest domain, bisect it, and recurse.
-    Domains are finite so the search terminates; a generous depth cap
-    guards against pathological inputs. *)
+    Domains are finite so the search terminates; a generous depth cap and
+    the caller's {!Budget.t} guard against pathological inputs, and both
+    surface as an honest [Unknown] verdict rather than "no model". *)
 
 module SMap = Propagate.SMap
 
@@ -47,8 +48,15 @@ let all_atoms_hold domains atoms =
     (fun (cmp, a, b) -> Formula.eval env (Formula.Atom (cmp, a, b)))
     atoms
 
-(** [solve store atoms] finds a model of the conjunction, if any. *)
-let solve (store : Store.t) (atoms : Dnf.conjunct) : model option =
+(** [solve ?budget ?max_depth store atoms] decides the conjunction with
+    a three-valued verdict: [Sat model], [Unsat], or [Unknown reason]
+    when the depth cap or a budget trips before the search concludes.
+    Budget exhaustion is never reported as [Unsat] — that silent
+    conversion was a soundness hole (a real threat read as "no
+    threat"). *)
+let solve ?budget ?(max_depth = max_depth) (store : Store.t) (atoms : Dnf.conjunct) :
+    model Budget.verdict =
+  let budget = match budget with Some b -> b | None -> Budget.unlimited () in
   let vars = relevant_vars atoms in
   let domains =
     List.fold_left
@@ -58,11 +66,15 @@ let solve (store : Store.t) (atoms : Dnf.conjunct) : model option =
         | None -> invalid_arg ("Search.solve: variable not in store: " ^ v))
       SMap.empty vars
   in
-  let rec go domains depth =
-    if depth > max_depth then None
+  let rec go domains depth : model Budget.verdict =
+    Budget.spend_node budget ~where:"Search.solve";
+    if depth > max_depth then
+      Budget.Unknown
+        { Budget.trip = Budget.Depth;
+          where = Printf.sprintf "Search.solve (depth cap %d)" max_depth }
     else
-      match Propagate.run domains atoms with
-      | exception Propagate.Unsat -> None
+      match Propagate.run ~budget domains atoms with
+      | exception Propagate.Unsat -> Budget.Unsat
       | domains ->
         let unfixed =
           SMap.fold
@@ -75,8 +87,9 @@ let solve (store : Store.t) (atoms : Dnf.conjunct) : model option =
         in
         (match unfixed with
         | None ->
-          if all_atoms_hold domains atoms then Some (model_of_domains vars domains)
-          else None
+          if all_atoms_hold domains atoms then
+            Budget.Sat (model_of_domains vars domains)
+          else Budget.Unsat
         | Some (v, _) ->
           let d = SMap.find v domains in
           let left, right = Domain.split d in
@@ -86,6 +99,16 @@ let solve (store : Store.t) (atoms : Dnf.conjunct) : model option =
             else (left, right)
           in
           let try_branch half = go (SMap.add v half domains) (depth + 1) in
-          (match try_branch first with Some m -> Some m | None -> try_branch second))
+          (match try_branch first with
+          | Budget.Sat m -> Budget.Sat m
+          | Budget.Unsat -> try_branch second
+          | Budget.Unknown r -> (
+            (* a branch that hit the depth cap leaves the verdict
+               undecided unless the other branch finds a model *)
+            match try_branch second with
+            | Budget.Sat m -> Budget.Sat m
+            | Budget.Unsat | Budget.Unknown _ -> Budget.Unknown r)))
   in
-  go domains 0
+  match go domains 0 with
+  | verdict -> verdict
+  | exception Budget.Exhausted reason -> Budget.Unknown reason

@@ -8,6 +8,9 @@ val relevant_vars : Dnf.conjunct -> string list
 (** Variables the atoms mention, in first-occurrence order, without
     duplicates (a witness model carries one binding per variable). *)
 
-val solve : Store.t -> Dnf.conjunct -> model option
-(** Find a model of the conjunction. Every variable mentioned by the
-    atoms must be typed in the store. *)
+val solve :
+  ?budget:Budget.t -> ?max_depth:int -> Store.t -> Dnf.conjunct -> model Budget.verdict
+(** Decide the conjunction: [Sat model], [Unsat], or [Unknown reason]
+    when [budget] (default: unlimited) or the depth cap trips first.
+    Budget exhaustion is never mapped to [Unsat]. Every variable
+    mentioned by the atoms must be typed in the store. *)

@@ -1,16 +1,31 @@
 (** Top-level constraint-satisfaction interface — HomeGuard's substitute
     for the JaCoP solver: satisfiability of quantifier-free formulas
-    over bounded integers and enumerated strings, with witness models. *)
+    over bounded integers and enumerated strings, with witness models
+    and three-valued, budget-aware verdicts. *)
 
 type model = Search.model
 
-val satisfiable : Store.t -> Formula.t -> model option
+type verdict = model Budget.verdict
+(** [Sat model | Unsat | Unknown of Budget.reason]. [Unknown] records
+    which budget tripped and where; it is never collapsed to [Unsat]. *)
+
+val solve : ?budget:Budget.t -> Store.t -> Formula.t -> verdict
 (** DNF + propagate-and-split per conjunct; the store is closed over
-    free variables via {!Store.infer}. Falls back to {!satisfiable_dpll}
-    when the DNF would exceed {!Dnf.max_conjuncts}. *)
+    free variables via {!Store.infer}. Falls back to {!solve_dpll} when
+    the DNF would exceed {!Dnf.max_conjuncts}. The default budget is
+    unlimited. *)
+
+val solve_dpll : ?budget:Budget.t -> Store.t -> Formula.t -> verdict
+(** Lazy DPLL-style splitting on disjunctions (ablation A3 variant). *)
+
+val satisfiable : Store.t -> Formula.t -> model option
+(** Definitely-sat wrapper over {!solve} with an unlimited budget:
+    [None] strictly means unsat. An undecided solve (depth cap, or a
+    test-only injected fault) raises {!Budget.Exhausted} rather than
+    masquerading as unsat. *)
 
 val satisfiable_dpll : Store.t -> Formula.t -> model option
-(** Lazy DPLL-style splitting on disjunctions (ablation A3 variant). *)
+(** Same contract as {!satisfiable}, over {!solve_dpll}. *)
 
 val sat : Store.t -> Formula.t -> bool
 

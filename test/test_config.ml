@@ -204,6 +204,58 @@ let loss_injection =
       check_bool "some lost" true (Messaging.lost_count m > 0);
       check_bool "some delivered" true (!delivered > 0))
 
+let retry_lossless_single_attempt =
+  test "send_with_retry: lossless transport delivers on the first attempt" (fun () ->
+      let m = Messaging.create ~seed:9 () in
+      match Messaging.send_with_retry m Messaging.Http "u" with
+      | Some (total, attempts) ->
+        check_bool "one attempt" true (attempts = 1);
+        check_bool "no backoff added" true (total > 0.0 && total < 5_000.0)
+      | None -> Alcotest.fail "lossless send cannot fail")
+
+let retry_raises_delivery_probability =
+  test "send_with_retry: backoff retries lift delivery under 50% loss" (fun () ->
+      let trials = 200 in
+      let count send =
+        let m = Messaging.create ~seed:21 ~loss_per_thousand:500 () in
+        let ok = ref 0 in
+        for _ = 1 to trials do
+          if send m then incr ok
+        done;
+        !ok
+      in
+      let single = count (fun m -> Messaging.send m Messaging.Http "u" <> None) in
+      let retried =
+        count (fun m ->
+            Messaging.send_with_retry ~max_attempts:4 ~backoff_ms:100.0 m Messaging.Http "u"
+            <> None)
+      in
+      (* per-attempt loss 1/2 => expected delivery ~1 - 2^-4 = 93.75% *)
+      check_bool "retries beat single sends" true (retried > single);
+      check_bool "near the expected probability" true
+        (float_of_int retried /. float_of_int trials >= 0.85))
+
+let retry_accounts_backoff_and_is_deterministic =
+  test "send_with_retry: totals include backoff and reproduce by seed" (fun () ->
+      let run () =
+        let m = Messaging.create ~seed:3 ~loss_per_thousand:500 () in
+        let acc = ref [] in
+        for _ = 1 to 50 do
+          acc := Messaging.send_with_retry ~backoff_ms:250.0 m Messaging.Http "u" :: !acc
+        done;
+        !acc
+      in
+      let a = run () and b = run () in
+      check_bool "deterministic" true (a = b);
+      List.iter
+        (function
+          | Some (total, attempts) when attempts >= 2 ->
+            (* attempts-1 backoffs of 250, 500, ... precede the delivery *)
+            let backoff = 250.0 *. (Float.pow 2.0 (float_of_int (attempts - 1)) -. 1.0) in
+            check_bool "total covers backoff" true (total >= backoff)
+          | _ -> ())
+        a)
+
 (* -- recorder ------------------------------------------------------------------ *)
 
 let recorder_same_device =
@@ -256,6 +308,9 @@ let tests =
     http_faster_than_sms;
     messaging_deterministic;
     loss_injection;
+    retry_lossless_single_attempt;
+    retry_raises_delivery_probability;
+    retry_accounts_backoff_and_is_deterministic;
     recorder_same_device;
     recorder_values_become_constraints;
     recorder_update_replaces;

@@ -67,6 +67,25 @@ let describe_all_empty =
       check_bool "calm message" true
         (contains (Threat_interpreter.describe_all []) "No cross-app interference"))
 
+let undecided_rendered_distinctly =
+  test "threat interpreter marks undecided threats and their reason" (fun () ->
+      let a = extract_corpus "ComfortTV" and b = extract_corpus "ColdDefender" in
+      let t =
+        Threat.make Threat.AR
+          (a, List.hd a.Rule.rules)
+          (b, List.hd b.Rule.rules)
+          ~severity:(Threat.Undecided "search-node fuel exhausted in Search.solve")
+          "contradictory commands on the same actuator (on vs off)"
+      in
+      let text = Threat_interpreter.describe t in
+      check_bool "marked undecided" true (contains text "UNDECIDED");
+      check_bool "reason shown" true (contains text "search-node fuel exhausted");
+      check_bool "flagged conservative" true (contains text "potential threat");
+      let all = Threat_interpreter.describe_all [ t ] in
+      check_bool "summary counts undecided" true (contains all "1 undecided");
+      check_bool "to_string carries the marker" true
+        (contains (Threat.to_string t) "[AR?]"))
+
 let install_flow_keep =
   test "install flow: keep installs and records allowed pairs" (fun () ->
       let flow = Install_flow.create () in
@@ -116,6 +135,7 @@ let tests =
     describe_empty_app;
     threat_description;
     describe_all_empty;
+    undecided_rendered_distinctly;
     install_flow_keep;
     install_flow_reject;
     install_flow_no_pending;

@@ -119,6 +119,50 @@ let detect_new_app_jobs_deterministic =
       check_bool "finds the Fig 3 race" true (seq <> []);
       check_bool "jobs=3 identical" true (seq = run 3))
 
+let audit_all_jobs_deterministic =
+  test "audit_all: threats, undecided and failures identical across job counts" (fun () ->
+      let apps = Lazy.force demo_apps in
+      let run jobs =
+        let c = Detector.create Detector.offline_config in
+        let r = Detector.audit_all ~jobs c apps in
+        ( List.map Threat.to_string r.Detector.threats,
+          r.Detector.undecided,
+          r.Detector.failures,
+          r.Detector.retried )
+      in
+      let ((threats1, undecided1, failures1, retried1) as seq) = run 1 in
+      check_bool "clean run: no undecided pairs" true (undecided1 = 0);
+      check_bool "clean run: no failures" true (failures1 = [] && retried1 = 0);
+      check_bool "non-trivial workload" true (threats1 <> []);
+      check_bool "jobs=4 identical audit" true (seq = run 4))
+
+let capture_isolates_exceptions =
+  test "Schedule.capture: a raising item becomes a structured Error" (fun () ->
+      (match Schedule.capture (fun () -> 42) with
+      | Ok n -> check_int "value passes through" 42 n
+      | Error _ -> Alcotest.fail "no error expected");
+      match Schedule.capture (fun () -> failwith "boom") with
+      | Ok _ -> Alcotest.fail "expected Error"
+      | Error info ->
+        check_bool "exception recorded" true
+          (String.length info.Schedule.exn > 0
+          && String.length ("x" ^ info.Schedule.backtrace) > 0))
+
+let default_budgets_leave_corpus_decided =
+  test "corpus audit under default budgets reports zero undecided pairs" (fun () ->
+      let apps =
+        List.map
+          (fun (e : Homeguard_corpus.App_entry.t) ->
+            extract ~name:e.Homeguard_corpus.App_entry.name e.Homeguard_corpus.App_entry.source)
+          Homeguard_corpus.Corpus.audit_apps
+      in
+      let c = Detector.create Detector.offline_config in
+      let r = Detector.audit_all ~jobs:1 c apps in
+      check_bool "zero undecided" true (r.Detector.undecided = 0);
+      check_bool "zero undecided solves" true (c.Detector.undecided_solves = 0);
+      check_bool "zero failures" true (r.Detector.failures = []);
+      check_bool "threats found" true (r.Detector.threats <> []))
+
 let merged_ctx_counts =
   test "parallel run merges per-domain solver calls into the caller's ctx" (fun () ->
       let apps = Lazy.force demo_apps in
@@ -136,5 +180,8 @@ let tests =
     detect_all_jobs_deterministic;
     detect_all_matches_unplanned_pairwise;
     detect_new_app_jobs_deterministic;
+    audit_all_jobs_deterministic;
+    capture_isolates_exceptions;
+    default_budgets_leave_corpus_decided;
     merged_ctx_counts;
   ]

@@ -139,6 +139,90 @@ let dnf_true_false =
       Helpers.check_bool "true" true (Dnf.of_formula True = [ [] ]);
       Helpers.check_bool "false" true (Dnf.of_formula False = []))
 
+(* -- budgets, three-valued verdicts and fault injection -------------------- *)
+
+(* A 3-coloring-style conjunct: satisfiable, but only by splitting on
+   several variables, so a depth cap of 1 cannot decide it. *)
+let tri_atoms : Dnf.conjunct =
+  [ (Neq, Var "x", Var "y"); (Neq, Var "y", Var "z"); (Neq, Var "x", Var "z") ]
+
+let tri_store = Store.of_list (List.map (fun v -> (v, Domain.interval 0 2)) [ "x"; "y"; "z" ])
+
+let depth_cap_regression =
+  Helpers.test "regression: tiny depth cap answers Unknown, never unsat" (fun () ->
+      (match Search.solve ~max_depth:1 tri_store tri_atoms with
+      | Budget.Unknown { Budget.trip = Budget.Depth; _ } -> ()
+      | Budget.Unknown _ -> Alcotest.fail "wrong trip for the depth cap"
+      | Budget.Unsat -> Alcotest.fail "depth cap leaked as unsat (soundness hole)"
+      | Budget.Sat _ -> Alcotest.fail "cannot decide within depth 1");
+      match Search.solve tri_store tri_atoms with
+      | Budget.Sat _ -> ()
+      | _ -> Alcotest.fail "satisfiable at the default depth")
+
+let node_fuel_trips =
+  Helpers.test "search-node fuel exhaustion answers Unknown (Node_fuel)" (fun () ->
+      let b = Budget.start { Budget.unlimited_spec with Budget.search_nodes = Some 1 } in
+      match Search.solve ~budget:b tri_store tri_atoms with
+      | Budget.Unknown { Budget.trip = Budget.Node_fuel; _ } -> ()
+      | _ -> Alcotest.fail "expected Unknown Node_fuel")
+
+let prop_fuel_trips =
+  Helpers.test "propagation fuel exhaustion answers Unknown (Prop_fuel)" (fun () ->
+      let b = Budget.start { Budget.unlimited_spec with Budget.prop_steps = Some 1 } in
+      let f = conj [ gt (Var "x") (Int 5); lt (Var "x") (Int 3); eq (Var "y") (Var "x") ] in
+      match Solver.solve ~budget:b Store.empty f with
+      | Budget.Unknown { Budget.trip = Budget.Prop_fuel; _ } -> ()
+      | _ -> Alcotest.fail "expected Unknown Prop_fuel")
+
+let generous_budget_decides =
+  Helpers.test "default budgets decide rule-sized formulas" (fun () ->
+      let b = Budget.start Budget.default_spec in
+      match Solver.solve ~budget:b tri_store (conj [ neq (Var "x") (Var "y") ]) with
+      | Budget.Sat _ -> ()
+      | _ -> Alcotest.fail "expected Sat under the default budgets")
+
+let escalate_and_fingerprint =
+  Helpers.test "escalate multiplies finite limits; fingerprints distinguish specs" (fun () ->
+      let s = Budget.spec_of_nodes 10 in
+      let e = Budget.escalate s in
+      Helpers.check_bool "nodes escalated" true (e.Budget.search_nodes = Some 80);
+      Helpers.check_bool "unlimited stays unlimited" true
+        (Budget.escalate Budget.unlimited_spec = Budget.unlimited_spec);
+      Helpers.check_bool "distinct fingerprints" true
+        (Budget.fingerprint s <> Budget.fingerprint e);
+      Helpers.check_bool "stable fingerprint" true
+        (Budget.fingerprint s = Budget.fingerprint (Budget.spec_of_nodes 10)))
+
+let fault_injection_modes =
+  Helpers.test "armed faults: Exhaust -> Unknown, Raise -> Injected, disarm restores" (fun () ->
+      let f = gt (Var "x") (Int 5) in
+      Fun.protect ~finally:Fault.disarm (fun () ->
+          Fault.arm ~seed:1 ~rate_per_thousand:1000 Fault.Exhaust;
+          (match Solver.solve Store.empty f with
+          | Budget.Unknown _ -> ()
+          | _ -> Alcotest.fail "expected Unknown under an Exhaust fault");
+          (match Solver.satisfiable Store.empty f with
+          | exception Budget.Exhausted _ -> ()
+          | _ -> Alcotest.fail "satisfiable must refuse to decide, not guess");
+          Fault.disarm ();
+          Fault.arm ~seed:1 ~rate_per_thousand:1000 Fault.Raise;
+          match Solver.solve Store.empty f with
+          | exception Fault.Injected _ -> ()
+          | _ -> Alcotest.fail "expected the injected crash to propagate");
+      Helpers.check_bool "clean after disarm" true (sat f))
+
+let fault_once_lets_retry_succeed =
+  Helpers.test "once-mode faults fire per key only on the first solve" (fun () ->
+      let f = gt (Var "x") (Int 5) in
+      Fun.protect ~finally:Fault.disarm (fun () ->
+          Fault.arm ~once:true ~seed:1 ~rate_per_thousand:1000 Fault.Exhaust;
+          (match Solver.solve Store.empty f with
+          | Budget.Unknown _ -> ()
+          | _ -> Alcotest.fail "first solve should trip");
+          match Solver.solve Store.empty f with
+          | Budget.Sat _ -> ()
+          | _ -> Alcotest.fail "retry of the same key should succeed"))
+
 (* -- property tests -------------------------------------------------------- *)
 
 let var_pool = [ "p"; "q"; "r" ]
@@ -281,6 +365,13 @@ let tests =
     true_false;
     dnf_shape;
     dnf_true_false;
+    depth_cap_regression;
+    node_fuel_trips;
+    prop_fuel_trips;
+    generous_budget_decides;
+    escalate_and_fingerprint;
+    fault_injection_modes;
+    fault_once_lets_retry_succeed;
     prop_agrees_with_brute_force;
     prop_model_satisfies;
     prop_dpll_agrees;
