@@ -17,6 +17,8 @@ module Chain = Homeguard_detector.Chain
 module Effects = Homeguard_detector.Effects
 module Messaging = Homeguard_config.Messaging
 module Device = Homeguard_st.Device
+module Policy = Homeguard_handling.Policy
+module Mediator = Homeguard_handling.Mediator
 module Engine = Homeguard_sim.Engine
 module Trace = Homeguard_sim.Trace
 module Scenario = Homeguard_sim.Scenario
@@ -517,6 +519,127 @@ EVERY DAY AT 19:00 THEN floorLamp DO on
   print_endline "(paper Table IV: only the rule extractor is platform-specific;";
   print_endline " template platforms need text parsing, not symbolic execution)"
 
+(* ------------------------------------------------------------------ H1 *)
+
+(* §VII handling: replay the E2 exploitation scenarios under the runtime
+   mediator with the per-category default decisions. The witnesses the
+   scenarios exist to exhibit must disappear; the mediation overhead per
+   judged command is measured at the end. *)
+let h1_mediation () =
+  section "H1. §VII — threat handling: E2 exploits re-run under mediation";
+  let threats_of names =
+    let ctx = Detector.create Detector.offline_config in
+    Detector.detect_all ctx (List.map app names)
+  in
+  let mediator_of threats () = Mediator.create (Policy.create ()) threats in
+  let tv = Device.make ~label:"TV" ~device_type:"tv" [ "switch" ] in
+  let window = Device.make ~label:"Window" ~device_type:"window" [ "switch" ] in
+  let ts = Device.make ~label:"T" ~device_type:"temp" [ "temperatureMeasurement" ] in
+  let ws = Device.make ~label:"W" ~device_type:"weather" [ "weatherSensor" ] in
+  let voice = Device.make ~label:"Voice" ~device_type:"speaker" [ "musicPlayer" ] in
+  let lamp = Device.make ~label:"Lamp" ~device_type:"light" [ "switch" ] in
+  let motion = Device.make ~label:"Motion" ~device_type:"motion" [ "motionSensor" ] in
+  let siren = Device.make ~label:"Siren" ~device_type:"alarm" [ "alarm" ] in
+  let comfort t =
+    Engine.install t (app "ComfortTV")
+      [ ("tv1", Engine.B_device tv); ("tSensor", Engine.B_device ts);
+        ("threshold1", Engine.B_int 30); ("window1", Engine.B_device window) ]
+  in
+  let race_setup t =
+    comfort t;
+    Engine.install t (app "ColdDefender")
+      [ ("tv2", Engine.B_device tv); ("wSensor", Engine.B_device ws);
+        ("window2", Engine.B_device window) ];
+    Engine.stimulate t ts.Device.id "temperature" "31";
+    Engine.stimulate t ws.Device.id "weather" "rainy";
+    Engine.stimulate t tv.Device.id "switch" "on"
+  in
+  let run_scenario ?mediator ~until_ms setup =
+    let t = Engine.create ~seed:1 ?mediator () in
+    setup t;
+    Engine.run t ~until_ms;
+    (Engine.trace t, mediator)
+  in
+  (* AR: the Fig 3 window race *)
+  let race_threats = threats_of [ "ComfortTV"; "ColdDefender" ] in
+  let plain, _ = run_scenario ~until_ms:10_000 race_setup in
+  let mediated, _ =
+    run_scenario ~mediator:(mediator_of race_threats ()) ~until_ms:10_000 race_setup
+  in
+  Printf.printf "AR race:    window flaps %d -> %d, opposite commands %b -> %b\n"
+    (Trace.flap_count plain "Window" "switch")
+    (Trace.flap_count mediated "Window" "switch")
+    (Trace.opposite_commands_within plain "Window" ~window_ms:10_000
+       ~opposites:[ ("on", "off") ])
+    (Trace.opposite_commands_within mediated "Window" ~window_ms:10_000
+       ~opposites:[ ("on", "off") ]);
+  (* CT: CatchLiveShow covertly opening the window through ComfortTV *)
+  let covert_setup t =
+    comfort t;
+    Engine.install t (app "CatchLiveShow")
+      [ ("voicePlayer", Engine.B_device voice); ("tv3", Engine.B_device tv) ];
+    Engine.stimulate t ts.Device.id "temperature" "31";
+    Engine.stimulate t voice.Device.id "status" "playing"
+  in
+  let ct_threats = threats_of [ "ComfortTV"; "CatchLiveShow" ] in
+  let plain, _ = run_scenario ~until_ms:10_000 covert_setup in
+  let mediated, _ =
+    run_scenario ~mediator:(mediator_of ct_threats ()) ~until_ms:10_000 covert_setup
+  in
+  let show = function Some v -> v | None -> "-" in
+  Printf.printf "CT covert:  window ends %s -> %s (suppressed commands: %d)\n"
+    (show (Trace.final_attribute plain "Window" "switch"))
+    (show (Trace.final_attribute mediated "Window" "switch"))
+    (List.length (Trace.suppressed_commands mediated "Window"));
+  (* DC: NightCare's lamp-off bypassing BurglarFinder's alarm *)
+  let disable_setup t =
+    Engine.install t (app "BurglarFinder")
+      [ ("motion1", Engine.B_device motion); ("floorLamp", Engine.B_device lamp);
+        ("alarm1", Engine.B_device siren) ];
+    Engine.install t (app "NightCare") [ ("lamp5", Engine.B_device lamp) ];
+    Engine.set_mode t "Night"
+  in
+  let disable_run ?mediator () =
+    let t = Engine.create ~seed:1 ?mediator () in
+    disable_setup t;
+    Engine.run t ~until_ms:1_000;
+    Engine.stimulate t lamp.Device.id "switch" "on";
+    Engine.run t ~until_ms:400_000;
+    Engine.stimulate t motion.Device.id "motion" "active";
+    Engine.run t ~until_ms:500_000;
+    Engine.trace t
+  in
+  let dc_threats = threats_of [ "BurglarFinder"; "NightCare" ] in
+  let plain = disable_run () in
+  let mediated = disable_run ~mediator:(mediator_of dc_threats ()) () in
+  Printf.printf "DC disable: lamp ends %s -> %s, alarm %s -> %s\n"
+    (show (Trace.final_attribute plain "Lamp" "switch"))
+    (show (Trace.final_attribute mediated "Lamp" "switch"))
+    (show (Trace.final_attribute plain "Siren" "alarm"))
+    (show (Trace.final_attribute mediated "Siren" "alarm"));
+  (* per-command mediation overhead over repeated race runs *)
+  let reps = 200 in
+  let _, t_plain =
+    time_ms (fun () ->
+        for _ = 1 to reps do
+          ignore (run_scenario ~until_ms:10_000 race_setup)
+        done)
+  in
+  let sample_m = mediator_of race_threats () in
+  let _, t_med =
+    time_ms (fun () ->
+        for _ = 1 to reps do
+          ignore (run_scenario ~mediator:(mediator_of race_threats ()) ~until_ms:10_000 race_setup)
+        done)
+  in
+  let _, _ = run_scenario ~mediator:sample_m ~until_ms:10_000 race_setup in
+  let judged = (Mediator.stats sample_m).Mediator.consulted in
+  Printf.printf
+    "mediation overhead: %.2fms -> %.2fms over %d runs (%d judged commands/run, %+.2fus per command)\n"
+    t_plain t_med reps judged
+    (if judged = 0 then 0.0 else (t_med -. t_plain) *. 1000.0 /. float_of_int (reps * judged));
+  print_endline "(all three E2 witnesses disappear under the default §VII decisions)"
+
 (* ---------------------------------------------------------- bechamel *)
 
 let bechamel_suite () =
@@ -563,6 +686,22 @@ let bechamel_suite () =
              Detector.detect_all (Detector.create Detector.offline_config) demo_apps));
       Test.make ~name:"e7_messaging_sample"
         (Staged.stage (fun () -> Messaging.send messaging Messaging.Sms "probe"));
+      (let demo_threats =
+         Detector.detect_all (Detector.create Detector.offline_config) demo_apps
+       in
+       let m = Mediator.create (Policy.create ()) demo_threats in
+       (* an unmediated rule: the Allow fast path, no log growth *)
+       let q =
+         {
+           Mediator.app = "Bystander";
+           rule = "Bystander#1";
+           device = "Heater";
+           command = "on";
+           provenance = [];
+           deferrals = 0;
+         }
+       in
+       Test.make ~name:"h1_mediator_judge" (Staged.stage (fun () -> Mediator.judge m ~at:0 q)));
     ]
   in
   let test = Test.make_grouped ~name:"homeguard" ~fmt:"%s/%s" tests in
@@ -610,5 +749,6 @@ let () =
   a2_ast_grep_ablation ();
   a3_solver_ablation ();
   x1_multi_platform ();
+  h1_mediation ();
   bechamel_suite ();
   print_endline "\nAll experiment sections completed."

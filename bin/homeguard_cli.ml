@@ -7,7 +7,10 @@
       threats (offline device-type matching).
     - [audit]: run the corpus-wide audit and print Fig 8 statistics.
     - [instrument FILE]: print the instrumented source (Listing 3).
-    - [simulate SCENARIO]: replay a §VIII-A exploitation scenario.
+    - [simulate SCENARIO]: replay a §VIII-A exploitation scenario,
+      optionally under runtime mediation ([--enforce]).
+    - [handle FILE...]: report threats with their recommended handling
+      decisions (§VII).
     - [corpus]: list the bundled corpus. *)
 
 module Rule = Homeguard_rules.Rule
@@ -16,6 +19,8 @@ module Detector = Homeguard_detector.Detector
 module Threat = Homeguard_detector.Threat
 module Rule_interpreter = Homeguard_frontend.Rule_interpreter
 module Threat_interpreter = Homeguard_frontend.Threat_interpreter
+module Policy = Homeguard_handling.Policy
+module Mediator = Homeguard_handling.Mediator
 open Cmdliner
 
 let read_file path =
@@ -212,12 +217,22 @@ let simulate_cmd =
       & info [] ~docv:"SCENARIO" ~doc:"One of: race, covert, disable (the paper's §VIII-A runs)")
   in
   let seed = Arg.(value & opt int 1 & info [ "seed" ] ~doc:"Jitter seed") in
+  let enforce =
+    Arg.(
+      value & flag
+      & info [ "enforce" ]
+          ~doc:
+            "Replay under runtime mediation: detect the scenario's \
+             threats, compile a reference monitor with the default \
+             handling decisions, and enforce it before every command. \
+             Exits 4 if any threat witness survives mediation.")
+  in
   let corpus_app name =
     let open Homeguard_corpus in
     let e = Option.get (Corpus.find name) in
     (Extract.extract_source ~name:e.App_entry.name e.App_entry.source).Extract.app
   in
-  let run scenario seed =
+  let run scenario seed enforce =
     let tv = Device.make ~label:"TV" ~device_type:"tv" [ "switch" ] in
     let window = Device.make ~label:"Window" ~device_type:"window" [ "switch" ] in
     let tsensor = Device.make ~label:"Thermo" ~device_type:"temp" [ "temperatureMeasurement" ] in
@@ -226,7 +241,22 @@ let simulate_cmd =
     let lamp = Device.make ~label:"Floor lamp" ~device_type:"light" [ "switch" ] in
     let motion = Device.make ~label:"Motion" ~device_type:"motion" [ "motionSensor" ] in
     let siren = Device.make ~label:"Alarm" ~device_type:"alarm" [ "alarm" ] in
-    let t = Engine.create ~seed () in
+    let scenario_apps =
+      match scenario with
+      | `Race -> [ "ComfortTV"; "ColdDefender" ]
+      | `Covert -> [ "ComfortTV"; "CatchLiveShow" ]
+      | `Disable -> [ "BurglarFinder"; "NightCare" ]
+    in
+    let mediator =
+      if not enforce then None
+      else begin
+        let apps = List.map corpus_app scenario_apps in
+        let ctx = Detector.create Detector.offline_config in
+        let result = Detector.audit_all ~jobs:1 ctx apps in
+        Some (Mediator.create (Policy.create ()) result.Detector.threats)
+      end
+    in
+    let t = Engine.create ~seed ?mediator () in
     let comfort () =
       Engine.install t (corpus_app "ComfortTV")
         [ ("tv1", Engine.B_device tv); ("tSensor", Engine.B_device tsensor);
@@ -260,13 +290,78 @@ let simulate_cmd =
       Engine.run t ~until_ms:400_000;
       Engine.stimulate t motion.Device.id "motion" "active";
       Engine.run t ~until_ms:500_000);
-    print_endline (Trace.to_string (Engine.trace t));
-    0
+    let trace = Engine.trace t in
+    print_endline (Trace.to_string trace);
+    match mediator with
+    | None -> 0
+    | Some m ->
+      print_newline ();
+      print_endline "enforcement log:";
+      let log = Mediator.log_to_string m in
+      print_endline (if log = "" then "  (empty)" else log);
+      (* the witness each scenario exists to exhibit, re-checked under
+         mediation *)
+      let surviving =
+        match scenario with
+        | `Race ->
+          if
+            Trace.flap_count trace "Window" "switch" > 0
+            || Trace.opposite_commands_within trace "Window" ~window_ms:10_000
+                 ~opposites:[ ("on", "off") ]
+          then 1
+          else 0
+        | `Covert -> if Trace.final_attribute trace "Window" "switch" = Some "on" then 1 else 0
+        | `Disable ->
+          if
+            Trace.final_attribute trace "Floor lamp" "switch" <> Some "on"
+            || Trace.final_attribute trace "Alarm" "alarm" = None
+          then 1
+          else 0
+      in
+      Printf.printf "surviving threat witnesses: %d\n" surviving;
+      if surviving = 0 then 0 else 4
   in
   Cmd.v
     (Cmd.info "simulate"
-       ~doc:"Replay one of the paper's exploitation scenarios in the home simulator")
-    Term.(const run $ scenario $ seed)
+       ~doc:
+         "Replay one of the paper's exploitation scenarios in the home simulator, \
+          optionally under runtime mediation (--enforce)")
+    Term.(const run $ scenario $ seed $ enforce)
+
+(* -- handle ------------------------------------------------------------------- *)
+
+let handle_cmd =
+  let files =
+    Arg.(non_empty & pos_all file [] & info [] ~docv:"FILE..." ~doc:"SmartApp source files")
+  in
+  let run files jobs budget strict =
+    match List.map (fun f -> (load_app f).Extract.app) files with
+    | apps ->
+      let ctx = Detector.create (config_with_budget budget) in
+      let result = Detector.audit_all ~jobs:(resolve_jobs jobs) ctx apps in
+      let threats = result.Detector.threats in
+      let store = Policy.create () in
+      if threats = [] then print_endline "no threats; nothing to handle"
+      else begin
+        Printf.printf "%d threat(s); recommended handling decisions:\n" (List.length threats);
+        List.iter
+          (fun (th : Threat.t) ->
+            Printf.printf "%s\n    %s\n    -> %s\n" (Policy.threat_id th) th.Threat.detail
+              (Policy.describe (Policy.decision_for store th)))
+          threats
+      end;
+      print_audit_health result;
+      if strict_violation strict result then 3 else 0
+    | exception Extract.Extraction_error msg ->
+      Printf.eprintf "error: %s\n" msg;
+      1
+  in
+  Cmd.v
+    (Cmd.info "handle"
+       ~doc:
+         "Report detected threats with their recommended handling decisions (paper §VII); \
+          the same defaults are enforced by simulate --enforce")
+    Term.(const run $ files $ jobs_arg $ budget_arg $ strict_arg)
 
 (* -- corpus ------------------------------------------------------------------ *)
 
@@ -289,6 +384,6 @@ let main =
   let doc = "detect and handle cross-app interference threats in smart homes" in
   Cmd.group
     (Cmd.info "homeguard" ~version:Homeguard_core.Homeguard.version ~doc)
-    [ extract_cmd; detect_cmd; audit_cmd; instrument_cmd; simulate_cmd; corpus_cmd ]
+    [ extract_cmd; detect_cmd; audit_cmd; instrument_cmd; simulate_cmd; handle_cmd; corpus_cmd ]
 
 let () = exit (Cmd.eval' main)

@@ -11,6 +11,8 @@ module Rule_db = Homeguard_rules.Rule_db
 module Detector = Homeguard_detector.Detector
 module Threat = Homeguard_detector.Threat
 module Chain = Homeguard_detector.Chain
+module Policy = Homeguard_handling.Policy
+module Mediator = Homeguard_handling.Mediator
 
 type decision = Keep | Reject | Reconfigure
 
@@ -20,6 +22,10 @@ type report = {
   threats : Threat.t list;
   chains : Chain.chain list;
   threats_text : string;  (** threat interpreter output *)
+  recommendations : (Threat.t * Policy.decision) list;
+      (** each threat with the handling decision that will be enforced
+          (explicit if the user already set one, else the default) *)
+  handling_text : string;  (** rendered recommendations *)
 }
 
 type t = {
@@ -27,10 +33,27 @@ type t = {
   allowed : Chain.t;
   mutable pending : report option;
   detector_config : Detector.config;
+  policies : Policy.store;  (** per-threat handling decisions *)
+  mutable kept : Threat.t list;
+      (** threats the user accepted at install time; these are what the
+          runtime mediator enforces *)
 }
 
 let create ?(detector_config = Detector.offline_config) () =
-  { db = Rule_db.create (); allowed = Chain.create (); pending = None; detector_config }
+  {
+    db = Rule_db.create ();
+    allowed = Chain.create ();
+    pending = None;
+    detector_config;
+    policies = Policy.create ();
+    kept = [];
+  }
+
+let render_recommendations recs =
+  recs
+  |> List.map (fun (threat, d) ->
+         Printf.sprintf "  [%s] %s" (Policy.threat_id threat) (Policy.describe d))
+  |> String.concat "\n"
 
 (** Step 1-3: collect config (already folded into [detector_config] when
     using a {!Homeguard_config.Recorder}), fetch rules, detect threats.
@@ -39,6 +62,9 @@ let propose t (app : Rule.smartapp) =
   let ctx = Detector.create t.detector_config in
   let threats = Detector.detect_new_app ctx t.db app in
   let chains = Chain.find_chains t.allowed threats in
+  let recommendations =
+    List.map (fun threat -> (threat, Policy.decision_for t.policies threat)) threats
+  in
   let report =
     {
       app;
@@ -46,6 +72,8 @@ let propose t (app : Rule.smartapp) =
       threats;
       chains;
       threats_text = Threat_interpreter.describe_all threats;
+      recommendations;
+      handling_text = render_recommendations recommendations;
     }
   in
   t.pending <- Some report;
@@ -65,7 +93,23 @@ let decide t decision =
     (match decision with
     | Keep ->
       ignore (Rule_db.install t.db report.app);
-      Chain.allow t.allowed report.threats
+      Chain.allow t.allowed report.threats;
+      t.kept <- t.kept @ report.threats
     | Reject | Reconfigure -> ())
 
 let installed_apps t = Rule_db.installed_apps t.db
+
+(* -- handling ---------------------------------------------------------------- *)
+
+(** Override the handling decision for one threat (by stable id); in
+    force for every mediator compiled afterwards. *)
+let set_decision t threat_id decision = Policy.set_by_id t.policies threat_id decision
+
+let policies t = t.policies
+
+let kept_threats t = t.kept
+
+(** Compile the runtime reference monitor for everything kept so far,
+    under the current decisions. *)
+let mediator ?defer_delay_ms ?max_deferrals t =
+  Mediator.create ?defer_delay_ms ?max_deferrals t.policies t.kept

@@ -10,6 +10,9 @@ type report = {
   threats : Homeguard_detector.Threat.t list;
   chains : Homeguard_detector.Chain.chain list;
   threats_text : string;
+  recommendations :
+    (Homeguard_detector.Threat.t * Homeguard_handling.Policy.decision) list;
+  handling_text : string;
 }
 
 type t
@@ -27,3 +30,17 @@ val decide : t -> decision -> unit
     and [Reconfigure] discard the proposal. *)
 
 val installed_apps : t -> Rule.smartapp list
+
+val set_decision : t -> string -> Homeguard_handling.Policy.decision -> unit
+(** Override the handling decision for a threat (by stable id); applies
+    to every mediator compiled afterwards. *)
+
+val policies : t -> Homeguard_handling.Policy.store
+
+val kept_threats : t -> Homeguard_detector.Threat.t list
+(** Threats accepted (via [Keep]) so far — the mediator's input. *)
+
+val mediator :
+  ?defer_delay_ms:int -> ?max_deferrals:int -> t -> Homeguard_handling.Mediator.t
+(** Compile the runtime reference monitor over all kept threats under
+    the current decisions. *)

@@ -1,0 +1,212 @@
+(** The runtime reference monitor (paper §VII "handling").
+
+    Compiles detected threats plus the user's per-threat decisions into
+    fast lookup tables consulted once per actuator command: a blocked
+    set (per rule), an actuator-priority loser set (per rule × command),
+    trigger-chain edges (per downstream rule, matched against the causal
+    provenance the simulator threads through events), and a
+    confirm-pending set (per rule, driving Defer verdicts). Every
+    non-Allow verdict is appended to the enforcement log. *)
+
+module Rule = Homeguard_rules.Rule
+module Threat = Homeguard_detector.Threat
+
+type verdict =
+  | Allow
+  | Suppress of string  (** reason, for the trace and the log *)
+  | Defer of { delay_ms : int; reason : string }
+      (** re-enqueue the command; the engine bumps the deferral count *)
+
+type log_entry = {
+  at : int;
+  threat : string;  (** stable threat id the verdict enforces *)
+  app : string;
+  rule : string;
+  device : string;
+  command : string;
+  outcome : string;  (** ["suppressed: ..."], ["deferred"], ["allowed: confirmed"] *)
+}
+
+type query = {
+  app : string;
+  rule : string;
+  device : string;
+  command : string;
+  provenance : (string * string) list;
+      (** (app, rule) hops that causally led to this command, oldest first *)
+  deferrals : int;  (** how many times this command was already deferred *)
+}
+
+type chain_edge = { upstream : string; hop_budget : int; edge_threat : string }
+
+type stats = { consulted : int; allowed : int; suppressed : int; deferred : int }
+
+type t = {
+  blocked : (string, string) Hashtbl.t;  (** rule key -> threat id *)
+  losers : (string * string, string) Hashtbl.t;  (** (rule key, command) -> threat id *)
+  chains : (string, chain_edge list) Hashtbl.t;  (** downstream rule key -> edges *)
+  confirms : (string, string) Hashtbl.t;  (** rule key -> threat id awaiting confirmation *)
+  confirmed : (string, unit) Hashtbl.t;  (** threat ids the user confirmed *)
+  defer_delay_ms : int;
+  max_deferrals : int;
+  mutable n_consulted : int;
+  mutable n_allowed : int;
+  mutable n_suppressed : int;
+  mutable n_deferred : int;
+  mutable log_rev : log_entry list;
+}
+
+(* -- compilation ------------------------------------------------------------ *)
+
+let device_commands (r : Rule.t) =
+  List.filter_map
+    (fun (a : Rule.action) ->
+      match a.Rule.target with
+      | Rule.Act_device _ | Rule.Act_location_mode -> Some a.Rule.command
+      | Rule.Act_messaging | Rule.Act_http | Rule.Act_hub -> None)
+    r.Rule.actions
+  |> List.sort_uniq compare
+
+let add_edge t ~downstream edge =
+  let existing = Option.value ~default:[] (Hashtbl.find_opt t.chains downstream) in
+  if not (List.mem edge existing) then Hashtbl.replace t.chains downstream (existing @ [ edge ])
+
+let compile_threat t store (threat : Threat.t) =
+  let tid = Policy.threat_id threat in
+  let k1, k2 = Policy.threat_keys threat in
+  let rule_of key =
+    if key = k1 then Some threat.Threat.rule1
+    else if key = k2 then Some threat.Threat.rule2
+    else None
+  in
+  match Policy.decision_for store threat with
+  | Policy.Allow -> ()
+  | Policy.Block { rule } -> Hashtbl.replace t.blocked rule tid
+  | Policy.Prioritize { winner } ->
+    let losers =
+      match List.filter (fun k -> k <> winner) [ k1; k2 ] with
+      | [] -> []
+      | [ _; _ ] -> [ k2 ]  (* winner names neither rule: rule1 wins by default *)
+      | ls -> List.sort_uniq compare ls
+    in
+    List.iter
+      (fun loser ->
+        match rule_of loser with
+        | None -> ()
+        | Some r ->
+          List.iter
+            (fun cmd -> Hashtbl.replace t.losers (loser, cmd) tid)
+            (device_commands r))
+      losers
+  | Policy.Break_chain { hop_budget } ->
+    let edge up = { upstream = up; hop_budget; edge_threat = tid } in
+    if Threat.is_directional threat.Threat.category then
+      add_edge t ~downstream:k2 (edge k1)
+    else begin
+      (* symmetric (LT, or an explicit chain-break on AR/GC): either rule
+         re-fired through the other — or through itself, the self-loop
+         case — counts against the budget *)
+      add_edge t ~downstream:k2 (edge k1);
+      add_edge t ~downstream:k1 (edge k2);
+      add_edge t ~downstream:k1 (edge k1);
+      add_edge t ~downstream:k2 (edge k2)
+    end
+  | Policy.Confirm ->
+    Hashtbl.replace t.confirms k1 tid;
+    if not (Threat.is_directional threat.Threat.category) then
+      Hashtbl.replace t.confirms k2 tid
+
+let create ?(defer_delay_ms = 60_000) ?(max_deferrals = 3) store threats =
+  let t =
+    {
+      blocked = Hashtbl.create 16;
+      losers = Hashtbl.create 16;
+      chains = Hashtbl.create 16;
+      confirms = Hashtbl.create 16;
+      confirmed = Hashtbl.create 16;
+      defer_delay_ms;
+      max_deferrals;
+      n_consulted = 0;
+      n_allowed = 0;
+      n_suppressed = 0;
+      n_deferred = 0;
+      log_rev = [];
+    }
+  in
+  List.iter (compile_threat t store) threats;
+  t
+
+let confirm t threat_id = Hashtbl.replace t.confirmed threat_id ()
+
+(* -- judging ---------------------------------------------------------------- *)
+
+let hops upstream provenance =
+  List.length (List.filter (fun (a, r) -> a ^ "/" ^ r = upstream) provenance)
+
+let judge t ~at (q : query) =
+  t.n_consulted <- t.n_consulted + 1;
+  let key = q.app ^ "/" ^ q.rule in
+  let record threat outcome =
+    t.log_rev <-
+      { at; threat; app = q.app; rule = q.rule; device = q.device; command = q.command; outcome }
+      :: t.log_rev
+  in
+  let suppress threat reason =
+    t.n_suppressed <- t.n_suppressed + 1;
+    record threat ("suppressed: " ^ reason);
+    Suppress reason
+  in
+  match Hashtbl.find_opt t.blocked key with
+  | Some tid -> suppress tid (Printf.sprintf "rule blocked by handling decision %s" tid)
+  | None -> (
+    match Hashtbl.find_opt t.losers (key, q.command) with
+    | Some tid -> suppress tid (Printf.sprintf "lost actuator priority under %s" tid)
+    | None -> (
+      let edges = Option.value ~default:[] (Hashtbl.find_opt t.chains key) in
+      match
+        List.find_opt (fun e -> hops e.upstream q.provenance > e.hop_budget) edges
+      with
+      | Some e ->
+        suppress e.edge_threat
+          (Printf.sprintf "trigger chain broken: %d hop(s) via %s exceed budget %d under %s"
+             (hops e.upstream q.provenance) e.upstream e.hop_budget e.edge_threat)
+      | None -> (
+        match Hashtbl.find_opt t.confirms key with
+        | Some tid when Hashtbl.mem t.confirmed tid ->
+          t.n_allowed <- t.n_allowed + 1;
+          record tid "allowed: confirmed";
+          Allow
+        | Some tid ->
+          if q.deferrals >= t.max_deferrals then
+            suppress tid
+              (Printf.sprintf "unconfirmed after %d deferral(s) under %s" q.deferrals tid)
+          else begin
+            t.n_deferred <- t.n_deferred + 1;
+            record tid "deferred";
+            Defer
+              {
+                delay_ms = t.defer_delay_ms;
+                reason = Printf.sprintf "awaiting confirmation of %s" tid;
+              }
+          end
+        | None ->
+          t.n_allowed <- t.n_allowed + 1;
+          Allow)))
+
+(* -- reporting -------------------------------------------------------------- *)
+
+let log t = List.rev t.log_rev
+
+let stats t =
+  {
+    consulted = t.n_consulted;
+    allowed = t.n_allowed;
+    suppressed = t.n_suppressed;
+    deferred = t.n_deferred;
+  }
+
+let log_entry_to_string e =
+  Printf.sprintf "%6dms  %s/%s -> %s.%s()  %s  [%s]" e.at e.app e.rule e.device e.command
+    e.outcome e.threat
+
+let log_to_string t = String.concat "\n" (List.map log_entry_to_string (log t))

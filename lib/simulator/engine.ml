@@ -16,6 +16,7 @@ module Capability = Homeguard_st.Capability
 module Location = Homeguard_st.Location
 module Env = Homeguard_st.Env_feature
 module Effects = Homeguard_detector.Effects
+module Mediator = Homeguard_handling.Mediator
 
 type binding = B_device of Device.t | B_int of int | B_str of string
 
@@ -26,10 +27,18 @@ type device_state = {
   mutable attrs : (string * string) list;  (** attribute -> rendered value *)
 }
 
+(** Causal provenance: the (app name, rule id) hops whose executions led
+    to an event or command, oldest first, capped so pathological loops
+    cannot grow it without bound. *)
+type provenance = (string * string) list
+
 type pending =
-  | Deliver of { source : string option; attribute : string; value : string }
+  | Deliver of
+      { source : string option; attribute : string; value : string; prov : provenance }
       (** [source = None] means a location event *)
-  | Execute of { iapp : installed_app; rule : Rule.t; action : Rule.action }
+  | Execute of
+      { iapp : installed_app; rule : Rule.t; action : Rule.action; prov : provenance;
+        deferrals : int }
   | Sample  (** periodic environment sampling *)
 
 type t = {
@@ -44,10 +53,19 @@ type t = {
   command_latency_ms : int;
   jitter_ms : int;
   sample_interval_ms : int;
+  mutable mediator : Mediator.t option;
+      (** reference monitor consulted before each Execute dispatch *)
+  feature_prov : (Env.t, provenance) Hashtbl.t;
+      (** provenance of the rule whose actuation last drove each
+          environment feature, so env-mediated trigger chains survive
+          the physical hop *)
+  influence_feats : (string, Env.t list) Hashtbl.t;
+      (** device id -> features it last influenced (for clear paths) *)
+  mutable sample_scheduled : bool;  (** the periodic Sample chain is live *)
 }
 
 let create ?(seed = 1) ?(command_latency_ms = 40) ?(jitter_ms = 150)
-    ?(sample_interval_ms = 30_000) () =
+    ?(sample_interval_ms = 30_000) ?mediator () =
   {
     devices = Hashtbl.create 16;
     env = Env_model.create ();
@@ -60,7 +78,22 @@ let create ?(seed = 1) ?(command_latency_ms = 40) ?(jitter_ms = 150)
     command_latency_ms;
     jitter_ms;
     sample_interval_ms;
+    mediator;
+    feature_prov = Hashtbl.create 8;
+    influence_feats = Hashtbl.create 8;
+    sample_scheduled = false;
   }
+
+let set_mediator t m = t.mediator <- Some m
+
+(* Keep the most recent hops: old hops stop mattering once a chain is
+   this deep, and the cap keeps tight loops from accumulating state. *)
+let max_prov_hops = 32
+
+let cap_prov prov =
+  let rec drop k l = if k <= 0 then l else match l with [] -> [] | _ :: tl -> drop (k - 1) tl in
+  let n = List.length prov in
+  if n <= max_prov_hops then prov else drop (n - max_prov_hops) prov
 
 let next_random t bound =
   t.rng <- ((t.rng * 1_103_515_245) + 12_345) land 0x3FFFFFFF;
@@ -100,7 +133,7 @@ let add_device t device =
 
 let device_state t id = Hashtbl.find_opt t.devices id
 
-let set_attribute t id attribute value =
+let set_attribute t ?(prov = []) id attribute value =
   match device_state t id with
   | None -> ()
   | Some ds ->
@@ -109,17 +142,19 @@ let set_attribute t id attribute value =
       ds.attrs <- (attribute, value) :: List.remove_assoc attribute ds.attrs;
       log t (Trace.Attr_change { at = t.now; device = ds.device.Device.label; attribute; value });
       Event_queue.push t.queue (t.now + 10)
-        (Deliver { source = Some id; attribute; value })
+        (Deliver { source = Some id; attribute; value; prov })
     end
 
-(** Externally inject a sensor reading / state change (test stimulus). *)
+(** Externally inject a sensor reading / state change (test stimulus).
+    External stimuli carry no rule provenance. *)
 let stimulate t id attribute value = set_attribute t id attribute value
 
-let set_mode t mode =
+let set_mode ?(prov = []) t mode =
   if t.location.Location.current_mode <> mode then begin
     Location.set_mode t.location mode;
     log t (Trace.Mode_change { at = t.now; mode });
-    Event_queue.push t.queue (t.now + 10) (Deliver { source = None; attribute = "mode"; value = mode })
+    Event_queue.push t.queue (t.now + 10)
+      (Deliver { source = None; attribute = "mode"; value = mode; prov })
   end
 
 (* -- app installation ------------------------------------------------------ *)
@@ -140,7 +175,9 @@ let install t app bindings =
           | None, None -> 60_000
         in
         List.iter
-          (fun action -> Event_queue.push t.queue first (Execute { iapp; rule; action }))
+          (fun action ->
+            Event_queue.push t.queue first
+              (Execute { iapp; rule; action; prov = []; deferrals = 0 }))
           rule.Rule.actions
       | Rule.Event _ -> ())
     app.Rule.rules
@@ -250,16 +287,17 @@ let trigger_matches t iapp (rule : Rule.t) ~source ~attribute ~value =
     in
     holds t iapp data constraint_
 
-let fire_rule t iapp (rule : Rule.t) =
+let fire_rule t prov iapp (rule : Rule.t) =
   List.iter
     (fun (action : Rule.action) ->
       let delay =
         (action.Rule.when_ * 1000) + t.command_latency_ms + next_random t t.jitter_ms
       in
-      Event_queue.push t.queue (t.now + delay) (Execute { iapp; rule; action }))
+      Event_queue.push t.queue (t.now + delay)
+        (Execute { iapp; rule; action; prov; deferrals = 0 }))
     rule.Rule.actions
 
-let deliver t ~source ~attribute ~value =
+let deliver t prov ~source ~attribute ~value =
   log t
     (Trace.Event_fired
        {
@@ -280,13 +318,15 @@ let deliver t ~source ~attribute ~value =
         (fun rule ->
           if trigger_matches t iapp rule ~source ~attribute ~value then
             if holds t iapp rule.Rule.condition.Rule.data rule.Rule.condition.Rule.predicate
-            then fire_rule t iapp rule)
+            then fire_rule t prov iapp rule)
         iapp.app.Rule.rules)
     t.apps
 
 (* Apply an actuator command: update the written attribute, adjust
-   environment influences per the goal-effect map. *)
-let execute t iapp (rule : Rule.t) (action : Rule.action) =
+   environment influences per the goal-effect map. [prov] is the causal
+   chain that led here; the write provenance appends this rule. *)
+let execute t prov iapp (rule : Rule.t) (action : Rule.action) =
+  let wprov = cap_prov (prov @ [ (iapp.app.Rule.name, rule.Rule.rule_id) ]) in
   match action.Rule.target with
   | Rule.Act_location_mode -> (
     match action.Rule.params with
@@ -300,7 +340,7 @@ let execute t iapp (rule : Rule.t) (action : Rule.action) =
              device = "location";
              command = "setLocationMode(" ^ mode ^ ")";
            });
-      set_mode t mode
+      set_mode ~prov:wprov t mode
     | _ -> ())
   | Rule.Act_messaging | Rule.Act_http | Rule.Act_hub ->
     log t
@@ -329,25 +369,42 @@ let execute t iapp (rule : Rule.t) (action : Rule.action) =
       List.iter
         (fun (w : Homeguard_detector.Channels.attr_write) ->
           match w.Homeguard_detector.Channels.w_value with
-          | Some (Term.Str v) -> set_attribute t d.Device.id w.Homeguard_detector.Channels.w_attr v
+          | Some (Term.Str v) ->
+            set_attribute t ~prov:wprov d.Device.id w.Homeguard_detector.Channels.w_attr v
           | Some (Term.Int n) ->
-            set_attribute t d.Device.id w.Homeguard_detector.Channels.w_attr (string_of_int n)
+            set_attribute t ~prov:wprov d.Device.id w.Homeguard_detector.Channels.w_attr
+              (string_of_int n)
           | Some term -> (
             match term_value t iapp rule.Rule.condition.Rule.data term with
             | Some (`I n) ->
-              set_attribute t d.Device.id w.Homeguard_detector.Channels.w_attr (string_of_int n)
-            | Some (`S s) -> set_attribute t d.Device.id w.Homeguard_detector.Channels.w_attr s
+              set_attribute t ~prov:wprov d.Device.id w.Homeguard_detector.Channels.w_attr
+                (string_of_int n)
+            | Some (`S s) ->
+              set_attribute t ~prov:wprov d.Device.id w.Homeguard_detector.Channels.w_attr s
             | None -> ())
           | None -> ())
         (Homeguard_detector.Channels.attribute_writes iapp.app action);
-      (* environment influence *)
+      (* environment influence; the driving rule's provenance sticks to
+         the affected features so chains survive the physical hop *)
       let effects = Effects.effects_of_action iapp.app action in
       let deactivating = List.mem action.Rule.command [ "off"; "close"; "stop"; "pause" ] in
-      if deactivating then Env_model.clear_influences t.env d.Device.id
-      else if effects <> [] then
-        Env_model.set_influences t.env d.Device.id (Env_model.rates_of_effects effects))
+      if deactivating then begin
+        Env_model.clear_influences t.env d.Device.id;
+        match Hashtbl.find_opt t.influence_feats d.Device.id with
+        | Some feats -> List.iter (fun f -> Hashtbl.replace t.feature_prov f wprov) feats
+        | None -> ()
+      end
+      else if effects <> [] then begin
+        let rates = Env_model.rates_of_effects effects in
+        Env_model.set_influences t.env d.Device.id rates;
+        let feats = List.map fst rates in
+        Hashtbl.replace t.influence_feats d.Device.id feats;
+        List.iter (fun f -> Hashtbl.replace t.feature_prov f wprov) feats
+      end)
 
-(* Sample: step the environment and refresh sensor readings. *)
+(* Sample: step the environment and refresh sensor readings. A sampled
+   change inherits the provenance of the rule that last drove the
+   feature, so env-mediated trigger chains stay attributable. *)
 let sample t =
   Env_model.step t.env ~dt_ms:t.sample_interval_ms;
   Hashtbl.iter
@@ -357,23 +414,85 @@ let sample t =
           match Env.of_sensor_attribute attr with
           | Some feature ->
             let v = int_of_float (Float.round (Env_model.value t.env feature)) in
-            set_attribute t id attr (string_of_int v)
+            let prov = Option.value ~default:[] (Hashtbl.find_opt t.feature_prov feature) in
+            set_attribute t ~prov id attr (string_of_int v)
           | None -> ())
         (Device.attributes ds.device))
     t.devices
 
-(** Run the simulation until [until_ms]. *)
+(* The device label the mediator sees for an action — the same label
+   [execute] logs in the trace. *)
+let action_device iapp (action : Rule.action) =
+  match action.Rule.target with
+  | Rule.Act_device var -> (
+    match device_of_var iapp var with Some d -> Some d.Device.label | None -> None)
+  | Rule.Act_location_mode -> Some "location"
+  | Rule.Act_messaging | Rule.Act_http | Rule.Act_hub ->
+    Some (Rule.target_to_string action.Rule.target)
+
+(* Consult the mediator (when armed) before dispatching a command. *)
+let dispatch t iapp rule action prov deferrals =
+  match t.mediator with
+  | None -> execute t prov iapp rule action
+  | Some m -> (
+    match action_device iapp action with
+    | None -> execute t prov iapp rule action
+    | Some device -> (
+      let query =
+        {
+          Mediator.app = iapp.app.Rule.name;
+          rule = rule.Rule.rule_id;
+          device;
+          command = action.Rule.command;
+          provenance = prov;
+          deferrals;
+        }
+      in
+      match Mediator.judge m ~at:t.now query with
+      | Mediator.Allow -> execute t prov iapp rule action
+      | Mediator.Suppress reason ->
+        log t
+          (Trace.Suppressed
+             {
+               at = t.now;
+               app = iapp.app.Rule.name;
+               rule = rule.Rule.rule_id;
+               device;
+               command = action.Rule.command;
+               reason;
+             })
+      | Mediator.Defer { delay_ms; _ } ->
+        let until = t.now + delay_ms in
+        log t
+          (Trace.Deferred
+             {
+               at = t.now;
+               app = iapp.app.Rule.name;
+               rule = rule.Rule.rule_id;
+               device;
+               command = action.Rule.command;
+               until;
+             });
+        Event_queue.push t.queue until
+          (Execute { iapp; rule; action; prov; deferrals = deferrals + 1 })))
+
+(** Run the simulation until [until_ms]. Events scheduled past the
+    horizon (a deferred command, the next sample) stay queued for later
+    [run] calls. *)
 let run t ~until_ms =
-  Event_queue.push t.queue (t.now + t.sample_interval_ms) Sample;
+  if not t.sample_scheduled then begin
+    t.sample_scheduled <- true;
+    Event_queue.push t.queue (t.now + t.sample_interval_ms) Sample
+  end;
   let rec loop () =
-    match Event_queue.pop t.queue with
+    match Event_queue.pop_until t.queue until_ms with
     | None -> ()
-    | Some (time, _) when time > until_ms -> ()
     | Some (time, item) ->
       t.now <- max t.now time;
       (match item with
-      | Deliver { source; attribute; value } -> deliver t ~source ~attribute ~value
-      | Execute { iapp; rule; action } -> execute t iapp rule action
+      | Deliver { source; attribute; value; prov } -> deliver t prov ~source ~attribute ~value
+      | Execute { iapp; rule; action; prov; deferrals } ->
+        dispatch t iapp rule action prov deferrals
       | Sample ->
         sample t;
         Event_queue.push t.queue (t.now + t.sample_interval_ms) Sample);

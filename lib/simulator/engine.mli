@@ -16,9 +16,15 @@ type device_state = {
   mutable attrs : (string * string) list;
 }
 
+type provenance = (string * string) list
+(** Causal (app name, rule id) hops, oldest first, capped in length. *)
+
 type pending =
-  | Deliver of { source : string option; attribute : string; value : string }
-  | Execute of { iapp : installed_app; rule : Rule.t; action : Rule.action }
+  | Deliver of
+      { source : string option; attribute : string; value : string; prov : provenance }
+  | Execute of
+      { iapp : installed_app; rule : Rule.t; action : Rule.action; prov : provenance;
+        deferrals : int }
   | Sample
 
 type t = {
@@ -33,6 +39,10 @@ type t = {
   command_latency_ms : int;
   jitter_ms : int;
   sample_interval_ms : int;
+  mutable mediator : Homeguard_handling.Mediator.t option;
+  feature_prov : (Homeguard_st.Env_feature.t, provenance) Hashtbl.t;
+  influence_feats : (string, Homeguard_st.Env_feature.t list) Hashtbl.t;
+  mutable sample_scheduled : bool;
 }
 
 val create :
@@ -40,8 +50,13 @@ val create :
   ?command_latency_ms:int ->
   ?jitter_ms:int ->
   ?sample_interval_ms:int ->
+  ?mediator:Homeguard_handling.Mediator.t ->
   unit ->
   t
+
+val set_mediator : t -> Homeguard_handling.Mediator.t -> unit
+(** Arm (or swap) the reference monitor; consulted before every
+    subsequent Execute dispatch. *)
 
 val trace : t -> Trace.t
 
@@ -52,7 +67,7 @@ val stimulate : t -> string -> string -> string -> unit
 (** [stimulate t device_id attribute value] — inject a state change or
     sensor reading (the test stimulus). *)
 
-val set_mode : t -> string -> unit
+val set_mode : ?prov:provenance -> t -> string -> unit
 
 val install : t -> Rule.smartapp -> (string * binding) list -> unit
 (** Install an extracted app with concrete device/value bindings;

@@ -34,6 +34,15 @@ let pop q =
     q.entries <- KMap.remove key q.entries;
     Some (time, item)
 
+(** [pop_until q bound] removes and returns the earliest [(time, item)]
+    with [time <= bound]; entries past the bound stay queued. *)
+let pop_until q bound =
+  match KMap.min_binding_opt q.entries with
+  | Some (((time, _) as key), item) when time <= bound ->
+    q.entries <- KMap.remove key q.entries;
+    Some (time, item)
+  | _ -> None
+
 (** Earliest scheduled time, if any. *)
 let peek_time q =
   Option.map (fun ((time, _), _) -> time) (KMap.min_binding_opt q.entries)

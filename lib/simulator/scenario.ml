@@ -16,9 +16,10 @@ type outcome = {
       (** device label, attribute, final value *)
 }
 
-(** Outcome of one seeded run of [setup; stimulate; run]. *)
-let run_once ?(seed = 1) ~until_ms ~setup ~watch () =
-  let t = Engine.create ~seed () in
+(** Outcome of one seeded run of [setup; stimulate; run], optionally
+    under a reference monitor. *)
+let run_once ?(seed = 1) ?mediator ~until_ms ~setup ~watch () =
+  let t = Engine.create ~seed ?mediator () in
   setup t;
   Engine.run t ~until_ms;
   let trace = Engine.trace t in
@@ -31,12 +32,13 @@ let run_once ?(seed = 1) ~until_ms ~setup ~watch () =
 (** Run the same scenario under many seeds and collect the distinct
     final states of the watched attribute — the actuator-race
     nondeterminism measurement. *)
-let race_outcomes ?(seeds = [ 1; 2; 3; 4; 5; 6; 7; 8; 9; 10 ]) ~until_ms ~setup
+let race_outcomes ?(seeds = [ 1; 2; 3; 4; 5; 6; 7; 8; 9; 10 ]) ?mediator ~until_ms ~setup
     ~device ~attribute () =
   let outcomes =
     List.map
       (fun seed ->
-        let o = run_once ~seed ~until_ms ~setup ~watch:[ (device, attribute) ] () in
+        let mediator = Option.map (fun make -> make ()) mediator in
+        let o = run_once ~seed ?mediator ~until_ms ~setup ~watch:[ (device, attribute) ] () in
         let timeline = Trace.attribute_timeline o.trace device attribute in
         (List.map snd timeline, Trace.final_attribute o.trace device attribute))
       seeds

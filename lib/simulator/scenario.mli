@@ -8,6 +8,7 @@ type outcome = {
 
 val run_once :
   ?seed:int ->
+  ?mediator:Homeguard_handling.Mediator.t ->
   until_ms:int ->
   setup:(Engine.t -> unit) ->
   watch:(string * string) list ->
@@ -16,6 +17,7 @@ val run_once :
 
 val race_outcomes :
   ?seeds:int list ->
+  ?mediator:(unit -> Homeguard_handling.Mediator.t) ->
   until_ms:int ->
   setup:(Engine.t -> unit) ->
   device:string ->
@@ -23,4 +25,6 @@ val race_outcomes :
   unit ->
   (string list * string option) list
 (** Distinct (timeline, final state) pairs of the watched attribute
-    across seeded runs — the actuator-race nondeterminism measurement. *)
+    across seeded runs — the actuator-race nondeterminism measurement.
+    [mediator] is a factory: each seeded run gets a fresh monitor so
+    deferral and log state never leaks across seeds. *)

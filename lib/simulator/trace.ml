@@ -6,12 +6,22 @@ type entry =
   | Attr_change of { at : int; device : string; attribute : string; value : string }
   | Mode_change of { at : int; mode : string }
   | Event_fired of { at : int; source : string; attribute : string; value : string }
+  | Suppressed of
+      { at : int; app : string; rule : string; device : string; command : string; reason : string }
+      (** the mediator suppressed a command before dispatch *)
+  | Deferred of
+      { at : int; app : string; rule : string; device : string; command : string; until : int }
+      (** the mediator deferred a command; it is re-enqueued at [until] *)
 
 type t = entry list  (** chronological order *)
 
 let time_of = function
-  | Command { at; _ } | Attr_change { at; _ } | Mode_change { at; _ } | Event_fired { at; _ }
-    ->
+  | Command { at; _ }
+  | Attr_change { at; _ }
+  | Mode_change { at; _ }
+  | Event_fired { at; _ }
+  | Suppressed { at; _ }
+  | Deferred { at; _ } ->
     at
 
 let entry_to_string = function
@@ -22,6 +32,11 @@ let entry_to_string = function
   | Mode_change { at; mode } -> Printf.sprintf "%6dms  location.mode := %s" at mode
   | Event_fired { at; source; attribute; value } ->
     Printf.sprintf "%6dms  event %s.%s = %s" at source attribute value
+  | Suppressed { at; app; rule; device; command; reason } ->
+    Printf.sprintf "%6dms  SUPPRESSED %s/%s -> %s.%s()  (%s)" at app rule device command reason
+  | Deferred { at; app; rule; device; command; until } ->
+    Printf.sprintf "%6dms  DEFERRED %s/%s -> %s.%s()  until %dms" at app rule device command
+      until
 
 let to_string trace = String.concat "\n" (List.map entry_to_string trace)
 
@@ -59,13 +74,26 @@ let flap_count trace device attribute =
   in
   count values
 
+(** Commands the mediator suppressed on [device], in order. *)
+let suppressed_commands trace device =
+  List.filter_map
+    (function
+      | Suppressed { at; command; device = d; _ } when d = device -> Some (at, command)
+      | _ -> None)
+    trace
+
 (** Did two contradictory commands land on [device] within [window_ms]?
-    (Actuator-race witness.) *)
+    (Actuator-race witness.) The [opposites] pairs are unordered — either
+    command of a pair may come first — and an entry never races itself. *)
 let opposite_commands_within trace device ~window_ms ~opposites =
-  let cmds = commands_on trace device in
-  List.exists
-    (fun (t1, c1) ->
-      List.exists
-        (fun (t2, c2) -> abs (t2 - t1) <= window_ms && List.mem (c1, c2) opposites)
-        cmds)
-    cmds
+  let cmds = Array.of_list (commands_on trace device) in
+  let opposed c1 c2 = List.mem (c1, c2) opposites || List.mem (c2, c1) opposites in
+  let n = Array.length cmds in
+  let found = ref false in
+  for i = 0 to n - 1 do
+    for j = i + 1 to n - 1 do
+      let t1, c1 = cmds.(i) and t2, c2 = cmds.(j) in
+      if abs (t2 - t1) <= window_ms && opposed c1 c2 then found := true
+    done
+  done;
+  !found

@@ -6,6 +6,12 @@ type entry =
   | Attr_change of { at : int; device : string; attribute : string; value : string }
   | Mode_change of { at : int; mode : string }
   | Event_fired of { at : int; source : string; attribute : string; value : string }
+  | Suppressed of
+      { at : int; app : string; rule : string; device : string; command : string; reason : string }
+      (** the mediator suppressed a command before dispatch *)
+  | Deferred of
+      { at : int; app : string; rule : string; device : string; command : string; until : int }
+      (** the mediator deferred a command; it re-enters the queue at [until] *)
 
 type t = entry list
 
@@ -14,6 +20,10 @@ val entry_to_string : entry -> string
 val to_string : t -> string
 
 val commands_on : t -> string -> (int * string) list
+
+val suppressed_commands : t -> string -> (int * string) list
+(** Commands the mediator suppressed on the device, in order. *)
+
 val attribute_timeline : t -> string -> string -> (int * string) list
 val final_attribute : t -> string -> string -> string option
 
@@ -23,4 +33,5 @@ val flap_count : t -> string -> string -> int
 val opposite_commands_within :
   t -> string -> window_ms:int -> opposites:(string * string) list -> bool
 (** Did contradictory commands land on the device within the window?
-    (Actuator-race witness.) *)
+    (Actuator-race witness.) The [opposites] pairs are unordered, and an
+    entry is never compared against itself. *)

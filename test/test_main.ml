@@ -17,6 +17,7 @@ let () =
       ("chain", Test_chain.tests);
       ("ifttt", Test_ifttt.tests);
       ("simulator", Test_sim.tests);
+      ("handling", Test_handling.tests);
       ("config", Test_config.tests);
       ("frontend", Test_frontend.tests);
       ("corpus", Test_corpus.tests);

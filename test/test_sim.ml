@@ -49,6 +49,27 @@ let queue_property =
       let popped = drain [] in
       popped = List.sort compare times)
 
+let queue_pop_until_bound =
+  test "pop_until respects the time bound" (fun () ->
+      let q = Event_queue.create () in
+      Event_queue.push q 10 "a";
+      Event_queue.push q 20 "b";
+      Event_queue.push q 30 "c";
+      check_bool "pops at the bound" true (Event_queue.pop_until q 20 = Some (10, "a"));
+      check_bool "pops exactly at the bound" true (Event_queue.pop_until q 20 = Some (20, "b"));
+      check_bool "beyond the bound stays queued" true (Event_queue.pop_until q 20 = None);
+      check_int "later entry survives" 1 (Event_queue.size q);
+      check_bool "a wider bound releases it" true (Event_queue.pop_until q 30 = Some (30, "c")))
+
+let queue_pop_until_fifo =
+  test "pop_until keeps FIFO order among same-time entries" (fun () ->
+      let q = Event_queue.create () in
+      Event_queue.push q 7 "first";
+      Event_queue.push q 7 "second";
+      Event_queue.push q 7 "third";
+      let order = List.init 3 (fun _ -> snd (Option.get (Event_queue.pop_until q 7))) in
+      Alcotest.(check (list string)) "insertion order" [ "first"; "second"; "third" ] order)
+
 (* -- environment model ------------------------------------------------------ *)
 
 let env_relaxes_to_baseline =
@@ -185,6 +206,65 @@ let scheduled_rule_fires =
       check_bool "coffee on" true
         (Trace.final_attribute (Engine.trace t) "Coffee maker" "switch" = Some "on"))
 
+(* -- trace analyzers ---------------------------------------------------------- *)
+
+let cmd at app device command = Trace.Command { at; app; rule = app ^ "#1"; device; command }
+
+let opposites_symmetric =
+  test "opposite_commands_within is symmetric in the pair order" (fun () ->
+      (* the pair is declared (on, off) but the off lands first *)
+      let trace = [ cmd 0 "A" "Plug" "off"; cmd 2_000 "B" "Plug" "on" ] in
+      check_bool "reversed order still detected" true
+        (Trace.opposite_commands_within trace "Plug" ~window_ms:5_000 ~opposites:[ ("on", "off") ]))
+
+let opposites_no_self_match =
+  test "opposite_commands_within never compares an entry with itself" (fun () ->
+      (* a self-inverse command: one occurrence must not race itself... *)
+      let one = [ cmd 0 "A" "Plug" "toggle" ] in
+      check_bool "single toggle is not a race" false
+        (Trace.opposite_commands_within one "Plug" ~window_ms:5_000
+           ~opposites:[ ("toggle", "toggle") ]);
+      (* ...but two distinct occurrences do *)
+      let two = [ cmd 0 "A" "Plug" "toggle"; cmd 1_000 "B" "Plug" "toggle" ] in
+      check_bool "two toggles race" true
+        (Trace.opposite_commands_within two "Plug" ~window_ms:5_000
+           ~opposites:[ ("toggle", "toggle") ]))
+
+let opposites_window_respected =
+  test "opposite_commands_within honours the time window" (fun () ->
+      let trace = [ cmd 0 "A" "Plug" "on"; cmd 60_000 "B" "Plug" "off" ] in
+      check_bool "outside the window" false
+        (Trace.opposite_commands_within trace "Plug" ~window_ms:5_000 ~opposites:[ ("on", "off") ]);
+      check_bool "inside a wider window" true
+        (Trace.opposite_commands_within trace "Plug" ~window_ms:60_000
+           ~opposites:[ ("on", "off") ]))
+
+let attr at device attribute value = Trace.Attr_change { at; device; attribute; value }
+
+let flap_count_counts_flips =
+  test "flap_count counts value flips, not changes" (fun () ->
+      let trace =
+        [ attr 0 "Lamp" "switch" "on"; attr 1 "Lamp" "switch" "on"; attr 2 "Lamp" "switch" "off";
+          attr 3 "Lamp" "switch" "off"; attr 4 "Lamp" "switch" "on" ]
+      in
+      check_int "on,on,off,off,on = 2 flips" 2 (Trace.flap_count trace "Lamp" "switch");
+      check_int "empty trace" 0 (Trace.flap_count [] "Lamp" "switch");
+      check_int "a single value cannot flip" 0
+        (Trace.flap_count [ attr 0 "Lamp" "switch" "on" ] "Lamp" "switch"))
+
+let attribute_timeline_filters =
+  test "attribute_timeline filters by device and attribute" (fun () ->
+      let trace =
+        [ attr 0 "Lamp" "switch" "on"; attr 1 "Fan" "switch" "on"; attr 2 "Lamp" "level" "80";
+          attr 3 "Lamp" "switch" "off"; cmd 4 "A" "Lamp" "off" ]
+      in
+      Alcotest.(check (list (pair int string)))
+        "only Lamp.switch changes"
+        [ (0, "on"); (3, "off") ]
+        (Trace.attribute_timeline trace "Lamp" "switch");
+      check_bool "final value" true (Trace.final_attribute trace "Lamp" "switch" = Some "off");
+      check_bool "absent attribute" true (Trace.final_attribute trace "Fan" "level" = None))
+
 (* -- dynamic verification of detected threats -------------------------------- *)
 
 let window = Device.make ~label:"Window opener" ~device_type:"window" [ "switch" ]
@@ -281,6 +361,8 @@ let tests =
     queue_fifo_same_time;
     queue_empty;
     queue_property;
+    queue_pop_until_bound;
+    queue_pop_until_fifo;
     env_relaxes_to_baseline;
     env_influences_push;
     env_power_instantaneous;
@@ -292,6 +374,11 @@ let tests =
     user_value_binding;
     mode_events_fire_rules;
     scheduled_rule_fires;
+    opposites_symmetric;
+    opposites_no_self_match;
+    opposites_window_respected;
+    flap_count_counts_flips;
+    attribute_timeline_filters;
     actuator_race_nondeterministic;
     race_commands_both_issued;
     dc_alarm_bypass;
