@@ -640,6 +640,74 @@ let h1_mediation () =
     (if judged = 0 then 0.0 else (t_med -. t_plain) *. 1000.0 /. float_of_int (reps * judged));
   print_endline "(all three E2 witnesses disappear under the default §VII decisions)"
 
+(* ------------------------------------------------------------------ J1 *)
+
+(* Durable home-state journal: append throughput with and without the
+   per-append fsync point, recovery replay time from a populated
+   journal, and compaction time / size reduction. *)
+let j1_journal () =
+  section "J1. Durable journal: append / replay / compaction throughput";
+  let module Journal = Homeguard_store.Journal in
+  let module Event = Homeguard_store.Event in
+  let module Home = Homeguard_store.Home in
+  let fresh_dir tag =
+    let dir =
+      Filename.concat (Filename.get_temp_dir_name ())
+        (Printf.sprintf "hg_bench_%s_%d" tag (Unix.getpid ()))
+    in
+    ignore (Sys.command (Printf.sprintf "rm -rf %s" (Filename.quote dir)));
+    dir
+  in
+  let config_payload i =
+    Event.to_string
+      (Event.Config
+         { seq = Some i; uri = Printf.sprintf "http://my.com/appname:App%d/x:%d/" (i mod 7) i })
+  in
+  let append_run ~fsync n =
+    let dir = fresh_dir "append" in
+    Unix.mkdir dir 0o755;
+    let j = Journal.open_append ~fsync (Filename.concat dir "journal") in
+    let (), ms =
+      time_ms (fun () ->
+          for i = 1 to n do
+            Journal.append j (config_payload i)
+          done)
+    in
+    Journal.close j;
+    (ms, float_of_int n /. ms *. 1000.0)
+  in
+  let n_buffered = 5_000 and n_synced = 500 in
+  let ms_b, rate_b = append_run ~fsync:false n_buffered in
+  Printf.printf "append (no fsync):   %5d records in %7.1fms (%.0f rec/s)\n" n_buffered ms_b
+    rate_b;
+  let ms_s, rate_s = append_run ~fsync:true n_synced in
+  Printf.printf "append (fsync each): %5d records in %7.1fms (%.0f rec/s)\n" n_synced ms_s
+    rate_s;
+  (* recovery replay: a home with the two demo apps, a decision and a
+     run of sequenced configs *)
+  let dir = fresh_dir "home" in
+  let home, _ = Home.open_ ~dir () in
+  for i = 1 to 200 do
+    ignore
+      (Home.deliver home ~seq:i (Printf.sprintf "http://my.com/appname:App%d/x:%d/" (i mod 7) i))
+  done;
+  (match Home.install_app home (app "ComfortTV") with _ -> ());
+  (match Home.install_app home (app "ColdDefender") with _ -> ());
+  Home.set_decision home "EC:ColdDefender/ColdDefender#1->ComfortTV/ComfortTV#1" Policy.Allow;
+  let jsize = Home.journal_size home in
+  Home.close home;
+  let (home, report), ms_replay = time_ms (fun () -> Home.open_ ~dir ()) in
+  Printf.printf "recovery replay:     %d records (%d bytes) in %.1fms\n"
+    report.Home.journal_records jsize ms_replay;
+  let (), ms_compact = time_ms (fun () -> Home.compact home) in
+  Printf.printf "compaction:          %d -> %d bytes in %.1fms\n" jsize
+    (Home.snapshot_size home) ms_compact;
+  Home.close home;
+  let (home', report'), ms_replay' = time_ms (fun () -> Home.open_ ~dir ()) in
+  Printf.printf "replay post-compact: %d snapshot records in %.1fms\n"
+    report'.Home.snapshot_records ms_replay';
+  Home.close home'
+
 (* ---------------------------------------------------------- bechamel *)
 
 let bechamel_suite () =
@@ -750,5 +818,6 @@ let () =
   a3_solver_ablation ();
   x1_multi_platform ();
   h1_mediation ();
+  j1_journal ();
   bechamel_suite ();
   print_endline "\nAll experiment sections completed."

@@ -11,7 +11,12 @@
       optionally under runtime mediation ([--enforce]).
     - [handle FILE...]: report threats with their recommended handling
       decisions (§VII).
-    - [corpus]: list the bundled corpus. *)
+    - [corpus]: list the bundled corpus.
+    - [serve --state-dir DIR]: run a durable home on a write-ahead
+      journal, driven by a line protocol on stdin.
+    - [recover --state-dir DIR]: recover a (possibly damaged) journal,
+      report what was lost, and re-audit the apps touched by damage.
+    - [compact --state-dir DIR]: fold the journal into a snapshot. *)
 
 module Rule = Homeguard_rules.Rule
 module Extract = Homeguard_symexec.Extract
@@ -380,10 +385,214 @@ let corpus_cmd =
   in
   Cmd.v (Cmd.info "corpus" ~doc:"List the bundled SmartApp corpus") Term.(const run $ const ())
 
+(* -- durable home state (serve / recover / compact) --------------------------- *)
+
+module Home = Homeguard_store.Home
+module Ingest = Homeguard_store.Ingest
+
+let state_dir_arg =
+  Arg.(
+    required
+    & opt (some string) None
+    & info [ "state-dir" ] ~docv:"DIR"
+        ~doc:"Directory holding the home's journal and snapshot (created if missing).")
+
+let no_fsync_arg =
+  Arg.(
+    value & flag
+    & info [ "no-fsync" ]
+        ~doc:"Skip fsync after journal appends (faster, loses the crash-durability guarantee).")
+
+let online_arg =
+  Arg.(
+    value & flag
+    & info [ "online" ]
+        ~doc:
+          "Match devices by exact recorded identity only (deployment-accurate online \
+           mode). The default mixes offline device-type matching with recorded \
+           configuration constraints.")
+
+let home_mode online = if online then Home.Online else Home.Mixed
+
+let print_recovery (r : Home.recovery_report) =
+  Printf.printf "recovered: %d snapshot + %d journal record(s)\n" r.Home.snapshot_records
+    r.Home.journal_records;
+  if r.Home.torn_bytes > 0 then
+    Printf.printf "torn tail truncated: %d byte(s)\n" r.Home.torn_bytes;
+  if r.Home.quarantined > 0 then
+    Printf.printf "corrupt records quarantined: %d\n" r.Home.quarantined;
+  if r.Home.skipped_events > 0 then
+    Printf.printf "undecodable events skipped: %d\n" r.Home.skipped_events;
+  if r.Home.changed_apps <> [] then
+    Printf.printf "apps touched by damage: %s\n" (String.concat ", " r.Home.changed_apps)
+
+let print_delivery = function
+  | Home.Accepted (Ingest.Applied n) -> Printf.printf "applied %d message(s)\n" n
+  | Home.Accepted Ingest.Duplicate -> print_endline "duplicate (dropped)"
+  | Home.Accepted Ingest.Buffered -> print_endline "buffered (out of order)"
+  | Home.Accepted Ingest.Overflow -> print_endline "rejected: reorder window overflow"
+  | Home.Malformed m -> Printf.printf "rejected: %s\n" m
+
+(** Line protocol for [serve]: one command per line on stdin. *)
+let serve_help =
+  {|commands:
+  install FILE      extract FILE, detect threats, leave the proposal pending
+  keep              accept the pending proposal (journaled)
+  reject            discard the pending proposal
+  config URI        record a configuration URI (journaled)
+  deliver SEQ URI   sequenced delivery (dedup + reordering, journaled)
+  uninstall NAME    remove an installed app (journaled)
+  decision ID D     override handling for threat ID; D one of
+                    allow | confirm | block RULE | prioritize RULE | break N
+  status            installed apps, watermark, journal size
+  audit             full re-audit of the installed home
+  compact           fold the journal into a snapshot
+  help              this text
+  quit              close the journal and exit|}
+
+let parse_decision = function
+  | [ "allow" ] -> Some Policy.Allow
+  | [ "confirm" ] -> Some Policy.Confirm
+  | [ "block"; rule ] -> Some (Policy.Block { rule })
+  | [ "prioritize"; winner ] -> Some (Policy.Prioritize { winner })
+  | [ "break"; n ] -> (
+    match int_of_string_opt n with
+    | Some hop_budget -> Some (Policy.Break_chain { hop_budget })
+    | None -> None)
+  | _ -> None
+
+let serve_line home line =
+  let words = String.split_on_char ' ' (String.trim line) |> List.filter (( <> ) "") in
+  match words with
+  | [] -> ()
+  | [ "install"; file ] -> (
+    match load_app file with
+    | { Extract.app; _ } ->
+      let report = Home.propose home app in
+      Printf.printf "%s: %d threat(s)\n" app.Rule.name
+        (List.length report.Homeguard_frontend.Install_flow.threats);
+      if report.Homeguard_frontend.Install_flow.threats <> [] then begin
+        print_endline report.Homeguard_frontend.Install_flow.threats_text;
+        print_endline report.Homeguard_frontend.Install_flow.handling_text
+      end;
+      print_endline "pending: keep | reject"
+    | exception Extract.Extraction_error msg -> Printf.printf "error: %s\n" msg
+    | exception Sys_error msg -> Printf.printf "error: %s\n" msg)
+  | [ "keep" ] -> (
+    match Home.decide home Homeguard_frontend.Install_flow.Keep with
+    | () -> print_endline "kept"
+    | exception Home.No_pending_install -> print_endline "error: nothing pending")
+  | [ "reject" ] -> (
+    match Home.decide home Homeguard_frontend.Install_flow.Reject with
+    | () -> print_endline "rejected"
+    | exception Home.No_pending_install -> print_endline "error: nothing pending")
+  | [ "config"; uri ] -> print_delivery (Home.record_uri home uri)
+  | [ "deliver"; seq; uri ] -> (
+    match int_of_string_opt seq with
+    | Some seq -> print_delivery (Home.deliver home ~seq uri)
+    | None -> print_endline "error: SEQ must be an integer")
+  | [ "uninstall"; name ] ->
+    print_endline (if Home.uninstall home name then "uninstalled" else "error: not installed")
+  | "decision" :: id :: rest -> (
+    match parse_decision rest with
+    | Some d ->
+      Home.set_decision home id d;
+      print_endline "recorded"
+    | None -> print_endline "error: bad decision (see help)")
+  | [ "status" ] ->
+    Printf.printf "installed:%s\n"
+      (String.concat ""
+         (List.map (fun (a : Rule.smartapp) -> " " ^ a.Rule.name) (Home.installed_apps home)));
+    Printf.printf "ack: %d\njournal: %d byte(s), snapshot: %d byte(s)\n" (Home.last_seq home)
+      (Home.journal_size home) (Home.snapshot_size home)
+  | [ "audit" ] -> print_string (Home.audit_text home)
+  | [ "compact" ] ->
+    Home.compact home;
+    Printf.printf "compacted; snapshot: %d byte(s)\n" (Home.snapshot_size home)
+  | [ "help" ] -> print_endline serve_help
+  | _ -> print_endline "error: unknown command (try: help)"
+
+let serve_cmd =
+  let run dir no_fsync online =
+    let home, report = Home.open_ ~fsync:(not no_fsync) ~mode:(home_mode online) ~dir () in
+    print_recovery report;
+    print_endline "ready (try: help)";
+    (try
+       while true do
+         let line = input_line stdin in
+         if String.trim line = "quit" then raise Exit else serve_line home line
+       done
+     with Exit | End_of_file -> ());
+    Home.close home;
+    0
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "Run a durable home on a write-ahead journal, driven by a line protocol on \
+          stdin; every accepted change is journaled and fsynced before it applies")
+    Term.(const run $ state_dir_arg $ no_fsync_arg $ online_arg)
+
+let recover_cmd =
+  let run dir online jobs =
+    let home, report = Home.open_ ~mode:(home_mode online) ~dir () in
+    print_recovery report;
+    Printf.printf "installed apps: %d, watermark: %d\n"
+      (List.length (Home.installed_apps home))
+      (Home.last_seq home);
+    (match Home.reaudit_changed ~jobs:(resolve_jobs jobs) home report with
+    | [] -> print_endline "incremental re-audit: nothing to re-check"
+    | reaudits ->
+      List.iter
+        (fun (name, (result : Detector.audit_result)) ->
+          Printf.printf "re-audit %s: %d threat(s)\n" name
+            (List.length result.Detector.threats);
+          print_audit_health result)
+        reaudits);
+    Home.close home;
+    if report.Home.torn_bytes > 0 || report.Home.quarantined > 0 then 2 else 0
+  in
+  Cmd.v
+    (Cmd.info "recover"
+       ~doc:
+         "Recover a home's (possibly damaged) journal: truncate torn tails, quarantine \
+          corrupt records, replay the rest, and incrementally re-audit the apps the \
+          damage touched. Exits 2 when damage was found and repaired")
+    Term.(const run $ state_dir_arg $ online_arg $ jobs_arg)
+
+let compact_cmd =
+  let run dir online =
+    let home, report = Home.open_ ~mode:(home_mode online) ~dir () in
+    print_recovery report;
+    let before = Home.journal_size home + Home.snapshot_size home in
+    Home.compact home;
+    let after = Home.journal_size home + Home.snapshot_size home in
+    Printf.printf "compacted: %d -> %d byte(s)\n" before after;
+    Home.close home;
+    0
+  in
+  Cmd.v
+    (Cmd.info "compact"
+       ~doc:
+         "Fold a home's journal into a minimal snapshot (current configs, installed \
+          apps, explicit decisions, ingestion watermark) and truncate the journal")
+    Term.(const run $ state_dir_arg $ online_arg)
+
 let main =
   let doc = "detect and handle cross-app interference threats in smart homes" in
   Cmd.group
     (Cmd.info "homeguard" ~version:Homeguard_core.Homeguard.version ~doc)
-    [ extract_cmd; detect_cmd; audit_cmd; instrument_cmd; simulate_cmd; handle_cmd; corpus_cmd ]
+    [
+      extract_cmd;
+      detect_cmd;
+      audit_cmd;
+      instrument_cmd;
+      simulate_cmd;
+      handle_cmd;
+      corpus_cmd;
+      serve_cmd;
+      recover_cmd;
+      compact_cmd;
+    ]
 
 let () = exit (Cmd.eval' main)

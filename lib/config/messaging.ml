@@ -61,20 +61,34 @@ let send t transport uri =
     Some latency
   end
 
-(** Deliver with retries and exponential backoff: up to [max_attempts]
-    sends, waiting (in simulated time) [backoff_ms] before the second
-    attempt and doubling before each further one. Returns
+(** Deliver with retries under capped decorrelated-jitter backoff: up to
+    [max_attempts] sends, waiting (in simulated time) a random interval
+    in [[backoff_ms, min (max_backoff_ms, prev * 3)]] before each
+    re-send. Decorrelating the waits keeps a fleet of homes that lost
+    the same broadcast from re-sending in lockstep, and the cap bounds
+    the worst-case wait; jitter draws come from the transport's seeded
+    generator, so a given seed still replays exactly. Returns
     [Some (total_ms, attempts)] — delivery latency plus all backoff
     spent — or [None] when every attempt was lost. *)
-let send_with_retry ?(max_attempts = 4) ?(backoff_ms = 250.0) t transport uri =
-  let rec go attempt backoff waited =
+let send_with_retry ?(max_attempts = 4) ?(backoff_ms = 250.0) ?(max_backoff_ms = 8_000.0) t
+    transport uri =
+  let base = Float.max 1.0 backoff_ms in
+  let cap = Float.max base max_backoff_ms in
+  let jittered prev =
+    let hi = Float.min cap (prev *. 3.0) in
+    let u = float_of_int (next t mod 1024) /. 1023.0 in
+    base +. (u *. (hi -. base))
+  in
+  let rec go attempt prev waited =
     match send t transport uri with
     | Some latency -> Some (waited +. latency, attempt)
     | None ->
       if attempt >= max_attempts then None
-      else go (attempt + 1) (backoff *. 2.0) (waited +. backoff)
+      else
+        let sleep = jittered prev in
+        go (attempt + 1) sleep (waited +. sleep)
   in
-  if max_attempts <= 0 then None else go 1 backoff_ms 0.0
+  if max_attempts <= 0 then None else go 1 base 0.0
 
 (** Mean latency over [trials] deliveries (the §VIII-C experiment). *)
 let measure_mean t transport ~trials =

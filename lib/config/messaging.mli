@@ -21,11 +21,20 @@ val send : t -> transport -> string -> float option
 (** Deliver a URI; [None] when loss injection drops it. *)
 
 val send_with_retry :
-  ?max_attempts:int -> ?backoff_ms:float -> t -> transport -> string -> (float * int) option
-(** Deliver with up to [max_attempts] (default 4) sends, doubling the
-    simulated backoff (default 250 ms) between attempts. Returns the
-    total elapsed time (backoff included) and the attempts used, or
-    [None] when every attempt was lost. *)
+  ?max_attempts:int ->
+  ?backoff_ms:float ->
+  ?max_backoff_ms:float ->
+  t ->
+  transport ->
+  string ->
+  (float * int) option
+(** Deliver with up to [max_attempts] (default 4) sends under capped
+    decorrelated-jitter backoff: each simulated wait is drawn uniformly
+    from [[backoff_ms, min (max_backoff_ms, prev * 3)]] (defaults 250 ms
+    and 8 s), so retrying fleets desynchronize while a given [?seed]
+    still replays exactly. Returns the total elapsed time (backoff
+    included) and the attempts used, or [None] when every attempt was
+    lost. *)
 
 val measure_mean : t -> transport -> trials:int -> float
 val delivered : t -> (transport * string * float) list

@@ -23,8 +23,23 @@ let record t config =
   t.configs <-
     config :: List.filter (fun c -> c.app_name <> config.app_name) t.configs
 
+(** Plain-decimal integer parse. [int_of_string_opt] also accepts OCaml
+    literal syntax — ["0x1f"], ["0b10"], ["1_000"] — which a URI value
+    never means: a user who typed ["0x1f"] configured a string, and
+    treating it as 31 silently changes solver constraints. *)
+let decimal_of_string_opt s =
+  let n = String.length s in
+  let digits_from i =
+    n > i
+    && (let ok = ref true in
+        String.iteri (fun j c -> if j >= i && not (c >= '0' && c <= '9') then ok := false) s;
+        !ok)
+  in
+  if digits_from (if n > 0 && s.[0] = '-' then 1 else 0) then int_of_string_opt s else None
+
 (** Record from a received configuration URI. Values that parse as
-    integers become numeric terms. *)
+    plain decimal integers become numeric terms; everything else —
+    including ["0x1f"]-style literals — stays a string. *)
 let record_uri t (uri : Config_uri.t) =
   record t
     {
@@ -33,7 +48,7 @@ let record_uri t (uri : Config_uri.t) =
       values =
         List.map
           (fun (var, v) ->
-            match int_of_string_opt v with
+            match decimal_of_string_opt v with
             | Some n -> (var, Term.Int n)
             | None -> (var, Term.Str v))
           uri.Config_uri.values;

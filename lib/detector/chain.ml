@@ -45,6 +45,16 @@ let allow t (threats : Threat.t list) =
   in
   t.edges <- edges @ t.edges
 
+(** Drop every allowed edge touching a rule id with this prefix — used
+    when an app is uninstalled (rule ids are ["<app>#<n>"], so the
+    prefix ["<app>#"] selects exactly its rules). *)
+let disallow_prefix t prefix =
+  let p = String.length prefix in
+  let touches id = String.length id >= p && String.sub id 0 p = prefix in
+  t.edges <- List.filter (fun e -> not (touches e.from_rule || touches e.to_rule)) t.edges
+
+let allowed_edges t = t.edges
+
 (** A chained threat: a path of covert-triggering (or enabling) edges
     from a new rule through allowed pairs. *)
 type chain = { rules : string list; categories : Threat.category list }

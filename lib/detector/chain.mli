@@ -13,6 +13,12 @@ val create : unit -> t
 val allow : t -> Threat.t list -> unit
 (** Record the edges of threats the user decided to keep. *)
 
+val disallow_prefix : t -> string -> unit
+(** Drop every allowed edge touching a rule id with this prefix
+    (["<app>#"] removes an uninstalled app's edges). *)
+
+val allowed_edges : t -> allowed_edge list
+
 type chain = { rules : string list; categories : Threat.category list }
 
 val chain_to_string : chain -> string

@@ -99,6 +99,20 @@ let decide t decision =
 
 let installed_apps t = Rule_db.installed_apps t.db
 
+let pending t = t.pending
+
+(** Remove an installed app: its rules leave the database, its kept
+    threats leave the mediator's input, and its allowed edges leave the
+    chain detector (rule ids are ["<app>#<n>"]). *)
+let uninstall t name =
+  Rule_db.uninstall t.db name;
+  t.kept <-
+    List.filter
+      (fun (th : Threat.t) ->
+        th.Threat.app1.Rule.name <> name && th.Threat.app2.Rule.name <> name)
+      t.kept;
+  Chain.disallow_prefix t.allowed (name ^ "#")
+
 (* -- handling ---------------------------------------------------------------- *)
 
 (** Override the handling decision for one threat (by stable id); in

@@ -31,6 +31,12 @@ val decide : t -> decision -> unit
 
 val installed_apps : t -> Rule.smartapp list
 
+val pending : t -> report option
+(** The proposal awaiting a decision, if any. *)
+
+val uninstall : t -> string -> unit
+(** Remove an installed app, its kept threats and its allowed edges. *)
+
 val set_decision : t -> string -> Homeguard_handling.Policy.decision -> unit
 (** Override the handling decision for a threat (by stable id); applies
     to every mediator compiled afterwards. *)

@@ -1,0 +1,21 @@
+(** CRC-32 (IEEE 802.3, the zlib polynomial), table-driven.
+
+    Journal records are framed with a CRC over their payload so recovery
+    can tell a torn or bit-flipped record from a good one. Pure OCaml —
+    the container must not need zlib bindings. *)
+
+let table =
+  lazy
+    (Array.init 256 (fun n ->
+         let c = ref n in
+         for _ = 0 to 7 do
+           c := if !c land 1 = 1 then 0xEDB88320 lxor (!c lsr 1) else !c lsr 1
+         done;
+         !c))
+
+(** CRC-32 of [s], as a non-negative int below 2^32. *)
+let string s =
+  let t = Lazy.force table in
+  let c = ref 0xFFFFFFFF in
+  String.iter (fun ch -> c := t.((!c lxor Char.code ch) land 0xff) lxor (!c lsr 8)) s;
+  !c lxor 0xFFFFFFFF

@@ -1,0 +1,4 @@
+(** CRC-32 (IEEE 802.3) used to frame journal records. *)
+
+val string : string -> int
+(** CRC-32 of the whole string, in [0, 2^32). *)

@@ -1,0 +1,23 @@
+(** Home-state events — the journal's payloads, JSON-encoded, with
+    idempotent replay semantics. *)
+
+module Rule = Homeguard_rules.Rule
+module Policy = Homeguard_handling.Policy
+
+type t =
+  | Install of Rule.smartapp
+  | Uninstall of string
+  | Config of { seq : int option; uri : string }
+  | Decision of { threat_id : string; decision : Policy.decision }
+  | Watermark of int
+
+exception Decode_error of string
+
+val decision_to_json : Policy.decision -> Homeguard_rules.Json.t
+val decision_of_json : Homeguard_rules.Json.t -> Policy.decision
+
+val to_json : t -> Homeguard_rules.Json.t
+val of_json : Homeguard_rules.Json.t -> t
+val to_string : t -> string
+val of_string : string -> t
+val describe : t -> string

@@ -1,0 +1,392 @@
+(** The durable per-home state: a write-ahead journal in front of the
+    in-memory {!Rule_db} + {!Recorder} + {!Install_flow} triple.
+
+    Every state-changing operation — keeping an app, uninstalling one,
+    recording a configuration URI, overriding a handling decision — is
+    appended to the journal (and fsynced) {e before} it mutates the
+    in-memory state, so a crash at any instant loses at most the
+    operation in flight. {!open_} recovers by letting {!Journal.recover}
+    truncate a torn tail and quarantine corrupted records, then
+    replaying the snapshot and journal events in order; install events
+    re-run the install-time detection ({!Install_flow.propose} +
+    [Keep]), which is deterministic, so the recovered state — rule
+    database, recorder bindings, allowed list, kept threats and hence
+    the compiled mediator — matches the pre-crash state exactly.
+
+    Replay is idempotent (duplicate installs, configs and decisions are
+    absorbed), which makes the two windows a crash can leave behind —
+    a journal holding events already folded into a fresh snapshot, and
+    a client re-running its workload after recovery — both harmless.
+
+    Sequenced configuration deliveries ({!deliver}) go through an
+    {!Ingest} receiver: duplicates are dropped, bounded out-of-order
+    arrivals are buffered, and the contiguous watermark survives
+    recovery (it is journaled with each applied config and re-emitted by
+    compaction as a [Watermark] event). *)
+
+module Rule = Homeguard_rules.Rule
+module Rule_db = Homeguard_rules.Rule_db
+module Rule_json = Homeguard_rules.Rule_json
+module Recorder = Homeguard_config.Recorder
+module Config_uri = Homeguard_config.Config_uri
+module Detector = Homeguard_detector.Detector
+module Threat = Homeguard_detector.Threat
+module Install_flow = Homeguard_frontend.Install_flow
+module Threat_interpreter = Homeguard_frontend.Threat_interpreter
+module Policy = Homeguard_handling.Policy
+module Mediator = Homeguard_handling.Mediator
+
+type mode = Mixed | Online | Offline
+
+type t = {
+  dir : string;
+  snap_path : string;
+  journal_path : string;
+  fsync : bool;
+  mode : mode;
+  mutable journal : Journal.t option;
+  recorder : Recorder.t;
+  flow : Install_flow.t;
+  dconfig : Detector.config;
+  mutable configs : (string * (int option * string)) list;
+      (** app -> (seq, last raw URI), oldest-first; compaction's source *)
+  mutable ingest : Ingest.t option;
+  mutable skipped : int;  (** replayed records that would not decode *)
+}
+
+type recovery_report = {
+  snapshot_records : int;
+  journal_records : int;
+  skipped_events : int;
+  torn_bytes : int;
+  quarantined : int;
+  changed_apps : string list;
+      (** apps installed at or after the first damaged record — the
+          incremental re-audit set *)
+}
+
+let detector_config mode recorder =
+  match mode with
+  | Offline -> Detector.offline_config
+  | Online -> Recorder.detector_config recorder
+  | Mixed ->
+    (* offline device-type matching (no instrumented bindings needed)
+       but the recorder's configured values still constrain the solver *)
+    {
+      Detector.offline_config with
+      Detector.app_constraints = (fun app -> Recorder.app_constraints recorder app);
+    }
+
+let journal t =
+  match t.journal with Some j -> j | None -> invalid_arg "Home: journal not open"
+
+let ingest t =
+  match t.ingest with Some i -> i | None -> invalid_arg "Home: no ingest receiver"
+
+let installed_apps t = Install_flow.installed_apps t.flow
+
+let find_installed t name =
+  List.find_opt (fun (a : Rule.smartapp) -> a.Rule.name = name) (installed_apps t)
+
+let last_seq t = Ingest.ack (ingest t)
+let flow t = t.flow
+let recorder t = t.recorder
+let config t = t.dconfig
+
+(* -- state mutation (no journaling; shared by live ops and replay) ----------- *)
+
+let set_config t app_name ~seq uri =
+  if List.mem_assoc app_name t.configs then
+    t.configs <-
+      List.map (fun (n, v) -> if n = app_name then (n, (seq, uri)) else (n, v)) t.configs
+  else t.configs <- t.configs @ [ (app_name, (seq, uri)) ]
+
+let apply_config t ~seq uri =
+  match Config_uri.decode uri with
+  | u ->
+    Recorder.record_uri t.recorder u;
+    set_config t u.Config_uri.app_name ~seq uri
+  | exception Config_uri.Malformed _ -> t.skipped <- t.skipped + 1
+
+let install_now t app =
+  ignore (Install_flow.propose t.flow app);
+  Install_flow.decide t.flow Install_flow.Keep
+
+let same_rule_file a b = Rule_json.to_string a = Rule_json.to_string b
+
+(** Idempotent event application: replaying a journal whose events were
+    already (partially) folded into the state leaves it unchanged. *)
+let apply_event t = function
+  | Event.Install app -> (
+    match find_installed t app.Rule.name with
+    | Some existing when same_rule_file existing app -> ()
+    | Some _ ->
+      Install_flow.uninstall t.flow app.Rule.name;
+      install_now t app
+    | None -> install_now t app)
+  | Event.Uninstall name -> Install_flow.uninstall t.flow name
+  | Event.Config { seq; uri } ->
+    let stale = match seq with Some s -> s <= Ingest.ack (ingest t) | None -> false in
+    if not stale then begin
+      apply_config t ~seq uri;
+      Option.iter (Ingest.force_last (ingest t)) seq
+    end
+  | Event.Decision { threat_id; decision } ->
+    Install_flow.set_decision t.flow threat_id decision
+  | Event.Watermark n -> Ingest.force_last (ingest t) n
+
+(* -- journaled operations ---------------------------------------------------- *)
+
+let log_event t ev = Journal.append (journal t) (Event.to_string ev)
+
+let propose t app = Install_flow.propose t.flow app
+
+exception No_pending_install = Install_flow.No_pending_install
+
+(** The user's install-time verdict. [Keep] is journaled (the full rule
+    file) before it takes effect; [Reject]/[Reconfigure] change no
+    durable state. *)
+let decide t decision =
+  match decision with
+  | Install_flow.Keep -> (
+    match Install_flow.pending t.flow with
+    | None -> raise No_pending_install
+    | Some r ->
+      log_event t (Event.Install r.Install_flow.app);
+      Install_flow.decide t.flow Install_flow.Keep)
+  | Install_flow.Reject | Install_flow.Reconfigure -> Install_flow.decide t.flow decision
+
+type install_outcome =
+  | Installed of Install_flow.report
+  | Updated of Install_flow.report
+  | Unchanged
+
+(** Idempotent one-shot install: propose + [Keep], skipping apps already
+    installed with an identical rule file and reinstalling (config
+    update) apps whose rules changed. Re-running a whole workload after
+    crash recovery converges through this path. *)
+let install_app t app =
+  match find_installed t app.Rule.name with
+  | Some existing when same_rule_file existing app -> Unchanged
+  | Some _ ->
+    log_event t (Event.Uninstall app.Rule.name);
+    Install_flow.uninstall t.flow app.Rule.name;
+    let r = propose t app in
+    decide t Install_flow.Keep;
+    Updated r
+  | None ->
+    let r = propose t app in
+    decide t Install_flow.Keep;
+    Installed r
+
+let uninstall t name =
+  match find_installed t name with
+  | None -> false
+  | Some _ ->
+    log_event t (Event.Uninstall name);
+    Install_flow.uninstall t.flow name;
+    true
+
+type delivery = Accepted of Ingest.outcome | Malformed of string
+
+(** An unsequenced configuration URI (trusted, in-order transport). *)
+let record_uri t uri =
+  match Config_uri.decode uri with
+  | _ ->
+    log_event t (Event.Config { seq = None; uri });
+    apply_config t ~seq:None uri;
+    Accepted (Ingest.Applied 1)
+  | exception Config_uri.Malformed m -> Malformed m
+
+(** A sequenced delivery from the lossy transport: validated, then run
+    through the dedup / reorder window. Each message applied journals a
+    [Config] event carrying its sequence number. *)
+let deliver t ~seq uri =
+  if seq < 1 then Malformed "sequence numbers start at 1"
+  else
+    match Config_uri.decode uri with
+    | _ -> Accepted (Ingest.receive (ingest t) ~seq uri)
+    | exception Config_uri.Malformed m -> Malformed m
+
+let set_decision t threat_id decision =
+  log_event t (Event.Decision { threat_id; decision });
+  Install_flow.set_decision t.flow threat_id decision
+
+let mediator ?defer_delay_ms ?max_deferrals t =
+  Install_flow.mediator ?defer_delay_ms ?max_deferrals t.flow
+
+(* -- recovery ---------------------------------------------------------------- *)
+
+let rec mkdirs dir =
+  if dir <> "" && dir <> "/" && dir <> "." && not (Sys.file_exists dir) then begin
+    mkdirs (Filename.dirname dir);
+    try Unix.mkdir dir 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ()
+  end
+
+let replay t records =
+  List.iter
+    (fun payload ->
+      match Event.of_string payload with
+      | ev -> apply_event t ev
+      | exception Event.Decode_error _ -> t.skipped <- t.skipped + 1)
+    records
+
+(* app names introduced by Install events from record index [idx] on *)
+let installs_from records idx =
+  List.filteri (fun i _ -> i >= idx) records
+  |> List.filter_map (fun p ->
+         match Event.of_string p with
+         | Event.Install app -> Some app.Rule.name
+         | _ -> None
+         | exception Event.Decode_error _ -> None)
+
+let open_ ?(fsync = true) ?(mode = Mixed) ?(window = 64) ~dir () =
+  mkdirs dir;
+  let snap_path = Filename.concat dir "snapshot" in
+  let journal_path = Filename.concat dir "journal" in
+  let rs = Journal.recover ~fsync snap_path in
+  let rj = Journal.recover ~fsync journal_path in
+  let recorder = Recorder.create () in
+  let dconfig = detector_config mode recorder in
+  let flow = Install_flow.create ~detector_config:dconfig () in
+  let t =
+    {
+      dir;
+      snap_path;
+      journal_path;
+      fsync;
+      mode;
+      journal = None;
+      recorder;
+      flow;
+      dconfig;
+      configs = [];
+      ingest = None;
+      skipped = 0;
+    }
+  in
+  t.ingest <-
+    Some
+      (Ingest.create ~window (fun ~seq uri ->
+           log_event t (Event.Config { seq = Some seq; uri });
+           apply_config t ~seq:(Some seq) uri));
+  replay t rs.Journal.recovered;
+  replay t rj.Journal.recovered;
+  t.journal <- Some (Journal.open_append ~fsync journal_path);
+  let changed =
+    match (rs.Journal.damage_index, rj.Journal.damage_index) with
+    | Some _, _ ->
+      (* the snapshot itself was damaged: everything is suspect *)
+      List.map (fun (a : Rule.smartapp) -> a.Rule.name) (installed_apps t)
+    | None, Some idx -> installs_from rj.Journal.recovered idx
+    | None, None -> []
+  in
+  let changed =
+    List.sort_uniq compare (List.filter (fun n -> find_installed t n <> None) changed)
+  in
+  ( t,
+    {
+      snapshot_records = List.length rs.Journal.recovered;
+      journal_records = List.length rj.Journal.recovered;
+      skipped_events = t.skipped;
+      torn_bytes = rs.Journal.torn_bytes + rj.Journal.torn_bytes;
+      quarantined = rs.Journal.quarantined + rj.Journal.quarantined;
+      changed_apps = changed;
+    } )
+
+let close t =
+  match t.journal with
+  | None -> ()
+  | Some j ->
+    t.journal <- None;
+    Journal.close j
+
+(* -- compaction -------------------------------------------------------------- *)
+
+(** Fold the whole history into a minimal snapshot — current configs
+    (in arrival order, before the installs that may depend on them),
+    currently installed apps (install order), explicit decisions, and
+    the ingestion watermark — then truncate the journal. Both file
+    replacements are atomic renames; a crash between them leaves a
+    journal whose events replay idempotently over the new snapshot. *)
+let compact t =
+  let events =
+    List.map (fun (_, (seq, uri)) -> Event.Config { seq; uri }) t.configs
+    @ List.map (fun a -> Event.Install a) (installed_apps t)
+    @ List.map
+        (fun (threat_id, decision) -> Event.Decision { threat_id; decision })
+        (Policy.decisions (Install_flow.policies t.flow))
+    @ [ Event.Watermark (Ingest.ack (ingest t)) ]
+  in
+  close t;
+  Journal.write_atomic ~fsync:t.fsync t.snap_path (List.map Event.to_string events);
+  Journal.write_atomic ~fsync:t.fsync t.journal_path [];
+  t.journal <- Some (Journal.open_append ~fsync:t.fsync t.journal_path)
+
+let file_size path = if Sys.file_exists path then (Unix.stat path).Unix.st_size else 0
+let journal_size t = file_size t.journal_path
+let snapshot_size t = file_size t.snap_path
+
+(* -- re-audit ---------------------------------------------------------------- *)
+
+let audit ?(jobs = 1) t =
+  let ctx = Detector.create t.dconfig in
+  Detector.audit_all ~jobs ctx (installed_apps t)
+
+(** Canonical rendering of a full re-audit plus the durable state that
+    feeds the mediator. Recovery's acceptance invariant is that this is
+    byte-identical before a crash and after replaying the journal. *)
+let audit_text t =
+  let b = Buffer.create 512 in
+  let result = audit t in
+  Buffer.add_string b "installed:";
+  List.iter
+    (fun (a : Rule.smartapp) -> Buffer.add_string b (" " ^ a.Rule.name))
+    (installed_apps t);
+  Buffer.add_char b '\n';
+  Buffer.add_string b
+    (Printf.sprintf "threats: %d (undecided %d, failed %d)\n"
+       (List.length result.Detector.threats)
+       result.Detector.undecided
+       (List.length result.Detector.failures));
+  Buffer.add_string b (Threat_interpreter.describe_all result.Detector.threats);
+  Buffer.add_char b '\n';
+  Buffer.add_string b "kept:";
+  List.iter
+    (fun th -> Buffer.add_string b (" " ^ Policy.threat_id th))
+    (Install_flow.kept_threats t.flow);
+  Buffer.add_char b '\n';
+  Buffer.add_string b "decisions:";
+  List.iter
+    (fun (id, d) -> Buffer.add_string b (Printf.sprintf " [%s -> %s]" id (Policy.describe d)))
+    (Policy.decisions (Install_flow.policies t.flow));
+  Buffer.add_char b '\n';
+  Buffer.add_string b "configs:";
+  List.iter
+    (fun (app, (seq, uri)) ->
+      Buffer.add_string b
+        (Printf.sprintf " [%s#%s %s]" app
+           (match seq with Some s -> string_of_int s | None -> "-")
+           uri))
+    t.configs;
+  Buffer.add_char b '\n';
+  Buffer.add_string b (Printf.sprintf "ack: %d\n" (last_seq t));
+  Buffer.contents b
+
+(** Incremental re-audit of the apps a recovery marked as changed: each
+    is audited against the rest of the recovered home through the
+    install-time ({!Detector.audit_new_app}) machinery. *)
+let reaudit_changed ?(jobs = 1) t (report : recovery_report) =
+  List.filter_map
+    (fun name ->
+      match find_installed t name with
+      | None -> None
+      | Some app ->
+        let db = Rule_db.create () in
+        List.iter
+          (fun (a : Rule.smartapp) ->
+            if a.Rule.name <> name then ignore (Rule_db.install db a))
+          (installed_apps t);
+        let ctx = Detector.create t.dconfig in
+        Some (name, Detector.audit_new_app ~jobs ctx db app))
+    report.changed_apps

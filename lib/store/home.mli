@@ -1,0 +1,115 @@
+(** Durable per-home state: a write-ahead journal in front of the
+    in-memory {!Homeguard_rules.Rule_db} + {!Homeguard_config.Recorder}
+    + {!Homeguard_frontend.Install_flow} triple. Every state change is
+    journaled (and fsynced) before it applies; {!open_} replays the
+    snapshot + journal — truncating torn tails, quarantining corrupt
+    records — to reconstruct the exact pre-crash state, including the
+    inputs of the compiled mediator. *)
+
+module Rule = Homeguard_rules.Rule
+module Detector = Homeguard_detector.Detector
+module Recorder = Homeguard_config.Recorder
+module Install_flow = Homeguard_frontend.Install_flow
+module Policy = Homeguard_handling.Policy
+module Mediator = Homeguard_handling.Mediator
+
+type t
+
+(** How the detector matches devices across apps: [Mixed] (default)
+    uses offline device-type matching plus the recorder's configured
+    value constraints; [Online] requires exact recorded device ids;
+    [Offline] ignores recorded configuration entirely. *)
+type mode = Mixed | Online | Offline
+
+type recovery_report = {
+  snapshot_records : int;
+  journal_records : int;
+  skipped_events : int;  (** records that recovered but would not decode *)
+  torn_bytes : int;  (** truncated torn-tail bytes across both files *)
+  quarantined : int;  (** corrupt records moved to sidecar files *)
+  changed_apps : string list;
+      (** apps installed at or after the first damaged record — the
+          incremental re-audit set for {!reaudit_changed} *)
+}
+
+val open_ :
+  ?fsync:bool -> ?mode:mode -> ?window:int -> dir:string -> unit -> t * recovery_report
+(** Open (creating if needed) the home rooted at [dir], recovering
+    [dir/snapshot] and [dir/journal] and replaying both. [window] bounds
+    the out-of-order buffer for sequenced deliveries. *)
+
+val close : t -> unit
+
+(** {2 Install flow (journaled)} *)
+
+exception No_pending_install
+
+val propose : t -> Rule.smartapp -> Install_flow.report
+val decide : t -> Install_flow.decision -> unit
+(** [Keep] journals the full rule file before installing; [Reject] and
+    [Reconfigure] touch no durable state.
+    @raise No_pending_install when nothing was proposed. *)
+
+type install_outcome =
+  | Installed of Install_flow.report
+  | Updated of Install_flow.report  (** same name, different rules: reinstall *)
+  | Unchanged  (** identical rule file already installed *)
+
+val install_app : t -> Rule.smartapp -> install_outcome
+(** Idempotent propose + [Keep]; re-running a workload after crash
+    recovery converges through this path. *)
+
+val uninstall : t -> string -> bool
+(** [false] when no such app is installed. *)
+
+(** {2 Configuration ingestion (journaled)} *)
+
+type delivery =
+  | Accepted of Ingest.outcome
+  | Malformed of string  (** rejected before journaling *)
+
+val record_uri : t -> string -> delivery
+(** An unsequenced configuration URI from a trusted, in-order source. *)
+
+val deliver : t -> seq:int -> string -> delivery
+(** A sequenced delivery from the lossy transport: deduplicated and
+    reordered through the ingest window; each applied message journals
+    a [Config] event carrying its sequence number. *)
+
+val last_seq : t -> int
+(** Contiguous ingestion watermark — the ack to return to senders. *)
+
+(** {2 Handling} *)
+
+val set_decision : t -> string -> Policy.decision -> unit
+val mediator : ?defer_delay_ms:int -> ?max_deferrals:int -> t -> Mediator.t
+
+(** {2 Inspection} *)
+
+val installed_apps : t -> Rule.smartapp list
+val flow : t -> Install_flow.t
+val recorder : t -> Recorder.t
+val config : t -> Detector.config
+val journal_size : t -> int
+val snapshot_size : t -> int
+
+(** {2 Maintenance} *)
+
+val compact : t -> unit
+(** Fold the history into a minimal snapshot (configs, installed apps,
+    explicit decisions, ingestion watermark) and truncate the journal;
+    both replacements are atomic renames and a crash between them is
+    absorbed by idempotent replay. *)
+
+(** {2 Re-audit} *)
+
+val audit : ?jobs:int -> t -> Detector.audit_result
+val audit_text : t -> string
+(** Canonical rendering of a full re-audit plus the durable state
+    feeding the mediator; recovery's acceptance invariant is that this
+    is byte-identical before a crash and after replay. *)
+
+val reaudit_changed :
+  ?jobs:int -> t -> recovery_report -> (string * Detector.audit_result) list
+(** Incremental install-time re-audit of each recovered-but-suspect app
+    against the rest of the home. *)

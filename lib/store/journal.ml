@@ -1,0 +1,235 @@
+(** Append-only write-ahead journal with CRC-framed records.
+
+    Every record is framed
+
+    {v HGJ1 <len:8 hex> <crc32:8 hex>\n<payload bytes>\n v}
+
+    so the file is length-delimited (payloads may contain anything),
+    self-checking (CRC-32 over the payload) and resynchronizable (a
+    damaged header is skipped by scanning for the next ["\nHGJ1 "]).
+
+    Durability contract: [append] returns only after the frame has been
+    written, flushed and (unless the journal was opened with
+    [~fsync:false]) fsynced — the fsync point. Recovery ({!recover})
+    truncates a torn tail (an incomplete final frame: the classic
+    crash-mid-write), moves CRC-invalid but fully framed records to a
+    [.quarantine] sidecar, and rewrites the journal atomically
+    (temp file + rename) with only the surviving records.
+
+    All writes pass through {!Fault.on_write} and bracket
+    {!Fault.crash_point}s, so the deterministic storage-fault matrix can
+    crash, tear or bit-flip any individual append. *)
+
+module Fault = Homeguard_solver.Fault
+
+let magic = "HGJ1 "
+let header_len = 23 (* "HGJ1 " + 8 hex + ' ' + 8 hex + '\n' *)
+
+let frame payload =
+  Printf.sprintf "%s%08x %08x\n%s\n" magic (String.length payload) (Crc32.string payload)
+    payload
+
+(* -- appending --------------------------------------------------------------- *)
+
+type t = {
+  path : string;
+  mutable oc : out_channel option;
+  fsync : bool;
+  mutable appended : int;  (** appends since open; part of the fault key *)
+}
+
+let open_append ?(fsync = true) path =
+  let oc = open_out_gen [ Open_wronly; Open_append; Open_creat; Open_binary ] 0o644 path in
+  { path; oc = Some oc; fsync; appended = 0 }
+
+let channel t =
+  match t.oc with Some oc -> oc | None -> invalid_arg ("Journal: closed: " ^ t.path)
+
+let fsync_channel oc =
+  flush oc;
+  try Unix.fsync (Unix.descr_of_out_channel oc) with Unix.Unix_error _ -> ()
+
+let append t payload =
+  let oc = channel t in
+  t.appended <- t.appended + 1;
+  let key = Printf.sprintf "%s#%d" (Filename.basename t.path) t.appended in
+  Fault.crash_point ("journal/append/enter:" ^ key);
+  (match Fault.on_write ("journal/write:" ^ key) (frame payload) with
+  | `Write data -> output_string oc data
+  | `Torn prefix ->
+    (* a torn write is a crash mid-write: the prefix reaches the disk,
+       the rest never does *)
+    output_string oc prefix;
+    fsync_channel oc;
+    raise (Fault.Crashed ("torn write: " ^ key)));
+  flush oc;
+  Fault.crash_point ("journal/append/written:" ^ key);
+  if t.fsync then fsync_channel oc;
+  Fault.crash_point ("journal/append/synced:" ^ key)
+
+let sync t = fsync_channel (channel t)
+
+let close t =
+  match t.oc with
+  | None -> ()
+  | Some oc ->
+    t.oc <- None;
+    (try flush oc with Sys_error _ -> ());
+    close_out_noerr oc
+
+(** Replace [path] with a journal holding exactly [payloads], via temp
+    file + atomic rename (with a crash point just before the rename). *)
+let write_atomic ?(fsync = true) path payloads =
+  let tmp = path ^ ".tmp" in
+  let oc = open_out_gen [ Open_wronly; Open_trunc; Open_creat; Open_binary ] 0o644 tmp in
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () ->
+      List.iter (fun p -> output_string oc (frame p)) payloads;
+      flush oc;
+      if fsync then fsync_channel oc);
+  Fault.crash_point ("journal/rename:" ^ Filename.basename path);
+  Sys.rename tmp path
+
+(* -- scanning ---------------------------------------------------------------- *)
+
+type damage =
+  | Torn_tail of { offset : int; raw : string }
+  | Corrupt of { offset : int; raw : string }
+
+type scan = {
+  records : string list;
+  damage : damage list;
+  first_damage_index : int option;
+      (** number of valid records preceding the first damaged region *)
+}
+
+let is_hex = function '0' .. '9' | 'a' .. 'f' -> true | _ -> false
+
+let header_ok s pos =
+  String.sub s pos 5 = magic
+  && s.[pos + 13] = ' '
+  && s.[pos + 22] = '\n'
+  &&
+  let ok = ref true in
+  for i = 5 to 12 do
+    if not (is_hex s.[pos + i]) then ok := false
+  done;
+  for i = 14 to 21 do
+    if not (is_hex s.[pos + i]) then ok := false
+  done;
+  !ok
+
+let scan_string s =
+  let n = String.length s in
+  let records = ref [] and damage = ref [] and first = ref None in
+  let note d =
+    if !first = None then first := Some (List.length !records);
+    damage := d :: !damage
+  in
+  (* position of the next "\nHGJ1 " strictly after [from], at the 'H' *)
+  let find_resync from =
+    let rec go i =
+      if i + 1 + String.length magic > n then None
+      else if s.[i] = '\n' && String.sub s (i + 1) (String.length magic) = magic then
+        Some (i + 1)
+      else go (i + 1)
+    in
+    go from
+  in
+  let skip_damage pos =
+    match find_resync pos with
+    | Some next ->
+      note (Corrupt { offset = pos; raw = String.sub s pos (next - pos) });
+      Some next
+    | None ->
+      note (Corrupt { offset = pos; raw = String.sub s pos (n - pos) });
+      None
+  in
+  let rec step pos =
+    if pos >= n then ()
+    else if n - pos < header_len then
+      (* shorter than a header: a write torn before the frame completed *)
+      note (Torn_tail { offset = pos; raw = String.sub s pos (n - pos) })
+    else if not (header_ok s pos) then (
+      match skip_damage pos with Some next -> step next | None -> ())
+    else
+      let plen = int_of_string ("0x" ^ String.sub s (pos + 5) 8) in
+      let crc = int_of_string ("0x" ^ String.sub s (pos + 14) 8) in
+      let fin = pos + header_len + plen + 1 in
+      if fin > n then note (Torn_tail { offset = pos; raw = String.sub s pos (n - pos) })
+      else
+        let payload = String.sub s (pos + header_len) plen in
+        if s.[fin - 1] = '\n' && Crc32.string payload = crc then begin
+          records := payload :: !records;
+          step fin
+        end
+        else if s.[fin - 1] = '\n' then begin
+          (* framing held but the payload (or crc field) was flipped:
+             quarantine just this record and continue *)
+          note (Corrupt { offset = pos; raw = String.sub s pos (fin - pos) });
+          step fin
+        end
+        else
+          (* the length field itself is suspect: resynchronize *)
+          match skip_damage pos with Some next -> step next | None -> ()
+  in
+  step 0;
+  { records = List.rev !records; damage = List.rev !damage; first_damage_index = !first }
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let scan path = if Sys.file_exists path then scan_string (read_file path) else scan_string ""
+
+(* -- recovery ---------------------------------------------------------------- *)
+
+type recovery = {
+  recovered : string list;
+  torn_bytes : int;
+  quarantined : int;
+  damage_index : int option;
+  rewritten : bool;
+}
+
+let damage_bytes = function Torn_tail { raw; _ } | Corrupt { raw; _ } -> String.length raw
+
+(** Scan [path]; when damaged, move each damaged region into the
+    [quarantine] sidecar (default [path ^ ".quarantine"], appended with
+    a readable header per region) and atomically rewrite the journal
+    with only the valid records. Sound on a missing file. *)
+let recover ?quarantine ?(fsync = true) path =
+  let sc = scan path in
+  let torn, corrupt =
+    List.partition (function Torn_tail _ -> true | Corrupt _ -> false) sc.damage
+  in
+  let torn_bytes = List.fold_left (fun a d -> a + damage_bytes d) 0 torn in
+  if sc.damage <> [] then begin
+    let qpath = match quarantine with Some q -> q | None -> path ^ ".quarantine" in
+    let oc = open_out_gen [ Open_wronly; Open_append; Open_creat; Open_binary ] 0o644 qpath in
+    Fun.protect
+      ~finally:(fun () -> close_out_noerr oc)
+      (fun () ->
+        List.iter
+          (fun d ->
+            let kind, offset, raw =
+              match d with
+              | Torn_tail { offset; raw } -> ("torn", offset, raw)
+              | Corrupt { offset; raw } -> ("corrupt", offset, raw)
+            in
+            Printf.fprintf oc "## %s kind=%s offset=%d bytes=%d\n%s\n" (Filename.basename path)
+              kind offset (String.length raw) raw)
+          sc.damage;
+        flush oc);
+    write_atomic ~fsync path sc.records
+  end;
+  {
+    recovered = sc.records;
+    torn_bytes;
+    quarantined = List.length corrupt;
+    damage_index = sc.first_damage_index;
+    rewritten = sc.damage <> [];
+  }

@@ -1,0 +1,62 @@
+(** Append-only write-ahead journal with CRC-framed records, fsync-point
+    appends, torn-tail truncation and corruption quarantine. *)
+
+val frame : string -> string
+(** The on-disk framing of one payload:
+    ["HGJ1 <len:8hex> <crc32:8hex>\n<payload>\n"]. *)
+
+val header_len : int
+(** Bytes before the payload in a frame. *)
+
+(** {2 Appending} *)
+
+type t
+
+val open_append : ?fsync:bool -> string -> t
+(** Open (creating if missing) for appends. [~fsync] (default [true])
+    makes every {!append} an fsync point. *)
+
+val append : t -> string -> unit
+(** Frame and append one payload; returns after flush (+ fsync). Passes
+    through the {!Homeguard_solver.Fault} storage hooks, so it may raise
+    {!Homeguard_solver.Fault.Crashed} under an armed fault plan. *)
+
+val sync : t -> unit
+val close : t -> unit
+
+val write_atomic : ?fsync:bool -> string -> string list -> unit
+(** Replace the file with a journal holding exactly these payloads, via
+    temp file + atomic rename. Used by compaction and recovery. *)
+
+(** {2 Scanning and recovery} *)
+
+type damage =
+  | Torn_tail of { offset : int; raw : string }
+      (** an incomplete final frame: crash mid-write *)
+  | Corrupt of { offset : int; raw : string }
+      (** a fully framed record whose CRC fails, or an unframeable
+          region skipped by resynchronization *)
+
+type scan = {
+  records : string list;  (** valid payloads, in order *)
+  damage : damage list;
+  first_damage_index : int option;
+      (** number of valid records preceding the first damaged region *)
+}
+
+val scan_string : string -> scan
+val scan : string -> scan
+(** Read-only; a missing file scans as empty. *)
+
+type recovery = {
+  recovered : string list;
+  torn_bytes : int;  (** bytes truncated from the torn tail *)
+  quarantined : int;  (** corrupt regions moved to the sidecar *)
+  damage_index : int option;
+  rewritten : bool;  (** the journal was rewritten without the damage *)
+}
+
+val recover : ?quarantine:string -> ?fsync:bool -> string -> recovery
+(** Scan; when damaged, append each damaged region to the quarantine
+    sidecar (default [path ^ ".quarantine"]) and atomically rewrite the
+    journal with only the valid records. *)

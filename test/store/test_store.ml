@@ -1,0 +1,511 @@
+(** Durability suite: journal framing and recovery, idempotent
+    ingestion, and the crash matrix.
+
+    Runs as its own executable (like [test/faults]) so the global
+    storage-fault hook never leaks into the main suite. The acceptance
+    invariant for the crash matrix: for every injected crash point,
+    torn write and bit flip, recovering the journal and re-running the
+    workload idempotently yields a home whose full re-audit output is
+    byte-identical to the uncrashed run. *)
+
+module Crc32 = Homeguard_store.Crc32
+module Journal = Homeguard_store.Journal
+module Event = Homeguard_store.Event
+module Ingest = Homeguard_store.Ingest
+module Home = Homeguard_store.Home
+module Fault = Homeguard_solver.Fault
+module Rule = Homeguard_rules.Rule
+module Extract = Homeguard_symexec.Extract
+module Install_flow = Homeguard_frontend.Install_flow
+module Policy = Homeguard_handling.Policy
+module Mediator = Homeguard_handling.Mediator
+
+let test name f = Alcotest.test_case name `Quick f
+let check_bool m = Alcotest.(check bool) m
+let check_int m = Alcotest.(check int) m
+let check_string m = Alcotest.(check string) m
+
+let tmp_counter = ref 0
+
+let fresh_dir () =
+  incr tmp_counter;
+  let dir =
+    Filename.concat (Filename.get_temp_dir_name ())
+      (Printf.sprintf "hg_store_%d_%d" (Unix.getpid ()) !tmp_counter)
+  in
+  ignore (Sys.command (Printf.sprintf "rm -rf %s" (Filename.quote dir)));
+  dir
+
+let write_file path s =
+  let oc = open_out_bin path in
+  output_string oc s;
+  close_out oc
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let corpus_app name =
+  let open Homeguard_corpus in
+  let e = Option.get (Corpus.find name) in
+  (Extract.extract_source ~name:e.App_entry.name e.App_entry.source).Extract.app
+
+(* -- CRC-32 ------------------------------------------------------------------- *)
+
+let crc_vectors =
+  test "CRC-32 matches the IEEE reference vectors" (fun () ->
+      check_int "empty" 0 (Crc32.string "");
+      check_int "check string" 0xCBF43926 (Crc32.string "123456789");
+      check_int "fox" 0x414FA339 (Crc32.string "The quick brown fox jumps over the lazy dog"))
+
+(* -- framing and scanning ----------------------------------------------------- *)
+
+let payloads = [ "alpha"; "{\"k\": [1, 2]}"; String.make 300 'x'; "with\nnewlines\nand | bars" ]
+
+let joined = String.concat "" (List.map Journal.frame payloads)
+
+let scan_roundtrip =
+  test "scan recovers every framed payload in order" (fun () ->
+      let sc = Journal.scan_string joined in
+      check_bool "no damage" true (sc.Journal.damage = []);
+      check_bool "payloads" true (sc.Journal.records = payloads))
+
+let scan_empty =
+  test "scanning an empty or missing journal is sound" (fun () ->
+      let sc = Journal.scan_string "" in
+      check_bool "no records" true (sc.Journal.records = [] && sc.Journal.damage = []);
+      let sc = Journal.scan "/nonexistent/journal" in
+      check_bool "missing file" true (sc.Journal.records = []))
+
+let torn_tail_every_cut =
+  test "a tail torn at any byte loses only the last record" (fun () ->
+      let keep = [ "one"; "two" ] in
+      let prefix = String.concat "" (List.map Journal.frame keep) in
+      let full = prefix ^ Journal.frame "three" in
+      for cut = String.length prefix + 1 to String.length full - 1 do
+        let sc = Journal.scan_string (String.sub full 0 cut) in
+        if sc.Journal.records <> keep then
+          Alcotest.failf "cut at %d recovered %d record(s)" cut
+            (List.length sc.Journal.records);
+        match sc.Journal.damage with
+        | [ Journal.Torn_tail _ ] -> ()
+        | _ -> Alcotest.failf "cut at %d: expected exactly a torn tail" cut
+      done)
+
+let flip_payload_quarantines =
+  test "a bit flip in any payload byte quarantines only that record" (fun () ->
+      let frame2 = Journal.frame "middle-record" in
+      let before = Journal.frame "first" and after = Journal.frame "last" in
+      let p0 = String.length before + Journal.header_len in
+      for i = p0 to p0 + String.length "middle-record" - 1 do
+        let b = Bytes.of_string (before ^ frame2 ^ after) in
+        Bytes.set b i (Char.chr (Char.code (Bytes.get b i) lxor 0x01));
+        let sc = Journal.scan_string (Bytes.to_string b) in
+        if sc.Journal.records <> [ "first"; "last" ] then
+          Alcotest.failf "flip at %d: survivors wrong" i;
+        if sc.Journal.first_damage_index <> Some 1 then
+          Alcotest.failf "flip at %d: damage index wrong" i
+      done)
+
+let flip_magic_resyncs =
+  test "a damaged header resynchronizes at the next record" (fun () ->
+      let b = Bytes.of_string joined in
+      (* clobber the second record's magic *)
+      let off = String.length (Journal.frame (List.nth payloads 0)) in
+      Bytes.set b off 'X';
+      let sc = Journal.scan_string (Bytes.to_string b) in
+      check_bool "first survives" true (List.hd sc.Journal.records = "alpha");
+      check_bool "later records recovered" true
+        (List.mem (String.make 300 'x') sc.Journal.records);
+      check_bool "damage noted" true (sc.Journal.damage <> []))
+
+let recover_rewrites_and_quarantines =
+  test "recover truncates, quarantines and leaves a clean journal" (fun () ->
+      let dir = fresh_dir () in
+      Unix.mkdir dir 0o755;
+      let path = Filename.concat dir "j" in
+      let b = Bytes.of_string (joined ^ "HGJ1 0000") in
+      (* flip a payload byte of record 2 *)
+      let off = String.length (Journal.frame "alpha") + Journal.header_len in
+      Bytes.set b off '?';
+      write_file path (Bytes.to_string b);
+      let r = Journal.recover path in
+      check_int "quarantined" 1 r.Journal.quarantined;
+      check_int "torn bytes" 9 r.Journal.torn_bytes;
+      check_bool "rewritten" true r.Journal.rewritten;
+      check_bool "sidecar exists" true (Sys.file_exists (path ^ ".quarantine"));
+      let sc = Journal.scan path in
+      check_bool "clean after rewrite" true (sc.Journal.damage = []);
+      check_bool "survivors" true (sc.Journal.records = r.Journal.recovered);
+      (* recovering a clean journal is a no-op *)
+      let r2 = Journal.recover path in
+      check_bool "idempotent" true (not r2.Journal.rewritten))
+
+let append_then_scan =
+  test "append/scan round-trip through the filesystem" (fun () ->
+      let dir = fresh_dir () in
+      Unix.mkdir dir 0o755;
+      let path = Filename.concat dir "j" in
+      let j = Journal.open_append path in
+      List.iter (Journal.append j) payloads;
+      Journal.close j;
+      let sc = Journal.scan path in
+      check_bool "all back" true (sc.Journal.records = payloads && sc.Journal.damage = []))
+
+(* -- events ------------------------------------------------------------------- *)
+
+let event_roundtrip =
+  test "every event constructor round-trips through JSON" (fun () ->
+      let app = corpus_app "ComfortTV" in
+      let events =
+        [
+          Event.Install app;
+          Event.Uninstall "ComfortTV";
+          Event.Config { seq = Some 3; uri = "http://my.com/appname:A/x:1/" };
+          Event.Config { seq = None; uri = "http://my.com/appname:A/x:2/" };
+          Event.Decision { threat_id = "AR:a<->b"; decision = Policy.Allow };
+          Event.Decision
+            { threat_id = "GC:a->b"; decision = Policy.Block { rule = "A/A#1" } };
+          Event.Decision
+            { threat_id = "AR:a<->b"; decision = Policy.Prioritize { winner = "A/A#1" } };
+          Event.Decision
+            { threat_id = "CT:a->b"; decision = Policy.Break_chain { hop_budget = 2 } };
+          Event.Decision { threat_id = "DC:a<->b"; decision = Policy.Confirm };
+          Event.Watermark 42;
+        ]
+      in
+      List.iter
+        (fun e ->
+          if Event.of_string (Event.to_string e) <> e then
+            Alcotest.failf "event round-trip failed: %s" (Event.describe e))
+        events;
+      match Event.of_string "{\"nonsense\": 1}" with
+      | exception Event.Decode_error _ -> ()
+      | _ -> Alcotest.fail "expected Decode_error")
+
+(* -- ingestion ---------------------------------------------------------------- *)
+
+let ingest_outcomes =
+  test "ingest dedups, buffers out-of-order and bounds the window" (fun () ->
+      let applied = ref [] in
+      let t = Ingest.create ~window:4 (fun ~seq p -> applied := (seq, p) :: !applied) in
+      check_bool "in order" true (Ingest.receive t ~seq:1 "a" = Ingest.Applied 1);
+      check_bool "dup of applied" true (Ingest.receive t ~seq:1 "a" = Ingest.Duplicate);
+      check_bool "gap buffers" true (Ingest.receive t ~seq:3 "c" = Ingest.Buffered);
+      check_bool "dup of buffered" true (Ingest.receive t ~seq:3 "c" = Ingest.Duplicate);
+      check_bool "beyond window" true (Ingest.receive t ~seq:6 "f" = Ingest.Overflow);
+      check_bool "gap fills, run drains" true (Ingest.receive t ~seq:2 "b" = Ingest.Applied 2);
+      check_int "ack" 3 (Ingest.ack t);
+      check_bool "apply order" true
+        (List.rev !applied = [ (1, "a"); (2, "b"); (3, "c") ]);
+      Ingest.force_last t 5;
+      check_bool "stale after force" true (Ingest.receive t ~seq:4 "d" = Ingest.Duplicate);
+      check_bool "next applies" true (Ingest.receive t ~seq:6 "f" = Ingest.Applied 1))
+
+let ingest_envelope =
+  test "wire envelope round-trips and rejects junk" (fun () ->
+      let w = Ingest.encode ~home:"home-1" ~seq:9 "pay|load" in
+      check_bool "roundtrip" true (Ingest.decode w = Some ("home-1", 9, "pay|load"));
+      check_bool "junk" true (Ingest.decode "nope" = None);
+      check_bool "bad seq" true (Ingest.decode "hgm1|h|zero|p" = None))
+
+let ingest_sender_redelivery_is_harmless =
+  test "sender redelivery under loss never double-applies" (fun () ->
+      let messaging = Homeguard_config.Messaging.create ~seed:3 ~loss_per_thousand:300 () in
+      let s = Ingest.sender messaging Homeguard_config.Messaging.Http ~home:"h" in
+      let count = ref 0 in
+      let t = Ingest.create (fun ~seq:_ _ -> incr count) in
+      let delivered = ref 0 in
+      for i = 1 to 30 do
+        let seq, outcome = Ingest.post s (Printf.sprintf "msg%d" i) in
+        match outcome with
+        | Some _ ->
+          (* the transport may have delivered earlier lost-looking
+             attempts too; replay every attempt at the receiver *)
+          ignore (Ingest.receive t ~seq (Printf.sprintf "msg%d" i));
+          ignore (Ingest.receive t ~seq (Printf.sprintf "msg%d" i));
+          incr delivered
+        | None -> ()
+      done;
+      check_bool "some delivered" true (!delivered > 0);
+      check_int "each applied exactly once" !delivered !count)
+
+(* -- the durable home ---------------------------------------------------------- *)
+
+(** The canonical workload, written in idempotent operations so it can
+    be re-run verbatim over a recovered home. Appends (in order):
+    2 sequenced configs, 2 installs, 1 decision; then a compaction and
+    one more unsequenced config. *)
+let workload home =
+  ignore (Home.deliver home ~seq:1 "http://my.com/appname:ComfortTV/threshold1:30/");
+  ignore (Home.deliver home ~seq:2 "http://my.com/appname:ColdDefender/unused:1/");
+  (* duplicate delivery: must change nothing *)
+  ignore (Home.deliver home ~seq:1 "http://my.com/appname:ComfortTV/threshold1:30/");
+  ignore (Home.install_app home (corpus_app "ComfortTV"));
+  ignore (Home.install_app home (corpus_app "ColdDefender"));
+  Home.set_decision home "EC:ColdDefender/ColdDefender#1->ComfortTV/ComfortTV#1"
+    (Policy.Break_chain { hop_budget = 1 });
+  Home.compact home;
+  ignore (Home.record_uri home "http://my.com/appname:ComfortTV/threshold1:31/")
+
+let reference_audit =
+  lazy
+    (let dir = fresh_dir () in
+     let home, _ = Home.open_ ~dir () in
+     workload home;
+     let text = Home.audit_text home in
+     Home.close home;
+     text)
+
+let home_persists =
+  test "a reopened home re-audits byte-identically" (fun () ->
+      let dir = fresh_dir () in
+      let home, r0 = Home.open_ ~dir () in
+      check_bool "fresh" true (r0.Home.snapshot_records = 0 && r0.Home.journal_records = 0);
+      workload home;
+      let before = Home.audit_text home in
+      check_string "matches reference" (Lazy.force reference_audit) before;
+      Home.close home;
+      let home, r = Home.open_ ~dir () in
+      check_int "no damage" 0 (r.Home.torn_bytes + r.Home.quarantined);
+      check_bool "no skips" true (r.Home.skipped_events = 0);
+      check_string "identical after reopen" before (Home.audit_text home);
+      check_int "watermark" 2 (Home.last_seq home);
+      (* the mediator's input (kept threats) is reconstructed too *)
+      let _mediator = Home.mediator home in
+      check_bool "kept threats survive reopen" true
+        (Install_flow.kept_threats (Home.flow home) <> []);
+      Home.close home)
+
+let home_rerun_is_idempotent =
+  test "re-running the workload over a live home changes nothing" (fun () ->
+      let dir = fresh_dir () in
+      let home, _ = Home.open_ ~dir () in
+      workload home;
+      let once = Home.audit_text home in
+      workload home;
+      check_string "idempotent" once (Home.audit_text home);
+      Home.close home)
+
+let home_out_of_order_equals_in_order =
+  test "out-of-order and duplicated deliveries converge to in-order state" (fun () ->
+      let dir = fresh_dir () in
+      let home, _ = Home.open_ ~dir () in
+      (* deliver 3,2,1 with duplicates interleaved *)
+      check_bool "buffered" true
+        (Home.deliver home ~seq:3 "http://my.com/appname:B/v:3/"
+        = Home.Accepted Ingest.Buffered);
+      ignore (Home.deliver home ~seq:2 "http://my.com/appname:A/v:2/");
+      ignore (Home.deliver home ~seq:3 "http://my.com/appname:B/v:3/");
+      check_bool "drains all three" true
+        (Home.deliver home ~seq:1 "http://my.com/appname:A/v:1/"
+        = Home.Accepted (Ingest.Applied 3));
+      let ooo = Home.audit_text home in
+      Home.close home;
+      let dir2 = fresh_dir () in
+      let home2, _ = Home.open_ ~dir:dir2 () in
+      ignore (Home.deliver home2 ~seq:1 "http://my.com/appname:A/v:1/");
+      ignore (Home.deliver home2 ~seq:2 "http://my.com/appname:A/v:2/");
+      ignore (Home.deliver home2 ~seq:3 "http://my.com/appname:B/v:3/");
+      check_string "same state" (Home.audit_text home2) ooo;
+      Home.close home2)
+
+let home_uninstall_and_update =
+  test "uninstall and rule-file updates survive reopen" (fun () ->
+      let dir = fresh_dir () in
+      let home, _ = Home.open_ ~dir () in
+      ignore (Home.install_app home (corpus_app "ComfortTV"));
+      ignore (Home.install_app home (corpus_app "ColdDefender"));
+      check_bool "second install dedups" true
+        (Home.install_app home (corpus_app "ComfortTV") = Home.Unchanged);
+      check_bool "uninstall" true (Home.uninstall home "ColdDefender");
+      check_bool "gone" true (not (Home.uninstall home "ColdDefender"));
+      let before = Home.audit_text home in
+      check_bool "kept threats dropped" true
+        (Install_flow.kept_threats (Home.flow home) = []);
+      Home.close home;
+      let home, _ = Home.open_ ~dir () in
+      check_string "reopen" before (Home.audit_text home);
+      check_bool "one app" true
+        (List.map (fun (a : Rule.smartapp) -> a.Rule.name) (Home.installed_apps home)
+        = [ "ComfortTV" ]);
+      Home.close home)
+
+let compaction_preserves_state =
+  test "compaction truncates the journal and preserves the audit" (fun () ->
+      let dir = fresh_dir () in
+      let home, _ = Home.open_ ~dir () in
+      workload home;
+      let before = Home.audit_text home in
+      let jsize = Home.journal_size home in
+      check_bool "journal non-empty before" true (jsize > 0);
+      Home.compact home;
+      check_int "journal truncated" 0 (Home.journal_size home);
+      check_bool "snapshot written" true (Home.snapshot_size home > 0);
+      check_string "audit unchanged" before (Home.audit_text home);
+      Home.close home;
+      let home, r = Home.open_ ~dir () in
+      check_bool "replays from snapshot alone" true (r.Home.journal_records = 0);
+      check_string "audit unchanged after reopen" before (Home.audit_text home);
+      Home.close home)
+
+(* -- the crash matrix ---------------------------------------------------------- *)
+
+(** One matrix cell: arm the storage fault aimed at [only], run the
+    workload in a fresh home (absorbing the injected crash), disarm,
+    recover, re-run the workload idempotently, and require the final
+    re-audit to be byte-identical to the uncrashed reference. *)
+let crash_cell mode only =
+  let dir = fresh_dir () in
+  let crashed =
+    Fault.arm_storage ~seed:1 ~rate_per_thousand:1000 ~only mode;
+    Fun.protect
+      ~finally:(fun () -> Fault.disarm_storage ())
+      (fun () ->
+        let home, _ = Home.open_ ~dir () in
+        match workload home with
+        | () ->
+          Home.close home;
+          false
+        | exception Fault.Crashed _ -> true)
+  in
+  (* recover and converge *)
+  let home, report = Home.open_ ~dir () in
+  workload home;
+  let text = Home.audit_text home in
+  Home.close home;
+  (crashed, report, text)
+
+let crash_matrix_points =
+  (* appends 1..5 exist before the compaction; the rename points cover
+     compaction's two atomic replacements *)
+  List.concat_map
+    (fun point -> List.map (fun n -> (Fault.Crash, Printf.sprintf "%s:journal#%d" point n)) [ 1; 2; 3; 4; 5 ])
+    [ "journal/append/enter"; "journal/append/written"; "journal/append/synced" ]
+  @ [ (Fault.Crash, "journal/rename:snapshot"); (Fault.Crash, "journal/rename:journal") ]
+  @ List.map (fun n -> (Fault.Torn, Printf.sprintf "journal/write:journal#%d" n)) [ 1; 2; 3; 4; 5 ]
+  @ List.map (fun n -> (Fault.Flip, Printf.sprintf "journal/write:journal#%d" n)) [ 1; 2; 3; 4; 5 ]
+
+let mode_name = function Fault.Crash -> "crash" | Fault.Torn -> "torn" | Fault.Flip -> "flip"
+
+let crash_matrix =
+  test "every crash point recovers to the uncrashed audit" (fun () ->
+      let reference = Lazy.force reference_audit in
+      let fired = ref 0 in
+      List.iter
+        (fun (mode, only) ->
+          let crashed, _report, text = crash_cell mode only in
+          if crashed then incr fired;
+          if text <> reference then
+            Alcotest.failf "%s@%s: recovered audit differs from reference" (mode_name mode)
+              only)
+        crash_matrix_points;
+      (* Crash and Torn cells must actually crash; Flip cells are
+         silent by design *)
+      let loud =
+        List.length (List.filter (fun (m, _) -> m <> Fault.Flip) crash_matrix_points)
+      in
+      check_int "every loud fault fired" loud !fired)
+
+let torn_write_reports_damage =
+  test "a torn write surfaces as truncated bytes on recovery" (fun () ->
+      let crashed, report, _ = crash_cell Fault.Torn "journal/write:journal#4" in
+      check_bool "crashed" true crashed;
+      check_bool "damage seen" true
+        (report.Home.torn_bytes > 0 || report.Home.quarantined > 0))
+
+let flip_marks_changed_apps =
+  test "a flipped install record lands in the re-audit set" (fun () ->
+      (* append #4 is the ColdDefender install *)
+      let dir = fresh_dir () in
+      Fault.arm_storage ~seed:1 ~rate_per_thousand:1000 ~only:"journal/write:journal#4"
+        Fault.Flip;
+      Fun.protect
+        ~finally:(fun () -> Fault.disarm_storage ())
+        (fun () ->
+          let home, _ = Home.open_ ~dir () in
+          ignore (Home.deliver home ~seq:1 "http://my.com/appname:ComfortTV/threshold1:30/");
+          ignore (Home.deliver home ~seq:2 "http://my.com/appname:ColdDefender/unused:1/");
+          ignore (Home.install_app home (corpus_app "ComfortTV"));
+          ignore (Home.install_app home (corpus_app "ColdDefender"));
+          Home.close home);
+      let home, report = Home.open_ ~dir () in
+      check_int "one record quarantined" 1 report.Home.quarantined;
+      check_bool "ColdDefender lost" true
+        (not (List.exists (fun (a : Rule.smartapp) -> a.Rule.name = "ColdDefender")
+                (Home.installed_apps home)));
+      (* converge and verify against a cleanly built twin *)
+      ignore (Home.install_app home (corpus_app "ColdDefender"));
+      let recovered = Home.audit_text home in
+      Home.close home;
+      let dir2 = fresh_dir () in
+      let home2, _ = Home.open_ ~dir:dir2 () in
+      ignore (Home.deliver home2 ~seq:1 "http://my.com/appname:ComfortTV/threshold1:30/");
+      ignore (Home.deliver home2 ~seq:2 "http://my.com/appname:ColdDefender/unused:1/");
+      ignore (Home.install_app home2 (corpus_app "ComfortTV"));
+      ignore (Home.install_app home2 (corpus_app "ColdDefender"));
+      check_string "converged" (Home.audit_text home2) recovered;
+      Home.close home2)
+
+(* -- the checked-in corrupted fixture ------------------------------------------ *)
+
+let fixture_recovers =
+  test "the pre-baked corrupted journal recovers as documented" (fun () ->
+      let dir = fresh_dir () in
+      Unix.mkdir dir 0o755;
+      let path = Filename.concat dir "journal" in
+      let fixture =
+        (* dune runtest runs in the test dir; dune exec in the root *)
+        List.find Sys.file_exists
+          [ "fixtures/corrupted.journal"; "test/store/fixtures/corrupted.journal" ]
+      in
+      write_file path (read_file fixture);
+      let r = Journal.recover path in
+      check_int "three records survive" 3 (List.length r.Journal.recovered);
+      check_int "one quarantined" 1 r.Journal.quarantined;
+      check_int "torn bytes" 17 r.Journal.torn_bytes;
+      check_bool "damage index" true (r.Journal.damage_index = Some 2);
+      (* the surviving records are decodable config events *)
+      List.iter
+        (fun p ->
+          match Event.of_string p with
+          | Event.Config _ -> ()
+          | _ -> Alcotest.fail "expected a config event")
+        r.Journal.recovered;
+      (* and a Home opens over the recovered directory *)
+      let home, hr = Home.open_ ~dir () in
+      check_int "watermark from configs" 4 (Home.last_seq home);
+      check_int "no further damage" 0 (hr.Home.torn_bytes + hr.Home.quarantined);
+      Home.close home)
+
+let () =
+  Alcotest.run "homeguard-store"
+    [
+      ( "journal",
+        [
+          crc_vectors;
+          scan_roundtrip;
+          scan_empty;
+          torn_tail_every_cut;
+          flip_payload_quarantines;
+          flip_magic_resyncs;
+          recover_rewrites_and_quarantines;
+          append_then_scan;
+          event_roundtrip;
+        ] );
+      ( "ingest",
+        [ ingest_outcomes; ingest_envelope; ingest_sender_redelivery_is_harmless ] );
+      ( "home",
+        [
+          home_persists;
+          home_rerun_is_idempotent;
+          home_out_of_order_equals_in_order;
+          home_uninstall_and_update;
+          compaction_preserves_state;
+        ] );
+      ( "crash-matrix",
+        [ crash_matrix; torn_write_reports_damage; flip_marks_changed_apps ] );
+      ("fixture", [ fixture_recovers ]);
+    ]

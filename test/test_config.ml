@@ -250,11 +250,57 @@ let retry_accounts_backoff_and_is_deterministic =
       List.iter
         (function
           | Some (total, attempts) when attempts >= 2 ->
-            (* attempts-1 backoffs of 250, 500, ... precede the delivery *)
-            let backoff = 250.0 *. (Float.pow 2.0 (float_of_int (attempts - 1)) -. 1.0) in
-            check_bool "total covers backoff" true (total >= backoff)
+            (* attempts-1 jittered waits, each in [base, cap] *)
+            let waits = float_of_int (attempts - 1) in
+            check_bool "total covers minimum backoff" true (total >= waits *. 250.0)
           | _ -> ())
         a)
+
+let retry_backoff_is_capped =
+  test "send_with_retry: backoff never exceeds the cap per wait" (fun () ->
+      (* loss 100%: every attempt fails, so the total is exactly the sum
+         of the (attempts-1 = 9) jittered waits *)
+      let m = Messaging.create ~seed:5 ~loss_per_thousand:1000 () in
+      let r =
+        Messaging.send_with_retry ~max_attempts:10 ~backoff_ms:200.0 ~max_backoff_ms:600.0 m
+          Messaging.Http "u"
+      in
+      check_bool "all lost" true (r = None);
+      (* re-run observing each wait via a tiny cap equal to the base:
+         jitter collapses, waits become exactly base *)
+      let m = Messaging.create ~seed:5 ~loss_per_thousand:500 () in
+      let deterministic_totals = ref true in
+      for _ = 1 to 50 do
+        match
+          Messaging.send_with_retry ~max_attempts:6 ~backoff_ms:100.0 ~max_backoff_ms:100.0 m
+            Messaging.Http "u"
+        with
+        | Some (total, attempts) when attempts >= 2 ->
+          let backoff = float_of_int (attempts - 1) *. 100.0 in
+          (* total = delivery latency + exact backoff; latency < 5s *)
+          if not (total >= backoff && total <= backoff +. 5_000.0) then
+            deterministic_totals := false
+        | _ -> ()
+      done;
+      check_bool "cap = base collapses jitter to exact waits" true !deterministic_totals)
+
+let retry_fleet_desynchronizes =
+  test "send_with_retry: differently-seeded homes draw different backoffs" (fun () ->
+      (* a fleet of homes loses the same broadcast; decorrelated jitter
+         should spread their retry schedules instead of thundering back
+         in lockstep *)
+      let schedule seed =
+        let m = Messaging.create ~seed ~loss_per_thousand:900 () in
+        let acc = ref [] in
+        for _ = 1 to 20 do
+          acc := Messaging.send_with_retry ~max_attempts:8 m Messaging.Http "u" :: !acc
+        done;
+        !acc
+      in
+      let distinct =
+        [ 11; 12; 13; 14 ] |> List.map schedule |> List.sort_uniq compare |> List.length
+      in
+      check_bool "four seeds give four schedules" true (distinct = 4))
 
 (* -- recorder ------------------------------------------------------------------ *)
 
@@ -281,6 +327,34 @@ let recorder_values_become_constraints =
       let cs = Recorder.app_constraints r appA in
       check_bool "int value" true (List.mem ("threshold1", Term.Int 30) cs);
       check_bool "string value" true (List.mem ("modeName", Term.Str "Night") cs))
+
+let recorder_plain_decimal_only =
+  test "record_uri parses plain decimals only, not OCaml literal forms" (fun () ->
+      let r = Recorder.create () in
+      Recorder.record_uri r
+        (Config_uri.decode
+           (Instrument.collected_uri ~app_name:"A" ~device_bindings:[]
+              ~value_bindings:
+                [
+                  ("hex", "0x1f");
+                  ("bin", "0b10");
+                  ("sep", "1_000");
+                  ("dec", "30");
+                  ("neg", "-5");
+                ]));
+      let appA =
+        { Rule.name = "A"; description = ""; inputs = []; rules = []; uses_web_services = false }
+      in
+      let cs = Recorder.app_constraints r appA in
+      (* "0x1f" means the string the user typed, not 31 *)
+      check_bool "hex stays a string" true (List.mem ("hex", Term.Str "0x1f") cs);
+      check_bool "binary stays a string" true (List.mem ("bin", Term.Str "0b10") cs);
+      check_bool "underscores stay a string" true (List.mem ("sep", Term.Str "1_000") cs);
+      check_bool "decimal is numeric" true (List.mem ("dec", Term.Int 30) cs);
+      check_bool "negative decimal is numeric" true (List.mem ("neg", Term.Int (-5)) cs);
+      check_bool "empty rejected" true (Recorder.decimal_of_string_opt "" = None);
+      check_bool "bare minus rejected" true (Recorder.decimal_of_string_opt "-" = None);
+      check_bool "trailing junk rejected" true (Recorder.decimal_of_string_opt "12a" = None))
 
 let recorder_update_replaces =
   test "re-recording an app replaces its config" (fun () ->
@@ -311,7 +385,10 @@ let tests =
     retry_lossless_single_attempt;
     retry_raises_delivery_probability;
     retry_accounts_backoff_and_is_deterministic;
+    retry_backoff_is_capped;
+    retry_fleet_desynchronizes;
     recorder_same_device;
     recorder_values_become_constraints;
+    recorder_plain_decimal_only;
     recorder_update_replaces;
   ]

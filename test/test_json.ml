@@ -80,6 +80,21 @@ let rule_file_roundtrip =
           if app' <> app then Alcotest.failf "roundtrip failed for %s" app.Rule.name)
         Homeguard_corpus.Corpus.all)
 
+let rule_file_string_fixpoint =
+  test "serialized rule files are a fixpoint of parse/print" (fun () ->
+      (* the journal detects duplicate installs by comparing serialized
+         rule files byte-for-byte, so to_string(of_string s) = s must
+         hold for every serialized corpus app *)
+      List.iter
+        (fun (e : Homeguard_corpus.App_entry.t) ->
+          let app =
+            extract ~name:e.Homeguard_corpus.App_entry.name e.Homeguard_corpus.App_entry.source
+          in
+          let s = Rule_json.to_string app in
+          let s' = Rule_json.to_string (Rule_json.of_string s) in
+          if s' <> s then Alcotest.failf "string fixpoint failed for %s" app.Rule.name)
+        Homeguard_corpus.Corpus.all)
+
 let rule_file_size_reasonable =
   test "rule files are KB-scale (paper: ~6.2KB per app)" (fun () ->
       let sizes =
@@ -109,6 +124,7 @@ let tests =
     parse_errors;
     roundtrip_prop;
     rule_file_roundtrip;
+    rule_file_string_fixpoint;
     rule_file_size_reasonable;
     decode_error;
   ]
