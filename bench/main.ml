@@ -708,6 +708,96 @@ let j1_journal () =
     report'.Home.snapshot_records ms_replay';
   Home.close home'
 
+(* ------------------------------------------------------------------ O1 *)
+
+(* Overload-safe serving: the same stall-injected install workload
+   through the bare engine (every solve runs to completion, latency is
+   whatever the stalls make it) and through the broker with a deadline
+   (remaining allowance becomes the solver budget, expired work is
+   shed). The broker trades completeness under overload — degraded
+   replies, threats as a lower bound — for a bounded tail. *)
+let o1_overload_serving () =
+  section "O1. Overload-safe serving: request latency under stall injection";
+  let module Broker = Homeguard_serve.Broker in
+  let module Fault = Homeguard_solver.Fault in
+  let module Home = Homeguard_store.Home in
+  let module Install_flow = Homeguard_frontend.Install_flow in
+  let fresh_dir tag =
+    let dir =
+      Filename.concat (Filename.get_temp_dir_name ())
+        (Printf.sprintf "hg_bench_%s_%d" tag (Unix.getpid ()))
+    in
+    ignore (Sys.command (Printf.sprintf "rm -rf %s" (Filename.quote dir)));
+    dir
+  in
+  let setup tag =
+    let home, _ = Home.open_ ~fsync:false ~dir:(fresh_dir tag) () in
+    List.iter
+      (fun n ->
+        ignore (Home.propose home (app n));
+        Home.decide home Install_flow.Keep)
+      [ "AtticFanController"; "SmokeVent"; "VentWhenHumid" ];
+    home
+  in
+  let report label n total_ms lats degraded =
+    let sorted = List.sort compare lats in
+    let len = List.length sorted in
+    let nth p = List.nth sorted (min (len - 1) (int_of_float (p *. float_of_int len))) in
+    Printf.printf
+      "%-26s %3d req in %7.1fms (%5.1f req/s)  mean %5.1fms  p95 %5.1fms  max %5.1fms  degraded %d\n"
+      label n total_ms
+      (float_of_int n /. total_ms *. 1000.0)
+      (List.fold_left ( +. ) 0.0 sorted /. float_of_int len)
+      (nth 0.95) (nth 1.0) degraded
+  in
+  let requests = 25 in
+  let src = (Option.get (Corpus.find "BathroomFanTimer")).App_entry.source in
+  (* baseline: the pre-broker path, no deadline, no shedding *)
+  let bare () =
+    let home = setup "bare" in
+    let lats = ref [] in
+    let (), total_ms =
+      time_ms (fun () ->
+          for _ = 1 to requests do
+            let (), ms =
+              time_ms (fun () ->
+                  ignore (Home.propose home (app "BathroomFanTimer"));
+                  Home.decide home Install_flow.Reject)
+            in
+            lats := ms :: !lats
+          done)
+    in
+    Home.close home;
+    report "bare engine (no deadline)" requests total_ms !lats 0
+  in
+  let brokered ~label deadline_ms =
+    let home = setup "broker" in
+    let config = { Broker.default_config with Broker.deadline_ms } in
+    let broker = Broker.create ~config home in
+    let lats = ref [] and degraded = ref 0 in
+    let (), total_ms =
+      time_ms (fun () ->
+          for _ = 1 to requests do
+            match Broker.install broker ~name:"BathroomFanTimer" ~source:src () with
+            | Broker.Proposed { degraded = d; elapsed_ms; _ } ->
+              if d then incr degraded;
+              lats := elapsed_ms :: !lats;
+              Home.decide home Install_flow.Reject
+            | Broker.Busy _ | Broker.Quarantined_app _ | Broker.Install_failed _ -> ()
+          done)
+    in
+    Home.close home;
+    report label requests total_ms !lats !degraded
+  in
+  (* every solve sleeps 10 ms: the slow-solver regime *)
+  Fault.arm ~seed:11 ~rate_per_thousand:1000 (Fault.Stall 10.0);
+  bare ();
+  brokered ~label:"broker, no deadline" None;
+  brokered ~label:"broker, 25 ms deadline" (Some 25.0);
+  Fault.disarm ();
+  print_endline
+    "(the deadline bounds the tail by shedding; degraded replies never claim a clean bill)"
+
 (* ---------------------------------------------------------- bechamel *)
 
 let bechamel_suite () =
@@ -819,5 +909,6 @@ let () =
   x1_multi_platform ();
   h1_mediation ();
   j1_journal ();
+  o1_overload_serving ();
   bechamel_suite ();
   print_endline "\nAll experiment sections completed."

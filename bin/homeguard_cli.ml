@@ -389,6 +389,9 @@ let corpus_cmd =
 
 module Home = Homeguard_store.Home
 module Ingest = Homeguard_store.Ingest
+module Broker = Homeguard_serve.Broker
+module Serve_shed = Homeguard_serve.Shed
+module Fault = Homeguard_solver.Fault
 
 let state_dir_arg =
   Arg.(
@@ -436,7 +439,9 @@ let print_delivery = function
 (** Line protocol for [serve]: one command per line on stdin. *)
 let serve_help =
   {|commands:
-  install FILE      extract FILE, detect threats, leave the proposal pending
+  install FILE      extract FILE, audit under the request deadline, leave the
+                    proposal pending; replies: ok | busy retry-after-ms=N |
+                    degraded (deadline cut the audit short) | quarantined
   keep              accept the pending proposal (journaled)
   reject            discard the pending proposal
   config URI        record a configuration URI (journaled)
@@ -444,8 +449,15 @@ let serve_help =
   uninstall NAME    remove an installed app (journaled)
   decision ID D     override handling for threat ID; D one of
                     allow | confirm | block RULE | prioritize RULE | break N
-  status            installed apps, watermark, journal size
-  audit             full re-audit of the installed home
+  status            installed apps, watermark, journal size, queue occupancy
+  audit             enqueue a background full re-audit (queued job=N | busy)
+  audit now         synchronous full re-audit (the recovery invariant text)
+  drain             run or shed every queued re-audit, in order
+  quarantine        list quarantined apps
+  quarantine clear NAME  lift a quarantine (journaled)
+  inject stall MS [RATE] [ONLY]  arm solver latency injection (test hook)
+  inject crash RATE [ONLY]       arm solver crash injection (test hook)
+  inject off        disarm fault injection
   compact           fold the journal into a snapshot
   help              this text
   quit              close the journal and exit|}
@@ -461,22 +473,89 @@ let parse_decision = function
     | None -> None)
   | _ -> None
 
-let serve_line home line =
+let print_install_reply = function
+  | Broker.Proposed { report; degraded; elapsed_ms } ->
+    let threats = report.Homeguard_frontend.Install_flow.threats in
+    let audit = report.Homeguard_frontend.Install_flow.audit in
+    Printf.printf "%s%s: %d threat(s) elapsed-ms=%.0f\n"
+      (if degraded then "degraded reason=deadline-expired " else "ok ")
+      report.Homeguard_frontend.Install_flow.app.Rule.name (List.length threats)
+      elapsed_ms;
+    print_audit_health audit;
+    if degraded || audit.Detector.failures <> [] then
+      print_endline "incomplete audit: threats shown are a lower bound, not a clean bill";
+    if threats <> [] then begin
+      print_endline report.Homeguard_frontend.Install_flow.threats_text;
+      print_endline report.Homeguard_frontend.Install_flow.handling_text
+    end;
+    Option.iter
+      (fun note -> Printf.printf "note: %s\n" note)
+      report.Homeguard_frontend.Install_flow.quarantine_note;
+    print_endline "pending: keep | reject"
+  | Broker.Busy { retry_after_ms } -> Printf.printf "busy retry-after-ms=%d\n" retry_after_ms
+  | Broker.Quarantined_app { app; reason } ->
+    Printf.printf "quarantined %s: %s — reject recommended (or: quarantine clear %s)\n" app
+      reason app
+  | Broker.Install_failed { app; error; quarantined } ->
+    Printf.printf "error: %s\n" error;
+    if quarantined then Printf.printf "quarantined %s after repeated failures\n" app
+
+let print_audit_outcome = function
+  | Broker.Audited { id; result; degraded; elapsed_ms } ->
+    Printf.printf "audited job=%d threats=%d shed=%d %s elapsed-ms=%.0f\n" id
+      (List.length result.Detector.threats)
+      result.Detector.shed
+      (if degraded then "degraded" else "complete")
+      elapsed_ms;
+    print_audit_health result
+  | Broker.Shed_job { id; reason } ->
+    Printf.printf "shed job=%d reason=%s\n" id (Serve_shed.describe_reason reason)
+
+let parse_inject words =
+  let rate_of s = int_of_string_opt s in
+  match words with
+  | [ "off" ] ->
+    Fault.disarm ();
+    Some "fault injection disarmed"
+  | "stall" :: ms :: rest -> (
+    match (float_of_string_opt ms, rest) with
+    | Some ms, [] ->
+      Fault.arm ~rate_per_thousand:1000 (Fault.Stall ms);
+      Some (Printf.sprintf "armed: stall %.0f ms on every solve" ms)
+    | Some ms, [ rate ] -> (
+      match rate_of rate with
+      | Some r ->
+        Fault.arm ~rate_per_thousand:r (Fault.Stall ms);
+        Some (Printf.sprintf "armed: stall %.0f ms at %d/1000" ms r)
+      | None -> None)
+    | Some ms, [ rate; only ] -> (
+      match rate_of rate with
+      | Some r ->
+        Fault.arm ~only ~rate_per_thousand:r (Fault.Stall ms);
+        Some (Printf.sprintf "armed: stall %.0f ms at %d/1000 only=%s" ms r only)
+      | None -> None)
+    | _ -> None)
+  | "crash" :: rate :: rest -> (
+    match (rate_of rate, rest) with
+    | Some r, [] ->
+      Fault.arm ~rate_per_thousand:r Fault.Raise;
+      Some (Printf.sprintf "armed: crash at %d/1000" r)
+    | Some r, [ only ] ->
+      Fault.arm ~only ~rate_per_thousand:r Fault.Raise;
+      Some (Printf.sprintf "armed: crash at %d/1000 only=%s" r only)
+    | _ -> None)
+  | _ -> None
+
+let serve_line broker line =
+  let home = Broker.home broker in
   let words = String.split_on_char ' ' (String.trim line) |> List.filter (( <> ) "") in
   match words with
   | [] -> ()
   | [ "install"; file ] -> (
-    match load_app file with
-    | { Extract.app; _ } ->
-      let report = Home.propose home app in
-      Printf.printf "%s: %d threat(s)\n" app.Rule.name
-        (List.length report.Homeguard_frontend.Install_flow.threats);
-      if report.Homeguard_frontend.Install_flow.threats <> [] then begin
-        print_endline report.Homeguard_frontend.Install_flow.threats_text;
-        print_endline report.Homeguard_frontend.Install_flow.handling_text
-      end;
-      print_endline "pending: keep | reject"
-    | exception Extract.Extraction_error msg -> Printf.printf "error: %s\n" msg
+    match read_file file with
+    | source ->
+      let name = Filename.remove_extension (Filename.basename file) in
+      print_install_reply (Broker.install broker ~name ~source ())
     | exception Sys_error msg -> Printf.printf "error: %s\n" msg)
   | [ "keep" ] -> (
     match Home.decide home Homeguard_frontend.Install_flow.Keep with
@@ -504,25 +583,88 @@ let serve_line home line =
       (String.concat ""
          (List.map (fun (a : Rule.smartapp) -> " " ^ a.Rule.name) (Home.installed_apps home)));
     Printf.printf "ack: %d\njournal: %d byte(s), snapshot: %d byte(s)\n" (Home.last_seq home)
-      (Home.journal_size home) (Home.snapshot_size home)
-  | [ "audit" ] -> print_string (Home.audit_text home)
+      (Home.journal_size home) (Home.snapshot_size home);
+    print_endline (Broker.status broker)
+  | [ "audit" ] -> (
+    match Broker.submit_audit broker () with
+    | Ok id -> Printf.printf "queued job=%d\n" id
+    | Error retry_after_ms -> Printf.printf "busy retry-after-ms=%d\n" retry_after_ms)
+  | [ "audit"; "now" ] -> print_string (Home.audit_text home)
+  | [ "drain" ] -> (
+    match Broker.drain broker with
+    | [] -> print_endline "nothing queued"
+    | outcomes -> List.iter print_audit_outcome outcomes)
+  | [ "quarantine" ] -> (
+    match Broker.quarantined broker with
+    | [] -> print_endline "quarantined: none"
+    | qs -> List.iter (fun (app, reason) -> Printf.printf "quarantined %s: %s\n" app reason) qs)
+  | [ "quarantine"; "clear"; name ] ->
+    print_endline
+      (if Broker.clear_quarantine broker name then "cleared" else "error: not quarantined")
+  | "inject" :: rest -> (
+    match parse_inject rest with
+    | Some msg -> print_endline msg
+    | None -> print_endline "error: bad inject (see help)")
   | [ "compact" ] ->
     Home.compact home;
     Printf.printf "compacted; snapshot: %d byte(s)\n" (Home.snapshot_size home)
   | [ "help" ] -> print_endline serve_help
   | _ -> print_endline "error: unknown command (try: help)"
 
+let max_queue_arg =
+  Arg.(
+    value & opt int 4
+    & info [ "max-queue" ] ~docv:"N"
+        ~doc:
+          "Bound on admitted work (running + queued) for this home. A request \
+           arriving with the queue full gets an immediate $(i,busy \
+           retry-after-ms=N) reply instead of unbounded queueing.")
+
+let deadline_ms_arg =
+  Arg.(
+    value & opt float 0.0
+    & info [ "deadline-ms" ] ~docv:"MS"
+        ~doc:
+          "Default per-request deadline in milliseconds (0 = unbounded). The \
+           remaining allowance is propagated down to the solver as its \
+           wall-clock budget; an audit cut short replies $(i,degraded) and \
+           never claims a clean bill.")
+
+let quarantine_after_arg =
+  Arg.(
+    value & opt int 3
+    & info [ "quarantine-after" ] ~docv:"K"
+        ~doc:
+          "Quarantine an app after K consecutive extraction/audit failures \
+           (journaled; survives restarts). Quarantined apps are excluded from \
+           batch audits until cleared.")
+
 let serve_cmd =
-  let run dir no_fsync online =
+  let run dir no_fsync online max_queue deadline_ms quarantine_after jobs =
     let home, report = Home.open_ ~fsync:(not no_fsync) ~mode:(home_mode online) ~dir () in
     print_recovery report;
+    let config =
+      {
+        Broker.default_config with
+        Broker.max_queue;
+        Broker.deadline_ms = (if deadline_ms > 0.0 then Some deadline_ms else None);
+        Broker.quarantine_after;
+        Broker.jobs = resolve_jobs jobs;
+      }
+    in
+    let broker = Broker.create ~config home in
+    (match Broker.quarantined broker with
+    | [] -> ()
+    | qs ->
+      Printf.printf "quarantined (recovered): %s\n" (String.concat ", " (List.map fst qs)));
     print_endline "ready (try: help)";
     (try
        while true do
          let line = input_line stdin in
-         if String.trim line = "quit" then raise Exit else serve_line home line
+         if String.trim line = "quit" then raise Exit else serve_line broker line
        done
      with Exit | End_of_file -> ());
+    Fault.disarm ();
     Home.close home;
     0
   in
@@ -530,8 +672,12 @@ let serve_cmd =
     (Cmd.info "serve"
        ~doc:
          "Run a durable home on a write-ahead journal, driven by a line protocol on \
-          stdin; every accepted change is journaled and fsynced before it applies")
-    Term.(const run $ state_dir_arg $ no_fsync_arg $ online_arg)
+          stdin; every accepted change is journaled and fsynced before it applies. \
+          Requests pass admission control (bounded queues, busy replies), carry \
+          deadlines down to the solver, and repeatedly-failing apps are quarantined")
+    Term.(
+      const run $ state_dir_arg $ no_fsync_arg $ online_arg $ max_queue_arg
+      $ deadline_ms_arg $ quarantine_after_arg $ jobs_arg)
 
 let recover_cmd =
   let run dir online jobs =
@@ -540,6 +686,13 @@ let recover_cmd =
     Printf.printf "installed apps: %d, watermark: %d\n"
       (List.length (Home.installed_apps home))
       (Home.last_seq home);
+    (match Home.quarantined home with
+    | [] -> ()
+    | qs ->
+      List.iter
+        (fun (app, reason) ->
+          Printf.printf "quarantined %s: %s (excluded from re-audit)\n" app reason)
+        qs);
     (match Home.reaudit_changed ~jobs:(resolve_jobs jobs) home report with
     | [] -> print_endline "incremental re-audit: nothing to re-check"
     | reaudits ->

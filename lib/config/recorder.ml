@@ -77,4 +77,5 @@ let detector_config t : Homeguard_detector.Detector.config =
     app_constraints = app_constraints t;
     reuse = true;
     budget = Homeguard_solver.Budget.default_spec;
+    escalate = true;
   }

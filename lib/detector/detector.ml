@@ -27,6 +27,11 @@ type config = {
   budget : Budget.spec;
       (** per-solve resource budget; an exhausted solve is retried once
           with {!Budget.escalate} and then surfaced as [Undecided] *)
+  escalate : bool;
+      (** retry exhausted solves once with an 8x budget. Disable for
+          deadline-derived budgets ({!Budget.of_deadline}): escalating a
+          wall-clock timeout would let one solve outlive the request
+          deadline it was cut from *)
 }
 
 (** Offline corpus mode: two inputs denote the same device when they
@@ -51,6 +56,7 @@ let offline_config =
     app_constraints = (fun _ -> []);
     reuse = true;
     budget = Budget.default_spec;
+    escalate = true;
   }
 
 type ctx = {
@@ -78,6 +84,9 @@ let create config =
 let budgeted_solve ctx store f : Solver.verdict =
   ctx.solver_calls <- ctx.solver_calls + 1;
   match Solver.solve ~budget:(Budget.start ctx.config.budget) store f with
+  | Budget.Unknown _ as verdict when not ctx.config.escalate ->
+    ctx.undecided_solves <- ctx.undecided_solves + 1;
+    verdict
   | Budget.Unknown _ ->
     ctx.escalations <- ctx.escalations + 1;
     ctx.solver_calls <- ctx.solver_calls + 1;
@@ -700,13 +709,23 @@ let candidate_pairs ctx (apps : Rule.smartapp list) =
 
 (* -- crash-isolated execution ---------------------------------------------- *)
 
-type failure = { pair : string; exn : string; backtrace : string }
+type failure = {
+  pair : string;
+  apps : string * string;  (** the two app names, for failure attribution *)
+  exn : string;
+  backtrace : string;
+}
 
 type audit_result = {
   threats : Threat.t list;
   undecided : int;  (** threats carrying an [Undecided] severity *)
   failures : failure list;  (** pairs whose detection crashed twice *)
   retried : int;  (** pairs retried on the coordinator after a crash *)
+  shed : int;
+      (** pairs never audited because the run was cancelled (deadline or
+          load shed). A result with [shed > 0] is incomplete and must be
+          treated conservatively — it can support "threats found" but
+          never "no threat" *)
 }
 
 let pair_label ((app1, r1) : tagged_rule) ((app2, r2) : tagged_rule) =
@@ -734,36 +753,53 @@ let merge_ctx into c =
    [failures], in pair order. Per-pair detection does not depend on
    cache contents, so threats, undecided set and failures are identical
    (and identically ordered) for every [jobs]. *)
-let run_pairs ~jobs ctx (pairs : (tagged_rule * tagged_rule) array) =
-  let detect_one c (p1, p2) = Schedule.capture (fun () -> detect_pair c p1 p2) in
+let run_pairs ~jobs ?(cancel = fun () -> false) ctx
+    (pairs : (tagged_rule * tagged_rule) array) =
+  (* [None] = never attempted: the run was cancelled before this pair. *)
+  let detect_one c (p1, p2) =
+    if cancel () then None else Some (Schedule.capture (fun () -> detect_pair c p1 p2))
+  in
   let first_pass =
     if jobs <= 1 then Array.map (detect_one ctx) pairs
     else begin
       let results =
-        Schedule.map_batches ~jobs
+        Schedule.map_batches ~cancel ~jobs
           (fun batch ->
             let c = create ctx.config in
             (Array.map (detect_one c) batch, c))
           pairs
       in
-      Array.iter (fun (_, c) -> merge_ctx ctx c) results;
-      Array.concat (List.map fst (Array.to_list results))
+      Array.iter (function Some (_, c) -> merge_ctx ctx c | None -> ()) results;
+      (* flatten batch slots back to per-pair slots, [None] for whole
+         batches the cancellation skipped *)
+      let batch_sizes = Array.map Array.length (Schedule.batches ~jobs pairs) in
+      Array.concat
+        (List.concat
+           (List.mapi
+              (fun i slot ->
+                match slot with
+                | Some (rs, _) -> [ rs ]
+                | None -> [ Array.make batch_sizes.(i) None ])
+              (Array.to_list results)))
     end
   in
-  let retried = ref 0 and failures = ref [] and threats = ref [] in
+  let retried = ref 0 and failures = ref [] and threats = ref [] and shed = ref 0 in
   Array.iteri
     (fun i result ->
       let p1, p2 = pairs.(i) in
       match result with
-      | Ok ts -> threats := ts :: !threats
-      | Error (_ : Schedule.exn_info) -> (
+      | None -> incr shed
+      | Some (Ok ts) -> threats := ts :: !threats
+      | Some (Error (_ : Schedule.exn_info)) -> (
         incr retried;
         match detect_one ctx (p1, p2) with
-        | Ok ts -> threats := ts :: !threats
-        | Error info ->
+        | None -> incr shed
+        | Some (Ok ts) -> threats := ts :: !threats
+        | Some (Error info) ->
           failures :=
             {
               pair = pair_label p1 p2;
+              apps = ((fst p1).Rule.name, (fst p2).Rule.name);
               exn = info.Schedule.exn;
               backtrace = info.Schedule.backtrace;
             }
@@ -776,10 +812,11 @@ let run_pairs ~jobs ctx (pairs : (tagged_rule * tagged_rule) array) =
       List.length (List.filter (fun t -> Threat.is_undecided t.Threat.severity) threats);
     failures = List.rev !failures;
     retried = !retried;
+    shed = !shed;
   }
 
 (** Crash-isolated audit of an explicit pair plan. *)
-let audit_pairs ?(jobs = 1) ctx pairs = run_pairs ~jobs ctx pairs
+let audit_pairs ?(jobs = 1) ?cancel ctx pairs = run_pairs ~jobs ?cancel ctx pairs
 
 let new_app_pairs ctx (db : Homeguard_rules.Rule_db.t) (new_app : Rule.smartapp) =
   let installed = Homeguard_rules.Rule_db.all_rules db in
@@ -796,13 +833,13 @@ let new_app_pairs ctx (db : Homeguard_rules.Rule_db.t) (new_app : Rule.smartapp)
 
 (** Install-time audit of a newly installed app against every
     already-installed app recorded in [db] (the online flow, §IV-C). *)
-let audit_new_app ?(jobs = 1) ctx db new_app =
-  run_pairs ~jobs ctx (new_app_pairs ctx db new_app)
+let audit_new_app ?(jobs = 1) ?cancel ctx db new_app =
+  run_pairs ~jobs ?cancel ctx (new_app_pairs ctx db new_app)
 
 (** Exhaustive pairwise audit over a set of apps (the corpus audit,
     §VIII-B). *)
-let audit_all ?(jobs = 1) ctx (apps : Rule.smartapp list) =
-  run_pairs ~jobs ctx (candidate_pairs ctx apps)
+let audit_all ?(jobs = 1) ?cancel ctx (apps : Rule.smartapp list) =
+  run_pairs ~jobs ?cancel ctx (candidate_pairs ctx apps)
 
 (** Threat-list views of the audits, for callers that only consume the
     reports (the structured counts stay available via [audit_*]). *)

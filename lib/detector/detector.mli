@@ -21,6 +21,10 @@ type config = {
   budget : Budget.spec;
       (** per-solve resource budget; exhausted solves are retried once
           with {!Budget.escalate}, then reported [Undecided] *)
+  escalate : bool;
+      (** retry exhausted solves with an 8x budget (default). Disabled
+          for deadline-derived budgets, where escalating the wall-clock
+          timeout would outlive the request deadline it was cut from *)
 }
 
 val offline_same_device : Rule.smartapp -> string -> Rule.smartapp -> string -> bool
@@ -74,7 +78,12 @@ val candidate_pairs :
 
 (** {2 Crash-isolated audits} *)
 
-type failure = { pair : string; exn : string; backtrace : string }
+type failure = {
+  pair : string;
+  apps : string * string;  (** the two app names, for failure attribution *)
+  exn : string;
+  backtrace : string;
+}
 (** One pair whose detection raised on both the worker attempt and the
     coordinator retry. *)
 
@@ -83,21 +92,41 @@ type audit_result = {
   undecided : int;  (** threats carrying an [Undecided] severity *)
   failures : failure list;  (** pairs whose detection crashed twice *)
   retried : int;  (** pairs retried on the coordinator after a crash *)
+  shed : int;
+      (** pairs never audited because [?cancel] fired (deadline or load
+          shed). [shed > 0] marks the result incomplete: it may support
+          "threats found" but never "no threat" *)
 }
 
 val audit_pairs :
-  ?jobs:int -> ctx -> (tagged_rule * tagged_rule) array -> audit_result
+  ?jobs:int ->
+  ?cancel:(unit -> bool) ->
+  ctx ->
+  (tagged_rule * tagged_rule) array ->
+  audit_result
 (** Run an explicit pair plan with per-pair crash isolation. Failed
     pairs are retried once on the coordinator domain; double failures
     land in [failures] (pair order), and the rest of the audit still
     completes. Threats, undecided set and failures are identical, and
-    identically ordered, for every [~jobs] value. *)
+    identically ordered, for every [~jobs] value.
+
+    [?cancel] is polled cooperatively before every pair (and before each
+    parallel batch): once it reports [true] the remaining pairs are
+    counted in [shed] instead of audited, so an in-flight batched audit
+    stops within one pair (sequential) or one batch (parallel) of the
+    cancellation point. *)
 
 val audit_new_app :
-  ?jobs:int -> ctx -> Homeguard_rules.Rule_db.t -> Rule.smartapp -> audit_result
+  ?jobs:int ->
+  ?cancel:(unit -> bool) ->
+  ctx ->
+  Homeguard_rules.Rule_db.t ->
+  Rule.smartapp ->
+  audit_result
 (** Install-time flow: the new app against every installed rule. *)
 
-val audit_all : ?jobs:int -> ctx -> Rule.smartapp list -> audit_result
+val audit_all :
+  ?jobs:int -> ?cancel:(unit -> bool) -> ctx -> Rule.smartapp list -> audit_result
 (** Exhaustive pairwise audit across distinct apps. With [~jobs] > 1
     each domain detects on its own ctx; per-domain caches and counters
     are merged back before the coordinator retries any failed pair. *)

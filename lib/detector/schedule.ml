@@ -86,10 +86,17 @@ module Work_queue = struct
     take ()
 end
 
-let map_batches ~jobs f (items : 'a array) =
+(* Cooperative cancellation: [cancel] is polled before each batch runs.
+   Once it reports [true], no further batch starts — on any domain — and
+   the skipped batches' slots stay [None]. A batch already in flight
+   finishes (its [f] may poll [cancel] itself for finer granularity), so
+   a cancelled map overshoots the cancellation point by at most one
+   batch per domain. *)
+let map_batches ?(cancel = fun () -> false) ~jobs f (items : 'a array) =
   let bs = batches ~jobs items in
   let n = Array.length bs in
-  if jobs <= 1 || n <= 1 then Array.map f bs
+  if jobs <= 1 || n <= 1 then
+    Array.map (fun b -> if cancel () then None else Some (f b)) bs
   else begin
     let queue = Work_queue.create () in
     Array.iteri (fun i b -> Work_queue.push queue (i, b)) bs;
@@ -98,15 +105,17 @@ let map_batches ~jobs f (items : 'a array) =
     let slots = Array.make n None in
     let worker () =
       let rec loop () =
-        match Work_queue.pop queue with
-        | None -> ()
-        | Some (i, batch) ->
-          slots.(i) <- Some (f batch);
-          loop ()
+        if cancel () then ()
+        else
+          match Work_queue.pop queue with
+          | None -> ()
+          | Some (i, batch) ->
+            slots.(i) <- Some (f batch);
+            loop ()
       in
       loop ()
     in
     let domains = List.init (min jobs n) (fun _ -> Stdlib.Domain.spawn worker) in
     List.iter Stdlib.Domain.join domains;
-    Array.map (function Some r -> r | None -> assert false) slots
+    slots
   end

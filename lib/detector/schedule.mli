@@ -30,11 +30,19 @@ val batches : jobs:int -> 'a array -> 'a array array
     load-balances uneven batches). Concatenating the result restores the
     input; an empty input yields no batches. *)
 
-val map_batches : jobs:int -> ('a array -> 'b) -> 'a array -> 'b array
+val map_batches :
+  ?cancel:(unit -> bool) -> jobs:int -> ('a array -> 'b) -> 'a array -> 'b option array
 (** [map_batches ~jobs f items] applies [f] to every batch of [items]
     and returns the per-batch results indexed in batch order, regardless
     of which domain ran which batch. [jobs <= 1] (or a single batch)
     runs inline on the calling domain; otherwise [jobs] worker domains
     pull batches from a shared work queue until it drains. [f] must be
     safe to run on several domains at once (give each call its own
-    mutable state and merge afterwards). *)
+    mutable state and merge afterwards).
+
+    [?cancel] (default: never) is polled cooperatively before each batch
+    starts; once it reports [true], no further batch runs on any domain
+    and the skipped batches return [None]. Batches already in flight
+    complete — a cancelled map overshoots by at most one batch per
+    domain — so callers that need finer granularity should also poll
+    [cancel] inside [f]. Without cancellation every slot is [Some]. *)

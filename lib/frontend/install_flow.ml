@@ -26,6 +26,14 @@ type report = {
       (** each threat with the handling decision that will be enforced
           (explicit if the user already set one, else the default) *)
   handling_text : string;  (** rendered recommendations *)
+  audit : Detector.audit_result;
+      (** the structured install-time audit; [audit.shed > 0] means the
+          detection was cut short (deadline/shed) and the threat list is
+          a lower bound, never a clean bill *)
+  quarantine_note : string option;
+      (** set when the proposed app is quarantined (distinct
+          recommendation: reject) or when quarantined installed apps
+          were excluded from this audit *)
 }
 
 type t = {
@@ -37,6 +45,9 @@ type t = {
   mutable kept : Threat.t list;
       (** threats the user accepted at install time; these are what the
           runtime mediator enforces *)
+  mutable quarantined : (string * string) list;
+      (** poison apps (name, reason): excluded from detection and
+          surfaced with a reject recommendation *)
 }
 
 let create ?(detector_config = Detector.offline_config) () =
@@ -47,6 +58,7 @@ let create ?(detector_config = Detector.offline_config) () =
     detector_config;
     policies = Policy.create ();
     kept = [];
+    quarantined = [];
   }
 
 let render_recommendations recs =
@@ -55,12 +67,63 @@ let render_recommendations recs =
          Printf.sprintf "  [%s] %s" (Policy.threat_id threat) (Policy.describe d))
   |> String.concat "\n"
 
+(* -- quarantine -------------------------------------------------------------- *)
+
+let quarantine t name ~reason =
+  if not (List.mem_assoc name t.quarantined) then
+    t.quarantined <- t.quarantined @ [ (name, reason) ]
+
+let unquarantine t name =
+  let had = List.mem_assoc name t.quarantined in
+  t.quarantined <- List.filter (fun (n, _) -> n <> name) t.quarantined;
+  had
+
+let quarantined t = t.quarantined
+let is_quarantined t name = List.mem_assoc name t.quarantined
+
+(* The detection database minus quarantined apps: a poison app's rules
+   must not be able to crash every later install's audit. *)
+let detection_db t =
+  if t.quarantined = [] then t.db
+  else begin
+    let db = Rule_db.create () in
+    List.iter
+      (fun (a : Rule.smartapp) ->
+        if not (is_quarantined t a.Rule.name) then ignore (Rule_db.install db a))
+      (Rule_db.installed_apps t.db);
+    db
+  end
+
+let quarantine_note t (app : Rule.smartapp) =
+  match List.assoc_opt app.Rule.name t.quarantined with
+  | Some reason ->
+    Some
+      (Printf.sprintf
+         "%s is quarantined (%s): its analysis keeps failing, so threats cannot be \
+          ruled out — recommend Reject (or clear the quarantine first)"
+         app.Rule.name reason)
+  | None ->
+    let excluded =
+      List.filter (fun (n, _) -> Rule_db.find t.db n <> None) t.quarantined
+    in
+    if excluded = [] then None
+    else
+      Some
+        (Printf.sprintf
+           "quarantined app(s) excluded from this audit: %s — interference with them \
+            cannot be ruled out"
+           (String.concat ", " (List.map fst excluded)))
+
 (** Step 1-3: collect config (already folded into [detector_config] when
     using a {!Homeguard_config.Recorder}), fetch rules, detect threats.
-    Returns the report to present to the user. *)
-let propose t (app : Rule.smartapp) =
-  let ctx = Detector.create t.detector_config in
-  let threats = Detector.detect_new_app ctx t.db app in
+    Returns the report to present to the user. [?config] overrides the
+    detector configuration for this proposal only (e.g. a
+    deadline-derived budget); [?cancel] cooperatively cuts the audit
+    short, leaving [report.audit.shed > 0]. *)
+let propose ?config ?cancel t (app : Rule.smartapp) =
+  let ctx = Detector.create (Option.value ~default:t.detector_config config) in
+  let audit = Detector.audit_new_app ?cancel ctx (detection_db t) app in
+  let threats = audit.Detector.threats in
   let chains = Chain.find_chains t.allowed threats in
   let recommendations =
     List.map (fun threat -> (threat, Policy.decision_for t.policies threat)) threats
@@ -74,6 +137,8 @@ let propose t (app : Rule.smartapp) =
       threats_text = Threat_interpreter.describe_all threats;
       recommendations;
       handling_text = render_recommendations recommendations;
+      audit;
+      quarantine_note = quarantine_note t app;
     }
   in
   t.pending <- Some report;

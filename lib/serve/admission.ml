@@ -1,0 +1,99 @@
+(** Admission control: bounded per-home and global work queues with
+    explicit backpressure.
+
+    Every request must win a ticket before any work happens; a request
+    that cannot be admitted is told so immediately, with a retry hint
+    derived from the estimated service time and the depth of the queue
+    ahead of it — overload surfaces as a fast, explicit [busy] reply
+    instead of unbounded queueing and silent latency collapse.
+
+    Interactive requests (install-time audits, a user is waiting) may
+    use the whole global allowance; background work (full re-audits,
+    post-recovery sweeps) is capped below it, so a burst of maintenance
+    can never starve the interactive path. *)
+
+type priority = Interactive | Background
+
+type t = {
+  max_per_home : int;
+  max_global : int;
+  interactive_reserve : int;
+      (** global slots background work may never occupy *)
+  est_service_ms : int;  (** per-request service estimate for retry hints *)
+  mutex : Mutex.t;
+  mutable per_home : (string * int) list;
+  mutable global : int;
+}
+
+type ticket = { home : string; mutable released : bool }
+
+let create ?(max_per_home = 4) ?(max_global = 16) ?(interactive_reserve = 2)
+    ?(est_service_ms = 50) () =
+  if max_per_home < 1 then invalid_arg "Admission.create: max_per_home < 1";
+  if max_global < 1 then invalid_arg "Admission.create: max_global < 1";
+  if interactive_reserve < 0 || interactive_reserve >= max_global then
+    invalid_arg "Admission.create: interactive_reserve out of range";
+  {
+    max_per_home;
+    max_global;
+    interactive_reserve;
+    est_service_ms;
+    mutex = Mutex.create ();
+    per_home = [];
+    global = 0;
+  }
+
+let with_lock t f =
+  Mutex.lock t.mutex;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.mutex) f
+
+let home_count t home =
+  match List.assoc_opt home t.per_home with Some n -> n | None -> 0
+
+let set_home_count t home n =
+  t.per_home <-
+    (if n = 0 then List.remove_assoc home t.per_home
+     else if List.mem_assoc home t.per_home then
+       List.map (fun (h, v) -> if h = home then (h, n) else (h, v)) t.per_home
+     else (home, n) :: t.per_home)
+
+(** How long until a slot should free up, assuming requests ahead of us
+    drain at [est_service_ms] each. Never zero: the caller must back
+    off, not spin. *)
+let retry_after t ~over = t.est_service_ms * max 1 over
+
+let try_admit t ~home priority =
+  with_lock t @@ fun () ->
+  let global_cap =
+    match priority with
+    | Interactive -> t.max_global
+    | Background -> t.max_global - t.interactive_reserve
+  in
+  let here = home_count t home in
+  if here >= t.max_per_home then
+    Error (retry_after t ~over:(here - t.max_per_home + 1))
+  else if t.global >= global_cap then
+    Error (retry_after t ~over:(t.global - global_cap + 1))
+  else begin
+    set_home_count t home (here + 1);
+    t.global <- t.global + 1;
+    Ok { home; released = false }
+  end
+
+let release t ticket =
+  with_lock t @@ fun () ->
+  if not ticket.released then begin
+    ticket.released <- true;
+    set_home_count t ticket.home (max 0 (home_count t ticket.home - 1));
+    t.global <- max 0 (t.global - 1)
+  end
+
+let in_flight t = with_lock t @@ fun () -> t.global
+let home_in_flight t home = with_lock t @@ fun () -> home_count t home
+
+(** Fraction of the global allowance in use, in [0, 1]. The shed policy
+    compares this against its threshold. *)
+let occupancy t =
+  with_lock t @@ fun () -> float_of_int t.global /. float_of_int t.max_global
+
+let est_service_ms t = t.est_service_ms

@@ -1,0 +1,40 @@
+(** Admission control: bounded per-home and global work queues with
+    explicit backpressure replies. *)
+
+type priority =
+  | Interactive  (** install-time audits; a user is waiting *)
+  | Background  (** full re-audits, post-recovery sweeps *)
+
+type t
+type ticket
+
+val create :
+  ?max_per_home:int ->
+  ?max_global:int ->
+  ?interactive_reserve:int ->
+  ?est_service_ms:int ->
+  unit ->
+  t
+(** Defaults: 4 per home, 16 global, 2 slots reserved for interactive
+    work, 50 ms service estimate.
+    @raise Invalid_argument on non-positive bounds or a reserve that
+    consumes the whole global allowance. *)
+
+val try_admit : t -> home:string -> priority -> (ticket, int) result
+(** Admit or refuse immediately; [Error retry_after_ms] is the
+    backpressure reply ([busy retry-after-ms=N]), always positive.
+    Background admission is capped at [max_global - interactive_reserve]
+    so maintenance bursts cannot starve the interactive path; the
+    per-home bound applies to both priorities. *)
+
+val release : t -> ticket -> unit
+(** Idempotent; every admitted ticket must be released exactly once
+    (extra releases are ignored). *)
+
+val in_flight : t -> int
+val home_in_flight : t -> string -> int
+
+val occupancy : t -> float
+(** Fraction of the global allowance in use, in [0, 1]. *)
+
+val est_service_ms : t -> int

@@ -1,0 +1,257 @@
+(** The request broker: admission control, deadline propagation, load
+    shedding and poison-app quarantine wired over one {!Home}.
+
+    The division of labour: {!Admission} owns the bounds, {!Deadline}
+    owns the clock, {!Shed} owns the refusal vocabulary, {!Quarantine}
+    owns the K-failure counter, and {!Homeguard_store.Home} owns
+    durability. The broker sequences them — admit, derive a budget from
+    what remains of the deadline, run, attribute failures, journal
+    quarantines — and turns the result into a structured reply the
+    serve loop can print.
+
+    Interactive installs run immediately under their deadline;
+    background full re-audits are queued ({!submit_audit}) holding an
+    admission ticket, and {!drain} runs or sheds them in order. *)
+
+module Rule = Homeguard_rules.Rule
+module Budget = Homeguard_solver.Budget
+module Detector = Homeguard_detector.Detector
+module Threat = Homeguard_detector.Threat
+module Extract = Homeguard_symexec.Extract
+module Install_flow = Homeguard_frontend.Install_flow
+module Home = Homeguard_store.Home
+
+type config = {
+  max_queue : int;  (** per-home admission bound (queued + running) *)
+  max_global : int;
+  interactive_reserve : int;
+  deadline_ms : float option;  (** default request deadline *)
+  quarantine_after : int;  (** consecutive failures before quarantine *)
+  shed_threshold : float;  (** occupancy at which background work sheds *)
+  est_service_ms : int;
+  clock : Deadline.clock;
+  jobs : int;  (** audit parallelism *)
+}
+
+let default_config =
+  {
+    max_queue = 4;
+    max_global = 16;
+    interactive_reserve = 2;
+    deadline_ms = None;
+    quarantine_after = 3;
+    shed_threshold = 0.75;
+    est_service_ms = 50;
+    clock = Deadline.wall_clock;
+    jobs = 1;
+  }
+
+type job = { id : int; ticket : Admission.ticket; job_deadline : Deadline.t }
+
+type t = {
+  home : Home.t;
+  config : config;
+  admission : Admission.t;
+  quarantine : Quarantine.t;
+  mutable queue : job list;  (** FIFO; each job holds its ticket *)
+  mutable next_job : int;
+}
+
+(* A broker fronts exactly one home; the per-home bound keys on this. *)
+let home_key = "home"
+
+let create ?(config = default_config) home =
+  let admission =
+    Admission.create ~max_per_home:config.max_queue ~max_global:config.max_global
+      ~interactive_reserve:config.interactive_reserve
+      ~est_service_ms:config.est_service_ms ()
+  in
+  let quarantine = Quarantine.create ~threshold:config.quarantine_after () in
+  (* the journal is the authority: re-seed the counter's view from it *)
+  List.iter
+    (fun (app, reason) -> Quarantine.restore quarantine ~app ~reason)
+    (Home.quarantined home);
+  { home; config; admission; quarantine; queue = []; next_job = 1 }
+
+let home t = t.home
+let admission t = t.admission
+let pending_jobs t = List.length t.queue
+
+(* -- failure attribution ------------------------------------------------------ *)
+
+(* One failure against [app]; tripping the threshold journals the
+   quarantine so it survives restarts. *)
+let note_failure t ~app ~reason =
+  match Quarantine.note_failure t.quarantine ~app ~reason with
+  | `Quarantined why ->
+    Home.quarantine t.home ~app ~reason:why;
+    true
+  | `Counted _ -> false
+
+(** Attribute an audit's crashes — and, when the run was healthy, its
+    budget exhaustions — to apps, and reset the streak of every app
+    that came through clean. Budget exhaustion under a degraded run
+    (deadline-clamped budget, shed batches) says the service was
+    overloaded, not that the app is poison, so it does not count. *)
+let note_audit_result t ~degraded ~involved (r : Detector.audit_result) =
+  let failed = Hashtbl.create 8 in
+  let mark app reason =
+    Hashtbl.replace failed app ();
+    ignore (note_failure t ~app ~reason)
+  in
+  List.iter
+    (fun (f : Detector.failure) ->
+      let a1, a2 = f.apps in
+      let reason = "pair detection crashed: " ^ f.exn in
+      mark a1 reason;
+      mark a2 reason)
+    r.Detector.failures;
+  if not degraded then
+    List.iter
+      (fun (th : Threat.t) ->
+        if Threat.is_undecided th.Threat.severity then begin
+          mark th.Threat.app1.Rule.name "solver budget exhausted";
+          mark th.Threat.app2.Rule.name "solver budget exhausted"
+        end)
+      r.Detector.threats;
+  List.iter
+    (fun app ->
+      if not (Hashtbl.mem failed app) then Quarantine.note_success t.quarantine app)
+    involved
+
+(* -- interactive installs ----------------------------------------------------- *)
+
+type install_reply =
+  | Proposed of {
+      report : Install_flow.report;
+      degraded : bool;
+          (** the deadline cut the audit short: the threat list is a
+              lower bound, never a clean bill *)
+      elapsed_ms : float;
+    }
+  | Busy of { retry_after_ms : int }
+  | Quarantined_app of { app : string; reason : string }
+  | Install_failed of {
+      app : string;
+      error : string;
+      quarantined : bool;  (** this failure tripped the threshold *)
+    }
+
+let install t ?deadline_ms ~name ~source () =
+  match Home.quarantined t.home |> List.assoc_opt name with
+  | Some reason -> Quarantined_app { app = name; reason }
+  | None -> (
+    match Admission.try_admit t.admission ~home:home_key Admission.Interactive with
+    | Error retry_after_ms -> Busy { retry_after_ms }
+    | Ok ticket ->
+      Fun.protect ~finally:(fun () -> Admission.release t.admission ticket)
+      @@ fun () ->
+      let started = t.config.clock () in
+      let timeout_ms =
+        match deadline_ms with Some _ -> deadline_ms | None -> t.config.deadline_ms
+      in
+      let dl = Deadline.make ~clock:t.config.clock ?timeout_ms () in
+      let fail error =
+        let quarantined = note_failure t ~app:name ~reason:error in
+        Install_failed { app = name; error; quarantined }
+      in
+      (match Extract.extract_source ~name source with
+      | exception Extract.Extraction_error m -> fail ("extraction failed: " ^ m)
+      | exception e -> fail ("extraction crashed: " ^ Printexc.to_string e)
+      | { Extract.app; _ } -> (
+        let budget = Deadline.budget_spec ~base:(Home.config t.home).Detector.budget dl in
+        match Home.propose ~budget ~cancel:(Deadline.cancel dl) t.home app with
+        | exception e -> fail ("audit crashed: " ^ Printexc.to_string e)
+        | report ->
+          let degraded =
+            report.Install_flow.audit.Detector.shed > 0 || Deadline.expired dl
+          in
+          note_audit_result t ~degraded ~involved:[ name ]
+            report.Install_flow.audit;
+          Proposed { report; degraded; elapsed_ms = t.config.clock () -. started })))
+
+(* -- background re-audits ----------------------------------------------------- *)
+
+(** Enqueue a full re-audit. The job holds an admission ticket from the
+    moment it is accepted, so queued background work counts against the
+    bounds and later submissions see honest backpressure. *)
+let submit_audit t ?deadline_ms () =
+  match Admission.try_admit t.admission ~home:home_key Admission.Background with
+  | Error retry_after_ms -> Error retry_after_ms
+  | Ok ticket ->
+    let timeout_ms =
+      match deadline_ms with Some _ -> deadline_ms | None -> t.config.deadline_ms
+    in
+    let job_deadline = Deadline.make ~clock:t.config.clock ?timeout_ms () in
+    let id = t.next_job in
+    t.next_job <- id + 1;
+    t.queue <- t.queue @ [ { id; ticket; job_deadline } ];
+    Ok id
+
+type audit_outcome =
+  | Audited of {
+      id : int;
+      result : Detector.audit_result;
+      degraded : bool;
+      elapsed_ms : float;
+    }
+  | Shed_job of { id : int; reason : Shed.reason }
+
+(** Run (or shed) every queued job, in submission order. A job whose
+    deadline already passed is shed outright; under high occupancy
+    background jobs are shed to protect interactive latency. Either way
+    the reply is a structured [Degraded] — never a silent drop, never
+    "no threat". *)
+let drain t =
+  let jobs = t.queue in
+  t.queue <- [];
+  List.map
+    (fun job ->
+      Fun.protect ~finally:(fun () -> Admission.release t.admission job.ticket)
+      @@ fun () ->
+      if Deadline.expired job.job_deadline then
+        Shed_job { id = job.id; reason = Shed.Deadline_expired }
+      else if
+        Shed.should_shed t.admission ~threshold:t.config.shed_threshold
+          Admission.Background
+      then Shed_job { id = job.id; reason = Shed.Overloaded }
+      else begin
+        let started = t.config.clock () in
+        let involved =
+          List.filter_map
+            (fun (a : Rule.smartapp) ->
+              if Home.is_quarantined t.home a.Rule.name then None
+              else Some a.Rule.name)
+            (Home.installed_apps t.home)
+        in
+        let result =
+          Home.audit ~jobs:t.config.jobs ~cancel:(Deadline.cancel job.job_deadline)
+            t.home
+        in
+        let degraded =
+          result.Detector.shed > 0 || Deadline.expired job.job_deadline
+        in
+        note_audit_result t ~degraded ~involved result;
+        Audited
+          { id = job.id; result; degraded; elapsed_ms = t.config.clock () -. started }
+      end)
+    jobs
+
+(* -- quarantine management ---------------------------------------------------- *)
+
+let quarantined t = Home.quarantined t.home
+
+let clear_quarantine t app =
+  let in_policy = Quarantine.clear t.quarantine app in
+  let in_home = Home.unquarantine t.home app in
+  in_policy || in_home
+
+let status t =
+  Printf.sprintf
+    "in-flight %d/%d (home %d/%d) queued-jobs %d occupancy %.2f quarantined %d"
+    (Admission.in_flight t.admission)
+    t.config.max_global
+    (Admission.home_in_flight t.admission home_key)
+    t.config.max_queue (pending_jobs t)
+    (Admission.occupancy t.admission)
+    (List.length (quarantined t))

@@ -1,0 +1,90 @@
+(** The request broker: admission control, deadline propagation, load
+    shedding and poison-app quarantine over one {!Homeguard_store.Home}. *)
+
+module Detector = Homeguard_detector.Detector
+module Install_flow = Homeguard_frontend.Install_flow
+module Home = Homeguard_store.Home
+
+type config = {
+  max_queue : int;  (** per-home admission bound (queued + running) *)
+  max_global : int;
+  interactive_reserve : int;
+  deadline_ms : float option;  (** default request deadline *)
+  quarantine_after : int;  (** consecutive failures before quarantine *)
+  shed_threshold : float;  (** occupancy at which background work sheds *)
+  est_service_ms : int;
+  clock : Deadline.clock;
+  jobs : int;  (** audit parallelism *)
+}
+
+val default_config : config
+(** max_queue 4, max_global 16, interactive_reserve 2, no default
+    deadline, quarantine after 3, shed at 0.75 occupancy, 50 ms
+    estimate, wall clock, 1 job. *)
+
+type t
+
+val create : ?config:config -> Home.t -> t
+(** Quarantines recovered from the home's journal seed the in-memory
+    counter, so durable state and policy agree from the first request. *)
+
+val home : t -> Home.t
+val admission : t -> Admission.t
+
+(** {2 Interactive installs} *)
+
+type install_reply =
+  | Proposed of {
+      report : Install_flow.report;
+      degraded : bool;
+          (** the deadline cut the audit short: the threat list is a
+              lower bound, never a clean bill *)
+      elapsed_ms : float;
+    }
+  | Busy of { retry_after_ms : int }  (** backpressure; retry later *)
+  | Quarantined_app of { app : string; reason : string }
+      (** refused before extraction: the app is quarantined *)
+  | Install_failed of {
+      app : string;
+      error : string;
+      quarantined : bool;  (** this failure tripped the threshold *)
+    }
+
+val install :
+  t -> ?deadline_ms:float -> name:string -> source:string -> unit -> install_reply
+(** Admit (Interactive), extract, audit against the home under the
+    remaining deadline (budget via {!Deadline.budget_spec}, escalation
+    off, cooperative cancellation). Extraction/audit crashes count
+    toward quarantine; a successful proposal leaves the report pending
+    in the home for [keep]/[reject]. *)
+
+(** {2 Background re-audits} *)
+
+val submit_audit : t -> ?deadline_ms:float -> unit -> (int, int) result
+(** Enqueue a full re-audit; the job holds its admission ticket from
+    acceptance, so queued work counts against the bounds.
+    [Error retry_after_ms] is the backpressure reply. *)
+
+type audit_outcome =
+  | Audited of {
+      id : int;
+      result : Detector.audit_result;
+      degraded : bool;
+      elapsed_ms : float;
+    }
+  | Shed_job of { id : int; reason : Shed.reason }
+
+val drain : t -> audit_outcome list
+(** Run or shed every queued job in submission order: expired deadlines
+    and over-threshold occupancy shed (structured, never a silent drop),
+    the rest run with cooperative cancellation. *)
+
+val pending_jobs : t -> int
+
+(** {2 Quarantine management} *)
+
+val quarantined : t -> (string * string) list
+val clear_quarantine : t -> string -> bool
+
+val status : t -> string
+(** One-line occupancy/queue/quarantine summary for the serve loop. *)

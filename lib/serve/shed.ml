@@ -1,0 +1,37 @@
+(** Load shedding: the structured way a request is refused or cut short.
+
+    The one invariant that matters: a shed or degraded audit may report
+    the threats it did find, but it may {e never} claim "no threat" —
+    an attacker must not be able to launder a poison workload into a
+    clean bill of health by overloading the detector (the conservatism
+    rule of {!Homeguard_detector.Detector.audit_result.shed}, lifted to
+    the request level). *)
+
+type reason =
+  | Queue_full of { retry_after_ms : int }
+      (** refused at admission; retry after the hint *)
+  | Deadline_expired  (** the request's allowance ran out *)
+  | Overloaded  (** background work shed to protect interactive latency *)
+
+type 'a outcome =
+  | Completed of 'a
+  | Degraded of { reason : reason; partial : 'a option }
+      (** [partial] is whatever was computed before the cut — a lower
+          bound on the threats present, never a clean bill *)
+
+let describe_reason = function
+  | Queue_full { retry_after_ms } ->
+    Printf.sprintf "queue-full retry-after-ms=%d" retry_after_ms
+  | Deadline_expired -> "deadline-expired"
+  | Overloaded -> "overloaded"
+
+(** Whether to shed a unit of work given current occupancy. Interactive
+    work is never shed here (it is bounded at admission instead);
+    background work is shed once occupancy reaches the threshold. *)
+let should_shed admission ~threshold = function
+  | Admission.Interactive -> false
+  | Admission.Background -> Admission.occupancy admission >= threshold
+
+(** [true] when the outcome may support a "no threat" conclusion:
+    only a completed, non-degraded result can. *)
+let conclusive = function Completed _ -> true | Degraded _ -> false

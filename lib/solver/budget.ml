@@ -54,6 +54,22 @@ let spec_of_nodes n =
   if n <= 0 then unlimited_spec
   else { prop_steps = Some (Stdlib.min max_int (50 * n)); search_nodes = Some n; timeout_ms = None }
 
+(** Budget derived from a request deadline: the caller has
+    [remaining_ms] of wall-clock left, so no single solve may run past
+    it. Fuel limits come from [base] (default {!default_spec}); the
+    solve timeout is the remaining time, clamped below any timeout
+    [base] already imposed. A non-positive remainder yields an
+    already-expired budget — the solve reports [Unknown] at its first
+    deadline poll instead of starting work it cannot finish. *)
+let of_deadline ?(base = default_spec) remaining_ms =
+  let remaining = Float.max 0.0 remaining_ms in
+  let timeout_ms =
+    match base.timeout_ms with
+    | None -> Some remaining
+    | Some t -> Some (Float.min t remaining)
+  in
+  { base with timeout_ms }
+
 (** Escalated retry budget: every finite limit multiplied by [factor]. *)
 let escalate ?(factor = 8) spec =
   let mul = Option.map (fun n -> if n > max_int / factor then max_int else n * factor) in

@@ -33,6 +33,12 @@ val spec_of_nodes : int -> spec
 (** From the CLI's single [--solver-budget] knob: [n] search nodes with
     proportional propagation fuel; [n <= 0] is unlimited. *)
 
+val of_deadline : ?base:spec -> float -> spec
+(** [of_deadline ~base remaining_ms]: [base] (default {!default_spec})
+    with its solve timeout clamped to the caller's remaining wall-clock
+    time, so a request never consumes solver time past its own deadline.
+    A non-positive remainder produces an already-expired budget. *)
+
 val escalate : ?factor:int -> spec -> spec
 (** The retry budget: every finite limit multiplied (default 8x). *)
 

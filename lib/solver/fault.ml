@@ -15,8 +15,17 @@ type mode =
   | Raise  (** raise {!Injected}: a worker crash *)
   | Exhaust  (** raise {!Budget.Exhausted} with {!Budget.Node_fuel} *)
   | Timeout  (** raise {!Budget.Exhausted} with {!Budget.Deadline} *)
+  | Stall of float
+      (** sleep that many wall-clock milliseconds, then continue: a slow
+          solve rather than a failed one, for overload/deadline tests *)
 
-type plan = { seed : int; rate_per_thousand : int; mode : mode; once : bool }
+type plan = {
+  seed : int;
+  rate_per_thousand : int;
+  mode : mode;
+  once : bool;
+  only : string option;  (** fire only on keys containing this substring *)
+}
 
 let state : plan option Atomic.t = Atomic.make None
 
@@ -25,10 +34,10 @@ let state : plan option Atomic.t = Atomic.make None
 let fired : (string, unit) Hashtbl.t = Hashtbl.create 64
 let lock = Mutex.create ()
 
-let arm ?(once = false) ?(seed = 1) ~rate_per_thousand mode =
+let arm ?(once = false) ?(seed = 1) ?only ~rate_per_thousand mode =
   Mutex.lock lock;
   Hashtbl.reset fired;
-  Atomic.set state (Some { seed; rate_per_thousand; mode; once });
+  Atomic.set state (Some { seed; rate_per_thousand; mode; once; only });
   Mutex.unlock lock
 
 let disarm () =
@@ -39,8 +48,17 @@ let disarm () =
 
 let armed () = Atomic.get state <> None
 
+let contains ~sub s =
+  let n = String.length sub and m = String.length s in
+  n = 0
+  ||
+  let rec at i = i + n <= m && (String.sub s i n = sub || at (i + 1)) in
+  at 0
+
 (* Order-independent decision: hash of (seed, key), not an RNG stream. *)
-let selects plan key = Hashtbl.hash (plan.seed, key) mod 1000 < plan.rate_per_thousand
+let selects plan key =
+  (match plan.only with None -> true | Some sub -> contains ~sub key)
+  && Hashtbl.hash (plan.seed, key) mod 1000 < plan.rate_per_thousand
 
 let check key =
   match Atomic.get state with
@@ -68,6 +86,7 @@ let check key =
           raise
             (Budget.Exhausted
                { Budget.trip = Budget.Deadline; where = "fault injection: " ^ key })
+        | Stall ms -> if ms > 0.0 then Unix.sleepf (ms /. 1000.0)
     end
 
 (* -- storage faults ---------------------------------------------------------- *)

@@ -5,12 +5,23 @@
 
 exception Injected of string
 
-type mode = Raise | Exhaust | Timeout
+type mode =
+  | Raise
+  | Exhaust
+  | Timeout
+  | Stall of float
+      (** latency injection: the selected solve sleeps that many
+          wall-clock milliseconds and then proceeds normally — a slow
+          solver rather than a broken one, for overload, deadline and
+          load-shedding tests *)
 
-val arm : ?once:bool -> ?seed:int -> rate_per_thousand:int -> mode -> unit
+val arm : ?once:bool -> ?seed:int -> ?only:string -> rate_per_thousand:int -> mode -> unit
 (** Arm the hook. [~once] fires each selected key only on its first
     solve (so a retry succeeds); the default fires on every solve of a
-    selected key. *)
+    selected key. [~only] restricts selection to keys containing that
+    substring — solve keys are formula texts carrying qualified
+    ["App::var"] names, so [~only:"PoisonApp:"] targets exactly the
+    solves touching one app. *)
 
 val disarm : unit -> unit
 val armed : unit -> bool

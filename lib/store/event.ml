@@ -25,6 +25,10 @@ type t =
   | Config of { seq : int option; uri : string }
   | Decision of { threat_id : string; decision : Policy.decision }
   | Watermark of int  (** highest contiguously applied sequence number *)
+  | Quarantine of { app : string; reason : string }
+      (** the app's extraction/audit failed repeatedly; exclude it from
+          batch audits until explicitly cleared *)
+  | Unquarantine of string
 
 exception Decode_error of string
 
@@ -65,6 +69,13 @@ let to_json = function
           Json.Obj [ ("id", Json.String threat_id); ("d", decision_to_json decision) ] );
       ]
   | Watermark n -> Json.Obj [ ("watermark", Json.Int n) ]
+  | Quarantine { app; reason } ->
+    Json.Obj
+      [
+        ( "quarantine",
+          Json.Obj [ ("app", Json.String app); ("reason", Json.String reason) ] );
+      ]
+  | Unquarantine app -> Json.Obj [ ("unquarantine", Json.String app) ]
 
 let of_json = function
   | Json.Obj [ ("install", app) ] -> Install (Rule_json.smartapp_of_json app)
@@ -74,6 +85,13 @@ let of_json = function
   | Json.Obj [ ("decision", Json.Obj [ ("id", Json.String threat_id); ("d", d) ]) ] ->
     Decision { threat_id; decision = decision_of_json d }
   | Json.Obj [ ("watermark", Json.Int n) ] -> Watermark n
+  | Json.Obj
+      [
+        ( "quarantine",
+          Json.Obj [ ("app", Json.String app); ("reason", Json.String reason) ] );
+      ] ->
+    Quarantine { app; reason }
+  | Json.Obj [ ("unquarantine", Json.String app) ] -> Unquarantine app
   | j -> fail "bad event: %s" (Json.to_string j)
 
 let to_string e = Json.to_string (to_json e)
@@ -91,3 +109,5 @@ let describe = function
   | Decision { threat_id; decision } ->
     Printf.sprintf "decision %s -> %s" threat_id (Policy.describe decision)
   | Watermark n -> Printf.sprintf "watermark %d" n
+  | Quarantine { app; reason } -> Printf.sprintf "quarantine %s (%s)" app reason
+  | Unquarantine app -> "unquarantine " ^ app

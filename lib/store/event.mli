@@ -10,6 +10,10 @@ type t =
   | Config of { seq : int option; uri : string }
   | Decision of { threat_id : string; decision : Policy.decision }
   | Watermark of int
+  | Quarantine of { app : string; reason : string }
+      (** poison-app quarantine: exclude the app from batch audits until
+          explicitly cleared (survives restarts through replay) *)
+  | Unquarantine of string
 
 exception Decode_error of string
 

@@ -134,12 +134,24 @@ let apply_event t = function
   | Event.Decision { threat_id; decision } ->
     Install_flow.set_decision t.flow threat_id decision
   | Event.Watermark n -> Ingest.force_last (ingest t) n
+  | Event.Quarantine { app; reason } -> Install_flow.quarantine t.flow app ~reason
+  | Event.Unquarantine app -> ignore (Install_flow.unquarantine t.flow app)
 
 (* -- journaled operations ---------------------------------------------------- *)
 
 let log_event t ev = Journal.append (journal t) (Event.to_string ev)
 
-let propose t app = Install_flow.propose t.flow app
+(** Install-time proposal. [?budget] replaces the per-solve budget for
+    this proposal only (a deadline-derived {!Budget.of_deadline} spec;
+    escalation is disabled so no solve outlives the request deadline);
+    [?cancel] cuts the audit short cooperatively. *)
+let propose ?budget ?cancel t app =
+  let config =
+    Option.map
+      (fun b -> { t.dconfig with Detector.budget = b; Detector.escalate = false })
+      budget
+  in
+  Install_flow.propose ?config ?cancel t.flow app
 
 exception No_pending_install = Install_flow.No_pending_install
 
@@ -211,6 +223,24 @@ let deliver t ~seq uri =
 let set_decision t threat_id decision =
   log_event t (Event.Decision { threat_id; decision });
   Install_flow.set_decision t.flow threat_id decision
+
+(* -- poison-app quarantine (journaled) --------------------------------------- *)
+
+let quarantine t ~app ~reason =
+  if not (Install_flow.is_quarantined t.flow app) then begin
+    log_event t (Event.Quarantine { app; reason });
+    Install_flow.quarantine t.flow app ~reason
+  end
+
+let unquarantine t app =
+  if Install_flow.is_quarantined t.flow app then begin
+    log_event t (Event.Unquarantine app);
+    Install_flow.unquarantine t.flow app
+  end
+  else false
+
+let quarantined t = Install_flow.quarantined t.flow
+let is_quarantined t app = Install_flow.is_quarantined t.flow app
 
 let mediator ?defer_delay_ms ?max_deferrals t =
   Install_flow.mediator ?defer_delay_ms ?max_deferrals t.flow
@@ -316,6 +346,9 @@ let compact t =
     @ List.map
         (fun (threat_id, decision) -> Event.Decision { threat_id; decision })
         (Policy.decisions (Install_flow.policies t.flow))
+    @ List.map
+        (fun (app, reason) -> Event.Quarantine { app; reason })
+        (Install_flow.quarantined t.flow)
     @ [ Event.Watermark (Ingest.ack (ingest t)) ]
   in
   close t;
@@ -329,9 +362,16 @@ let snapshot_size t = file_size t.snap_path
 
 (* -- re-audit ---------------------------------------------------------------- *)
 
-let audit ?(jobs = 1) t =
+(* Quarantined apps stay installed but are excluded from batch audits:
+   a poison app must not be able to crash every later re-audit. *)
+let auditable_apps t =
+  List.filter
+    (fun (a : Rule.smartapp) -> not (Install_flow.is_quarantined t.flow a.Rule.name))
+    (installed_apps t)
+
+let audit ?(jobs = 1) ?cancel t =
   let ctx = Detector.create t.dconfig in
-  Detector.audit_all ~jobs ctx (installed_apps t)
+  Detector.audit_all ~jobs ?cancel ctx (auditable_apps t)
 
 (** Canonical rendering of a full re-audit plus the durable state that
     feeds the mediator. Recovery's acceptance invariant is that this is
@@ -370,6 +410,11 @@ let audit_text t =
            uri))
     t.configs;
   Buffer.add_char b '\n';
+  Buffer.add_string b "quarantined:";
+  List.iter
+    (fun (app, reason) -> Buffer.add_string b (Printf.sprintf " [%s: %s]" app reason))
+    (Install_flow.quarantined t.flow);
+  Buffer.add_char b '\n';
   Buffer.add_string b (Printf.sprintf "ack: %d\n" (last_seq t));
   Buffer.contents b
 
@@ -381,12 +426,13 @@ let reaudit_changed ?(jobs = 1) t (report : recovery_report) =
     (fun name ->
       match find_installed t name with
       | None -> None
+      | Some _ when Install_flow.is_quarantined t.flow name -> None
       | Some app ->
         let db = Rule_db.create () in
         List.iter
           (fun (a : Rule.smartapp) ->
             if a.Rule.name <> name then ignore (Rule_db.install db a))
-          (installed_apps t);
+          (auditable_apps t);
         let ctx = Detector.create t.dconfig in
         Some (name, Detector.audit_new_app ~jobs ctx db app))
     report.changed_apps

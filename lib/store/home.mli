@@ -44,7 +44,18 @@ val close : t -> unit
 
 exception No_pending_install
 
-val propose : t -> Rule.smartapp -> Install_flow.report
+val propose :
+  ?budget:Homeguard_solver.Budget.spec ->
+  ?cancel:(unit -> bool) ->
+  t ->
+  Rule.smartapp ->
+  Install_flow.report
+(** [?budget] replaces the per-solve budget for this proposal only
+    (typically a deadline-derived {!Homeguard_solver.Budget.of_deadline}
+    spec; escalation is disabled so no retry outlives the request
+    deadline); [?cancel] cuts the audit short cooperatively, leaving
+    [report.audit.shed > 0]. *)
+
 val decide : t -> Install_flow.decision -> unit
 (** [Keep] journals the full rule file before installing; [Reject] and
     [Reconfigure] touch no durable state.
@@ -84,6 +95,26 @@ val last_seq : t -> int
 val set_decision : t -> string -> Policy.decision -> unit
 val mediator : ?defer_delay_ms:int -> ?max_deferrals:int -> t -> Mediator.t
 
+(** {2 Poison-app quarantine (journaled)}
+
+    A quarantined app stays installed but is excluded from every batch
+    audit and install-time detection, and proposals involving it carry a
+    distinct recommendation. Quarantine events are journaled before they
+    apply and re-emitted by {!compact}, so quarantine survives restarts
+    and compaction. *)
+
+val quarantine : t -> app:string -> reason:string -> unit
+(** Idempotent: quarantining an already-quarantined app journals
+    nothing. *)
+
+val unquarantine : t -> string -> bool
+(** [false] when the app was not quarantined (nothing journaled). *)
+
+val quarantined : t -> (string * string) list
+(** [(app, reason)] pairs, in quarantine order. *)
+
+val is_quarantined : t -> string -> bool
+
 (** {2 Inspection} *)
 
 val installed_apps : t -> Rule.smartapp list
@@ -103,7 +134,11 @@ val compact : t -> unit
 
 (** {2 Re-audit} *)
 
-val audit : ?jobs:int -> t -> Detector.audit_result
+val audit : ?jobs:int -> ?cancel:(unit -> bool) -> t -> Detector.audit_result
+(** Full re-audit of the installed (non-quarantined) apps. [?cancel]
+    cuts the batched run short; skipped pairs are counted in
+    [audit_result.shed], never reported threat-free. *)
+
 val audit_text : t -> string
 (** Canonical rendering of a full re-audit plus the durable state
     feeding the mediator; recovery's acceptance invariant is that this

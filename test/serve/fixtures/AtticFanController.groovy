@@ -1,0 +1,31 @@
+
+definition(name: "AtticFanController", description: "Exhaust the attic when it bakes")
+
+preferences {
+  section("Attic temperature...") {
+    input "atticTemp", "capability.temperatureMeasurement", title: "Where?"
+  }
+  section("Run this fan...") {
+    input "atticFan", "capability.switch", title: "Attic fan"
+  }
+}
+
+def installed() {
+  subscribe(atticTemp, "temperature", temperatureHandler)
+}
+
+def updated() {
+  unsubscribe()
+  subscribe(atticTemp, "temperature", temperatureHandler)
+}
+
+def temperatureHandler(evt) {
+  def t = evt.integerValue
+  if (t > 100) {
+    atticFan.on()
+  } else {
+    if (t < 85) {
+      atticFan.off()
+    }
+  }
+}

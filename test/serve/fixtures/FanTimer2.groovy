@@ -1,0 +1,29 @@
+
+definition(name: "BathroomFanTimer", description: "Run the bathroom fan for a while after the light goes off")
+
+preferences {
+  section("When this light turns off...") {
+    input "bathLight", "capability.switch", title: "Bathroom light"
+  }
+  section("Run this fan...") {
+    input "bathFan", "capability.switch", title: "Bathroom fan"
+  }
+}
+
+def installed() {
+  subscribe(bathLight, "switch.off", lightOffHandler)
+}
+
+def updated() {
+  unsubscribe()
+  subscribe(bathLight, "switch.off", lightOffHandler)
+}
+
+def lightOffHandler(evt) {
+  bathFan.on()
+  runIn(600, fanOff)
+}
+
+def fanOff() {
+  bathFan.off()
+}

@@ -174,6 +174,8 @@ let event_roundtrip =
             { threat_id = "CT:a->b"; decision = Policy.Break_chain { hop_budget = 2 } };
           Event.Decision { threat_id = "DC:a<->b"; decision = Policy.Confirm };
           Event.Watermark 42;
+          Event.Quarantine { app = "PoisonApp"; reason = "3 consecutive failures" };
+          Event.Unquarantine "PoisonApp";
         ]
       in
       List.iter
@@ -203,6 +205,49 @@ let ingest_outcomes =
       Ingest.force_last t 5;
       check_bool "stale after force" true (Ingest.receive t ~seq:4 "d" = Ingest.Duplicate);
       check_bool "next applies" true (Ingest.receive t ~seq:6 "f" = Ingest.Applied 1))
+
+let ingest_window_boundaries =
+  test "reorder window edges: at the edge buffers, one past overflows" (fun () ->
+      let applied = ref [] in
+      let t = Ingest.create ~window:4 (fun ~seq p -> applied := (seq, p) :: !applied) in
+      check_bool "seed" true (Ingest.receive t ~seq:1 "a" = Ingest.Applied 1);
+      check_int "watermark after seed" 1 (Ingest.ack t);
+      (* last = 1, window = 4: 5 = last + window is the buffer's last
+         admissible slot; 6 = last + window + 1 is one past it *)
+      check_bool "exactly at the window edge buffers" true
+        (Ingest.receive t ~seq:5 "e" = Ingest.Buffered);
+      check_bool "one past the edge overflows" true
+        (Ingest.receive t ~seq:6 "f" = Ingest.Overflow);
+      check_int "watermark unmoved by buffering and overflow" 1 (Ingest.ack t);
+      check_bool "nothing applied yet" true (!applied = [ (1, "a") ]);
+      (* filling the gap drains the run up to the edge message *)
+      check_bool "2 fills" true (Ingest.receive t ~seq:2 "b" = Ingest.Applied 1);
+      check_bool "3 fills" true (Ingest.receive t ~seq:3 "c" = Ingest.Applied 1);
+      check_bool "4 drains through the buffered edge" true
+        (Ingest.receive t ~seq:4 "d" = Ingest.Applied 2);
+      check_int "watermark at the edge" 5 (Ingest.ack t);
+      (* the window slides with the watermark: 6 is now admissible *)
+      check_bool "previously overflowed seq now applies" true
+        (Ingest.receive t ~seq:6 "f" = Ingest.Applied 1);
+      check_int "watermark follows" 6 (Ingest.ack t);
+      check_bool "apply order" true
+        (List.rev !applied = [ (1, "a"); (2, "b"); (3, "c"); (4, "d"); (5, "e"); (6, "f") ]))
+
+let ingest_duplicate_after_ack =
+  test "a duplicate arriving after its ack is dropped, watermark intact" (fun () ->
+      let count = ref 0 in
+      let t = Ingest.create ~window:4 (fun ~seq:_ _ -> incr count) in
+      check_bool "1" true (Ingest.receive t ~seq:1 "a" = Ingest.Applied 1);
+      check_bool "2" true (Ingest.receive t ~seq:2 "b" = Ingest.Applied 1);
+      check_int "acked" 2 (Ingest.ack t);
+      (* the sender never saw the ack and re-sends both *)
+      check_bool "dup 1" true (Ingest.receive t ~seq:1 "a" = Ingest.Duplicate);
+      check_bool "dup 2" true (Ingest.receive t ~seq:2 "b" = Ingest.Duplicate);
+      check_int "applied exactly once each" 2 !count;
+      check_int "watermark intact" 2 (Ingest.ack t);
+      (* and the stream continues normally after the duplicates *)
+      check_bool "3" true (Ingest.receive t ~seq:3 "c" = Ingest.Applied 1);
+      check_int "watermark advances" 3 (Ingest.ack t))
 
 let ingest_envelope =
   test "wire envelope round-trips and rejects junk" (fun () ->
@@ -496,7 +541,13 @@ let () =
           event_roundtrip;
         ] );
       ( "ingest",
-        [ ingest_outcomes; ingest_envelope; ingest_sender_redelivery_is_harmless ] );
+        [
+          ingest_outcomes;
+          ingest_window_boundaries;
+          ingest_duplicate_after_ack;
+          ingest_envelope;
+          ingest_sender_redelivery_is_harmless;
+        ] );
       ( "home",
         [
           home_persists;

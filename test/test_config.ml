@@ -302,6 +302,40 @@ let retry_fleet_desynchronizes =
       in
       check_bool "four seeds give four schedules" true (distinct = 4))
 
+let retry_respects_deadline =
+  test "send_with_retry: backoff spend never exceeds the caller's deadline" (fun () ->
+      (* 100% loss: every attempt fails, so the only question is how
+         long we keep retrying. With waits of exactly 100 ms (cap =
+         base collapses jitter) and a 250 ms deadline, at most two
+         waits fit; without a deadline all 9 waits are spent *)
+      let attempt_with deadline_ms =
+        let m = Messaging.create ~seed:7 ~loss_per_thousand:1000 () in
+        Messaging.send_with_retry ~max_attempts:10 ~backoff_ms:100.0 ~max_backoff_ms:100.0
+          ?deadline_ms m Messaging.Http "u"
+      in
+      check_bool "all lost either way" true
+        (attempt_with None = None && attempt_with (Some 250.0) = None);
+      (* deadline caps delivered totals too: under 50% loss, every
+         successful delivery's backoff spend fits inside the deadline *)
+      let m = Messaging.create ~seed:7 ~loss_per_thousand:500 () in
+      let within = ref true in
+      for _ = 1 to 100 do
+        match
+          Messaging.send_with_retry ~max_attempts:8 ~backoff_ms:100.0 ~max_backoff_ms:100.0
+            ~deadline_ms:250.0 m Messaging.Http "u"
+        with
+        | Some (_total, attempts) ->
+          (* attempts - 1 waits of exactly 100 ms = the backoff spend *)
+          let backoff = float_of_int (attempts - 1) *. 100.0 in
+          if backoff > 250.0 then within := false
+        | None -> ()
+      done;
+      check_bool "backoff spend bounded by the deadline" true !within;
+      (* a zero deadline still allows the free first attempt *)
+      let m = Messaging.create ~seed:9 () in
+      check_bool "first attempt is free" true
+        (Messaging.send_with_retry ~deadline_ms:0.0 m Messaging.Http "u" <> None))
+
 (* -- recorder ------------------------------------------------------------------ *)
 
 let recorder_same_device =
@@ -387,6 +421,7 @@ let tests =
     retry_accounts_backoff_and_is_deterministic;
     retry_backoff_is_capped;
     retry_fleet_desynchronizes;
+    retry_respects_deadline;
     recorder_same_device;
     recorder_values_become_constraints;
     recorder_plain_decimal_only;

@@ -23,4 +23,5 @@ let () =
       ("corpus", Test_corpus.tests);
       ("integration", Test_integration.tests);
       ("robustness", Test_robustness.tests);
+      ("totality", Test_total.tests);
     ]

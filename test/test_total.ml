@@ -1,0 +1,92 @@
+(** Totality of the analysis front end: lexing, parsing and rule
+    extraction must be total functions over arbitrary byte strings —
+    any input, however hostile, yields either a result or a structured
+    {!Extract.Extraction_error}, never an uncaught exception. This is
+    the serving layer's first line of defence: a poison app must fail
+    {e cleanly} so it can be counted, quarantined and refused, not
+    crash the process that was auditing it. *)
+
+module Extract = Homeguard_symexec.Extract
+
+(* Run one input through the full pipeline; [Ok ()] covers both
+   successful extraction and the structured error. Anything else is a
+   totality violation. *)
+let classify src =
+  match Extract.extract_source ~name:"fuzz" src with
+  | _ -> Ok ()
+  | exception Extract.Extraction_error _ -> Ok ()
+  | exception e -> Error (Printexc.to_string e)
+
+let check_total src =
+  match classify src with
+  | Ok () -> true
+  | Error exn ->
+    Printf.eprintf "uncaught exception on %S: %s\n" src exn;
+    false
+
+(* Arbitrary bytes: the raw fuzz surface. *)
+let arbitrary_bytes =
+  QCheck.(string_gen_of_size (Gen.int_range 0 2048) Gen.char)
+
+(* Groovy-flavoured fragments: random splices of tokens the lexer and
+   parser actually branch on, which reach far deeper than raw bytes. *)
+let groovy_fragment =
+  let tokens =
+    [|
+      "definition"; "preferences"; "section"; "input"; "def "; "if"; "else";
+      "subscribe"; "schedule"; "runIn"; "{"; "}"; "("; ")"; "["; "]"; ":";
+      ";"; ","; "."; "=="; "!="; "="; "&&"; "||"; "!"; "+"; "-"; "*"; "/";
+      "\""; "\\"; "'"; "$"; "\n"; " "; "\t"; "0"; "42"; "3.14"; "true";
+      "false"; "null"; "it"; "app"; "evt.value"; "location.mode"; "état";
+      "\xff"; "\x00"; "/* "; "*/"; "//"; "name:"; "title:"; "capability.switch";
+    |]
+  in
+  QCheck.Gen.(
+    list_size (int_range 0 200) (oneofa tokens) >|= String.concat "")
+  |> QCheck.make ~print:(Printf.sprintf "%S")
+
+let prop_raw_bytes_total =
+  QCheck.Test.make ~count:500 ~name:"extraction is total on arbitrary bytes"
+    arbitrary_bytes check_total
+
+let prop_fragments_total =
+  QCheck.Test.make ~count:500 ~name:"extraction is total on Groovy-token splices"
+    groovy_fragment check_total
+
+(* Mutated real sources: flip, delete and duplicate bytes of corpus
+   apps — inputs that are almost valid stress the deepest paths. *)
+let mutated_corpus_total =
+  let sources =
+    List.map (fun e -> e.Homeguard_corpus.App_entry.source) Homeguard_corpus.Corpus.all
+  in
+  let mutate rand src =
+    if String.length src = 0 then src
+    else
+      let b = Bytes.of_string src in
+      let n = 1 + Random.State.int rand 8 in
+      for _ = 1 to n do
+        let i = Random.State.int rand (Bytes.length b) in
+        match Random.State.int rand 3 with
+        | 0 -> Bytes.set b i (Char.chr (Random.State.int rand 256))
+        | 1 -> Bytes.set b i ' '
+        | _ -> Bytes.set b i '{'
+      done;
+      Bytes.to_string b
+  in
+  Alcotest.test_case "extraction is total on mutated corpus sources" `Quick (fun () ->
+      let rand = Random.State.make [| 0x70745 |] in
+      let violations = ref 0 in
+      List.iter
+        (fun src ->
+          for _ = 1 to 5 do
+            if not (check_total (mutate rand src)) then incr violations
+          done)
+        sources;
+      Alcotest.(check int) "no uncaught exceptions" 0 !violations)
+
+let tests =
+  [
+    QCheck_alcotest.to_alcotest ~long:false prop_raw_bytes_total;
+    QCheck_alcotest.to_alcotest ~long:false prop_fragments_total;
+    mutated_corpus_total;
+  ]
