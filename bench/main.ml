@@ -26,6 +26,9 @@ module Formula = Homeguard_solver.Formula
 module Term = Homeguard_solver.Term
 module Solver = Homeguard_solver.Solver
 module Store = Homeguard_solver.Store
+module Trajectory = Homeguard_bench.Trajectory
+module Bstats = Homeguard_bench.Stats
+module Fsutil = Homeguard_bench.Fsutil
 open Homeguard_corpus
 
 let section title =
@@ -44,6 +47,16 @@ let time_ms f =
   let t0 = Unix.gettimeofday () in
   let result = f () in
   (result, (Unix.gettimeofday () -. t0) *. 1000.0)
+
+(* Scratch directory for the journal/serving sections (J1, O1): cleared
+   in-process, no shell-out. *)
+let fresh_dir tag =
+  let dir =
+    Filename.concat (Filename.get_temp_dir_name ())
+      (Printf.sprintf "hg_bench_%s_%d" tag (Unix.getpid ()))
+  in
+  Fsutil.rm_rf dir;
+  dir
 
 (* ------------------------------------------------------------------ E1 *)
 
@@ -257,7 +270,28 @@ let p1_parallel_audit () =
     (ms1 /. Float.max 0.001 msn)
     (no_reuse - calls1);
   Printf.printf "threat sets identical and order-stable across job counts: %b (%d threats)\n"
-    (t1 = tn) (List.length t1)
+    (t1 = tn) (List.length t1);
+  let pps ms = float_of_int (Array.length pairs) /. Float.max 0.001 ms *. 1000.0 in
+  Printf.printf "throughput: %.0f pairs/sec sequential, %.0f pairs/sec at jobs=%d\n" (pps ms1)
+    (pps msn) njobs;
+  {
+    Trajectory.title = "P1";
+    metrics =
+      Trajectory.
+        [
+          metric ~direction:Exact "candidate_pairs" (float_of_int (Array.length pairs));
+          metric ~direction:Exact "threats" (float_of_int (List.length t1));
+          metric ~direction:Exact "threats_identical_across_jobs"
+            (if t1 = tn then 1.0 else 0.0);
+          metric ~direction:Exact "solver_calls" (float_of_int calls1);
+          metric ~direction:Exact "solver_calls_no_reuse" (float_of_int no_reuse);
+          metric ~direction:Info "jobs_n" (float_of_int njobs);
+          metric ~unit_:"ms" ~direction:Lower_better "wall_ms_jobs1" ms1;
+          metric ~unit_:"ms" ~direction:Lower_better "wall_ms_jobsN" msn;
+          metric ~unit_:"pairs/s" ~direction:Higher_better "pairs_per_sec_jobs1" (pps ms1);
+          metric ~unit_:"pairs/s" ~direction:Higher_better "pairs_per_sec_jobsN" (pps msn);
+        ];
+  }
 
 (* ------------------------------------------------------------------ P2 *)
 
@@ -277,18 +311,27 @@ let p2_budget_overhead () =
   in
   let njobs = Schedule.default_jobs () in
   Printf.printf "%-34s %10s %10s %8s\n" "configuration" "ms" "undecided" "failed";
-  List.iter
-    (fun (label, jobs, spec) ->
-      let ms, undecided, failed = run ~jobs spec in
-      Printf.printf "%-34s %10.0f %10d %8d\n" label ms undecided failed)
-    [
-      ("jobs=1, no budget", 1, Budget.unlimited_spec);
-      ("jobs=1, default budget", 1, Budget.default_spec);
-      (Printf.sprintf "jobs=%d, no budget" njobs, njobs, Budget.unlimited_spec);
-      (Printf.sprintf "jobs=%d, default budget" njobs, njobs, Budget.default_spec);
-    ];
+  let metrics =
+    List.concat_map
+      (fun (label, key, jobs, spec) ->
+        let ms, undecided, failed = run ~jobs spec in
+        Printf.printf "%-34s %10.0f %10d %8d\n" label ms undecided failed;
+        Trajectory.
+          [
+            metric ~unit_:"ms" ~direction:Lower_better ("wall_ms_" ^ key) ms;
+            metric ~direction:Exact ("undecided_" ^ key) (float_of_int undecided);
+            metric ~direction:Exact ("failed_" ^ key) (float_of_int failed);
+          ])
+      [
+        ("jobs=1, no budget", "jobs1_nobudget", 1, Budget.unlimited_spec);
+        ("jobs=1, default budget", "jobs1_default", 1, Budget.default_spec);
+        (Printf.sprintf "jobs=%d, no budget" njobs, "jobsN_nobudget", njobs, Budget.unlimited_spec);
+        (Printf.sprintf "jobs=%d, default budget" njobs, "jobsN_default", njobs, Budget.default_spec);
+      ]
+  in
   print_endline
-    "(budget checks are two int decrements per step; default budgets must leave 0 undecided)"
+    "(budget checks are two int decrements per step; default budgets must leave 0 undecided)";
+  { Trajectory.title = "P2"; metrics }
 
 (* ------------------------------------------------------------------ E6 *)
 
@@ -334,8 +377,7 @@ let pair_of name1 name2 =
   let a1 = app name1 and a2 = app name2 in
   ((a1, List.hd a1.Rule.rules), (a2, List.hd a2.Rule.rules))
 
-let measure_detection ~reuse pair detect_fn =
-  let iters = 50 in
+let measure_detection ?(iters = 50) ~reuse pair detect_fn =
   let p1, p2 = pair in
   let _, ms =
     time_ms (fun () ->
@@ -346,7 +388,7 @@ let measure_detection ~reuse pair detect_fn =
   in
   ms /. float_of_int iters
 
-let e8_fig9 () =
+let e8_fig9 ?(iters = 50) () =
   section "E8. Fig 9 — per-pair detection overhead by threat type";
   let ar_pair = pair_of "ComfortTV" "ColdDefender" in
   let gc_pair = pair_of "ItsTooCold" "ComfortWindow" in
@@ -354,18 +396,20 @@ let e8_fig9 () =
   let ec_pair = pair_of "NightCare" "BurglarFinder" in
   let rows =
     [
-      ("AR", measure_detection ~reuse:true ar_pair Detector.detect_ar, "full solve");
-      ("GC", measure_detection ~reuse:true gc_pair Detector.detect_gc, "full solve");
+      ("AR", "ar", measure_detection ~iters ~reuse:true ar_pair Detector.detect_ar, "full solve");
+      ("GC", "gc", measure_detection ~iters ~reuse:true gc_pair Detector.detect_gc, "full solve");
       ( "CT/SD/LT (fresh)",
-        measure_detection ~reuse:false ct_pair Detector.detect_trigger_interference,
+        "ct_sd_lt",
+        measure_detection ~iters ~reuse:false ct_pair Detector.detect_trigger_interference,
         "solves conditions itself" );
       ( "EC/DC (fresh)",
-        measure_detection ~reuse:false ec_pair Detector.detect_condition_interference,
+        "ec_dc",
+        measure_detection ~iters ~reuse:false ec_pair Detector.detect_condition_interference,
         "half the constraints of AR" );
     ]
   in
   Printf.printf "%-22s %10s   %s\n" "threat type" "ms/pair" "note";
-  List.iter (fun (n, ms, note) -> Printf.printf "%-22s %10.3f   %s\n" n ms note) rows;
+  List.iter (fun (n, _, ms, note) -> Printf.printf "%-22s %10.3f   %s\n" n ms note) rows;
   (* reuse ablation (A1): full pipeline on one pair with/without memo;
      solver-call counts are the paper's metric (Fig 9's green lines) *)
   (* It's Too Hot vs Energy Saver is both an AR candidate and a CT pair,
@@ -373,8 +417,8 @@ let e8_fig9 () =
      question — exactly the duplicate the memo removes *)
   let sd_pair = pair_of "ItsTooHot" "EnergySaver" in
   let full ctx p1 p2 = Detector.detect_pair ctx p1 p2 in
-  let with_reuse = measure_detection ~reuse:true sd_pair full in
-  let without = measure_detection ~reuse:false sd_pair full in
+  let with_reuse = measure_detection ~iters ~reuse:true sd_pair full in
+  let without = measure_detection ~iters ~reuse:false sd_pair full in
   let calls reuse =
     let ctx = Detector.create { Detector.offline_config with Detector.reuse } in
     let p1, p2 = sd_pair in
@@ -388,7 +432,23 @@ let e8_fig9 () =
     without (calls false)
     (without /. Float.max 0.000001 with_reuse);
   print_endline "(paper Fig 9: constraint solving dominates; CT/SD/LT reuse the AR";
-  print_endline " result and DC reuses EC; max total 1156 ms on a Galaxy S8)"
+  print_endline " result and DC reuses EC; max total 1156 ms on a Galaxy S8)";
+  {
+    Trajectory.title = "FIG9";
+    metrics =
+      List.map
+        (fun (_, key, ms, _) ->
+          Trajectory.metric ~unit_:"ms" ~direction:Trajectory.Lower_better
+            ("ms_per_pair_" ^ key) ms)
+        rows
+      @ Trajectory.
+          [
+            metric ~unit_:"ms" ~direction:Lower_better "a1_ms_with_reuse" with_reuse;
+            metric ~unit_:"ms" ~direction:Lower_better "a1_ms_without_reuse" without;
+            metric ~direction:Exact "a1_solves_with_reuse" (float_of_int (calls true));
+            metric ~direction:Exact "a1_solves_without_reuse" (float_of_int (calls false));
+          ];
+  }
 
 (* ------------------------------------------------------------------ E9 *)
 
@@ -471,12 +531,11 @@ let a2_ast_grep_ablation () =
 
 (* ------------------------------------------------------------------ A3 *)
 
-let a3_solver_ablation () =
+let a3_solver_ablation ?(iters = 500) () =
   section "A3. Ablation — DNF solving vs lazy DPLL splitting";
   let p1, p2 = pair_of "ComfortTV" "ColdDefender" in
   let f = Formula.conj [ Rule.situation (snd p1); Rule.situation (snd p2) ] in
   let store = Rule.store_for_rules [ p1; p2 ] in
-  let iters = 500 in
   let _, dnf_ms =
     time_ms (fun () ->
         for _ = 1 to iters do
@@ -489,10 +548,20 @@ let a3_solver_ablation () =
           ignore (Solver.satisfiable_dpll store f)
         done)
   in
+  let per ms = ms /. float_of_int iters in
   Printf.printf "merged Fig-3 constraint set, %d solves each:\n" iters;
-  Printf.printf "  DNF + propagate-and-split: %.4f ms/solve\n" (dnf_ms /. float_of_int iters);
-  Printf.printf "  lazy DPLL splitting:       %.4f ms/solve\n" (dpll_ms /. float_of_int iters);
-  print_endline "(rule formulas are small: both are far below the paper's JaCoP times)"
+  Printf.printf "  DNF + propagate-and-split: %.4f ms/solve\n" (per dnf_ms);
+  Printf.printf "  lazy DPLL splitting:       %.4f ms/solve\n" (per dpll_ms);
+  print_endline "(rule formulas are small: both are far below the paper's JaCoP times)";
+  {
+    Trajectory.title = "A3";
+    metrics =
+      Trajectory.
+        [
+          metric ~unit_:"us" ~direction:Lower_better "dnf_us_per_solve" (per dnf_ms *. 1000.0);
+          metric ~unit_:"us" ~direction:Lower_better "dpll_us_per_solve" (per dpll_ms *. 1000.0);
+        ];
+  }
 
 (* ------------------------------------------------------------------ X1 *)
 
@@ -650,14 +719,6 @@ let j1_journal () =
   let module Journal = Homeguard_store.Journal in
   let module Event = Homeguard_store.Event in
   let module Home = Homeguard_store.Home in
-  let fresh_dir tag =
-    let dir =
-      Filename.concat (Filename.get_temp_dir_name ())
-        (Printf.sprintf "hg_bench_%s_%d" tag (Unix.getpid ()))
-    in
-    ignore (Sys.command (Printf.sprintf "rm -rf %s" (Filename.quote dir)));
-    dir
-  in
   let config_payload i =
     Event.to_string
       (Event.Config
@@ -722,14 +783,6 @@ let o1_overload_serving () =
   let module Fault = Homeguard_solver.Fault in
   let module Home = Homeguard_store.Home in
   let module Install_flow = Homeguard_frontend.Install_flow in
-  let fresh_dir tag =
-    let dir =
-      Filename.concat (Filename.get_temp_dir_name ())
-        (Printf.sprintf "hg_bench_%s_%d" tag (Unix.getpid ()))
-    in
-    ignore (Sys.command (Printf.sprintf "rm -rf %s" (Filename.quote dir)));
-    dir
-  in
   let setup tag =
     let home, _ = Home.open_ ~fsync:false ~dir:(fresh_dir tag) () in
     List.iter
@@ -740,15 +793,17 @@ let o1_overload_serving () =
     home
   in
   let report label n total_ms lats degraded =
-    let sorted = List.sort compare lats in
-    let len = List.length sorted in
-    let nth p = List.nth sorted (min (len - 1) (int_of_float (p *. float_of_int len))) in
-    Printf.printf
-      "%-26s %3d req in %7.1fms (%5.1f req/s)  mean %5.1fms  p95 %5.1fms  max %5.1fms  degraded %d\n"
-      label n total_ms
-      (float_of_int n /. total_ms *. 1000.0)
-      (List.fold_left ( +. ) 0.0 sorted /. float_of_int len)
-      (nth 0.95) (nth 1.0) degraded
+    (* nearest-rank percentiles over completed requests only; a run
+       where every request was shed has no latency sample to summarize *)
+    match (Bstats.mean lats, Bstats.percentile 0.95 lats, Bstats.percentile 1.0 lats) with
+    | Some mean, Some p95, Some max_lat ->
+      Printf.printf
+        "%-26s %3d req in %7.1fms (%5.1f req/s)  mean %5.1fms  p95 %5.1fms  max %5.1fms  degraded %d\n"
+        label n total_ms
+        (float_of_int n /. total_ms *. 1000.0)
+        mean p95 max_lat degraded
+    | _ ->
+      Printf.printf "%-26s %3d req in %7.1fms — no completed requests\n" label n total_ms
   in
   let requests = 25 in
   let src = (Option.get (Corpus.find "BathroomFanTimer")).App_entry.source in
@@ -887,9 +942,116 @@ let bechamel_suite () =
                | _ -> Printf.printf "%-38s %15s\n" name "n/a"))
     results
 
+(* ----------------------------------------------------------- trajectory *)
+
+(* The bench-trajectory key (DESIGN.md §12): dataset snapshot hash,
+   run config and code version. Two files with the same key should
+   carry the same deterministic counters; differing keys are reported
+   as drift by [bench compare] but still compared. *)
+
+let code_version () =
+  match Sys.getenv_opt "HOMEGUARD_CODE_VERSION" with
+  | Some v when v <> "" -> v
+  | _ -> Homeguard_core.Homeguard.version
+
+let snapshot_hash () =
+  let buf = Buffer.create 65536 in
+  List.iter
+    (fun (e : App_entry.t) ->
+      Buffer.add_string buf e.App_entry.name;
+      Buffer.add_char buf '\000';
+      Buffer.add_string buf e.App_entry.source;
+      Buffer.add_char buf '\000')
+    Corpus.audit_apps;
+  Digest.to_hex (Digest.string (Buffer.contents buf))
+
+let trajectory_key ~smoke ~fastpath =
+  let module Budget = Homeguard_solver.Budget in
+  {
+    Trajectory.dataset_id =
+      Printf.sprintf "corpus-audit(%d apps)" (List.length Corpus.audit_apps);
+    snapshot_hash = snapshot_hash ();
+    config =
+      Printf.sprintf "jobs=%d;budget=%s;quota=%s%s" (Schedule.default_jobs ())
+        (Budget.fingerprint Homeguard_solver.Budget.default_spec)
+        (if smoke then "smoke" else "full")
+        fastpath;
+    code_version = code_version ();
+  }
+
+let run_trajectory ~smoke ~fastpath ~tag =
+  (* explicit lets: list literals evaluate right-to-left, the printed
+     section order should match the file order *)
+  let p1 = p1_parallel_audit () in
+  let p2 = p2_budget_overhead () in
+  let fig9 = e8_fig9 ~iters:(if smoke then 10 else 50) () in
+  let a3 = a3_solver_ablation ~iters:(if smoke then 100 else 500) () in
+  let sections = [ p1; p2; fig9; a3 ] in
+  let t = { Trajectory.key = trajectory_key ~smoke ~fastpath; sections } in
+  let file = Printf.sprintf "BENCH_%s.json" tag in
+  let oc = open_out file in
+  output_string oc (Trajectory.to_string t);
+  close_out oc;
+  Printf.printf "\nwrote %s (%d sections: %s)\n" file (List.length sections)
+    (String.concat ", " (List.map (fun s -> s.Trajectory.title) sections))
+
+let load_trajectory file =
+  match In_channel.with_open_text file In_channel.input_all with
+  | exception Sys_error msg -> Error msg
+  | contents -> (
+    match Trajectory.of_string contents with
+    | Ok t -> Ok t
+    | Error e -> Error (Printf.sprintf "%s: %s" file e))
+
+let run_compare ~threshold_pct ~warn_only base_file cur_file =
+  match (load_trajectory base_file, load_trajectory cur_file) with
+  | Error e, _ | _, Error e ->
+    prerr_endline ("bench compare: " ^ e);
+    exit 2
+  | Ok baseline, Ok current ->
+    Printf.printf "comparing %s (baseline) vs %s (current), threshold %.0f%%\n" base_file
+      cur_file threshold_pct;
+    List.iter
+      (fun drift -> Printf.printf "note: key drift — %s\n" drift)
+      (Trajectory.key_drift ~baseline ~current);
+    let deltas = Trajectory.compare ~threshold_pct ~baseline ~current in
+    let fmt_v = function Some v -> Printf.sprintf "%12.3f" v | None -> "           -" in
+    Printf.printf "%-8s %-28s %12s %12s %9s  %s\n" "section" "metric" "baseline" "current"
+      "change" "status";
+    List.iter
+      (fun (d : Trajectory.delta) ->
+        let status =
+          match d.Trajectory.status with
+          | Trajectory.Unchanged -> "ok"
+          | Trajectory.Improved -> "improved"
+          | Trajectory.Regressed -> "REGRESSED"
+          | Trajectory.Missing -> "missing"
+          | Trajectory.Added -> "added"
+        in
+        let change =
+          match d.Trajectory.change_pct with
+          | Some p -> Printf.sprintf "%+8.1f%%" p
+          | None -> "        -"
+        in
+        Printf.printf "%-8s %-28s %12s %12s %9s  %s\n" d.Trajectory.section_title
+          d.Trajectory.metric_name
+          (fmt_v d.Trajectory.baseline)
+          (fmt_v d.Trajectory.current)
+          change status)
+      deltas;
+    let regressed =
+      List.length (List.filter (fun d -> d.Trajectory.status = Trajectory.Regressed) deltas)
+    in
+    if regressed = 0 then print_endline "result: no regressions"
+    else begin
+      Printf.printf "result: %d metric(s) regressed beyond %.0f%%%s\n" regressed threshold_pct
+        (if warn_only then " (warn-only)" else "");
+      if not warn_only then exit 1
+    end
+
 (* ------------------------------------------------------------------ main *)
 
-let () =
+let run_all_sections () =
   print_endline "HomeGuard experiment harness — reproducing the paper's evaluation";
   print_endline (Corpus.stats ());
   e1_table_ii ();
@@ -897,18 +1059,93 @@ let () =
   e3_extraction_effectiveness ();
   e4_table_iii ();
   e5_fig8 ();
-  p1_parallel_audit ();
-  p2_budget_overhead ();
+  ignore (p1_parallel_audit () : Trajectory.section);
+  ignore (p2_budget_overhead () : Trajectory.section);
   e6_extraction_cost ();
   e7_messaging ();
-  e8_fig9 ();
+  ignore (e8_fig9 () : Trajectory.section);
   e9_chained ();
   e10_table_v ();
   a2_ast_grep_ablation ();
-  a3_solver_ablation ();
+  ignore (a3_solver_ablation () : Trajectory.section);
   x1_multi_platform ();
   h1_mediation ();
   j1_journal ();
   o1_overload_serving ();
   bechamel_suite ();
   print_endline "\nAll experiment sections completed."
+
+let usage () =
+  print_endline "usage: bench [--json] [--tag TAG] [--smoke] [--no-bitset] [--no-memo]";
+  print_endline "       bench compare BASELINE.json CURRENT.json [--threshold PCT] [--warn-only]";
+  print_endline "";
+  print_endline "  (no flags)    run every experiment section with human-readable output";
+  print_endline "  --json        run the trajectory sections (P1, P2, FIG9, A3) and write";
+  print_endline "                BENCH_<TAG>.json (default tag: local)";
+  print_endline "  --smoke       reduced iteration quota, for CI smoke runs";
+  print_endline "  --no-bitset   disable the small-domain bitset fast path";
+  print_endline "  --no-memo     disable formula hash-consing and NNF/DNF memoization";
+  print_endline "  compare       diff two bench files; exits 1 on a regression beyond";
+  print_endline "                the threshold (default 25%), 2 on unreadable input"
+
+let () =
+  match Array.to_list Sys.argv with
+  | _ :: "compare" :: rest ->
+    let threshold = ref 25.0 and warn_only = ref false and files = ref [] in
+    let rec parse = function
+      | [] -> ()
+      | "--threshold" :: v :: rest -> (
+        match float_of_string_opt v with
+        | Some t ->
+          threshold := t;
+          parse rest
+        | None ->
+          prerr_endline ("bench compare: bad threshold " ^ v);
+          exit 2)
+      | "--warn-only" :: rest ->
+        warn_only := true;
+        parse rest
+      | f :: rest ->
+        files := f :: !files;
+        parse rest
+    in
+    parse rest;
+    (match List.rev !files with
+    | [ base; cur ] -> run_compare ~threshold_pct:!threshold ~warn_only:!warn_only base cur
+    | _ ->
+      usage ();
+      exit 2)
+  | _ :: args ->
+    let json = ref false and smoke = ref false and tag = ref "local" in
+    let fastpath = ref "" in
+    let rec parse = function
+      | [] -> ()
+      | "--json" :: rest ->
+        json := true;
+        parse rest
+      | "--smoke" :: rest ->
+        smoke := true;
+        parse rest
+      | "--tag" :: v :: rest ->
+        tag := v;
+        parse rest
+      | "--no-bitset" :: rest ->
+        Homeguard_solver.Domain.bitset_enabled := false;
+        fastpath := !fastpath ^ ";no-bitset";
+        parse rest
+      | "--no-memo" :: rest ->
+        Homeguard_solver.Formula.memo_enabled := false;
+        fastpath := !fastpath ^ ";no-memo";
+        parse rest
+      | ("--help" | "-h") :: _ ->
+        usage ();
+        exit 0
+      | arg :: _ ->
+        prerr_endline ("bench: unknown argument " ^ arg);
+        usage ();
+        exit 2
+    in
+    parse args;
+    if !json then run_trajectory ~smoke:!smoke ~fastpath:!fastpath ~tag:!tag
+    else run_all_sections ()
+  | [] -> run_all_sections ()

@@ -79,6 +79,30 @@ let strict_arg =
            budget exhausted) or failed (detection crashed), instead of \
            completing best-effort.")
 
+(* Shared solver fast-path switches: A/B levers for the hot-path
+   optimizations. Both default on; disabling them changes timing only —
+   the threat output is identical either way. *)
+let fastpath_arg =
+  let no_bitset =
+    Arg.(
+      value & flag
+      & info [ "no-bitset" ]
+          ~doc:"Disable the solver's small-domain bitset fast path (debug/ablation).")
+  in
+  let no_memo =
+    Arg.(
+      value & flag
+      & info [ "no-solver-memo" ]
+          ~doc:
+            "Disable formula hash-consing and NNF/DNF memoization in the solver \
+             (debug/ablation).")
+  in
+  let apply no_bitset no_memo =
+    if no_bitset then Homeguard_solver.Domain.bitset_enabled := false;
+    if no_memo then Homeguard_solver.Formula.memo_enabled := false
+  in
+  Term.(const apply $ no_bitset $ no_memo)
+
 let config_with_budget budget =
   { Detector.offline_config with Detector.budget = resolve_budget budget }
 
@@ -150,7 +174,7 @@ let detect_cmd =
   in
   Cmd.v
     (Cmd.info "detect" ~doc:"Detect cross-app interference threats among SmartApps")
-    Term.(const run $ files $ jobs_arg $ budget_arg $ strict_arg)
+    Term.(const (fun () -> run) $ fastpath_arg $ files $ jobs_arg $ budget_arg $ strict_arg)
 
 (* -- audit ------------------------------------------------------------------ *)
 
@@ -186,7 +210,7 @@ let audit_cmd =
   in
   Cmd.v
     (Cmd.info "audit" ~doc:"Audit the bundled corpus pairwise (the paper's §VIII-B run)")
-    Term.(const run $ jobs_arg $ budget_arg $ strict_arg)
+    Term.(const (fun () -> run) $ fastpath_arg $ jobs_arg $ budget_arg $ strict_arg)
 
 (* -- instrument -------------------------------------------------------------- *)
 
@@ -366,7 +390,7 @@ let handle_cmd =
        ~doc:
          "Report detected threats with their recommended handling decisions (paper §VII); \
           the same defaults are enforced by simulate --enforce")
-    Term.(const run $ files $ jobs_arg $ budget_arg $ strict_arg)
+    Term.(const (fun () -> run) $ fastpath_arg $ files $ jobs_arg $ budget_arg $ strict_arg)
 
 (* -- corpus ------------------------------------------------------------------ *)
 
@@ -676,8 +700,8 @@ let serve_cmd =
           Requests pass admission control (bounded queues, busy replies), carry \
           deadlines down to the solver, and repeatedly-failing apps are quarantined")
     Term.(
-      const run $ state_dir_arg $ no_fsync_arg $ online_arg $ max_queue_arg
-      $ deadline_ms_arg $ quarantine_after_arg $ jobs_arg)
+      const (fun () -> run) $ fastpath_arg $ state_dir_arg $ no_fsync_arg $ online_arg
+      $ max_queue_arg $ deadline_ms_arg $ quarantine_after_arg $ jobs_arg)
 
 let recover_cmd =
   let run dir online jobs =

@@ -1,0 +1,13 @@
+(** In-process recursive file-tree removal, replacing [Sys.command
+    "rm -rf ..."] shell-outs: no shell quoting surface, works the same
+    on any platform with a Unix layer, and errors carry the failing
+    path. Symlinks are unlinked, never followed. Missing paths are not
+    an error. *)
+
+let rec rm_rf path =
+  match Unix.lstat path with
+  | exception Unix.Unix_error (Unix.ENOENT, _, _) -> ()
+  | { Unix.st_kind = Unix.S_DIR; _ } ->
+    Array.iter (fun entry -> rm_rf (Filename.concat path entry)) (Sys.readdir path);
+    Unix.rmdir path
+  | _ -> Unix.unlink path

@@ -59,11 +59,39 @@ let offline_config =
     escalate = true;
   }
 
+(* Pure planning facts recomputed for every pair an app participates in:
+   device matching re-classifies switch text from titles/descriptions,
+   channel maps re-scan the capability registry, and condition
+   predicates are re-expanded per action. Each ctx caches them once —
+   apps are identified by name, unique within an audit, and every worker
+   domain owns its own ctx, so the tables need no locking. *)
+type caches = {
+  same_device_c : (string * string * string * string, bool) Hashtbl.t;
+  unify_pairs_c : (string * string, (string * string) list) Hashtbl.t;
+  attr_writes_c : (string * Rule.action, Channels.attr_write list) Hashtbl.t;
+  env_effects_c : (string * Rule.action, (Env.t * Effects.polarity) list) Hashtbl.t;
+  device_inputs_c : (string, string list) Hashtbl.t;
+  cond_vars_c : (string * string, Formula.t * string list) Hashtbl.t;
+  opposite_cmds_c : (string * string, bool) Hashtbl.t;
+}
+
+let create_caches () =
+  {
+    same_device_c = Hashtbl.create 256;
+    unify_pairs_c = Hashtbl.create 64;
+    attr_writes_c = Hashtbl.create 64;
+    env_effects_c = Hashtbl.create 64;
+    device_inputs_c = Hashtbl.create 16;
+    cond_vars_c = Hashtbl.create 64;
+    opposite_cmds_c = Hashtbl.create 64;
+  }
+
 type ctx = {
   config : config;
   overlap_cache : (string * string, Solver.verdict) Hashtbl.t;
       (** keys carry the budget fingerprint: an [Unknown] cached under a
           small budget can never answer for a larger one *)
+  caches : caches;  (** memoized solver-free planning facts *)
   mutable solver_calls : int;  (** number of actual constraint solves *)
   mutable escalations : int;  (** undecided solves retried with a bigger budget *)
   mutable undecided_solves : int;  (** solves still undecided after escalation *)
@@ -73,10 +101,45 @@ let create config =
   {
     config;
     overlap_cache = Hashtbl.create 64;
+    caches = create_caches ();
     solver_calls = 0;
     escalations = 0;
     undecided_solves = 0;
   }
+
+let memo tbl key compute =
+  match Hashtbl.find_opt tbl key with
+  | Some v -> v
+  | None ->
+    let v = compute () in
+    Hashtbl.add tbl key v;
+    v
+
+(* Memoizing views over the config matcher and the channel maps. *)
+let same_device ctx (app1 : Rule.smartapp) v1 (app2 : Rule.smartapp) v2 =
+  memo ctx.caches.same_device_c (app1.Rule.name, v1, app2.Rule.name, v2) (fun () ->
+      ctx.config.same_device app1 v1 app2 v2)
+
+let attribute_writes ctx (app : Rule.smartapp) a =
+  memo ctx.caches.attr_writes_c (app.Rule.name, a) (fun () -> Channels.attribute_writes app a)
+
+let environment_effects ctx (app : Rule.smartapp) a =
+  memo ctx.caches.env_effects_c (app.Rule.name, a) (fun () -> Channels.environment_effects app a)
+
+let device_inputs ctx (app : Rule.smartapp) =
+  memo ctx.caches.device_inputs_c app.Rule.name (fun () -> Rule.device_inputs app)
+
+(* Expanded condition predicate of a rule plus its free variables. *)
+let expanded_condition ctx (app : Rule.smartapp) (r : Rule.t) =
+  memo ctx.caches.cond_vars_c (app.Rule.name, r.Rule.rule_id) (fun () ->
+      let cond = Rule.expanded_predicate r in
+      (cond, Formula.free_vars cond))
+
+let commands_opposite ctx c1 c2 =
+  memo ctx.caches.opposite_cmds_c (c1, c2) (fun () ->
+      List.exists
+        (fun cap -> Capability.contradicts cap c1 c2)
+        (Capability.capabilities_with_command c1))
 
 (* Every detector solve goes through here: run under the configured
    budget and, if the verdict is Unknown, retry once with an escalated
@@ -121,15 +184,16 @@ let split_attr var =
    solver. *)
 let unifier ctx (app1 : Rule.smartapp) (app2 : Rule.smartapp) =
   let pairs =
-    List.concat_map
-      (fun v1 ->
-        List.filter_map
-          (fun v2 ->
-            if ctx.config.same_device app1 v1 app2 v2 then
-              Some (qualify app2.Rule.name v2, qualify app1.Rule.name v1)
-            else None)
-          (Rule.device_inputs app2))
-      (Rule.device_inputs app1)
+    memo ctx.caches.unify_pairs_c (app1.Rule.name, app2.Rule.name) (fun () ->
+        List.concat_map
+          (fun v1 ->
+            List.filter_map
+              (fun v2 ->
+                if same_device ctx app1 v1 app2 v2 then
+                  Some (qualify app2.Rule.name v2, qualify app1.Rule.name v1)
+                else None)
+              (device_inputs ctx app2))
+          (device_inputs ctx app1))
   in
   fun var ->
     let base, attr = split_attr var in
@@ -218,7 +282,7 @@ let conditions_overlap ctx p1 p2 = solve_overlap ctx ~situation:false p1 p2
 
 let same_action_target ctx (app1, a1) (app2, a2) =
   match (a1.Rule.target, a2.Rule.target) with
-  | Rule.Act_device v1, Rule.Act_device v2 -> ctx.config.same_device app1 v1 app2 v2
+  | Rule.Act_device v1, Rule.Act_device v2 -> same_device ctx app1 v1 app2 v2
   | Rule.Act_location_mode, Rule.Act_location_mode -> true
   | _ -> false
 
@@ -226,14 +290,10 @@ let const_param a = match a.Rule.params with (Term.Int _ | Term.Str _) as t :: _
 
 (* Contradictory commands: declared opposites, or same command with
    different constant parameters. *)
-let commands_contradict (app1, (a1 : Rule.action)) (app2, (a2 : Rule.action)) =
+let commands_contradict ctx (app1, (a1 : Rule.action)) (app2, (a2 : Rule.action)) =
   ignore app1;
   ignore app2;
-  let opposite =
-    List.exists
-      (fun cap -> Capability.contradicts cap a1.Rule.command a2.Rule.command)
-      (Capability.capabilities_with_command a1.Rule.command)
-  in
+  let opposite = commands_opposite ctx a1.Rule.command a2.Rule.command in
   let conflicting_params =
     a1.Rule.command = a2.Rule.command
     &&
@@ -251,7 +311,7 @@ let ar_candidate ctx ((app1, r1) : tagged_rule) ((app2, r2) : tagged_rule) =
       List.exists
         (fun a2 ->
           same_action_target ctx (app1, a1) (app2, a2)
-          && commands_contradict (app1, a1) (app2, a2))
+          && commands_contradict ctx (app1, a1) (app2, a2))
         r2.Rule.actions)
     r1.Rule.actions
 
@@ -261,7 +321,7 @@ let triggers_unify ctx ((app1, r1) : tagged_rule) ((app2, r2) : tagged_rule) =
     e1.attribute = e2.attribute
     &&
     match (e1.subject, e2.subject) with
-    | Rule.Device v1, Rule.Device v2 -> ctx.config.same_device app1 v1 app2 v2
+    | Rule.Device v1, Rule.Device v2 -> same_device ctx app1 v1 app2 v2
     | Rule.Location, Rule.Location -> true
     | Rule.App_touch, Rule.App_touch -> true
     | _ -> false)
@@ -308,8 +368,8 @@ let conflicting_goal_pairs ctx ((app1, r1) : tagged_rule) ((app2, r2) : tagged_r
           if same_action_target ctx (app1, a1) (app2, a2) then []
           else
             Effects.conflicting_goals
-              (Effects.effects_of_action app1 a1)
-              (Effects.effects_of_action app2 a2))
+              (environment_effects ctx app1 a1)
+              (environment_effects ctx app2 a2))
         r2.Rule.actions)
     r1.Rule.actions
   |> List.sort_uniq compare
@@ -347,7 +407,7 @@ let action_triggers ?(approx = false) ctx ((app1 : Rule.smartapp), (a1 : Rule.ac
           let subject_matches =
             match (w.Channels.w_target, subject) with
             | Rule.Act_device v1, Rule.Device v2 ->
-              ctx.config.same_device app1 v1 app2 v2 && w.Channels.w_attr = attribute
+              same_device ctx app1 v1 app2 v2 && w.Channels.w_attr = attribute
             | Rule.Act_location_mode, Rule.Location -> attribute = "mode"
             | _ -> false
           in
@@ -382,7 +442,7 @@ let action_triggers ?(approx = false) ctx ((app1 : Rule.smartapp), (a1 : Rule.ac
                 (Printf.sprintf "command %s sets %s, the trigger of %s" a1.Rule.command
                    attribute r2.Rule.rule_id)
             else None)
-        (Channels.attribute_writes app1 a1)
+        (attribute_writes ctx app1 a1)
     in
     match direct with
     | Some _ -> direct
@@ -391,7 +451,7 @@ let action_triggers ?(approx = false) ctx ((app1 : Rule.smartapp), (a1 : Rule.ac
       match Channels.sensed_feature_of_trigger r2.Rule.trigger with
       | None -> None
       | Some feature ->
-        let effects = Channels.environment_effects app1 a1 in
+        let effects = environment_effects ctx app1 a1 in
         List.find_map
           (fun (f, pol) ->
             if f <> feature then None
@@ -489,8 +549,7 @@ let detect_trigger_interference ctx p1 p2 =
    (e.g. [t = sensor.temperature] feeding only the trigger) don't count
    as condition state. *)
 let condition_effects ctx ((app1 : Rule.smartapp), (a1 : Rule.action)) ((app2, r2) : tagged_rule) =
-  let cond = Rule.expanded_predicate r2 in
-  let cond_vars = Formula.free_vars cond in
+  let cond, cond_vars = expanded_condition ctx app2 r2 in
   (* way 1: direct writes to condition-tested attributes *)
   let direct =
     List.concat_map
@@ -501,7 +560,7 @@ let condition_effects ctx ((app1 : Rule.smartapp), (a1 : Rule.action)) ((app2, r
             let matches =
               match (w.Channels.w_target, attr) with
               | Rule.Act_device v1, Some a when a = w.Channels.w_attr ->
-                base <> "location" && ctx.config.same_device app1 v1 app2 base
+                base <> "location" && same_device ctx app1 v1 app2 base
               | Rule.Act_location_mode, Some "mode" -> base = "location"
               | _ -> false
             in
@@ -511,7 +570,7 @@ let condition_effects ctx ((app1 : Rule.smartapp), (a1 : Rule.action)) ((app2, r
               | Some value -> Some (`Eq (var, value))
               | None -> Some (`Touches var))
           cond_vars)
-      (Channels.attribute_writes app1 a1)
+      (attribute_writes ctx app1 a1)
   in
   (* way 2: environment effects on sensed condition variables *)
   let env_effects =
@@ -528,7 +587,7 @@ let condition_effects ctx ((app1 : Rule.smartapp), (a1 : Rule.action)) ((app2, r
               `Le (var, p)
             | _ -> `Dir (var, pol))
           (Channels.vars_sensing feature cond))
-      (Channels.environment_effects app1 a1)
+      (environment_effects ctx app1 a1)
   in
   (direct @ env_effects, cond)
 

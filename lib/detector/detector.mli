@@ -35,11 +35,17 @@ val offline_config : config
 (** Corpus-audit mode: device-type matching, no config constraints,
     {!Budget.default_spec} budgets. *)
 
+type caches
+(** Per-ctx memo tables for pure, solver-free planning facts (device
+    matching, channel maps, expanded conditions). One per ctx — worker
+    domains each own a ctx, so the tables need no locking. *)
+
 type ctx = {
   config : config;
   overlap_cache : (string * string, Homeguard_solver.Solver.verdict) Hashtbl.t;
       (** keys carry the budget fingerprint, so an [Unknown] cached
           under a small budget never answers for a larger one *)
+  caches : caches;  (** memoized solver-free planning facts *)
   mutable solver_calls : int;
   mutable escalations : int;  (** undecided solves retried with a bigger budget *)
   mutable undecided_solves : int;  (** solves undecided even after escalation *)

@@ -19,9 +19,7 @@ let cross d1 d2 =
   if List.length result > max_conjuncts then raise Too_large;
   result
 
-(** [of_formula f] converts to DNF. An empty list means unsatisfiable
-    ([False]); a list containing an empty conjunct means [True]. *)
-let of_formula f =
+let of_formula_uncached f =
   let rec go = function
     | Formula.True -> [ [] ]
     | Formula.False -> []
@@ -34,6 +32,34 @@ let of_formula f =
     | Formula.Not _ -> invalid_arg "Dnf.of_formula: formula not in NNF"
   in
   go (Formula.nnf f)
+
+(* DNF conversions memoized per OCaml domain, keyed on the hash-consed
+   formula. [Too_large] is cached as [None] so pathological formulas pay
+   the blowup once per worker rather than once per solve. *)
+let memo_key : (Formula.t, conjunct list option) Hashtbl.t Stdlib.Domain.DLS.key =
+  Stdlib.Domain.DLS.new_key (fun () -> Hashtbl.create 256)
+
+let memo_limit = 4096
+
+(** [of_formula f] converts to DNF. An empty list means unsatisfiable
+    ([False]); a list containing an empty conjunct means [True]. *)
+let of_formula f =
+  if not !Formula.memo_enabled then of_formula_uncached f
+  else begin
+    let f = Formula.hashcons f in
+    let tbl = Stdlib.Domain.DLS.get memo_key in
+    match Hashtbl.find_opt tbl f with
+    | Some (Some conjuncts) -> conjuncts
+    | Some None -> raise Too_large
+    | None ->
+      let result = match of_formula_uncached f with
+        | conjuncts -> Some conjuncts
+        | exception Too_large -> None
+      in
+      if Hashtbl.length tbl >= memo_limit then Hashtbl.reset tbl;
+      Hashtbl.add tbl f result;
+      (match result with Some conjuncts -> conjuncts | None -> raise Too_large)
+  end
 
 let conjunct_to_formula atoms =
   Formula.conj (List.map (fun (cmp, a, b) -> Formula.Atom (cmp, a, b)) atoms)

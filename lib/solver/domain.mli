@@ -4,10 +4,24 @@
 type iset = (int * int) list
 (** Sorted, disjoint, non-adjacent closed intervals. *)
 
-type t = Ints of iset | Enums of string list
+type t =
+  | Ints of iset
+  | Bits of { off : int; bits : int }
+      (** Packed small-domain fast path: the set [{off + i | bit i set}].
+          Canonical — non-empty, bit 0 set, span within one word. *)
+  | Enums of string list
 
 type value = Int of int | Str of string
 (** A concrete domain member. *)
+
+val bitset_enabled : bool ref
+(** When false, constructors always produce the interval-set
+    representation. The representations are semantically equivalent;
+    this is an A/B switch for benchmarking and an escape hatch. *)
+
+val to_iset : t -> iset
+(** Interval-set view of an integer domain (either representation).
+    Raises [Invalid_argument] on enum domains. *)
 
 val empty_ints : t
 val empty_enums : t

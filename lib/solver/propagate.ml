@@ -17,7 +17,7 @@ type approx =
 
 let approx_of_domain = function
   | Domain.Ints [] -> raise Unsat
-  | Domain.Ints _ as d ->
+  | (Domain.Ints _ | Domain.Bits _) as d ->
     A_int (Option.get (Domain.min_int_opt d), Option.get (Domain.max_int_opt d))
   | Domain.Enums [] -> raise Unsat
   | Domain.Enums vs -> A_enum vs
@@ -39,16 +39,24 @@ let mul_bounds (la, ha) (lb, hb) =
   let products = [ sat_mul la lb; sat_mul la hb; sat_mul ha lb; sat_mul ha hb ] in
   (List.fold_left min max_int products, List.fold_left max min_int products)
 
-type state = { mutable domains : Domain.t SMap.t }
+type state = { mutable domains : Domain.t SMap.t; mutable dirty : bool }
 
 let get st v =
   match SMap.find_opt v st.domains with
   | Some d -> d
   | None -> invalid_arg ("Propagate: variable not in store: " ^ v)
 
+(* Only a strictly-narrowed domain marks the state dirty (and pays the
+   map update); the fixpoint loop then just reads the flag instead of
+   comparing whole-map snapshots every round. *)
 let set st v d =
   if Domain.is_empty d then raise Unsat;
-  st.domains <- SMap.add v d st.domains
+  let old = SMap.find_opt v st.domains in
+  match old with
+  | Some old when Domain.equal old d -> ()
+  | _ ->
+    st.dirty <- true;
+    st.domains <- SMap.add v d st.domains
 
 (* Forward: interval/set approximation of a term. *)
 let rec forward st = function
@@ -129,7 +137,9 @@ let rec side_type st = function
   | Term.Int _ -> S_int
   | Term.Str _ -> S_enum
   | Term.Var v -> (
-    match get st v with Domain.Ints _ -> S_int | Domain.Enums _ -> S_enum)
+    match get st v with
+    | Domain.Ints _ | Domain.Bits _ -> S_int
+    | Domain.Enums _ -> S_enum)
   | Term.Add _ | Term.Sub _ | Term.Mul _ -> S_int
   | Term.Neg t -> side_type st t
 
@@ -201,22 +211,20 @@ let max_rounds = 100
     spends one step of [budget]'s propagation fuel, so an exhausted
     budget surfaces as {!Budget.Exhausted} — never as {!Unsat}. *)
 let run ?budget domains atoms =
-  let st = { domains } in
+  let st = { domains; dirty = true } in
   let spend =
     match budget with
     | None -> fun () -> ()
     | Some b -> fun () -> Budget.spend_prop b ~where:"Propagate.run"
   in
-  let changed = ref true in
   let rounds = ref 0 in
-  while !changed && !rounds < max_rounds do
+  while st.dirty && !rounds < max_rounds do
     incr rounds;
-    let before = st.domains in
+    st.dirty <- false;
     List.iter
       (fun atom ->
         spend ();
         revise_atom st atom)
       atoms;
-    changed := not (SMap.equal Domain.equal before st.domains)
   done;
   st.domains

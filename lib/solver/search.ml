@@ -75,6 +75,13 @@ let solve ?budget ?(max_depth = max_depth) (store : Store.t) (atoms : Dnf.conjun
     else
       match Propagate.run ~budget domains atoms with
       | exception Propagate.Unsat -> Budget.Unsat
+      | domains when all_atoms_hold domains atoms ->
+        (* Greedy model check: the canonical closest-to-zero assignment
+           already satisfies every atom at this fixpoint, so no further
+           splitting is needed. This collapses the deep bisection of the
+           wide default domains for most Sat cases, and yields the same
+           witness the zero-first descent would converge to. *)
+        Budget.Sat (model_of_domains vars domains)
       | domains ->
         let unfixed =
           SMap.fold
@@ -86,10 +93,7 @@ let solve ?budget ?(max_depth = max_depth) (store : Store.t) (atoms : Dnf.conjun
             domains None
         in
         (match unfixed with
-        | None ->
-          if all_atoms_hold domains atoms then
-            Budget.Sat (model_of_domains vars domains)
-          else Budget.Unsat
+        | None -> Budget.Unsat
         | Some (v, _) ->
           let d = SMap.find v domains in
           let left, right = Domain.split d in

@@ -1,0 +1,219 @@
+(** Model-based properties for the integer domain algebra: every
+    operation is checked against a naive sorted-list-of-ints model, and
+    each case runs under BOTH representations (interval sets and the
+    small-domain bitset fast path), which must agree with the model and
+    with each other. Cases come from a seeded LCG so failures replay. *)
+
+open Homeguard_solver
+
+(* -- deterministic generator --------------------------------------------- *)
+
+(* Simple multiplicative LCG (63-bit-safe constants); the masked state
+   keeps everything positive. *)
+let make_rng seed = ref seed
+
+let next r =
+  r := ((!r * 2685821657736338717) + 1442695040888963407) land max_int;
+  !r
+
+let rand r bound = if bound <= 0 then 0 else next r mod bound
+
+let pick r xs = List.nth xs (rand r (List.length xs))
+
+(* An interval spec: (lo, len) with len small enough to enumerate. Pools
+   mix the bitset sweet spot (small values near zero), wide offsets that
+   force interval sets, and both ends of the int range. *)
+let gen_lo r =
+  match rand r 10 with
+  | 0 | 1 | 2 | 3 | 4 -> rand r 101 - 50
+  | 5 | 6 -> (rand r 200_001 - 100_000) * 97
+  | 7 -> min_int + rand r 9
+  | 8 -> max_int - 8 - rand r 9
+  | _ -> pick r [ min_int; max_int - 8; -1; 0; 1 ]
+
+let gen_spec r =
+  List.init (rand r 5) (fun _ ->
+      let lo = gen_lo r in
+      let len = rand r 9 in
+      let lo = if lo > max_int - len then max_int - len else lo in
+      (lo, len))
+
+(* Probe values: members, near-misses and extremes. *)
+let gen_probe r spec =
+  match (rand r 4, spec) with
+  | 0, (lo, len) :: _ -> lo + rand r (len + 1)
+  | 1, _ -> rand r 121 - 60
+  | 2, _ -> pick r [ min_int; min_int + 1; max_int; max_int - 1; 0 ]
+  | _ -> gen_lo r
+
+(* -- the model: a sorted list of ints ------------------------------------ *)
+
+let model_of_spec spec =
+  List.sort_uniq compare
+    (List.concat_map (fun (lo, len) -> List.init (len + 1) (fun i -> lo + i)) spec)
+
+let m_inter a b = List.filter (fun n -> List.mem n b) a
+let m_union a b = List.sort_uniq compare (a @ b)
+let m_remove n a = List.filter (fun x -> x <> n) a
+let m_at_most k a = List.filter (fun x -> x <= k) a
+let m_at_least k a = List.filter (fun x -> x >= k) a
+let m_mag n = if n >= 0 then n else if n = Stdlib.min_int then Stdlib.max_int else -n
+
+(* -- bridging ------------------------------------------------------------ *)
+
+let domain_of_spec spec =
+  List.fold_left
+    (fun acc (lo, len) -> Domain.union acc (Domain.interval lo (lo + len)))
+    (Domain.Ints []) spec
+
+let elements d =
+  List.filter_map (function Domain.Int n -> Some n | Domain.Str _ -> None) (Domain.values d)
+
+let with_rep bitset f =
+  let saved = !Domain.bitset_enabled in
+  Domain.bitset_enabled := bitset;
+  Fun.protect ~finally:(fun () -> Domain.bitset_enabled := saved) f
+
+let show_spec spec =
+  "["
+  ^ String.concat "; " (List.map (fun (lo, len) -> Printf.sprintf "(%d,+%d)" lo len) spec)
+  ^ "]"
+
+(* One generated case, checked under one representation. Returns the
+   element lists of every derived domain so the two representations can
+   also be diffed against each other. *)
+let check_case ~ctx spec1 spec2 n k =
+  let fail fmt = Printf.ksprintf (fun s -> Alcotest.failf "%s: %s" ctx s) fmt in
+  let m1 = model_of_spec spec1 and m2 = model_of_spec spec2 in
+  let d1 = domain_of_spec spec1 and d2 = domain_of_spec spec2 in
+  let expect label expected d =
+    let got = elements d in
+    if got <> expected then
+      fail "%s disagrees with model on %s / %s (n=%d k=%d)" label (show_spec spec1)
+        (show_spec spec2) n k;
+    got
+  in
+  let build = expect "normalize" m1 d1 in
+  let inter = expect "inter" (m_inter m1 m2) (Domain.inter d1 d2) in
+  let union = expect "union" (m_union m1 m2) (Domain.union d1 d2) in
+  let remove = expect "remove_int" (m_remove n m1) (Domain.remove_int n d1) in
+  let at_most = expect "at_most" (m_at_most k m1) (Domain.at_most k d1) in
+  let at_least = expect "at_least" (m_at_least k m1) (Domain.at_least k d1) in
+  if Domain.mem_int n d1 <> List.mem n m1 then
+    fail "mem_int %d disagrees with model on %s" n (show_spec spec1);
+  if Domain.size d1 <> List.length m1 then fail "size disagrees on %s" (show_spec spec1);
+  (match m1 with
+  | [] ->
+    if Domain.choose d1 <> None then fail "choose on empty domain";
+    if Domain.distance_to_zero d1 <> Stdlib.max_int then fail "distance_to_zero on empty"
+  | _ ->
+    let best = List.fold_left (fun acc x -> min acc (m_mag x)) Stdlib.max_int m1 in
+    (match Domain.choose d1 with
+    | Some (Domain.Int c) ->
+      if not (List.mem c m1) then fail "choose picked a non-member %d" c;
+      if m_mag c <> best then fail "choose %d is not closest to zero (best mag %d)" c best
+    | _ -> fail "choose returned no int on %s" (show_spec spec1));
+    if Domain.distance_to_zero d1 <> best then fail "distance_to_zero <> min magnitude");
+  let split =
+    if Domain.size d1 >= 2 then begin
+      let l, r = Domain.split d1 in
+      let el = elements l and er = elements r in
+      if el = [] || er = [] then fail "split produced an empty half on %s" (show_spec spec1);
+      if el @ er <> m1 then fail "split does not partition %s" (show_spec spec1);
+      el @ [ Stdlib.max_int ] @ er
+    end
+    else []
+  in
+  [ build; inter; union; remove; at_most; at_least; split ]
+
+let model_laws =
+  Helpers.test "500 seeded cases agree with the set model under both reps" (fun () ->
+      let r = make_rng 0x5eed in
+      for i = 1 to 500 do
+        let spec1 = gen_spec r and spec2 = gen_spec r in
+        let n = gen_probe r spec1 and k = gen_probe r spec1 in
+        let ctx rep = Printf.sprintf "case %d (%s)" i rep in
+        let with_bits =
+          with_rep true (fun () -> check_case ~ctx:(ctx "bitset") spec1 spec2 n k)
+        in
+        let without =
+          with_rep false (fun () -> check_case ~ctx:(ctx "iset") spec1 spec2 n k)
+        in
+        if with_bits <> without then
+          Alcotest.failf "case %d: representations disagree on %s / %s (n=%d k=%d)" i
+            (show_spec spec1) (show_spec spec2) n k
+      done)
+
+(* -- representation sanity ----------------------------------------------- *)
+
+let rep_selection =
+  Helpers.test "small domains use the bitset path only when enabled" (fun () ->
+      with_rep true (fun () ->
+          (match Domain.interval 0 5 with
+          | Domain.Bits _ -> ()
+          | d -> Alcotest.failf "expected Bits, got %s" (Domain.to_string d));
+          match Domain.interval 0 100 with
+          | Domain.Ints _ -> ()
+          | d -> Alcotest.failf "expected Ints for a wide span, got %s" (Domain.to_string d));
+      with_rep false (fun () ->
+          match Domain.interval 0 5 with
+          | Domain.Ints _ -> ()
+          | d -> Alcotest.failf "expected Ints with bitset disabled, got %s" (Domain.to_string d)))
+
+(* -- min_int regressions ------------------------------------------------- *)
+
+(* [abs min_int] is negative in OCaml; choose/distance_to_zero used to
+   misorder any domain containing min_int. *)
+let min_int_choose =
+  Helpers.test "choose/distance on {min_int}" (fun () ->
+      let d = Domain.interval Stdlib.min_int Stdlib.min_int in
+      Helpers.check_bool "member" true (Domain.mem_int Stdlib.min_int d);
+      (match Domain.choose d with
+      | Some (Domain.Int n) -> Helpers.check_bool "chose min_int" true (n = Stdlib.min_int)
+      | _ -> Alcotest.fail "no value chosen");
+      Helpers.check_int "distance saturates" Stdlib.max_int (Domain.distance_to_zero d))
+
+let min_int_mixed_signs =
+  Helpers.test "choose prefers small magnitude over min_int/max_int" (fun () ->
+      let d =
+        Domain.union
+          (Domain.interval Stdlib.min_int Stdlib.min_int)
+          (Domain.union (Domain.interval (-3) (-1)) (Domain.interval 2 4))
+      in
+      (match Domain.choose d with
+      | Some (Domain.Int n) -> Helpers.check_int "closest to zero" (-1) n
+      | _ -> Alcotest.fail "no value chosen");
+      Helpers.check_int "distance" 1 (Domain.distance_to_zero d);
+      let extremes =
+        Domain.union
+          (Domain.interval Stdlib.min_int Stdlib.min_int)
+          (Domain.interval Stdlib.max_int Stdlib.max_int)
+      in
+      Helpers.check_int "both extremes: distance is max_int" Stdlib.max_int
+        (Domain.distance_to_zero extremes))
+
+let min_int_remove =
+  Helpers.test "remove_int at the int-range extremes" (fun () ->
+      let d = Domain.remove_int Stdlib.min_int (Domain.interval Stdlib.min_int (Stdlib.min_int + 3)) in
+      Helpers.check_int "size after removing min_int" 3 (Domain.size d);
+      Helpers.check_bool "min_int gone" false (Domain.mem_int Stdlib.min_int d);
+      let d' = Domain.remove_int Stdlib.max_int (Domain.interval (Stdlib.max_int - 3) Stdlib.max_int) in
+      Helpers.check_int "size after removing max_int" 3 (Domain.size d');
+      Helpers.check_bool "max_int gone" false (Domain.mem_int Stdlib.max_int d'))
+
+let min_int_split =
+  Helpers.test "split at the bottom of the int range" (fun () ->
+      let d = Domain.interval Stdlib.min_int (Stdlib.min_int + 5) in
+      let l, r = Domain.split d in
+      Helpers.check_int "partition" 6 (Domain.size l + Domain.size r);
+      Helpers.check_bool "disjoint" true (Domain.is_empty (Domain.inter l r)))
+
+let tests =
+  [
+    model_laws;
+    rep_selection;
+    min_int_choose;
+    min_int_mixed_signs;
+    min_int_remove;
+    min_int_split;
+  ]

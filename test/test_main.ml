@@ -6,6 +6,8 @@ let () =
       ("lexer", Test_lexer.tests);
       ("parser", Test_parser.tests);
       ("domain", Test_domain.tests);
+      ("domain-model", Test_domain_model.tests);
+      ("bench-lib", Test_bench.tests);
       ("solver", Test_solver.tests);
       ("capability", Test_capability.tests);
       ("rules", Test_rules.tests);

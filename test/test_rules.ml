@@ -79,14 +79,14 @@ let store_types_capability_attrs =
       | Some (Domain.Enums _) -> ()
       | _ -> Alcotest.fail "mode untyped");
       match Store.find_opt "time.now" store with
-      | Some (Domain.Ints _) -> ()
+      | Some (Domain.Ints _ | Domain.Bits _) -> ()
       | _ -> Alcotest.fail "time untyped")
 
 let store_falls_back_on_attribute =
   test "store_for_vars falls back to any capability with the attribute" (fun () ->
       let store = Rule.store_for_vars ~cap_of_var:(fun _ -> None) [ "x.temperature" ] in
       match Store.find_opt "x.temperature" store with
-      | Some (Domain.Ints _) -> ()
+      | Some (Domain.Ints _ | Domain.Bits _) -> ()
       | _ -> Alcotest.fail "temperature untyped")
 
 let db_install_uninstall =
