@@ -828,12 +828,13 @@ let o1_overload_serving () =
   let brokered ~label deadline_ms =
     let home = setup "broker" in
     let config = { Broker.default_config with Broker.deadline_ms } in
-    let broker = Broker.create ~config home in
+    let broker = Broker.create ~config () in
+    Broker.add_home broker ~id:"home" home;
     let lats = ref [] and degraded = ref 0 in
     let (), total_ms =
       time_ms (fun () ->
           for _ = 1 to requests do
-            match Broker.install broker ~name:"BathroomFanTimer" ~source:src () with
+            match Broker.install broker ~home:"home" ~name:"BathroomFanTimer" ~source:src () with
             | Broker.Proposed { degraded = d; elapsed_ms; _ } ->
               if d then incr degraded;
               lats := elapsed_ms :: !lats;
@@ -852,6 +853,112 @@ let o1_overload_serving () =
   Fault.disarm ();
   print_endline
     "(the deadline bounds the tail by shedding; degraded replies never claim a clean bill)"
+
+(* ------------------------------------------------------------------ F1 *)
+
+(* Fleet under partial failure: the same synthetic-home config workload
+   through a 4-shard supervisor with 0, 1 and 2 shards killed and held
+   down (tick is never called, so nothing recovers mid-sweep). The
+   fault-isolation claim is proportionality: every home owned by a
+   surviving shard is served in full, every home owned by a dead shard
+   is refused honestly — throughput loses at most the dead shards'
+   share, never collapses to zero. A seeded smoke chaos campaign then
+   contributes the scale-independent invariant counters that gate CI. *)
+let f1_fleet () =
+  section "F1. Fleet under partial failure — throughput with 0/1/2 dead shards";
+  let module Supervisor = Homeguard_fleet.Supervisor in
+  let module Chaos = Homeguard_fleet.Chaos in
+  let module Synth = Homeguard_corpus.Synth in
+  let n_homes = 16 and n_shards = 4 in
+  let synth = Corpus.synth ~seed:7 ~n_homes in
+  let total_configs =
+    List.fold_left (fun a (h : Synth.home) -> a + List.length h.Synth.configs) 0 synth
+  in
+  Printf.printf "fleet: %d synthetic homes over %d shards, %d config deliveries\n" n_homes
+    n_shards total_configs;
+  let sweep ~dead =
+    let dir = fresh_dir (Printf.sprintf "fleet_d%d" dead) in
+    let config =
+      { Supervisor.default_config with Supervisor.shards = n_shards; fsync = false }
+    in
+    let sup =
+      Supervisor.create ~config ~dir
+        ~homes:(List.map (fun (h : Synth.home) -> h.Synth.id) synth)
+        ()
+    in
+    for s = 0 to dead - 1 do
+      ignore (Supervisor.kill sup s)
+    done;
+    let live id =
+      match Supervisor.owner_of sup id with
+      | Some s -> Supervisor.shard_state sup s = `Running
+      | None -> false
+    in
+    let served_homes = List.length (List.filter (fun (h : Synth.home) -> live h.Synth.id) synth) in
+    let served_ops = ref 0 and refused_ops = ref 0 and isolation_ok = ref true in
+    let (), ms =
+      time_ms (fun () ->
+          List.iter
+            (fun (h : Synth.home) ->
+              let expect_live = live h.Synth.id in
+              List.iteri
+                (fun i uri ->
+                  match Supervisor.deliver sup ~home:h.Synth.id ~seq:(i + 1) uri with
+                  | Supervisor.Done _ ->
+                    incr served_ops;
+                    if not expect_live then isolation_ok := false
+                  | Supervisor.Unavailable _ | Supervisor.Crashed _ ->
+                    incr refused_ops;
+                    if expect_live then isolation_ok := false)
+                h.Synth.configs)
+            synth)
+    in
+    Supervisor.close sup;
+    let homes_per_sec = float_of_int served_homes /. Float.max 0.001 ms *. 1000.0 in
+    Printf.printf
+      "dead=%d: %2d/%2d homes served (%4d ops, %3d refused) in %6.1fms  %7.0f homes/s  isolation %s\n"
+      dead served_homes n_homes !served_ops !refused_ops ms homes_per_sec
+      (if !isolation_ok then "ok" else "VIOLATED");
+    (served_homes, !served_ops, !refused_ops, !isolation_ok, homes_per_sec)
+  in
+  let s0, o0, r0, i0, hps0 = sweep ~dead:0 in
+  let s1, o1, _, i1, hps1 = sweep ~dead:1 in
+  let s2, o2, _, i2, hps2 = sweep ~dead:2 in
+  Printf.printf
+    "proportionality: survivors keep serving every home they own; capacity lost is the dead shards' share\n";
+  let chaos = Chaos.run ~config:Chaos.smoke_config ~dir:(fresh_dir "fleet_chaos") () in
+  Printf.printf
+    "chaos smoke: %s — %d shards killed, %d recovered, %d ops, %d served while impaired\n"
+    (if Chaos.passed chaos then "passed" else "FAILED")
+    chaos.Chaos.shards_killed chaos.Chaos.shards_recovered chaos.Chaos.ops
+    chaos.Chaos.served_while_impaired;
+  {
+    Trajectory.title = "F1";
+    metrics =
+      Trajectory.
+        [
+          metric ~direction:Info "shards" (float_of_int n_shards);
+          metric ~direction:Exact "fleet_homes" (float_of_int n_homes);
+          metric ~direction:Exact "served_homes_dead0" (float_of_int s0);
+          metric ~direction:Exact "served_homes_dead1" (float_of_int s1);
+          metric ~direction:Exact "served_homes_dead2" (float_of_int s2);
+          metric ~direction:Exact "served_ops_dead0" (float_of_int o0);
+          metric ~direction:Exact "served_ops_dead1" (float_of_int o1);
+          metric ~direction:Exact "served_ops_dead2" (float_of_int o2);
+          metric ~direction:Exact "refused_ops_dead0" (float_of_int r0);
+          metric ~direction:Exact "fault_isolation_ok"
+            (if i0 && i1 && i2 then 1.0 else 0.0);
+          metric ~direction:Exact "chaos_invariants_ok"
+            (if Chaos.passed chaos then 1.0 else 0.0);
+          metric ~direction:Exact "chaos_shards_killed"
+            (float_of_int chaos.Chaos.shards_killed);
+          metric ~direction:Exact "chaos_shards_recovered"
+            (float_of_int chaos.Chaos.shards_recovered);
+          metric ~unit_:"homes/s" ~direction:Higher_better "homes_per_sec_dead0" hps0;
+          metric ~unit_:"homes/s" ~direction:Higher_better "homes_per_sec_dead1" hps1;
+          metric ~unit_:"homes/s" ~direction:Higher_better "homes_per_sec_dead2" hps2;
+        ];
+  }
 
 (* ---------------------------------------------------------- bechamel *)
 
@@ -986,7 +1093,10 @@ let run_trajectory ~smoke ~fastpath ~tag =
   let p2 = p2_budget_overhead () in
   let fig9 = e8_fig9 ~iters:(if smoke then 10 else 50) () in
   let a3 = a3_solver_ablation ~iters:(if smoke then 100 else 500) () in
-  let sections = [ p1; p2; fig9; a3 ] in
+  (* F1 is fixed-scale (a small fleet, sub-second) so its exact
+     counters match between smoke and full runs *)
+  let f1 = f1_fleet () in
+  let sections = [ p1; p2; fig9; a3; f1 ] in
   let t = { Trajectory.key = trajectory_key ~smoke ~fastpath; sections } in
   let file = Printf.sprintf "BENCH_%s.json" tag in
   let oc = open_out file in
@@ -1072,6 +1182,7 @@ let run_all_sections () =
   h1_mediation ();
   j1_journal ();
   o1_overload_serving ();
+  ignore (f1_fleet () : Trajectory.section);
   bechamel_suite ();
   print_endline "\nAll experiment sections completed."
 

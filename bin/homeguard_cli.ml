@@ -525,14 +525,14 @@ let print_install_reply = function
     if quarantined then Printf.printf "quarantined %s after repeated failures\n" app
 
 let print_audit_outcome = function
-  | Broker.Audited { id; result; degraded; elapsed_ms } ->
+  | Broker.Audited { id; result; degraded; elapsed_ms; _ } ->
     Printf.printf "audited job=%d threats=%d shed=%d %s elapsed-ms=%.0f\n" id
       (List.length result.Detector.threats)
       result.Detector.shed
       (if degraded then "degraded" else "complete")
       elapsed_ms;
     print_audit_health result
-  | Broker.Shed_job { id; reason } ->
+  | Broker.Shed_job { id; reason; _ } ->
     Printf.printf "shed job=%d reason=%s\n" id (Serve_shed.describe_reason reason)
 
 let parse_inject words =
@@ -570,8 +570,12 @@ let parse_inject words =
     | _ -> None)
   | _ -> None
 
+(* The interactive serve loop fronts exactly one home, registered in
+   the broker under this id. *)
+let serve_home_id = "home"
+
 let serve_line broker line =
-  let home = Broker.home broker in
+  let home = Broker.home broker serve_home_id in
   let words = String.split_on_char ' ' (String.trim line) |> List.filter (( <> ) "") in
   match words with
   | [] -> ()
@@ -579,7 +583,7 @@ let serve_line broker line =
     match read_file file with
     | source ->
       let name = Filename.remove_extension (Filename.basename file) in
-      print_install_reply (Broker.install broker ~name ~source ())
+      print_install_reply (Broker.install broker ~home:serve_home_id ~name ~source ())
     | exception Sys_error msg -> Printf.printf "error: %s\n" msg)
   | [ "keep" ] -> (
     match Home.decide home Homeguard_frontend.Install_flow.Keep with
@@ -610,7 +614,7 @@ let serve_line broker line =
       (Home.journal_size home) (Home.snapshot_size home);
     print_endline (Broker.status broker)
   | [ "audit" ] -> (
-    match Broker.submit_audit broker () with
+    match Broker.submit_audit broker ~home:serve_home_id () with
     | Ok id -> Printf.printf "queued job=%d\n" id
     | Error retry_after_ms -> Printf.printf "busy retry-after-ms=%d\n" retry_after_ms)
   | [ "audit"; "now" ] -> print_string (Home.audit_text home)
@@ -619,12 +623,13 @@ let serve_line broker line =
     | [] -> print_endline "nothing queued"
     | outcomes -> List.iter print_audit_outcome outcomes)
   | [ "quarantine" ] -> (
-    match Broker.quarantined broker with
+    match Broker.quarantined broker ~home:serve_home_id with
     | [] -> print_endline "quarantined: none"
     | qs -> List.iter (fun (app, reason) -> Printf.printf "quarantined %s: %s\n" app reason) qs)
   | [ "quarantine"; "clear"; name ] ->
     print_endline
-      (if Broker.clear_quarantine broker name then "cleared" else "error: not quarantined")
+      (if Broker.clear_quarantine broker ~home:serve_home_id name then "cleared"
+       else "error: not quarantined")
   | "inject" :: rest -> (
     match parse_inject rest with
     | Some msg -> print_endline msg
@@ -676,8 +681,9 @@ let serve_cmd =
         Broker.jobs = resolve_jobs jobs;
       }
     in
-    let broker = Broker.create ~config home in
-    (match Broker.quarantined broker with
+    let broker = Broker.create ~config () in
+    Broker.add_home broker ~id:serve_home_id home;
+    (match Broker.quarantined broker ~home:serve_home_id with
     | [] -> ()
     | qs ->
       Printf.printf "quarantined (recovered): %s\n" (String.concat ", " (List.map fst qs)));
@@ -755,6 +761,67 @@ let compact_cmd =
           apps, explicit decisions, ingestion watermark) and truncate the journal")
     Term.(const run $ state_dir_arg $ online_arg)
 
+(* -- fleet ------------------------------------------------------------------- *)
+
+module Chaos = Homeguard_fleet.Chaos
+
+let fleet_chaos_cmd =
+  let run dir seed shards homes steps smoke =
+    let base = if smoke then Chaos.smoke_config else Chaos.default_config in
+    let config =
+      {
+        base with
+        Chaos.seed;
+        Chaos.shards = (if shards > 0 then shards else base.Chaos.shards);
+        Chaos.homes = (if homes > 0 then homes else base.Chaos.homes);
+        Chaos.steps = (if steps > 0 then steps else base.Chaos.steps);
+      }
+    in
+    let dir =
+      if dir <> "" then dir
+      else Filename.concat (Filename.get_temp_dir_name ())
+             (Printf.sprintf "homeguard-chaos-%d" (Unix.getpid ()))
+    in
+    let report = Chaos.run ~config ~dir () in
+    print_string (Chaos.render report);
+    if Chaos.passed report then 0 else 1
+  in
+  let seed_arg =
+    Arg.(value & opt int 42 & info [ "seed" ] ~docv:"N" ~doc:"Campaign seed; the kill schedule, fault windows and workload are all deterministic in it.")
+  in
+  let shards_arg =
+    Arg.(value & opt int 0 & info [ "shards" ] ~docv:"N" ~doc:"Shard workers (default 4).")
+  in
+  let homes_arg =
+    Arg.(value & opt int 0 & info [ "homes" ] ~docv:"N" ~doc:"Synthetic homes (default 24; 10 under --smoke).")
+  in
+  let steps_arg =
+    Arg.(value & opt int 0 & info [ "steps" ] ~docv:"N" ~doc:"Campaign steps (default 400; 150 under --smoke).")
+  in
+  let smoke_arg =
+    Arg.(value & flag & info [ "smoke" ] ~doc:"CI-sized campaign: fewer homes and steps, same invariants.")
+  in
+  let dir_arg =
+    Arg.(value & opt string "" & info [ "state-dir" ] ~docv:"DIR" ~doc:"Fleet state root (default: a fresh directory under the system temp dir).")
+  in
+  Cmd.v
+    (Cmd.info "chaos"
+       ~doc:
+         "Run a seeded chaos campaign over a home-sharded fleet: shard kills, stalls \
+          and storage faults layered over synthetic-home traffic, then verify the \
+          four fleet invariants (no acked loss, deterministic recovery, \
+          quarantine/decision survival, no false clean bill). Exits 1 on any \
+          violation")
+    Term.(const run $ dir_arg $ seed_arg $ shards_arg $ homes_arg $ steps_arg $ smoke_arg)
+
+let fleet_cmd =
+  Cmd.group
+    (Cmd.info "fleet"
+       ~doc:
+         "Home-sharded fleet operations: supervisor with health checks, circuit \
+          breakers and journal-backed shard recovery")
+    [ fleet_chaos_cmd ]
+
 let main =
   let doc = "detect and handle cross-app interference threats in smart homes" in
   Cmd.group
@@ -770,6 +837,7 @@ let main =
       serve_cmd;
       recover_cmd;
       compact_cmd;
+      fleet_cmd;
     ]
 
 let () = exit (Cmd.eval' main)

@@ -33,3 +33,5 @@ let stats () =
     "corpus: %d apps total (%d benign rule-defining, %d web-service, %d malicious); %d in audit pool"
     (List.length all) (List.length benign) (List.length web_services)
     (List.length malicious) (List.length audit_apps)
+
+let synth ~seed ~n_homes = Synth.generate ~pool:audit_apps ~seed ~n_homes ()

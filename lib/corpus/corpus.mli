@@ -14,3 +14,6 @@ val audit_apps : App_entry.t list
 
 val find : string -> App_entry.t option
 val stats : unit -> string
+
+val synth : seed:int -> n_homes:int -> Synth.home list
+(** Seeded synthetic homes over {!audit_apps}; see {!Synth.generate}. *)

@@ -1,0 +1,603 @@
+(** The chaos-campaign harness: a seeded schedule of shard kills,
+    stalls and storage faults layered over a synthetic-home workload,
+    with the four fleet invariants verified at the end:
+
+    {ol
+    {- {b No silent acked loss} — every install, config ingest,
+       decision and quarantine the fleet acknowledged is present after
+       final recovery, unless a recovery {e reported} damage
+       (quarantined/skipped records) for that home. Honest, surfaced
+       loss — a flipped frame moved to the corruption sidecar — is the
+       storage model working; silent loss is the violation.}
+    {- {b Replay determinism} — recovering each home twice yields
+       byte-identical canonical state ({!Home.state_text}).}
+    {- {b Quarantine and handling survival} — acked quarantines and
+       handling decisions are in the recovered state (same honest-loss
+       carve-out as invariant 1).}
+    {- {b No false clean bill} — no outcome whose work was cut
+       (shed > 0, shard unavailable, crashed) was ever classified as
+       conclusive.}}
+
+    Everything — the workload, the kill schedule, fault windows,
+    backoff jitter — is a pure function of the seed, so a failing
+    campaign replays exactly. *)
+
+module Home = Homeguard_store.Home
+module Broker = Homeguard_serve.Broker
+module Shed = Homeguard_serve.Shed
+module Install_flow = Homeguard_frontend.Install_flow
+module Policy = Homeguard_handling.Policy
+module Detector = Homeguard_detector.Detector
+module Fault = Homeguard_solver.Fault
+module Corpus = Homeguard_corpus.Corpus
+module Synth = Homeguard_corpus.Synth
+module App_entry = Homeguard_corpus.App_entry
+module Rule = Homeguard_rules.Rule
+
+type config = {
+  seed : int;
+  shards : int;
+  homes : int;
+  steps : int;
+  step_ms : float;  (** simulated clock advance per step *)
+  forced_kills : int;
+      (** deterministic kills at evenly spaced steps, rotating victims
+          — guarantees the campaign exercises kill+recover even at
+          small step counts *)
+  kill_per_thousand : int;  (** extra random kills, per step *)
+  stall_per_thousand : int;  (** wedge a shard past its heartbeat window *)
+  fault_window_per_thousand : int;
+      (** chance per step to open a storage-fault window
+          (crash/torn/flip cycling) for the next few steps *)
+  audit_per_thousand : int;  (** background re-audit + drain *)
+}
+
+let default_config =
+  {
+    seed = 42;
+    shards = 4;
+    homes = 24;
+    steps = 400;
+    step_ms = 50.0;
+    forced_kills = 3;
+    kill_per_thousand = 5;
+    stall_per_thousand = 8;
+    fault_window_per_thousand = 25;
+    audit_per_thousand = 40;
+  }
+
+let smoke_config =
+  { default_config with homes = 10; steps = 150; fault_window_per_thousand = 20 }
+
+type invariant = { name : string; ok : bool; detail : string }
+
+type report = {
+  config : config;
+  ops : int;
+  installs_acked : int;
+  configs_acked : int;
+  decisions_acked : int;
+  quarantines_acked : int;
+  degraded_replies : int;  (** Unavailable/Crashed routing outcomes *)
+  busy_replies : int;
+  stalled_timeouts : int;
+  served_while_impaired : int;
+      (** ops completed by healthy shards while some shard was down *)
+  fault_windows : int;
+  stats : Supervisor.stats;
+  shards_killed : int;  (** distinct shards that went down *)
+  shards_recovered : int;  (** distinct shards that came back *)
+  invariants : invariant list;
+}
+
+let passed r = List.for_all (fun i -> i.ok) r.invariants
+
+(* Per-home ledger of what the fleet acknowledged: the ground truth the
+   final recovery is audited against. *)
+type expect = {
+  synth : Synth.home;
+  mutable next_app : int;
+  mutable next_seq : int;
+  mutable installed : string list;
+  mutable acked_seq : int;
+  mutable decisions : (string * Policy.decision) list;
+  mutable quarantined : string list;
+  mutable threat_ids : string list;  (** ids seen in kept reports *)
+}
+
+type campaign = {
+  cfg : config;
+  sup : Supervisor.t;
+  rng : Random.State.t;
+  now : float ref;
+  expects : (string * expect) list;
+  stalled : int array;  (** steps of withheld heartbeats left, per shard *)
+  mutable fault_steps_left : int;
+  mutable fault_windows : int;
+  mutable ops : int;
+  mutable busy : int;
+  mutable degraded : int;
+  mutable stalled_timeouts : int;
+  mutable served_while_impaired : int;
+  mutable false_clean : int;
+  mutable outcomes_checked : int;
+  mutable killed : int list;  (** distinct shards seen down *)
+  mutable recovered : int list;  (** distinct killed shards seen back up *)
+}
+
+let add_distinct x xs = if List.mem x xs then xs else x :: xs
+
+let impaired c =
+  List.exists
+    (fun i -> Supervisor.shard_state c.sup i <> `Running)
+    (List.init c.cfg.shards Fun.id)
+
+(* Structural invariant-4 accounting: every reply passes through here. *)
+let classify c reply =
+  c.ops <- c.ops + 1;
+  let was_impaired = impaired c in
+  (match reply with
+  | Supervisor.Done _ -> if was_impaired then
+      c.served_while_impaired <- c.served_while_impaired + 1
+  | Supervisor.Unavailable _ | Supervisor.Crashed _ ->
+    c.degraded <- c.degraded + 1;
+    c.outcomes_checked <- c.outcomes_checked + 1;
+    if Shed.conclusive (Supervisor.to_outcome reply) then
+      c.false_clean <- c.false_clean + 1);
+  reply
+
+let check_audit_outcome c = function
+  | Broker.Audited { result; degraded; _ } ->
+    c.outcomes_checked <- c.outcomes_checked + 1;
+    if result.Detector.shed > 0 && not degraded then
+      c.false_clean <- c.false_clean + 1
+  | Broker.Shed_job _ -> c.outcomes_checked <- c.outcomes_checked + 1
+
+(* -- workload ops ------------------------------------------------------------- *)
+
+let op_install c (id, ex) =
+  if ex.next_app < List.length ex.synth.Synth.apps then begin
+    let app = List.nth ex.synth.Synth.apps ex.next_app in
+    let name = app.App_entry.name and source = app.App_entry.source in
+    match
+      classify c
+        (Supervisor.run c.sup ~home:id (fun sh ->
+             let broker = Shard.broker sh in
+             match Broker.install broker ~home:id ~name ~source () with
+             | Broker.Proposed { report; degraded; _ } ->
+               Home.decide (Broker.home broker id) Install_flow.Keep;
+               `Kept (report, degraded)
+             | Broker.Busy { retry_after_ms } -> `Busy retry_after_ms
+             | Broker.Quarantined_app _ -> `Refused
+             | Broker.Install_failed { quarantined; _ } -> `Failed quarantined))
+    with
+    | Supervisor.Done { value = `Kept (report, degraded); _ } ->
+      c.outcomes_checked <- c.outcomes_checked + 1;
+      if report.Install_flow.audit.Detector.shed > 0 && not degraded then
+        c.false_clean <- c.false_clean + 1;
+      ex.installed <- add_distinct name ex.installed;
+      ex.next_app <- ex.next_app + 1;
+      ex.threat_ids <-
+        List.fold_left
+          (fun acc th -> add_distinct (Policy.threat_id th) acc)
+          ex.threat_ids report.Install_flow.threats;
+      `Acked_install
+    | Supervisor.Done { value = `Busy _; _ } ->
+      c.busy <- c.busy + 1;
+      `Other
+    | Supervisor.Done { value = `Failed quarantined; _ } ->
+      if quarantined then ex.quarantined <- add_distinct name ex.quarantined;
+      ex.next_app <- ex.next_app + 1;  (* don't wedge on a poisoned app *)
+      `Other
+    | Supervisor.Done { value = `Refused; _ } ->
+      ex.next_app <- ex.next_app + 1;
+      `Other
+    | Supervisor.Unavailable _ | Supervisor.Crashed _ -> `Other
+  end
+  else `Other
+
+let op_deliver c (id, ex) =
+  match ex.synth.Synth.configs with
+  | [] -> `Other
+  | configs ->
+    let uri = List.nth configs (ex.next_seq mod List.length configs) in
+    let seq = ex.next_seq + 1 in
+    (match classify c (Supervisor.deliver c.sup ~home:id ~seq uri) with
+    | Supervisor.Done { value = Home.Accepted _; _ } ->
+      ex.next_seq <- seq;
+      ex.acked_seq <- max ex.acked_seq seq;
+      `Acked_config
+    | Supervisor.Done { value = Home.Malformed _; _ } ->
+      ex.next_seq <- seq;
+      `Other
+    | Supervisor.Unavailable _ | Supervisor.Crashed _ -> `Other)
+
+let op_decision c (id, ex) =
+  match ex.threat_ids with
+  | [] -> `Other
+  | ids ->
+    let tid = List.nth ids (Random.State.int c.rng (List.length ids)) in
+    let d = if Random.State.bool c.rng then Policy.Allow else Policy.Confirm in
+    (match
+       classify c
+         (Supervisor.run c.sup ~home:id (fun sh ->
+              Home.set_decision (Broker.home (Shard.broker sh) id) tid d))
+     with
+    | Supervisor.Done _ ->
+      ex.decisions <- (tid, d) :: List.remove_assoc tid ex.decisions;
+      `Acked_decision
+    | Supervisor.Unavailable _ | Supervisor.Crashed _ -> `Other)
+
+let op_quarantine c (id, ex) =
+  match ex.installed with
+  | [] -> `Other
+  | apps ->
+    let app = List.nth apps (Random.State.int c.rng (List.length apps)) in
+    (match
+       classify c
+         (Supervisor.run c.sup ~home:id (fun sh ->
+              Home.quarantine
+                (Broker.home (Shard.broker sh) id)
+                ~app ~reason:"chaos-injected"))
+     with
+    | Supervisor.Done _ ->
+      ex.quarantined <- add_distinct app ex.quarantined;
+      `Acked_quarantine
+    | Supervisor.Unavailable _ | Supervisor.Crashed _ -> `Other)
+
+let op_audit c (id, _ex) =
+  match classify c (Supervisor.submit_audit c.sup ~home:id ()) with
+  | Supervisor.Done { value = Ok _; shard } -> (
+    match classify c (Supervisor.drain c.sup ~shard) with
+    | Supervisor.Done { value = outcomes; _ } ->
+      List.iter (check_audit_outcome c) outcomes;
+      `Other
+    | Supervisor.Unavailable _ | Supervisor.Crashed _ -> `Other)
+  | Supervisor.Done { value = Error _; _ } ->
+    c.busy <- c.busy + 1;
+    `Other
+  | Supervisor.Unavailable _ | Supervisor.Crashed _ -> `Other
+
+(* -- the campaign loop -------------------------------------------------------- *)
+
+let storage_modes = [| Fault.Crash; Fault.Torn; Fault.Flip |]
+
+let note_states c =
+  List.iter
+    (fun i ->
+      match Supervisor.shard_state c.sup i with
+      | `Restarting | `Dead -> c.killed <- add_distinct i c.killed
+      | `Running ->
+        if List.mem i c.killed then c.recovered <- add_distinct i c.recovered)
+    (List.init c.cfg.shards Fun.id)
+
+let step c ~step_index counters =
+  let cfg = c.cfg in
+  (* fault windows: arm a storage-fault plan for a few steps, cycling
+     the mode so crash, torn and flip are all exercised *)
+  if c.fault_steps_left > 0 then begin
+    c.fault_steps_left <- c.fault_steps_left - 1;
+    if c.fault_steps_left = 0 then Fault.disarm_storage ()
+  end
+  else if Random.State.int c.rng 1000 < cfg.fault_window_per_thousand then begin
+    let mode = storage_modes.(c.fault_windows mod Array.length storage_modes) in
+    Fault.arm_storage ~seed:(cfg.seed + c.fault_windows) ~rate_per_thousand:80 mode;
+    c.fault_windows <- c.fault_windows + 1;
+    c.fault_steps_left <- 8
+  end;
+  (* forced kills at evenly spaced steps, rotating victims *)
+  let forced =
+    List.init cfg.forced_kills (fun i ->
+        (cfg.steps * (i + 1) / (cfg.forced_kills + 1), i mod cfg.shards))
+  in
+  List.iter
+    (fun (at, victim) ->
+      if at = step_index then begin
+        if Supervisor.kill c.sup victim then c.killed <- add_distinct victim c.killed
+      end)
+    forced;
+  if Random.State.int c.rng 1000 < cfg.kill_per_thousand then begin
+    let victim = Random.State.int c.rng cfg.shards in
+    if Supervisor.kill c.sup victim then c.killed <- add_distinct victim c.killed
+  end;
+  if Random.State.int c.rng 1000 < cfg.stall_per_thousand then begin
+    let victim = Random.State.int c.rng cfg.shards in
+    (* withhold beats long enough to blow the heartbeat window *)
+    c.stalled.(victim) <- 8
+  end;
+  (* workload: a couple of ops against random homes; ops to a stalled
+     shard time out instead of completing (a wedged worker does not
+     answer) *)
+  let n_ops = 1 + Random.State.int c.rng 2 in
+  for _ = 1 to n_ops do
+    let home = List.nth c.expects (Random.State.int c.rng (List.length c.expects)) in
+    let target = Supervisor.owner_of c.sup (fst home) in
+    let target_stalled =
+      match target with Some i -> c.stalled.(i) > 0 | None -> false
+    in
+    if target_stalled then c.stalled_timeouts <- c.stalled_timeouts + 1
+    else begin
+      let r = Random.State.int c.rng 100 in
+      let res =
+        if r < 45 then op_install c home
+        else if r < 75 then op_deliver c home
+        else if r < 85 then op_decision c home
+        else if r < 90 then op_quarantine c home
+        else if r < 90 + (cfg.audit_per_thousand / 10) then op_audit c home
+        else op_deliver c home
+      in
+      (match res with
+      | `Acked_install -> counters.(0) <- counters.(0) + 1
+      | `Acked_config -> counters.(1) <- counters.(1) + 1
+      | `Acked_decision -> counters.(2) <- counters.(2) + 1
+      | `Acked_quarantine -> counters.(3) <- counters.(3) + 1
+      | `Other -> ())
+    end
+  done;
+  (* heartbeats from every live, un-stalled shard; then advance time
+     and run a supervision pass *)
+  List.iter
+    (fun i ->
+      if c.stalled.(i) > 0 then c.stalled.(i) <- c.stalled.(i) - 1
+      else Supervisor.beat c.sup i)
+    (List.init cfg.shards Fun.id);
+  c.now := !(c.now) +. cfg.step_ms;
+  Supervisor.tick c.sup;
+  note_states c
+
+(* -- final verification ------------------------------------------------------- *)
+
+let subset ~of_:ys xs = List.for_all (fun x -> List.mem x ys) xs
+
+type recovered_home = {
+  r_installed : string list;
+  r_decisions : (string * Policy.decision) list;
+  r_quarantined : string list;
+  r_last_seq : int;
+  r_text : string;
+  r_text2 : string;  (** second, independent recovery *)
+  r_honest_damage : bool;  (** some recovery surfaced damage for this home *)
+}
+
+let recover_home ~fleet_dir ~campaign_damage id =
+  let dir = Shard.home_dir ~fleet_dir id in
+  (* first open repairs (truncates torn tails, quarantines corrupt
+     frames); the determinism check is over the two subsequent
+     recoveries of the repaired journal *)
+  let h1, r1 = Home.open_ ~fsync:false ~dir () in
+  let r_installed =
+    List.map (fun (a : Rule.smartapp) -> a.Rule.name) (Home.installed_apps h1)
+  in
+  let r_decisions = Policy.decisions (Install_flow.policies (Home.flow h1)) in
+  let r_quarantined = List.map fst (Home.quarantined h1) in
+  let r_last_seq = Home.last_seq h1 in
+  let r_text = Home.state_text h1 in
+  Home.close h1;
+  let h2, r2 = Home.open_ ~fsync:false ~dir () in
+  let r_text2 = Home.state_text h2 in
+  Home.close h2;
+  let damaged (r : Home.recovery_report) =
+    r.Home.quarantined > 0 || r.Home.skipped_events > 0
+  in
+  (* The quarantine sidecar is the durable form of the same evidence:
+     an in-memory recovery report can be lost when the recovering open
+     itself crashes on a later home (the journal repair it already
+     performed persists, so the retry replays clean), but the sidecar
+     written by that repair survives any number of restarts. *)
+  let sidecar_corruption = Home.surfaced_corruption ~dir > 0 in
+  {
+    r_installed;
+    r_decisions;
+    r_quarantined;
+    r_last_seq;
+    r_text;
+    r_text2;
+    r_honest_damage =
+      campaign_damage || damaged r1 || damaged r2 || sidecar_corruption;
+  }
+
+let verify c ~fleet_dir =
+  let campaign_damaged =
+    (* homes whose mid-campaign recoveries already surfaced damage *)
+    List.filter_map
+      (fun (id, (r : Home.recovery_report)) ->
+        if r.Home.quarantined > 0 || r.Home.skipped_events > 0 then Some id
+        else None)
+      (Supervisor.recoveries c.sup)
+  in
+  let recovered =
+    List.map
+      (fun (id, ex) ->
+        ( id,
+          ex,
+          recover_home ~fleet_dir
+            ~campaign_damage:(List.mem id campaign_damaged)
+            id ))
+      c.expects
+  in
+  let inv name ok detail = { name; ok; detail } in
+  let failures pred =
+    List.filter_map (fun (id, ex, r) -> if pred ex r then None else Some id) recovered
+  in
+  let inv1_bad =
+    failures (fun ex r ->
+        r.r_honest_damage
+        || (subset ~of_:r.r_installed ex.installed && ex.acked_seq <= r.r_last_seq))
+  in
+  let inv2_bad = failures (fun _ r -> r.r_text = r.r_text2) in
+  let inv3_bad =
+    failures (fun ex r ->
+        r.r_honest_damage
+        || (subset ~of_:r.r_quarantined ex.quarantined
+           && subset ~of_:r.r_decisions ex.decisions))
+  in
+  let honest = List.length (List.filter (fun (_, _, r) -> r.r_honest_damage) recovered) in
+  let list = function [] -> "" | ids -> ": " ^ String.concat "," ids in
+  [
+    inv "no-acked-loss" (inv1_bad = [])
+      (Printf.sprintf
+         "%d installs, %d configs acked across %d homes; %d home(s) with \
+          surfaced damage%s"
+         (List.fold_left (fun a (_, ex, _) -> a + List.length ex.installed) 0 recovered)
+         (List.fold_left (fun a (_, ex, _) -> a + ex.acked_seq) 0 recovered)
+         (List.length recovered) honest (list inv1_bad));
+    inv "replay-determinism" (inv2_bad = [])
+      (Printf.sprintf "%d homes recovered twice%s" (List.length recovered)
+         (list inv2_bad));
+    inv "quarantine-decision-survival" (inv3_bad = [])
+      (Printf.sprintf "%d decisions, %d quarantines acked%s"
+         (List.fold_left (fun a (_, ex, _) -> a + List.length ex.decisions) 0 recovered)
+         (List.fold_left (fun a (_, ex, _) -> a + List.length ex.quarantined) 0 recovered)
+         (list inv3_bad));
+    inv "no-false-clean-bill" (c.false_clean = 0)
+      (Printf.sprintf "%d outcome(s) checked, %d false clean" c.outcomes_checked
+         c.false_clean);
+  ]
+
+(* -- entry point -------------------------------------------------------------- *)
+
+let run ?(config = default_config) ~dir () =
+  if config.shards < 1 || config.homes < 1 || config.steps < 1 then
+    invalid_arg "Chaos.run: shards, homes and steps must be positive";
+  let rng = Random.State.make [| 0xc4a05; config.seed |] in
+  let synth_homes = Corpus.synth ~seed:config.seed ~n_homes:config.homes in
+  let now = ref 0.0 in
+  let clock () = !now in
+  let sup_config =
+    {
+      Supervisor.default_config with
+      Supervisor.shards = config.shards;
+      heartbeat_interval_ms = config.step_ms *. 2.0;
+      miss_threshold = 3;
+      failure_threshold = 2;
+      reset_timeout_ms = config.step_ms *. 4.0;
+      half_open_probes = 2;
+      restart_budget = 6;
+      backoff_base_ms = config.step_ms;
+      backoff_cap_ms = config.step_ms *. 10.0;
+      seed = config.seed;
+      fsync = false;
+      clock;
+      broker = { Broker.default_config with Broker.clock = clock };
+    }
+  in
+  let sup =
+    Supervisor.create ~config:sup_config ~dir
+      ~homes:(List.map (fun h -> h.Synth.id) synth_homes)
+      ()
+  in
+  let c =
+    {
+      cfg = config;
+      sup;
+      rng;
+      now;
+      expects =
+        List.map
+          (fun h ->
+            ( h.Synth.id,
+              {
+                synth = h;
+                next_app = 0;
+                next_seq = 0;
+                installed = [];
+                acked_seq = 0;
+                decisions = [];
+                quarantined = [];
+                threat_ids = [];
+              } ))
+          synth_homes;
+      stalled = Array.make config.shards 0;
+      fault_steps_left = 0;
+      fault_windows = 0;
+      ops = 0;
+      busy = 0;
+      degraded = 0;
+      stalled_timeouts = 0;
+      served_while_impaired = 0;
+      false_clean = 0;
+      outcomes_checked = 0;
+      killed = [];
+      recovered = [];
+    }
+  in
+  let counters = Array.make 4 0 in
+  Fun.protect
+    ~finally:(fun () ->
+      Fault.disarm ();
+      Fault.disarm_storage ())
+  @@ fun () ->
+  for step_index = 1 to config.steps do
+    step c ~step_index counters
+  done;
+  Fault.disarm_storage ();
+  c.fault_steps_left <- 0;
+  (* settle: let every pending restart complete (or exhaust its budget
+     and rebalance) before verifying *)
+  let settled = ref 0 in
+  while
+    !settled < 200
+    && List.exists
+         (fun i -> Supervisor.shard_state c.sup i = `Restarting)
+         (List.init config.shards Fun.id)
+  do
+    incr settled;
+    c.now := !(c.now) +. config.step_ms;
+    Supervisor.beat_all c.sup;
+    Supervisor.tick c.sup;
+    note_states c
+  done;
+  let stats = Supervisor.stats c.sup in
+  Supervisor.close c.sup;
+  let invariants = verify c ~fleet_dir:dir in
+  {
+    config;
+    ops = c.ops;
+    installs_acked = counters.(0);
+    configs_acked = counters.(1);
+    decisions_acked = counters.(2);
+    quarantines_acked = counters.(3);
+    degraded_replies = c.degraded;
+    busy_replies = c.busy;
+    stalled_timeouts = c.stalled_timeouts;
+    served_while_impaired = c.served_while_impaired;
+    fault_windows = c.fault_windows;
+    stats;
+    shards_killed = List.length c.killed;
+    shards_recovered = List.length c.recovered;
+    invariants;
+  }
+
+let render r =
+  let b = Buffer.create 512 in
+  Buffer.add_string b
+    (Printf.sprintf
+       "chaos campaign: seed=%d shards=%d homes=%d steps=%d\n" r.config.seed
+       r.config.shards r.config.homes r.config.steps);
+  Buffer.add_string b
+    (Printf.sprintf
+       "workload: ops=%d acked installs=%d configs=%d decisions=%d \
+        quarantines=%d busy=%d degraded=%d stalled-timeouts=%d\n"
+       r.ops r.installs_acked r.configs_acked r.decisions_acked
+       r.quarantines_acked r.busy_replies r.degraded_replies r.stalled_timeouts);
+  Buffer.add_string b
+    (Printf.sprintf
+       "faults: windows=%d kills=%d restarts=%d breaker-trips=%d \
+        rebalanced-homes=%d dead-shards=%d\n"
+       r.fault_windows r.stats.Supervisor.kills r.stats.Supervisor.restarts
+       r.stats.Supervisor.breaker_trips r.stats.Supervisor.rebalanced_homes
+       r.stats.Supervisor.dead_shards);
+  Buffer.add_string b
+    (Printf.sprintf
+       "isolation: shards-killed=%d shards-recovered=%d served-while-impaired=%d\n"
+       r.shards_killed r.shards_recovered r.served_while_impaired);
+  List.iter
+    (fun i ->
+      Buffer.add_string b
+        (Printf.sprintf "invariant %-28s %s (%s)\n" i.name
+           (if i.ok then "OK" else "VIOLATED")
+           i.detail))
+    r.invariants;
+  Buffer.add_string b
+    (if passed r then "campaign passed\n" else "campaign FAILED\n");
+  Buffer.contents b

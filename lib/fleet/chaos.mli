@@ -1,0 +1,53 @@
+(** Seeded chaos campaigns over a synthetic-home fleet: a deterministic
+    schedule of shard kills, stalls and storage-fault windows layered
+    over install/config/decision/audit traffic, verified against the
+    four fleet invariants — no silent acked loss, replay-deterministic
+    recovery, quarantine/decision survival, no false clean bill. *)
+
+type config = {
+  seed : int;
+  shards : int;
+  homes : int;
+  steps : int;
+  step_ms : float;  (** simulated clock advance per step *)
+  forced_kills : int;  (** evenly spaced deterministic kills *)
+  kill_per_thousand : int;
+  stall_per_thousand : int;
+  fault_window_per_thousand : int;
+  audit_per_thousand : int;
+}
+
+val default_config : config
+(** seed 42, 4 shards, 24 homes, 400 steps, 3 forced kills. *)
+
+val smoke_config : config
+(** A short CI-sized campaign (10 homes, 150 steps). *)
+
+type invariant = { name : string; ok : bool; detail : string }
+
+type report = {
+  config : config;
+  ops : int;
+  installs_acked : int;
+  configs_acked : int;
+  decisions_acked : int;
+  quarantines_acked : int;
+  degraded_replies : int;
+  busy_replies : int;
+  stalled_timeouts : int;
+  served_while_impaired : int;
+      (** ops completed by healthy shards while some shard was down —
+          the fault-isolation liveness signal *)
+  fault_windows : int;
+  stats : Supervisor.stats;
+  shards_killed : int;
+  shards_recovered : int;
+  invariants : invariant list;
+}
+
+val run : ?config:config -> dir:string -> unit -> report
+(** Run one campaign in [dir] (created if missing). Deterministic in
+    [config.seed]. Fault hooks are disarmed on every exit path. *)
+
+val passed : report -> bool
+val render : report -> string

@@ -1,0 +1,88 @@
+(** One shard worker: a {!Broker} plus the homes the supervisor
+    assigned it.
+
+    Every home is an explicit value rooted in its own directory under
+    the fleet root, so shard ownership is purely logical — "moving" a
+    home to another shard means the new owner replays its journal
+    ({!Homeguard_store.Home.open_}), no files move. That is what makes
+    rebalance-after-permanent-failure and supervised restart the same
+    operation: open the journal, recover, serve. *)
+
+module Home = Homeguard_store.Home
+module Broker = Homeguard_serve.Broker
+
+type t = {
+  index : int;
+  fleet_dir : string;
+  fsync : bool;
+  mode : Home.mode;
+  broker : Broker.t;
+  mutable recoveries : (string * Home.recovery_report) list;
+      (** most recent first; every open this shard performed *)
+}
+
+(* Home ids are caller-chosen; keep the mapping to directories
+   injective and filesystem-safe. *)
+let home_dir ~fleet_dir id =
+  let safe =
+    String.map
+      (function ('a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '-' | '_') as c -> c | _ -> '.')
+      id
+  in
+  Filename.concat fleet_dir ("h_" ^ safe)
+
+let index t = t.index
+let broker t = t.broker
+let home_ids t = Broker.home_ids t.broker
+let recoveries t = t.recoveries
+
+let add_home t id =
+  let home, report =
+    Home.open_ ~fsync:t.fsync ~mode:t.mode ~dir:(home_dir ~fleet_dir:t.fleet_dir id) ()
+  in
+  Broker.add_home t.broker ~id home;
+  t.recoveries <- (id, report) :: t.recoveries;
+  report
+
+let open_ ?(broker_config = Broker.default_config) ?(fsync = true)
+    ?(mode = Home.Mixed) ?(on_recovery = fun _ _ -> ()) ~fleet_dir ~index
+    ~home_ids () =
+  let t =
+    {
+      index;
+      fleet_dir;
+      fsync;
+      mode;
+      broker = Broker.create ~config:broker_config ();
+      recoveries = [];
+    }
+  in
+  (* Opening is all-or-nothing: a recovery crash mid-way must not leak
+     the homes already opened. [on_recovery] fires per home as it
+     opens, so the reports of the homes recovered before a crash are
+     not lost with the failed attempt — a recovery that quarantined a
+     corrupt record repairs the journal on disk, and a retry would
+     replay the repaired journal cleanly, silently erasing the
+     in-memory evidence of the damage. *)
+  (try
+     List.iter
+       (fun id ->
+         let report = add_home t id in
+         on_recovery id report)
+       home_ids
+   with e ->
+     List.iter (fun (_, h) -> try Home.close h with _ -> ()) (Broker.homes t.broker);
+     raise e);
+  t
+
+let release_home t id =
+  match Broker.remove_home t.broker id with
+  | None -> false
+  | Some home ->
+    Home.close home;
+    true
+
+let close t =
+  List.iter
+    (fun (id, _) -> ignore (release_home t id))
+    (Broker.homes t.broker)

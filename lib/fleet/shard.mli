@@ -1,0 +1,49 @@
+(** One shard worker: a broker plus the homes the supervisor assigned
+    it, each recovered from its own journal directory under the fleet
+    root. Ownership is logical — rebalance and restart are both "open
+    the journal, recover, serve". *)
+
+module Home = Homeguard_store.Home
+module Broker = Homeguard_serve.Broker
+
+type t
+
+val home_dir : fleet_dir:string -> string -> string
+(** Where a home's journal lives, independent of which shard owns it. *)
+
+val open_ :
+  ?broker_config:Broker.config ->
+  ?fsync:bool ->
+  ?mode:Home.mode ->
+  ?on_recovery:(string -> Home.recovery_report -> unit) ->
+  fleet_dir:string ->
+  index:int ->
+  home_ids:string list ->
+  unit ->
+  t
+(** Open (recovering) every assigned home. All-or-nothing: on a
+    recovery crash the already-opened homes are closed and the
+    exception propagates — the supervisor's restart backoff owns the
+    retry. [on_recovery] fires per home as it opens, including on
+    attempts that later fail, so damage surfaced by a recovery is never
+    erased by a clean retry of the repaired journal. *)
+
+val index : t -> int
+val broker : t -> Broker.t
+val home_ids : t -> string list
+
+val recoveries : t -> (string * Home.recovery_report) list
+(** Every recovery this shard performed, most recent first — the
+    honest-loss accounting (quarantined/skipped counts) chaos
+    invariants consult. *)
+
+val add_home : t -> string -> Home.recovery_report
+(** Take ownership of one home (rebalance-in): journal-backed
+    recovery. *)
+
+val release_home : t -> string -> bool
+(** Close and unregister one home (rebalance-out). *)
+
+val close : t -> unit
+(** Close every home. Also the "kill" path in chaos campaigns: durable
+    state is only what the journal holds. *)

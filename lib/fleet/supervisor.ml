@@ -1,0 +1,468 @@
+(** The fleet supervisor: partitions homes across N shard workers by
+    consistent hashing, watches their heartbeats, restarts crashed or
+    stalled shards from their journals under a bounded budget with
+    jittered exponential backoff (the PR 4 retry policy), shields
+    callers from a failing shard with a per-shard circuit breaker, and
+    reassigns a permanently dead shard's homes to the survivors.
+
+    Everything is driven by an injectable clock and a seeded RNG, so a
+    whole failure campaign — kills, stalls, backoff waits, probes — is
+    deterministic and replayable. *)
+
+module Home = Homeguard_store.Home
+module Broker = Homeguard_serve.Broker
+module Deadline = Homeguard_serve.Deadline
+module Shed = Homeguard_serve.Shed
+module Fault = Homeguard_solver.Fault
+
+type config = {
+  shards : int;
+  heartbeat_interval_ms : float;
+  miss_threshold : int;  (** whole missed intervals before a restart *)
+  failure_threshold : int;  (** consecutive failures tripping the breaker *)
+  reset_timeout_ms : float;  (** breaker Open → Half_open delay *)
+  half_open_probes : int;
+  restart_budget : int;  (** restart attempts per shard before Dead *)
+  backoff_base_ms : float;
+  backoff_cap_ms : float;
+  seed : int;  (** jitter determinism *)
+  fsync : bool;
+  mode : Home.mode;
+  clock : Deadline.clock;
+  broker : Broker.config;  (** per-shard; its clock is overridden by [clock] *)
+}
+
+let default_config =
+  {
+    shards = 4;
+    heartbeat_interval_ms = 1_000.0;
+    miss_threshold = 3;
+    failure_threshold = 3;
+    reset_timeout_ms = 1_000.0;
+    half_open_probes = 2;
+    restart_budget = 5;
+    backoff_base_ms = 250.0;
+    backoff_cap_ms = 8_000.0;
+    seed = 1;
+    fsync = true;
+    mode = Home.Mixed;
+    clock = Deadline.wall_clock;
+    broker = Broker.default_config;
+  }
+
+type slot_state =
+  | Running of Shard.t
+  | Restarting of { until : float; attempts : int; prev_backoff : float }
+  | Dead
+
+type slot = {
+  index : int;
+  mutable state : slot_state;
+  breaker : Breaker.t;
+  health : Health.t;
+  mutable homes : string list;  (** current assignment *)
+  mutable restarts : int;  (** successful supervised restarts *)
+  mutable attempts_used : int;  (** restart attempts charged to the budget *)
+  mutable last_error : string;
+}
+
+type t = {
+  dir : string;
+  config : config;
+  slots : slot array;
+  ring : (int * int) array;  (** (point, shard) sorted by point *)
+  assignment : (string, int) Hashtbl.t;
+  rng : Random.State.t;
+  mutable kills : int;  (** crashes observed (injected or organic) *)
+  mutable rebalances : int;  (** homes moved off dead shards *)
+  mutable recoveries : (string * Home.recovery_report) list;
+      (** every journal recovery any shard performed, most recent first *)
+}
+
+let shard_label i = Printf.sprintf "shard-%d" i
+
+(* -- consistent hash ring ----------------------------------------------------- *)
+
+(* 32 virtual points per shard smooth the partition; the masks keep
+   Hashtbl.hash's 30-bit output strictly non-negative. *)
+let vpoints = 32
+let point shard k = Hashtbl.hash ("hg-fleet-shard", shard, k) land 0x3FFFFFFF
+let home_point id = Hashtbl.hash ("hg-fleet-home", id) land 0x3FFFFFFF
+
+let make_ring shards =
+  let pts =
+    List.concat
+      (List.init shards (fun s -> List.init vpoints (fun k -> (point s k, s))))
+  in
+  let arr = Array.of_list pts in
+  Array.sort compare arr;
+  arr
+
+(** First clockwise ring point owned by a shard [alive] accepts —
+    consistent hashing's placement rule, so removing a dead shard
+    moves only that shard's homes. [None] when no shard qualifies. *)
+let owner t ~alive id =
+  let n = Array.length t.ring in
+  let hp = home_point id in
+  (* binary search for the first point >= hp *)
+  let rec bsearch lo hi = if lo >= hi then lo else
+    let mid = (lo + hi) / 2 in
+    if fst t.ring.(mid) < hp then bsearch (mid + 1) hi else bsearch lo mid
+  in
+  let start = bsearch 0 n in
+  let rec walk i remaining =
+    if remaining = 0 then None
+    else
+      let _, s = t.ring.(i mod n) in
+      if alive s then Some s else walk (i + 1) (remaining - 1)
+  in
+  walk start n
+
+let slot_alive slot = match slot.state with Dead -> false | _ -> true
+
+(* -- construction ------------------------------------------------------------- *)
+
+let jittered t prev =
+  let base = Float.max 1.0 t.config.backoff_base_ms in
+  let cap = Float.max base t.config.backoff_cap_ms in
+  let hi = Float.min cap (prev *. 3.0) in
+  let u = float_of_int (Random.State.int t.rng 1024) /. 1023.0 in
+  base +. (u *. (hi -. base))
+
+let open_shard t slot =
+  let broker_config = { t.config.broker with Broker.clock = t.config.clock } in
+  (* record each home's recovery as it happens — a later home crashing
+     this open must not discard the evidence (the journal repair it
+     performed is already durable) *)
+  Shard.open_ ~broker_config ~fsync:t.config.fsync ~mode:t.config.mode
+    ~on_recovery:(fun id report -> t.recoveries <- (id, report) :: t.recoveries)
+    ~fleet_dir:t.dir ~index:slot.index ~home_ids:slot.homes ()
+
+let create ?(config = default_config) ~dir ~homes () =
+  if config.shards < 1 then invalid_arg "Supervisor.create: shards < 1";
+  if config.restart_budget < 0 then invalid_arg "Supervisor.create: restart_budget < 0";
+  if not (Sys.file_exists dir) then Unix.mkdir dir 0o755;
+  let slots =
+    Array.init config.shards (fun index ->
+        {
+          index;
+          state = Dead;  (* populated below *)
+          breaker =
+            Breaker.create ~failure_threshold:config.failure_threshold
+              ~reset_timeout_ms:config.reset_timeout_ms
+              ~half_open_probes:config.half_open_probes config.clock;
+          health =
+            Health.create ~interval_ms:config.heartbeat_interval_ms
+              ~miss_threshold:config.miss_threshold config.clock;
+          homes = [];
+          restarts = 0;
+          attempts_used = 0;
+          last_error = "";
+        })
+  in
+  let t =
+    {
+      dir;
+      config;
+      slots;
+      ring = make_ring config.shards;
+      assignment = Hashtbl.create (List.length homes);
+      rng = Random.State.make [| 0xf1ee7; config.seed |];
+      kills = 0;
+      rebalances = 0;
+      recoveries = [];
+    }
+  in
+  List.iter
+    (fun id ->
+      if Hashtbl.mem t.assignment id then
+        invalid_arg (Printf.sprintf "Supervisor.create: duplicate home %S" id);
+      match owner t ~alive:(fun _ -> true) id with
+      | None -> assert false  (* ring is non-empty *)
+      | Some s ->
+        Hashtbl.replace t.assignment id s;
+        slots.(s).homes <- slots.(s).homes @ [ id ])
+    homes;
+  Array.iter (fun slot -> slot.state <- Running (open_shard t slot)) slots;
+  t
+
+(* -- failure handling --------------------------------------------------------- *)
+
+let rec mark_dead t slot =
+  (match slot.state with
+  | Running sh -> ( try Shard.close sh with _ -> ())
+  | _ -> ());
+  slot.state <- Dead;
+  let orphans = slot.homes in
+  slot.homes <- [];
+  (* Reassign by the same ring walk, restricted to surviving shards:
+     only the dead shard's homes move. A surviving-but-down shard
+     (Restarting) still accepts assignments — it picks the home up
+     when its restart replays the journals. *)
+  List.iter
+    (fun id ->
+      match owner t ~alive:(fun s -> slot_alive t.slots.(s)) id with
+      | None -> Hashtbl.remove t.assignment id  (* whole fleet is dead *)
+      | Some s ->
+        let dst = t.slots.(s) in
+        dst.homes <- dst.homes @ [ id ];
+        Hashtbl.replace t.assignment id s;
+        t.rebalances <- t.rebalances + 1;
+        (match dst.state with
+        | Running sh -> (
+          match Shard.add_home sh id with
+          | report -> t.recoveries <- (id, report) :: t.recoveries
+          | exception Fault.Crashed msg ->
+            (* recovering the orphan crashed the destination too *)
+            crash t dst ~error:("rebalance recovery crashed: " ^ msg))
+        | Restarting _ | Dead -> ()))
+    orphans
+
+and schedule_restart t slot ~prev =
+  if slot.attempts_used >= t.config.restart_budget then mark_dead t slot
+  else begin
+    slot.attempts_used <- slot.attempts_used + 1;
+    let sleep = jittered t prev in
+    slot.state <-
+      Restarting
+        { until = t.config.clock () +. sleep;
+          attempts = slot.attempts_used;
+          prev_backoff = sleep;
+        }
+  end
+
+and crash t slot ~error =
+  (match slot.state with
+  | Running sh -> ( try Shard.close sh with _ -> ())
+  | _ -> ());
+  t.kills <- t.kills + 1;
+  slot.last_error <- error;
+  schedule_restart t slot ~prev:t.config.backoff_base_ms
+
+(** Supervision pass: detect stalled shards (missed heartbeats) and
+    bring Restarting shards whose backoff elapsed back up via journal
+    replay. A restart that crashes mid-recovery is charged to the
+    budget and rescheduled with escalated backoff. *)
+let tick t =
+  Array.iter
+    (fun slot ->
+      match slot.state with
+      | Running _ -> (
+        match Health.status slot.health with
+        | Health.Failed m ->
+          crash t slot
+            ~error:(Printf.sprintf "stalled: missed %d heartbeat(s)" m)
+        | Health.Alive | Health.Late _ -> ())
+      | Restarting { until; prev_backoff; _ } when t.config.clock () >= until -> (
+        match open_shard t slot with
+        | sh ->
+          slot.state <- Running sh;
+          slot.restarts <- slot.restarts + 1;
+          Health.beat slot.health;
+          (* recovery already served as the shed window *)
+          Breaker.begin_probing slot.breaker
+        | exception e ->
+          slot.last_error <- "restart failed: " ^ Printexc.to_string e;
+          schedule_restart t slot ~prev:prev_backoff)
+      | Restarting _ | Dead -> ())
+    t.slots
+
+(* -- request routing ---------------------------------------------------------- *)
+
+type 'a reply =
+  | Done of { shard : int; value : 'a }
+  | Unavailable of { shard : int; retry_after_ms : int; reason : string }
+      (** breaker open, restart pending, or shard dead *)
+  | Crashed of { shard : int; error : string }
+      (** the request crashed its shard; a restart is scheduled *)
+
+let to_outcome = function
+  | Done { value; _ } -> Shed.Completed value
+  | Unavailable { shard; retry_after_ms; _ } ->
+    Shed.Degraded
+      {
+        reason = Shed.Shard_unavailable { shard = shard_label shard; retry_after_ms };
+        partial = None;
+        shard = Some (shard_label shard);
+      }
+  | Crashed { shard; _ } ->
+    Shed.Degraded
+      {
+        reason = Shed.Shard_unavailable { shard = shard_label shard; retry_after_ms = 0 };
+        partial = None;
+        shard = Some (shard_label shard);
+      }
+
+let owner_of t home = Hashtbl.find_opt t.assignment home
+
+(** Route one unit of work to [home]'s shard. The breaker and the
+    restart schedule gate admission; {!Fault.Crashed} escaping the work
+    counts as a shard crash (close, schedule restart, honest reply).
+    The retry hint while down is the max of the breaker's shed window
+    and the time until the next restart attempt — breaker state scales
+    the backpressure, per the admission contract. *)
+let run t ~home f =
+  match owner_of t home with
+  | None -> invalid_arg (Printf.sprintf "Supervisor.run: unknown home %S" home)
+  | Some idx -> (
+    let slot = t.slots.(idx) in
+    let hint ms =
+      int_of_float (Float.max 1.0 (Float.max ms (Breaker.retry_after_ms slot.breaker)))
+    in
+    match slot.state with
+    | Dead ->
+      Unavailable
+        { shard = idx; retry_after_ms = hint 1.0; reason = "shard dead" }
+    | Restarting { until; _ } ->
+      Unavailable
+        {
+          shard = idx;
+          retry_after_ms = hint (until -. t.config.clock ());
+          reason = "restart pending";
+        }
+    | Running sh -> (
+      match Breaker.allow slot.breaker with
+      | `Reject ms ->
+        Unavailable { shard = idx; retry_after_ms = hint ms; reason = "breaker open" }
+      | `Admit | `Probe -> (
+        match f sh with
+        | v ->
+          Breaker.note_success slot.breaker;
+          Health.beat slot.health;
+          Done { shard = idx; value = v }
+        | exception Fault.Crashed msg ->
+          Breaker.note_failure slot.breaker;
+          crash t slot ~error:msg;
+          Crashed { shard = idx; error = msg })))
+
+let install t ~home ?deadline_ms ~name ~source () =
+  run t ~home (fun sh ->
+      Shard.Broker.install (Shard.broker sh) ~home ?deadline_ms ~name ~source ())
+
+let deliver t ~home ~seq uri =
+  run t ~home (fun sh -> Home.deliver (Broker.home (Shard.broker sh) home) ~seq uri)
+
+let submit_audit t ~home ?deadline_ms () =
+  run t ~home (fun sh -> Broker.submit_audit (Shard.broker sh) ~home ?deadline_ms ())
+
+let drain t ~shard:idx =
+  match t.slots.(idx).state with
+  | Running sh -> (
+    match Broker.drain (Shard.broker sh) with
+    | outcomes ->
+      Breaker.note_success t.slots.(idx).breaker;
+      Health.beat t.slots.(idx).health;
+      Done { shard = idx; value = outcomes }
+    | exception Fault.Crashed msg ->
+      Breaker.note_failure t.slots.(idx).breaker;
+      crash t t.slots.(idx) ~error:msg;
+      Crashed { shard = idx; error = msg })
+  | Restarting { until; _ } ->
+    Unavailable
+      {
+        shard = idx;
+        retry_after_ms =
+          int_of_float (Float.max 1.0 (until -. t.config.clock ()));
+        reason = "restart pending";
+      }
+  | Dead -> Unavailable { shard = idx; retry_after_ms = 1; reason = "shard dead" }
+
+(* -- chaos / introspection hooks ---------------------------------------------- *)
+
+(** Inject a crash (chaos' shard kill). [false] when the shard is not
+    running. *)
+let kill t idx =
+  let slot = t.slots.(idx) in
+  match slot.state with
+  | Running _ ->
+    Breaker.note_failure slot.breaker;
+    crash t slot ~error:"injected kill";
+    true
+  | Restarting _ | Dead -> false
+
+(** Heartbeat from shard [idx]; chaos stalls a shard by advancing the
+    clock while withholding its beat. *)
+let beat t idx =
+  let slot = t.slots.(idx) in
+  match slot.state with Running _ -> Health.beat slot.health | _ -> ()
+
+let beat_all t = Array.iter (fun s -> beat t s.index) t.slots
+
+let shard_state t idx =
+  match t.slots.(idx).state with
+  | Running _ -> `Running
+  | Restarting _ -> `Restarting
+  | Dead -> `Dead
+
+let running t =
+  Array.to_list t.slots
+  |> List.filter_map (fun s ->
+         match s.state with Running _ -> Some s.index | _ -> None)
+
+let shard t idx =
+  match t.slots.(idx).state with Running sh -> Some sh | _ -> None
+
+let homes_of t idx = t.slots.(idx).homes
+let home_ids t = Hashtbl.fold (fun id _ acc -> id :: acc) t.assignment []
+
+type stats = {
+  shards : int;
+  running_shards : int;
+  dead_shards : int;
+  kills : int;
+  restarts : int;
+  rebalanced_homes : int;
+  breaker_trips : int;
+  recoveries : int;
+}
+
+let stats t =
+  let restarts = Array.fold_left (fun a (s : slot) -> a + s.restarts) 0 t.slots in
+  let trips = Array.fold_left (fun a (s : slot) -> a + Breaker.trips s.breaker) 0 t.slots in
+  let dead =
+    Array.fold_left
+      (fun a (s : slot) -> a + match s.state with Dead -> 1 | _ -> 0)
+      0 t.slots
+  in
+  {
+    shards = t.config.shards;
+    running_shards = List.length (running t);
+    dead_shards = dead;
+    kills = t.kills;
+    restarts;
+    rebalanced_homes = t.rebalances;
+    breaker_trips = trips;
+    recoveries = List.length t.recoveries;
+  }
+
+let recoveries (t : t) = t.recoveries
+
+let status t =
+  let b = Buffer.create 256 in
+  Array.iter
+    (fun slot ->
+      let state =
+        match slot.state with
+        | Running sh -> "running " ^ Broker.status (Shard.broker sh)
+        | Restarting { until; attempts; _ } ->
+          Printf.sprintf "restarting attempt=%d in-ms=%.0f" attempts
+            (Float.max 0.0 (until -. t.config.clock ()))
+        | Dead -> "dead"
+      in
+      Buffer.add_string b
+        (Printf.sprintf "%s: homes=%d breaker=%s health=%s restarts=%d %s\n"
+           (shard_label slot.index) (List.length slot.homes)
+           (Breaker.describe slot.breaker)
+           (Health.describe slot.health) slot.restarts state))
+    t.slots;
+  Buffer.contents b
+
+let close t =
+  Array.iter
+    (fun slot ->
+      match slot.state with
+      | Running sh ->
+        (try Shard.close sh with _ -> ());
+        slot.state <- Dead
+      | _ -> slot.state <- Dead)
+    t.slots

@@ -1,0 +1,124 @@
+(** The fleet supervisor: consistent-hash home placement over N shard
+    workers, heartbeat health checks, per-shard circuit breakers,
+    supervised journal-replay restarts under a bounded budget with
+    jittered exponential backoff, and rebalance-on-permanent-failure.
+    Deterministic under an injectable clock and seed. *)
+
+module Home = Homeguard_store.Home
+module Broker = Homeguard_serve.Broker
+module Deadline = Homeguard_serve.Deadline
+module Shed = Homeguard_serve.Shed
+
+type config = {
+  shards : int;
+  heartbeat_interval_ms : float;
+  miss_threshold : int;  (** whole missed intervals before a restart *)
+  failure_threshold : int;  (** consecutive failures tripping the breaker *)
+  reset_timeout_ms : float;  (** breaker Open → Half_open delay *)
+  half_open_probes : int;
+  restart_budget : int;  (** restart attempts per shard before Dead *)
+  backoff_base_ms : float;
+  backoff_cap_ms : float;
+  seed : int;  (** jitter determinism *)
+  fsync : bool;
+  mode : Home.mode;
+  clock : Deadline.clock;
+  broker : Broker.config;  (** per-shard; its clock is overridden by [clock] *)
+}
+
+val default_config : config
+(** 4 shards, 1000 ms heartbeats (restart after 3 missed), breaker
+    trips after 3 failures / probes after 1000 ms / closes after 2
+    probe successes, 5 restart attempts per shard, 250–8000 ms
+    decorrelated-jitter backoff, fsync on, wall clock. *)
+
+type t
+
+val create : ?config:config -> dir:string -> homes:string list -> unit -> t
+(** Open the fleet rooted at [dir]: place every home on the ring,
+    open each shard's homes (journal recovery), start all breakers
+    closed and all heartbeats fresh.
+    @raise Invalid_argument on duplicate home ids or bad config. *)
+
+val tick : t -> unit
+(** One supervision pass: restart shards whose heartbeat failed
+    ({!Health.Failed}) and bring shards whose backoff elapsed back up
+    via journal replay. A restart that crashes mid-recovery is charged
+    to the budget and rescheduled; a shard out of budget goes [Dead]
+    and its homes rebalance to the survivors. *)
+
+(** {2 Request routing} *)
+
+type 'a reply =
+  | Done of { shard : int; value : 'a }
+  | Unavailable of { shard : int; retry_after_ms : int; reason : string }
+      (** breaker open, restart pending, or shard dead; the hint is the
+          max of the breaker's shed window and the restart schedule *)
+  | Crashed of { shard : int; error : string }
+      (** the request crashed its shard; a restart is scheduled *)
+
+val to_outcome : 'a reply -> 'a Shed.outcome
+(** [Unavailable]/[Crashed] become [Degraded] with
+    [Shed.Shard_unavailable] naming the shard — never a clean bill. *)
+
+val run : t -> home:string -> (Shard.t -> 'a) -> 'a reply
+(** Route one unit of work to [home]'s owner. {!Fault.Crashed} escaping
+    [f] counts as a shard crash: close, schedule restart, honest
+    [Crashed] reply.
+    @raise Invalid_argument on an unknown home. *)
+
+val install :
+  t ->
+  home:string ->
+  ?deadline_ms:float ->
+  name:string ->
+  source:string ->
+  unit ->
+  Broker.install_reply reply
+
+val deliver : t -> home:string -> seq:int -> string -> Home.delivery reply
+val submit_audit : t -> home:string -> ?deadline_ms:float -> unit -> (int, int) result reply
+val drain : t -> shard:int -> Broker.audit_outcome list reply
+
+(** {2 Health and chaos hooks} *)
+
+val kill : t -> int -> bool
+(** Inject a crash; [false] when the shard is not running. *)
+
+val beat : t -> int -> unit
+(** Heartbeat from one shard (requests beat implicitly on success).
+    Chaos stalls a shard by advancing the clock while withholding its
+    beat. *)
+
+val beat_all : t -> unit
+
+(** {2 Introspection} *)
+
+val shard_label : int -> string
+val owner_of : t -> string -> int option
+val shard_state : t -> int -> [ `Running | `Restarting | `Dead ]
+val running : t -> int list
+val shard : t -> int -> Shard.t option
+val homes_of : t -> int -> string list
+val home_ids : t -> string list
+
+type stats = {
+  shards : int;
+  running_shards : int;
+  dead_shards : int;
+  kills : int;
+  restarts : int;
+  rebalanced_homes : int;
+  breaker_trips : int;
+  recoveries : int;
+}
+
+val stats : t -> stats
+
+val recoveries : t -> (string * Home.recovery_report) list
+(** Every journal recovery any shard performed (restarts, rebalances,
+    initial opens), most recent first — the honest-loss accounting the
+    chaos invariants consult. *)
+
+val status : t -> string
+val close : t -> unit

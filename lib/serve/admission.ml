@@ -57,10 +57,14 @@ let set_home_count t home n =
        List.map (fun (h, v) -> if h = home then (h, n) else (h, v)) t.per_home
      else (home, n) :: t.per_home)
 
-(** How long until a slot should free up, assuming requests ahead of us
-    drain at [est_service_ms] each. Never zero: the caller must back
-    off, not spin. *)
-let retry_after t ~over = t.est_service_ms * max 1 over
+(** How long until our turn, assuming the [depth] requests ahead of us
+    drain at [est_service_ms] each. Scaling with the whole depth — not
+    just the excess over the bound, which is ~1 for every refused
+    client — spreads retries out proportionally to the actual backlog
+    instead of having the entire shed cohort hammer back after one
+    constant interval. Never zero: the caller must back off, not
+    spin. *)
+let retry_after t ~depth = t.est_service_ms * max 1 depth
 
 let try_admit t ~home priority =
   with_lock t @@ fun () ->
@@ -70,10 +74,8 @@ let try_admit t ~home priority =
     | Background -> t.max_global - t.interactive_reserve
   in
   let here = home_count t home in
-  if here >= t.max_per_home then
-    Error (retry_after t ~over:(here - t.max_per_home + 1))
-  else if t.global >= global_cap then
-    Error (retry_after t ~over:(t.global - global_cap + 1))
+  if here >= t.max_per_home then Error (retry_after t ~depth:here)
+  else if t.global >= global_cap then Error (retry_after t ~depth:t.global)
   else begin
     set_home_count t home (here + 1);
     t.global <- t.global + 1;

@@ -22,10 +22,14 @@ val create :
 
 val try_admit : t -> home:string -> priority -> (ticket, int) result
 (** Admit or refuse immediately; [Error retry_after_ms] is the
-    backpressure reply ([busy retry-after-ms=N]), always positive.
-    Background admission is capped at [max_global - interactive_reserve]
-    so maintenance bursts cannot starve the interactive path; the
-    per-home bound applies to both priorities. *)
+    backpressure reply ([busy retry-after-ms=N]), always positive and
+    proportional to the depth of the queue ahead of the caller
+    ([est_service_ms] per queued request), so a deeper backlog pushes
+    shed clients further out instead of recalling the whole cohort
+    after one constant interval. Background admission is capped at
+    [max_global - interactive_reserve] so maintenance bursts cannot
+    starve the interactive path; the per-home bound applies to both
+    priorities. *)
 
 val release : t -> ticket -> unit
 (** Idempotent; every admitted ticket must be released exactly once

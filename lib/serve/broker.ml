@@ -1,13 +1,19 @@
 (** The request broker: admission control, deadline propagation, load
-    shedding and poison-app quarantine wired over one {!Home}.
+    shedding and poison-app quarantine wired over a set of {!Home}s.
 
     The division of labour: {!Admission} owns the bounds, {!Deadline}
     owns the clock, {!Shed} owns the refusal vocabulary, {!Quarantine}
-    owns the K-failure counter, and {!Homeguard_store.Home} owns
-    durability. The broker sequences them — admit, derive a budget from
-    what remains of the deadline, run, attribute failures, journal
+    owns the per-home K-failure counters, and {!Homeguard_store.Home}
+    owns durability. The broker sequences them — admit, derive a budget
+    from what remains of the deadline, run, attribute failures, journal
     quarantines — and turns the result into a structured reply the
     serve loop can print.
+
+    A broker fronts any number of homes, each an explicit value added
+    with {!add_home}: per-home admission bounds key on the real home
+    id, and every reply and queued job carries the home it belongs to.
+    This is what makes a fleet shard "just a map of homes" — a shard
+    worker is one broker plus the homes the supervisor assigned it.
 
     Interactive installs run immediately under their deadline;
     background full re-audits are queued ({!submit_audit}) holding an
@@ -46,45 +52,75 @@ let default_config =
     jobs = 1;
   }
 
-type job = { id : int; ticket : Admission.ticket; job_deadline : Deadline.t }
+type job = {
+  home_id : string;
+  id : int;
+  ticket : Admission.ticket;
+  job_deadline : Deadline.t;
+}
+
+(* Each home pairs its durable state with its own failure-streak
+   counter: one poison home must not consume another home's strikes. *)
+type entry = { home : Home.t; quarantine : Quarantine.t }
 
 type t = {
-  home : Home.t;
   config : config;
   admission : Admission.t;
-  quarantine : Quarantine.t;
+  mutable homes : (string * entry) list;  (** registration order *)
   mutable queue : job list;  (** FIFO; each job holds its ticket *)
   mutable next_job : int;
 }
 
-(* A broker fronts exactly one home; the per-home bound keys on this. *)
-let home_key = "home"
-
-let create ?(config = default_config) home =
+let create ?(config = default_config) () =
   let admission =
     Admission.create ~max_per_home:config.max_queue ~max_global:config.max_global
       ~interactive_reserve:config.interactive_reserve
       ~est_service_ms:config.est_service_ms ()
   in
-  let quarantine = Quarantine.create ~threshold:config.quarantine_after () in
+  { config; admission; homes = []; queue = []; next_job = 1 }
+
+let add_home t ~id home =
+  if List.mem_assoc id t.homes then
+    invalid_arg (Printf.sprintf "Broker.add_home: duplicate home %S" id);
+  let quarantine = Quarantine.create ~threshold:t.config.quarantine_after () in
   (* the journal is the authority: re-seed the counter's view from it *)
   List.iter
     (fun (app, reason) -> Quarantine.restore quarantine ~app ~reason)
     (Home.quarantined home);
-  { home; config; admission; quarantine; queue = []; next_job = 1 }
+  t.homes <- t.homes @ [ (id, { home; quarantine }) ]
 
-let home t = t.home
+let remove_home t id =
+  match List.assoc_opt id t.homes with
+  | None -> None
+  | Some entry ->
+    t.homes <- List.remove_assoc id t.homes;
+    (* queued jobs for the departing home release their tickets and
+       vanish: their home is moving shards, not being dropped silently *)
+    let stays, goes = List.partition (fun j -> j.home_id <> id) t.queue in
+    List.iter (fun j -> Admission.release t.admission j.ticket) goes;
+    t.queue <- stays;
+    Some entry.home
+
+let entry t id =
+  match List.assoc_opt id t.homes with
+  | Some e -> e
+  | None -> invalid_arg (Printf.sprintf "Broker: unknown home %S" id)
+
+let home t id = (entry t id).home
+let home_opt t id = Option.map (fun e -> e.home) (List.assoc_opt id t.homes)
+let home_ids t = List.map fst t.homes
+let homes t = List.map (fun (id, e) -> (id, e.home)) t.homes
 let admission t = t.admission
 let pending_jobs t = List.length t.queue
 
 (* -- failure attribution ------------------------------------------------------ *)
 
-(* One failure against [app]; tripping the threshold journals the
-   quarantine so it survives restarts. *)
-let note_failure t ~app ~reason =
-  match Quarantine.note_failure t.quarantine ~app ~reason with
+(* One failure against [app] in [e]'s home; tripping the threshold
+   journals the quarantine so it survives restarts. *)
+let note_failure e ~app ~reason =
+  match Quarantine.note_failure e.quarantine ~app ~reason with
   | `Quarantined why ->
-    Home.quarantine t.home ~app ~reason:why;
+    Home.quarantine e.home ~app ~reason:why;
     true
   | `Counted _ -> false
 
@@ -93,11 +129,11 @@ let note_failure t ~app ~reason =
     that came through clean. Budget exhaustion under a degraded run
     (deadline-clamped budget, shed batches) says the service was
     overloaded, not that the app is poison, so it does not count. *)
-let note_audit_result t ~degraded ~involved (r : Detector.audit_result) =
+let note_audit_result e ~degraded ~involved (r : Detector.audit_result) =
   let failed = Hashtbl.create 8 in
   let mark app reason =
     Hashtbl.replace failed app ();
-    ignore (note_failure t ~app ~reason)
+    ignore (note_failure e ~app ~reason)
   in
   List.iter
     (fun (f : Detector.failure) ->
@@ -116,7 +152,7 @@ let note_audit_result t ~degraded ~involved (r : Detector.audit_result) =
       r.Detector.threats;
   List.iter
     (fun app ->
-      if not (Hashtbl.mem failed app) then Quarantine.note_success t.quarantine app)
+      if not (Hashtbl.mem failed app) then Quarantine.note_success e.quarantine app)
     involved
 
 (* -- interactive installs ----------------------------------------------------- *)
@@ -137,11 +173,12 @@ type install_reply =
       quarantined : bool;  (** this failure tripped the threshold *)
     }
 
-let install t ?deadline_ms ~name ~source () =
-  match Home.quarantined t.home |> List.assoc_opt name with
+let install t ~home:home_id ?deadline_ms ~name ~source () =
+  let e = entry t home_id in
+  match Home.quarantined e.home |> List.assoc_opt name with
   | Some reason -> Quarantined_app { app = name; reason }
   | None -> (
-    match Admission.try_admit t.admission ~home:home_key Admission.Interactive with
+    match Admission.try_admit t.admission ~home:home_id Admission.Interactive with
     | Error retry_after_ms -> Busy { retry_after_ms }
     | Ok ticket ->
       Fun.protect ~finally:(fun () -> Admission.release t.admission ticket)
@@ -152,31 +189,33 @@ let install t ?deadline_ms ~name ~source () =
       in
       let dl = Deadline.make ~clock:t.config.clock ?timeout_ms () in
       let fail error =
-        let quarantined = note_failure t ~app:name ~reason:error in
+        let quarantined = note_failure e ~app:name ~reason:error in
         Install_failed { app = name; error; quarantined }
       in
       (match Extract.extract_source ~name source with
       | exception Extract.Extraction_error m -> fail ("extraction failed: " ^ m)
-      | exception e -> fail ("extraction crashed: " ^ Printexc.to_string e)
+      | exception ex -> fail ("extraction crashed: " ^ Printexc.to_string ex)
       | { Extract.app; _ } -> (
-        let budget = Deadline.budget_spec ~base:(Home.config t.home).Detector.budget dl in
-        match Home.propose ~budget ~cancel:(Deadline.cancel dl) t.home app with
-        | exception e -> fail ("audit crashed: " ^ Printexc.to_string e)
+        let budget = Deadline.budget_spec ~base:(Home.config e.home).Detector.budget dl in
+        match Home.propose ~budget ~cancel:(Deadline.cancel dl) e.home app with
+        | exception ex -> fail ("audit crashed: " ^ Printexc.to_string ex)
         | report ->
           let degraded =
             report.Install_flow.audit.Detector.shed > 0 || Deadline.expired dl
           in
-          note_audit_result t ~degraded ~involved:[ name ]
+          note_audit_result e ~degraded ~involved:[ name ]
             report.Install_flow.audit;
           Proposed { report; degraded; elapsed_ms = t.config.clock () -. started })))
 
 (* -- background re-audits ----------------------------------------------------- *)
 
-(** Enqueue a full re-audit. The job holds an admission ticket from the
-    moment it is accepted, so queued background work counts against the
-    bounds and later submissions see honest backpressure. *)
-let submit_audit t ?deadline_ms () =
-  match Admission.try_admit t.admission ~home:home_key Admission.Background with
+(** Enqueue a full re-audit of one home. The job holds an admission
+    ticket from the moment it is accepted, so queued background work
+    counts against the bounds and later submissions see honest
+    backpressure. *)
+let submit_audit t ~home:home_id ?deadline_ms () =
+  ignore (entry t home_id);
+  match Admission.try_admit t.admission ~home:home_id Admission.Background with
   | Error retry_after_ms -> Error retry_after_ms
   | Ok ticket ->
     let timeout_ms =
@@ -185,17 +224,18 @@ let submit_audit t ?deadline_ms () =
     let job_deadline = Deadline.make ~clock:t.config.clock ?timeout_ms () in
     let id = t.next_job in
     t.next_job <- id + 1;
-    t.queue <- t.queue @ [ { id; ticket; job_deadline } ];
+    t.queue <- t.queue @ [ { home_id; id; ticket; job_deadline } ];
     Ok id
 
 type audit_outcome =
   | Audited of {
+      home : string;
       id : int;
       result : Detector.audit_result;
       degraded : bool;
       elapsed_ms : float;
     }
-  | Shed_job of { id : int; reason : Shed.reason }
+  | Shed_job of { home : string; id : int; reason : Shed.reason }
 
 (** Run (or shed) every queued job, in submission order. A job whose
     deadline already passed is shed outright; under high occupancy
@@ -210,48 +250,63 @@ let drain t =
       Fun.protect ~finally:(fun () -> Admission.release t.admission job.ticket)
       @@ fun () ->
       if Deadline.expired job.job_deadline then
-        Shed_job { id = job.id; reason = Shed.Deadline_expired }
+        Shed_job { home = job.home_id; id = job.id; reason = Shed.Deadline_expired }
       else if
         Shed.should_shed t.admission ~threshold:t.config.shed_threshold
           Admission.Background
-      then Shed_job { id = job.id; reason = Shed.Overloaded }
-      else begin
-        let started = t.config.clock () in
-        let involved =
-          List.filter_map
-            (fun (a : Rule.smartapp) ->
-              if Home.is_quarantined t.home a.Rule.name then None
-              else Some a.Rule.name)
-            (Home.installed_apps t.home)
-        in
-        let result =
-          Home.audit ~jobs:t.config.jobs ~cancel:(Deadline.cancel job.job_deadline)
-            t.home
-        in
-        let degraded =
-          result.Detector.shed > 0 || Deadline.expired job.job_deadline
-        in
-        note_audit_result t ~degraded ~involved result;
-        Audited
-          { id = job.id; result; degraded; elapsed_ms = t.config.clock () -. started }
-      end)
+      then Shed_job { home = job.home_id; id = job.id; reason = Shed.Overloaded }
+      else
+        match List.assoc_opt job.home_id t.homes with
+        | None ->
+          (* the home moved shards between submit and drain *)
+          Shed_job { home = job.home_id; id = job.id; reason = Shed.Overloaded }
+        | Some e ->
+          let started = t.config.clock () in
+          let involved =
+            List.filter_map
+              (fun (a : Rule.smartapp) ->
+                if Home.is_quarantined e.home a.Rule.name then None
+                else Some a.Rule.name)
+              (Home.installed_apps e.home)
+          in
+          let result =
+            Home.audit ~jobs:t.config.jobs
+              ~cancel:(Deadline.cancel job.job_deadline) e.home
+          in
+          let degraded =
+            result.Detector.shed > 0 || Deadline.expired job.job_deadline
+          in
+          note_audit_result e ~degraded ~involved result;
+          Audited
+            {
+              home = job.home_id;
+              id = job.id;
+              result;
+              degraded;
+              elapsed_ms = t.config.clock () -. started;
+            })
     jobs
 
 (* -- quarantine management ---------------------------------------------------- *)
 
-let quarantined t = Home.quarantined t.home
+let quarantined t ~home:home_id = Home.quarantined (home t home_id)
 
-let clear_quarantine t app =
-  let in_policy = Quarantine.clear t.quarantine app in
-  let in_home = Home.unquarantine t.home app in
+let clear_quarantine t ~home:home_id app =
+  let e = entry t home_id in
+  let in_policy = Quarantine.clear e.quarantine app in
+  let in_home = Home.unquarantine e.home app in
   in_policy || in_home
+
+let quarantined_total t =
+  List.fold_left
+    (fun acc (_, e) -> acc + List.length (Home.quarantined e.home))
+    0 t.homes
 
 let status t =
   Printf.sprintf
-    "in-flight %d/%d (home %d/%d) queued-jobs %d occupancy %.2f quarantined %d"
+    "homes %d in-flight %d/%d queued-jobs %d occupancy %.2f quarantined %d"
+    (List.length t.homes)
     (Admission.in_flight t.admission)
-    t.config.max_global
-    (Admission.home_in_flight t.admission home_key)
-    t.config.max_queue (pending_jobs t)
+    t.config.max_global (pending_jobs t)
     (Admission.occupancy t.admission)
-    (List.length (quarantined t))
+    (quarantined_total t)

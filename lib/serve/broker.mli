@@ -1,5 +1,8 @@
 (** The request broker: admission control, deadline propagation, load
-    shedding and poison-app quarantine over one {!Homeguard_store.Home}. *)
+    shedding and poison-app quarantine over a set of
+    {!Homeguard_store.Home}s. A fleet shard is one broker plus the
+    homes its supervisor assigned it; every reply and queued job
+    carries the home id it belongs to. *)
 
 module Detector = Homeguard_detector.Detector
 module Install_flow = Homeguard_frontend.Install_flow
@@ -24,11 +27,28 @@ val default_config : config
 
 type t
 
-val create : ?config:config -> Home.t -> t
-(** Quarantines recovered from the home's journal seed the in-memory
-    counter, so durable state and policy agree from the first request. *)
+val create : ?config:config -> unit -> t
+(** An empty broker; populate it with {!add_home}. *)
 
-val home : t -> Home.t
+val add_home : t -> id:string -> Home.t -> unit
+(** Register a home under [id]. Quarantines recovered from the home's
+    journal seed its in-memory counter, so durable state and policy
+    agree from the first request. Each home gets its own failure-streak
+    counter; per-home admission bounds key on [id].
+    @raise Invalid_argument on a duplicate id. *)
+
+val remove_home : t -> string -> Home.t option
+(** Unregister and return a home (for handing to another shard).
+    Queued jobs for it release their tickets and are dropped; the
+    caller owns closing or re-homing the returned value. [None] when
+    the id is unknown. *)
+
+val home : t -> string -> Home.t
+(** @raise Invalid_argument on an unknown id. *)
+
+val home_opt : t -> string -> Home.t option
+val home_ids : t -> string list
+val homes : t -> (string * Home.t) list
 val admission : t -> Admission.t
 
 (** {2 Interactive installs} *)
@@ -41,7 +61,8 @@ type install_reply =
               lower bound, never a clean bill *)
       elapsed_ms : float;
     }
-  | Busy of { retry_after_ms : int }  (** backpressure; retry later *)
+  | Busy of { retry_after_ms : int }
+      (** backpressure; the hint scales with the queue depth ahead *)
   | Quarantined_app of { app : string; reason : string }
       (** refused before extraction: the app is quarantined *)
   | Install_failed of {
@@ -51,40 +72,53 @@ type install_reply =
     }
 
 val install :
-  t -> ?deadline_ms:float -> name:string -> source:string -> unit -> install_reply
-(** Admit (Interactive), extract, audit against the home under the
-    remaining deadline (budget via {!Deadline.budget_spec}, escalation
-    off, cooperative cancellation). Extraction/audit crashes count
-    toward quarantine; a successful proposal leaves the report pending
-    in the home for [keep]/[reject]. *)
+  t ->
+  home:string ->
+  ?deadline_ms:float ->
+  name:string ->
+  source:string ->
+  unit ->
+  install_reply
+(** Admit (Interactive) against [home]'s bound, extract, audit against
+    that home under the remaining deadline (budget via
+    {!Deadline.budget_spec}, escalation off, cooperative cancellation).
+    Extraction/audit crashes count toward that home's quarantine
+    counter; a successful proposal leaves the report pending in the
+    home for [keep]/[reject].
+    @raise Invalid_argument on an unknown home id. *)
 
 (** {2 Background re-audits} *)
 
-val submit_audit : t -> ?deadline_ms:float -> unit -> (int, int) result
-(** Enqueue a full re-audit; the job holds its admission ticket from
-    acceptance, so queued work counts against the bounds.
-    [Error retry_after_ms] is the backpressure reply. *)
+val submit_audit : t -> home:string -> ?deadline_ms:float -> unit -> (int, int) result
+(** Enqueue a full re-audit of [home]; the job holds its admission
+    ticket from acceptance, so queued work counts against the bounds.
+    [Error retry_after_ms] is the backpressure reply.
+    @raise Invalid_argument on an unknown home id. *)
 
 type audit_outcome =
   | Audited of {
+      home : string;
       id : int;
       result : Detector.audit_result;
       degraded : bool;
       elapsed_ms : float;
     }
-  | Shed_job of { id : int; reason : Shed.reason }
+  | Shed_job of { home : string; id : int; reason : Shed.reason }
 
 val drain : t -> audit_outcome list
 (** Run or shed every queued job in submission order: expired deadlines
     and over-threshold occupancy shed (structured, never a silent drop),
-    the rest run with cooperative cancellation. *)
+    the rest run with cooperative cancellation. Every outcome names its
+    home. *)
 
 val pending_jobs : t -> int
 
 (** {2 Quarantine management} *)
 
-val quarantined : t -> (string * string) list
-val clear_quarantine : t -> string -> bool
+val quarantined : t -> home:string -> (string * string) list
+val clear_quarantine : t -> home:string -> string -> bool
+val quarantined_total : t -> int
 
 val status : t -> string
-(** One-line occupancy/queue/quarantine summary for the serve loop. *)
+(** One-line homes/occupancy/queue/quarantine summary for the serve
+    loop. *)

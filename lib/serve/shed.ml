@@ -12,18 +12,25 @@ type reason =
       (** refused at admission; retry after the hint *)
   | Deadline_expired  (** the request's allowance ran out *)
   | Overloaded  (** background work shed to protect interactive latency *)
+  | Shard_unavailable of { shard : string; retry_after_ms : int }
+      (** the owning shard's circuit breaker is open, or the shard is
+          down awaiting restart; retry after the hint *)
 
 type 'a outcome =
   | Completed of 'a
-  | Degraded of { reason : reason; partial : 'a option }
+  | Degraded of { reason : reason; partial : 'a option; shard : string option }
       (** [partial] is whatever was computed before the cut — a lower
-          bound on the threats present, never a clean bill *)
+          bound on the threats present, never a clean bill. [shard]
+          names the shard that degraded the request, when it is known,
+          so operators can attribute shed traffic to a failing worker. *)
 
 let describe_reason = function
   | Queue_full { retry_after_ms } ->
     Printf.sprintf "queue-full retry-after-ms=%d" retry_after_ms
   | Deadline_expired -> "deadline-expired"
   | Overloaded -> "overloaded"
+  | Shard_unavailable { shard; retry_after_ms } ->
+    Printf.sprintf "shard-unavailable shard=%s retry-after-ms=%d" shard retry_after_ms
 
 (** Whether to shed a unit of work given current occupancy. Interactive
     work is never shed here (it is bounded at admission instead);

@@ -5,12 +5,15 @@ type reason =
   | Queue_full of { retry_after_ms : int }
   | Deadline_expired
   | Overloaded
+  | Shard_unavailable of { shard : string; retry_after_ms : int }
+      (** breaker open or shard down awaiting restart *)
 
 type 'a outcome =
   | Completed of 'a
-  | Degraded of { reason : reason; partial : 'a option }
+  | Degraded of { reason : reason; partial : 'a option; shard : string option }
       (** [partial] is a lower bound on the threats present, never a
-          clean bill *)
+          clean bill; [shard] attributes the degradation to a worker
+          when known *)
 
 val describe_reason : reason -> string
 

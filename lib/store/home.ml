@@ -359,6 +359,89 @@ let compact t =
 let file_size path = if Sys.file_exists path then (Unix.stat path).Unix.st_size else 0
 let journal_size t = file_size t.journal_path
 let snapshot_size t = file_size t.snap_path
+let dir t = t.dir
+
+(* -- canonical durable state -------------------------------------------------- *)
+
+(** Canonical rendering of every piece of durable state — the full rule
+    files of the installed apps (the {!Rule_db} contents), the kept
+    threats and explicit decisions (the {!Install_flow} state feeding
+    the mediator), configs, quarantine and the ingestion watermark —
+    without running any audit. Two recoveries of the same journal must
+    produce byte-identical [state_text]; that is the fleet's
+    replay-determinism invariant, checkable in microseconds per home
+    where {!audit_text} costs a full detection pass. *)
+let state_text t =
+  let b = Buffer.create 1024 in
+  Buffer.add_string b "apps:\n";
+  List.iter
+    (fun (a : Rule.smartapp) ->
+      Buffer.add_string b (" " ^ Rule_json.to_string a ^ "\n"))
+    (installed_apps t);
+  Buffer.add_string b "kept:";
+  List.iter
+    (fun th -> Buffer.add_string b (" " ^ Policy.threat_id th))
+    (Install_flow.kept_threats t.flow);
+  Buffer.add_char b '\n';
+  Buffer.add_string b "decisions:";
+  List.iter
+    (fun (id, d) -> Buffer.add_string b (Printf.sprintf " [%s -> %s]" id (Policy.describe d)))
+    (Policy.decisions (Install_flow.policies t.flow));
+  Buffer.add_char b '\n';
+  Buffer.add_string b "configs:";
+  List.iter
+    (fun (app, (seq, uri)) ->
+      Buffer.add_string b
+        (Printf.sprintf " [%s#%s %s]" app
+           (match seq with Some s -> string_of_int s | None -> "-")
+           uri))
+    t.configs;
+  Buffer.add_char b '\n';
+  Buffer.add_string b "quarantined:";
+  List.iter
+    (fun (app, reason) -> Buffer.add_string b (Printf.sprintf " [%s: %s]" app reason))
+    (Install_flow.quarantined t.flow);
+  Buffer.add_char b '\n';
+  Buffer.add_string b (Printf.sprintf "ack: %d\n" (last_seq t));
+  Buffer.contents b
+
+let state_digest t = Digest.to_hex (Digest.string (state_text t))
+
+(** Count of [kind=corrupt] regions recorded in the quarantine sidecars
+    under [dir] — the durable trace that some past recovery had to
+    quarantine a corrupted record. Torn-tail regions are excluded: a
+    torn append raises to the caller before it is acknowledged, so
+    truncating it can never lose acknowledged state, while a corrupt
+    mid-journal record can. Survives any number of restarts, unlike the
+    in-memory recovery reports. *)
+let surfaced_corruption ~dir =
+  let contains ~sub s =
+    let n = String.length s and m = String.length sub in
+    let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+    go 0
+  in
+  let count path =
+    let side = path ^ ".quarantine" in
+    if not (Sys.file_exists side) then 0
+    else
+      let ic = open_in_bin side in
+      Fun.protect
+        ~finally:(fun () -> close_in_noerr ic)
+        (fun () ->
+          let n = ref 0 in
+          (try
+             while true do
+               let line = input_line ic in
+               if
+                 String.length line >= 2
+                 && String.sub line 0 2 = "##"
+                 && contains ~sub:"kind=corrupt" line
+               then incr n
+             done
+           with End_of_file -> ());
+          !n)
+  in
+  count (Filename.concat dir "snapshot") + count (Filename.concat dir "journal")
 
 (* -- re-audit ---------------------------------------------------------------- *)
 

@@ -123,6 +123,25 @@ val recorder : t -> Recorder.t
 val config : t -> Detector.config
 val journal_size : t -> int
 val snapshot_size : t -> int
+val dir : t -> string
+
+val state_text : t -> string
+(** Canonical rendering of every piece of durable state — installed rule
+    files, kept threats, decisions, configs, quarantine, ingestion
+    watermark — without running any audit. Two recoveries of the same
+    journal must produce byte-identical [state_text] (the fleet's
+    replay-determinism invariant); unlike {!audit_text} it costs no
+    detection pass, so it is checkable per-home at fleet scale. *)
+
+val state_digest : t -> string
+(** Hex digest of {!state_text}. *)
+
+val surfaced_corruption : dir:string -> int
+(** Count of [kind=corrupt] regions in the quarantine sidecars under
+    [dir] — durable, restart-proof evidence that a past recovery
+    quarantined corrupted records (i.e. possibly acknowledged state was
+    lost {e and surfaced}). Torn-tail regions don't count: a torn
+    append raises before it is acknowledged. *)
 
 (** {2 Maintenance} *)
 

@@ -157,7 +157,17 @@ let scan_string s =
       let plen = int_of_string ("0x" ^ String.sub s (pos + 5) 8) in
       let crc = int_of_string ("0x" ^ String.sub s (pos + 14) 8) in
       let fin = pos + header_len + plen + 1 in
-      if fin > n then note (Torn_tail { offset = pos; raw = String.sub s pos (n - pos) })
+      if fin > n then (
+        (* The frame claims to extend past EOF. Only a frame with no
+           frame boundary after it is a genuinely torn tail; if valid
+           frames follow, the length field itself was corrupted and
+           treating the rest of the file as torn would silently drop
+           every good record after it — resynchronize instead. *)
+        match find_resync pos with
+        | Some next ->
+          note (Corrupt { offset = pos; raw = String.sub s pos (next - pos) });
+          step next
+        | None -> note (Torn_tail { offset = pos; raw = String.sub s pos (n - pos) }))
       else
         let payload = String.sub s (pos + header_len) plen in
         if s.[fin - 1] = '\n' && Crc32.string payload = crc then begin

@@ -1,0 +1,436 @@
+(** Fleet suite: circuit-breaker state machine, heartbeat health
+    checks, supervised restart and rebalance, the seeded chaos smoke
+    campaign and the synthetic-home generator.
+
+    Runs as its own executable (like [test/serve] and [test/faults])
+    because chaos campaigns arm the global storage fault hook, which
+    must never leak into the main suite. *)
+
+module Breaker = Homeguard_fleet.Breaker
+module Health = Homeguard_fleet.Health
+module Shard = Homeguard_fleet.Shard
+module Supervisor = Homeguard_fleet.Supervisor
+module Chaos = Homeguard_fleet.Chaos
+module Broker = Homeguard_serve.Broker
+module Shed = Homeguard_serve.Shed
+module Home = Homeguard_store.Home
+module Policy = Homeguard_handling.Policy
+module Fault = Homeguard_solver.Fault
+module Extract = Homeguard_symexec.Extract
+module Rule = Homeguard_rules.Rule
+module Corpus = Homeguard_corpus.Corpus
+module Synth = Homeguard_corpus.Synth
+module App_entry = Homeguard_corpus.App_entry
+
+let test name f = Alcotest.test_case name `Quick f
+let check_bool m = Alcotest.(check bool) m
+let check_int m = Alcotest.(check int) m
+
+let tmp_counter = ref 0
+
+let fresh_dir () =
+  incr tmp_counter;
+  let dir =
+    Filename.concat (Filename.get_temp_dir_name ())
+      (Printf.sprintf "hg_fleet_%d_%d" (Unix.getpid ()) !tmp_counter)
+  in
+  ignore (Sys.command (Printf.sprintf "rm -rf %s" (Filename.quote dir)));
+  dir
+
+let manual_clock () =
+  let now = ref 0.0 in
+  ((fun () -> !now), fun ms -> now := !now +. ms)
+
+let corpus_app name =
+  match
+    List.find_opt (fun e -> e.App_entry.name = name) Corpus.audit_apps
+  with
+  | Some e -> (Extract.extract_source ~name e.App_entry.source).Extract.app
+  | None -> Alcotest.failf "no corpus app %s" name
+
+(* -- circuit breaker ---------------------------------------------------------- *)
+
+let breaker_trips_at_threshold =
+  test "the breaker trips after N consecutive failures, not before" (fun () ->
+      let clock, advance = manual_clock () in
+      let b =
+        Breaker.create ~failure_threshold:3 ~reset_timeout_ms:100.0
+          ~half_open_probes:2 clock
+      in
+      check_bool "starts closed" true (Breaker.state b = Breaker.Closed);
+      Breaker.note_failure b;
+      Breaker.note_failure b;
+      check_bool "two failures stay closed" true (Breaker.state b = Breaker.Closed);
+      (* a success resets the streak *)
+      Breaker.note_success b;
+      Breaker.note_failure b;
+      Breaker.note_failure b;
+      check_bool "streak was reset" true (Breaker.state b = Breaker.Closed);
+      Breaker.note_failure b;
+      check_bool "third consecutive failure trips" true (Breaker.state b = Breaker.Open);
+      check_int "one trip" 1 (Breaker.trips b);
+      (match Breaker.allow b with
+      | `Reject ms -> check_bool "positive shed window" true (ms > 0.0 && ms <= 100.0)
+      | _ -> Alcotest.fail "open breaker must reject");
+      (* the shed window shrinks as time passes *)
+      advance 60.0;
+      (match Breaker.allow b with
+      | `Reject ms -> check_bool "window shrinks" true (ms <= 40.0)
+      | _ -> Alcotest.fail "still open"))
+
+let breaker_half_open_probes =
+  test "after the reset timeout, K probe successes close the breaker" (fun () ->
+      let clock, advance = manual_clock () in
+      let b =
+        Breaker.create ~failure_threshold:1 ~reset_timeout_ms:100.0
+          ~half_open_probes:2 clock
+      in
+      Breaker.note_failure b;
+      check_bool "tripped" true (Breaker.state b = Breaker.Open);
+      advance 100.0;
+      (match Breaker.allow b with
+      | `Probe -> ()
+      | _ -> Alcotest.fail "elapsed reset timeout must admit a probe");
+      check_bool "half-open now" true (Breaker.state b = Breaker.Half_open);
+      Breaker.note_success b;
+      check_bool "one success is not enough" true
+        (Breaker.state b = Breaker.Half_open);
+      (match Breaker.allow b with `Probe -> () | _ -> Alcotest.fail "second probe");
+      Breaker.note_success b;
+      check_bool "closed after K probe successes" true
+        (Breaker.state b = Breaker.Closed);
+      (match Breaker.allow b with `Admit -> () | _ -> Alcotest.fail "admits again"))
+
+let breaker_probe_failure_reopens =
+  test "a probe failure re-opens immediately and restarts the clock" (fun () ->
+      let clock, advance = manual_clock () in
+      let b =
+        Breaker.create ~failure_threshold:1 ~reset_timeout_ms:100.0
+          ~half_open_probes:2 clock
+      in
+      Breaker.note_failure b;
+      advance 100.0;
+      (match Breaker.allow b with `Probe -> () | _ -> Alcotest.fail "probe");
+      Breaker.note_failure b;
+      check_bool "reopened" true (Breaker.state b = Breaker.Open);
+      check_int "second trip counted" 2 (Breaker.trips b);
+      (match Breaker.allow b with
+      | `Reject ms -> check_bool "full window again" true (ms > 99.0)
+      | _ -> Alcotest.fail "must reject after reopening"))
+
+let breaker_begin_probing =
+  test "begin_probing skips the shed window after a supervised restart" (fun () ->
+      let clock, _ = manual_clock () in
+      let b =
+        Breaker.create ~failure_threshold:1 ~reset_timeout_ms:1000.0
+          ~half_open_probes:1 clock
+      in
+      Breaker.note_failure b;
+      (match Breaker.allow b with `Reject _ -> () | _ -> Alcotest.fail "open");
+      Breaker.begin_probing b;
+      check_bool "half-open without waiting" true
+        (Breaker.state b = Breaker.Half_open);
+      (match Breaker.allow b with `Probe -> () | _ -> Alcotest.fail "probe now");
+      Breaker.note_success b;
+      check_bool "closed" true (Breaker.state b = Breaker.Closed))
+
+(* -- health ------------------------------------------------------------------- *)
+
+let health_missed_beats =
+  test "missed whole intervals escalate Alive -> Late -> Failed" (fun () ->
+      let clock, advance = manual_clock () in
+      let h = Health.create ~interval_ms:100.0 ~miss_threshold:3 clock in
+      check_bool "fresh is alive" true (Health.status h = Health.Alive);
+      advance 150.0;
+      (match Health.status h with
+      | Health.Late 1 -> ()
+      | _ -> Alcotest.fail "one missed interval is Late 1");
+      Health.beat h;
+      check_bool "a beat restores Alive" true (Health.status h = Health.Alive);
+      advance 320.0;
+      (match Health.status h with
+      | Health.Failed n -> check_int "three whole intervals missed" 3 n
+      | _ -> Alcotest.fail "must be Failed at the threshold");
+      check_int "explicit beats counted (creation is not one)" 1 (Health.beats h))
+
+(* -- supervisor --------------------------------------------------------------- *)
+
+let sup_config ~clock ?(shards = 2) ?(restart_budget = 3) () =
+  {
+    Supervisor.default_config with
+    Supervisor.shards;
+    heartbeat_interval_ms = 100.0;
+    miss_threshold = 2;
+    failure_threshold = 2;
+    reset_timeout_ms = 200.0;
+    half_open_probes = 1;
+    restart_budget;
+    backoff_base_ms = 50.0;
+    backoff_cap_ms = 200.0;
+    seed = 7;
+    fsync = false;
+    clock;
+  }
+
+let homes4 = [ "alpha"; "beta"; "gamma"; "delta" ]
+
+let settle t advance =
+  (* drive restarts to completion under the manual clock *)
+  let shards = (Supervisor.stats t).Supervisor.shards in
+  let rec go n =
+    let restarting =
+      List.exists
+        (fun i -> Supervisor.shard_state t i = `Restarting)
+        (List.init shards Fun.id)
+    in
+    if restarting && n > 0 then begin
+      advance 50.0;
+      Supervisor.beat_all t;
+      Supervisor.tick t;
+      go (n - 1)
+    end
+  in
+  go 100
+
+let supervisor_restart_preserves_state =
+  test "a killed shard restarts from its journals with state intact" (fun () ->
+      let clock, advance = manual_clock () in
+      let dir = fresh_dir () in
+      let t =
+        Supervisor.create ~config:(sup_config ~clock ()) ~dir ~homes:homes4 ()
+      in
+      let victim_home = "alpha" in
+      let owner =
+        match Supervisor.owner_of t victim_home with
+        | Some s -> s
+        | None -> Alcotest.fail "alpha must be placed"
+      in
+      (* durable state on the victim: an install, a decision, a
+         quarantine *)
+      (match
+         Supervisor.run t ~home:victim_home (fun sh ->
+             let h = Broker.home (Shard.broker sh) victim_home in
+             ignore (Home.install_app h (corpus_app "AtticFanController"));
+             Home.set_decision h "AtticFanController#1" Policy.Confirm;
+             Home.quarantine h ~app:"Gatekeeper" ~reason:"test";
+             Home.last_seq h)
+       with
+      | Supervisor.Done _ -> ()
+      | _ -> Alcotest.fail "healthy shard must serve");
+      check_bool "killed" true (Supervisor.kill t owner);
+      check_bool "restarting" true (Supervisor.shard_state t owner = `Restarting);
+      (* while down: honest Unavailable with a positive hint, and the
+         degraded outcome names the shard *)
+      (match Supervisor.run t ~home:victim_home (fun _ -> ()) with
+      | Supervisor.Unavailable { shard; retry_after_ms; _ } ->
+        check_int "routed to the owner" owner shard;
+        check_bool "positive hint" true (retry_after_ms > 0);
+        (match Supervisor.to_outcome (Supervisor.run t ~home:victim_home (fun _ -> ())) with
+        | Shed.Degraded { reason = Shed.Shard_unavailable { shard = label; _ }; _ } ->
+          check_bool "outcome names the shard" true
+            (label = Supervisor.shard_label owner)
+        | _ -> Alcotest.fail "unavailable must map to Degraded/Shard_unavailable")
+      | _ -> Alcotest.fail "a restarting shard must reply Unavailable");
+      (* the other shard keeps serving while the victim is down *)
+      let other_home =
+        match
+          List.find_opt
+            (fun h -> Supervisor.owner_of t h <> Some owner)
+            homes4
+        with
+        | Some h -> h
+        | None -> Alcotest.fail "expected a home on the surviving shard"
+      in
+      (match Supervisor.run t ~home:other_home (fun _ -> `ok) with
+      | Supervisor.Done { value = `ok; _ } -> ()
+      | _ -> Alcotest.fail "healthy shards must keep serving");
+      settle t advance;
+      check_bool "victim is back" true (Supervisor.shard_state t owner = `Running);
+      (match
+         Supervisor.run t ~home:victim_home (fun sh ->
+             let h = Broker.home (Shard.broker sh) victim_home in
+             ( List.exists
+                 (fun (a : Rule.smartapp) -> a.Rule.name = "AtticFanController")
+                 (Home.installed_apps h),
+               List.mem_assoc "AtticFanController#1"
+                 (Policy.decisions
+                    (Homeguard_frontend.Install_flow.policies (Home.flow h))),
+               Home.is_quarantined h "Gatekeeper" ))
+       with
+      | Supervisor.Done { value = (true, true, true); _ } -> ()
+      | Supervisor.Done { value = (i, d, q); _ } ->
+        Alcotest.failf "state lost across restart: install=%b decision=%b quarantine=%b"
+          i d q
+      | _ -> Alcotest.fail "restarted shard must serve");
+      let st = Supervisor.stats t in
+      check_bool "restart counted" true (st.Supervisor.restarts >= 1);
+      check_bool "recoveries recorded" true (st.Supervisor.recoveries > 0);
+      Supervisor.close t)
+
+let supervisor_rebalance_on_dead_shard =
+  test "an out-of-budget shard goes Dead and its homes rebalance" (fun () ->
+      let clock, _ = manual_clock () in
+      let dir = fresh_dir () in
+      let t =
+        Supervisor.create
+          ~config:(sup_config ~clock ~shards:3 ~restart_budget:0 ())
+          ~dir ~homes:homes4 ()
+      in
+      (* seed state into every home so the moved ones prove journal
+         recovery on their new shard *)
+      List.iter
+        (fun id ->
+          match
+            Supervisor.run t ~home:id (fun sh ->
+                ignore
+                  (Home.install_app
+                     (Broker.home (Shard.broker sh) id)
+                     (corpus_app "BonVoyage")))
+          with
+          | Supervisor.Done _ -> ()
+          | _ -> Alcotest.fail "seeding must succeed")
+        homes4;
+      let victim =
+        (* kill a shard that actually owns homes *)
+        match List.find_map (Supervisor.owner_of t) homes4 with
+        | Some s -> s
+        | None -> Alcotest.fail "no owner found"
+      in
+      let moved = Supervisor.homes_of t victim in
+      check_bool "victim owns homes" true (moved <> []);
+      check_bool "killed" true (Supervisor.kill t victim);
+      (* budget 0: the kill exhausts it immediately — no restart window *)
+      check_bool "dead" true (Supervisor.shard_state t victim = `Dead);
+      check_bool "no homes left on the corpse" true
+        (Supervisor.homes_of t victim = []);
+      List.iter
+        (fun id ->
+          (match Supervisor.owner_of t id with
+          | Some s when s <> victim -> ()
+          | Some _ -> Alcotest.failf "%s still owned by the dead shard" id
+          | None -> Alcotest.failf "%s lost its owner" id);
+          match
+            Supervisor.run t ~home:id (fun sh ->
+                List.exists
+                  (fun (a : Rule.smartapp) -> a.Rule.name = "BonVoyage")
+                  (Home.installed_apps (Broker.home (Shard.broker sh) id)))
+          with
+          | Supervisor.Done { value = true; _ } -> ()
+          | Supervisor.Done { value = false; _ } ->
+            Alcotest.failf "%s lost its install in the move" id
+          | _ -> Alcotest.failf "%s must be servable after rebalance" id)
+        moved;
+      let st = Supervisor.stats t in
+      check_int "one dead shard" 1 st.Supervisor.dead_shards;
+      check_bool "rebalances counted" true
+        (st.Supervisor.rebalanced_homes >= List.length moved);
+      Supervisor.close t)
+
+let supervisor_stall_detection =
+  test "a stalled shard (no beats) is caught by tick and restarted" (fun () ->
+      let clock, advance = manual_clock () in
+      let dir = fresh_dir () in
+      let t =
+        Supervisor.create
+          ~config:(sup_config ~clock ~shards:1 ())
+          ~dir ~homes:[ "solo" ] ()
+      in
+      (* no beats while the clock runs: 2 whole intervals missed *)
+      advance 250.0;
+      Supervisor.tick t;
+      check_bool "restart scheduled for the stalled shard" true
+        (Supervisor.shard_state t 0 = `Restarting);
+      settle t advance;
+      check_bool "back up" true (Supervisor.shard_state t 0 = `Running);
+      check_bool "kill counted" true ((Supervisor.stats t).Supervisor.kills >= 1);
+      Supervisor.close t)
+
+(* -- chaos -------------------------------------------------------------------- *)
+
+let chaos_smoke_campaign =
+  test "the seeded smoke campaign passes all four invariants" (fun () ->
+      let dir = fresh_dir () in
+      let report = Chaos.run ~config:Chaos.smoke_config ~dir () in
+      check_bool "campaign passed" true (Chaos.passed report);
+      List.iter
+        (fun (i : Chaos.invariant) ->
+          if not i.Chaos.ok then
+            Alcotest.failf "invariant %s violated: %s" i.Chaos.name i.Chaos.detail)
+        report.Chaos.invariants;
+      check_bool "killed at least 2 distinct shards" true
+        (report.Chaos.shards_killed >= 2);
+      check_bool "recovered at least 2 distinct shards" true
+        (report.Chaos.shards_recovered >= 2);
+      check_bool "healthy shards served while others were down" true
+        (report.Chaos.served_while_impaired > 0);
+      check_bool "render is non-empty" true
+        (String.length (Chaos.render report) > 0);
+      (* the fault hook must not leak out of the campaign *)
+      check_bool "storage faults disarmed" true (not (Fault.storage_armed ())))
+
+let chaos_is_deterministic =
+  test "two campaigns with the same seed report identical workloads" (fun () ->
+      let cfg = { Chaos.smoke_config with Chaos.steps = 60 } in
+      let r1 = Chaos.run ~config:cfg ~dir:(fresh_dir ()) () in
+      let r2 = Chaos.run ~config:cfg ~dir:(fresh_dir ()) () in
+      check_int "same ops" r1.Chaos.ops r2.Chaos.ops;
+      check_int "same installs" r1.Chaos.installs_acked r2.Chaos.installs_acked;
+      check_int "same configs" r1.Chaos.configs_acked r2.Chaos.configs_acked;
+      check_int "same kills" r1.Chaos.stats.Supervisor.kills
+        r2.Chaos.stats.Supervisor.kills)
+
+(* -- synthetic homes ---------------------------------------------------------- *)
+
+let synth_deterministic =
+  test "the same seed reproduces the same fleet byte-for-byte" (fun () ->
+      let a = Corpus.synth ~seed:9 ~n_homes:200 in
+      let b = Corpus.synth ~seed:9 ~n_homes:200 in
+      check_int "200 homes" 200 (List.length a);
+      check_bool "identical" true (a = b);
+      let c = Corpus.synth ~seed:10 ~n_homes:200 in
+      check_bool "a different seed differs" true (a <> c);
+      let ids = List.map (fun h -> h.Synth.id) a in
+      check_int "ids are distinct" 200 (List.length (List.sort_uniq compare ids));
+      List.iter
+        (fun h ->
+          if h.Synth.apps = [] then Alcotest.failf "home %s has no apps" h.Synth.id;
+          let names = List.map (fun e -> e.App_entry.name) h.Synth.apps in
+          if List.length (List.sort_uniq compare names) <> List.length names then
+            Alcotest.failf "home %s repeats an app" h.Synth.id)
+        a)
+
+let synth_bounds =
+  test "generator bounds: app cap respected, bad inputs rejected" (fun () ->
+      let homes = Corpus.synth ~seed:3 ~n_homes:50 in
+      List.iter
+        (fun h ->
+          check_bool "app cap" true (List.length h.Synth.apps <= 8))
+        homes;
+      check_bool "zero homes is fine" true (Corpus.synth ~seed:1 ~n_homes:0 = []);
+      (match Corpus.synth ~seed:1 ~n_homes:(-1) with
+      | exception Invalid_argument _ -> ()
+      | _ -> Alcotest.fail "negative count must be rejected");
+      match Synth.generate ~pool:[] ~seed:1 ~n_homes:1 () with
+      | exception Invalid_argument _ -> ()
+      | _ -> Alcotest.fail "an empty pool must be rejected")
+
+let () =
+  Alcotest.run "homeguard-fleet"
+    [
+      ( "breaker",
+        [
+          breaker_trips_at_threshold;
+          breaker_half_open_probes;
+          breaker_probe_failure_reopens;
+          breaker_begin_probing;
+        ] );
+      ("health", [ health_missed_beats ]);
+      ( "supervisor",
+        [
+          supervisor_restart_preserves_state;
+          supervisor_rebalance_on_dead_shard;
+          supervisor_stall_detection;
+        ] );
+      ("chaos", [ chaos_smoke_campaign; chaos_is_deterministic ]);
+      ("synth", [ synth_deterministic; synth_bounds ]);
+    ]

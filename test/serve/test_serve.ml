@@ -230,17 +230,18 @@ let broker_backpressure_and_shed =
           Broker.clock = clock;
         }
       in
-      let broker = Broker.create ~config home in
+      let broker = Broker.create ~config () in
+      Broker.add_home broker ~id:"home" home;
       let j1 =
-        match Broker.submit_audit broker () with
+        match Broker.submit_audit broker ~home:"home" () with
         | Ok id -> id
         | Error _ -> Alcotest.fail "first submit refused"
       in
-      (match Broker.submit_audit broker () with
+      (match Broker.submit_audit broker ~home:"home" () with
       | Ok _ -> ()
       | Error _ -> Alcotest.fail "second submit refused");
       (* the per-home bound is reached: explicit backpressure *)
-      (match Broker.submit_audit broker () with
+      (match Broker.submit_audit broker ~home:"home" () with
       | Ok _ -> Alcotest.fail "third submit should be refused"
       | Error retry_after_ms -> check_bool "retry hint" true (retry_after_ms > 0));
       (* let both deadlines lapse while the jobs sit queued *)
@@ -257,7 +258,7 @@ let broker_backpressure_and_shed =
       check_bool "first job was j1" true
         (match outcomes with Broker.Shed_job { id; _ } :: _ -> id = j1 | _ -> false);
       (* tickets were released: the queue accepts work again *)
-      (match Broker.submit_audit broker () with
+      (match Broker.submit_audit broker ~home:"home" () with
       | Ok _ -> ()
       | Error _ -> Alcotest.fail "queue should be free after drain");
       ignore (Broker.drain broker);
@@ -271,9 +272,10 @@ let broker_quarantine_end_to_end =
       let src_fan = corpus_source "BathroomFanTimer" in
       let home, _ = Home.open_ ~fsync:false ~dir () in
       let config = { Broker.default_config with Broker.quarantine_after = 2 } in
-      let broker = Broker.create ~config home in
+      let broker = Broker.create ~config () in
+      Broker.add_home broker ~id:"home" home;
       (* a healthy install first *)
-      (match Broker.install broker ~name:"AtticFanController" ~source:src_attic () with
+      (match Broker.install broker ~home:"home" ~name:"AtticFanController" ~source:src_attic () with
       | Broker.Proposed _ -> Home.decide home Install_flow.Keep
       | _ -> Alcotest.fail "healthy install refused");
       (* arm crash injection on every solve: the proposed app's pair
@@ -284,7 +286,7 @@ let broker_quarantine_end_to_end =
       let saw_failures = ref false in
       (try
          for _ = 1 to 5 do
-           match Broker.install broker ~name:"BathroomFanTimer" ~source:src_fan () with
+           match Broker.install broker ~home:"home" ~name:"BathroomFanTimer" ~source:src_fan () with
            | Broker.Proposed { report; _ } ->
              if report.Install_flow.audit.Detector.failures <> [] then
                saw_failures := true;
@@ -299,7 +301,7 @@ let broker_quarantine_end_to_end =
       check_bool "quarantined after K crashed audits" true
         (Home.is_quarantined home "BathroomFanTimer");
       (* a quarantined app is refused before extraction *)
-      (match Broker.install broker ~name:"BathroomFanTimer" ~source:src_fan () with
+      (match Broker.install broker ~home:"home" ~name:"BathroomFanTimer" ~source:src_fan () with
       | Broker.Quarantined_app { app; _ } ->
         check_bool "refused by name" true (app = "BathroomFanTimer")
       | _ -> Alcotest.fail "quarantined app must be refused");
@@ -308,8 +310,9 @@ let broker_quarantine_end_to_end =
       let home2, _ = Home.open_ ~fsync:false ~dir () in
       check_bool "quarantine recovered from the journal" true
         (Home.is_quarantined home2 "BathroomFanTimer");
-      let broker2 = Broker.create ~config home2 in
-      (match Broker.install broker2 ~name:"BathroomFanTimer" ~source:src_fan () with
+      let broker2 = Broker.create ~config () in
+      Broker.add_home broker2 ~id:"home" home2;
+      (match Broker.install broker2 ~home:"home" ~name:"BathroomFanTimer" ~source:src_fan () with
       | Broker.Quarantined_app _ -> ()
       | _ -> Alcotest.fail "recovered broker must still refuse");
       (* compaction re-emits the quarantine into the snapshot *)
@@ -354,11 +357,107 @@ let quarantined_app_excluded_from_audit =
         (contains ~sub:"quarantined: [BathroomFanTimer" (Home.audit_text home));
       Home.close home)
 
+(* -- replay determinism -------------------------------------------------------- *)
+
+let replay_determinism =
+  test "seeded workloads recover byte-identically, even after damage" (fun () ->
+      Fault.disarm ();
+      let rng = Random.State.make [| 0xd3a1; 7 |] in
+      let names =
+        [ "AtticFanController"; "BathroomFanTimer"; "BonVoyage"; "SleepyTime" ]
+      in
+      let pick () = List.nth names (Random.State.int rng (List.length names)) in
+      let dir = fresh_dir () in
+      let home, _ = Home.open_ ~fsync:false ~dir () in
+      let seq = ref 0 in
+      for _ = 1 to 40 do
+        match Random.State.int rng 4 with
+        | 0 ->
+          let name = pick () in
+          if not (Home.is_quarantined home name) then
+            ignore
+              (Home.install_app home
+                 (Extract.extract_source ~name (corpus_source name)).Extract.app)
+        | 1 ->
+          incr seq;
+          ignore
+            (Home.deliver home ~seq:!seq
+               (Printf.sprintf "http://my.com/appname:%s/threshold1:%d/" (pick ())
+                  (Random.State.int rng 100)))
+        | 2 -> Home.quarantine home ~app:(pick ()) ~reason:"replay-test"
+        | _ -> ignore (Home.unquarantine home (pick ()))
+      done;
+      Home.close home;
+      let recover_text () =
+        let h, _ = Home.open_ ~fsync:false ~dir () in
+        let txt = Home.state_text h in
+        Home.close h;
+        txt
+      in
+      let t1 = recover_text () in
+      check_bool "recovered something" true (String.length t1 > 0);
+      check_bool "two clean recoveries are byte-identical" true
+        (t1 = recover_text ());
+      (* flip one journal byte mid-file: the repairing recovery
+         quarantines or truncates, and the repaired journal must again
+         replay deterministically *)
+      let jpath = Filename.concat dir "journal" in
+      let ic = open_in_bin jpath in
+      let raw = really_input_string ic (in_channel_length ic) in
+      close_in ic;
+      let b = Bytes.of_string raw in
+      let mid = Bytes.length b / 2 in
+      Bytes.set b mid (Char.chr (Char.code (Bytes.get b mid) lxor 0x10));
+      let oc = open_out_bin jpath in
+      output_bytes oc b;
+      close_out oc;
+      let d1 = recover_text () in
+      check_bool "two post-damage recoveries are byte-identical" true
+        (d1 = recover_text ()))
+
+let admission_retry_hint_scales =
+  test "refusal hints scale with the depth of the queue ahead" (fun () ->
+      let hint bound =
+        let a =
+          Admission.create ~max_per_home:bound ~max_global:64 ~est_service_ms:40 ()
+        in
+        for _ = 1 to bound do
+          match Admission.try_admit a ~home:"h" Admission.Interactive with
+          | Ok _ -> ()
+          | Error _ -> Alcotest.fail "should admit up to the bound"
+        done;
+        match Admission.try_admit a ~home:"h" Admission.Interactive with
+        | Error ms -> ms
+        | Ok _ -> Alcotest.fail "bound should refuse"
+      in
+      check_int "per-home depth 2" 80 (hint 2);
+      check_int "per-home depth 4 pushes further out" 160 (hint 4);
+      (* global refusals scale with the global backlog, not a constant *)
+      let a =
+        Admission.create ~max_per_home:8 ~max_global:4 ~interactive_reserve:2
+          ~est_service_ms:50 ()
+      in
+      for i = 1 to 4 do
+        match
+          Admission.try_admit a ~home:(string_of_int i) Admission.Interactive
+        with
+        | Ok _ -> ()
+        | Error _ -> Alcotest.fail "distinct homes should fill the global pool"
+      done;
+      match Admission.try_admit a ~home:"late" Admission.Interactive with
+      | Error ms -> check_int "global depth 4" 200 ms
+      | Ok _ -> Alcotest.fail "global bound should refuse")
+
 let () =
   Alcotest.run "homeguard-serve"
     [
       ( "admission",
-        [ admission_backpressure; admission_interactive_reserve ] );
+        [
+          admission_backpressure;
+          admission_interactive_reserve;
+          admission_retry_hint_scales;
+        ] );
+      ("replay", [ replay_determinism ]);
       ("deadline", [ deadline_budget_derivation ]);
       ("cancel", [ map_batches_cancellation; audit_cancellation_counts_shed ]);
       ("quarantine-policy", [ quarantine_policy ]);

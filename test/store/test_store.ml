@@ -109,6 +109,33 @@ let flip_payload_quarantines =
           Alcotest.failf "flip at %d: damage index wrong" i
       done)
 
+let flip_length_field_resyncs =
+  test "a corrupted length field mid-journal loses only that record" (fun () ->
+      (* Regression: a bit flip in the length field can make a frame
+         claim to extend past EOF. That must resynchronize at the next
+         frame boundary — classifying it as a torn tail would silently
+         truncate every valid record after it. *)
+      let b = Bytes.of_string joined in
+      let off = String.length (Journal.frame (List.nth payloads 0)) in
+      (* force the second record's length field huge but still hex *)
+      Bytes.set b (off + 5) 'f';
+      let sc = Journal.scan_string (Bytes.to_string b) in
+      check_bool "first survives" true (List.hd sc.Journal.records = "alpha");
+      check_bool "records after the damage survive" true
+        (List.mem (String.make 300 'x') sc.Journal.records);
+      check_int "exactly one record lost" (List.length payloads - 1)
+        (List.length sc.Journal.records);
+      (match sc.Journal.damage with
+      | [ Journal.Corrupt _ ] -> ()
+      | _ -> Alcotest.fail "expected exactly one corrupt region, no torn tail");
+      (* at EOF the same over-claiming frame is a genuine torn tail *)
+      let only = Journal.frame "alpha" in
+      let t = Bytes.of_string only in
+      Bytes.set t 5 'f';
+      match (Journal.scan_string (Bytes.to_string t)).Journal.damage with
+      | [ Journal.Torn_tail _ ] -> ()
+      | _ -> Alcotest.fail "final frame should still be a torn tail")
+
 let flip_magic_resyncs =
   test "a damaged header resynchronizes at the next record" (fun () ->
       let b = Bytes.of_string joined in
@@ -535,6 +562,7 @@ let () =
           scan_empty;
           torn_tail_every_cut;
           flip_payload_quarantines;
+          flip_length_field_resyncs;
           flip_magic_resyncs;
           recover_rewrites_and_quarantines;
           append_then_scan;
