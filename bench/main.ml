@@ -960,6 +960,154 @@ let f1_fleet () =
         ];
   }
 
+(* C1: the fleet-shared verdict cache. A fixed-scale correctness pass
+   first — the same synthetic fleet audited uncached, cold-cached and
+   warm-cached at 1 and 2 jobs must produce byte-identical threat
+   output, with deterministic hit/miss/insert counters and zero
+   conflicts (the abstraction-soundness alarm). Then a scaling pass:
+   homes/sec with an empty cache (cold) vs a second sweep over the same
+   fleet (warm), where cross-home verdict classes are what the warm
+   sweep monetizes. *)
+let c1_vcache ?(smoke = false) () =
+  section "C1. Fleet-shared verdict cache — cold vs warm audit throughput";
+  let module Vcache = Homeguard_vcache.Vcache in
+  let module Synth = Homeguard_corpus.Synth in
+  let module Recorder = Homeguard_config.Recorder in
+  let module Config_uri = Homeguard_config.Config_uri in
+  (* the pool is small; extract each distinct app once, like a shard
+     would reuse its rule files *)
+  let extracted = Hashtbl.create 64 in
+  let extract_pool (e : App_entry.t) =
+    match Hashtbl.find_opt extracted e.App_entry.name with
+    | Some a -> a
+    | None ->
+      let a = extract_app e in
+      Hashtbl.add extracted e.App_entry.name a;
+      a
+  in
+  (* planning facts (device matching, channel maps) are pure and
+     home-invariant under offline device matching, so every home of a
+     sequential sweep shares one set of tables *)
+  let pcaches = Detector.create_caches () in
+  let audit_home ?vc ~jobs (h : Synth.home) =
+    let apps = List.map extract_pool h.Synth.apps in
+    let recorder = Recorder.create () in
+    List.iter
+      (fun uri ->
+        match Config_uri.decode uri with
+        | u -> Recorder.record_uri recorder u
+        | exception Config_uri.Malformed _ -> ())
+      h.Synth.configs;
+    let config =
+      {
+        Detector.offline_config with
+        Detector.app_constraints = Recorder.app_constraints recorder;
+      }
+    in
+    let config =
+      match vc with None -> config | Some handle -> Vcache.configure handle config
+    in
+    let r = Detector.audit_all ~jobs (Detector.create ~caches:pcaches config) apps in
+    List.map Threat.to_string r.Detector.threats
+  in
+  (* -- fixed-scale correctness pass (identical in smoke and full) -- *)
+  let n_fixed = 400 in
+  let fixed = Corpus.synth ~seed:13 ~n_homes:n_fixed in
+  let base1 = List.map (audit_home ~jobs:1) fixed in
+  let base2 = List.map (audit_home ~jobs:2) fixed in
+  let st = Vcache.open_store ~fsync:false ~dir:(fresh_dir "c1_fixed") () in
+  let h = Vcache.attach st ~owner:"bench" in
+  let cold1 = List.map (audit_home ~vc:h ~jobs:1) fixed in
+  let cold_hits = (Vcache.counters h).Vcache.hits in
+  let cold_misses = (Vcache.counters h).Vcache.misses in
+  let cold_pair_hits = (Vcache.counters h).Vcache.pair_hits in
+  let classes = Vcache.entries st in
+  let pair_classes = Vcache.pair_entries st in
+  let warm1 = List.map (audit_home ~vc:h ~jobs:1) fixed in
+  let warm2 = List.map (audit_home ~vc:h ~jobs:2) fixed in
+  let identical =
+    base1 = base2 && base1 = cold1 && base1 = warm1 && base1 = warm2
+  in
+  let conflicts = (Vcache.counters h).Vcache.conflicts in
+  Vcache.close_store st;
+  Printf.printf
+    "fixed scale: %d homes — uncached/cold/warm at jobs 1,2 %s\n\
+    \  %d solve classes (cold hits=%d misses=%d)  %d pair classes (cold \
+     hits=%d)  conflicts=%d\n"
+    n_fixed
+    (if identical then "byte-identical" else "DIVERGED")
+    classes cold_hits cold_misses pair_classes cold_pair_hits conflicts;
+  (* -- scaling pass: uncached vs cold vs warm homes/sec ------------- *)
+  let scales = if smoke then [ 1_000 ] else [ 1_000; 10_000; 100_000 ] in
+  let timing =
+    List.map
+      (fun n ->
+        let homes = Corpus.synth ~seed:17 ~n_homes:n in
+        (* capacity sized to the fleet: a warm sweep only pays off if
+           the fleet's pair classes actually fit (undersizing a cache
+           12x is a config error, not a cache property) *)
+        let st =
+          Vcache.open_store ~fsync:false ~max_entries:(max 65_536 (n * 16))
+            ~dir:(fresh_dir "c1_scale") ()
+        in
+        let h = Vcache.attach st ~owner:"bench" in
+        let sweep () =
+          List.iter (fun home -> ignore (audit_home ~vc:h ~jobs:1 home)) homes
+        in
+        let (), uncached_ms =
+          time_ms (fun () ->
+              List.iter (fun home -> ignore (audit_home ~jobs:1 home)) homes)
+        in
+        let (), cold_ms = time_ms sweep in
+        let pair_hits_cold = (Vcache.counters h).Vcache.pair_hits in
+        let (), warm_ms = time_ms sweep in
+        Vcache.close_store st;
+        let hps ms = float_of_int n /. Float.max 0.001 ms *. 1000.0 in
+        let speedup = cold_ms /. Float.max 0.001 warm_ms in
+        Printf.printf
+          "%7d homes: uncached %8.1fms  cold %8.1fms (%8.0f homes/s, %d \
+           cross-home pair hits)\n\
+          \              warm %8.1fms (%8.0f homes/s)  warm/cold speedup %.1fx\n"
+          n uncached_ms cold_ms (hps cold_ms) pair_hits_cold warm_ms (hps warm_ms)
+          speedup;
+        (n, hps uncached_ms, hps cold_ms, hps warm_ms, speedup))
+      scales
+  in
+  {
+    Trajectory.title = "C1";
+    metrics =
+      Trajectory.
+        [
+          metric ~direction:Exact "fixed_homes" (float_of_int n_fixed);
+          metric ~direction:Exact "byte_identical_all_modes"
+            (if identical then 1.0 else 0.0);
+          metric ~direction:Exact "verdict_classes" (float_of_int classes);
+          metric ~direction:Exact "pair_classes" (float_of_int pair_classes);
+          metric ~direction:Exact "cold_hits" (float_of_int cold_hits);
+          metric ~direction:Exact "cold_misses" (float_of_int cold_misses);
+          metric ~direction:Exact "cold_pair_hits" (float_of_int cold_pair_hits);
+          metric ~direction:Exact "cache_conflicts" (float_of_int conflicts);
+        ]
+      @ List.concat_map
+          (fun (n, uncached, cold, warm, speedup) ->
+            Trajectory.
+              [
+                metric ~unit_:"homes/s" ~direction:Info
+                  (Printf.sprintf "homes_per_sec_uncached_%d" n)
+                  uncached;
+                metric ~unit_:"homes/s" ~direction:Higher_better
+                  (Printf.sprintf "homes_per_sec_cold_%d" n)
+                  cold;
+                metric ~unit_:"homes/s" ~direction:Higher_better
+                  (Printf.sprintf "homes_per_sec_warm_%d" n)
+                  warm;
+                metric ~unit_:"x" ~direction:Higher_better
+                  (Printf.sprintf "warm_speedup_%d" n)
+                  speedup;
+              ])
+          timing;
+  }
+
 (* ---------------------------------------------------------- bechamel *)
 
 let bechamel_suite () =
@@ -1096,7 +1244,12 @@ let run_trajectory ~smoke ~fastpath ~tag =
   (* F1 is fixed-scale (a small fleet, sub-second) so its exact
      counters match between smoke and full runs *)
   let f1 = f1_fleet () in
-  let sections = [ p1; p2; fig9; a3; f1 ] in
+  (* C1 mixes a fixed-scale correctness pass (exact counters, shared
+     between smoke and full) with a scaling pass whose larger sizes
+     only run in full mode — those metrics show as Missing in smoke
+     compares, which never gates *)
+  let c1 = c1_vcache ~smoke () in
+  let sections = [ p1; p2; fig9; a3; f1; c1 ] in
   let t = { Trajectory.key = trajectory_key ~smoke ~fastpath; sections } in
   let file = Printf.sprintf "BENCH_%s.json" tag in
   let oc = open_out file in
@@ -1183,6 +1336,7 @@ let run_all_sections () =
   j1_journal ();
   o1_overload_serving ();
   ignore (f1_fleet () : Trajectory.section);
+  ignore (c1_vcache ~smoke:true () : Trajectory.section);
   bechamel_suite ();
   print_endline "\nAll experiment sections completed."
 
@@ -1191,7 +1345,8 @@ let usage () =
   print_endline "       bench compare BASELINE.json CURRENT.json [--threshold PCT] [--warn-only]";
   print_endline "";
   print_endline "  (no flags)    run every experiment section with human-readable output";
-  print_endline "  --json        run the trajectory sections (P1, P2, FIG9, A3) and write";
+  print_endline "  --json        run the trajectory sections (P1, P2, FIG9, A3, F1, C1)";
+  print_endline "                and write";
   print_endline "                BENCH_<TAG>.json (default tag: local)";
   print_endline "  --smoke       reduced iteration quota, for CI smoke runs";
   print_endline "  --no-bitset   disable the small-domain bitset fast path";

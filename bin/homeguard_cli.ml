@@ -416,6 +416,7 @@ module Ingest = Homeguard_store.Ingest
 module Broker = Homeguard_serve.Broker
 module Serve_shed = Homeguard_serve.Shed
 module Fault = Homeguard_solver.Fault
+module Vcache = Homeguard_vcache.Vcache
 
 let state_dir_arg =
   Arg.(
@@ -668,9 +669,28 @@ let quarantine_after_arg =
            (journaled; survives restarts). Quarantined apps are excluded from \
            batch audits until cleared.")
 
+let cache_dir_arg =
+  Arg.(
+    value & opt string ""
+    & info [ "cache-dir" ] ~docv:"DIR"
+        ~doc:
+          "Attach a persistent shared verdict cache rooted at DIR (append-only \
+           CRC-framed journal; warm across restarts). Omit to run uncached.")
+
 let serve_cmd =
-  let run dir no_fsync online max_queue deadline_ms quarantine_after jobs =
-    let home, report = Home.open_ ~fsync:(not no_fsync) ~mode:(home_mode online) ~dir () in
+  let run dir no_fsync online max_queue deadline_ms quarantine_after jobs cache_dir =
+    let vcache =
+      if cache_dir = "" then None
+      else
+        let st = Vcache.open_store ~fsync:(not no_fsync) ~dir:cache_dir () in
+        Some (st, Vcache.attach st ~owner:"serve")
+    in
+    let configure =
+      match vcache with None -> Fun.id | Some (_, h) -> Vcache.configure h
+    in
+    let home, report =
+      Home.open_ ~fsync:(not no_fsync) ~mode:(home_mode online) ~configure ~dir ()
+    in
     print_recovery report;
     let config =
       {
@@ -696,6 +716,12 @@ let serve_cmd =
      with Exit | End_of_file -> ());
     Fault.disarm ();
     Home.close home;
+    (match vcache with
+    | None -> ()
+    | Some (st, h) ->
+      Printf.printf "cache: entries=%d %s\n" (Vcache.entries st)
+        (Vcache.counters_text (Vcache.counters h));
+      Vcache.close_store st);
     0
   in
   Cmd.v
@@ -707,7 +733,8 @@ let serve_cmd =
           deadlines down to the solver, and repeatedly-failing apps are quarantined")
     Term.(
       const (fun () -> run) $ fastpath_arg $ state_dir_arg $ no_fsync_arg $ online_arg
-      $ max_queue_arg $ deadline_ms_arg $ quarantine_after_arg $ jobs_arg)
+      $ max_queue_arg $ deadline_ms_arg $ quarantine_after_arg $ jobs_arg
+      $ cache_dir_arg)
 
 let recover_cmd =
   let run dir online jobs =
@@ -764,9 +791,123 @@ let compact_cmd =
 (* -- fleet ------------------------------------------------------------------- *)
 
 module Chaos = Homeguard_fleet.Chaos
+module Supervisor = Homeguard_fleet.Supervisor
+module Fleet_shard = Homeguard_fleet.Shard
+module Synth = Homeguard_corpus.Synth
+module Corpus_mod = Homeguard_corpus.Corpus
+module App_entry = Homeguard_corpus.App_entry
+module Install_flow_cli = Homeguard_frontend.Install_flow
+
+let no_vcache_arg =
+  Arg.(
+    value & flag
+    & info [ "no-vcache" ]
+        ~doc:
+          "Disable the fleet-shared verdict cache (and, under chaos, skip the \
+           cache invariants).")
+
+let fleet_audit_cmd =
+  let run dir seed n_homes shards jobs no_vcache =
+    let dir =
+      if dir <> "" then dir
+      else
+        Filename.concat (Filename.get_temp_dir_name ())
+          (Printf.sprintf "homeguard-fleet-%d" (Unix.getpid ()))
+    in
+    let synth = Corpus_mod.synth ~seed ~n_homes in
+    let config =
+      {
+        Supervisor.default_config with
+        Supervisor.shards;
+        fsync = false;
+        vcache = not no_vcache;
+        broker = { Broker.default_config with Broker.jobs = resolve_jobs jobs };
+      }
+    in
+    let sup =
+      Supervisor.create ~config ~dir
+        ~homes:(List.map (fun h -> h.Synth.id) synth)
+        ()
+    in
+    (* populate: install every synthetic home's apps and deliver its
+       configuration stream, accepting whatever the fleet acks *)
+    List.iter
+      (fun h ->
+        let id = h.Synth.id in
+        List.iter
+          (fun (app : App_entry.t) ->
+            ignore
+              (Supervisor.run sup ~home:id (fun sh ->
+                   let broker = Fleet_shard.broker sh in
+                   match
+                     Broker.install broker ~home:id ~name:app.App_entry.name
+                       ~source:app.App_entry.source ()
+                   with
+                   | Broker.Proposed _ ->
+                     Home.decide (Broker.home broker id) Install_flow_cli.Keep
+                   | _ -> ())))
+          h.Synth.apps;
+        List.iteri
+          (fun i uri -> ignore (Supervisor.deliver sup ~home:id ~seq:(i + 1) uri))
+          h.Synth.configs)
+      synth;
+    let audit_pass () =
+      let t0 = Unix.gettimeofday () in
+      List.iter
+        (fun h ->
+          match Supervisor.submit_audit sup ~home:h.Synth.id () with
+          | Supervisor.Done { value = Ok _; shard } ->
+            ignore (Supervisor.drain sup ~shard)
+          | _ -> ())
+        synth;
+      Unix.gettimeofday () -. t0
+    in
+    let s1 = audit_pass () in
+    let s2 = audit_pass () in
+    Printf.printf "audit pass 1: %d homes in %.3fs (%.0f homes/s)\n" n_homes s1
+      (float_of_int n_homes /. Float.max 1e-9 s1);
+    Printf.printf "audit pass 2 (warm): %d homes in %.3fs (%.0f homes/s)\n" n_homes
+      s2
+      (float_of_int n_homes /. Float.max 1e-9 s2);
+    print_string (Supervisor.status sup);
+    Supervisor.close sup;
+    0
+  in
+  let seed_arg =
+    Arg.(
+      value & opt int 7
+      & info [ "seed" ] ~docv:"N" ~doc:"Synthetic-home generator seed.")
+  in
+  let homes_arg =
+    Arg.(
+      value & opt int 50
+      & info [ "homes" ] ~docv:"N" ~doc:"Synthetic homes to generate and audit.")
+  in
+  let shards_arg =
+    Arg.(
+      value & opt int 4 & info [ "shards" ] ~docv:"N" ~doc:"Shard workers.")
+  in
+  let dir_arg =
+    Arg.(
+      value & opt string ""
+      & info [ "state-dir" ] ~docv:"DIR"
+          ~doc:
+            "Fleet state root (default: a fresh directory under the system \
+             temp dir). Re-running against the same root starts with a warm \
+             verdict cache.")
+  in
+  Cmd.v
+    (Cmd.info "audit"
+       ~doc:
+         "Generate a synthetic-home fleet, install and configure every home, then \
+          audit the whole fleet twice — the second pass exercises the shared \
+          verdict cache — and print per-shard status including cache counters")
+    Term.(
+      const run $ dir_arg $ seed_arg $ homes_arg $ shards_arg $ jobs_arg
+      $ no_vcache_arg)
 
 let fleet_chaos_cmd =
-  let run dir seed shards homes steps smoke =
+  let run dir seed shards homes steps smoke no_vcache =
     let base = if smoke then Chaos.smoke_config else Chaos.default_config in
     let config =
       {
@@ -775,6 +916,7 @@ let fleet_chaos_cmd =
         Chaos.shards = (if shards > 0 then shards else base.Chaos.shards);
         Chaos.homes = (if homes > 0 then homes else base.Chaos.homes);
         Chaos.steps = (if steps > 0 then steps else base.Chaos.steps);
+        Chaos.vcache = not no_vcache;
       }
     in
     let dir =
@@ -810,17 +952,19 @@ let fleet_chaos_cmd =
          "Run a seeded chaos campaign over a home-sharded fleet: shard kills, stalls \
           and storage faults layered over synthetic-home traffic, then verify the \
           four fleet invariants (no acked loss, deterministic recovery, \
-          quarantine/decision survival, no false clean bill). Exits 1 on any \
-          violation")
-    Term.(const run $ dir_arg $ seed_arg $ shards_arg $ homes_arg $ steps_arg $ smoke_arg)
+          quarantine/decision survival, no false clean bill — plus the verdict-cache \
+          invariants unless --no-vcache). Exits 1 on any violation")
+    Term.(
+      const run $ dir_arg $ seed_arg $ shards_arg $ homes_arg $ steps_arg
+      $ smoke_arg $ no_vcache_arg)
 
 let fleet_cmd =
   Cmd.group
     (Cmd.info "fleet"
        ~doc:
          "Home-sharded fleet operations: supervisor with health checks, circuit \
-          breakers and journal-backed shard recovery")
-    [ fleet_chaos_cmd ]
+          breakers, journal-backed shard recovery and a fleet-shared verdict cache")
+    [ fleet_chaos_cmd; fleet_audit_cmd ]
 
 let main =
   let doc = "detect and handle cross-app interference threats in smart homes" in

@@ -78,4 +78,6 @@ let detector_config t : Homeguard_detector.Detector.config =
     reuse = true;
     budget = Homeguard_solver.Budget.default_spec;
     escalate = true;
+    shared_cache = None;
+    pair_cache = None;
   }

@@ -18,6 +18,50 @@ module Env = Homeguard_st.Env_feature
 
 type tagged_rule = Rule.smartapp * Rule.t
 
+(** One detector solve, described to an external (fleet-shared) verdict
+    cache. The formula and store are exactly what {!budgeted_solve}
+    would receive — the cache must return exactly what a concrete solve
+    would, so construction here is byte-identical to the uncached path.
+    [q_bindings] names the per-home configuration-value equalities that
+    appear in the formula (qualified, post-unification), so the cache
+    can abstract them into equivalence-class cells. *)
+type solve_query = {
+  q_kind : string;  (** "sit" | "cond" | "ct" | "fx" — debug partition *)
+  q_apps : string * string;  (** order-normalized app-pair identity *)
+  q_formula : Homeguard_solver.Formula.t;
+  q_store : Homeguard_solver.Store.t;
+  q_bindings : (string * Term.t) list;
+  q_fingerprint : string;  (** {!solve_fingerprint} of the ctx config *)
+}
+
+(** One whole app-pair audit, described to an external pair-result
+    cache. Unlike {!solve_query} this sits above planning: a hit skips
+    the candidate pre-filters *and* every per-category analysis for the
+    pair, so it is keyed on everything those depend on — both apps'
+    full rule structure, both apps' configuration bindings and the
+    solve fingerprint. The pair is in home install order (detection is
+    orientation-sensitive: threats name the apps in argument order). *)
+type pair_audit = {
+  pa_apps : Rule.smartapp * Rule.smartapp;
+  pa_bindings : (string * Term.t) list * (string * Term.t) list;
+      (** [app_constraints] of each app, same order as [pa_apps] *)
+  pa_unify : (string * string) list;
+      (** the same-device relation over the two apps' device inputs
+          (input-declaration order) — everything detection asks
+          [config.same_device], so two homes with the same apps but
+          different device assignments never share a key *)
+  pa_fingerprint : string;  (** {!pair_fingerprint} of the ctx config *)
+}
+
+type pair_matrix = Threat.t list array array
+(** Threats per rule pair: [m.(i).(j)] is [detect_pair] of the first
+    app's rule [i] against the second app's rule [j]. *)
+
+type pair_cache = {
+  pair_lookup : pair_audit -> pair_matrix option;
+  pair_store : pair_audit -> pair_matrix -> unit;
+}
+
 type config = {
   same_device : Rule.smartapp -> string -> Rule.smartapp -> string -> bool;
       (** do two input variables denote the same device? *)
@@ -32,6 +76,16 @@ type config = {
           deadline-derived budgets ({!Budget.of_deadline}): escalating a
           wall-clock timeout would let one solve outlive the request
           deadline it was cut from *)
+  shared_cache : (solve_query -> (unit -> Solver.verdict) -> Solver.verdict) option;
+      (** fleet-shared verdict cache hook: called with the query and the
+          concrete compute thunk; must return either the thunk's result
+          or a cached verdict byte-identical to what the thunk would
+          produce. [None] (default) solves everything locally. *)
+  pair_cache : pair_cache option;
+      (** pair-level result cache: [audit_all] groups its plan by app
+          pair and a lookup hit replaces planning and detection for the
+          whole pair. A hit must be byte-identical to what the grouped
+          compute would produce. [None] (default) plans flat. *)
 }
 
 (** Offline corpus mode: two inputs denote the same device when they
@@ -57,7 +111,25 @@ let offline_config =
     reuse = true;
     budget = Budget.default_spec;
     escalate = true;
+    shared_cache = None;
+    pair_cache = None;
   }
+
+(* The one cache-key fingerprint shared by the in-process overlap cache
+   and any fleet-wide verdict cache behind [shared_cache]: budget tier
+   (PR 2), solver A/B flags (PR 6), and whether escalation retries are
+   on. Anything that can change what a solve returns must be in here. *)
+let solve_fingerprint config =
+  Budget.cache_fingerprint config.budget
+  ^ ";" ^ Solver.flags_fingerprint ()
+  ^ (if config.escalate then ";e1" else ";e0")
+
+(* Pair-tier fingerprint: the solve fingerprint plus the memoization
+   switch. [reuse] cannot change a verdict, but it can change which
+   solver results back a witness, and pair-cache hits must be
+   byte-identical to the grouped compute — so it keys. *)
+let pair_fingerprint config =
+  solve_fingerprint config ^ (if config.reuse then ";r1" else ";r0")
 
 (* Pure planning facts recomputed for every pair an app participates in:
    device matching re-classifies switch text from titles/descriptions,
@@ -92,16 +164,25 @@ type ctx = {
       (** keys carry the budget fingerprint: an [Unknown] cached under a
           small budget can never answer for a larger one *)
   caches : caches;  (** memoized solver-free planning facts *)
+  fingerprint : string;  (** {!solve_fingerprint} of [config], memoized *)
+  pair_fp : string;  (** {!pair_fingerprint} of [config], memoized *)
   mutable solver_calls : int;  (** number of actual constraint solves *)
   mutable escalations : int;  (** undecided solves retried with a bigger budget *)
   mutable undecided_solves : int;  (** solves still undecided after escalation *)
 }
 
-let create config =
+(* [?caches] shares planning facts across ctxs: sound only when every
+   sharing config's [same_device] behaves identically (the other tables
+   are config-independent), and only from one domain at a time — the
+   tables are unsynchronized. Fleet sweeps over many homes in one
+   matching mode amortize device classification this way. *)
+let create ?caches config =
   {
     config;
     overlap_cache = Hashtbl.create 64;
-    caches = create_caches ();
+    caches = (match caches with Some c -> c | None -> create_caches ());
+    fingerprint = solve_fingerprint config;
+    pair_fp = pair_fingerprint config;
     solver_calls = 0;
     escalations = 0;
     undecided_solves = 0;
@@ -205,6 +286,35 @@ let rename_formula rename f =
   let sub = List.map (fun v -> (v, Term.Var (rename v))) (Formula.free_vars f) in
   Formula.subst sub f
 
+(* An app's configuration-value bindings under the same qualification
+   (and optional device unification) its formula variables get, so the
+   binding names in a [solve_query] match the formula's atoms. *)
+let qualified_bindings ctx ?(rename = fun v -> v) (app : Rule.smartapp) =
+  List.map
+    (fun (v, t) -> (rename (qualify app.Rule.name v), t))
+    (ctx.config.app_constraints app)
+
+(* Solve through the fleet-shared verdict cache when one is configured.
+   The hook receives the exact formula/store a local solve would use and
+   the compute thunk is [budgeted_solve] itself, so a cache miss is
+   byte-identical to running without a cache. *)
+let cached_solve ctx ~kind ~apps ~bindings store f =
+  match ctx.config.shared_cache with
+  | None -> budgeted_solve ctx store f
+  | Some hook ->
+    let a1, a2 = apps in
+    let q_apps = if a1 <= a2 then (a1, a2) else (a2, a1) in
+    hook
+      {
+        q_kind = kind;
+        q_apps;
+        q_formula = f;
+        q_store = store;
+        q_bindings = bindings;
+        q_fingerprint = ctx.fingerprint;
+      }
+      (fun () -> budgeted_solve ctx store f)
+
 (* Qualified situation (trigger constraint + data + predicate) of a rule,
    with app-level config-value constraints folded in. *)
 let qualified_formula ctx ~situation (app : Rule.smartapp) (rule : Rule.t) rename =
@@ -248,11 +358,12 @@ let store_for ctx apps formula =
    carries the budget fingerprint, so an [Unknown] obtained under one
    budget is never replayed as the answer for a different budget. *)
 let solve_overlap ctx ~situation ((app1, r1) : tagged_rule) ((app2, r2) : tagged_rule) =
+  let kind = if situation then "sit" else "cond" in
   let key =
     let id1 = app1.Rule.name ^ "/" ^ r1.Rule.rule_id
     and id2 = app2.Rule.name ^ "/" ^ r2.Rule.rule_id in
     let lo, hi = if id1 <= id2 then (id1, id2) else (id2, id1) in
-    ((if situation then "sit:" else "cond:") ^ Budget.fingerprint ctx.config.budget ^ ":" ^ lo, hi)
+    (kind ^ ":" ^ ctx.fingerprint ^ ":" ^ lo, hi)
   in
   let compute () =
     let rename = unifier ctx app1 app2 in
@@ -260,7 +371,12 @@ let solve_overlap ctx ~situation ((app1, r1) : tagged_rule) ((app2, r2) : tagged
     let f2 = qualified_formula ctx ~situation app2 r2 rename in
     let f = Formula.conj [ f1; f2 ] in
     let store = store_for ctx [ app1; app2 ] f in
-    budgeted_solve ctx store f
+    let bindings =
+      qualified_bindings ctx app1 @ qualified_bindings ctx ~rename app2
+    in
+    cached_solve ctx ~kind
+      ~apps:(app1.Rule.name, app2.Rule.name)
+      ~bindings store f
   in
   if not ctx.config.reuse then compute ()
   else
@@ -428,7 +544,13 @@ let action_triggers ?(approx = false) ctx ((app1 : Rule.smartapp), (a1 : Rule.ac
               match w.Channels.w_value with
               | Some ((Term.Int _ | Term.Str _) as value) when not approx -> (
                 let f = Formula.conj [ trig; Formula.eq (Term.Var subject_var) value ] in
-                match budgeted_solve ctx (store_for ctx [ app1; app2 ] f) f with
+                match
+                  cached_solve ctx ~kind:"ct"
+                    ~apps:(app1.Rule.name, app2.Rule.name)
+                    ~bindings:(qualified_bindings ctx app2)
+                    (store_for ctx [ app1; app2 ] f)
+                    f
+                with
                 | Budget.Sat _ -> true
                 | Budget.Unsat -> false
                 (* undecided compatibility is treated as compatible: the
@@ -595,8 +717,14 @@ let condition_effects ctx ((app1 : Rule.smartapp), (a1 : Rule.action)) ((app2, r
    condition (EC, with witness); a decisive Unsat means it provably
    falsifies it (DC). Unknown is reported as a *potential* EC — a tripped
    budget must never masquerade as a proven DC. *)
-let solved_effect ctx apps f ~verb ~rule_id =
-  match budgeted_solve ctx (store_for ctx apps f) f with
+let solved_effect ctx apps ~bindings f ~verb ~rule_id =
+  let app_names =
+    match apps with
+    | (a1 : Rule.smartapp) :: a2 :: _ -> (a1.Rule.name, a2.Rule.name)
+    | [ a1 ] -> (a1.Rule.name, a1.Rule.name)
+    | [] -> ("", "")
+  in
+  match cached_solve ctx ~kind:"fx" ~apps:app_names ~bindings (store_for ctx apps f) f with
   | Budget.Sat w ->
     ( Threat.EC, Some w, Threat.Confirmed,
       Printf.sprintf "%s enabling %s's condition" verb rule_id )
@@ -637,6 +765,9 @@ let detect_condition_interference_dir ctx ((app1, r1) : tagged_rule)
              (Term.free_vars t))
           t
       in
+      let bindings =
+        qualified_bindings ctx app2 @ qualified_bindings ctx ~rename app1
+      in
       let results =
         List.filter_map
           (fun (a1, effect, _cond) ->
@@ -648,7 +779,7 @@ let detect_condition_interference_dir ctx ((app1, r1) : tagged_rule)
                 Formula.conj [ cond_q; Formula.eq (Term.Var (q var)) (import_term value) ]
               in
               Some
-                (solved_effect ctx [ app1; app2 ] f
+                (solved_effect ctx [ app1; app2 ] ~bindings f
                    ~verb:(Printf.sprintf "%s sets %s" a1.Rule.command var)
                    ~rule_id:r2.Rule.rule_id)
             | `Ge (var, bound) ->
@@ -656,7 +787,7 @@ let detect_condition_interference_dir ctx ((app1, r1) : tagged_rule)
                 Formula.conj [ cond_q; Formula.ge (Term.Var (q var)) (import_term bound) ]
               in
               Some
-                (solved_effect ctx [ app1; app2 ] f
+                (solved_effect ctx [ app1; app2 ] ~bindings f
                    ~verb:(Printf.sprintf "%s raises %s" a1.Rule.command var)
                    ~rule_id:r2.Rule.rule_id)
             | `Le (var, bound) ->
@@ -664,7 +795,7 @@ let detect_condition_interference_dir ctx ((app1, r1) : tagged_rule)
                 Formula.conj [ cond_q; Formula.le (Term.Var (q var)) (import_term bound) ]
               in
               Some
-                (solved_effect ctx [ app1; app2 ] f
+                (solved_effect ctx [ app1; app2 ] ~bindings f
                    ~verb:(Printf.sprintf "%s lowers %s" a1.Rule.command var)
                    ~rule_id:r2.Rule.rule_id)
             | `Dir (var, pol) ->
@@ -895,10 +1026,135 @@ let new_app_pairs ctx (db : Homeguard_rules.Rule_db.t) (new_app : Rule.smartapp)
 let audit_new_app ?(jobs = 1) ?cancel ctx db new_app =
   run_pairs ~jobs ?cancel ctx (new_app_pairs ctx db new_app)
 
+(* -- pair-cached audit ------------------------------------------------------ *)
+
+(* One app pair's full rule-pair matrix, with the same per-pair crash
+   isolation and single coordinator retry [run_pairs] gives the flat
+   plan. Failed rule pairs land in [failures] and contribute no
+   threats, exactly like the flat path. *)
+let group_matrix ctx ~failures ~retried (a : Rule.smartapp) (b : Rule.smartapp) :
+    pair_matrix =
+  let detect p1 p2 =
+    match Schedule.capture (fun () -> detect_pair ctx p1 p2) with
+    | Ok ts -> ts
+    | Error (_ : Schedule.exn_info) -> (
+      incr retried;
+      match Schedule.capture (fun () -> detect_pair ctx p1 p2) with
+      | Ok ts -> ts
+      | Error info ->
+        failures :=
+          {
+            pair = pair_label p1 p2;
+            apps = (a.Rule.name, b.Rule.name);
+            exn = info.Schedule.exn;
+            backtrace = info.Schedule.backtrace;
+          }
+          :: !failures;
+        [])
+  in
+  Array.of_list
+    (List.map
+       (fun ra ->
+         Array.of_list
+           (List.map
+              (fun rb ->
+                let p1 = (a, ra) and p2 = (b, rb) in
+                if pair_candidate ctx p1 p2 then detect p1 p2 else [])
+              b.Rule.rules))
+       a.Rule.rules)
+
+let matrix_has_undecided (m : pair_matrix) =
+  Array.exists
+    (Array.exists (List.exists (fun t -> Threat.is_undecided t.Threat.severity)))
+    m
+
+(* Pair-cached exhaustive audit. Matrices are fetched or computed per
+   app pair (in install order — detection is orientation-sensitive),
+   then reassembled in the flat plan's enumeration order: for each
+   tagged rule, all later apps' rules in order. Threats, failures and
+   the undecided count are byte-identical to the flat path; only the
+   order in which pairs are *computed* differs, which no detection
+   depends on. Groups that crashed or contain an undecided threat are
+   never stored — an undecided result is a budget artifact, not a
+   verdict, and must be recomputed (and possibly escalated) next time.
+   Once [cancel] fires, every remaining group is shed whole: the shed
+   count is the groups' full rule-pair cross product, an
+   over-approximation of the flat plan's candidate count (counting
+   exactly would require planning the groups we are shedding to avoid
+   planning), with the same sign: [shed > 0] iff incomplete. *)
+let audit_all_grouped ?(cancel = fun () -> false) pc ctx (apps : Rule.smartapp list) =
+  let apps_a = Array.of_list apps in
+  let n = Array.length apps_a in
+  let failures = ref [] and retried = ref 0 in
+  let cancelled = ref false and shed = ref 0 in
+  let matrices = Hashtbl.create 16 in
+  for p = 0 to n - 1 do
+    for q = p + 1 to n - 1 do
+      let a = apps_a.(p) and b = apps_a.(q) in
+      if a.Rule.name <> b.Rule.name then
+        if !cancelled || cancel () then begin
+          cancelled := true;
+          shed := !shed + (List.length a.Rule.rules * List.length b.Rule.rules)
+        end
+        else begin
+        let pa =
+          {
+            pa_apps = (a, b);
+            pa_bindings = (ctx.config.app_constraints a, ctx.config.app_constraints b);
+            pa_unify =
+              List.concat_map
+                (fun v1 ->
+                  List.filter_map
+                    (fun v2 -> if same_device ctx a v1 b v2 then Some (v1, v2) else None)
+                    (device_inputs ctx b))
+                (device_inputs ctx a);
+            pa_fingerprint = ctx.pair_fp;
+          }
+        in
+        let m =
+          match pc.pair_lookup pa with
+          | Some m -> m
+          | None ->
+            let before = !failures in
+            let m = group_matrix ctx ~failures ~retried a b in
+            if !failures == before && not (matrix_has_undecided m) then
+              pc.pair_store pa m;
+            m
+        in
+        Hashtbl.replace matrices (p, q) m
+      end
+    done
+  done;
+  let threats = ref [] in
+  for p = 0 to n - 1 do
+    List.iteri
+      (fun i _ ->
+        for q = p + 1 to n - 1 do
+          match Hashtbl.find_opt matrices (p, q) with
+          | Some m -> Array.iter (fun ts -> threats := ts :: !threats) m.(i)
+          | None -> ()
+        done)
+      apps_a.(p).Rule.rules
+  done;
+  let threats = List.concat (List.rev !threats) in
+  {
+    threats;
+    undecided =
+      List.length (List.filter (fun t -> Threat.is_undecided t.Threat.severity) threats);
+    failures = List.rev !failures;
+    retried = !retried;
+    shed = !shed;
+  }
+
 (** Exhaustive pairwise audit over a set of apps (the corpus audit,
-    §VIII-B). *)
+    §VIII-B). With a [pair_cache] configured the plan is grouped by app
+    pair and cached results replace planning and detection wholesale
+    ([jobs] is ignored — groups run on the coordinator; output is
+    byte-identical to the flat plan at every job count). *)
 let audit_all ?(jobs = 1) ?cancel ctx (apps : Rule.smartapp list) =
-  run_pairs ~jobs ?cancel ctx (candidate_pairs ctx apps)
+  match ctx.config.pair_cache with
+  | Some pc -> audit_all_grouped ?cancel pc ctx apps
+  | None -> run_pairs ~jobs ?cancel ctx (candidate_pairs ctx apps)
 
 (** Threat-list views of the audits, for callers that only consume the
     reports (the structured counts stay available via [audit_*]). *)

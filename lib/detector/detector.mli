@@ -14,6 +14,22 @@ module Budget = Homeguard_solver.Budget
 
 type tagged_rule = Rule.smartapp * Rule.t
 
+type solve_query = {
+  q_kind : string;  (** "sit" | "cond" | "ct" | "fx" — debug partition *)
+  q_apps : string * string;  (** order-normalized app-pair identity *)
+  q_formula : Homeguard_solver.Formula.t;
+  q_store : Homeguard_solver.Store.t;
+  q_bindings : (string * Homeguard_solver.Term.t) list;
+      (** per-home configuration-value equalities appearing in the
+          formula (qualified, post-unification) — what an external
+          cache abstracts into equivalence-class cells *)
+  q_fingerprint : string;  (** {!solve_fingerprint} of the ctx config *)
+}
+(** One detector solve as described to a fleet-shared verdict cache.
+    The formula and store are exactly what the local budgeted solve
+    would receive; a hook must return either its compute thunk's result
+    or a verdict byte-identical to it. *)
+
 type config = {
   same_device : Rule.smartapp -> string -> Rule.smartapp -> string -> bool;
   app_constraints : Rule.smartapp -> (string * Homeguard_solver.Term.t) list;
@@ -25,7 +41,50 @@ type config = {
       (** retry exhausted solves with an 8x budget (default). Disabled
           for deadline-derived budgets, where escalating the wall-clock
           timeout would outlive the request deadline it was cut from *)
+  shared_cache :
+    (solve_query -> (unit -> Homeguard_solver.Solver.verdict) -> Homeguard_solver.Solver.verdict)
+    option;
+      (** fleet-shared verdict cache hook ([None] = solve locally) *)
+  pair_cache : pair_cache option;
+      (** pair-level result cache: [audit_all] groups its plan by app
+          pair, and a hit replaces planning and detection for the whole
+          pair ([None] = plan flat) *)
 }
+
+and pair_audit = {
+  pa_apps : Rule.smartapp * Rule.smartapp;
+      (** in home install order — detection is orientation-sensitive *)
+  pa_bindings :
+    (string * Homeguard_solver.Term.t) list * (string * Homeguard_solver.Term.t) list;
+      (** [app_constraints] of each app, same order as [pa_apps] *)
+  pa_unify : (string * string) list;
+      (** the same-device relation over the two apps' device inputs —
+          homes with different device assignments never share a key *)
+  pa_fingerprint : string;  (** {!pair_fingerprint} of the ctx config *)
+}
+(** One whole app-pair audit as described to a pair-result cache. A hit
+    skips candidate pre-filtering and every per-category analysis for
+    the pair, so the key must cover both apps' rule structure, both
+    configuration-binding sets and the solve fingerprint. *)
+
+and pair_matrix = Threat.t list array array
+(** Threats per rule pair: [m.(i).(j)] is [detect_pair] of the first
+    app's rule [i] against the second app's rule [j]. *)
+
+and pair_cache = {
+  pair_lookup : pair_audit -> pair_matrix option;
+  pair_store : pair_audit -> pair_matrix -> unit;
+}
+
+val solve_fingerprint : config -> string
+(** The one cache-key fingerprint shared by the in-process overlap
+    cache and any fleet-wide cache behind [shared_cache]: budget tier,
+    solver A/B flags ({!Homeguard_solver.Solver.flags_fingerprint}),
+    and the escalation switch. *)
+
+val pair_fingerprint : config -> string
+(** {!solve_fingerprint} plus the solver-result [reuse] switch — the
+    pair-tier cache fingerprint. *)
 
 val offline_same_device : Rule.smartapp -> string -> Rule.smartapp -> string -> bool
 (** Same-capability matching with switch classes disambiguated by
@@ -40,18 +99,29 @@ type caches
     matching, channel maps, expanded conditions). One per ctx — worker
     domains each own a ctx, so the tables need no locking. *)
 
+val create_caches : unit -> caches
+(** Fresh planning-fact tables, for sharing across ctxs via
+    {!create}'s [?caches]: sound only when every sharing config's
+    [same_device] behaves identically (the other facts are
+    config-independent), and only from one domain at a time — the
+    tables are unsynchronized. *)
+
 type ctx = {
   config : config;
   overlap_cache : (string * string, Homeguard_solver.Solver.verdict) Hashtbl.t;
       (** keys carry the budget fingerprint, so an [Unknown] cached
           under a small budget never answers for a larger one *)
   caches : caches;  (** memoized solver-free planning facts *)
+  fingerprint : string;  (** {!solve_fingerprint} of [config], memoized *)
+  pair_fp : string;  (** {!pair_fingerprint} of [config], memoized *)
   mutable solver_calls : int;
   mutable escalations : int;  (** undecided solves retried with a bigger budget *)
   mutable undecided_solves : int;  (** solves undecided even after escalation *)
 }
 
-val create : config -> ctx
+val create : ?caches:caches -> config -> ctx
+(** A detection context. [?caches] shares planning facts with other
+    ctxs — see {!create_caches} for when that is sound. *)
 
 val situations_overlap :
   ctx -> tagged_rule -> tagged_rule -> Homeguard_solver.Solver.verdict
@@ -135,7 +205,13 @@ val audit_all :
   ?jobs:int -> ?cancel:(unit -> bool) -> ctx -> Rule.smartapp list -> audit_result
 (** Exhaustive pairwise audit across distinct apps. With [~jobs] > 1
     each domain detects on its own ctx; per-domain caches and counters
-    are merged back before the coordinator retries any failed pair. *)
+    are merged back before the coordinator retries any failed pair.
+    With a [pair_cache] configured the plan is instead grouped by app
+    pair on the coordinator ([jobs] is ignored) and cache hits replace
+    planning and detection wholesale; output is byte-identical to the
+    flat plan at every job count. A cancelled grouped audit sheds
+    remaining groups whole, counting their full rule-pair cross
+    product ([shed > 0] iff incomplete, as in the flat plan). *)
 
 val detect_new_app :
   ?jobs:int -> ctx -> Homeguard_rules.Rule_db.t -> Rule.smartapp -> Threat.t list

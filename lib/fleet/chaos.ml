@@ -33,6 +33,7 @@ module Corpus = Homeguard_corpus.Corpus
 module Synth = Homeguard_corpus.Synth
 module App_entry = Homeguard_corpus.App_entry
 module Rule = Homeguard_rules.Rule
+module Vcache = Homeguard_vcache.Vcache
 
 type config = {
   seed : int;
@@ -50,6 +51,7 @@ type config = {
       (** chance per step to open a storage-fault window
           (crash/torn/flip cycling) for the next few steps *)
   audit_per_thousand : int;  (** background re-audit + drain *)
+  vcache : bool;  (** shared verdict cache on + cache invariants *)
 }
 
 let default_config =
@@ -64,6 +66,7 @@ let default_config =
     stall_per_thousand = 8;
     fault_window_per_thousand = 25;
     audit_per_thousand = 40;
+    vcache = true;
   }
 
 let smoke_config =
@@ -396,6 +399,62 @@ let recover_home ~fleet_dir ~campaign_damage id =
       campaign_damage || damaged r1 || damaged r2 || sidecar_corruption;
   }
 
+(* Cache invariants, against [live] (the dump captured just before the
+   final shutdown) and [totals] (the summed shard counters):
+   - two independent reopens of the cache journal replay to
+     byte-identical state (the kill-mid-cache-write case: whatever
+     prefix survived, it replays deterministically);
+   - no poisoned entry: a reopened entry for a key the live fleet held
+     never flips verdict kind (torn/corrupt frames must be dropped, not
+     decoded into a different verdict);
+   - no conflicts: no fresh solve ever contradicted a cached decisive
+     verdict — the abstraction-soundness alarm stayed silent;
+   - warm restart: the reopened cache holds entries whenever any entry
+     was durably journaled (honest-loss carve-out for surfaced frame
+     damage, same as the home-journal invariants). *)
+let verify_cache ~fleet_dir ~live ~totals =
+  match (live, totals) with
+  | None, _ | _, None -> []
+  | Some live, Some (totals : Vcache.counters) ->
+    let dir = Filename.concat fleet_dir "vcache" in
+    let st1 = Vcache.open_store ~fsync:false ~dir () in
+    let d1 = Vcache.dump st1 in
+    let dmg = Vcache.replay_damage st1 in
+    let n1 = Vcache.entries st1 in
+    Vcache.close_store st1;
+    let st2 = Vcache.open_store ~fsync:false ~dir () in
+    let d2 = Vcache.dump st2 in
+    Vcache.close_store st2;
+    let kind e = if e = "" then '?' else e.[0] in
+    let poisoned =
+      List.filter
+        (fun (k, e) ->
+          match List.assoc_opt k live with
+          | Some le -> kind e <> kind le
+          | None -> false)
+        d1
+    in
+    let inv name ok detail = { name; ok; detail } in
+    [
+      inv "cache-replay-determinism" (d1 = d2)
+        (Printf.sprintf "%d entries reopened twice, %d damaged frame(s) dropped"
+           (List.length d1) dmg);
+      inv "cache-no-poisoned-entry" (poisoned = [])
+        (Printf.sprintf "%d reopened entries checked against live state%s"
+           (List.length d1)
+           (match poisoned with
+           | [] -> ""
+           | ps -> ": " ^ String.concat "," (List.map fst ps)));
+      inv "cache-no-conflicts"
+        (totals.Vcache.conflicts = 0)
+        (Printf.sprintf "hits=%d misses=%d conflicts=%d" totals.Vcache.hits
+           totals.Vcache.misses totals.Vcache.conflicts);
+      inv "cache-warm-restart"
+        (n1 > 0 || totals.Vcache.inserts = 0 || dmg > 0)
+        (Printf.sprintf "entries=%d inserts=%d evicts=%d journal-drops=%d" n1
+           totals.Vcache.inserts totals.Vcache.evicts totals.Vcache.journal_drops);
+    ]
+
 let verify c ~fleet_dir =
   let campaign_damaged =
     (* homes whose mid-campaign recoveries already surfaced damage *)
@@ -479,6 +538,7 @@ let run ?(config = default_config) ~dir () =
       fsync = false;
       clock;
       broker = { Broker.default_config with Broker.clock = clock };
+      vcache = config.vcache;
     }
   in
   let sup =
@@ -548,8 +608,12 @@ let run ?(config = default_config) ~dir () =
     note_states c
   done;
   let stats = Supervisor.stats c.sup in
+  let live_cache = Option.map Vcache.dump (Supervisor.vcache_store c.sup) in
   Supervisor.close c.sup;
-  let invariants = verify c ~fleet_dir:dir in
+  let invariants =
+    verify c ~fleet_dir:dir
+    @ verify_cache ~fleet_dir:dir ~live:live_cache ~totals:stats.Supervisor.cache
+  in
   {
     config;
     ops = c.ops;
@@ -591,6 +655,12 @@ let render r =
     (Printf.sprintf
        "isolation: shards-killed=%d shards-recovered=%d served-while-impaired=%d\n"
        r.shards_killed r.shards_recovered r.served_while_impaired);
+  (match r.stats.Supervisor.cache with
+  | None -> ()
+  | Some cc ->
+    Buffer.add_string b
+      (Printf.sprintf "vcache: entries=%d %s\n" r.stats.Supervisor.cache_entries
+         (Homeguard_vcache.Vcache.counters_text cc)));
   List.iter
     (fun i ->
       Buffer.add_string b

@@ -2,7 +2,10 @@
     schedule of shard kills, stalls and storage-fault windows layered
     over install/config/decision/audit traffic, verified against the
     four fleet invariants — no silent acked loss, replay-deterministic
-    recovery, quarantine/decision survival, no false clean bill. *)
+    recovery, quarantine/decision survival, no false clean bill — plus,
+    when the shared verdict cache is on, the cache invariants (its
+    journal replays prefix-consistent after a kill mid cache-write and
+    no poisoned or torn entry is ever served). *)
 
 type config = {
   seed : int;
@@ -15,6 +18,11 @@ type config = {
   stall_per_thousand : int;
   fault_window_per_thousand : int;
   audit_per_thousand : int;
+  vcache : bool;
+      (** run the campaign with the shared verdict cache enabled and
+          verify the cache invariants (replay-deterministic reopen, no
+          poisoned or torn entry served, no verdict conflicts, warm
+          across the final restart) *)
 }
 
 val default_config : config

@@ -10,12 +10,14 @@
 
 module Home = Homeguard_store.Home
 module Broker = Homeguard_serve.Broker
+module Vcache = Homeguard_vcache.Vcache
 
 type t = {
   index : int;
   fleet_dir : string;
   fsync : bool;
   mode : Home.mode;
+  configure : Homeguard_detector.Detector.config -> Homeguard_detector.Detector.config;
   broker : Broker.t;
   mutable recoveries : (string * Home.recovery_report) list;
       (** most recent first; every open this shard performed *)
@@ -38,14 +40,15 @@ let recoveries t = t.recoveries
 
 let add_home t id =
   let home, report =
-    Home.open_ ~fsync:t.fsync ~mode:t.mode ~dir:(home_dir ~fleet_dir:t.fleet_dir id) ()
+    Home.open_ ~fsync:t.fsync ~mode:t.mode ~configure:t.configure
+      ~dir:(home_dir ~fleet_dir:t.fleet_dir id) ()
   in
   Broker.add_home t.broker ~id home;
   t.recoveries <- (id, report) :: t.recoveries;
   report
 
 let open_ ?(broker_config = Broker.default_config) ?(fsync = true)
-    ?(mode = Home.Mixed) ?(on_recovery = fun _ _ -> ()) ~fleet_dir ~index
+    ?(mode = Home.Mixed) ?(on_recovery = fun _ _ -> ()) ?vcache ~fleet_dir ~index
     ~home_ids () =
   let t =
     {
@@ -53,6 +56,8 @@ let open_ ?(broker_config = Broker.default_config) ?(fsync = true)
       fleet_dir;
       fsync;
       mode;
+      configure =
+        (match vcache with None -> Fun.id | Some h -> Vcache.configure h);
       broker = Broker.create ~config:broker_config ();
       recoveries = [];
     }

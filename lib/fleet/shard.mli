@@ -16,6 +16,7 @@ val open_ :
   ?fsync:bool ->
   ?mode:Home.mode ->
   ?on_recovery:(string -> Home.recovery_report -> unit) ->
+  ?vcache:Homeguard_vcache.Vcache.handle ->
   fleet_dir:string ->
   index:int ->
   home_ids:string list ->

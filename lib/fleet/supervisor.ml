@@ -14,6 +14,7 @@ module Broker = Homeguard_serve.Broker
 module Deadline = Homeguard_serve.Deadline
 module Shed = Homeguard_serve.Shed
 module Fault = Homeguard_solver.Fault
+module Vcache = Homeguard_vcache.Vcache
 
 type config = {
   shards : int;
@@ -30,6 +31,9 @@ type config = {
   mode : Home.mode;
   clock : Deadline.clock;
   broker : Broker.config;  (** per-shard; its clock is overridden by [clock] *)
+  vcache : bool;
+      (** share one persistent verdict cache ([dir/vcache]) across all
+          shards' detectors *)
 }
 
 let default_config =
@@ -48,6 +52,7 @@ let default_config =
     mode = Home.Mixed;
     clock = Deadline.wall_clock;
     broker = Broker.default_config;
+    vcache = true;
   }
 
 type slot_state =
@@ -60,6 +65,9 @@ type slot = {
   mutable state : slot_state;
   breaker : Breaker.t;
   health : Health.t;
+  cache : Vcache.handle option;
+      (** this shard's handle on the shared cache, reused across
+          restarts so its counters are cumulative *)
   mutable homes : string list;  (** current assignment *)
   mutable restarts : int;  (** successful supervised restarts *)
   mutable attempts_used : int;  (** restart attempts charged to the budget *)
@@ -72,6 +80,7 @@ type t = {
   slots : slot array;
   ring : (int * int) array;  (** (point, shard) sorted by point *)
   assignment : (string, int) Hashtbl.t;
+  cache_store : Vcache.store option;
   rng : Random.State.t;
   mutable kills : int;  (** crashes observed (injected or organic) *)
   mutable rebalances : int;  (** homes moved off dead shards *)
@@ -136,12 +145,19 @@ let open_shard t slot =
      performed is already durable) *)
   Shard.open_ ~broker_config ~fsync:t.config.fsync ~mode:t.config.mode
     ~on_recovery:(fun id report -> t.recoveries <- (id, report) :: t.recoveries)
-    ~fleet_dir:t.dir ~index:slot.index ~home_ids:slot.homes ()
+    ?vcache:slot.cache ~fleet_dir:t.dir ~index:slot.index ~home_ids:slot.homes ()
 
 let create ?(config = default_config) ~dir ~homes () =
   if config.shards < 1 then invalid_arg "Supervisor.create: shards < 1";
   if config.restart_budget < 0 then invalid_arg "Supervisor.create: restart_budget < 0";
   if not (Sys.file_exists dir) then Unix.mkdir dir 0o755;
+  let cache_store =
+    if config.vcache then
+      Some
+        (Vcache.open_store ~fsync:config.fsync
+           ~dir:(Filename.concat dir "vcache") ())
+    else None
+  in
   let slots =
     Array.init config.shards (fun index ->
         {
@@ -154,6 +170,10 @@ let create ?(config = default_config) ~dir ~homes () =
           health =
             Health.create ~interval_ms:config.heartbeat_interval_ms
               ~miss_threshold:config.miss_threshold config.clock;
+          cache =
+            Option.map
+              (fun st -> Vcache.attach st ~owner:(shard_label index))
+              cache_store;
           homes = [];
           restarts = 0;
           attempts_used = 0;
@@ -167,6 +187,7 @@ let create ?(config = default_config) ~dir ~homes () =
       slots;
       ring = make_ring config.shards;
       assignment = Hashtbl.create (List.length homes);
+      cache_store;
       rng = Random.State.make [| 0xf1ee7; config.seed |];
       kills = 0;
       rebalances = 0;
@@ -414,7 +435,11 @@ type stats = {
   rebalanced_homes : int;
   breaker_trips : int;
   recoveries : int;
+  cache_entries : int;  (** live entries in the shared verdict cache *)
+  cache : Vcache.counters option;  (** summed across all shard handles *)
 }
+
+let vcache_store t = t.cache_store
 
 let stats t =
   let restarts = Array.fold_left (fun a (s : slot) -> a + s.restarts) 0 t.slots in
@@ -433,6 +458,9 @@ let stats t =
     rebalanced_homes = t.rebalances;
     breaker_trips = trips;
     recoveries = List.length t.recoveries;
+    cache_entries =
+      (match t.cache_store with None -> 0 | Some st -> Vcache.entries st);
+    cache = Option.map Vcache.total_counters t.cache_store;
   }
 
 let recoveries (t : t) = t.recoveries
@@ -453,8 +481,21 @@ let status t =
         (Printf.sprintf "%s: homes=%d breaker=%s health=%s restarts=%d %s\n"
            (shard_label slot.index) (List.length slot.homes)
            (Breaker.describe slot.breaker)
-           (Health.describe slot.health) slot.restarts state))
+           (Health.describe slot.health) slot.restarts state);
+      match slot.cache with
+      | None -> ()
+      | Some h ->
+        Buffer.add_string b
+          (Printf.sprintf "%s: cache %s\n" (shard_label slot.index)
+             (Vcache.counters_text (Vcache.counters h))))
     t.slots;
+  (match t.cache_store with
+  | None -> ()
+  | Some st ->
+    Buffer.add_string b
+      (Printf.sprintf "vcache: entries=%d damage=%d total %s\n"
+         (Vcache.entries st) (Vcache.replay_damage st)
+         (Vcache.counters_text (Vcache.total_counters st))));
   Buffer.contents b
 
 let close t =
@@ -465,4 +506,7 @@ let close t =
         (try Shard.close sh with _ -> ());
         slot.state <- Dead
       | _ -> slot.state <- Dead)
-    t.slots
+    t.slots;
+  match t.cache_store with
+  | None -> ()
+  | Some st -> ( try Vcache.close_store st with _ -> ())

@@ -8,6 +8,7 @@ module Home = Homeguard_store.Home
 module Broker = Homeguard_serve.Broker
 module Deadline = Homeguard_serve.Deadline
 module Shed = Homeguard_serve.Shed
+module Vcache = Homeguard_vcache.Vcache
 
 type config = {
   shards : int;
@@ -24,6 +25,9 @@ type config = {
   mode : Home.mode;
   clock : Deadline.clock;
   broker : Broker.config;  (** per-shard; its clock is overridden by [clock] *)
+  vcache : bool;
+      (** share one persistent verdict cache ([dir/vcache]) across all
+          shards' detectors; warm across restarts *)
 }
 
 val default_config : config
@@ -111,9 +115,15 @@ type stats = {
   rebalanced_homes : int;
   breaker_trips : int;
   recoveries : int;
+  cache_entries : int;  (** live entries in the shared verdict cache *)
+  cache : Vcache.counters option;  (** summed across all shard handles *)
 }
 
 val stats : t -> stats
+
+val vcache_store : t -> Vcache.store option
+(** The shared verdict cache, when enabled — chaos invariants and the
+    CLI inspect it directly. *)
 
 val recoveries : t -> (string * Home.recovery_report) list
 (** Every journal recovery any shard performed (restarts, rebalances,

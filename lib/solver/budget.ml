@@ -87,6 +87,18 @@ let fingerprint spec =
   Printf.sprintf "p%s.n%s.t%s" (f spec.prop_steps) (f spec.search_nodes)
     (match spec.timeout_ms with None -> "inf" | Some ms -> string_of_float ms)
 
+(** Like {!fingerprint}, but any finite wall-clock timeout collapses to
+    ["tdl"]: deadline-derived specs differ per request only in their
+    remaining milliseconds, and a definitive [Sat]/[Unsat] does not
+    depend on how much wall clock was left when it was computed. Fuel
+    tiers ([prop_steps]/[search_nodes]) stay exact — [Unknown] verdicts
+    are budget-relative, and any cache serving them across specs must
+    key on the fuel tier. *)
+let cache_fingerprint spec =
+  let f = function None -> "inf" | Some n -> string_of_int n in
+  Printf.sprintf "p%s.n%s.%s" (f spec.prop_steps) (f spec.search_nodes)
+    (match spec.timeout_ms with None -> "tinf" | Some _ -> "tdl")
+
 (** Mutable fuel state threaded through one solve. *)
 type t = {
   mutable prop_fuel : int;  (** [max_int] = unlimited *)

@@ -45,6 +45,12 @@ val escalate : ?factor:int -> spec -> spec
 val fingerprint : spec -> string
 (** Stable string identifying the spec, for verdict cache keys. *)
 
+val cache_fingerprint : spec -> string
+(** {!fingerprint} with any finite wall-clock timeout collapsed to
+    ["tdl"]: definitive verdicts are independent of the remaining
+    deadline, so deadline-derived specs (which differ per request only
+    in milliseconds left) share cache classes. Fuel tiers stay exact. *)
+
 type t
 (** Mutable fuel state for one solve. *)
 

@@ -18,6 +18,14 @@ type model = Search.model
 type verdict = model Budget.verdict
 (** [Sat model | Unsat | Unknown of Budget.reason]. *)
 
+(** The A/B representation switches change which code paths a solve
+    exercises; any cache shared across processes or runs must key on
+    them so one mode never serves the other's stored answers. *)
+let flags_fingerprint () =
+  Printf.sprintf "bs%c.mm%c"
+    (if !Domain.bitset_enabled then '1' else '0')
+    (if !Formula.memo_enabled then '1' else '0')
+
 (* Three-valued "or" over a sequence of sub-solves: any Sat wins, all
    Unsat is Unsat, otherwise the first Unknown is reported. *)
 let fold_verdicts solve_one items : verdict =

@@ -9,6 +9,11 @@ type verdict = model Budget.verdict
 (** [Sat model | Unsat | Unknown of Budget.reason]. [Unknown] records
     which budget tripped and where; it is never collapsed to [Unsat]. *)
 
+val flags_fingerprint : unit -> string
+(** Stable rendering of the solver's A/B switches
+    ({!Domain.bitset_enabled}, [Formula.memo_enabled]) for verdict
+    cache keys: the two modes must never serve each other's answers. *)
+
 val solve : ?budget:Budget.t -> Store.t -> Formula.t -> verdict
 (** DNF + propagate-and-split per conjunct; the store is closed over
     free variables via {!Store.infer}. Falls back to {!solve_dpll} when

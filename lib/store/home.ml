@@ -270,14 +270,15 @@ let installs_from records idx =
          | _ -> None
          | exception Event.Decode_error _ -> None)
 
-let open_ ?(fsync = true) ?(mode = Mixed) ?(window = 64) ~dir () =
+let open_ ?(fsync = true) ?(mode = Mixed) ?(window = 64) ?(configure = Fun.id) ~dir
+    () =
   mkdirs dir;
   let snap_path = Filename.concat dir "snapshot" in
   let journal_path = Filename.concat dir "journal" in
   let rs = Journal.recover ~fsync snap_path in
   let rj = Journal.recover ~fsync journal_path in
   let recorder = Recorder.create () in
-  let dconfig = detector_config mode recorder in
+  let dconfig = configure (detector_config mode recorder) in
   let flow = Install_flow.create ~detector_config:dconfig () in
   let t =
     {

@@ -33,10 +33,18 @@ type recovery_report = {
 }
 
 val open_ :
-  ?fsync:bool -> ?mode:mode -> ?window:int -> dir:string -> unit -> t * recovery_report
+  ?fsync:bool ->
+  ?mode:mode ->
+  ?window:int ->
+  ?configure:(Detector.config -> Detector.config) ->
+  dir:string ->
+  unit ->
+  t * recovery_report
 (** Open (creating if needed) the home rooted at [dir], recovering
     [dir/snapshot] and [dir/journal] and replaying both. [window] bounds
-    the out-of-order buffer for sequenced deliveries. *)
+    the out-of-order buffer for sequenced deliveries. [configure]
+    post-processes the detector configuration (e.g. to attach a shared
+    verdict cache) before any audit uses it. *)
 
 val close : t -> unit
 

@@ -1,0 +1,281 @@
+(** Equivalence-class abstraction of a detector solve — see the .mli
+    and DESIGN.md §14 for the soundness argument. *)
+
+module Formula = Homeguard_solver.Formula
+module Term = Homeguard_solver.Term
+module Store = Homeguard_solver.Store
+module Domain = Homeguard_solver.Domain
+
+type svalue = I of int | S of string
+type slot = { s_name : string; s_value : svalue }
+type classified = { key : string; slots : slot array }
+
+(* Soundness bounds. Every satisfiability-relevant threshold a bare
+   comparison chain can derive lies within (number of atoms) of a
+   breakpoint constant, so clamping distances at [clamp_bound] is exact
+   wherever gap counting can still matter, provided the formula has
+   fewer than [max_atoms] atoms and no arithmetic (arithmetic can move
+   thresholds arbitrarily far from any constant, so it disables
+   abstraction entirely). *)
+let clamp_bound = 64
+let max_atoms = 48
+
+let clamp d =
+  if d > clamp_bound then clamp_bound
+  else if d < -clamp_bound then -clamp_bound
+  else d
+
+(* -- formula facts -------------------------------------------------------- *)
+
+let term_has_arith = function
+  | Term.Int _ | Term.Str _ | Term.Var _ -> false
+  | Term.Add _ | Term.Sub _ | Term.Mul _ | Term.Neg _ -> true
+
+let rec formula_has_arith = function
+  | Formula.True | Formula.False -> false
+  | Formula.Atom (_, a, b) -> term_has_arith a || term_has_arith b
+  | Formula.And fs | Formula.Or fs -> List.exists formula_has_arith fs
+  | Formula.Not f -> formula_has_arith f
+
+let rec atom_count = function
+  | Formula.True | Formula.False -> 0
+  | Formula.Atom _ -> 1
+  | Formula.And fs | Formula.Or fs ->
+    List.fold_left (fun n f -> n + atom_count f) 0 fs
+  | Formula.Not f -> atom_count f
+
+(* Is this atom the configuration-equality atom of [slot]? Matched
+   occurrences are the ones replaced by a slot reference in the key. *)
+let is_slot_atom slots cmp a b =
+  if cmp <> Formula.Eq then None
+  else
+    let matches v value (s : slot) =
+      s.s_name = v
+      &&
+      match (value, s.s_value) with
+      | Term.Int n, I c -> n = c
+      | Term.Str x, S c -> x = c
+      | _ -> false
+    in
+    let find v value =
+      let rec go i =
+        if i >= Array.length slots then None
+        else if matches v value slots.(i) then Some i
+        else go (i + 1)
+      in
+      go 0
+    in
+    match (a, b) with
+    | Term.Var v, ((Term.Int _ | Term.Str _) as value)
+    | ((Term.Int _ | Term.Str _) as value), Term.Var v ->
+      find v value
+    | _ -> None
+
+(* Breakpoint constants: every integer (resp. string) constant in the
+   formula outside abstracted slot atoms, plus the store's domain
+   endpoints (and the default integer range) — exactly the thresholds a
+   chain of bare comparisons can push a configuration value against. *)
+let collect_constants slots store formula =
+  let ints = Hashtbl.create 32 and strs = Hashtbl.create 16 in
+  let add_int n = Hashtbl.replace ints n () in
+  let add_str s = Hashtbl.replace strs s () in
+  let rec term = function
+    | Term.Int n -> add_int n
+    | Term.Str s -> add_str s
+    | Term.Var _ -> ()
+    | Term.Add (a, b) | Term.Sub (a, b) | Term.Mul (a, b) ->
+      term a;
+      term b
+    | Term.Neg a -> term a
+  in
+  let rec go = function
+    | Formula.True | Formula.False -> ()
+    | Formula.Atom (cmp, a, b) -> (
+      match is_slot_atom slots cmp a b with
+      | Some _ -> ()
+      | None ->
+        term a;
+        term b)
+    | Formula.And fs | Formula.Or fs -> List.iter go fs
+    | Formula.Not f -> go f
+  in
+  go formula;
+  add_int Store.default_int_lo;
+  add_int Store.default_int_hi;
+  List.iter
+    (fun (_, d) ->
+      match d with
+      | Domain.Ints _ | Domain.Bits _ ->
+        List.iter
+          (fun (lo, hi) ->
+            add_int lo;
+            add_int hi)
+          (Domain.to_iset d)
+      | Domain.Enums es -> List.iter add_str es)
+    (Store.bindings store);
+  let int_list = List.sort compare (Hashtbl.fold (fun k () acc -> k :: acc) ints []) in
+  let str_list = List.sort compare (Hashtbl.fold (fun k () acc -> k :: acc) strs []) in
+  (int_list, str_list)
+
+(* -- canonical rendering --------------------------------------------------- *)
+
+let render_formula slots f =
+  let buf = Buffer.create 256 in
+  let rec go = function
+    | Formula.True -> Buffer.add_string buf "T"
+    | Formula.False -> Buffer.add_string buf "F"
+    | Formula.Atom (cmp, a, b) -> (
+      match is_slot_atom slots cmp a b with
+      | Some i ->
+        (* order-normalized: always [var == $slot] *)
+        Buffer.add_string buf slots.(i).s_name;
+        Buffer.add_string buf "==$";
+        Buffer.add_string buf (string_of_int i)
+      | None ->
+        Buffer.add_string buf (Term.to_string a);
+        Buffer.add_char buf ' ';
+        Buffer.add_string buf (Formula.cmp_to_string cmp);
+        Buffer.add_char buf ' ';
+        Buffer.add_string buf (Term.to_string b))
+    | Formula.And fs ->
+      Buffer.add_string buf "(&";
+      List.iter
+        (fun f ->
+          Buffer.add_char buf ' ';
+          go f)
+        fs;
+      Buffer.add_char buf ')'
+    | Formula.Or fs ->
+      Buffer.add_string buf "(|";
+      List.iter
+        (fun f ->
+          Buffer.add_char buf ' ';
+          go f)
+        fs;
+      Buffer.add_char buf ')'
+    | Formula.Not f ->
+      Buffer.add_string buf "!(";
+      go f;
+      Buffer.add_char buf ')'
+  in
+  go f;
+  Buffer.contents buf
+
+let render_domain d =
+  match d with
+  | Domain.Ints _ | Domain.Bits _ ->
+    (* iset view so the two A/B representations of the same set render
+       identically; the solver-mode split lives in the fingerprint *)
+    "i"
+    ^ String.concat ";"
+        (List.map (fun (lo, hi) -> Printf.sprintf "%d..%d" lo hi) (Domain.to_iset d))
+  | Domain.Enums es -> "e{" ^ String.concat "," es ^ "}"
+
+let render_store store =
+  let bs = List.sort (fun (a, _) (b, _) -> compare a b) (Store.bindings store) in
+  String.concat " " (List.map (fun (v, d) -> v ^ ":" ^ render_domain d) bs)
+
+let render_cells slots int_consts str_consts =
+  let n = Array.length slots in
+  let cell i =
+    match slots.(i).s_value with
+    | I c ->
+      let near = List.map (fun k -> string_of_int (clamp (c - k))) int_consts in
+      let pair =
+        List.filter_map
+          (fun j ->
+            match slots.(j).s_value with
+            | I c' -> Some (string_of_int (clamp (c - c')))
+            | S _ -> None)
+          (List.init (n - i - 1) (fun k -> i + 1 + k))
+      in
+      "i[" ^ String.concat "," near ^ "|" ^ String.concat "," pair ^ "]"
+    | S s ->
+      let near = List.map (fun k -> if s = k then "1" else "0") str_consts in
+      let pair =
+        List.filter_map
+          (fun j ->
+            match slots.(j).s_value with
+            | S s' -> Some (if s = s' then "1" else "0")
+            | I _ -> None)
+          (List.init (n - i - 1) (fun k -> i + 1 + k))
+      in
+      "s[" ^ String.concat "" near ^ "|" ^ String.concat "" pair ^ "]"
+  in
+  String.concat " " (List.init n cell)
+
+(* -- classification -------------------------------------------------------- *)
+
+(* Which bindings are abstractable: constant-valued, unique by name,
+   occurring in the formula as a configuration-equality atom, in a
+   formula small enough (and arithmetic-free) for the cell argument to
+   hold. Everything else stays concrete in the key. *)
+let abstractable_slots ~bindings ~formula =
+  if formula_has_arith formula || atom_count formula > max_atoms then [||]
+  else begin
+    let candidates =
+      List.filter_map
+        (fun (v, t) ->
+          match t with
+          | Term.Int n -> Some { s_name = v; s_value = I n }
+          | Term.Str s -> Some { s_name = v; s_value = S s }
+          | _ -> None)
+        bindings
+    in
+    (* a name bound twice (even to the same value) is not abstracted:
+       slot identity must be unambiguous *)
+    let uniq =
+      List.filter
+        (fun s ->
+          List.length (List.filter (fun (v, _) -> v = s.s_name) bindings) = 1)
+        candidates
+    in
+    let sorted = List.sort (fun a b -> compare a.s_name b.s_name) uniq in
+    let all = Array.of_list sorted in
+    (* keep only slots whose equality atom occurs in the formula: a
+       binding that never constrains the solve cannot affect it *)
+    let occurs = Array.make (Array.length all) false in
+    let rec mark = function
+      | Formula.True | Formula.False -> ()
+      | Formula.Atom (cmp, a, b) -> (
+        match is_slot_atom all cmp a b with
+        | Some i -> occurs.(i) <- true
+        | None -> ())
+      | Formula.And fs | Formula.Or fs -> List.iter mark fs
+      | Formula.Not f -> mark f
+    in
+    mark formula;
+    let kept = ref [] in
+    for i = Array.length all - 1 downto 0 do
+      if occurs.(i) then kept := all.(i) :: !kept
+    done;
+    Array.of_list !kept
+  end
+
+let classify ~kind ~apps ~fingerprint ~bindings ~store ~formula =
+  let slots = abstractable_slots ~bindings ~formula in
+  let int_consts, str_consts = collect_constants slots store formula in
+  let lo, hi = apps in
+  let lo, hi = if lo <= hi then (lo, hi) else (hi, lo) in
+  let slot_sig =
+    String.concat ","
+      (Array.to_list
+         (Array.map
+            (fun s ->
+              s.s_name ^ (match s.s_value with I _ -> ":i" | S _ -> ":s"))
+            slots))
+  in
+  let key =
+    String.concat "\n"
+      [
+        "vck1";
+        "fp=" ^ fingerprint;
+        "kind=" ^ kind;
+        "apps=" ^ lo ^ "," ^ hi;
+        "store=" ^ render_store store;
+        "f=" ^ render_formula slots formula;
+        "cfg=" ^ slot_sig;
+        "cells=" ^ render_cells slots int_consts str_consts;
+      ]
+  in
+  { key; slots }

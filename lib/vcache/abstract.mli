@@ -1,0 +1,51 @@
+(** Equivalence-class abstraction of a detector solve (DESIGN.md §14).
+
+    Two homes whose configuration values land in the same class must
+    receive the same verdict from the solver; the class key captures
+    everything a solve can discriminate on — rule structure, store
+    typing, solver flags/budget fingerprint, and for each
+    configuration value the predicate cells it occupies (clamped
+    distances to every breakpoint constant, pairwise distances between
+    configuration values, string-equality patterns). Values the
+    abstraction cannot argue about (arithmetic over config variables,
+    oversized formulas, non-constant bindings) stay concrete in the
+    key: conservative, never unsound. *)
+
+type svalue = I of int | S of string
+(** A concrete configuration value, as it appears in the formula. *)
+
+type slot = { s_name : string; s_value : svalue }
+(** One abstracted configuration binding: its qualified variable name
+    and this home's concrete value. Slot order is canonical (sorted by
+    name), so slot indices are stable across class members. *)
+
+type classified = {
+  key : string;
+      (** full canonical class key — byte-equal keys are the cache's
+          equivalence relation *)
+  slots : slot array;
+      (** the abstracted bindings, in canonical order; empty when
+          nothing was abstractable *)
+}
+
+val clamp_bound : int
+(** Distances beyond [±clamp_bound] collapse to the bound: beyond it,
+    integer gaps can no longer change satisfiability of bare
+    comparisons in formulas under {!max_atoms} atoms. *)
+
+val max_atoms : int
+(** Formulas with more atoms are never abstracted (their chained
+    comparisons could shift thresholds past {!clamp_bound}). *)
+
+val classify :
+  kind:string ->
+  apps:string * string ->
+  fingerprint:string ->
+  bindings:(string * Homeguard_solver.Term.t) list ->
+  store:Homeguard_solver.Store.t ->
+  formula:Homeguard_solver.Formula.t ->
+  classified
+(** Canonicalize one solve into its class key. [bindings] are the
+    qualified configuration equalities that may appear in the formula;
+    only bindings whose equality atom actually occurs are abstracted,
+    the rest render concretely inside the key. *)

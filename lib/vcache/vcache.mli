@@ -1,0 +1,117 @@
+(** Fleet-shared persistent verdict cache (DESIGN.md §14).
+
+    One {!store} per fleet, backed by a CRC-framed append-only journal
+    ([cache.journal]) plus a compacted snapshot ([cache.snapshot])
+    under its directory — warm across restarts: opening replays both,
+    dropping torn or corrupt frames (the cache is advisory, damage is
+    compacted away, never served). Shards attach a {!handle} each; the
+    handle implements the detector's [shared_cache] hook and carries
+    that shard's counters.
+
+    Guarantees:
+    - a hit returns a verdict byte-identical to what the local solve
+      would have produced ([Sat] witnesses are rehydrated against the
+      home's concrete configuration values from a template confirmed
+      by two independent class members, validated against the concrete
+      formula, and recomputed on any doubt);
+    - [Unknown] verdicts are never served — they are stored only as
+      stale markers with an attempt count and dropped at compaction;
+    - concurrent lookups of one class compute it once (single-flight);
+    - a failed journal append never fails the audit and never leaves
+      the in-memory table inconsistent (write-ahead: memory applies
+      only after the append returns). *)
+
+module Detector = Homeguard_detector.Detector
+module Solver = Homeguard_solver.Solver
+
+type store
+type handle
+
+type counters = {
+  mutable hits : int;  (** lookups served from the cache *)
+  mutable misses : int;  (** lookups that ran the solver *)
+  mutable inserts : int;  (** journaled entry writes (insert or update) *)
+  mutable evicts : int;  (** entries dropped by the capacity bound *)
+  mutable single_flight_merges : int;
+      (** lookups that waited on another in-flight compute of the same
+          class instead of solving *)
+  mutable rehydrate_fallbacks : int;
+      (** hits downgraded to a concrete solve because the witness
+          template was unconfirmed, broken, or failed validation *)
+  mutable conflicts : int;
+      (** computed verdicts that contradicted a cached decisive
+          verdict of the same class — 0 unless the abstraction is
+          unsound; chaos and the property suite assert on it *)
+  mutable stale_unknowns : int;
+      (** lookups that found only a cached [Unknown] marker *)
+  mutable journal_drops : int;
+      (** cache appends dropped because the (fault-injected) journal
+          write crashed; the entry is simply not cached *)
+  mutable pair_hits : int;
+      (** whole app-pair audits served from the L1 pair tier *)
+  mutable pair_misses : int;  (** app-pair audits planned and detected *)
+  mutable pair_inserts : int;  (** pair matrices stored in the L1 tier *)
+}
+
+val zero_counters : unit -> counters
+val add_counters : counters -> counters -> unit
+(** [add_counters into from] accumulates [from] into [into]. *)
+
+(** {2 Store lifecycle} *)
+
+val open_store : ?fsync:bool -> ?max_entries:int -> dir:string -> unit -> store
+(** Open (creating if needed) the cache rooted at [dir], replaying
+    [cache.snapshot] then [cache.journal]. Damaged frames are dropped
+    and the journal is rewritten clean. [max_entries] (default 65536)
+    bounds the table; overflow evicts oldest-first. *)
+
+val close_store : store -> unit
+val compact : store -> unit
+(** Fold live decisive entries into the snapshot and truncate the
+    journal. [Unknown] markers are dropped here — their TTL is the
+    compaction epoch. *)
+
+val entries : store -> int
+val pair_entries : store -> int
+(** L1 pair-tier matrices currently held (in-memory, same
+    [max_entries] bound, FIFO eviction). *)
+
+val replay_damage : store -> int
+(** Damaged frames dropped across all opens of this store. *)
+
+val dump : store -> (string * string) list
+(** [(class key, canonical entry text)] sorted by key — the
+    replay-determinism and no-poisoned-entry invariants compare these
+    across independent reopens. *)
+
+val verdict_kind : store -> string -> string option
+(** ["sat"], ["unsat"] or ["unknown"] for a class key, if present. *)
+
+(** {2 Shard handles} *)
+
+val attach : store -> owner:string -> handle
+val owner : handle -> string
+val counters : handle -> counters
+val store_of : handle -> store
+
+val total_counters : store -> counters
+(** Sum over every handle ever attached. *)
+
+val hook : handle -> Detector.solve_query -> (unit -> Solver.verdict) -> Solver.verdict
+(** The [shared_cache] implementation (L2: abstracted solve classes). *)
+
+val pair_lookup : handle -> Detector.pair_audit -> Detector.pair_matrix option
+val pair_store : handle -> Detector.pair_audit -> Detector.pair_matrix -> unit
+(** The [pair_cache] implementation (L1): whole app-pair audit results
+    under an exact key — both apps' rule digests, concrete
+    configuration bindings, same-device relation and the pair
+    fingerprint. Exactness is what lets a hit return the stored
+    threats verbatim, witness bytes included. In-memory only: across
+    restarts the journaled L2 tier re-warms solving instead. *)
+
+val configure : handle -> Detector.config -> Detector.config
+(** [configure h c] is [c] with [shared_cache] set to [hook h] and
+    [pair_cache] set to the L1 tier. *)
+
+val counters_text : counters -> string
+(** One-line rendering for CLI stats. *)

@@ -368,6 +368,38 @@ let chaos_smoke_campaign =
       (* the fault hook must not leak out of the campaign *)
       check_bool "storage faults disarmed" true (not (Fault.storage_armed ())))
 
+let chaos_cache_invariants =
+  test "the verdict-cache invariants are verified and hold under chaos"
+    (fun () ->
+      let cfg = { Chaos.smoke_config with Chaos.steps = 80 } in
+      let report = Chaos.run ~config:cfg ~dir:(fresh_dir ()) () in
+      let names = List.map (fun (i : Chaos.invariant) -> i.Chaos.name) report.Chaos.invariants in
+      List.iter
+        (fun n ->
+          if not (List.mem n names) then
+            Alcotest.failf "cache invariant %s was not verified" n)
+        [
+          "cache-replay-determinism";
+          "cache-no-poisoned-entry";
+          "cache-no-conflicts";
+          "cache-warm-restart";
+        ];
+      check_bool "campaign passed" true (Chaos.passed report);
+      (* with the cache off, the cache invariants are not in scope *)
+      let off =
+        Chaos.run
+          ~config:{ cfg with Chaos.vcache = false; Chaos.steps = 40 }
+          ~dir:(fresh_dir ()) ()
+      in
+      check_bool "no cache invariants when disabled" true
+        (List.for_all
+           (fun (i : Chaos.invariant) ->
+             not
+               (String.length i.Chaos.name >= 6
+               && String.sub i.Chaos.name 0 6 = "cache-"))
+           off.Chaos.invariants);
+      check_bool "uncached campaign passed" true (Chaos.passed off))
+
 let chaos_is_deterministic =
   test "two campaigns with the same seed report identical workloads" (fun () ->
       let cfg = { Chaos.smoke_config with Chaos.steps = 60 } in
@@ -431,6 +463,7 @@ let () =
           supervisor_rebalance_on_dead_shard;
           supervisor_stall_detection;
         ] );
-      ("chaos", [ chaos_smoke_campaign; chaos_is_deterministic ]);
+      ("chaos",
+        [ chaos_smoke_campaign; chaos_cache_invariants; chaos_is_deterministic ]);
       ("synth", [ synth_deterministic; synth_bounds ]);
     ]

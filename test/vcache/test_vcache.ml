@@ -1,0 +1,343 @@
+(** The verdict-cache contract: key soundness over the synthetic-home
+    corpus (cached sweeps byte-identical to uncached, distinct cells
+    never share a key), witness-template rehydration, Unknown markers
+    never served, single-flight dedup across domains, journal
+    round-trip and damage tolerance, and FIFO eviction. *)
+
+module Vcache = Homeguard_vcache.Vcache
+module Abstract = Homeguard_vcache.Abstract
+module Detector = Homeguard_detector.Detector
+module Threat = Homeguard_detector.Threat
+module Solver = Homeguard_solver.Solver
+module Budget = Homeguard_solver.Budget
+module Formula = Homeguard_solver.Formula
+module Term = Homeguard_solver.Term
+module Store = Homeguard_solver.Store
+module Domain = Homeguard_solver.Domain
+module Extract = Homeguard_symexec.Extract
+module Recorder = Homeguard_config.Recorder
+module Config_uri = Homeguard_config.Config_uri
+module Corpus = Homeguard_corpus.Corpus
+module Synth = Homeguard_corpus.Synth
+module App_entry = Homeguard_corpus.App_entry
+
+let test name f = (name, `Quick, f)
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+let fresh_dir =
+  let n = ref 0 in
+  fun () ->
+    incr n;
+    let dir =
+      Filename.concat
+        (Filename.get_temp_dir_name ())
+        (Printf.sprintf "hg-vcache-%d-%d" (Unix.getpid ()) !n)
+    in
+    Unix.mkdir dir 0o755;
+    dir
+
+(* -- shared helpers ------------------------------------------------------------ *)
+
+let extract_app (e : App_entry.t) =
+  (Extract.extract_source ~name:e.App_entry.name e.App_entry.source).Extract.app
+
+(* One synthetic home audited exactly the way the fleet audits it:
+   extracted apps, recorded configuration, exhaustive pairwise audit. *)
+let home_threats ?hook ~jobs (h : Synth.home) =
+  let apps = List.map extract_app h.Synth.apps in
+  let recorder = Recorder.create () in
+  List.iter
+    (fun uri ->
+      match Config_uri.decode uri with
+      | u -> Recorder.record_uri recorder u
+      | exception Config_uri.Malformed _ -> ())
+    h.Synth.configs;
+  let config =
+    {
+      Detector.offline_config with
+      Detector.app_constraints = Recorder.app_constraints recorder;
+      Detector.shared_cache = hook;
+    }
+  in
+  let ctx = Detector.create config in
+  let r = Detector.audit_all ~jobs ctx apps in
+  List.map Threat.to_string r.Detector.threats
+
+(* A minimal query family for exercising the cache directly: one
+   abstractable threshold binding against a fixed device store. Homes
+   in the family differ only in the threshold value. *)
+let family_store =
+  Store.of_list
+    [ ("a.t", Domain.interval (-1000) 1000); ("dev", Domain.interval 0 1000) ]
+
+let family_formula thresh =
+  Formula.And
+    [
+      Formula.Atom (Formula.Eq, Term.Var "a.t", Term.Int thresh);
+      Formula.Atom (Formula.Gt, Term.Var "dev", Term.Var "a.t");
+    ]
+
+let family_query thresh : Detector.solve_query =
+  {
+    Detector.q_kind = "t";
+    q_apps = ("appA", "appB");
+    q_formula = family_formula thresh;
+    q_store = family_store;
+    q_bindings = [ ("a.t", Term.Int thresh) ];
+    q_fingerprint = "test-fp";
+  }
+
+let family_classify thresh =
+  let q = family_query thresh in
+  Abstract.classify ~kind:q.Detector.q_kind ~apps:q.Detector.q_apps
+    ~fingerprint:q.Detector.q_fingerprint ~bindings:q.Detector.q_bindings
+    ~store:q.Detector.q_store ~formula:q.Detector.q_formula
+
+let solve_family thresh () = Solver.solve family_store (family_formula thresh)
+
+let counting_hook h calls q thresh =
+  Vcache.hook h q (fun () ->
+      incr calls;
+      solve_family thresh ())
+
+(* -- key abstraction ----------------------------------------------------------- *)
+
+let keys_same_cell =
+  test "values in one predicate cell share a key; cell changes split it"
+    (fun () ->
+      let k200 = (family_classify 200).Abstract.key in
+      let k300 = (family_classify 300).Abstract.key in
+      let k990 = (family_classify 990).Abstract.key in
+      check_bool "200 and 300 sit in the same cells" true (k200 = k300);
+      check_bool "990 is near the 1000 breakpoint: different cell" true
+        (k200 <> k990);
+      (* fingerprint, kind and app pair all discriminate *)
+      let q = family_query 200 in
+      let reclass ~kind ~apps ~fingerprint =
+        (Abstract.classify ~kind ~apps ~fingerprint
+           ~bindings:q.Detector.q_bindings ~store:q.Detector.q_store
+           ~formula:q.Detector.q_formula)
+          .Abstract.key
+      in
+      check_bool "kind splits" true
+        (reclass ~kind:"u" ~apps:q.Detector.q_apps ~fingerprint:"test-fp" <> k200);
+      check_bool "fingerprint splits" true
+        (reclass ~kind:"t" ~apps:q.Detector.q_apps ~fingerprint:"other" <> k200);
+      check_bool "app pair splits" true
+        (reclass ~kind:"t" ~apps:("appA", "appC") ~fingerprint:"test-fp" <> k200);
+      check_bool "app order is normalized" true
+        (reclass ~kind:"t" ~apps:("appB", "appA") ~fingerprint:"test-fp" = k200))
+
+let keys_guard_arithmetic =
+  test "arithmetic or oversized formulas are never abstracted" (fun () ->
+      let arith =
+        Formula.Atom
+          (Formula.Gt, Term.Sub (Term.Var "dev", Term.Var "a.t"), Term.Int 5)
+      in
+      let cls =
+        Abstract.classify ~kind:"t" ~apps:("a", "b") ~fingerprint:"fp"
+          ~bindings:[ ("a.t", Term.Int 200) ]
+          ~store:family_store ~formula:arith
+      in
+      check_int "no slots under arithmetic" 0 (Array.length cls.Abstract.slots);
+      let big =
+        Formula.And
+          (List.init (Abstract.max_atoms + 1) (fun i ->
+               Formula.Atom (Formula.Ge, Term.Var "dev", Term.Int i)))
+      in
+      let cls2 =
+        Abstract.classify ~kind:"t" ~apps:("a", "b") ~fingerprint:"fp"
+          ~bindings:[ ("a.t", Term.Int 200) ]
+          ~store:family_store ~formula:big
+      in
+      check_int "no slots past the atom bound" 0 (Array.length cls2.Abstract.slots))
+
+(* -- serving ------------------------------------------------------------------- *)
+
+let rehydrated_witness_is_byte_identical =
+  test "a confirmed template serves witnesses byte-identical to fresh solves"
+    (fun () ->
+      let st = Vcache.open_store ~fsync:false ~dir:(fresh_dir ()) () in
+      let h = Vcache.attach st ~owner:"t" in
+      let calls = ref 0 in
+      let v200 = counting_hook h calls (family_query 200) 200 in
+      check_int "first member computes" 1 !calls;
+      let v300 = counting_hook h calls (family_query 300) 300 in
+      check_int "second member is the confirming probe" 2 !calls;
+      let v400 = counting_hook h calls (family_query 400) 400 in
+      check_int "third member serves from the template" 2 !calls;
+      check_bool "cached verdicts equal fresh solves" true
+        (v200 = solve_family 200 ()
+        && v300 = solve_family 300 ()
+        && v400 = solve_family 400 ());
+      let c = Vcache.counters h in
+      check_int "no conflicts" 0 c.Vcache.conflicts;
+      check_bool "the template hit counted" true (c.Vcache.hits >= 1);
+      (* exact-value revisit serves the stored model *)
+      let again = counting_hook h calls (family_query 200) 200 in
+      check_int "no recompute on exact values" 2 !calls;
+      check_bool "same verdict" true (again = v200);
+      Vcache.close_store st)
+
+let unknown_is_never_served =
+  test "Unknown verdicts are markers, never answers" (fun () ->
+      let st = Vcache.open_store ~fsync:false ~dir:(fresh_dir ()) () in
+      let h = Vcache.attach st ~owner:"t" in
+      let calls = ref 0 in
+      let unknown =
+        Budget.Unknown { Budget.trip = Budget.Prop_fuel; where = "test" }
+      in
+      let ask () =
+        Vcache.hook h (family_query 200) (fun () ->
+            incr calls;
+            unknown)
+      in
+      check_bool "unknown returned" true (ask () = unknown);
+      check_bool "unknown returned again" true (ask () = unknown);
+      check_int "every lookup recomputed" 2 !calls;
+      check_int "stale marker was seen" 1 (Vcache.counters h).Vcache.stale_unknowns;
+      check_bool "marker is present" true
+        (Vcache.verdict_kind st (family_classify 200).Abstract.key
+        = Some "unknown");
+      (* compaction expires the marker *)
+      Vcache.compact st;
+      check_int "compaction drops unknowns" 0 (Vcache.entries st);
+      (* a later decisive verdict replaces the marker *)
+      ignore (counting_hook h calls (family_query 200) 200);
+      check_bool "decisive entry cached" true
+        (Vcache.verdict_kind st (family_classify 200).Abstract.key = Some "sat");
+      Vcache.close_store st)
+
+let single_flight_dedup =
+  test "concurrent lookups of one class solve once" (fun () ->
+      let st = Vcache.open_store ~fsync:false ~dir:(fresh_dir ()) () in
+      let h = Vcache.attach st ~owner:"t" in
+      let calls = Atomic.make 0 in
+      let ask () =
+        Vcache.hook h (family_query 200) (fun () ->
+            Atomic.incr calls;
+            Unix.sleepf 0.05;
+            solve_family 200 ())
+      in
+      let d1 = Stdlib.Domain.spawn ask and d2 = Stdlib.Domain.spawn ask in
+      let v1 = Stdlib.Domain.join d1 and v2 = Stdlib.Domain.join d2 in
+      check_int "one compute" 1 (Atomic.get calls);
+      check_bool "both callers answered identically" true
+        (v1 = v2 && v1 = solve_family 200 ());
+      check_bool "the merge was counted" true
+        ((Vcache.counters h).Vcache.single_flight_merges >= 1);
+      Vcache.close_store st)
+
+(* -- persistence --------------------------------------------------------------- *)
+
+let fill _st h n =
+  let calls = ref 0 in
+  for i = 0 to n - 1 do
+    (* spread values across distinct cells near distinct breakpoints *)
+    ignore (counting_hook h calls (family_query (990 - i)) (990 - i))
+  done
+
+let reopen_round_trip =
+  test "reopen replays the journal to an identical dump" (fun () ->
+      let dir = fresh_dir () in
+      let st = Vcache.open_store ~fsync:false ~dir () in
+      let h = Vcache.attach st ~owner:"t" in
+      fill st h 8;
+      let live = Vcache.dump st in
+      check_bool "entries cached" true (Vcache.entries st > 0);
+      Vcache.close_store st;
+      let st2 = Vcache.open_store ~fsync:false ~dir () in
+      check_bool "dump identical across restart" true (Vcache.dump st2 = live);
+      check_int "no damage" 0 (Vcache.replay_damage st2);
+      (* compaction preserves decisive state *)
+      Vcache.compact st2;
+      check_bool "dump identical after compaction" true (Vcache.dump st2 = live);
+      Vcache.close_store st2;
+      let st3 = Vcache.open_store ~fsync:false ~dir () in
+      check_bool "dump identical after compacted reopen" true
+        (Vcache.dump st3 = live);
+      Vcache.close_store st3)
+
+let torn_tail_dropped =
+  test "a torn cache journal replays its intact prefix, never a torn entry"
+    (fun () ->
+      let dir = fresh_dir () in
+      let st = Vcache.open_store ~fsync:false ~dir () in
+      let h = Vcache.attach st ~owner:"t" in
+      fill st h 6;
+      let live = Vcache.dump st in
+      Vcache.close_store st;
+      (* tear the last frame mid-write *)
+      let path = Filename.concat dir "cache.journal" in
+      let size = (Unix.stat path).Unix.st_size in
+      let fd = Unix.openfile path [ Unix.O_WRONLY ] 0o644 in
+      Unix.ftruncate fd (size - 7);
+      Unix.close fd;
+      let st2 = Vcache.open_store ~fsync:false ~dir () in
+      check_bool "damage surfaced" true (Vcache.replay_damage st2 > 0);
+      let d2 = Vcache.dump st2 in
+      check_bool "recovered state is a prefix-consistent subset" true
+        (List.for_all (fun kv -> List.mem kv live) d2);
+      check_bool "most entries survived" true
+        (List.length d2 >= List.length live - 1);
+      Vcache.close_store st2;
+      (* the damage-triggered rewrite is durable: a second reopen is
+         clean and identical *)
+      let st3 = Vcache.open_store ~fsync:false ~dir () in
+      check_int "journal rewritten clean" 0 (Vcache.replay_damage st3);
+      check_bool "replay deterministic" true (Vcache.dump st3 = d2);
+      Vcache.close_store st3)
+
+let eviction_is_bounded_and_journaled =
+  test "the capacity bound evicts oldest-first and survives replay" (fun () ->
+      let dir = fresh_dir () in
+      let st = Vcache.open_store ~fsync:false ~max_entries:4 ~dir () in
+      let h = Vcache.attach st ~owner:"t" in
+      fill st h 7;
+      check_bool "bounded" true (Vcache.entries st <= 4);
+      check_bool "evictions counted" true ((Vcache.counters h).Vcache.evicts >= 3);
+      let live = Vcache.dump st in
+      Vcache.close_store st;
+      let st2 = Vcache.open_store ~fsync:false ~max_entries:4 ~dir () in
+      check_bool "replay honors the deletions" true (Vcache.dump st2 = live);
+      Vcache.close_store st2)
+
+(* -- corpus property ----------------------------------------------------------- *)
+
+let sweep_is_byte_identical =
+  test "synthetic-fleet audits: cached == uncached, cold and warm, any jobs"
+    (fun () ->
+      let homes = Corpus.synth ~seed:11 ~n_homes:40 in
+      let base = List.map (home_threats ~jobs:1) homes in
+      let st = Vcache.open_store ~fsync:false ~dir:(fresh_dir ()) () in
+      let h = Vcache.attach st ~owner:"prop" in
+      let hook = Vcache.hook h in
+      let cold = List.map (home_threats ~hook ~jobs:1) homes in
+      check_bool "cold cached sweep is byte-identical" true (base = cold);
+      let c = Vcache.counters h in
+      check_bool "cross-home classes actually hit" true (c.Vcache.hits > 0);
+      check_int "zero conflicts: the abstraction never lied" 0 c.Vcache.conflicts;
+      let warm = List.map (home_threats ~hook ~jobs:1) homes in
+      check_bool "warm cached sweep is byte-identical" true (base = warm);
+      let parallel = List.map (home_threats ~hook ~jobs:2) homes in
+      check_bool "parallel cached sweep is byte-identical" true (base = parallel);
+      check_int "zero conflicts after every sweep" 0
+        (Vcache.counters h).Vcache.conflicts;
+      Vcache.close_store st)
+
+let () =
+  Alcotest.run "homeguard-vcache"
+    [
+      ("keys", [ keys_same_cell; keys_guard_arithmetic ]);
+      ( "serving",
+        [
+          rehydrated_witness_is_byte_identical;
+          unknown_is_never_served;
+          single_flight_dedup;
+        ] );
+      ( "persistence",
+        [ reopen_round_trip; torn_tail_dropped; eviction_is_bounded_and_journaled ]
+      );
+      ("property", [ sweep_is_byte_identical ]);
+    ]
