@@ -1108,6 +1108,123 @@ let c1_vcache ?(smoke = false) () =
           timing;
   }
 
+(* ------------------------------------------------------------------ R1 *)
+
+(* Replication overhead: the same synthetic workload journaled at R=1
+   (primary only) and R=2 (primary + one replica directory). The
+   failure-model claim is that replication buys crash-survivable
+   redundancy for a bounded constant factor on the ingest path (every
+   append writes each replica in order) and approximately nothing on
+   the warm audit path (audits read in-memory state, not disk). Both
+   runs must also converge to byte-identical durable state — the
+   replica set is a transparency mechanism, not a semantic one. *)
+let r1_replication ?(smoke = false) () =
+  section "R1. Replication overhead — ingest and warm audit at R=1 vs R=2";
+  let module Home = Homeguard_store.Home in
+  let module Synth = Homeguard_corpus.Synth in
+  (* fixed scale so the exact gates (home count, replica files, state
+     identity, overhead bounds) match between smoke and full runs;
+     smoke only trims the timed audit repetitions *)
+  let n_homes = 6 in
+  let audit_iters = if smoke then 2 else 5 in
+  let synth = Corpus.synth ~seed:23 ~n_homes in
+  let extracted = Hashtbl.create 64 in
+  let extract_pool (e : App_entry.t) =
+    match Hashtbl.find_opt extracted e.App_entry.name with
+    | Some a -> a
+    | None ->
+      let a = extract_app e in
+      Hashtbl.add extracted e.App_entry.name a;
+      a
+  in
+  let run ~replicas_n =
+    let root = fresh_dir (Printf.sprintf "r1_x%d" replicas_n) in
+    let homes =
+      List.map
+        (fun (h : Synth.home) ->
+          let dir = Filename.concat root ("h_" ^ h.Synth.id) in
+          let replicas =
+            List.init (replicas_n - 1) (fun k ->
+                Filename.concat root (Printf.sprintf "r%d/h_%s" (k + 1) h.Synth.id))
+          in
+          fst (Home.open_ ~fsync:false ~replicas ~dir ()))
+        synth
+    in
+    let ops = ref 0 in
+    let (), ingest_ms =
+      time_ms (fun () ->
+          List.iter2
+            (fun home (h : Synth.home) ->
+              List.iter
+                (fun e ->
+                  ignore (Home.install_app home (extract_pool e) : Home.install_outcome);
+                  incr ops)
+                h.Synth.apps;
+              List.iteri
+                (fun i uri ->
+                  ignore (Home.deliver home ~seq:(i + 1) uri : Home.delivery);
+                  incr ops)
+                h.Synth.configs)
+            homes synth)
+    in
+    (* warm the audit caches once, then time steady-state re-audits *)
+    let audit_texts = List.map Home.audit_text homes in
+    let (), audit_ms =
+      time_ms (fun () ->
+          for _ = 1 to audit_iters do
+            List.iter
+              (fun home -> ignore (Home.audit home : Detector.audit_result))
+              homes
+          done)
+    in
+    let digests = List.map Home.state_digest homes in
+    let replica_journals =
+      List.fold_left
+        (fun acc home ->
+          acc
+          + List.length
+              (List.filter
+                 (fun d -> Sys.file_exists (Filename.concat d "journal"))
+                 (Home.replica_dirs home)))
+        0 homes
+    in
+    List.iter Home.close homes;
+    let ingest_rate = float_of_int !ops /. Float.max 0.001 ingest_ms *. 1000.0 in
+    Printf.printf
+      "R=%d: %4d journaled ops in %7.1fms (%7.0f ops/s)  warm audit x%d in %7.1fms  %d replica journals\n"
+      replicas_n !ops ingest_ms ingest_rate audit_iters audit_ms replica_journals;
+    (ingest_rate, audit_ms, digests, audit_texts, replica_journals)
+  in
+  let i1, a1, d1, t1, _ = run ~replicas_n:1 in
+  let i2, a2, d2, t2, rj2 = run ~replicas_n:2 in
+  let overhead = i1 /. Float.max 0.001 i2 in
+  let audit_ratio = a2 /. Float.max 0.001 a1 in
+  let identical = d1 = d2 && t1 = t2 in
+  Printf.printf
+    "ingest overhead %.2fx (gate <=2x %s)  warm audit ratio %.2fx  state %s\n"
+    overhead
+    (if overhead <= 2.0 then "ok" else "VIOLATED")
+    audit_ratio
+    (if identical then "byte-identical" else "DIVERGED");
+  {
+    Trajectory.title = "R1";
+    metrics =
+      Trajectory.
+        [
+          metric ~direction:Exact "replication_homes" (float_of_int n_homes);
+          metric ~direction:Exact "state_identical_r1_r2" (if identical then 1.0 else 0.0);
+          metric ~direction:Exact "replica_journals_r2" (float_of_int rj2);
+          metric ~unit_:"ops/s" ~direction:Higher_better "ingest_ops_per_sec_r1" i1;
+          metric ~unit_:"ops/s" ~direction:Higher_better "ingest_ops_per_sec_r2" i2;
+          metric ~unit_:"x" ~direction:Info "ingest_overhead_x" overhead;
+          metric ~direction:Exact "ingest_overhead_within_2x"
+            (if overhead <= 2.0 then 1.0 else 0.0);
+          metric ~unit_:"x" ~direction:Info "warm_audit_ratio_r2_over_r1" audit_ratio;
+          metric ~direction:Exact "warm_audit_ratio_within_1_5x"
+            (if audit_ratio <= 1.5 then 1.0 else 0.0);
+        ];
+  }
+
 (* ---------------------------------------------------------- bechamel *)
 
 let bechamel_suite () =
@@ -1249,7 +1366,10 @@ let run_trajectory ~smoke ~fastpath ~tag =
      only run in full mode — those metrics show as Missing in smoke
      compares, which never gates *)
   let c1 = c1_vcache ~smoke () in
-  let sections = [ p1; p2; fig9; a3; f1; c1 ] in
+  (* R1's exact gates (state identity, overhead bounds) are shared
+     between smoke and full; only the audit repetitions shrink in smoke *)
+  let r1 = r1_replication ~smoke () in
+  let sections = [ p1; p2; fig9; a3; f1; c1; r1 ] in
   let t = { Trajectory.key = trajectory_key ~smoke ~fastpath; sections } in
   let file = Printf.sprintf "BENCH_%s.json" tag in
   let oc = open_out file in
@@ -1337,6 +1457,7 @@ let run_all_sections () =
   o1_overload_serving ();
   ignore (f1_fleet () : Trajectory.section);
   ignore (c1_vcache ~smoke:true () : Trajectory.section);
+  ignore (r1_replication ~smoke:true () : Trajectory.section);
   bechamel_suite ();
   print_endline "\nAll experiment sections completed."
 
@@ -1345,7 +1466,7 @@ let usage () =
   print_endline "       bench compare BASELINE.json CURRENT.json [--threshold PCT] [--warn-only]";
   print_endline "";
   print_endline "  (no flags)    run every experiment section with human-readable output";
-  print_endline "  --json        run the trajectory sections (P1, P2, FIG9, A3, F1, C1)";
+  print_endline "  --json        run the trajectory sections (P1, P2, FIG9, A3, F1, C1, R1)";
   print_endline "                and write";
   print_endline "                BENCH_<TAG>.json (default tag: local)";
   print_endline "  --smoke       reduced iteration quota, for CI smoke runs";

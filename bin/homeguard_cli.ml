@@ -431,6 +431,16 @@ let no_fsync_arg =
     & info [ "no-fsync" ]
         ~doc:"Skip fsync after journal appends (faster, loses the crash-durability guarantee).")
 
+let replica_root_arg =
+  Arg.(
+    value & opt_all string []
+    & info [ "replica-root" ] ~docv:"DIR"
+        ~doc:
+          "Additional replica directory for this home's journals (repeatable). \
+           Every journaled change is appended to all replicas in order; recovery \
+           merges every record that survived on at least one replica and rewrites \
+           damaged, stale or missing copies (read-repair).")
+
 let online_arg =
   Arg.(
     value & flag
@@ -452,7 +462,13 @@ let print_recovery (r : Home.recovery_report) =
   if r.Home.skipped_events > 0 then
     Printf.printf "undecodable events skipped: %d\n" r.Home.skipped_events;
   if r.Home.changed_apps <> [] then
-    Printf.printf "apps touched by damage: %s\n" (String.concat ", " r.Home.changed_apps)
+    Printf.printf "apps touched by damage: %s\n" (String.concat ", " r.Home.changed_apps);
+  if r.Home.repaired_replicas > 0 || r.Home.healed_records > 0 then
+    Printf.printf "replicas repaired: %d (%d record(s) healed)\n"
+      r.Home.repaired_replicas r.Home.healed_records;
+  if r.Home.all_replicas_damaged then
+    print_endline "every replica was damaged: acknowledged records may be lost";
+  if r.Home.epoch > 0 then Printf.printf "ownership epoch: %d\n" r.Home.epoch
 
 let print_delivery = function
   | Home.Accepted (Ingest.Applied n) -> Printf.printf "applied %d message(s)\n" n
@@ -678,7 +694,8 @@ let cache_dir_arg =
            CRC-framed journal; warm across restarts). Omit to run uncached.")
 
 let serve_cmd =
-  let run dir no_fsync online max_queue deadline_ms quarantine_after jobs cache_dir =
+  let run dir replica_roots no_fsync online max_queue deadline_ms quarantine_after
+      jobs cache_dir =
     let vcache =
       if cache_dir = "" then None
       else
@@ -689,7 +706,8 @@ let serve_cmd =
       match vcache with None -> Fun.id | Some (_, h) -> Vcache.configure h
     in
     let home, report =
-      Home.open_ ~fsync:(not no_fsync) ~mode:(home_mode online) ~configure ~dir ()
+      Home.open_ ~fsync:(not no_fsync) ~mode:(home_mode online) ~configure
+        ~replicas:replica_roots ~dir ()
     in
     print_recovery report;
     let config =
@@ -732,13 +750,15 @@ let serve_cmd =
           Requests pass admission control (bounded queues, busy replies), carry \
           deadlines down to the solver, and repeatedly-failing apps are quarantined")
     Term.(
-      const (fun () -> run) $ fastpath_arg $ state_dir_arg $ no_fsync_arg $ online_arg
-      $ max_queue_arg $ deadline_ms_arg $ quarantine_after_arg $ jobs_arg
-      $ cache_dir_arg)
+      const (fun () -> run) $ fastpath_arg $ state_dir_arg $ replica_root_arg
+      $ no_fsync_arg $ online_arg $ max_queue_arg $ deadline_ms_arg
+      $ quarantine_after_arg $ jobs_arg $ cache_dir_arg)
 
 let recover_cmd =
-  let run dir online jobs =
-    let home, report = Home.open_ ~mode:(home_mode online) ~dir () in
+  let run dir replica_roots online jobs =
+    let home, report =
+      Home.open_ ~mode:(home_mode online) ~replicas:replica_roots ~dir ()
+    in
     print_recovery report;
     Printf.printf "installed apps: %d, watermark: %d\n"
       (List.length (Home.installed_apps home))
@@ -760,19 +780,27 @@ let recover_cmd =
           print_audit_health result)
         reaudits);
     Home.close home;
-    if report.Home.torn_bytes > 0 || report.Home.quarantined > 0 then 2 else 0
+    if
+      report.Home.torn_bytes > 0
+      || report.Home.quarantined > 0
+      || report.Home.repaired_replicas > 0
+    then 2
+    else 0
   in
   Cmd.v
     (Cmd.info "recover"
        ~doc:
          "Recover a home's (possibly damaged) journal: truncate torn tails, quarantine \
-          corrupt records, replay the rest, and incrementally re-audit the apps the \
-          damage touched. Exits 2 when damage was found and repaired")
-    Term.(const run $ state_dir_arg $ online_arg $ jobs_arg)
+          corrupt records, replay the rest — merging and read-repairing any replica \
+          roots — and incrementally re-audit the apps the damage touched. Exits 2 \
+          when damage was found and repaired")
+    Term.(const run $ state_dir_arg $ replica_root_arg $ online_arg $ jobs_arg)
 
 let compact_cmd =
-  let run dir online =
-    let home, report = Home.open_ ~mode:(home_mode online) ~dir () in
+  let run dir replica_roots online =
+    let home, report =
+      Home.open_ ~mode:(home_mode online) ~replicas:replica_roots ~dir ()
+    in
     print_recovery report;
     let before = Home.journal_size home + Home.snapshot_size home in
     Home.compact home;
@@ -786,7 +814,7 @@ let compact_cmd =
        ~doc:
          "Fold a home's journal into a minimal snapshot (current configs, installed \
           apps, explicit decisions, ingestion watermark) and truncate the journal")
-    Term.(const run $ state_dir_arg $ online_arg)
+    Term.(const run $ state_dir_arg $ replica_root_arg $ online_arg)
 
 (* -- fleet ------------------------------------------------------------------- *)
 
@@ -798,6 +826,8 @@ module Corpus_mod = Homeguard_corpus.Corpus
 module App_entry = Homeguard_corpus.App_entry
 module Install_flow_cli = Homeguard_frontend.Install_flow
 
+module Fleet_scrub = Homeguard_store.Scrub
+
 let no_vcache_arg =
   Arg.(
     value & flag
@@ -806,8 +836,17 @@ let no_vcache_arg =
           "Disable the fleet-shared verdict cache (and, under chaos, skip the \
            cache invariants).")
 
+let fleet_replicas_arg =
+  Arg.(
+    value & opt int 0
+    & info [ "replicas" ] ~docv:"R"
+        ~doc:
+          "Replica directories per home (default 2; 1 keeps the unreplicated \
+           layout). Replica $(i,k) lives under the distinct replica root \
+           $(i,STATE-DIR/rk).")
+
 let fleet_audit_cmd =
-  let run dir seed n_homes shards jobs no_vcache =
+  let run dir seed n_homes shards replicas jobs no_vcache =
     let dir =
       if dir <> "" then dir
       else
@@ -821,6 +860,9 @@ let fleet_audit_cmd =
         Supervisor.shards;
         fsync = false;
         vcache = not no_vcache;
+        replicas =
+          (if replicas > 0 then replicas
+           else Supervisor.default_config.Supervisor.replicas);
         broker = { Broker.default_config with Broker.jobs = resolve_jobs jobs };
       }
     in
@@ -903,11 +945,11 @@ let fleet_audit_cmd =
           audit the whole fleet twice — the second pass exercises the shared \
           verdict cache — and print per-shard status including cache counters")
     Term.(
-      const run $ dir_arg $ seed_arg $ homes_arg $ shards_arg $ jobs_arg
-      $ no_vcache_arg)
+      const run $ dir_arg $ seed_arg $ homes_arg $ shards_arg $ fleet_replicas_arg
+      $ jobs_arg $ no_vcache_arg)
 
 let fleet_chaos_cmd =
-  let run dir seed shards homes steps smoke no_vcache =
+  let run dir seed shards homes steps replicas smoke no_vcache =
     let base = if smoke then Chaos.smoke_config else Chaos.default_config in
     let config =
       {
@@ -916,6 +958,7 @@ let fleet_chaos_cmd =
         Chaos.shards = (if shards > 0 then shards else base.Chaos.shards);
         Chaos.homes = (if homes > 0 then homes else base.Chaos.homes);
         Chaos.steps = (if steps > 0 then steps else base.Chaos.steps);
+        Chaos.replicas = (if replicas > 0 then replicas else base.Chaos.replicas);
         Chaos.vcache = not no_vcache;
       }
     in
@@ -956,7 +999,74 @@ let fleet_chaos_cmd =
           invariants unless --no-vcache). Exits 1 on any violation")
     Term.(
       const run $ dir_arg $ seed_arg $ shards_arg $ homes_arg $ steps_arg
-      $ smoke_arg $ no_vcache_arg)
+      $ fleet_replicas_arg $ smoke_arg $ no_vcache_arg)
+
+let fleet_scrub_cmd =
+  let run dir replicas strict no_fsync =
+    let replicas = if replicas > 0 then replicas else 2 in
+    if not (Sys.file_exists dir && Sys.is_directory dir) then begin
+      Printf.eprintf "error: no fleet root at %s\n" dir;
+      1
+    end
+    else begin
+      (* primary home dirs are h_<id> directly under the fleet root;
+         replica k of each lives under the replica root r<k> *)
+      let entries =
+        Sys.readdir dir |> Array.to_list
+        |> List.filter (fun e ->
+               String.length e > 2
+               && String.sub e 0 2 = "h_"
+               && Sys.is_directory (Filename.concat dir e))
+        |> List.sort compare
+      in
+      let totals =
+        List.fold_left
+          (fun acc entry ->
+            let dirs =
+              Filename.concat dir entry
+              :: List.init
+                   (max 0 (replicas - 1))
+                   (fun k ->
+                     Filename.concat
+                       (Filename.concat dir (Printf.sprintf "r%d" (k + 1)))
+                       entry)
+            in
+            let r = Fleet_scrub.scrub_home ~fsync:(not no_fsync) dirs in
+            if not r.Fleet_scrub.healthy then
+              Printf.printf
+                "%s: repaired=%d recreated=%d quarantined=%d torn=%d healed=%d%s\n"
+                entry r.Fleet_scrub.repaired_replicas
+                r.Fleet_scrub.recreated_replicas r.Fleet_scrub.frames_quarantined
+                r.Fleet_scrub.torn_bytes r.Fleet_scrub.records_healed
+                (if r.Fleet_scrub.converged then "" else " UNCONVERGED");
+            Fleet_scrub.add acc r)
+          Fleet_scrub.zero entries
+      in
+      print_endline (Fleet_scrub.counters_text totals);
+      if strict && totals.Fleet_scrub.unconverged > 0 then 1 else 0
+    end
+  in
+  let dir_arg =
+    Arg.(
+      required
+      & opt (some string) None
+      & info [ "state-dir" ] ~docv:"DIR" ~doc:"Fleet state root to scrub.")
+  in
+  let strict_arg =
+    Arg.(
+      value & flag
+      & info [ "strict" ]
+          ~doc:"Exit 1 when any home is still unconverged after repair.")
+  in
+  Cmd.v
+    (Cmd.info "scrub"
+       ~doc:
+         "Anti-entropy pass over an offline fleet root: CRC-scan every replica of \
+          every home, compare record-stream digests, read-repair damaged, stale or \
+          missing replicas from the surviving copies, and print per-kind repair \
+          counters. Healthy homes are untouched, so a second pass reports \
+          all-healthy and rewrites nothing")
+    Term.(const run $ dir_arg $ fleet_replicas_arg $ strict_arg $ no_fsync_arg)
 
 let fleet_cmd =
   Cmd.group
@@ -964,7 +1074,7 @@ let fleet_cmd =
        ~doc:
          "Home-sharded fleet operations: supervisor with health checks, circuit \
           breakers, journal-backed shard recovery and a fleet-shared verdict cache")
-    [ fleet_chaos_cmd; fleet_audit_cmd ]
+    [ fleet_chaos_cmd; fleet_audit_cmd; fleet_scrub_cmd ]
 
 let main =
   let doc = "detect and handle cross-app interference threats in smart homes" in

@@ -23,6 +23,9 @@
     campaign replays exactly. *)
 
 module Home = Homeguard_store.Home
+module Fence = Homeguard_store.Fence
+module Scrub = Homeguard_store.Scrub
+module Journal = Homeguard_store.Journal
 module Broker = Homeguard_serve.Broker
 module Shed = Homeguard_serve.Shed
 module Install_flow = Homeguard_frontend.Install_flow
@@ -52,6 +55,19 @@ type config = {
           (crash/torn/flip cycling) for the next few steps *)
   audit_per_thousand : int;  (** background re-audit + drain *)
   vcache : bool;  (** shared verdict cache on + cache invariants *)
+  replicas : int;  (** journal replicas per home *)
+  replica_loss_per_thousand : int;
+      (** chance per step to destroy one non-primary replica of a random
+          home (the primary always survives destruction windows, so
+          "some replica survives" holds by construction; primary damage
+          comes from the corruption window and storage faults) *)
+  replica_corrupt_per_thousand : int;
+      (** chance per step to flip one byte in one replica file of a
+          random home — any replica, including the primary *)
+  split_brains : int;
+      (** forced stall-then-revive windows: wedge a shard (its worker
+          keeps its journal writers), let the fleet rebalance, then
+          drive the zombie's handles expecting every append fenced *)
 }
 
 let default_config =
@@ -67,6 +83,10 @@ let default_config =
     fault_window_per_thousand = 25;
     audit_per_thousand = 40;
     vcache = true;
+    replicas = 2;
+    replica_loss_per_thousand = 12;
+    replica_corrupt_per_thousand = 12;
+    split_brains = 1;
   }
 
 let smoke_config =
@@ -87,6 +107,12 @@ type report = {
   served_while_impaired : int;
       (** ops completed by healthy shards while some shard was down *)
   fault_windows : int;
+  replicas_destroyed : int;  (** replica files removed by loss windows *)
+  replicas_corrupted : int;  (** replica files bit-flipped by corruption windows *)
+  zombie_rejected : int;  (** fenced appends the split-brain zombies attempted *)
+  zombie_accepted : int;  (** must be 0: stale appends that reached the disk *)
+  scrub : Scrub.counters;  (** the post-campaign anti-entropy pass *)
+  scrub_second : Scrub.counters;  (** must be all-healthy: repair is idempotent *)
   stats : Supervisor.stats;
   shards_killed : int;  (** distinct shards that went down *)
   shards_recovered : int;  (** distinct shards that came back *)
@@ -110,11 +136,17 @@ type expect = {
 
 type campaign = {
   cfg : config;
+  dir : string;  (** the fleet root *)
   sup : Supervisor.t;
   rng : Random.State.t;
   now : float ref;
   expects : (string * expect) list;
   stalled : int array;  (** steps of withheld heartbeats left, per shard *)
+  mutable zombies : Shard.t list;  (** wedged workers still holding writers *)
+  mutable zombie_rejected : int;
+  mutable zombie_accepted : int;
+  mutable replicas_destroyed : int;
+  mutable replicas_corrupted : int;
   mutable fault_steps_left : int;
   mutable fault_windows : int;
   mutable ops : int;
@@ -261,6 +293,87 @@ let op_audit c (id, _ex) =
     `Other
   | Supervisor.Unavailable _ | Supervisor.Crashed _ -> `Other
 
+(* -- replica damage windows --------------------------------------------------- *)
+
+let random_home c = fst (List.nth c.expects (Random.State.int c.rng (List.length c.expects)))
+
+(* Destroy one non-primary replica of a random home — disk death. The
+   home's live writer keeps appending to the unlinked inode; the next
+   recovery or scrub recreates the replica from a surviving sibling.
+   Quarantine sidecars are left alone: they are the durable damage
+   evidence the loss invariants consult. *)
+let destroy_replica c =
+  let id = random_home c in
+  let dirs = Shard.home_dirs ~fleet_dir:c.dir ~replicas:c.cfg.replicas id in
+  match List.tl dirs with
+  | [] -> ()
+  | victims ->
+    let vdir = List.nth victims (Random.State.int c.rng (List.length victims)) in
+    let removed = ref false in
+    List.iter
+      (fun p ->
+        if Sys.file_exists p then begin
+          (try Sys.remove p with Sys_error _ -> ());
+          removed := true
+        end)
+      [ Filename.concat vdir "snapshot"; Filename.concat vdir "journal" ];
+    if !removed then c.replicas_destroyed <- c.replicas_destroyed + 1
+
+(* Flip one byte in one replica file of a random home — bit rot. May hit
+   the primary: read-repair must heal whichever copy is damaged. *)
+let corrupt_replica c =
+  let id = random_home c in
+  let dirs = Shard.home_dirs ~fleet_dir:c.dir ~replicas:c.cfg.replicas id in
+  let vdir = List.nth dirs (Random.State.int c.rng (List.length dirs)) in
+  let file =
+    Filename.concat vdir (if Random.State.bool c.rng then "journal" else "snapshot")
+  in
+  if Sys.file_exists file then begin
+    let size = (Unix.stat file).Unix.st_size in
+    if size > 0 then begin
+      let off = Random.State.int c.rng size in
+      let fd = Unix.openfile file [ Unix.O_RDWR ] 0o644 in
+      Fun.protect
+        ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+        (fun () ->
+          ignore (Unix.lseek fd off Unix.SEEK_SET);
+          let b = Bytes.create 1 in
+          if Unix.read fd b 0 1 = 1 then begin
+            Bytes.set b 0 (Char.chr (Char.code (Bytes.get b 0) lxor 0x20));
+            ignore (Unix.lseek fd off Unix.SEEK_SET);
+            ignore (Unix.write fd b 0 1);
+            c.replicas_corrupted <- c.replicas_corrupted + 1
+          end)
+    end
+  end
+
+(* Drive every wedged worker's home handles once a successor epoch has
+   been granted (the "revive after rebalance" moment): each journaling
+   attempt must be fenced. An append that reaches the disk is a stale
+   write accepted — the split-brain failure this PR exists to prevent. *)
+let drive_zombies c =
+  List.iter
+    (fun z ->
+      List.iter
+        (fun (_, h) ->
+          (* if no successor epoch was ever granted (the slot died past
+             its restart budget before any reopen), grant it now:
+             ownership always moves before a wedged worker revives,
+             never the other way around *)
+          if Fence.current (Home.dir h) <= Home.epoch h then
+            ignore (Fence.acquire (Home.dir h) (Home.epoch h + 1) : int);
+          if Fence.current (Home.dir h) > Home.epoch h then
+            match Home.set_decision h "chaos-zombie" Policy.Allow with
+            | () -> c.zombie_accepted <- c.zombie_accepted + 1
+            | exception Fence.Stale _ -> c.zombie_rejected <- c.zombie_rejected + 1
+            | exception Fault.Crashed _ ->
+              (* the fence passed (it is checked first) and then a
+                 storage fault killed the write: still a stale append
+                 that was let through *)
+              c.zombie_accepted <- c.zombie_accepted + 1)
+        (Broker.homes (Shard.broker z)))
+    c.zombies
+
 (* -- the campaign loop -------------------------------------------------------- *)
 
 let storage_modes = [| Fault.Crash; Fault.Torn; Fault.Flip |]
@@ -308,6 +421,42 @@ let step c ~step_index counters =
     (* withhold beats long enough to blow the heartbeat window *)
     c.stalled.(victim) <- 8
   end;
+  (* replica damage windows *)
+  if cfg.replicas > 1 && Random.State.int c.rng 1000 < cfg.replica_loss_per_thousand
+  then destroy_replica c;
+  if Random.State.int c.rng 1000 < cfg.replica_corrupt_per_thousand then
+    corrupt_replica c;
+  (* forced split-brain windows: wedge a shard (its worker keeps every
+     journal writer), offset from the kill victims so both happen. A
+     window that finds no running shard (every slot mid-restart or out
+     of budget) stays open: it retries each following step until a live
+     worker exists to turn into a zombie, so a scheduled split-brain is
+     never silently skipped *)
+  List.iter
+    (fun (i, at, victim) ->
+      if step_index >= at && List.length c.zombies <= i then
+        (* scan from the scheduled victim for a shard that is actually
+           running — a wedge needs a live worker to turn into a zombie *)
+        let rec try_wedge k =
+          if k < cfg.shards then begin
+            let v = (victim + k) mod cfg.shards in
+            match Supervisor.wedge c.sup v with
+            | Some z ->
+              c.killed <- add_distinct v c.killed;
+              c.zombies <- z :: c.zombies
+            | None -> try_wedge (k + 1)
+          end
+        in
+        try_wedge 0)
+    (* windows sit in the first half of the campaign, while the slots
+       still have restart budget to grant successor epochs; a late
+       campaign can run its whole fleet out of restarts, after which
+       there is no live worker left to wedge *)
+    (List.init cfg.split_brains (fun i ->
+         ( i,
+           cfg.steps * (i + 1) / (2 * (cfg.split_brains + 1)),
+           (i + 1) mod cfg.shards )));
+  drive_zombies c;
   (* workload: a couple of ops against random homes; ops to a stalled
      shard time out instead of completing (a wedged worker does not
      answer) *)
@@ -318,7 +467,11 @@ let step c ~step_index counters =
     let target_stalled =
       match target with Some i -> c.stalled.(i) > 0 | None -> false
     in
-    if target_stalled then c.stalled_timeouts <- c.stalled_timeouts + 1
+    if target = None then
+      (* the whole fleet is dead: the home has no owner left, so the
+         op degrades instead of routing *)
+      c.degraded <- c.degraded + 1
+    else if target_stalled then c.stalled_timeouts <- c.stalled_timeouts + 1
     else begin
       let r = Random.State.int c.rng 100 in
       let res =
@@ -362,12 +515,13 @@ type recovered_home = {
   r_honest_damage : bool;  (** some recovery surfaced damage for this home *)
 }
 
-let recover_home ~fleet_dir ~campaign_damage id =
-  let dir = Shard.home_dir ~fleet_dir id in
+let recover_home ~fleet_dir ~replicas ~campaign_damage id =
+  let dirs = Shard.home_dirs ~fleet_dir ~replicas id in
+  let dir = List.hd dirs and extra = List.tl dirs in
   (* first open repairs (truncates torn tails, quarantines corrupt
-     frames); the determinism check is over the two subsequent
-     recoveries of the repaired journal *)
-  let h1, r1 = Home.open_ ~fsync:false ~dir () in
+     frames, merges the replicas); the determinism check is over the
+     two subsequent recoveries of the repaired journal *)
+  let h1, r1 = Home.open_ ~fsync:false ~replicas:extra ~dir () in
   let r_installed =
     List.map (fun (a : Rule.smartapp) -> a.Rule.name) (Home.installed_apps h1)
   in
@@ -376,18 +530,26 @@ let recover_home ~fleet_dir ~campaign_damage id =
   let r_last_seq = Home.last_seq h1 in
   let r_text = Home.state_text h1 in
   Home.close h1;
-  let h2, r2 = Home.open_ ~fsync:false ~dir () in
+  let h2, r2 = Home.open_ ~fsync:false ~replicas:extra ~dir () in
   let r_text2 = Home.state_text h2 in
   Home.close h2;
+  (* With replication the loss carve-out tightens: a damaged replica
+     whose records survived on a sibling lost nothing (the merge heals
+     it), so damage is honest only when some file's every replica was
+     damaged or missing. For a single replica this is the old rule. *)
   let damaged (r : Home.recovery_report) =
-    r.Home.quarantined > 0 || r.Home.skipped_events > 0
+    (r.Home.quarantined > 0 && r.Home.all_replicas_damaged)
+    || r.Home.skipped_events > 0
   in
   (* The quarantine sidecar is the durable form of the same evidence:
      an in-memory recovery report can be lost when the recovering open
      itself crashes on a later home (the journal repair it already
      performed persists, so the retry replays clean), but the sidecar
-     written by that repair survives any number of restarts. *)
-  let sidecar_corruption = Home.surfaced_corruption ~dir > 0 in
+     written by that repair survives any number of restarts. Every
+     replica directory must show corruption for the carve-out to hold. *)
+  let sidecar_corruption =
+    List.for_all (fun d -> Home.surfaced_corruption ~dir:d () > 0) dirs
+  in
   {
     r_installed;
     r_decisions;
@@ -457,10 +619,14 @@ let verify_cache ~fleet_dir ~live ~totals =
 
 let verify c ~fleet_dir =
   let campaign_damaged =
-    (* homes whose mid-campaign recoveries already surfaced damage *)
+    (* homes whose mid-campaign recoveries already surfaced possible
+       loss — damage on every replica, or undecodable records *)
     List.filter_map
       (fun (id, (r : Home.recovery_report)) ->
-        if r.Home.quarantined > 0 || r.Home.skipped_events > 0 then Some id
+        if
+          (r.Home.quarantined > 0 && r.Home.all_replicas_damaged)
+          || r.Home.skipped_events > 0
+        then Some id
         else None)
       (Supervisor.recoveries c.sup)
   in
@@ -469,7 +635,7 @@ let verify c ~fleet_dir =
       (fun (id, ex) ->
         ( id,
           ex,
-          recover_home ~fleet_dir
+          recover_home ~fleet_dir ~replicas:c.cfg.replicas
             ~campaign_damage:(List.mem id campaign_damaged)
             id ))
       c.expects
@@ -526,6 +692,7 @@ let run ?(config = default_config) ~dir () =
     {
       Supervisor.default_config with
       Supervisor.shards = config.shards;
+      replicas = config.replicas;
       heartbeat_interval_ms = config.step_ms *. 2.0;
       miss_threshold = 3;
       failure_threshold = 2;
@@ -549,6 +716,7 @@ let run ?(config = default_config) ~dir () =
   let c =
     {
       cfg = config;
+      dir;
       sup;
       rng;
       now;
@@ -568,6 +736,11 @@ let run ?(config = default_config) ~dir () =
               } ))
           synth_homes;
       stalled = Array.make config.shards 0;
+      zombies = [];
+      zombie_rejected = 0;
+      zombie_accepted = 0;
+      replicas_destroyed = 0;
+      replicas_corrupted = 0;
       fault_steps_left = 0;
       fault_windows = 0;
       ops = 0;
@@ -607,11 +780,54 @@ let run ?(config = default_config) ~dir () =
     Supervisor.tick c.sup;
     note_states c
   done;
+  (* split-brain epilogue: give every zombie one last revived write
+     attempt, then close its writers before anything rewrites files *)
+  drive_zombies c;
+  List.iter (fun z -> try Shard.close z with _ -> ()) c.zombies;
+  (* durable fingerprint of any accepted stale append: a frame stamped
+     below the running epoch maximum. Scanned before scrub and final
+     recovery rewrite (and so re-stamp) the files. *)
+  let epoch_regressions =
+    List.fold_left
+      (fun acc (id, _) ->
+        List.fold_left
+          (fun acc d ->
+            List.fold_left
+              (fun acc f -> acc + (Journal.scan f).Journal.epoch_regressions)
+              acc
+              [ Filename.concat d "snapshot"; Filename.concat d "journal" ])
+          acc
+          (Shard.home_dirs ~fleet_dir:dir ~replicas:config.replicas id))
+      0 c.expects
+  in
+  let scrub = Supervisor.scrub c.sup in
+  let scrub_second = Supervisor.scrub c.sup in
   let stats = Supervisor.stats c.sup in
   let live_cache = Option.map Vcache.dump (Supervisor.vcache_store c.sup) in
   Supervisor.close c.sup;
+  let inv name ok detail = { name; ok; detail } in
+  let replication_invariants =
+    [
+      inv "no-stale-epoch-accepted"
+        (c.zombie_accepted = 0 && epoch_regressions = 0)
+        (Printf.sprintf
+           "%d zombie append(s) fenced, %d accepted, %d epoch regression(s) on \
+            disk, %d stale replies"
+           c.zombie_rejected c.zombie_accepted epoch_regressions
+           stats.Supervisor.stale_replies);
+      inv "scrub-convergence"
+        (scrub.Scrub.unconverged = 0)
+        (Scrub.counters_text scrub);
+      inv "scrub-idempotent"
+        (scrub_second.Scrub.unconverged = 0
+        && scrub_second.Scrub.repaired_homes = 0
+        && scrub_second.Scrub.healthy = scrub_second.Scrub.homes)
+        (Scrub.counters_text scrub_second);
+    ]
+  in
   let invariants =
     verify c ~fleet_dir:dir
+    @ replication_invariants
     @ verify_cache ~fleet_dir:dir ~live:live_cache ~totals:stats.Supervisor.cache
   in
   {
@@ -626,6 +842,12 @@ let run ?(config = default_config) ~dir () =
     stalled_timeouts = c.stalled_timeouts;
     served_while_impaired = c.served_while_impaired;
     fault_windows = c.fault_windows;
+    replicas_destroyed = c.replicas_destroyed;
+    replicas_corrupted = c.replicas_corrupted;
+    zombie_rejected = c.zombie_rejected;
+    zombie_accepted = c.zombie_accepted;
+    scrub;
+    scrub_second;
     stats;
     shards_killed = List.length c.killed;
     shards_recovered = List.length c.recovered;
@@ -655,6 +877,16 @@ let render r =
     (Printf.sprintf
        "isolation: shards-killed=%d shards-recovered=%d served-while-impaired=%d\n"
        r.shards_killed r.shards_recovered r.served_while_impaired);
+  Buffer.add_string b
+    (Printf.sprintf
+       "replication: replicas=%d destroyed=%d corrupted=%d split-brains=%d \
+        zombie-rejected=%d zombie-accepted=%d stale-replies=%d\n"
+       r.config.replicas r.replicas_destroyed r.replicas_corrupted
+       r.config.split_brains r.zombie_rejected r.zombie_accepted
+       r.stats.Supervisor.stale_replies);
+  Buffer.add_string b (Printf.sprintf "scrub:   %s\n" (Scrub.counters_text r.scrub));
+  Buffer.add_string b
+    (Printf.sprintf "rescrub: %s\n" (Scrub.counters_text r.scrub_second));
   (match r.stats.Supervisor.cache with
   | None -> ()
   | Some cc ->

@@ -1,11 +1,14 @@
 (** Seeded chaos campaigns over a synthetic-home fleet: a deterministic
-    schedule of shard kills, stalls and storage-fault windows layered
-    over install/config/decision/audit traffic, verified against the
-    four fleet invariants — no silent acked loss, replay-deterministic
-    recovery, quarantine/decision survival, no false clean bill — plus,
-    when the shared verdict cache is on, the cache invariants (its
-    journal replays prefix-consistent after a kill mid cache-write and
-    no poisoned or torn entry is ever served). *)
+    schedule of shard kills, stalls, storage-fault windows, replica
+    destruction/corruption and stall-then-revive (split-brain) windows
+    layered over install/config/decision/audit traffic, verified
+    against the fleet invariants — no silent acked loss while one
+    replica survives, zero stale-epoch appends accepted, scrub
+    convergence and idempotence, replay-deterministic recovery,
+    quarantine/decision survival, no false clean bill — plus, when the
+    shared verdict cache is on, the cache invariants (its journal
+    replays prefix-consistent after a kill mid cache-write and no
+    poisoned or torn entry is ever served). *)
 
 type config = {
   seed : int;
@@ -23,6 +26,15 @@ type config = {
           verify the cache invariants (replay-deterministic reopen, no
           poisoned or torn entry served, no verdict conflicts, warm
           across the final restart) *)
+  replicas : int;  (** replica count per home (1 = unreplicated) *)
+  replica_loss_per_thousand : int;
+      (** per-step chance of destroying one non-primary replica *)
+  replica_corrupt_per_thousand : int;
+      (** per-step chance of flipping bits in one replica file *)
+  split_brains : int;
+      (** evenly spaced stall-then-revive windows: a shard is wedged
+          (killed without closing its writers), its homes rebalance to
+          a higher epoch, and the zombie keeps trying to append *)
 }
 
 val default_config : config
@@ -47,6 +59,13 @@ type report = {
       (** ops completed by healthy shards while some shard was down —
           the fault-isolation liveness signal *)
   fault_windows : int;
+  replicas_destroyed : int;
+  replicas_corrupted : int;
+  zombie_rejected : int;  (** stale-epoch appends fenced off *)
+  zombie_accepted : int;  (** stale-epoch appends that went durable — must be 0 *)
+  scrub : Homeguard_store.Scrub.counters;  (** first anti-entropy pass *)
+  scrub_second : Homeguard_store.Scrub.counters;
+      (** second pass — must find nothing to repair *)
   stats : Supervisor.stats;
   shards_killed : int;
   shards_recovered : int;

@@ -17,6 +17,10 @@ type t = {
   fleet_dir : string;
   fsync : bool;
   mode : Home.mode;
+  replicas : int;  (** replica count per home journal (>= 1) *)
+  epoch_of : string -> int option;
+      (** the ownership epoch the supervisor granted this shard for a
+          home; [None] opens unfenced *)
   configure : Homeguard_detector.Detector.config -> Homeguard_detector.Detector.config;
   broker : Broker.t;
   mutable recoveries : (string * Home.recovery_report) list;
@@ -33,29 +37,43 @@ let home_dir ~fleet_dir id =
   in
   Filename.concat fleet_dir ("h_" ^ safe)
 
+(* Replica k (k >= 1) of a home lives under the distinct replica root
+   [fleet_dir/r<k>]; the primary keeps the original layout, so an R=1
+   fleet is byte-compatible with a pre-replication one. *)
+let home_dirs ~fleet_dir ~replicas id =
+  home_dir ~fleet_dir id
+  :: List.init
+       (max 0 (replicas - 1))
+       (fun k ->
+         home_dir ~fleet_dir:(Filename.concat fleet_dir (Printf.sprintf "r%d" (k + 1))) id)
+
 let index t = t.index
 let broker t = t.broker
 let home_ids t = Broker.home_ids t.broker
 let recoveries t = t.recoveries
 
 let add_home t id =
+  let dirs = home_dirs ~fleet_dir:t.fleet_dir ~replicas:t.replicas id in
   let home, report =
     Home.open_ ~fsync:t.fsync ~mode:t.mode ~configure:t.configure
-      ~dir:(home_dir ~fleet_dir:t.fleet_dir id) ()
+      ~replicas:(List.tl dirs) ?epoch:(t.epoch_of id) ~dir:(List.hd dirs) ()
   in
   Broker.add_home t.broker ~id home;
   t.recoveries <- (id, report) :: t.recoveries;
   report
 
 let open_ ?(broker_config = Broker.default_config) ?(fsync = true)
-    ?(mode = Home.Mixed) ?(on_recovery = fun _ _ -> ()) ?vcache ~fleet_dir ~index
-    ~home_ids () =
+    ?(mode = Home.Mixed) ?(replicas = 1) ?(epoch_of = fun _ -> None)
+    ?(on_recovery = fun _ _ -> ()) ?vcache ~fleet_dir ~index ~home_ids () =
+  if replicas < 1 then invalid_arg "Shard.open_: replicas < 1";
   let t =
     {
       index;
       fleet_dir;
       fsync;
       mode;
+      replicas;
+      epoch_of;
       configure =
         (match vcache with None -> Fun.id | Some h -> Vcache.configure h);
       broker = Broker.create ~config:broker_config ();

@@ -9,12 +9,20 @@ module Broker = Homeguard_serve.Broker
 type t
 
 val home_dir : fleet_dir:string -> string -> string
-(** Where a home's journal lives, independent of which shard owns it. *)
+(** Where a home's primary journal lives, independent of which shard
+    owns it. *)
+
+val home_dirs : fleet_dir:string -> replicas:int -> string -> string list
+(** All of a home's replica directories, primary first; replica [k]
+    lives under the distinct replica root [fleet_dir/r<k>], so an R=1
+    fleet keeps the original layout. *)
 
 val open_ :
   ?broker_config:Broker.config ->
   ?fsync:bool ->
   ?mode:Home.mode ->
+  ?replicas:int ->
+  ?epoch_of:(string -> int option) ->
   ?on_recovery:(string -> Home.recovery_report -> unit) ->
   ?vcache:Homeguard_vcache.Vcache.handle ->
   fleet_dir:string ->

@@ -10,6 +10,8 @@
     deterministic and replayable. *)
 
 module Home = Homeguard_store.Home
+module Fence = Homeguard_store.Fence
+module Scrub = Homeguard_store.Scrub
 module Broker = Homeguard_serve.Broker
 module Deadline = Homeguard_serve.Deadline
 module Shed = Homeguard_serve.Shed
@@ -18,6 +20,7 @@ module Vcache = Homeguard_vcache.Vcache
 
 type config = {
   shards : int;
+  replicas : int;  (** journal replicas per home (>= 1) *)
   heartbeat_interval_ms : float;
   miss_threshold : int;  (** whole missed intervals before a restart *)
   failure_threshold : int;  (** consecutive failures tripping the breaker *)
@@ -39,6 +42,7 @@ type config = {
 let default_config =
   {
     shards = 4;
+    replicas = 2;
     heartbeat_interval_ms = 1_000.0;
     miss_threshold = 3;
     failure_threshold = 3;
@@ -80,10 +84,15 @@ type t = {
   slots : slot array;
   ring : (int * int) array;  (** (point, shard) sorted by point *)
   assignment : (string, int) Hashtbl.t;
+  epochs : (string, int) Hashtbl.t;
+      (** last ownership epoch granted per home; every (re)open of a
+          home gets the next one, so a revived stale owner is fenced *)
   cache_store : Vcache.store option;
   rng : Random.State.t;
   mutable kills : int;  (** crashes observed (injected or organic) *)
   mutable rebalances : int;  (** homes moved off dead shards *)
+  mutable stale_replies : int;
+      (** requests refused because the routed shard held a stale epoch *)
   mutable recoveries : (string * Home.recovery_report) list;
       (** every journal recovery any shard performed, most recent first *)
 }
@@ -138,18 +147,29 @@ let jittered t prev =
   let u = float_of_int (Random.State.int t.rng 1024) /. 1023.0 in
   base +. (u *. (hi -. base))
 
+(* A fresh, strictly larger ownership epoch for [id]: granted on every
+   (re)open, so whichever shard last opened the home outranks any
+   revived previous owner at the fence. *)
+let next_epoch t id =
+  let n = 1 + Option.value ~default:0 (Hashtbl.find_opt t.epochs id) in
+  Hashtbl.replace t.epochs id n;
+  n
+
 let open_shard t slot =
   let broker_config = { t.config.broker with Broker.clock = t.config.clock } in
   (* record each home's recovery as it happens — a later home crashing
      this open must not discard the evidence (the journal repair it
      performed is already durable) *)
   Shard.open_ ~broker_config ~fsync:t.config.fsync ~mode:t.config.mode
+    ~replicas:t.config.replicas
+    ~epoch_of:(fun id -> Some (next_epoch t id))
     ~on_recovery:(fun id report -> t.recoveries <- (id, report) :: t.recoveries)
     ?vcache:slot.cache ~fleet_dir:t.dir ~index:slot.index ~home_ids:slot.homes ()
 
 let create ?(config = default_config) ~dir ~homes () =
   if config.shards < 1 then invalid_arg "Supervisor.create: shards < 1";
   if config.restart_budget < 0 then invalid_arg "Supervisor.create: restart_budget < 0";
+  if config.replicas < 1 then invalid_arg "Supervisor.create: replicas < 1";
   if not (Sys.file_exists dir) then Unix.mkdir dir 0o755;
   let cache_store =
     if config.vcache then
@@ -187,10 +207,12 @@ let create ?(config = default_config) ~dir ~homes () =
       slots;
       ring = make_ring config.shards;
       assignment = Hashtbl.create (List.length homes);
+      epochs = Hashtbl.create (List.length homes);
       cache_store;
       rng = Random.State.make [| 0xf1ee7; config.seed |];
       kills = 0;
       rebalances = 0;
+      stale_replies = 0;
       recoveries = [];
     }
   in
@@ -223,7 +245,11 @@ let rec mark_dead t slot =
   List.iter
     (fun id ->
       match owner t ~alive:(fun s -> slot_alive t.slots.(s)) id with
-      | None -> Hashtbl.remove t.assignment id  (* whole fleet is dead *)
+      | None ->
+        (* whole fleet is dead: keep the home on its (dead) owner so
+           routing still answers Unavailable and {!scrub} still covers
+           it offline, instead of forgetting the home exists *)
+        slot.homes <- slot.homes @ [ id ]
       | Some s ->
         let dst = t.slots.(s) in
         dst.homes <- dst.homes @ [ id ];
@@ -294,22 +320,16 @@ type 'a reply =
   | Done of { shard : int; value : 'a }
   | Unavailable of { shard : int; retry_after_ms : int; reason : string }
       (** breaker open, restart pending, or shard dead *)
-  | Crashed of { shard : int; error : string }
-      (** the request crashed its shard; a restart is scheduled *)
+  | Crashed of { shard : int; retry_after_ms : int; error : string }
+      (** the request crashed its shard; a restart is scheduled and the
+          hint points at it, same contract as [Unavailable] *)
 
 let to_outcome = function
   | Done { value; _ } -> Shed.Completed value
-  | Unavailable { shard; retry_after_ms; _ } ->
+  | Unavailable { shard; retry_after_ms; _ } | Crashed { shard; retry_after_ms; _ } ->
     Shed.Degraded
       {
         reason = Shed.Shard_unavailable { shard = shard_label shard; retry_after_ms };
-        partial = None;
-        shard = Some (shard_label shard);
-      }
-  | Crashed { shard; _ } ->
-    Shed.Degraded
-      {
-        reason = Shed.Shard_unavailable { shard = shard_label shard; retry_after_ms = 0 };
         partial = None;
         shard = Some (shard_label shard);
       }
@@ -354,7 +374,23 @@ let run t ~home f =
         | exception Fault.Crashed msg ->
           Breaker.note_failure slot.breaker;
           crash t slot ~error:msg;
-          Crashed { shard = idx; error = msg })))
+          let retry_after_ms =
+            match slot.state with
+            | Restarting { until; _ } -> hint (until -. t.config.clock ())
+            | _ -> hint 1.0
+          in
+          Crashed { shard = idx; retry_after_ms; error = msg }
+        | exception Fence.Stale { held; current; _ } ->
+          (* the routed shard holds an out-of-date ownership epoch —
+             nothing reached the disk; refuse honestly, don't crash *)
+          t.stale_replies <- t.stale_replies + 1;
+          Unavailable
+            {
+              shard = idx;
+              retry_after_ms = hint 1.0;
+              reason =
+                Printf.sprintf "stale epoch (held %d < current %d)" held current;
+            })))
 
 let install t ~home ?deadline_ms ~name ~source () =
   run t ~home (fun sh ->
@@ -377,7 +413,13 @@ let drain t ~shard:idx =
     | exception Fault.Crashed msg ->
       Breaker.note_failure t.slots.(idx).breaker;
       crash t t.slots.(idx) ~error:msg;
-      Crashed { shard = idx; error = msg })
+      let retry_after_ms =
+        match t.slots.(idx).state with
+        | Restarting { until; _ } ->
+          int_of_float (Float.max 1.0 (until -. t.config.clock ()))
+        | _ -> 1
+      in
+      Crashed { shard = idx; retry_after_ms; error = msg })
   | Restarting { until; _ } ->
     Unavailable
       {
@@ -400,6 +442,54 @@ let kill t idx =
     crash t slot ~error:"injected kill";
     true
   | Restarting _ | Dead -> false
+
+(** Wedge a running shard: the supervisor gives up on it (schedules a
+    replacement restart exactly as {!kill} does) but the worker itself
+    is {e not} closed — the returned handle still holds every journal
+    writer it had, modelling a stalled process that wakes up after its
+    homes were reassigned. Everything the zombie tries to append is
+    fenced: the replacement opens granted fresh epochs, so the zombie's
+    writes raise {!Fence.Stale} instead of reaching the disk. Chaos'
+    split-brain window drives this handle directly. *)
+let wedge t idx =
+  let slot = t.slots.(idx) in
+  match slot.state with
+  | Running sh ->
+    Breaker.note_failure slot.breaker;
+    t.kills <- t.kills + 1;
+    slot.last_error <- "wedged (stall-then-revive)";
+    schedule_restart t slot ~prev:t.config.backoff_base_ms;
+    Some sh
+  | Restarting _ | Dead -> None
+
+(** Anti-entropy pass over every home in the fleet: homes on a running
+    shard scrub live (writers parked and reopened around the repair);
+    homes whose owner is down or dead scrub offline. Returns the summed
+    per-kind counters; a second pass over an undamaged fleet reports
+    all-healthy. *)
+let scrub t =
+  List.fold_left
+    (fun acc id ->
+      let report =
+        match Hashtbl.find_opt t.assignment id with
+        | Some idx -> (
+          match t.slots.(idx).state with
+          | Running sh -> (
+            match Broker.home_opt (Shard.broker sh) id with
+            | Some home -> Home.scrub home
+            | None ->
+              Scrub.scrub_home ~fsync:t.config.fsync
+                (Shard.home_dirs ~fleet_dir:t.dir ~replicas:t.config.replicas id))
+          | Restarting _ | Dead ->
+            Scrub.scrub_home ~fsync:t.config.fsync
+              (Shard.home_dirs ~fleet_dir:t.dir ~replicas:t.config.replicas id))
+        | None ->
+          Scrub.scrub_home ~fsync:t.config.fsync
+            (Shard.home_dirs ~fleet_dir:t.dir ~replicas:t.config.replicas id)
+      in
+      Scrub.add acc report)
+    Scrub.zero
+    (List.sort compare (Hashtbl.fold (fun id _ acc -> id :: acc) t.assignment []))
 
 (** Heartbeat from shard [idx]; chaos stalls a shard by advancing the
     clock while withholding its beat. *)
@@ -435,6 +525,10 @@ type stats = {
   rebalanced_homes : int;
   breaker_trips : int;
   recoveries : int;
+  stale_rejections : int;
+      (** fenced appends rejected process-wide ({!Fence.rejections}) *)
+  stale_replies : int;
+      (** requests refused by {!run} because the shard's epoch was stale *)
   cache_entries : int;  (** live entries in the shared verdict cache *)
   cache : Vcache.counters option;  (** summed across all shard handles *)
 }
@@ -458,6 +552,8 @@ let stats t =
     rebalanced_homes = t.rebalances;
     breaker_trips = trips;
     recoveries = List.length t.recoveries;
+    stale_rejections = Fence.rejections ();
+    stale_replies = t.stale_replies;
     cache_entries =
       (match t.cache_store with None -> 0 | Some st -> Vcache.entries st);
     cache = Option.map Vcache.total_counters t.cache_store;

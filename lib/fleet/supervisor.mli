@@ -12,6 +12,9 @@ module Vcache = Homeguard_vcache.Vcache
 
 type config = {
   shards : int;
+  replicas : int;
+      (** journal replicas per home (>= 1); replica [k] lives under the
+          distinct replica root [dir/r<k>] *)
   heartbeat_interval_ms : float;
   miss_threshold : int;  (** whole missed intervals before a restart *)
   failure_threshold : int;  (** consecutive failures tripping the breaker *)
@@ -31,10 +34,10 @@ type config = {
 }
 
 val default_config : config
-(** 4 shards, 1000 ms heartbeats (restart after 3 missed), breaker
-    trips after 3 failures / probes after 1000 ms / closes after 2
-    probe successes, 5 restart attempts per shard, 250–8000 ms
-    decorrelated-jitter backoff, fsync on, wall clock. *)
+(** 4 shards, 2 replicas per home journal, 1000 ms heartbeats (restart
+    after 3 missed), breaker trips after 3 failures / probes after 1000
+    ms / closes after 2 probe successes, 5 restart attempts per shard,
+    250–8000 ms decorrelated-jitter backoff, fsync on, wall clock. *)
 
 type t
 
@@ -56,10 +59,12 @@ val tick : t -> unit
 type 'a reply =
   | Done of { shard : int; value : 'a }
   | Unavailable of { shard : int; retry_after_ms : int; reason : string }
-      (** breaker open, restart pending, or shard dead; the hint is the
-          max of the breaker's shed window and the restart schedule *)
-  | Crashed of { shard : int; error : string }
-      (** the request crashed its shard; a restart is scheduled *)
+      (** breaker open, restart pending, shard dead, or the shard's
+          ownership epoch went stale; the hint is the max of the
+          breaker's shed window and the restart schedule *)
+  | Crashed of { shard : int; retry_after_ms : int; error : string }
+      (** the request crashed its shard; a restart is scheduled and the
+          hint points at it, same contract as [Unavailable] *)
 
 val to_outcome : 'a reply -> 'a Shed.outcome
 (** [Unavailable]/[Crashed] become [Degraded] with
@@ -89,6 +94,21 @@ val drain : t -> shard:int -> Broker.audit_outcome list reply
 val kill : t -> int -> bool
 (** Inject a crash; [false] when the shard is not running. *)
 
+val wedge : t -> int -> Shard.t option
+(** Wedge a running shard: schedule its replacement exactly as {!kill}
+    does, but do {e not} close the worker — the returned handle keeps
+    its journal writers open, modelling a stalled process that revives
+    after its homes were reassigned. Every append the zombie attempts
+    raises {!Homeguard_store.Fence.Stale}; chaos' split-brain window
+    drives this handle directly. [None] when the shard is not
+    running. *)
+
+val scrub : t -> Homeguard_store.Scrub.counters
+(** Anti-entropy pass over every home: live homes scrub in place
+    (writers parked around the repair), homes on down/dead shards scrub
+    offline. A second pass over an undamaged fleet reports
+    all-healthy. *)
+
 val beat : t -> int -> unit
 (** Heartbeat from one shard (requests beat implicitly on success).
     Chaos stalls a shard by advancing the clock while withholding its
@@ -115,6 +135,12 @@ type stats = {
   rebalanced_homes : int;
   breaker_trips : int;
   recoveries : int;
+  stale_rejections : int;
+      (** fenced appends rejected process-wide — the durable trace of a
+          survived split-brain window, not an error *)
+  stale_replies : int;
+      (** requests {!run} refused because the routed shard's epoch was
+          stale *)
   cache_entries : int;  (** live entries in the shared verdict cache *)
   cache : Vcache.counters option;  (** summed across all shard handles *)
 }

@@ -26,6 +26,7 @@ module Threat = Homeguard_detector.Threat
 module Extract = Homeguard_symexec.Extract
 module Install_flow = Homeguard_frontend.Install_flow
 module Home = Homeguard_store.Home
+module Fence = Homeguard_store.Fence
 
 type config = {
   max_queue : int;  (** per-home admission bound (queued + running) *)
@@ -119,9 +120,15 @@ let pending_jobs t = List.length t.queue
    journals the quarantine so it survives restarts. *)
 let note_failure e ~app ~reason =
   match Quarantine.note_failure e.quarantine ~app ~reason with
-  | `Quarantined why ->
-    Home.quarantine e.home ~app ~reason:why;
-    true
+  | `Quarantined why -> (
+    match Home.quarantine e.home ~app ~reason:why with
+    | () -> true
+    | exception Fence.Stale _ ->
+      (* this broker's home handle holds a stale ownership epoch: the
+         journal refused the write, and the home's rightful owner will
+         do its own failure accounting — a fenced-off shard must not
+         poison the app *)
+      false)
   | `Counted _ -> false
 
 (** Attribute an audit's crashes — and, when the run was healthy, its

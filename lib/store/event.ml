@@ -29,6 +29,9 @@ type t =
       (** the app's extraction/audit failed repeatedly; exclude it from
           batch audits until explicitly cleared *)
   | Unquarantine of string
+  | Epoch of int
+      (** ownership handover: the supervisor granted this epoch to the
+          home's new owner *)
 
 exception Decode_error of string
 
@@ -76,6 +79,7 @@ let to_json = function
           Json.Obj [ ("app", Json.String app); ("reason", Json.String reason) ] );
       ]
   | Unquarantine app -> Json.Obj [ ("unquarantine", Json.String app) ]
+  | Epoch n -> Json.Obj [ ("epoch", Json.Int n) ]
 
 let of_json = function
   | Json.Obj [ ("install", app) ] -> Install (Rule_json.smartapp_of_json app)
@@ -92,6 +96,7 @@ let of_json = function
       ] ->
     Quarantine { app; reason }
   | Json.Obj [ ("unquarantine", Json.String app) ] -> Unquarantine app
+  | Json.Obj [ ("epoch", Json.Int n) ] -> Epoch n
   | j -> fail "bad event: %s" (Json.to_string j)
 
 let to_string e = Json.to_string (to_json e)
@@ -111,3 +116,4 @@ let describe = function
   | Watermark n -> Printf.sprintf "watermark %d" n
   | Quarantine { app; reason } -> Printf.sprintf "quarantine %s (%s)" app reason
   | Unquarantine app -> "unquarantine " ^ app
+  | Epoch n -> Printf.sprintf "epoch %d" n

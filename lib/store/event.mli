@@ -14,6 +14,10 @@ type t =
       (** poison-app quarantine: exclude the app from batch audits until
           explicitly cleared (survives restarts through replay) *)
   | Unquarantine of string
+  | Epoch of int
+      (** ownership handover: the supervisor granted this epoch to the
+          home's new owner; replay keeps the highest seen as the
+          fencing floor *)
 
 exception Decode_error of string
 

@@ -39,12 +39,14 @@ module Mediator = Homeguard_handling.Mediator
 type mode = Mixed | Online | Offline
 
 type t = {
-  dir : string;
-  snap_path : string;
-  journal_path : string;
+  dir : string;  (** primary replica directory (also the fence key) *)
+  dirs : string list;  (** all replica directories, primary first *)
+  snap_paths : string list;
+  journal_paths : string list;
   fsync : bool;
   mode : mode;
-  mutable journal : Journal.t option;
+  epoch : int;  (** effective ownership epoch stamped on every append *)
+  mutable journal : Rjournal.t option;
   recorder : Recorder.t;
   flow : Install_flow.t;
   dconfig : Detector.config;
@@ -52,6 +54,7 @@ type t = {
       (** app -> (seq, last raw URI), oldest-first; compaction's source *)
   mutable ingest : Ingest.t option;
   mutable skipped : int;  (** replayed records that would not decode *)
+  mutable replayed_epoch : int;  (** highest [Event.Epoch] seen in replay *)
 }
 
 type recovery_report = {
@@ -63,6 +66,14 @@ type recovery_report = {
   changed_apps : string list;
       (** apps installed at or after the first damaged record — the
           incremental re-audit set *)
+  repaired_replicas : int;
+      (** replica files rewritten or recreated by merged recovery *)
+  healed_records : int;
+      (** records restored to replicas that had lost them *)
+  all_replicas_damaged : bool;
+      (** some file's every replica was damaged or missing — only then
+          can this recovery have lost acknowledged records *)
+  epoch : int;  (** the effective ownership epoch granted to this open *)
 }
 
 let detector_config mode recorder =
@@ -136,10 +147,11 @@ let apply_event t = function
   | Event.Watermark n -> Ingest.force_last (ingest t) n
   | Event.Quarantine { app; reason } -> Install_flow.quarantine t.flow app ~reason
   | Event.Unquarantine app -> ignore (Install_flow.unquarantine t.flow app)
+  | Event.Epoch n -> if n > t.replayed_epoch then t.replayed_epoch <- n
 
 (* -- journaled operations ---------------------------------------------------- *)
 
-let log_event t ev = Journal.append (journal t) (Event.to_string ev)
+let log_event t ev = Rjournal.append (journal t) (Event.to_string ev)
 
 (** Install-time proposal. [?budget] replaces the per-solve budget for
     this proposal only (a deadline-derived {!Budget.of_deadline} spec;
@@ -270,23 +282,35 @@ let installs_from records idx =
          | _ -> None
          | exception Event.Decode_error _ -> None)
 
-let open_ ?(fsync = true) ?(mode = Mixed) ?(window = 64) ?(configure = Fun.id) ~dir
-    () =
-  mkdirs dir;
-  let snap_path = Filename.concat dir "snapshot" in
-  let journal_path = Filename.concat dir "journal" in
-  let rs = Journal.recover ~fsync snap_path in
-  let rj = Journal.recover ~fsync journal_path in
+let open_ ?(fsync = true) ?(mode = Mixed) ?(window = 64) ?(configure = Fun.id)
+    ?(replicas = []) ?epoch ~dir () =
+  let dirs = dir :: replicas in
+  List.iter mkdirs dirs;
+  let snap_paths = List.map (fun d -> Filename.concat d "snapshot") dirs in
+  let journal_paths = List.map (fun d -> Filename.concat d "journal") dirs in
+  let rs = Rjournal.recover ~fsync snap_paths in
+  let rj = Rjournal.recover ~fsync journal_paths in
+  (* the effective ownership epoch: a fenced open must exceed both the
+     on-disk floor (frames survive restarts) and any earlier in-process
+     grant; an unfenced open adopts the floor, so a later fenced owner
+     still outranks it *)
+  let floor = max rs.Rjournal.max_epoch rj.Rjournal.max_epoch in
+  let eff =
+    match epoch with None -> floor | Some e -> if e > floor then e else floor + 1
+  in
+  ignore (Fence.acquire dir eff);
   let recorder = Recorder.create () in
   let dconfig = configure (detector_config mode recorder) in
   let flow = Install_flow.create ~detector_config:dconfig () in
   let t =
     {
       dir;
-      snap_path;
-      journal_path;
+      dirs;
+      snap_paths;
+      journal_paths;
       fsync;
       mode;
+      epoch = eff;
       journal = None;
       recorder;
       flow;
@@ -294,6 +318,7 @@ let open_ ?(fsync = true) ?(mode = Mixed) ?(window = 64) ?(configure = Fun.id) ~
       configs = [];
       ingest = None;
       skipped = 0;
+      replayed_epoch = 0;
     }
   in
   t.ingest <-
@@ -301,28 +326,53 @@ let open_ ?(fsync = true) ?(mode = Mixed) ?(window = 64) ?(configure = Fun.id) ~
       (Ingest.create ~window (fun ~seq uri ->
            log_event t (Event.Config { seq = Some seq; uri });
            apply_config t ~seq:(Some seq) uri));
-  replay t rs.Journal.recovered;
-  replay t rj.Journal.recovered;
-  t.journal <- Some (Journal.open_append ~fsync journal_path);
+  replay t rs.Rjournal.recovered;
+  replay t rj.Rjournal.recovered;
+  t.journal <-
+    Some (Rjournal.open_append ~fsync ~epoch:eff ~fence_key:dir journal_paths);
+  (* a fenced handover is journaled: the grant survives even a journal
+     whose only other frames predate the new epoch *)
+  if epoch <> None && eff > floor then begin
+    log_event t (Event.Epoch eff);
+    apply_event t (Event.Epoch eff)
+  end;
   let changed =
-    match (rs.Journal.damage_index, rj.Journal.damage_index) with
+    (* a damaged replica whose records all survived on a sibling loses
+       nothing — only when every replica surfaced damage can the merged
+       stream itself be incomplete, so only then is anything suspect
+       (for a single replica this is exactly the old "any damage" rule) *)
+    let suspect (r : Rjournal.recovery) =
+      if r.Rjournal.all_replicas_damaged then r.Rjournal.damage_index else None
+    in
+    match (suspect rs, suspect rj) with
     | Some _, _ ->
       (* the snapshot itself was damaged: everything is suspect *)
       List.map (fun (a : Rule.smartapp) -> a.Rule.name) (installed_apps t)
-    | None, Some idx -> installs_from rj.Journal.recovered idx
+    | None, Some idx -> installs_from rj.Rjournal.recovered idx
     | None, None -> []
   in
   let changed =
     List.sort_uniq compare (List.filter (fun n -> find_installed t n <> None) changed)
   in
+  let repaired =
+    List.length
+      (List.filter
+         (fun (r : Rjournal.replica_report) -> r.Rjournal.repaired)
+         (rs.Rjournal.replicas @ rj.Rjournal.replicas))
+  in
   ( t,
     {
-      snapshot_records = List.length rs.Journal.recovered;
-      journal_records = List.length rj.Journal.recovered;
+      snapshot_records = List.length rs.Rjournal.recovered;
+      journal_records = List.length rj.Rjournal.recovered;
       skipped_events = t.skipped;
-      torn_bytes = rs.Journal.torn_bytes + rj.Journal.torn_bytes;
-      quarantined = rs.Journal.quarantined + rj.Journal.quarantined;
+      torn_bytes = rs.Rjournal.torn_bytes + rj.Rjournal.torn_bytes;
+      quarantined = rs.Rjournal.quarantined + rj.Rjournal.quarantined;
       changed_apps = changed;
+      repaired_replicas = repaired;
+      healed_records = rs.Rjournal.healed + rj.Rjournal.healed;
+      all_replicas_damaged =
+        rs.Rjournal.all_replicas_damaged || rj.Rjournal.all_replicas_damaged;
+      epoch = eff;
     } )
 
 let close t =
@@ -330,7 +380,7 @@ let close t =
   | None -> ()
   | Some j ->
     t.journal <- None;
-    Journal.close j
+    Rjournal.close j
 
 (* -- compaction -------------------------------------------------------------- *)
 
@@ -340,9 +390,10 @@ let close t =
     the ingestion watermark — then truncate the journal. Both file
     replacements are atomic renames; a crash between them leaves a
     journal whose events replay idempotently over the new snapshot. *)
-let compact t =
+let compact (t : t) =
   let events =
-    List.map (fun (_, (seq, uri)) -> Event.Config { seq; uri }) t.configs
+    (if t.epoch > 0 then [ Event.Epoch t.epoch ] else [])
+    @ List.map (fun (_, (seq, uri)) -> Event.Config { seq; uri }) t.configs
     @ List.map (fun a -> Event.Install a) (installed_apps t)
     @ List.map
         (fun (threat_id, decision) -> Event.Decision { threat_id; decision })
@@ -353,14 +404,36 @@ let compact t =
     @ [ Event.Watermark (Ingest.ack (ingest t)) ]
   in
   close t;
-  Journal.write_atomic ~fsync:t.fsync t.snap_path (List.map Event.to_string events);
-  Journal.write_atomic ~fsync:t.fsync t.journal_path [];
-  t.journal <- Some (Journal.open_append ~fsync:t.fsync t.journal_path)
+  Rjournal.write_atomic_all ~fsync:t.fsync ~epoch:t.epoch t.snap_paths
+    (List.map Event.to_string events);
+  Rjournal.write_atomic_all ~fsync:t.fsync ~epoch:t.epoch t.journal_paths [];
+  t.journal <-
+    Some
+      (Rjournal.open_append ~fsync:t.fsync ~epoch:t.epoch ~fence_key:t.dir
+         t.journal_paths)
+
+(* -- anti-entropy ------------------------------------------------------------- *)
+
+(** Scrub this (live) home's replica set: park the journal writers, run
+    the offline {!Scrub.scrub_home} read-repair pass, reopen. Safe
+    because the in-memory state is exactly the replay of the appends the
+    writers made, every one of which survives on the healthiest replica
+    the merge starts from. *)
+let scrub (t : t) =
+  close t;
+  let report = Scrub.scrub_home ~fsync:t.fsync t.dirs in
+  t.journal <-
+    Some
+      (Rjournal.open_append ~fsync:t.fsync ~epoch:t.epoch ~fence_key:t.dir
+         t.journal_paths);
+  report
 
 let file_size path = if Sys.file_exists path then (Unix.stat path).Unix.st_size else 0
-let journal_size t = file_size t.journal_path
-let snapshot_size t = file_size t.snap_path
+let journal_size t = file_size (List.hd t.journal_paths)
+let snapshot_size t = file_size (List.hd t.snap_paths)
 let dir t = t.dir
+let replica_dirs t = t.dirs
+let epoch (t : t) = t.epoch
 
 (* -- canonical durable state -------------------------------------------------- *)
 
@@ -415,7 +488,7 @@ let state_digest t = Digest.to_hex (Digest.string (state_text t))
     truncating it can never lose acknowledged state, while a corrupt
     mid-journal record can. Survives any number of restarts, unlike the
     in-memory recovery reports. *)
-let surfaced_corruption ~dir =
+let surfaced_corruption ?(replicas = []) ~dir () =
   let contains ~sub s =
     let n = String.length s and m = String.length sub in
     let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
@@ -442,7 +515,12 @@ let surfaced_corruption ~dir =
            with End_of_file -> ());
           !n)
   in
-  count (Filename.concat dir "snapshot") + count (Filename.concat dir "journal")
+  List.fold_left
+    (fun acc d ->
+      acc
+      + count (Filename.concat d "snapshot")
+      + count (Filename.concat d "journal"))
+    0 (dir :: replicas)
 
 (* -- re-audit ---------------------------------------------------------------- *)
 

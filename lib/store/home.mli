@@ -30,6 +30,14 @@ type recovery_report = {
   changed_apps : string list;
       (** apps installed at or after the first damaged record — the
           incremental re-audit set for {!reaudit_changed} *)
+  repaired_replicas : int;
+      (** replica files rewritten or recreated by merged recovery *)
+  healed_records : int;
+      (** records restored to replicas that had lost them *)
+  all_replicas_damaged : bool;
+      (** some file's every replica was damaged or missing — only then
+          can this recovery have lost acknowledged records *)
+  epoch : int;  (** the effective ownership epoch granted to this open *)
 }
 
 val open_ :
@@ -37,6 +45,8 @@ val open_ :
   ?mode:mode ->
   ?window:int ->
   ?configure:(Detector.config -> Detector.config) ->
+  ?replicas:string list ->
+  ?epoch:int ->
   dir:string ->
   unit ->
   t * recovery_report
@@ -44,7 +54,17 @@ val open_ :
     [dir/snapshot] and [dir/journal] and replaying both. [window] bounds
     the out-of-order buffer for sequenced deliveries. [configure]
     post-processes the detector configuration (e.g. to attach a shared
-    verdict cache) before any audit uses it. *)
+    verdict cache) before any audit uses it.
+
+    [replicas] adds further replica directories: recovery merges every
+    record surviving on at least one replica (read-repair), and every
+    append goes to all replicas in order. [epoch] makes this a {e
+    fenced} open: the effective epoch is the larger of [epoch] and one
+    past the on-disk floor, it is registered with {!Fence} under [dir],
+    stamped into every frame, and journaled as an [Epoch] event — after
+    which any writer still holding an older epoch for this home gets
+    {!Fence.Stale} instead of a durable append. Without [epoch] the home
+    adopts the floor found on disk (standalone CLI use). *)
 
 val close : t -> unit
 
@@ -133,6 +153,12 @@ val journal_size : t -> int
 val snapshot_size : t -> int
 val dir : t -> string
 
+val replica_dirs : t -> string list
+(** All replica directories, primary first. *)
+
+val epoch : t -> int
+(** The effective ownership epoch this open stamps on appends. *)
+
 val state_text : t -> string
 (** Canonical rendering of every piece of durable state — installed rule
     files, kept threats, decisions, configs, quarantine, ingestion
@@ -144,12 +170,12 @@ val state_text : t -> string
 val state_digest : t -> string
 (** Hex digest of {!state_text}. *)
 
-val surfaced_corruption : dir:string -> int
+val surfaced_corruption : ?replicas:string list -> dir:string -> unit -> int
 (** Count of [kind=corrupt] regions in the quarantine sidecars under
-    [dir] — durable, restart-proof evidence that a past recovery
-    quarantined corrupted records (i.e. possibly acknowledged state was
-    lost {e and surfaced}). Torn-tail regions don't count: a torn
-    append raises before it is acknowledged. *)
+    [dir] (and any [replicas]) — durable, restart-proof evidence that a
+    past recovery quarantined corrupted records (i.e. possibly
+    acknowledged state was lost {e and surfaced}). Torn-tail regions
+    don't count: a torn append raises before it is acknowledged. *)
 
 (** {2 Maintenance} *)
 
@@ -157,7 +183,12 @@ val compact : t -> unit
 (** Fold the history into a minimal snapshot (configs, installed apps,
     explicit decisions, ingestion watermark) and truncate the journal;
     both replacements are atomic renames and a crash between them is
-    absorbed by idempotent replay. *)
+    absorbed by idempotent replay. All replicas are rewritten. *)
+
+val scrub : t -> Scrub.home_report
+(** Anti-entropy pass over this (live) home's replica set: park the
+    journal writers, CRC-scan and read-repair every replica via
+    {!Scrub.scrub_home}, reopen. A healthy home is untouched. *)
 
 (** {2 Re-audit} *)
 

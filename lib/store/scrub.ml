@@ -1,0 +1,152 @@
+(** Anti-entropy scrub over a home's replica set.
+
+    A scrub pass CRC-scans the snapshot and journal of every replica
+    directory, compares the replicas' {e record-stream digests} (replay
+    is deterministic — the replay-determinism property suite pins this
+    — so byte-identical record streams imply byte-identical
+    {!Home.state_digest}s without paying a detection pass per replica),
+    and when anything is missing, damaged or diverged runs the merged
+    {!Rjournal} recovery as read-repair: damage is quarantined into the
+    damaged replica's own sidecar and every replica is rewritten with
+    the merged stream. A healthy home is untouched — a second pass over
+    a repaired fleet reports all-healthy and rewrites nothing. *)
+
+let files_of_dir dir = [ Filename.concat dir "snapshot"; Filename.concat dir "journal" ]
+
+(** Record-stream digest of one replica directory: the digest of every
+    valid snapshot record then every valid journal record, in order.
+    Missing files digest as empty streams, so a destroyed replica
+    simply disagrees with its healthy siblings. *)
+let dir_digest dir =
+  let b = Buffer.create 1024 in
+  List.iter
+    (fun path ->
+      let sc = Journal.scan path in
+      List.iter
+        (fun r ->
+          Buffer.add_string b (string_of_int (String.length r));
+          Buffer.add_char b ':';
+          Buffer.add_string b r)
+        sc.Journal.records;
+      Buffer.add_char b '|')
+    (files_of_dir dir);
+  Digest.to_hex (Digest.string (Buffer.contents b))
+
+type home_report = {
+  dirs : string list;
+  healthy : bool;  (** nothing to do: present, undamaged, converged *)
+  converged : bool;  (** all replicas share one digest after the pass *)
+  digest : string;  (** the (post-repair) record-stream digest *)
+  repaired_replicas : int;  (** replica files rewritten by read-repair *)
+  recreated_replicas : int;  (** replica files that were missing entirely *)
+  frames_quarantined : int;
+  torn_bytes : int;
+  records_healed : int;  (** records restored to replicas that lost them *)
+  epoch : int;  (** fencing floor across the replica set *)
+}
+
+(** Scrub one home given its replica directories. Safe only when no
+    live writer holds the journals open (a live {!Home} scrubs itself
+    via {!Home.scrub}, which parks its writers around this). *)
+let scrub_home ?(fsync = true) dirs =
+  if dirs = [] then invalid_arg "Scrub.scrub_home: no replica dirs";
+  let digests = List.map dir_digest dirs in
+  let scans =
+    List.concat_map (fun d -> List.map Journal.scan (files_of_dir d)) dirs
+  in
+  let damage = List.exists (fun sc -> sc.Journal.damage <> []) scans in
+  let converged_before =
+    match digests with [] -> true | d :: ds -> List.for_all (( = ) d) ds
+  in
+  (* converged + undamaged means read-repair would rewrite nothing: a
+     replica missing a file that holds records anywhere diverges the
+     digests, and a file absent everywhere (e.g. no snapshot before the
+     first compaction) needs no repair — counting it "missing" would
+     leave such homes permanently unhealthy and break idempotence *)
+  let healthy = converged_before && not damage in
+  if healthy then
+    {
+      dirs;
+      healthy = true;
+      converged = true;
+      digest = (match digests with d :: _ -> d | [] -> "");
+      repaired_replicas = 0;
+      recreated_replicas = 0;
+      frames_quarantined = 0;
+      torn_bytes = 0;
+      records_healed = 0;
+      epoch =
+        List.fold_left (fun a (sc : Journal.scan) -> max a sc.Journal.max_epoch) 0 scans;
+    }
+  else begin
+    let snap = Rjournal.recover ~fsync (List.map (fun d -> Filename.concat d "snapshot") dirs) in
+    let jour = Rjournal.recover ~fsync (List.map (fun d -> Filename.concat d "journal") dirs) in
+    let count f = List.length (List.filter f snap.Rjournal.replicas)
+                  + List.length (List.filter f jour.Rjournal.replicas) in
+    let digests = List.map dir_digest dirs in
+    let converged =
+      match digests with [] -> true | d :: ds -> List.for_all (( = ) d) ds
+    in
+    {
+      dirs;
+      healthy = false;
+      converged;
+      digest = (match digests with d :: _ -> d | [] -> "");
+      repaired_replicas = count (fun r -> r.Rjournal.repaired && r.Rjournal.present);
+      recreated_replicas = count (fun r -> r.Rjournal.repaired && not r.Rjournal.present);
+      frames_quarantined = snap.Rjournal.quarantined + jour.Rjournal.quarantined;
+      torn_bytes = snap.Rjournal.torn_bytes + jour.Rjournal.torn_bytes;
+      records_healed = snap.Rjournal.healed + jour.Rjournal.healed;
+      epoch = max snap.Rjournal.max_epoch jour.Rjournal.max_epoch;
+    }
+  end
+
+(* -- fleet-level counters ------------------------------------------------------ *)
+
+type counters = {
+  homes : int;
+  healthy : int;
+  repaired_homes : int;  (** homes where read-repair rewrote anything *)
+  repaired_replicas : int;
+  recreated_replicas : int;
+  frames_quarantined : int;
+  torn_bytes : int;
+  records_healed : int;
+  unconverged : int;  (** homes still diverged after repair — must be 0 *)
+}
+
+let zero =
+  {
+    homes = 0;
+    healthy = 0;
+    repaired_homes = 0;
+    repaired_replicas = 0;
+    recreated_replicas = 0;
+    frames_quarantined = 0;
+    torn_bytes = 0;
+    records_healed = 0;
+    unconverged = 0;
+  }
+
+let add c (r : home_report) =
+  {
+    homes = c.homes + 1;
+    healthy = (c.healthy + if r.healthy then 1 else 0);
+    repaired_homes =
+      (c.repaired_homes
+      + if r.repaired_replicas > 0 || r.recreated_replicas > 0 then 1 else 0);
+    repaired_replicas = c.repaired_replicas + r.repaired_replicas;
+    recreated_replicas = c.recreated_replicas + r.recreated_replicas;
+    frames_quarantined = c.frames_quarantined + r.frames_quarantined;
+    torn_bytes = c.torn_bytes + r.torn_bytes;
+    records_healed = c.records_healed + r.records_healed;
+    unconverged = (c.unconverged + if r.converged then 0 else 1);
+  }
+
+let counters_text c =
+  Printf.sprintf
+    "homes=%d healthy=%d repaired-homes=%d repaired-replicas=%d \
+     recreated-replicas=%d quarantined-frames=%d torn-bytes=%d healed-records=%d \
+     unconverged=%d"
+    c.homes c.healthy c.repaired_homes c.repaired_replicas c.recreated_replicas
+    c.frames_quarantined c.torn_bytes c.records_healed c.unconverged

@@ -1,0 +1,46 @@
+(** Anti-entropy scrub over a home's replica set: CRC-scan every
+    replica, compare record-stream digests, read-repair anything
+    missing, damaged or diverged from the merged quorum stream. *)
+
+val files_of_dir : string -> string list
+(** The journal files of one replica directory:
+    [[dir/snapshot; dir/journal]]. *)
+
+val dir_digest : string -> string
+(** Record-stream digest of one replica directory (valid snapshot
+    records then valid journal records). Replay determinism makes
+    equal digests imply equal {!Home.state_digest}s. *)
+
+type home_report = {
+  dirs : string list;
+  healthy : bool;  (** nothing to do: present, undamaged, converged *)
+  converged : bool;  (** one digest across all replicas after the pass *)
+  digest : string;
+  repaired_replicas : int;
+  recreated_replicas : int;  (** replica files that were missing entirely *)
+  frames_quarantined : int;
+  torn_bytes : int;
+  records_healed : int;
+  epoch : int;  (** fencing floor across the replica set *)
+}
+
+val scrub_home : ?fsync:bool -> string list -> home_report
+(** Scrub one home given its replica directories. Callers must ensure
+    no live writer holds the journals open (a live {!Home} scrubs
+    itself via {!Home.scrub}). *)
+
+type counters = {
+  homes : int;
+  healthy : int;
+  repaired_homes : int;
+  repaired_replicas : int;
+  recreated_replicas : int;
+  frames_quarantined : int;
+  torn_bytes : int;
+  records_healed : int;
+  unconverged : int;  (** homes still diverged after repair — must be 0 *)
+}
+
+val zero : counters
+val add : counters -> home_report -> counters
+val counters_text : counters -> string

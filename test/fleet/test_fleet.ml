@@ -14,6 +14,9 @@ module Chaos = Homeguard_fleet.Chaos
 module Broker = Homeguard_serve.Broker
 module Shed = Homeguard_serve.Shed
 module Home = Homeguard_store.Home
+module Fence = Homeguard_store.Fence
+module Scrub = Homeguard_store.Scrub
+module Journal = Homeguard_store.Journal
 module Policy = Homeguard_handling.Policy
 module Fault = Homeguard_solver.Fault
 module Extract = Homeguard_symexec.Extract
@@ -345,6 +348,135 @@ let supervisor_stall_detection =
       check_bool "kill counted" true ((Supervisor.stats t).Supervisor.kills >= 1);
       Supervisor.close t)
 
+let crashed_reply_carries_retry_hint =
+  test "a request that crashes its shard gets a positive retry hint" (fun () ->
+      let clock, advance = manual_clock () in
+      let dir = fresh_dir () in
+      let t =
+        Supervisor.create ~config:(sup_config ~clock ()) ~dir ~homes:homes4 ()
+      in
+      (match
+         Supervisor.run t ~home:"alpha" (fun _ -> raise (Fault.Crashed "boom"))
+       with
+      | Supervisor.Crashed { retry_after_ms; error; _ } ->
+        check_bool "positive hint on the crash reply" true (retry_after_ms > 0);
+        check_bool "error text" true (error = "boom")
+      | _ -> Alcotest.fail "a crashing request must reply Crashed");
+      (* the degraded outcome carries the same honest hint — a zero
+         hint would make clients hammer a shard that is mid-restart *)
+      (match
+         Supervisor.to_outcome
+           (Supervisor.run t ~home:"alpha" (fun _ -> raise (Fault.Crashed "again")))
+       with
+      | Shed.Degraded { reason = Shed.Shard_unavailable { retry_after_ms; _ }; _ }
+        ->
+        check_bool "outcome hint positive" true (retry_after_ms > 0)
+      | _ -> Alcotest.fail "crash must degrade with a shard-unavailable reason");
+      settle t advance;
+      Supervisor.close t)
+
+let wedged_shard_is_fenced =
+  test "a wedged shard's writes are fenced after its homes move on" (fun () ->
+      let clock, advance = manual_clock () in
+      let dir = fresh_dir () in
+      let t =
+        Supervisor.create
+          ~config:(sup_config ~clock ~shards:2 ())
+          ~dir ~homes:homes4 ()
+      in
+      let victim_home = "alpha" in
+      let owner = Option.get (Supervisor.owner_of t victim_home) in
+      (match
+         Supervisor.run t ~home:victim_home (fun sh ->
+             ignore
+               (Home.install_app
+                  (Broker.home (Shard.broker sh) victim_home)
+                  (corpus_app "BonVoyage")))
+       with
+      | Supervisor.Done _ -> ()
+      | _ -> Alcotest.fail "seed install must land");
+      let before = Fence.rejections () in
+      let zombie =
+        match Supervisor.wedge t owner with
+        | Some z -> z
+        | None -> Alcotest.fail "a running shard must wedge"
+      in
+      (* the replacement comes up and re-acquires every home at a
+         strictly higher epoch *)
+      settle t advance;
+      check_bool "replacement running" true
+        (Supervisor.shard_state t owner = `Running);
+      let zhome = Broker.home (Shard.broker zombie) victim_home in
+      check_bool "epochs moved past the zombie" true
+        (Fence.current (Home.dir zhome) > Home.epoch zhome);
+      (* the revived stale owner tries to append: fenced, nothing lands *)
+      (match Home.set_decision zhome "zombie-threat" Policy.Allow with
+      | () -> Alcotest.fail "stale append must raise Fence.Stale"
+      | exception Fence.Stale _ -> ());
+      check_bool "rejection counted" true (Fence.rejections () > before);
+      Shard.close zombie;
+      (* the current owner still serves, and never saw the zombie's
+         decision *)
+      (match
+         Supervisor.run t ~home:victim_home (fun sh ->
+             let h = Broker.home (Shard.broker sh) victim_home in
+             List.mem_assoc "zombie-threat"
+               (Policy.decisions
+                  (Homeguard_frontend.Install_flow.policies (Home.flow h))))
+       with
+      | Supervisor.Done { value = false; _ } -> ()
+      | Supervisor.Done { value = true; _ } ->
+        Alcotest.fail "the fenced decision leaked into the live home"
+      | _ -> Alcotest.fail "current owner must serve");
+      let st = Supervisor.stats t in
+      check_bool "stale rejections surfaced in stats" true
+        (st.Supervisor.stale_rejections > 0);
+      Supervisor.close t)
+
+let supervisor_scrub_converges =
+  test "fleet scrub read-repairs damaged replicas and is idempotent" (fun () ->
+      let clock, _ = manual_clock () in
+      let dir = fresh_dir () in
+      let t =
+        Supervisor.create ~config:(sup_config ~clock ()) ~dir ~homes:homes4 ()
+      in
+      List.iter
+        (fun id ->
+          match
+            Supervisor.run t ~home:id (fun sh ->
+                ignore
+                  (Home.install_app
+                     (Broker.home (Shard.broker sh) id)
+                     (corpus_app "BonVoyage")))
+          with
+          | Supervisor.Done _ -> ()
+          | _ -> Alcotest.fail "seeding must succeed")
+        homes4;
+      (* destroy one home's replica copy behind the fleet's back *)
+      let rj = Filename.concat dir "r1/h_alpha/journal" in
+      check_bool "replica journal exists" true (Sys.file_exists rj);
+      Sys.remove rj;
+      let c = Supervisor.scrub t in
+      check_int "every home covered" (List.length homes4) c.Scrub.homes;
+      check_int "the damaged home was repaired" 1 c.Scrub.repaired_homes;
+      check_bool "records healed into the recreated replica" true
+        (c.Scrub.records_healed > 0);
+      check_int "all homes converged" 0 c.Scrub.unconverged;
+      check_bool "replica restored" true (Sys.file_exists rj);
+      let c2 = Supervisor.scrub t in
+      check_int "second pass all healthy" c2.Scrub.homes c2.Scrub.healthy;
+      check_int "second pass repairs nothing" 0 c2.Scrub.repaired_homes;
+      (* the scrubbed (live) home still serves writes afterwards *)
+      (match
+         Supervisor.run t ~home:"alpha" (fun sh ->
+             Home.set_decision
+               (Broker.home (Shard.broker sh) "alpha")
+               "post-scrub" Policy.Confirm)
+       with
+      | Supervisor.Done _ -> ()
+      | _ -> Alcotest.fail "scrubbed home must keep serving");
+      Supervisor.close t)
+
 (* -- chaos -------------------------------------------------------------------- *)
 
 let chaos_smoke_campaign =
@@ -365,6 +497,26 @@ let chaos_smoke_campaign =
         (report.Chaos.served_while_impaired > 0);
       check_bool "render is non-empty" true
         (String.length (Chaos.render report) > 0);
+      (* split-brain coverage: the stall-then-revive window produced a
+         zombie whose appends were all fenced *)
+      check_bool "zombie appends attempted" true (report.Chaos.zombie_rejected > 0);
+      check_int "no stale append went durable" 0 report.Chaos.zombie_accepted;
+      (* anti-entropy coverage: the scrub pass walked every home and
+         converged the fleet; the second pass had nothing to do *)
+      check_int "scrub covered the fleet" report.Chaos.config.Chaos.homes
+        report.Chaos.scrub.Scrub.homes;
+      check_int "scrub converged" 0 report.Chaos.scrub.Scrub.unconverged;
+      check_int "rescrub repaired nothing" 0
+        report.Chaos.scrub_second.Scrub.repaired_homes;
+      List.iter
+        (fun n ->
+          if
+            not
+              (List.exists
+                 (fun (i : Chaos.invariant) -> i.Chaos.name = n)
+                 report.Chaos.invariants)
+          then Alcotest.failf "replication invariant %s was not verified" n)
+        [ "no-stale-epoch-accepted"; "scrub-convergence"; "scrub-idempotent" ];
       (* the fault hook must not leak out of the campaign *)
       check_bool "storage faults disarmed" true (not (Fault.storage_armed ())))
 
@@ -462,6 +614,9 @@ let () =
           supervisor_restart_preserves_state;
           supervisor_rebalance_on_dead_shard;
           supervisor_stall_detection;
+          crashed_reply_carries_retry_hint;
+          wedged_shard_is_fenced;
+          supervisor_scrub_converges;
         ] );
       ("chaos",
         [ chaos_smoke_campaign; chaos_cache_invariants; chaos_is_deterministic ]);

@@ -10,9 +10,14 @@
 
 module Crc32 = Homeguard_store.Crc32
 module Journal = Homeguard_store.Journal
+module Rjournal = Homeguard_store.Rjournal
+module Fence = Homeguard_store.Fence
+module Scrub = Homeguard_store.Scrub
 module Event = Homeguard_store.Event
 module Ingest = Homeguard_store.Ingest
 module Home = Homeguard_store.Home
+module Synth = Homeguard_corpus.Synth
+module App_entry = Homeguard_corpus.App_entry
 module Fault = Homeguard_solver.Fault
 module Rule = Homeguard_rules.Rule
 module Extract = Homeguard_symexec.Extract
@@ -457,6 +462,12 @@ let crash_matrix_points =
     (fun point -> List.map (fun n -> (Fault.Crash, Printf.sprintf "%s:journal#%d" point n)) [ 1; 2; 3; 4; 5 ])
     [ "journal/append/enter"; "journal/append/written"; "journal/append/synced" ]
   @ [ (Fault.Crash, "journal/rename:snapshot"); (Fault.Crash, "journal/rename:journal") ]
+  (* the rename-durable window: renamed but the parent dirfd not yet
+     fsynced — recovery must converge from either side of the dirsync *)
+  @ [
+      (Fault.Crash, "journal/rename/unsynced:snapshot");
+      (Fault.Crash, "journal/rename/unsynced:journal");
+    ]
   @ List.map (fun n -> (Fault.Torn, Printf.sprintf "journal/write:journal#%d" n)) [ 1; 2; 3; 4; 5 ]
   @ List.map (fun n -> (Fault.Flip, Printf.sprintf "journal/write:journal#%d" n)) [ 1; 2; 3; 4; 5 ]
 
@@ -520,6 +531,193 @@ let flip_marks_changed_apps =
       ignore (Home.install_app home2 (corpus_app "ColdDefender"));
       check_string "converged" (Home.audit_text home2) recovered;
       Home.close home2)
+
+(* -- replication, epoch fencing and scrub -------------------------------------- *)
+
+let epoch_frames =
+  test "epoch-stamped frames round-trip; regressions are fingerprinted" (fun () ->
+      (* epoch 0 renders in the legacy HGJ1 form *)
+      check_string "epoch 0 is legacy" (Journal.frame "x")
+        (Journal.frame_epoch ~epoch:0 "x");
+      let s =
+        Journal.frame "a"
+        ^ Journal.frame_epoch ~epoch:3 "b"
+        ^ Journal.frame_epoch ~epoch:7 "c"
+      in
+      let sc = Journal.scan_string s in
+      check_bool "mixed frames all recovered" true
+        (sc.Journal.records = [ "a"; "b"; "c" ] && sc.Journal.damage = []);
+      check_int "max epoch" 7 sc.Journal.max_epoch;
+      check_int "monotone stream has no regressions" 0 sc.Journal.epoch_regressions;
+      (* a frame stamped below the running maximum is the durable
+         fingerprint of an accepted stale-epoch append *)
+      let stale =
+        Journal.frame_epoch ~epoch:5 "new-owner"
+        ^ Journal.frame_epoch ~epoch:2 "zombie"
+        ^ Journal.frame_epoch ~epoch:5 "new-owner-again"
+      in
+      let sc = Journal.scan_string stale in
+      check_int "regression counted" 1 sc.Journal.epoch_regressions;
+      check_int "floor survives" 5 sc.Journal.max_epoch;
+      (* write_atomic re-stamps at the given epoch and scan agrees *)
+      let dir = fresh_dir () in
+      Unix.mkdir dir 0o755;
+      let p = Filename.concat dir "j" in
+      Journal.write_atomic ~epoch:9 p [ "one"; "two" ];
+      let sc = Journal.scan p in
+      check_bool "payloads back" true (sc.Journal.records = [ "one"; "two" ]);
+      check_int "stamped" 9 sc.Journal.max_epoch)
+
+let rjournal_merge_repairs =
+  test "merged recovery restores records surviving on any replica" (fun () ->
+      let d0 = fresh_dir () and d1 = fresh_dir () in
+      Unix.mkdir d0 0o755;
+      Unix.mkdir d1 0o755;
+      let p0 = Filename.concat d0 "journal" and p1 = Filename.concat d1 "journal" in
+      let w = Rjournal.open_append ~epoch:4 [ p0; p1 ] in
+      let records = [ "r1"; "r2"; "r3"; "r4"; "r5" ] in
+      List.iter (Rjournal.append w) records;
+      Rjournal.close w;
+      (* destroy replica 0 entirely: everything survives on replica 1 *)
+      Sys.remove p0;
+      let r = Rjournal.recover [ p0; p1 ] in
+      check_bool "all records back" true (r.Rjournal.recovered = records);
+      check_bool "loss was not honest-loss" true (not r.Rjournal.all_replicas_damaged);
+      check_int "destroyed replica healed" 5 r.Rjournal.healed;
+      check_int "fencing floor survives the merge" 4 r.Rjournal.max_epoch;
+      let sc0 = Journal.scan p0 in
+      check_bool "replica 0 rewritten with the merge" true
+        (sc0.Journal.records = records && sc0.Journal.max_epoch = 4);
+      (* corrupt one record on replica 1 only: its sibling still holds
+         it, so the merge keeps all five and read-repairs replica 1 *)
+      let b = Bytes.of_string (read_file p1) in
+      let off = String.length (Journal.frame_epoch ~epoch:4 "r1") + Journal.header_len2 in
+      Bytes.set b off '?';
+      write_file p1 (Bytes.to_string b);
+      let r = Rjournal.recover [ p0; p1 ] in
+      check_bool "merge keeps every record" true (r.Rjournal.recovered = records);
+      check_int "one frame quarantined" 1 r.Rjournal.quarantined;
+      check_bool "not honest-loss: a healthy replica survived" true
+        (not r.Rjournal.all_replicas_damaged);
+      check_bool "replica 1 sidecar written" true
+        (Sys.file_exists (p1 ^ ".quarantine"));
+      check_bool "replica 1 repaired" true
+        ((Journal.scan p1).Journal.records = records);
+      (* damage on one replica AND destruction of the other is honest
+         loss: the record survived nowhere *)
+      let b = Bytes.of_string (read_file p0) in
+      Bytes.set b off '?';
+      write_file p0 (Bytes.to_string b);
+      Sys.remove p1;
+      let r = Rjournal.recover [ p0; p1 ] in
+      check_int "the doubly-lost record is gone" 4 (List.length r.Rjournal.recovered);
+      check_bool "honest loss is carved out" true r.Rjournal.all_replicas_damaged)
+
+let fence_rejects_stale_appends =
+  test "a stale-epoch writer is fenced off before touching the disk" (fun () ->
+      let dir = fresh_dir () in
+      Unix.mkdir dir 0o755;
+      let p = Filename.concat dir "journal" in
+      let before = Fence.rejections_for dir in
+      ignore (Fence.acquire dir 1);
+      let old_owner = Rjournal.open_append ~epoch:1 ~fence_key:dir [ p ] in
+      Rjournal.append old_owner "acked-before-handover";
+      (* ownership moves on: a later epoch is granted for the home *)
+      ignore (Fence.acquire dir 2);
+      (match Rjournal.append old_owner "zombie-write" with
+      | () -> Alcotest.fail "stale append must raise"
+      | exception Fence.Stale { held; current; _ } ->
+        check_int "held" 1 held;
+        check_int "current" 2 current);
+      Rjournal.close old_owner;
+      check_int "rejection counted" (before + 1) (Fence.rejections_for dir);
+      let sc = Journal.scan p in
+      check_bool "nothing reached the disk" true
+        (sc.Journal.records = [ "acked-before-handover" ]);
+      (* the new owner writes through the same fence *)
+      let new_owner = Rjournal.open_append ~epoch:2 ~fence_key:dir [ p ] in
+      Rjournal.append new_owner "after-handover";
+      Rjournal.close new_owner;
+      check_bool "new owner appends fine" true
+        ((Journal.scan p).Journal.records
+        = [ "acked-before-handover"; "after-handover" ]);
+      (* an old grant never lowers the fence *)
+      check_int "acquire keeps the maximum" 2 (Fence.acquire dir 1))
+
+let scrub_repairs_and_audit_is_identical =
+  test "scrub read-repairs a damaged replica set; audit is byte-identical"
+    (fun () ->
+      let dir = fresh_dir () and rdir = fresh_dir () in
+      let home, _ = Home.open_ ~replicas:[ rdir ] ~dir () in
+      workload home;
+      let reference = Home.audit_text home in
+      Home.close home;
+      (* destroy the replica's snapshot and corrupt the primary journal:
+         each surviving copy repairs its damaged sibling *)
+      Sys.remove (Filename.concat rdir "snapshot");
+      let jp = Filename.concat dir "journal" in
+      let b = Bytes.of_string (read_file jp) in
+      Bytes.set b (Bytes.length b - 2) '#';
+      write_file jp (Bytes.to_string b);
+      let r = Scrub.scrub_home [ dir; rdir ] in
+      check_bool "not healthy before repair" true (not r.Scrub.healthy);
+      check_bool "converged after repair" true r.Scrub.converged;
+      check_int "corrupt frame quarantined" 1 r.Scrub.frames_quarantined;
+      check_bool "replicas repaired" true
+        (r.Scrub.repaired_replicas + r.Scrub.recreated_replicas >= 2);
+      check_bool "records healed across the set" true (r.Scrub.records_healed > 0);
+      (* a second pass finds a healthy, converged home and rewrites
+         nothing *)
+      let r2 = Scrub.scrub_home [ dir; rdir ] in
+      check_bool "idempotent" true (r2.Scrub.healthy && r2.Scrub.converged);
+      check_string "digest stable" r.Scrub.digest r2.Scrub.digest;
+      (* the repaired home re-audits byte-identically to the undamaged
+         run *)
+      let home, rep = Home.open_ ~replicas:[ rdir ] ~dir () in
+      check_int "no residual damage" 0 (rep.Home.torn_bytes + rep.Home.quarantined);
+      check_string "audit byte-identical after repair" reference
+        (Home.audit_text home);
+      Home.close home)
+
+let replay_determinism_property =
+  test "synth homes: live, recovered and rebalanced-in digests agree" (fun () ->
+      let synth = Homeguard_corpus.Corpus.synth ~seed:11 ~n_homes:4 in
+      List.iter
+        (fun h ->
+          let dir = fresh_dir () and rdir = fresh_dir () in
+          let home, _ = Home.open_ ~replicas:[ rdir ] ~dir () in
+          List.iter
+            (fun (e : App_entry.t) ->
+              let app =
+                (Extract.extract_source ~name:e.App_entry.name e.App_entry.source)
+                  .Extract.app
+              in
+              ignore (Home.install_app home app))
+            h.Synth.apps;
+          List.iteri
+            (fun i uri -> ignore (Home.deliver home ~seq:(i + 1) uri))
+            h.Synth.configs;
+          let live = Home.state_digest home in
+          Home.close home;
+          (* plain recover-replay *)
+          let home2, _ = Home.open_ ~replicas:[ rdir ] ~dir () in
+          let replayed = Home.state_digest home2 in
+          Home.close home2;
+          (* rebalance-in: a fenced open at a strictly higher epoch, as
+             a supervisor hands the home to a new shard *)
+          let home3, rep =
+            Home.open_ ~replicas:[ rdir ] ~epoch:(Fence.current dir + 5) ~dir ()
+          in
+          let rebalanced = Home.state_digest home3 in
+          check_bool "fenced open granted a positive epoch" true (rep.Home.epoch > 0);
+          Home.close home3;
+          if live <> replayed then
+            Alcotest.failf "home %s: recover replay diverges from live state"
+              h.Synth.id;
+          if live <> rebalanced then
+            Alcotest.failf "home %s: rebalance-in replay diverges from live state"
+              h.Synth.id)
+        synth)
 
 (* -- the checked-in corrupted fixture ------------------------------------------ *)
 
@@ -586,5 +784,13 @@ let () =
         ] );
       ( "crash-matrix",
         [ crash_matrix; torn_write_reports_damage; flip_marks_changed_apps ] );
+      ( "replication",
+        [
+          epoch_frames;
+          rjournal_merge_repairs;
+          fence_rejects_stale_appends;
+          scrub_repairs_and_audit_is_identical;
+          replay_determinism_property;
+        ] );
       ("fixture", [ fixture_recovers ]);
     ]
