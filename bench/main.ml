@@ -1225,6 +1225,150 @@ let r1_replication ?(smoke = false) () =
         ];
   }
 
+(* ------------------------------------------------------------------ S1 *)
+
+(* S1: one crash-safety contract for every durable surface. Three
+   fixed-scale gates (identical in smoke and full runs):
+   1. the seeded chaos campaign, whose schedule includes verdict-cache
+      replica destruction/corruption and stale-writer probe windows,
+      passes every invariant with zero stale cache bytes accepted;
+   2. a deliberately reintroduced fencing bug (epoch checks disabled)
+      is caught by the stale-epoch invariants, ddmin-shrunk to a
+      minimal fault schedule (gate: at most 3 events), and the
+      minimized repro replays deterministically — violating under the
+      bug, passing with the fence enforced;
+   3. frame-level cache scrub: a single flipped byte in one replica of
+      the cache journal is repaired by patching exactly one frame, with
+      repair I/O bounded by the damage rather than the file size, and a
+      second pass writes nothing. *)
+let s1_crash_safety () =
+  section
+    "S1. Crash-safety contract — cache-fault campaign, fence-bug shrink, \
+     frame-level repair";
+  let module Chaos = Homeguard_fleet.Chaos in
+  let module Repro = Homeguard_fleet.Repro in
+  let module Vcache = Homeguard_vcache.Vcache in
+  let module Scrub = Homeguard_store.Scrub in
+  (* 1 — the campaign with cache fault windows *)
+  let campaign =
+    Chaos.run ~config:Chaos.smoke_config ~dir:(fresh_dir "s1_campaign") ()
+  in
+  let cache_faults =
+    List.length
+      (List.filter
+         (fun (s : Chaos.scheduled) ->
+           match s.Chaos.ev with
+           | Chaos.Cache_destroy _ | Chaos.Cache_corrupt _ -> true
+           | _ -> false)
+         campaign.Chaos.schedule)
+  in
+  Printf.printf
+    "campaign: %s — %d scheduled cache fault(s), %d cache probe(s) fenced, %d \
+     accepted\n"
+    (if Chaos.passed campaign then "passed" else "FAILED")
+    cache_faults campaign.Chaos.cache_probe_fenced
+    campaign.Chaos.cache_probe_accepted;
+  (* 2 — reintroduce the fence bug, catch it, shrink, replay *)
+  let cfg = { Chaos.smoke_config with Chaos.homes = 6; Chaos.steps = 80 } in
+  let invariant = "cache-no-stale-epoch-byte" in
+  let schedule = Chaos.schedule_of_config cfg in
+  let (minimal, trials), shrink_ms =
+    time_ms (fun () ->
+        Chaos.shrink ~config:cfg ~enforce_fence:false
+          ~dir:(fresh_dir "s1_shrink") ~invariant schedule)
+  in
+  let repro =
+    { Repro.config = cfg; schedule = minimal; invariant; fence_enforced = false }
+  in
+  let b1 = Repro.replay repro ~dir:(fresh_dir "s1_replay1") in
+  let b2 = Repro.replay repro ~dir:(fresh_dir "s1_replay2") in
+  let deterministic =
+    Repro.reproduces b1 repro && Repro.reproduces b2 repro
+    && b1.Chaos.ops = b2.Chaos.ops
+    && List.map
+         (fun (i : Chaos.invariant) -> (i.Chaos.name, i.Chaos.ok))
+         b1.Chaos.invariants
+       = List.map
+           (fun (i : Chaos.invariant) -> (i.Chaos.name, i.Chaos.ok))
+           b2.Chaos.invariants
+  in
+  let fixed = Repro.replay ~enforce_fence:true repro ~dir:(fresh_dir "s1_fixed") in
+  Printf.printf
+    "fence bug: caught and shrunk %d -> %d event(s) in %d trial(s) (%.0fms); \
+     replay %s, fix %s\n"
+    (List.length schedule) (List.length minimal) trials shrink_ms
+    (if deterministic then "deterministic" else "DIVERGED")
+    (if Chaos.passed fixed then "holds" else "REGRESSED");
+  (* 3 — frame-level repair on a single flipped byte *)
+  let root = fresh_dir "s1_scrub" in
+  let primary = Filename.concat root "vcache"
+  and replica = Filename.concat root "r1/vcache" in
+  let st =
+    Vcache.open_store ~fsync:false ~replicas:[ replica ] ~dir:primary ()
+  in
+  let h = Vcache.attach st ~owner:"s1" in
+  for _ = 1 to 20 do
+    match Vcache.probe_write h with
+    | `Accepted -> ()
+    | `Fenced | `Dropped -> failwith "s1: probe append must land"
+  done;
+  Vcache.close_store st;
+  let victim = Filename.concat replica "cache.journal" in
+  let size = (Unix.stat victim).Unix.st_size in
+  let fd = Unix.openfile victim [ Unix.O_RDWR ] 0o644 in
+  ignore (Unix.lseek fd (size / 2) Unix.SEEK_SET);
+  let byte = Bytes.create 1 in
+  ignore (Unix.read fd byte 0 1);
+  Bytes.set byte 0 (Char.chr (Char.code (Bytes.get byte 0) lxor 0x20));
+  ignore (Unix.lseek fd (size / 2) Unix.SEEK_SET);
+  ignore (Unix.write fd byte 0 1);
+  Unix.close fd;
+  let files = [ "cache.snapshot"; "cache.journal" ] in
+  let rep = Scrub.scrub_home ~fsync:false ~files [ primary; replica ] in
+  let rep2 = Scrub.scrub_home ~fsync:false ~files [ primary; replica ] in
+  Printf.printf
+    "frame repair: %d byte(s) flipped of %d -> patched-frames=%d \
+     repair-bytes=%d (%.1f%% of file); rescrub repair-bytes=%d\n"
+    1 size rep.Scrub.patched_frames rep.Scrub.repair_bytes
+    (100.0 *. float_of_int rep.Scrub.repair_bytes /. float_of_int size)
+    rep2.Scrub.repair_bytes;
+  {
+    Trajectory.title = "S1";
+    metrics =
+      Trajectory.
+        [
+          metric ~direction:Exact "campaign_ok"
+            (if Chaos.passed campaign then 1.0 else 0.0);
+          metric ~direction:Exact "cache_faults_scheduled"
+            (float_of_int cache_faults);
+          metric ~direction:Exact "cache_probes_accepted"
+            (float_of_int campaign.Chaos.cache_probe_accepted);
+          metric ~direction:Exact "fence_bug_caught" 1.0;
+          metric ~direction:Exact "min_repro_events"
+            (float_of_int (List.length minimal));
+          metric ~direction:Exact "min_repro_at_most_3"
+            (if List.length minimal <= 3 then 1.0 else 0.0);
+          metric ~direction:Info "shrink_trials" (float_of_int trials);
+          metric ~unit_:"ms" ~direction:Lower_better "shrink_ms" shrink_ms;
+          metric ~direction:Exact "repro_deterministic"
+            (if deterministic then 1.0 else 0.0);
+          metric ~direction:Exact "fence_fix_holds"
+            (if Chaos.passed fixed then 1.0 else 0.0);
+          metric ~direction:Exact "scrub_converged"
+            (if rep.Scrub.converged then 1.0 else 0.0);
+          metric ~direction:Exact "patched_frames"
+            (float_of_int rep.Scrub.patched_frames);
+          metric ~unit_:"B" ~direction:Info "repair_bytes"
+            (float_of_int rep.Scrub.repair_bytes);
+          metric ~direction:Exact "repair_bounded_by_damage"
+            (if rep.Scrub.repair_bytes > 0 && rep.Scrub.repair_bytes < size
+             then 1.0
+             else 0.0);
+          metric ~direction:Exact "rescrub_repair_bytes"
+            (float_of_int rep2.Scrub.repair_bytes);
+        ];
+  }
+
 (* ---------------------------------------------------------- bechamel *)
 
 let bechamel_suite () =
@@ -1369,7 +1513,10 @@ let run_trajectory ~smoke ~fastpath ~tag =
   (* R1's exact gates (state identity, overhead bounds) are shared
      between smoke and full; only the audit repetitions shrink in smoke *)
   let r1 = r1_replication ~smoke () in
-  let sections = [ p1; p2; fig9; a3; f1; c1; r1 ] in
+  (* S1 is fixed-scale (smoke-sized campaigns, a ddmin run and one
+     frame repair) so its exact gates match between smoke and full *)
+  let s1 = s1_crash_safety () in
+  let sections = [ p1; p2; fig9; a3; f1; c1; r1; s1 ] in
   let t = { Trajectory.key = trajectory_key ~smoke ~fastpath; sections } in
   let file = Printf.sprintf "BENCH_%s.json" tag in
   let oc = open_out file in
@@ -1458,6 +1605,7 @@ let run_all_sections () =
   ignore (f1_fleet () : Trajectory.section);
   ignore (c1_vcache ~smoke:true () : Trajectory.section);
   ignore (r1_replication ~smoke:true () : Trajectory.section);
+  ignore (s1_crash_safety () : Trajectory.section);
   bechamel_suite ();
   print_endline "\nAll experiment sections completed."
 

@@ -819,6 +819,7 @@ let compact_cmd =
 (* -- fleet ------------------------------------------------------------------- *)
 
 module Chaos = Homeguard_fleet.Chaos
+module Chaos_repro = Homeguard_fleet.Repro
 module Supervisor = Homeguard_fleet.Supervisor
 module Fleet_shard = Homeguard_fleet.Shard
 module Synth = Homeguard_corpus.Synth
@@ -949,27 +950,103 @@ let fleet_audit_cmd =
       $ jobs_arg $ no_vcache_arg)
 
 let fleet_chaos_cmd =
-  let run dir seed shards homes steps replicas smoke no_vcache =
-    let base = if smoke then Chaos.smoke_config else Chaos.default_config in
-    let config =
-      {
-        base with
-        Chaos.seed;
-        Chaos.shards = (if shards > 0 then shards else base.Chaos.shards);
-        Chaos.homes = (if homes > 0 then homes else base.Chaos.homes);
-        Chaos.steps = (if steps > 0 then steps else base.Chaos.steps);
-        Chaos.replicas = (if replicas > 0 then replicas else base.Chaos.replicas);
-        Chaos.vcache = not no_vcache;
-      }
-    in
+  let run dir seed shards homes steps replicas smoke no_vcache replay
+      enforce_fence break_fence shrink_on_failure =
     let dir =
       if dir <> "" then dir
       else Filename.concat (Filename.get_temp_dir_name ())
              (Printf.sprintf "homeguard-chaos-%d" (Unix.getpid ()))
     in
-    let report = Chaos.run ~config ~dir () in
-    print_string (Chaos.render report);
-    if Chaos.passed report then 0 else 1
+    match replay with
+    | Some path ->
+      (* replay a checked-in repro; the two regression directions are
+         "still reproduces as recorded" (default) and "the fix holds
+         under enforcement" (--enforce-fence) *)
+      let repro = Chaos_repro.load ~path in
+      let report =
+        Chaos_repro.replay
+          ?enforce_fence:(if enforce_fence then Some true else None)
+          repro ~dir
+      in
+      print_string (Chaos.render report);
+      if enforce_fence then begin
+        Printf.printf "replay (fence enforced): campaign %s — fix %s\n"
+          (if Chaos.passed report then "passed" else "FAILED")
+          (if Chaos.passed report then "holds" else "REGRESSED");
+        if Chaos.passed report then 0 else 1
+      end
+      else begin
+        let live = Chaos_repro.reproduces report repro in
+        Printf.printf "replay (as recorded): invariant %s %s\n"
+          repro.Chaos_repro.invariant
+          (if live then "still violated — repro reproduces"
+           else "NOT violated — repro went stale");
+        if live then 0 else 1
+      end
+    | None ->
+      let base = if smoke then Chaos.smoke_config else Chaos.default_config in
+      let config =
+        {
+          base with
+          Chaos.seed;
+          Chaos.shards = (if shards > 0 then shards else base.Chaos.shards);
+          Chaos.homes = (if homes > 0 then homes else base.Chaos.homes);
+          Chaos.steps = (if steps > 0 then steps else base.Chaos.steps);
+          Chaos.replicas =
+            (if replicas > 0 then replicas else base.Chaos.replicas);
+          Chaos.vcache = not no_vcache;
+        }
+      in
+      let module Fence = Homeguard_store.Fence in
+      let campaign () = Chaos.run ~config ~dir () in
+      let report =
+        if break_fence then begin
+          Fence.set_enforced false;
+          Fun.protect ~finally:(fun () -> Fence.set_enforced true) campaign
+        end
+        else campaign ()
+      in
+      print_string (Chaos.render report);
+      if Chaos.passed report then 0
+      else begin
+        (* persist the failure as a replayable repro, and optionally
+           delta-debug the schedule down to a minimal one *)
+        let violated =
+          List.filter_map
+            (fun i -> if i.Chaos.ok then None else Some i.Chaos.name)
+            report.Chaos.invariants
+        in
+        (match violated with
+        | [] -> ()
+        | invariant :: _ ->
+          let repro =
+            {
+              Chaos_repro.config;
+              schedule = report.Chaos.schedule;
+              invariant;
+              fence_enforced = not break_fence;
+            }
+          in
+          let path = Filename.concat dir "chaos.failed.repro" in
+          Chaos_repro.save repro ~path;
+          Printf.printf "failure repro written to %s\n" path;
+          if shrink_on_failure then begin
+            let minimal, trials =
+              Chaos.shrink ~config
+                ~enforce_fence:(not break_fence)
+                ~dir:(Filename.concat dir "shrink")
+                ~invariant report.Chaos.schedule
+            in
+            let min_path = Filename.concat dir "chaos.min.repro" in
+            Chaos_repro.save { repro with schedule = minimal } ~path:min_path;
+            Printf.printf
+              "minimized %d event(s) to %d in %d trial campaign(s); repro \
+               written to %s\n"
+              (List.length report.Chaos.schedule)
+              (List.length minimal) trials min_path
+          end);
+        1
+      end
   in
   let seed_arg =
     Arg.(value & opt int 42 & info [ "seed" ] ~docv:"N" ~doc:"Campaign seed; the kill schedule, fault windows and workload are all deterministic in it.")
@@ -989,17 +1066,64 @@ let fleet_chaos_cmd =
   let dir_arg =
     Arg.(value & opt string "" & info [ "state-dir" ] ~docv:"DIR" ~doc:"Fleet state root (default: a fresh directory under the system temp dir).")
   in
+  let replay_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "replay" ] ~docv:"FILE"
+          ~doc:
+            "Replay a checked-in chaos repro instead of deriving a schedule: \
+             run its recorded config, fault events and fence setting, and exit \
+             0 when the recorded invariant is still violated (the repro \
+             reproduces). With $(b,--enforce-fence), exit 0 when the campaign \
+             passes instead (the fix holds).")
+  in
+  let enforce_fence_arg =
+    Arg.(
+      value & flag
+      & info [ "enforce-fence" ]
+          ~doc:
+            "Under $(b,--replay): override the repro's recorded fence setting \
+             and run with epoch fencing enforced — the regression direction \
+             that proves the fix still holds.")
+  in
+  let break_fence_arg =
+    Arg.(
+      value & flag
+      & info [ "break-fence" ]
+          ~doc:
+            "Deliberately reintroduce the split-brain bug: run the campaign \
+             with epoch fencing disabled. The stale-epoch invariants must \
+             catch it; combine with $(b,--shrink-on-failure) to minimize the \
+             catching schedule.")
+  in
+  let shrink_arg =
+    Arg.(
+      value & flag
+      & info [ "shrink-on-failure" ]
+          ~doc:
+            "When the campaign fails, delta-debug (ddmin) the fault schedule \
+             down to a minimal event list that still violates the first \
+             failed invariant, and write it to \
+             $(i,STATE-DIR)/chaos.min.repro. A non-minimized \
+             chaos.failed.repro is written on any failure regardless.")
+  in
   Cmd.v
     (Cmd.info "chaos"
        ~doc:
-         "Run a seeded chaos campaign over a home-sharded fleet: shard kills, stalls \
-          and storage faults layered over synthetic-home traffic, then verify the \
-          four fleet invariants (no acked loss, deterministic recovery, \
-          quarantine/decision survival, no false clean bill — plus the verdict-cache \
-          invariants unless --no-vcache). Exits 1 on any violation")
+         "Run a seeded chaos campaign over a home-sharded fleet: an explicit \
+          fault schedule of shard kills, stalls, storage faults, replica and \
+          verdict-cache damage and split-brain windows layered over \
+          synthetic-home traffic, then verify the fleet invariants (no acked \
+          loss, deterministic recovery, quarantine/decision survival, no false \
+          clean bill, zero stale-epoch appends, scrub convergence — plus the \
+          cache-surface invariants unless --no-vcache). Failures persist a \
+          replayable repro; see --replay and --shrink-on-failure. Exits 1 on \
+          any violation")
     Term.(
       const run $ dir_arg $ seed_arg $ shards_arg $ homes_arg $ steps_arg
-      $ fleet_replicas_arg $ smoke_arg $ no_vcache_arg)
+      $ fleet_replicas_arg $ smoke_arg $ no_vcache_arg $ replay_arg
+      $ enforce_fence_arg $ break_fence_arg $ shrink_arg)
 
 let fleet_scrub_cmd =
   let run dir replicas strict no_fsync =
@@ -1043,7 +1167,39 @@ let fleet_scrub_cmd =
           Fleet_scrub.zero entries
       in
       print_endline (Fleet_scrub.counters_text totals);
-      if strict && totals.Fleet_scrub.unconverged > 0 then 1 else 0
+      (* the verdict cache is a durable surface under the same contract:
+         scrub its replica set too, at cache file names *)
+      let cache_unconverged =
+        let primary = Filename.concat dir "vcache" in
+        if not (Sys.file_exists primary && Sys.is_directory primary) then 0
+        else begin
+          let dirs =
+            primary
+            :: List.init
+                 (max 0 (replicas - 1))
+                 (fun k ->
+                   Filename.concat
+                     (Filename.concat dir (Printf.sprintf "r%d" (k + 1)))
+                     "vcache")
+          in
+          let r =
+            Fleet_scrub.scrub_home ~fsync:(not no_fsync)
+              ~files:[ "cache.snapshot"; "cache.journal" ]
+              dirs
+          in
+          Printf.printf
+            "vcache: converged=%b repaired=%d recreated=%d quarantined=%d \
+             healed=%d patched-frames=%d repair-bytes=%d\n"
+            r.Fleet_scrub.converged r.Fleet_scrub.repaired_replicas
+            r.Fleet_scrub.recreated_replicas r.Fleet_scrub.frames_quarantined
+            r.Fleet_scrub.records_healed r.Fleet_scrub.patched_frames
+            r.Fleet_scrub.repair_bytes;
+          if r.Fleet_scrub.converged then 0 else 1
+        end
+      in
+      if strict && (totals.Fleet_scrub.unconverged > 0 || cache_unconverged > 0)
+      then 1
+      else 0
     end
   in
   let dir_arg =
@@ -1062,9 +1218,10 @@ let fleet_scrub_cmd =
     (Cmd.info "scrub"
        ~doc:
          "Anti-entropy pass over an offline fleet root: CRC-scan every replica of \
-          every home, compare record-stream digests, read-repair damaged, stale or \
-          missing replicas from the surviving copies, and print per-kind repair \
-          counters. Healthy homes are untouched, so a second pass reports \
+          every home and of the shared verdict cache, compare record-stream \
+          digests, read-repair damaged, stale or missing replicas from the \
+          surviving copies at frame granularity, and print per-kind repair \
+          counters. Healthy surfaces are untouched, so a second pass reports \
           all-healthy and rewrites nothing")
     Term.(const run $ dir_arg $ fleet_replicas_arg $ strict_arg $ no_fsync_arg)
 

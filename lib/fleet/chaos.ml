@@ -1,6 +1,8 @@
-(** The chaos-campaign harness: a seeded schedule of shard kills,
-    stalls and storage faults layered over a synthetic-home workload,
-    with the four fleet invariants verified at the end:
+(** The chaos-campaign harness: an {e explicit, seeded fault schedule}
+    of shard kills, stalls, storage-fault windows, replica and
+    cache-replica damage and stall-then-revive (split-brain) windows
+    layered over a synthetic-home workload, with the fleet invariants
+    verified at the end:
 
     {ol
     {- {b No silent acked loss} — every install, config ingest,
@@ -18,9 +20,16 @@
        (shed > 0, shard unavailable, crashed) was ever classified as
        conclusive.}}
 
-    Everything — the workload, the kill schedule, fault windows,
-    backoff jitter — is a pure function of the seed, so a failing
-    campaign replays exactly. *)
+    plus the replication invariants (no stale-epoch append accepted,
+    scrub convergence and idempotence) and — when the shared verdict
+    cache is on — the cache-surface invariants (no stale-epoch cache
+    byte, cache-scrub convergence/idempotence, and a warm reopened
+    cache auditing byte-identically to a cold one).
+
+    The schedule is derived up front from a dedicated fault RNG (the
+    workload runs off a second, independent stream), so a campaign can
+    be re-run with any {e subset} of its fault events: {!shrink}
+    delta-debugs a failing schedule down to a minimal reproduction. *)
 
 module Home = Homeguard_store.Home
 module Fence = Homeguard_store.Fence
@@ -32,6 +41,7 @@ module Install_flow = Homeguard_frontend.Install_flow
 module Policy = Homeguard_handling.Policy
 module Detector = Homeguard_detector.Detector
 module Fault = Homeguard_solver.Fault
+module Budget = Homeguard_solver.Budget
 module Corpus = Homeguard_corpus.Corpus
 module Synth = Homeguard_corpus.Synth
 module App_entry = Homeguard_corpus.App_entry
@@ -64,10 +74,19 @@ type config = {
   replica_corrupt_per_thousand : int;
       (** chance per step to flip one byte in one replica file of a
           random home — any replica, including the primary *)
+  cache_loss_per_thousand : int;
+      (** chance per step to destroy one non-primary replica of the
+          shared verdict cache (same primary-survives rule as
+          [replica_loss_per_thousand]) *)
+  cache_corrupt_per_thousand : int;
+      (** chance per step to flip one byte in one cache replica file —
+          any replica, including the primary *)
   split_brains : int;
       (** forced stall-then-revive windows: wedge a shard (its worker
-          keeps its journal writers), let the fleet rebalance, then
-          drive the zombie's handles expecting every append fenced *)
+          keeps its journal writers {e and} its verdict-cache handle),
+          let the fleet rebalance, then drive the zombie's handles
+          expecting every append — home journal and cache alike —
+          fenced *)
 }
 
 let default_config =
@@ -86,16 +105,122 @@ let default_config =
     replicas = 2;
     replica_loss_per_thousand = 12;
     replica_corrupt_per_thousand = 12;
+    cache_loss_per_thousand = 10;
+    cache_corrupt_per_thousand = 10;
     split_brains = 1;
   }
 
 let smoke_config =
   { default_config with homes = 10; steps = 150; fault_window_per_thousand = 20 }
 
+(* -- the explicit fault schedule ---------------------------------------------- *)
+
+(** One scheduled fault. Every parameter the fault needs is minted at
+    derivation time (home/replica/file indices, corruption salts), so an
+    event fires identically whether it runs inside the full schedule or
+    a shrunk subset. *)
+type fault_event =
+  | Kill of { victim : int }
+  | Stall of { victim : int }
+  | Storage_window of { mode : int; salt : int }
+      (** open a crash/torn/flip window ([mode] indexes the cycling
+          order) armed with [salt] as the storage-fault seed *)
+  | Replica_destroy of { home : int; replica : int }
+      (** [home] indexes the synthetic homes; [replica] the non-primary
+          replica list *)
+  | Replica_corrupt of { home : int; replica : int; file : int; salt : int }
+      (** flip byte [salt mod size] of the [file]th journal file of the
+          [replica]th directory (primary included) *)
+  | Cache_destroy of { replica : int }  (** non-primary cache replicas only *)
+  | Cache_corrupt of { replica : int; file : int; salt : int }
+  | Split_brain of { victim : int }
+
+type scheduled = { at : int; ev : fault_event }
+
+let storage_modes = [| Fault.Crash; Fault.Torn; Fault.Flip |]
+
+(** Derive the full fault schedule for a config — a pure function of
+    the seed, independent of the workload RNG. Forced kills and
+    split-brain windows become ordinary schedule entries, so the
+    schedule is the {e complete} fault plan: replaying a subset of it
+    replays exactly those faults and nothing else. *)
+let schedule_of_config config =
+  let rng = Random.State.make [| 0xfa5eed; config.seed |] in
+  let events = ref [] in
+  let emit at ev = events := { at; ev } :: !events in
+  let salt () = Random.State.int rng 0x3FFFFFFF in
+  (* forced kills at evenly spaced steps, rotating victims *)
+  List.iter
+    (fun (at, victim) -> emit at (Kill { victim }))
+    (List.init config.forced_kills (fun i ->
+         (config.steps * (i + 1) / (config.forced_kills + 1), i mod config.shards)));
+  (* split-brain windows sit in the first half of the campaign, while
+     the slots still have restart budget to grant successor epochs *)
+  List.iter
+    (fun (at, victim) -> emit at (Split_brain { victim }))
+    (List.init config.split_brains (fun i ->
+         ( config.steps * (i + 1) / (2 * (config.split_brains + 1)),
+           (i + 1) mod config.shards )));
+  let window_until = ref 0 and windows = ref 0 in
+  for at = 1 to config.steps do
+    if
+      at >= !window_until
+      && Random.State.int rng 1000 < config.fault_window_per_thousand
+    then begin
+      emit at
+        (Storage_window
+           {
+             mode = !windows mod Array.length storage_modes;
+             salt = config.seed + !windows;
+           });
+      incr windows;
+      window_until := at + 9
+    end;
+    if Random.State.int rng 1000 < config.kill_per_thousand then
+      emit at (Kill { victim = Random.State.int rng config.shards });
+    if Random.State.int rng 1000 < config.stall_per_thousand then
+      emit at (Stall { victim = Random.State.int rng config.shards });
+    if
+      config.replicas > 1
+      && Random.State.int rng 1000 < config.replica_loss_per_thousand
+    then
+      emit at
+        (Replica_destroy
+           {
+             home = Random.State.int rng config.homes;
+             replica = Random.State.int rng (config.replicas - 1);
+           });
+    if Random.State.int rng 1000 < config.replica_corrupt_per_thousand then
+      emit at
+        (Replica_corrupt
+           {
+             home = Random.State.int rng config.homes;
+             replica = Random.State.int rng config.replicas;
+             file = Random.State.int rng 2;
+             salt = salt ();
+           });
+    if
+      config.vcache && config.replicas > 1
+      && Random.State.int rng 1000 < config.cache_loss_per_thousand
+    then
+      emit at (Cache_destroy { replica = Random.State.int rng (config.replicas - 1) });
+    if config.vcache && Random.State.int rng 1000 < config.cache_corrupt_per_thousand
+    then
+      emit at
+        (Cache_corrupt
+           {
+             replica = Random.State.int rng config.replicas;
+             file = Random.State.int rng 2;
+             salt = salt ();
+           })
+  done;
+  List.stable_sort (fun a b -> compare a.at b.at) (List.rev !events)
+
 type invariant = { name : string; ok : bool; detail : string }
 
 type report = {
   config : config;
+  schedule : scheduled list;  (** the fault plan this campaign executed *)
   ops : int;
   installs_acked : int;
   configs_acked : int;
@@ -109,10 +234,16 @@ type report = {
   fault_windows : int;
   replicas_destroyed : int;  (** replica files removed by loss windows *)
   replicas_corrupted : int;  (** replica files bit-flipped by corruption windows *)
+  cache_destroyed : int;  (** cache replica files removed *)
+  cache_corrupted : int;  (** cache replica files bit-flipped *)
   zombie_rejected : int;  (** fenced appends the split-brain zombies attempted *)
   zombie_accepted : int;  (** must be 0: stale appends that reached the disk *)
+  cache_probe_fenced : int;  (** zombie cache writes refused at the fence *)
+  cache_probe_accepted : int;  (** must be 0: stale cache writes gone durable *)
   scrub : Scrub.counters;  (** the post-campaign anti-entropy pass *)
   scrub_second : Scrub.counters;  (** must be all-healthy: repair is idempotent *)
+  cache_scrub : Scrub.home_report option;  (** cache-surface anti-entropy pass *)
+  cache_scrub_second : Scrub.home_report option;  (** must be healthy *)
   stats : Supervisor.stats;
   shards_killed : int;  (** distinct shards that went down *)
   shards_recovered : int;  (** distinct shards that came back *)
@@ -138,15 +269,22 @@ type campaign = {
   cfg : config;
   dir : string;  (** the fleet root *)
   sup : Supervisor.t;
-  rng : Random.State.t;
+  schedule : scheduled list;
+  rng : Random.State.t;  (** the workload stream — never consulted by faults *)
   now : float ref;
   expects : (string * expect) list;
   stalled : int array;  (** steps of withheld heartbeats left, per shard *)
+  mutable pending_splits : int list;
+      (** split-brain victims still waiting for a live worker to wedge *)
   mutable zombies : Shard.t list;  (** wedged workers still holding writers *)
   mutable zombie_rejected : int;
   mutable zombie_accepted : int;
+  mutable cache_probe_fenced : int;
+  mutable cache_probe_accepted : int;
   mutable replicas_destroyed : int;
   mutable replicas_corrupted : int;
+  mutable cache_destroyed : int;
+  mutable cache_corrupted : int;
   mutable fault_steps_left : int;
   mutable fault_windows : int;
   mutable ops : int;
@@ -161,6 +299,13 @@ type campaign = {
 }
 
 let add_distinct x xs = if List.mem x xs then xs else x :: xs
+
+let contains ~sub s =
+  let n = String.length sub and m = String.length s in
+  n = 0
+  ||
+  let rec at i = i + n <= m && (String.sub s i n = sub || at (i + 1)) in
+  at 0
 
 let impaired c =
   List.exists
@@ -293,64 +438,106 @@ let op_audit c (id, _ex) =
     `Other
   | Supervisor.Unavailable _ | Supervisor.Crashed _ -> `Other
 
-(* -- replica damage windows --------------------------------------------------- *)
+(* -- damage windows ----------------------------------------------------------- *)
 
-let random_home c = fst (List.nth c.expects (Random.State.int c.rng (List.length c.expects)))
+let home_files = [ "snapshot"; "journal" ]
+let cache_files = [ "cache.snapshot"; "cache.journal" ]
 
-(* Destroy one non-primary replica of a random home — disk death. The
-   home's live writer keeps appending to the unlinked inode; the next
-   recovery or scrub recreates the replica from a surviving sibling.
-   Quarantine sidecars are left alone: they are the durable damage
-   evidence the loss invariants consult. *)
-let destroy_replica c =
-  let id = random_home c in
+(* The cache surface's replica roots, mirroring the supervisor's layout:
+   primary at [dir/vcache], replica [k] at [dir/r<k>/vcache]. *)
+let cache_dirs ~fleet_dir ~replicas =
+  Filename.concat fleet_dir "vcache"
+  :: List.init
+       (max 0 (replicas - 1))
+       (fun k ->
+         Filename.concat
+           (Filename.concat fleet_dir (Printf.sprintf "r%d" (k + 1)))
+           "vcache")
+
+(* Flip one byte (a case-flip, so text and binary both corrupt) at a
+   salt-chosen offset — bit rot with a schedule-replayable position. *)
+let flip_byte path ~salt =
+  Sys.file_exists path
+  &&
+  let size = (Unix.stat path).Unix.st_size in
+  size > 0
+  &&
+  let off = salt mod size in
+  let fd = Unix.openfile path [ Unix.O_RDWR ] 0o644 in
+  Fun.protect
+    ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+    (fun () ->
+      ignore (Unix.lseek fd off Unix.SEEK_SET);
+      let b = Bytes.create 1 in
+      Unix.read fd b 0 1 = 1
+      && begin
+           Bytes.set b 0 (Char.chr (Char.code (Bytes.get b 0) lxor 0x20));
+           ignore (Unix.lseek fd off Unix.SEEK_SET);
+           ignore (Unix.write fd b 0 1);
+           true
+         end)
+
+let remove_files dir files =
+  List.fold_left
+    (fun removed f ->
+      let p = Filename.concat dir f in
+      if Sys.file_exists p then begin
+        (try Sys.remove p with Sys_error _ -> ());
+        true
+      end
+      else removed)
+    false files
+
+(* Destroy one non-primary replica of the scheduled home — disk death.
+   The home's live writer keeps appending to the unlinked inode; the
+   next recovery or scrub recreates the replica from a surviving
+   sibling. Quarantine sidecars are left alone: they are the durable
+   damage evidence the loss invariants consult. *)
+let destroy_replica c ~home ~replica =
+  let id = fst (List.nth c.expects (home mod List.length c.expects)) in
   let dirs = Shard.home_dirs ~fleet_dir:c.dir ~replicas:c.cfg.replicas id in
   match List.tl dirs with
   | [] -> ()
   | victims ->
-    let vdir = List.nth victims (Random.State.int c.rng (List.length victims)) in
-    let removed = ref false in
-    List.iter
-      (fun p ->
-        if Sys.file_exists p then begin
-          (try Sys.remove p with Sys_error _ -> ());
-          removed := true
-        end)
-      [ Filename.concat vdir "snapshot"; Filename.concat vdir "journal" ];
-    if !removed then c.replicas_destroyed <- c.replicas_destroyed + 1
+    let vdir = List.nth victims (replica mod List.length victims) in
+    if remove_files vdir home_files then
+      c.replicas_destroyed <- c.replicas_destroyed + 1
 
-(* Flip one byte in one replica file of a random home — bit rot. May hit
-   the primary: read-repair must heal whichever copy is damaged. *)
-let corrupt_replica c =
-  let id = random_home c in
+(* Flip one byte in one replica file of the scheduled home — bit rot.
+   May hit the primary: read-repair must heal whichever copy is
+   damaged. *)
+let corrupt_replica c ~home ~replica ~file ~salt =
+  let id = fst (List.nth c.expects (home mod List.length c.expects)) in
   let dirs = Shard.home_dirs ~fleet_dir:c.dir ~replicas:c.cfg.replicas id in
-  let vdir = List.nth dirs (Random.State.int c.rng (List.length dirs)) in
-  let file =
-    Filename.concat vdir (if Random.State.bool c.rng then "journal" else "snapshot")
-  in
-  if Sys.file_exists file then begin
-    let size = (Unix.stat file).Unix.st_size in
-    if size > 0 then begin
-      let off = Random.State.int c.rng size in
-      let fd = Unix.openfile file [ Unix.O_RDWR ] 0o644 in
-      Fun.protect
-        ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
-        (fun () ->
-          ignore (Unix.lseek fd off Unix.SEEK_SET);
-          let b = Bytes.create 1 in
-          if Unix.read fd b 0 1 = 1 then begin
-            Bytes.set b 0 (Char.chr (Char.code (Bytes.get b 0) lxor 0x20));
-            ignore (Unix.lseek fd off Unix.SEEK_SET);
-            ignore (Unix.write fd b 0 1);
-            c.replicas_corrupted <- c.replicas_corrupted + 1
-          end)
-    end
+  let vdir = List.nth dirs (replica mod List.length dirs) in
+  let path = Filename.concat vdir (List.nth home_files (file mod 2)) in
+  if flip_byte path ~salt then c.replicas_corrupted <- c.replicas_corrupted + 1
+
+(* Same two windows for the verdict-cache surface: the cache is a
+   durable replica set like any home journal, so it gets the same
+   treatment — destruction spares the primary, corruption does not. *)
+let destroy_cache_replica c ~replica =
+  if c.cfg.vcache then
+    match List.tl (cache_dirs ~fleet_dir:c.dir ~replicas:c.cfg.replicas) with
+    | [] -> ()
+    | victims ->
+      let vdir = List.nth victims (replica mod List.length victims) in
+      if remove_files vdir cache_files then
+        c.cache_destroyed <- c.cache_destroyed + 1
+
+let corrupt_cache_replica c ~replica ~file ~salt =
+  if c.cfg.vcache then begin
+    let dirs = cache_dirs ~fleet_dir:c.dir ~replicas:c.cfg.replicas in
+    let vdir = List.nth dirs (replica mod List.length dirs) in
+    let path = Filename.concat vdir (List.nth cache_files (file mod 2)) in
+    if flip_byte path ~salt then c.cache_corrupted <- c.cache_corrupted + 1
   end
 
-(* Drive every wedged worker's home handles once a successor epoch has
-   been granted (the "revive after rebalance" moment): each journaling
-   attempt must be fenced. An append that reaches the disk is a stale
-   write accepted — the split-brain failure this PR exists to prevent. *)
+(* Drive every wedged worker's handles once a successor epoch has been
+   granted (the "revive after rebalance" moment): each journaling
+   attempt — home journal and verdict cache alike — must be fenced. An
+   append that reaches the disk is a stale write accepted — the
+   split-brain failure this harness exists to catch. *)
 let drive_zombies c =
   List.iter
     (fun z ->
@@ -371,12 +558,69 @@ let drive_zombies c =
                  storage fault killed the write: still a stale append
                  that was let through *)
               c.zombie_accepted <- c.zombie_accepted + 1)
-        (Broker.homes (Shard.broker z)))
+        (Broker.homes (Shard.broker z));
+      (* the zombie's retained verdict-cache handle gets the same
+         treatment: grant the successor ownership epoch if the real
+         replacement never attached, then probe one durable write *)
+      match Shard.vcache z with
+      | None -> ()
+      | Some h ->
+        let k = Vcache.fence_key h and e = Vcache.handle_epoch h in
+        if Fence.current k <= e then ignore (Fence.acquire k (e + 1) : int);
+        (match Vcache.probe_write h with
+        | `Fenced -> c.cache_probe_fenced <- c.cache_probe_fenced + 1
+        | `Accepted -> c.cache_probe_accepted <- c.cache_probe_accepted + 1
+        | `Dropped ->
+          (* fence passed, storage fault killed the append: a stale
+             write let through, same rule as the home path *)
+          c.cache_probe_accepted <- c.cache_probe_accepted + 1))
     c.zombies
 
 (* -- the campaign loop -------------------------------------------------------- *)
 
-let storage_modes = [| Fault.Crash; Fault.Torn; Fault.Flip |]
+(* Wedge the first running shard at or after the scheduled victim — a
+   split-brain needs a live worker to turn into a zombie. [false] when
+   no shard is running: the caller keeps the window open and retries
+   next step, so a scheduled split-brain is never silently skipped. *)
+let try_wedge c victim =
+  let cfg = c.cfg in
+  let rec go k =
+    k < cfg.shards
+    &&
+    let v = (victim + k) mod cfg.shards in
+    match Supervisor.wedge c.sup v with
+    | Some z ->
+      c.killed <- add_distinct v c.killed;
+      c.zombies <- z :: c.zombies;
+      true
+    | None -> go (k + 1)
+  in
+  go 0
+
+let fire c ev =
+  let cfg = c.cfg in
+  match ev with
+  | Kill { victim } ->
+    let v = victim mod cfg.shards in
+    if Supervisor.kill c.sup v then c.killed <- add_distinct v c.killed
+  | Stall { victim } ->
+    (* withhold beats long enough to blow the heartbeat window *)
+    c.stalled.(victim mod cfg.shards) <- 8
+  | Storage_window { mode; salt } ->
+    if c.fault_steps_left = 0 then begin
+      Fault.arm_storage ~seed:salt ~rate_per_thousand:80
+        storage_modes.(mode mod Array.length storage_modes);
+      c.fault_windows <- c.fault_windows + 1;
+      c.fault_steps_left <- 8
+    end
+  | Replica_destroy { home; replica } -> destroy_replica c ~home ~replica
+  | Replica_corrupt { home; replica; file; salt } ->
+    corrupt_replica c ~home ~replica ~file ~salt
+  | Cache_destroy { replica } -> destroy_cache_replica c ~replica
+  | Cache_corrupt { replica; file; salt } ->
+    corrupt_cache_replica c ~replica ~file ~salt
+  | Split_brain { victim } ->
+    c.pending_splits <- c.pending_splits @ [ victim mod cfg.shards ]
 
 let note_states c =
   List.iter
@@ -389,73 +633,15 @@ let note_states c =
 
 let step c ~step_index counters =
   let cfg = c.cfg in
-  (* fault windows: arm a storage-fault plan for a few steps, cycling
-     the mode so crash, torn and flip are all exercised *)
+  (* close an elapsed storage-fault window *)
   if c.fault_steps_left > 0 then begin
     c.fault_steps_left <- c.fault_steps_left - 1;
     if c.fault_steps_left = 0 then Fault.disarm_storage ()
-  end
-  else if Random.State.int c.rng 1000 < cfg.fault_window_per_thousand then begin
-    let mode = storage_modes.(c.fault_windows mod Array.length storage_modes) in
-    Fault.arm_storage ~seed:(cfg.seed + c.fault_windows) ~rate_per_thousand:80 mode;
-    c.fault_windows <- c.fault_windows + 1;
-    c.fault_steps_left <- 8
   end;
-  (* forced kills at evenly spaced steps, rotating victims *)
-  let forced =
-    List.init cfg.forced_kills (fun i ->
-        (cfg.steps * (i + 1) / (cfg.forced_kills + 1), i mod cfg.shards))
-  in
-  List.iter
-    (fun (at, victim) ->
-      if at = step_index then begin
-        if Supervisor.kill c.sup victim then c.killed <- add_distinct victim c.killed
-      end)
-    forced;
-  if Random.State.int c.rng 1000 < cfg.kill_per_thousand then begin
-    let victim = Random.State.int c.rng cfg.shards in
-    if Supervisor.kill c.sup victim then c.killed <- add_distinct victim c.killed
-  end;
-  if Random.State.int c.rng 1000 < cfg.stall_per_thousand then begin
-    let victim = Random.State.int c.rng cfg.shards in
-    (* withhold beats long enough to blow the heartbeat window *)
-    c.stalled.(victim) <- 8
-  end;
-  (* replica damage windows *)
-  if cfg.replicas > 1 && Random.State.int c.rng 1000 < cfg.replica_loss_per_thousand
-  then destroy_replica c;
-  if Random.State.int c.rng 1000 < cfg.replica_corrupt_per_thousand then
-    corrupt_replica c;
-  (* forced split-brain windows: wedge a shard (its worker keeps every
-     journal writer), offset from the kill victims so both happen. A
-     window that finds no running shard (every slot mid-restart or out
-     of budget) stays open: it retries each following step until a live
-     worker exists to turn into a zombie, so a scheduled split-brain is
-     never silently skipped *)
-  List.iter
-    (fun (i, at, victim) ->
-      if step_index >= at && List.length c.zombies <= i then
-        (* scan from the scheduled victim for a shard that is actually
-           running — a wedge needs a live worker to turn into a zombie *)
-        let rec try_wedge k =
-          if k < cfg.shards then begin
-            let v = (victim + k) mod cfg.shards in
-            match Supervisor.wedge c.sup v with
-            | Some z ->
-              c.killed <- add_distinct v c.killed;
-              c.zombies <- z :: c.zombies
-            | None -> try_wedge (k + 1)
-          end
-        in
-        try_wedge 0)
-    (* windows sit in the first half of the campaign, while the slots
-       still have restart budget to grant successor epochs; a late
-       campaign can run its whole fleet out of restarts, after which
-       there is no live worker left to wedge *)
-    (List.init cfg.split_brains (fun i ->
-         ( i,
-           cfg.steps * (i + 1) / (2 * (cfg.split_brains + 1)),
-           (i + 1) mod cfg.shards )));
+  (* fire this step's scheduled faults *)
+  List.iter (fun s -> if s.at = step_index then fire c s.ev) c.schedule;
+  (* split-brain windows that found no live worker retry each step *)
+  c.pending_splits <- List.filter (fun v -> not (try_wedge c v)) c.pending_splits;
   drive_zombies c;
   (* workload: a couple of ops against random homes; ops to a stalled
      shard time out instead of completing (a wedged worker does not
@@ -561,8 +747,19 @@ let recover_home ~fleet_dir ~replicas ~campaign_damage id =
       campaign_damage || damaged r1 || damaged r2 || sidecar_corruption;
   }
 
+let cache_scrub_text (r : Scrub.home_report) =
+  Printf.sprintf
+    "converged=%b repaired=%d recreated=%d quarantined=%d healed=%d \
+     patched-frames=%d repair-bytes=%d"
+    r.Scrub.converged r.Scrub.repaired_replicas r.Scrub.recreated_replicas
+    r.Scrub.frames_quarantined r.Scrub.records_healed r.Scrub.patched_frames
+    r.Scrub.repair_bytes
+
 (* Cache invariants, against [live] (the dump captured just before the
    final shutdown) and [totals] (the summed shard counters):
+   - no stale-epoch cache byte: every zombie probe was fenced, no
+     [~chaos/] record reached any replica file and none survives into a
+     warm reopen, and no frame is epoch-stamped below a predecessor;
    - two independent reopens of the cache journal replay to
      byte-identical state (the kill-mid-cache-write case: whatever
      prefix survived, it replays deterministically);
@@ -573,20 +770,41 @@ let recover_home ~fleet_dir ~replicas ~campaign_damage id =
      verdict — the abstraction-soundness alarm stayed silent;
    - warm restart: the reopened cache holds entries whenever any entry
      was durably journaled (honest-loss carve-out for surfaced frame
-     damage, same as the home-journal invariants). *)
-let verify_cache ~fleet_dir ~live ~totals =
+     damage, same as the home-journal invariants);
+   - warm equals cold: re-auditing every home against the warm reopened
+     cache renders byte-identically to an uncached audit;
+   - cache-scrub convergence and idempotence (from the pre-shutdown
+     {!Supervisor.scrub_cache} passes). *)
+let verify_cache c ~fleet_dir ~live ~totals ~cscrub ~cscrub2 =
   match (live, totals) with
   | None, _ | _, None -> []
   | Some live, Some (totals : Vcache.counters) ->
-    let dir = Filename.concat fleet_dir "vcache" in
-    let st1 = Vcache.open_store ~fsync:false ~dir () in
+    let cdirs = cache_dirs ~fleet_dir ~replicas:c.cfg.replicas in
+    (* durable stale-write evidence, scanned before any reopen rewrites
+       the replica files *)
+    let chaos_records, cache_regressions =
+      List.fold_left
+        (fun acc d ->
+          List.fold_left
+            (fun (ck, er) f ->
+              let sc = Journal.scan (Filename.concat d f) in
+              ( ck
+                + List.length
+                    (List.filter (contains ~sub:"~chaos/") sc.Journal.records),
+                er + sc.Journal.epoch_regressions ))
+            acc cache_files)
+        (0, 0) cdirs
+    in
+    let dir = List.hd cdirs and crep = List.tl cdirs in
+    let st1 = Vcache.open_store ~fsync:false ~replicas:crep ~dir () in
     let d1 = Vcache.dump st1 in
     let dmg = Vcache.replay_damage st1 in
     let n1 = Vcache.entries st1 in
     Vcache.close_store st1;
-    let st2 = Vcache.open_store ~fsync:false ~dir () in
+    let st2 = Vcache.open_store ~fsync:false ~replicas:crep ~dir () in
     let d2 = Vcache.dump st2 in
     Vcache.close_store st2;
+    let chaos_dump = List.filter (fun (k, _) -> contains ~sub:"~chaos/" k) d1 in
     let kind e = if e = "" then '?' else e.[0] in
     let poisoned =
       List.filter
@@ -596,8 +814,49 @@ let verify_cache ~fleet_dir ~live ~totals =
           | None -> false)
         d1
     in
+    (* warm-vs-cold: the reopened cache must never change an audit *)
+    let stw = Vcache.open_store ~fsync:false ~replicas:crep ~dir () in
+    let hw = Vcache.attach stw ~owner:"warm-audit" in
+    let warm_bad =
+      List.filter_map
+        (fun (id, _) ->
+          let dirs = Shard.home_dirs ~fleet_dir ~replicas:c.cfg.replicas id in
+          let hdir = List.hd dirs and extra = List.tl dirs in
+          let hwarm, _ =
+            Home.open_ ~fsync:false ~replicas:extra
+              ~configure:(Vcache.configure hw) ~dir:hdir ()
+          in
+          let warm = Home.audit_text hwarm in
+          Home.close hwarm;
+          let hcold, _ = Home.open_ ~fsync:false ~replicas:extra ~dir:hdir () in
+          let cold = Home.audit_text hcold in
+          Home.close hcold;
+          if warm = cold then None else Some id)
+        c.expects
+    in
+    Vcache.close_store stw;
     let inv name ok detail = { name; ok; detail } in
+    let list = function [] -> "" | ids -> ": " ^ String.concat "," ids in
+    let scrub_invs =
+      match (cscrub, cscrub2) with
+      | Some (r1 : Scrub.home_report), Some (r2 : Scrub.home_report) ->
+        [
+          inv "cache-scrub-convergence" r1.Scrub.converged (cache_scrub_text r1);
+          inv "cache-scrub-idempotent"
+            (r2.Scrub.healthy && r2.Scrub.converged && r2.Scrub.repair_bytes = 0)
+            (cache_scrub_text r2);
+        ]
+      | _ -> []
+    in
     [
+      inv "cache-no-stale-epoch-byte"
+        (c.cache_probe_accepted = 0 && chaos_records = 0 && chaos_dump = []
+        && cache_regressions = 0)
+        (Printf.sprintf
+           "%d probe(s) fenced, %d accepted, %d chaos record(s) on disk, %d \
+            reopened, %d epoch regression(s)"
+           c.cache_probe_fenced c.cache_probe_accepted chaos_records
+           (List.length chaos_dump) cache_regressions);
       inv "cache-replay-determinism" (d1 = d2)
         (Printf.sprintf "%d entries reopened twice, %d damaged frame(s) dropped"
            (List.length d1) dmg);
@@ -615,7 +874,11 @@ let verify_cache ~fleet_dir ~live ~totals =
         (n1 > 0 || totals.Vcache.inserts = 0 || dmg > 0)
         (Printf.sprintf "entries=%d inserts=%d evicts=%d journal-drops=%d" n1
            totals.Vcache.inserts totals.Vcache.evicts totals.Vcache.journal_drops);
+      inv "cache-warm-equals-cold" (warm_bad = [])
+        (Printf.sprintf "%d home(s) audited warm vs cold%s"
+           (List.length c.expects) (list warm_bad));
     ]
+    @ scrub_invs
 
 let verify c ~fleet_dir =
   let campaign_damaged =
@@ -681,9 +944,12 @@ let verify c ~fleet_dir =
 
 (* -- entry point -------------------------------------------------------------- *)
 
-let run ?(config = default_config) ~dir () =
+let run ?(config = default_config) ?schedule ~dir () =
   if config.shards < 1 || config.homes < 1 || config.steps < 1 then
     invalid_arg "Chaos.run: shards, homes and steps must be positive";
+  let schedule =
+    match schedule with Some s -> s | None -> schedule_of_config config
+  in
   let rng = Random.State.make [| 0xc4a05; config.seed |] in
   let synth_homes = Corpus.synth ~seed:config.seed ~n_homes:config.homes in
   let now = ref 0.0 in
@@ -718,6 +984,7 @@ let run ?(config = default_config) ~dir () =
       cfg = config;
       dir;
       sup;
+      schedule;
       rng;
       now;
       expects =
@@ -736,11 +1003,16 @@ let run ?(config = default_config) ~dir () =
               } ))
           synth_homes;
       stalled = Array.make config.shards 0;
+      pending_splits = [];
       zombies = [];
       zombie_rejected = 0;
       zombie_accepted = 0;
+      cache_probe_fenced = 0;
+      cache_probe_accepted = 0;
       replicas_destroyed = 0;
       replicas_corrupted = 0;
+      cache_destroyed = 0;
+      cache_corrupted = 0;
       fault_steps_left = 0;
       fault_windows = 0;
       ops = 0;
@@ -758,8 +1030,15 @@ let run ?(config = default_config) ~dir () =
   Fun.protect
     ~finally:(fun () ->
       Fault.disarm ();
-      Fault.disarm_storage ())
+      Fault.disarm_storage ();
+      Fault.reset_sleeper ();
+      Budget.reset_clock ())
   @@ fun () ->
+  (* injected stalls advance the campaign's virtual clock instead of
+     blocking real time, and solver deadlines poll the same clock — a
+     whole campaign with stall windows costs no wall-clock sleeps *)
+  Fault.set_sleeper (fun ms -> now := !now +. ms);
+  Budget.set_clock (fun () -> !now /. 1000.0);
   for step_index = 1 to config.steps do
     step c ~step_index counters
   done;
@@ -802,6 +1081,8 @@ let run ?(config = default_config) ~dir () =
   in
   let scrub = Supervisor.scrub c.sup in
   let scrub_second = Supervisor.scrub c.sup in
+  let cache_scrub = Supervisor.scrub_cache c.sup in
+  let cache_scrub_second = Supervisor.scrub_cache c.sup in
   let stats = Supervisor.stats c.sup in
   let live_cache = Option.map Vcache.dump (Supervisor.vcache_store c.sup) in
   Supervisor.close c.sup;
@@ -828,10 +1109,13 @@ let run ?(config = default_config) ~dir () =
   let invariants =
     verify c ~fleet_dir:dir
     @ replication_invariants
-    @ verify_cache ~fleet_dir:dir ~live:live_cache ~totals:stats.Supervisor.cache
+    @ verify_cache c ~fleet_dir:dir ~live:live_cache
+        ~totals:stats.Supervisor.cache ~cscrub:cache_scrub
+        ~cscrub2:cache_scrub_second
   in
   {
     config;
+    schedule;
     ops = c.ops;
     installs_acked = counters.(0);
     configs_acked = counters.(1);
@@ -844,15 +1128,98 @@ let run ?(config = default_config) ~dir () =
     fault_windows = c.fault_windows;
     replicas_destroyed = c.replicas_destroyed;
     replicas_corrupted = c.replicas_corrupted;
+    cache_destroyed = c.cache_destroyed;
+    cache_corrupted = c.cache_corrupted;
     zombie_rejected = c.zombie_rejected;
     zombie_accepted = c.zombie_accepted;
+    cache_probe_fenced = c.cache_probe_fenced;
+    cache_probe_accepted = c.cache_probe_accepted;
     scrub;
     scrub_second;
+    cache_scrub;
+    cache_scrub_second;
     stats;
     shards_killed = List.length c.killed;
     shards_recovered = List.length c.recovered;
     invariants;
   }
+
+(* -- the shrinker ------------------------------------------------------------- *)
+
+let violates r ~invariant =
+  List.exists (fun i -> i.name = invariant && not i.ok) r.invariants
+
+let split_chunks n xs =
+  let len = List.length xs in
+  let base = len / n and rem = len mod n in
+  let rec take k xs acc =
+    if k = 0 then (List.rev acc, xs)
+    else match xs with [] -> (List.rev acc, []) | h :: t -> take (k - 1) t (h :: acc)
+  in
+  let rec go i xs acc =
+    if i >= n then List.rev acc
+    else
+      let chunk, rest = take (base + if i < rem then 1 else 0) xs [] in
+      go (i + 1) rest (chunk :: acc)
+  in
+  go 0 xs []
+
+let rec mkdir_p d =
+  if d <> "" && d <> "." && d <> "/" && not (Sys.file_exists d) then begin
+    mkdir_p (Filename.dirname d);
+    try Unix.mkdir d 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ()
+  end
+
+let shrink ?(config = smoke_config) ?(enforce_fence = true) ~dir ~invariant
+    schedule =
+  let trials = ref 0 in
+  let fails sched =
+    incr trials;
+    let tdir = Filename.concat dir (Printf.sprintf "trial-%04d" !trials) in
+    mkdir_p tdir;
+    let campaign () = run ~config ~schedule:sched ~dir:tdir () in
+    let r =
+      if enforce_fence then campaign ()
+      else begin
+        (* the deliberately reintroduced split-brain bug: trials run
+           with the fence disabled, restored on every exit path *)
+        Fence.set_enforced false;
+        Fun.protect ~finally:(fun () -> Fence.set_enforced true) campaign
+      end
+    in
+    violates r ~invariant
+  in
+  if not (fails schedule) then
+    invalid_arg "Chaos.shrink: the schedule does not violate the invariant";
+  (* classic ddmin over the event list: try each chunk alone, then each
+     complement, doubling granularity until single events *)
+  let rec ddmin events n =
+    let len = List.length events in
+    if len <= 1 || n > len then events
+    else
+      let chunks = split_chunks n events in
+      match
+        List.find_opt (fun ch -> ch <> [] && List.length ch < len && fails ch) chunks
+      with
+      | Some ch -> ddmin ch 2
+      | None -> (
+        let complements =
+          List.mapi
+            (fun i _ -> List.concat (List.filteri (fun j _ -> j <> i) chunks))
+            chunks
+        in
+        match
+          List.find_opt
+            (fun comp -> comp <> [] && List.length comp < len && fails comp)
+            complements
+        with
+        | Some comp -> ddmin comp (max 2 (n - 1))
+        | None -> if n < len then ddmin events (min len (2 * n)) else events)
+  in
+  let minimal = ddmin schedule 2 in
+  (minimal, !trials)
+
+(* -- rendering ---------------------------------------------------------------- *)
 
 let render r =
   let b = Buffer.create 512 in
@@ -860,6 +1227,21 @@ let render r =
     (Printf.sprintf
        "chaos campaign: seed=%d shards=%d homes=%d steps=%d\n" r.config.seed
        r.config.shards r.config.homes r.config.steps);
+  let count p = List.length (List.filter (fun s -> p s.ev) r.schedule) in
+  Buffer.add_string b
+    (Printf.sprintf
+       "schedule: events=%d kills=%d stalls=%d storage-windows=%d \
+        replica-loss=%d replica-corrupt=%d cache-loss=%d cache-corrupt=%d \
+        splits=%d\n"
+       (List.length r.schedule)
+       (count (function Kill _ -> true | _ -> false))
+       (count (function Stall _ -> true | _ -> false))
+       (count (function Storage_window _ -> true | _ -> false))
+       (count (function Replica_destroy _ -> true | _ -> false))
+       (count (function Replica_corrupt _ -> true | _ -> false))
+       (count (function Cache_destroy _ -> true | _ -> false))
+       (count (function Cache_corrupt _ -> true | _ -> false))
+       (count (function Split_brain _ -> true | _ -> false)));
   Buffer.add_string b
     (Printf.sprintf
        "workload: ops=%d acked installs=%d configs=%d decisions=%d \
@@ -892,7 +1274,23 @@ let render r =
   | Some cc ->
     Buffer.add_string b
       (Printf.sprintf "vcache: entries=%d %s\n" r.stats.Supervisor.cache_entries
-         (Homeguard_vcache.Vcache.counters_text cc)));
+         (Homeguard_vcache.Vcache.counters_text cc));
+    Buffer.add_string b
+      (Printf.sprintf
+         "cache-replication: destroyed=%d corrupted=%d probes-fenced=%d \
+          probes-accepted=%d\n"
+         r.cache_destroyed r.cache_corrupted r.cache_probe_fenced
+         r.cache_probe_accepted);
+    (match r.cache_scrub with
+    | Some cs ->
+      Buffer.add_string b
+        (Printf.sprintf "cache-scrub:   %s\n" (cache_scrub_text cs))
+    | None -> ());
+    (match r.cache_scrub_second with
+    | Some cs ->
+      Buffer.add_string b
+        (Printf.sprintf "cache-rescrub: %s\n" (cache_scrub_text cs))
+    | None -> ()));
   List.iter
     (fun i ->
       Buffer.add_string b

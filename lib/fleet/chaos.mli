@@ -1,14 +1,23 @@
-(** Seeded chaos campaigns over a synthetic-home fleet: a deterministic
-    schedule of shard kills, stalls, storage-fault windows, replica
-    destruction/corruption and stall-then-revive (split-brain) windows
-    layered over install/config/decision/audit traffic, verified
-    against the fleet invariants — no silent acked loss while one
-    replica survives, zero stale-epoch appends accepted, scrub
-    convergence and idempotence, replay-deterministic recovery,
-    quarantine/decision survival, no false clean bill — plus, when the
-    shared verdict cache is on, the cache invariants (its journal
-    replays prefix-consistent after a kill mid cache-write and no
-    poisoned or torn entry is ever served). *)
+(** Seeded chaos campaigns over a synthetic-home fleet: an {e explicit,
+    up-front fault schedule} of shard kills, stalls, storage-fault
+    windows, replica and cache-replica destruction/corruption and
+    stall-then-revive (split-brain) windows layered over
+    install/config/decision/audit traffic, verified against the fleet
+    invariants — no silent acked loss while one replica survives, zero
+    stale-epoch appends accepted, scrub convergence and idempotence,
+    replay-deterministic recovery, quarantine/decision survival, no
+    false clean bill — plus, when the shared verdict cache is on, the
+    cache-surface invariants: no stale-epoch cache byte (every zombie
+    cache write fenced, nothing reaches disk), replay-deterministic
+    reopen, no poisoned or torn entry served, no verdict conflicts,
+    warm across the final restart, a warm reopened cache auditing
+    byte-identically to a cold one, and cache-scrub
+    convergence/idempotence.
+
+    The schedule is a pure function of the config seed, derived from a
+    fault RNG independent of the workload stream — so any {e subset} of
+    it can be replayed ({!run} with [?schedule]) and a failing schedule
+    can be delta-debugged down to a minimal reproduction ({!shrink}). *)
 
 type config = {
   seed : int;
@@ -23,18 +32,22 @@ type config = {
   audit_per_thousand : int;
   vcache : bool;
       (** run the campaign with the shared verdict cache enabled and
-          verify the cache invariants (replay-deterministic reopen, no
-          poisoned or torn entry served, no verdict conflicts, warm
-          across the final restart) *)
+          verify the cache-surface invariants *)
   replicas : int;  (** replica count per home (1 = unreplicated) *)
   replica_loss_per_thousand : int;
       (** per-step chance of destroying one non-primary replica *)
   replica_corrupt_per_thousand : int;
       (** per-step chance of flipping bits in one replica file *)
+  cache_loss_per_thousand : int;
+      (** per-step chance of destroying one non-primary cache replica *)
+  cache_corrupt_per_thousand : int;
+      (** per-step chance of flipping a byte in one cache replica file *)
   split_brains : int;
       (** evenly spaced stall-then-revive windows: a shard is wedged
-          (killed without closing its writers), its homes rebalance to
-          a higher epoch, and the zombie keeps trying to append *)
+          (killed without closing its writers {e or} its verdict-cache
+          handle), its homes rebalance to a higher epoch, and the
+          zombie keeps trying to append — to home journals and to the
+          cache *)
 }
 
 val default_config : config
@@ -43,10 +56,37 @@ val default_config : config
 val smoke_config : config
 (** A short CI-sized campaign (10 homes, 150 steps). *)
 
+(** {2 The fault schedule} *)
+
+(** One scheduled fault. Every parameter the fault needs — victim,
+    home/replica/file indices, corruption salts — is minted at
+    derivation time, so an event fires identically whether it runs
+    inside the full schedule or a shrunk subset. *)
+type fault_event =
+  | Kill of { victim : int }
+  | Stall of { victim : int }
+  | Storage_window of { mode : int; salt : int }
+      (** open a crash/torn/flip storage-fault window; [mode] indexes
+          the cycling order, [salt] seeds the fault stream *)
+  | Replica_destroy of { home : int; replica : int }
+  | Replica_corrupt of { home : int; replica : int; file : int; salt : int }
+  | Cache_destroy of { replica : int }  (** non-primary cache replicas *)
+  | Cache_corrupt of { replica : int; file : int; salt : int }
+  | Split_brain of { victim : int }
+
+type scheduled = { at : int; ev : fault_event }
+(** [ev] fires at workload step [at] (1-based). *)
+
+val schedule_of_config : config -> scheduled list
+(** The complete fault plan for a config — a pure function of
+    [config.seed], sorted by step, independent of the workload RNG.
+    [run ~config ()] executes exactly this schedule. *)
+
 type invariant = { name : string; ok : bool; detail : string }
 
 type report = {
   config : config;
+  schedule : scheduled list;  (** the fault plan this campaign executed *)
   ops : int;
   installs_acked : int;
   configs_acked : int;
@@ -61,20 +101,52 @@ type report = {
   fault_windows : int;
   replicas_destroyed : int;
   replicas_corrupted : int;
+  cache_destroyed : int;  (** cache replica files removed *)
+  cache_corrupted : int;  (** cache replica files bit-flipped *)
   zombie_rejected : int;  (** stale-epoch appends fenced off *)
   zombie_accepted : int;  (** stale-epoch appends that went durable — must be 0 *)
+  cache_probe_fenced : int;  (** zombie cache writes refused at the fence *)
+  cache_probe_accepted : int;
+      (** stale cache writes that went durable — must be 0 *)
   scrub : Homeguard_store.Scrub.counters;  (** first anti-entropy pass *)
   scrub_second : Homeguard_store.Scrub.counters;
       (** second pass — must find nothing to repair *)
+  cache_scrub : Homeguard_store.Scrub.home_report option;
+      (** cache-surface anti-entropy pass (when the cache is on) *)
+  cache_scrub_second : Homeguard_store.Scrub.home_report option;
+      (** second cache pass — must be healthy with zero repair bytes *)
   stats : Supervisor.stats;
   shards_killed : int;
   shards_recovered : int;
   invariants : invariant list;
 }
 
-val run : ?config:config -> dir:string -> unit -> report
+val run : ?config:config -> ?schedule:scheduled list -> dir:string -> unit -> report
 (** Run one campaign in [dir] (created if missing). Deterministic in
-    [config.seed]. Fault hooks are disarmed on every exit path. *)
+    [config.seed]; [?schedule] (default {!schedule_of_config}) replaces
+    the fault plan — pass a subset to replay only those faults. Fault
+    hooks, the injected sleeper and the solver clock are restored on
+    every exit path. *)
 
 val passed : report -> bool
+val violates : report -> invariant:string -> bool
+(** The named invariant exists in the report and failed. *)
+
+val shrink :
+  ?config:config ->
+  ?enforce_fence:bool ->
+  dir:string ->
+  invariant:string ->
+  scheduled list ->
+  scheduled list * int
+(** [shrink ~dir ~invariant schedule] delta-debugs (ddmin) a failing
+    fault schedule down to a locally-minimal event list that still
+    violates [invariant], running each trial campaign in a fresh
+    subdirectory of [dir]. Returns the minimal schedule and the number
+    of trial campaigns run. [~enforce_fence:false] runs every trial
+    with {!Homeguard_store.Fence.set_enforced}[ false] (the
+    deliberately reintroduced split-brain bug), restored on every exit
+    path. Raises [Invalid_argument] if the full schedule does not
+    violate the invariant. *)
+
 val render : report -> string

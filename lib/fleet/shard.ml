@@ -22,6 +22,9 @@ type t = {
       (** the ownership epoch the supervisor granted this shard for a
           home; [None] opens unfenced *)
   configure : Homeguard_detector.Detector.config -> Homeguard_detector.Detector.config;
+  vcache : Vcache.handle option;
+      (** this incarnation's cache handle — retained so chaos can drive
+          a wedged shard's {e stale} handle against the fence *)
   broker : Broker.t;
   mutable recoveries : (string * Home.recovery_report) list;
       (** most recent first; every open this shard performed *)
@@ -49,6 +52,7 @@ let home_dirs ~fleet_dir ~replicas id =
 
 let index t = t.index
 let broker t = t.broker
+let vcache t = t.vcache
 let home_ids t = Broker.home_ids t.broker
 let recoveries t = t.recoveries
 
@@ -76,6 +80,7 @@ let open_ ?(broker_config = Broker.default_config) ?(fsync = true)
       epoch_of;
       configure =
         (match vcache with None -> Fun.id | Some h -> Vcache.configure h);
+      vcache;
       broker = Broker.create ~config:broker_config ();
       recoveries = [];
     }

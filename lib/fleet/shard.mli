@@ -41,6 +41,11 @@ val index : t -> int
 val broker : t -> Broker.t
 val home_ids : t -> string list
 
+val vcache : t -> Homeguard_vcache.Vcache.handle option
+(** The cache handle this incarnation was opened with. After the shard
+    is wedged and replaced, the handle's epoch is stale — chaos drives
+    it against the fence via {!Homeguard_vcache.Vcache.probe_write}. *)
+
 val recoveries : t -> (string * Home.recovery_report) list
 (** Every recovery this shard performed, most recent first — the
     honest-loss accounting (quarantined/skipped counts) chaos

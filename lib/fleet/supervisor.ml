@@ -69,9 +69,12 @@ type slot = {
   mutable state : slot_state;
   breaker : Breaker.t;
   health : Health.t;
-  cache : Vcache.handle option;
-      (** this shard's handle on the shared cache, reused across
-          restarts so its counters are cumulative *)
+  mutable cache : Vcache.handle option;
+      (** this shard's handle on the shared cache, re-minted with a
+          fresh ownership epoch on every (re)open so a wedged previous
+          incarnation's handle is fenced off the cache surface; totals
+          stay cumulative because the store sums every handle ever
+          attached *)
   mutable homes : string list;  (** current assignment *)
   mutable restarts : int;  (** successful supervised restarts *)
   mutable attempts_used : int;  (** restart attempts charged to the budget *)
@@ -157,6 +160,13 @@ let next_epoch t id =
 
 let open_shard t slot =
   let broker_config = { t.config.broker with Broker.clock = t.config.clock } in
+  (* a fresh cache handle (and cache-surface ownership epoch) per
+     incarnation: attaching fences the previous incarnation's handle,
+     so a wedged zombie that still holds it cannot write a stale solve
+     class while this replacement serves the same homes *)
+  (match t.cache_store with
+  | Some st -> slot.cache <- Some (Vcache.attach st ~owner:(shard_label slot.index))
+  | None -> ());
   (* record each home's recovery as it happens — a later home crashing
      this open must not discard the evidence (the journal repair it
      performed is already durable) *)
@@ -173,8 +183,16 @@ let create ?(config = default_config) ~dir ~homes () =
   if not (Sys.file_exists dir) then Unix.mkdir dir 0o755;
   let cache_store =
     if config.vcache then
+      (* the cache surface replicates exactly like home journals: one
+         copy per replica root, converged by scrub, recovered merged *)
+      let cache_replicas =
+        List.init (config.replicas - 1) (fun k ->
+            Filename.concat
+              (Filename.concat dir (Printf.sprintf "r%d" (k + 1)))
+              "vcache")
+      in
       Some
-        (Vcache.open_store ~fsync:config.fsync
+        (Vcache.open_store ~fsync:config.fsync ~replicas:cache_replicas
            ~dir:(Filename.concat dir "vcache") ())
     else None
   in
@@ -190,10 +208,7 @@ let create ?(config = default_config) ~dir ~homes () =
           health =
             Health.create ~interval_ms:config.heartbeat_interval_ms
               ~miss_threshold:config.miss_threshold config.clock;
-          cache =
-            Option.map
-              (fun st -> Vcache.attach st ~owner:(shard_label index))
-              cache_store;
+          cache = None;  (* attached (with an epoch grant) by open_shard *)
           homes = [];
           restarts = 0;
           attempts_used = 0;
@@ -491,6 +506,14 @@ let scrub t =
     Scrub.zero
     (List.sort compare (Hashtbl.fold (fun id _ acc -> id :: acc) t.assignment []))
 
+(** Anti-entropy pass over the verdict-cache surface: park the shared
+    writer, converge the cache replicas at frame granularity, reopen.
+    [None] when the fleet runs without a cache. Kept separate from
+    {!scrub} (whose counters are per-home) so callers can assert on
+    each surface independently; [fleet scrub] and the chaos campaign
+    run both. *)
+let scrub_cache t = Option.map Vcache.scrub t.cache_store
+
 (** Heartbeat from shard [idx]; chaos stalls a shard by advancing the
     clock while withholding its beat. *)
 let beat t idx =
@@ -513,6 +536,7 @@ let running t =
 let shard t idx =
   match t.slots.(idx).state with Running sh -> Some sh | _ -> None
 
+let cache_handle t idx = t.slots.(idx).cache
 let homes_of t idx = t.slots.(idx).homes
 let home_ids t = Hashtbl.fold (fun id _ acc -> id :: acc) t.assignment []
 

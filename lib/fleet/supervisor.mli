@@ -99,15 +99,27 @@ val wedge : t -> int -> Shard.t option
     does, but do {e not} close the worker — the returned handle keeps
     its journal writers open, modelling a stalled process that revives
     after its homes were reassigned. Every append the zombie attempts
-    raises {!Homeguard_store.Fence.Stale}; chaos' split-brain window
+    raises {!Homeguard_store.Fence.Stale}; its verdict-cache handle is
+    likewise superseded the moment the replacement attaches, so its
+    cache writes are refused at the fence. Chaos' split-brain window
     drives this handle directly. [None] when the shard is not
     running. *)
+
+val cache_handle : t -> int -> Vcache.handle option
+(** Shard [idx]'s current handle on the shared verdict cache — chaos
+    probes a wedged shard's {e retained} handle against this one. *)
 
 val scrub : t -> Homeguard_store.Scrub.counters
 (** Anti-entropy pass over every home: live homes scrub in place
     (writers parked around the repair), homes on down/dead shards scrub
     offline. A second pass over an undamaged fleet reports
     all-healthy. *)
+
+val scrub_cache : t -> Homeguard_store.Scrub.home_report option
+(** Anti-entropy pass over the verdict-cache surface (the cache's
+    replica roots converge at frame granularity, writer parked around
+    the repair); [None] when the fleet runs without a cache. [fleet
+    scrub] and the chaos campaign run this alongside {!scrub}. *)
 
 val beat : t -> int -> unit
 (** Heartbeat from one shard (requests beat implicitly on success).

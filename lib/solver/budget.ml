@@ -99,33 +99,47 @@ let cache_fingerprint spec =
   Printf.sprintf "p%s.n%s.%s" (f spec.prop_steps) (f spec.search_nodes)
     (match spec.timeout_ms with None -> "tinf" | Some _ -> "tdl")
 
+(* How a deadline reads the time: [Unix.gettimeofday]-like seconds.
+   Wall clock by default; virtual-time harnesses (the chaos campaign,
+   deadline tests) install their own process default so solver
+   deadlines are deterministic, and a single solve can still pin an
+   explicit clock via [start ?clock]. *)
+let wall_clock = Unix.gettimeofday
+let default_clock : (unit -> float) Atomic.t = Atomic.make wall_clock
+let set_clock f = Atomic.set default_clock f
+let reset_clock () = Atomic.set default_clock wall_clock
+
 (** Mutable fuel state threaded through one solve. *)
 type t = {
   mutable prop_fuel : int;  (** [max_int] = unlimited *)
   mutable node_fuel : int;
-  deadline : float option;  (** absolute [Unix.gettimeofday] time *)
-  mutable ticks : int;  (** throttles the deadline syscall *)
+  deadline : float option;  (** absolute time on [clock] *)
+  clock : unit -> float;
+  mutable ticks : int;  (** throttles the deadline clock read *)
 }
 
-let start spec =
+let start ?clock spec =
+  let clock =
+    match clock with Some c -> c | None -> Atomic.get default_clock
+  in
   {
     prop_fuel = Option.value ~default:max_int spec.prop_steps;
     node_fuel = Option.value ~default:max_int spec.search_nodes;
-    deadline =
-      Option.map (fun ms -> Unix.gettimeofday () +. (ms /. 1000.0)) spec.timeout_ms;
+    deadline = Option.map (fun ms -> clock () +. (ms /. 1000.0)) spec.timeout_ms;
+    clock;
     ticks = 0;
   }
 
 let unlimited () = start unlimited_spec
 
-(* The deadline is polled every 256 spends: gettimeofday per atom
+(* The deadline is polled every 256 spends: a clock read per atom
    revision would dominate the solve it is guarding. *)
 let check_deadline b ~where =
   match b.deadline with
   | None -> ()
   | Some dl ->
     b.ticks <- b.ticks + 1;
-    if b.ticks land 255 = 0 && Unix.gettimeofday () > dl then
+    if b.ticks land 255 = 0 && b.clock () > dl then
       raise (Exhausted { trip = Deadline; where })
 
 let spend_prop b ~where =

@@ -54,7 +54,21 @@ val cache_fingerprint : spec -> string
 type t
 (** Mutable fuel state for one solve. *)
 
-val start : spec -> t
+val wall_clock : unit -> float
+(** [Unix.gettimeofday] — the default deadline clock. *)
+
+val set_clock : (unit -> float) -> unit
+(** Install the process-default deadline clock (seconds,
+    [gettimeofday]-like). Virtual-time harnesses use this so solver
+    deadlines trip deterministically; production never calls it. *)
+
+val reset_clock : unit -> unit
+(** Restore {!wall_clock} as the process default. *)
+
+val start : ?clock:(unit -> float) -> spec -> t
+(** Arm a budget. The deadline (if any) is anchored on [?clock]
+    (default: the process-default clock) and polled against it. *)
+
 val unlimited : unit -> t
 
 val spend_prop : t -> where:string -> unit

@@ -29,6 +29,15 @@ type plan = {
 
 let state : plan option Atomic.t = Atomic.make None
 
+(* How a [Stall] actually passes time. Wall-clock by default; virtual-
+   time harnesses (the chaos campaign, deadline tests) install their
+   own so an injected stall advances the injectable clock instead of
+   blocking CI for real milliseconds. *)
+let default_sleeper ms = if ms > 0.0 then Unix.sleepf (ms /. 1000.0)
+let sleeper : (float -> unit) Atomic.t = Atomic.make default_sleeper
+let set_sleeper f = Atomic.set sleeper f
+let reset_sleeper () = Atomic.set sleeper default_sleeper
+
 (* Keys that already fired, for [once] plans. Guarded: several domains
    consult it concurrently. *)
 let fired : (string, unit) Hashtbl.t = Hashtbl.create 64
@@ -86,7 +95,7 @@ let check key =
           raise
             (Budget.Exhausted
                { Budget.trip = Budget.Deadline; where = "fault injection: " ^ key })
-        | Stall ms -> if ms > 0.0 then Unix.sleepf (ms /. 1000.0)
+        | Stall ms -> if ms > 0.0 then (Atomic.get sleeper) ms
     end
 
 (* -- storage faults ---------------------------------------------------------- *)

@@ -30,6 +30,15 @@ val check : string -> unit
 (** Called by the solver with the solve's key; raises {!Injected} or
     {!Budget.Exhausted} when the armed plan selects the key. *)
 
+val set_sleeper : (float -> unit) -> unit
+(** Replace how a [Stall] passes its milliseconds. Wall-clock
+    ([Unix.sleepf]) by default; virtual-time harnesses install a
+    function that advances their injectable clock instead, so stall
+    windows cost no real time in CI. *)
+
+val reset_sleeper : unit -> unit
+(** Restore the wall-clock sleeper. *)
+
 (** {2 Storage faults}
 
     A second, independent hook for the durable journal: simulated

@@ -42,9 +42,19 @@ let acquire key epoch =
       Hashtbl.replace table key next;
       next)
 
+(* Enforcement switch: [false] turns {!check} into a no-op, restoring
+   the pre-fencing behaviour where stale writers reach the disk. This
+   exists only so chaos campaigns can deliberately reintroduce the
+   split-brain bug and prove the invariants (and the repro shrinker)
+   catch it; production never clears it. *)
+let enforced = Atomic.make true
+let set_enforced v = Atomic.set enforced v
+
 (** Gate one append made under [epoch]. Raises {!Stale} (and counts the
     rejection) when a later epoch has been granted for [key]. *)
 let check ~key ~epoch =
+  if not (Atomic.get enforced) then ()
+  else
   let stale =
     with_lock (fun () ->
         let cur = Option.value ~default:0 (Hashtbl.find_opt table key) in

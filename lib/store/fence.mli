@@ -26,3 +26,9 @@ val rejections_for : string -> int
 
 val reset : unit -> unit
 (** Forget all grants and counts — test/campaign isolation only. *)
+
+val set_enforced : bool -> unit
+(** [set_enforced false] turns {!check} into a no-op — the deliberately
+    reintroduced split-brain bug that chaos campaigns use to prove the
+    invariants (and the repro shrinker) catch an unfenced fleet.
+    Test/campaign only; production never clears it. *)

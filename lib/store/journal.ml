@@ -140,6 +140,10 @@ type damage =
 
 type scan = {
   records : string list;
+  frames : string list;
+      (** the exact on-disk frame bytes of each valid record, in
+          [records] order — what frame-level repair patches with *)
+  epochs : int list;  (** the epoch stamped on each valid frame *)
   damage : damage list;
   first_damage_index : int option;
       (** number of valid records preceding the first damaged region *)
@@ -195,6 +199,7 @@ let parse_header s pos =
 let scan_string s =
   let n = String.length s in
   let records = ref [] and damage = ref [] and first = ref None in
+  let frames = ref [] and epochs = ref [] in
   let max_epoch = ref 0 and regressions = ref 0 in
   let note d =
     if !first = None then first := Some (List.length !records);
@@ -253,6 +258,8 @@ let scan_string s =
           let payload = String.sub s (pos + hlen) plen in
           if s.[fin - 1] = '\n' && Crc32.string payload = crc then begin
             records := payload :: !records;
+            frames := String.sub s pos (fin - pos) :: !frames;
+            epochs := epoch :: !epochs;
             if epoch < !max_epoch then incr regressions
             else max_epoch := epoch;
             step fin
@@ -270,6 +277,8 @@ let scan_string s =
   step 0;
   {
     records = List.rev !records;
+    frames = List.rev !frames;
+    epochs = List.rev !epochs;
     damage = List.rev !damage;
     first_damage_index = !first;
     max_epoch = !max_epoch;

@@ -55,6 +55,10 @@ type damage =
 
 type scan = {
   records : string list;  (** valid payloads, in order *)
+  frames : string list;
+      (** the exact on-disk frame bytes of each valid record, in
+          [records] order — what frame-level repair patches with *)
+  epochs : int list;  (** the epoch stamped on each valid frame *)
   damage : damage list;
   first_damage_index : int option;
       (** number of valid records preceding the first damaged region *)

@@ -26,6 +26,9 @@ val epoch : t -> int
 val sync : t -> unit
 val close : t -> unit
 
+val mkdirs : string -> unit
+(** Recursively create a (replica) directory if missing. *)
+
 val write_atomic_all : ?fsync:bool -> ?epoch:int -> string list -> string list -> unit
 (** [write_atomic_all paths payloads] atomically replaces every replica
     with a journal holding exactly [payloads], creating missing replica

@@ -1,33 +1,43 @@
-(** Anti-entropy scrub over a home's replica set: CRC-scan every
-    replica, compare record-stream digests, read-repair anything
-    missing, damaged or diverged from the merged quorum stream. *)
+(** Anti-entropy scrub over a replica set of journal-framed files:
+    CRC-scan every replica, compare record-stream digests, and repair
+    anything missing, damaged or diverged at {e frame granularity} —
+    only the damaged frames are rewritten, so repair I/O is bounded by
+    the damage ([repair_bytes]), not the file size. Serves both home
+    journals (default [~files]) and the verdict cache's
+    [cache.snapshot]/[cache.journal] surface. *)
 
 val files_of_dir : string -> string list
 (** The journal files of one replica directory:
     [[dir/snapshot; dir/journal]]. *)
 
-val dir_digest : string -> string
-(** Record-stream digest of one replica directory (valid snapshot
-    records then valid journal records). Replay determinism makes
-    equal digests imply equal {!Home.state_digest}s. *)
+val dir_digest : ?files:string list -> string -> string
+(** Record-stream digest of one replica directory (valid records of
+    every file in [~files] order — default [snapshot] then [journal]).
+    Replay determinism makes equal digests imply equal
+    {!Home.state_digest}s. *)
 
 type home_report = {
   dirs : string list;
   healthy : bool;  (** nothing to do: present, undamaged, converged *)
   converged : bool;  (** one digest across all replicas after the pass *)
   digest : string;
-  repaired_replicas : int;
+  repaired_replicas : int;  (** replica files patched by read-repair *)
   recreated_replicas : int;  (** replica files that were missing entirely *)
   frames_quarantined : int;
   torn_bytes : int;
   records_healed : int;
+  patched_frames : int;  (** frames overlapping the patched byte ranges *)
+  repair_bytes : int;  (** bytes written by repair — bounded by damage *)
   epoch : int;  (** fencing floor across the replica set *)
 }
 
-val scrub_home : ?fsync:bool -> string list -> home_report
-(** Scrub one home given its replica directories. Callers must ensure
-    no live writer holds the journals open (a live {!Home} scrubs
-    itself via {!Home.scrub}). *)
+val scrub_home : ?fsync:bool -> ?files:string list -> string list -> home_report
+(** Scrub one surface given its replica directories. [~files] names the
+    journal-framed files within each directory (default
+    [["snapshot"; "journal"]]; the verdict cache passes
+    [["cache.snapshot"; "cache.journal"]]). Callers must ensure no live
+    writer holds the journals open (a live {!Home} scrubs itself via
+    {!Home.scrub}). *)
 
 type counters = {
   homes : int;
@@ -38,6 +48,8 @@ type counters = {
   frames_quarantined : int;
   torn_bytes : int;
   records_healed : int;
+  patched_frames : int;
+  repair_bytes : int;
   unconverged : int;  (** homes still diverged after repair — must be 0 *)
 }
 

@@ -12,6 +12,9 @@ module Store = Homeguard_solver.Store
 module Domain = Homeguard_solver.Domain
 module Fault = Homeguard_solver.Fault
 module Journal = Homeguard_store.Journal
+module Rjournal = Homeguard_store.Rjournal
+module Fence = Homeguard_store.Fence
+module Scrub = Homeguard_store.Scrub
 
 (* -- entries --------------------------------------------------------------- *)
 
@@ -50,6 +53,7 @@ type counters = {
   mutable conflicts : int;
   mutable stale_unknowns : int;
   mutable journal_drops : int;
+  mutable stale_writes : int;
   mutable pair_hits : int;
   mutable pair_misses : int;
   mutable pair_inserts : int;
@@ -66,6 +70,7 @@ let zero_counters () =
     conflicts = 0;
     stale_unknowns = 0;
     journal_drops = 0;
+    stale_writes = 0;
     pair_hits = 0;
     pair_misses = 0;
     pair_inserts = 0;
@@ -81,6 +86,7 @@ let add_counters into from =
   into.conflicts <- into.conflicts + from.conflicts;
   into.stale_unknowns <- into.stale_unknowns + from.stale_unknowns;
   into.journal_drops <- into.journal_drops + from.journal_drops;
+  into.stale_writes <- into.stale_writes + from.stale_writes;
   into.pair_hits <- into.pair_hits + from.pair_hits;
   into.pair_misses <- into.pair_misses + from.pair_misses;
   into.pair_inserts <- into.pair_inserts + from.pair_inserts
@@ -88,14 +94,17 @@ let add_counters into from =
 let counters_text c =
   Printf.sprintf
     "hits=%d misses=%d inserts=%d evicts=%d single-flight=%d fallbacks=%d \
-     conflicts=%d stale-unknowns=%d journal-drops=%d pair-hits=%d pair-misses=%d \
-     pair-inserts=%d"
+     conflicts=%d stale-unknowns=%d journal-drops=%d stale-writes=%d pair-hits=%d \
+     pair-misses=%d pair-inserts=%d"
     c.hits c.misses c.inserts c.evicts c.single_flight_merges c.rehydrate_fallbacks
-    c.conflicts c.stale_unknowns c.journal_drops c.pair_hits c.pair_misses
-    c.pair_inserts
+    c.conflicts c.stale_unknowns c.journal_drops c.stale_writes c.pair_hits
+    c.pair_misses c.pair_inserts
 
 type store = {
   dir : string;
+  dirs : string list;  (** primary first, then replica roots *)
+  fence_base : string;  (** fence-key namespace for this cache surface *)
+  mutable epoch : int;  (** latest ownership epoch granted on this store *)
   fsync : bool;
   max_entries : int;
   mutex : Mutex.t;
@@ -113,15 +122,27 @@ type store = {
           revalidated by physical identity so a changed catalog entry
           under a reused name re-digests (and so changes every key it
           appears in) *)
-  mutable journal : Journal.t option;
+  mutable journal : Rjournal.t option;
   mutable handles : handle list;
   mutable damage : int;  (** damaged/undecodable frames dropped on opens *)
 }
 
-and handle = { h_owner : string; h_counters : counters; h_store : store }
+and handle = {
+  h_owner : string;
+  h_key : string;  (** per-owner fence key: one zombie never fences its peers *)
+  h_epoch : int;  (** the ownership epoch this incarnation writes under *)
+  h_counters : counters;
+  h_store : store;
+}
 
-let snap_path st = Filename.concat st.dir "cache.snapshot"
-let journal_path st = Filename.concat st.dir "cache.journal"
+let cache_files = [ "cache.snapshot"; "cache.journal" ]
+let snap_paths st = List.map (fun d -> Filename.concat d "cache.snapshot") st.dirs
+let journal_paths st = List.map (fun d -> Filename.concat d "cache.journal") st.dirs
+
+(* Fence keys are per owner (shard slot), not per store: granting shard
+   s2's replacement a fresh epoch must fence the wedged s2 zombie while
+   leaving every other live shard's handle valid. *)
+let owner_key st owner = st.fence_base ^ "#" ^ owner
 
 (* -- serialization --------------------------------------------------------- *)
 
@@ -243,35 +264,50 @@ let apply_record st payload =
   | [ "d"; key ] -> Hashtbl.remove st.table (Scanf.unescaped key)
   | _ -> raise Exit
 
+(* The fence gate in front of every durable cache byte: an append made
+   under a superseded ownership epoch is refused (and counted) before
+   anything is framed, exactly as a home-journal append would be. *)
+let fence_ok c ~fkey ~fepoch =
+  match Fence.check ~key:fkey ~epoch:fepoch with
+  | () -> true
+  | exception Fence.Stale _ ->
+    (match c with Some c -> c.stale_writes <- c.stale_writes + 1 | None -> ());
+    false
+
 (* Journal append that never fails the caller: the cache is advisory,
    so a fault-injected crash just drops the write (and, because memory
-   applies only afterwards, leaves the table consistent). *)
-let journal_append st c payload =
+   applies only afterwards, leaves the table consistent). A mid-sequence
+   crash may leave the record on a prefix of the replicas — scrub
+   converges the set, and the merged reopen keeps the record. *)
+let journal_append_raw st c payload =
   match st.journal with
   | None -> false
   | Some j -> (
     try
-      Journal.append j payload;
+      Rjournal.append j payload;
       true
     with Fault.Crashed _ ->
       (match c with Some c -> c.journal_drops <- c.journal_drops + 1 | None -> ());
       false)
 
-let evict_overflow st c =
+let journal_append st c ~fkey ~fepoch payload =
+  fence_ok c ~fkey ~fepoch && journal_append_raw st c payload
+
+let evict_overflow st c ~fkey ~fepoch =
   while Hashtbl.length st.table > st.max_entries && not (Queue.is_empty st.queue) do
     let key = Queue.pop st.queue in
     if Hashtbl.mem st.table key && not (Hashtbl.mem st.inflight key) then begin
-      ignore (journal_append st c (enc_del key));
+      ignore (journal_append st c ~fkey ~fepoch (enc_del key));
       Hashtbl.remove st.table key;
       match c with Some c -> c.evicts <- c.evicts + 1 | None -> ()
     end
   done
 
-let put_entry st c key e =
-  if journal_append st c (enc_ins key e) then begin
+let put_entry st c ~fkey ~fepoch key e =
+  if journal_append st c ~fkey ~fepoch (enc_ins key e) then begin
     (match c with Some c -> c.inserts <- c.inserts + 1 | None -> ());
     table_put st key e;
-    evict_overflow st c
+    evict_overflow st c ~fkey ~fepoch
   end
 
 (* -- snapshot / compaction ------------------------------------------------- *)
@@ -280,18 +316,24 @@ let sorted_keys st =
   List.sort compare (Hashtbl.fold (fun k _ acc -> k :: acc) st.table [])
 
 (* Unknown markers expire here: the snapshot keeps decisive verdicts
-   only, so their TTL is one compaction epoch. *)
+   only, so their TTL is one compaction epoch. Compaction is a
+   store-level maintenance pass made under the store's current epoch —
+   the fence check is vacuous for the live store and exists to keep the
+   every-durable-byte-is-fenced contract literal. *)
 let compact_locked st =
-  Hashtbl.iter
-    (fun k e -> match e with Unknown_e _ -> Hashtbl.remove st.table k | _ -> ())
-    (Hashtbl.copy st.table);
-  let payloads =
-    List.map (fun k -> enc_ins k (Hashtbl.find st.table k)) (sorted_keys st)
-  in
-  Journal.write_atomic ~fsync:st.fsync (snap_path st) payloads;
-  (match st.journal with Some j -> Journal.close j | None -> ());
-  Journal.write_atomic ~fsync:st.fsync (journal_path st) [];
-  st.journal <- Some (Journal.open_append ~fsync:st.fsync (journal_path st))
+  if fence_ok None ~fkey:st.fence_base ~fepoch:st.epoch then begin
+    Hashtbl.iter
+      (fun k e -> match e with Unknown_e _ -> Hashtbl.remove st.table k | _ -> ())
+      (Hashtbl.copy st.table);
+    let payloads =
+      List.map (fun k -> enc_ins k (Hashtbl.find st.table k)) (sorted_keys st)
+    in
+    Rjournal.write_atomic_all ~fsync:st.fsync ~epoch:st.epoch (snap_paths st) payloads;
+    (match st.journal with Some j -> Rjournal.close j | None -> ());
+    Rjournal.write_atomic_all ~fsync:st.fsync ~epoch:st.epoch (journal_paths st) [];
+    st.journal <-
+      Some (Rjournal.open_append ~fsync:st.fsync ~epoch:st.epoch (journal_paths st))
+  end
 
 let compact st =
   Mutex.lock st.mutex;
@@ -299,11 +341,16 @@ let compact st =
 
 (* -- lifecycle ------------------------------------------------------------- *)
 
-let open_store ?(fsync = true) ?(max_entries = 65536) ~dir () =
-  if not (Sys.file_exists dir) then Unix.mkdir dir 0o755;
+let open_store ?(fsync = true) ?(max_entries = 65536) ?(replicas = []) ?fence_key
+    ~dir () =
+  let dirs = dir :: replicas in
+  List.iter Rjournal.mkdirs dirs;
   let st =
     {
       dir;
+      dirs;
+      fence_base = Option.value fence_key ~default:dir;
+      epoch = 0;
       fsync;
       max_entries;
       mutex = Mutex.create ();
@@ -318,30 +365,66 @@ let open_store ?(fsync = true) ?(max_entries = 65536) ~dir () =
       damage = 0;
     }
   in
-  let replay path =
-    let scan = Journal.scan path in
-    st.damage <- st.damage + List.length scan.Journal.damage;
+  (* merged, read-repairing recovery over the replica set: every record
+     that survived on at least one replica is replayed, every stale,
+     damaged or missing replica is rewritten with the merged stream *)
+  let undecodable = ref 0 in
+  let replay name =
+    let rec_ = Rjournal.recover ~fsync (List.map (fun d -> Filename.concat d name) dirs) in
+    st.damage <-
+      st.damage + rec_.Rjournal.quarantined
+      + List.length
+          (List.filter
+             (fun (r : Rjournal.replica_report) -> r.Rjournal.torn_bytes > 0)
+             rec_.Rjournal.replicas);
     List.iter
       (fun payload ->
         try apply_record st payload
-        with _ -> st.damage <- st.damage + 1)
-      scan.Journal.records
+        with _ ->
+          incr undecodable;
+          st.damage <- st.damage + 1)
+      rec_.Rjournal.recovered;
+    rec_.Rjournal.max_epoch
   in
-  replay (snap_path st);
-  replay (journal_path st);
-  evict_overflow st None;
-  if st.damage > 0 then
-    (* drop the damage durably: rewrite snapshot + truncate journal so
-       a torn or corrupt frame can never be re-read, let alone served *)
+  let snap_epoch = replay "cache.snapshot" in
+  let jour_epoch = replay "cache.journal" in
+  (* seed the fencing floor from the frames, as home recovery does:
+     grants made on this store resume above anything ever written *)
+  st.epoch <- max snap_epoch jour_epoch;
+  ignore (Fence.acquire st.fence_base st.epoch);
+  evict_overflow st None ~fkey:st.fence_base ~fepoch:st.epoch;
+  if !undecodable > 0 then
+    (* a frame that decodes to no entry can never be served: drop it
+       durably by folding the decoded table into a fresh snapshot *)
     compact_locked st
-  else st.journal <- Some (Journal.open_append ~fsync (journal_path st));
+  else
+    st.journal <-
+      Some (Rjournal.open_append ~fsync ~epoch:st.epoch (journal_paths st));
   st
 
 let close_store st =
   Mutex.lock st.mutex;
-  (match st.journal with Some j -> Journal.close j | None -> ());
+  (match st.journal with Some j -> Rjournal.close j | None -> ());
   st.journal <- None;
   Mutex.unlock st.mutex
+
+(** Anti-entropy pass over the cache's replica set, frame-level like any
+    other durable surface: the shared writer is parked, the replicas are
+    converged (damage quarantined, lost frames patched back from the
+    surviving copies), and the writer reopens at the same epoch. The
+    in-memory table is not reloaded — scrub only restores records that
+    were already appended, so replay on the next open subsumes it. *)
+let scrub st =
+  Mutex.lock st.mutex;
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock st.mutex)
+    (fun () ->
+      (match st.journal with Some j -> Rjournal.close j | None -> ());
+      st.journal <- None;
+      let report = Scrub.scrub_home ~fsync:st.fsync ~files:cache_files st.dirs in
+      st.journal <-
+        Some (Rjournal.open_append ~fsync:st.fsync ~epoch:st.epoch (journal_paths st));
+      report)
 
 let entries st =
   Mutex.lock st.mutex;
@@ -371,9 +454,30 @@ let verdict_kind st key =
 
 (* -- handles --------------------------------------------------------------- *)
 
+(* Every attach is an ownership handover for that owner: a strictly
+   larger epoch is granted under the owner's fence key, so the previous
+   incarnation's handle (a wedged zombie shard, say) goes stale the
+   moment its replacement attaches — its appends raise at the fence and
+   never reach the disk. The shared writer reopens at the new epoch so
+   later frames carry the grant. *)
 let attach st ~owner =
-  let h = { h_owner = owner; h_counters = zero_counters (); h_store = st } in
   Mutex.lock st.mutex;
+  st.epoch <- st.epoch + 1;
+  ignore (Fence.acquire st.fence_base st.epoch);
+  let fkey = owner_key st owner in
+  let fepoch = Fence.acquire fkey st.epoch in
+  (match st.journal with Some j -> Rjournal.close j | None -> ());
+  st.journal <-
+    Some (Rjournal.open_append ~fsync:st.fsync ~epoch:st.epoch (journal_paths st));
+  let h =
+    {
+      h_owner = owner;
+      h_key = fkey;
+      h_epoch = fepoch;
+      h_counters = zero_counters ();
+      h_store = st;
+    }
+  in
   st.handles <- h :: st.handles;
   Mutex.unlock st.mutex;
   h
@@ -381,6 +485,31 @@ let attach st ~owner =
 let owner h = h.h_owner
 let counters h = h.h_counters
 let store_of h = h.h_store
+let handle_epoch h = h.h_epoch
+let fence_key h = h.h_key
+let store_epoch st = st.epoch
+let replica_dirs st = st.dirs
+
+(** One deliberately durable write under the handle's epoch — the chaos
+    campaign's stale-writer probe. A fenced (zombie) handle must come
+    back [`Fenced] with zero bytes written; [`Accepted] from a stale
+    handle is the reintroduced split-brain bug the campaign invariants
+    exist to catch. The reserved [~chaos/] key space never collides with
+    abstraction keys and is asserted absent from every warm reopen. *)
+let probe_write h =
+  let st = h.h_store in
+  Mutex.lock st.mutex;
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock st.mutex)
+    (fun () ->
+      let key = "~chaos/probe/" ^ h.h_owner in
+      if not (fence_ok (Some h.h_counters) ~fkey:h.h_key ~fepoch:h.h_epoch) then
+        `Fenced
+      else if journal_append_raw st (Some h.h_counters) (enc_ins key Unsat_e) then begin
+        table_put st key Unsat_e;
+        `Accepted
+      end
+      else `Dropped)
 
 let total_counters st =
   let acc = zero_counters () in
@@ -528,6 +657,7 @@ let verdict_agrees entry v =
 
 let lookup_or_compute h (cls : Abstract.classified) ~qstore ~formula compute =
   let st = h.h_store and c = h.h_counters in
+  let put_entry st c key e = put_entry st c ~fkey:h.h_key ~fepoch:h.h_epoch key e in
   let key = cls.Abstract.key in
   let cur = slot_values cls in
   Mutex.lock st.mutex;

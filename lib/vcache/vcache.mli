@@ -1,12 +1,18 @@
-(** Fleet-shared persistent verdict cache (DESIGN.md §14).
+(** Fleet-shared persistent verdict cache (DESIGN.md §14, §16).
 
     One {!store} per fleet, backed by a CRC-framed append-only journal
-    ([cache.journal]) plus a compacted snapshot ([cache.snapshot])
-    under its directory — warm across restarts: opening replays both,
-    dropping torn or corrupt frames (the cache is advisory, damage is
-    compacted away, never served). Shards attach a {!handle} each; the
-    handle implements the detector's [shared_cache] hook and carries
-    that shard's counters.
+    ([cache.journal]) plus a compacted snapshot ([cache.snapshot]),
+    replicated across [~replicas] roots and fenced by ownership epochs
+    — the same durability contract as home journals. Opening runs the
+    merged read-repairing recovery over the replica set (every record
+    that survived anywhere is replayed; torn or corrupt frames are
+    quarantined, never served); every durable append passes a
+    {!Homeguard_store.Fence} check under the attaching owner's epoch
+    before any byte is framed, so a superseded (zombie) handle can
+    never poison the cache; {!scrub} converges the replicas at frame
+    granularity. Shards attach a {!handle} each; the handle implements
+    the detector's [shared_cache] hook and carries that shard's
+    counters.
 
     Guarantees:
     - a hit returns a verdict byte-identical to what the local solve
@@ -47,6 +53,10 @@ type counters = {
   mutable journal_drops : int;
       (** cache appends dropped because the (fault-injected) journal
           write crashed; the entry is simply not cached *)
+  mutable stale_writes : int;
+      (** durable cache writes refused at the fence because this
+          handle's ownership epoch was superseded — the zombie-shard
+          trace; nothing reached disk or memory *)
   mutable pair_hits : int;
       (** whole app-pair audits served from the L1 pair tier *)
   mutable pair_misses : int;  (** app-pair audits planned and detected *)
@@ -59,17 +69,40 @@ val add_counters : counters -> counters -> unit
 
 (** {2 Store lifecycle} *)
 
-val open_store : ?fsync:bool -> ?max_entries:int -> dir:string -> unit -> store
-(** Open (creating if needed) the cache rooted at [dir], replaying
-    [cache.snapshot] then [cache.journal]. Damaged frames are dropped
-    and the journal is rewritten clean. [max_entries] (default 65536)
-    bounds the table; overflow evicts oldest-first. *)
+val open_store :
+  ?fsync:bool ->
+  ?max_entries:int ->
+  ?replicas:string list ->
+  ?fence_key:string ->
+  dir:string ->
+  unit ->
+  store
+(** Open (creating if needed) the cache rooted at [dir] plus the extra
+    [~replicas] roots, running the merged read-repairing recovery over
+    [cache.snapshot] then [cache.journal] across the whole set: every
+    record that survived on at least one replica is replayed, and every
+    stale, damaged or missing replica is rewritten with the merged
+    stream. The fencing floor re-seeds from the highest epoch stamped
+    on any frame, under [~fence_key] (default [dir]). [max_entries]
+    (default 65536) bounds the table; overflow evicts oldest-first. *)
 
 val close_store : store -> unit
 val compact : store -> unit
-(** Fold live decisive entries into the snapshot and truncate the
-    journal. [Unknown] markers are dropped here — their TTL is the
-    compaction epoch. *)
+(** Fold live decisive entries into the snapshot (on every replica) and
+    truncate the journals. [Unknown] markers are dropped here — their
+    TTL is the compaction epoch. *)
+
+val scrub : store -> Homeguard_store.Scrub.home_report
+(** Anti-entropy pass over the cache replica set at frame granularity:
+    park the shared writer, quarantine damage, patch only the damaged
+    or missing frames back from the surviving copies, reopen. Converges
+    the replicas to one record-stream digest; a second pass is a no-op. *)
+
+val replica_dirs : store -> string list
+(** Primary directory first, then the replica roots. *)
+
+val store_epoch : store -> int
+(** The latest ownership epoch granted on this store. *)
 
 val entries : store -> int
 val pair_entries : store -> int
@@ -90,9 +123,29 @@ val verdict_kind : store -> string -> string option
 (** {2 Shard handles} *)
 
 val attach : store -> owner:string -> handle
+(** Attach one shard incarnation. Every attach is an ownership handover
+    for [owner]: a strictly larger epoch is granted under the owner's
+    fence key, so the previous incarnation's handle (a wedged zombie)
+    goes stale and its durable writes are refused at the fence. *)
+
 val owner : handle -> string
 val counters : handle -> counters
 val store_of : handle -> store
+
+val handle_epoch : handle -> int
+(** The ownership epoch this handle writes under. *)
+
+val fence_key : handle -> string
+(** The per-owner fence key this handle's epoch was granted under —
+    chaos consults {!Homeguard_store.Fence.current} on it to decide
+    whether a wedged handle has already been superseded. *)
+
+val probe_write : handle -> [ `Accepted | `Fenced | `Dropped ]
+(** One deliberately durable write under the handle's epoch — the chaos
+    campaign's stale-writer probe, inserting an [Unsat] entry under the
+    reserved key [~chaos/probe/<owner>]. A superseded handle must come
+    back [`Fenced] with zero bytes written; [`Dropped] is a
+    fault-injected journal crash. *)
 
 val total_counters : store -> counters
 (** Sum over every handle ever attached. *)

@@ -19,6 +19,8 @@ module Scrub = Homeguard_store.Scrub
 module Journal = Homeguard_store.Journal
 module Policy = Homeguard_handling.Policy
 module Fault = Homeguard_solver.Fault
+module Repro = Homeguard_fleet.Repro
+module Vcache = Homeguard_vcache.Vcache
 module Extract = Homeguard_symexec.Extract
 module Rule = Homeguard_rules.Rule
 module Corpus = Homeguard_corpus.Corpus
@@ -563,6 +565,244 @@ let chaos_is_deterministic =
       check_int "same kills" r1.Chaos.stats.Supervisor.kills
         r2.Chaos.stats.Supervisor.kills)
 
+(* -- the cache durability contract -------------------------------------------- *)
+
+let contains_sub sub s =
+  let n = String.length sub and m = String.length s in
+  let rec at i = i + n <= m && (String.sub s i n = sub || at (i + 1)) in
+  at 0
+
+let vcache_zombie_probe_never_lands =
+  test "a wedged shard's cache writes are fenced: no stale byte on any replica"
+    (fun () ->
+      let clock, advance = manual_clock () in
+      let dir = fresh_dir () in
+      let t =
+        Supervisor.create ~config:(sup_config ~clock ()) ~dir ~homes:homes4 ()
+      in
+      (* populate the shared cache through a real audited install *)
+      (match
+         Supervisor.run t ~home:"alpha" (fun sh ->
+             ignore
+               (Home.install_app
+                  (Broker.home (Shard.broker sh) "alpha")
+                  (corpus_app "BonVoyage")))
+       with
+      | Supervisor.Done _ -> ()
+      | _ -> Alcotest.fail "seed install must land");
+      (* two zombie generations: wedge the current owner, let the
+         replacement attach a successor epoch under the same owner key,
+         then drive the retained handle — every durable write fenced *)
+      let fenced = ref 0 in
+      for _gen = 1 to 2 do
+        let victim = Option.get (Supervisor.owner_of t "alpha") in
+        let z =
+          match Supervisor.wedge t victim with
+          | Some z -> z
+          | None -> Alcotest.fail "a running shard must wedge"
+        in
+        settle t advance;
+        let h = Option.get (Shard.vcache z) in
+        check_bool "the successor attach moved the owner fence past the zombie"
+          true
+          (Fence.current (Vcache.fence_key h) > Vcache.handle_epoch h);
+        for _ = 1 to 4 do
+          match Vcache.probe_write h with
+          | `Fenced -> incr fenced
+          | `Accepted | `Dropped ->
+            Alcotest.fail "a stale cache write went durable"
+        done;
+        check_bool "stale writes counted on the zombie handle" true
+          ((Vcache.counters h).Vcache.stale_writes >= 4);
+        Shard.close z
+      done;
+      check_int "every probe fenced" 8 !fenced;
+      Supervisor.close t;
+      (* durable evidence: no probe record on any cache replica file,
+         and a warm reopen never surfaces one *)
+      let cdirs =
+        [ Filename.concat dir "vcache"; Filename.concat dir "r1/vcache" ]
+      in
+      List.iter
+        (fun d ->
+          List.iter
+            (fun f ->
+              let sc = Journal.scan (Filename.concat d f) in
+              check_int
+                (Printf.sprintf "no probe record in %s" (Filename.concat d f))
+                0
+                (List.length
+                   (List.filter (contains_sub "~chaos/") sc.Journal.records)))
+            [ "cache.snapshot"; "cache.journal" ])
+        cdirs;
+      let st =
+        Vcache.open_store ~fsync:false
+          ~replicas:[ Filename.concat dir "r1/vcache" ]
+          ~dir:(Filename.concat dir "vcache") ()
+      in
+      check_bool "warm reopen has no probe key" true
+        (List.for_all
+           (fun (k, _) -> not (contains_sub "~chaos/" k))
+           (Vcache.dump st));
+      Vcache.close_store st)
+
+let flip_byte_at path off =
+  let fd = Unix.openfile path [ Unix.O_RDWR ] 0o644 in
+  Fun.protect
+    ~finally:(fun () -> Unix.close fd)
+    (fun () ->
+      ignore (Unix.lseek fd off Unix.SEEK_SET);
+      let b = Bytes.create 1 in
+      check_int "read one byte" 1 (Unix.read fd b 0 1);
+      Bytes.set b 0 (Char.chr (Char.code (Bytes.get b 0) lxor 0x20));
+      ignore (Unix.lseek fd off Unix.SEEK_SET);
+      ignore (Unix.write fd b 0 1))
+
+let cache_scrub_patches_frames =
+  test "cache scrub patches only the damaged frame and is idempotent" (fun () ->
+      let clock, _ = manual_clock () in
+      let dir = fresh_dir () in
+      let t =
+        Supervisor.create ~config:(sup_config ~clock ()) ~dir ~homes:homes4 ()
+      in
+      (* real audits populate the cache journal with verdict entries —
+         two mode-touching apps per home, so every audit has pairs to
+         solve and cache *)
+      List.iter
+        (fun id ->
+          List.iter
+            (fun app ->
+              match
+                Supervisor.run t ~home:id (fun sh ->
+                    ignore
+                      (Home.install_app
+                         (Broker.home (Shard.broker sh) id)
+                         (corpus_app app)))
+              with
+              | Supervisor.Done _ -> ()
+              | _ -> Alcotest.fail "seed install must land")
+            [ "GoodNight"; "RiseAndShine"; "SunsetMode" ];
+          match Supervisor.submit_audit t ~home:id () with
+          | Supervisor.Done { value = Ok _; shard } ->
+            ignore (Supervisor.drain t ~shard)
+          | _ -> ())
+        homes4;
+      (* bit-rot one byte in the middle of the replica's cache journal *)
+      let victim = Filename.concat dir "r1/vcache/cache.journal" in
+      check_bool "replica cache journal exists" true (Sys.file_exists victim);
+      let size = (Unix.stat victim).Unix.st_size in
+      check_bool "cache journal is non-trivial" true (size > 64);
+      flip_byte_at victim (size / 2);
+      let r = Option.get (Supervisor.scrub_cache t) in
+      check_bool "scrub converged the cache replicas" true r.Scrub.converged;
+      check_int "exactly the damaged frame was patched" 1 r.Scrub.patched_frames;
+      check_bool "repair I/O bounded by the damage, not the file size" true
+        (r.Scrub.repair_bytes > 0 && r.Scrub.repair_bytes < size);
+      let r2 = Option.get (Supervisor.scrub_cache t) in
+      check_bool "second pass finds a healthy converged cache" true
+        (r2.Scrub.healthy && r2.Scrub.converged);
+      check_int "second pass writes nothing" 0 r2.Scrub.repair_bytes;
+      Supervisor.close t)
+
+(* -- repros and the shrinker --------------------------------------------------- *)
+
+let repro_round_trip =
+  test "repro text round-trips every event kind and rejects junk" (fun () ->
+      let schedule =
+        [
+          { Chaos.at = 1; ev = Chaos.Kill { victim = 2 } };
+          { Chaos.at = 2; ev = Chaos.Stall { victim = 0 } };
+          { Chaos.at = 3; ev = Chaos.Storage_window { mode = 1; salt = 99 } };
+          { Chaos.at = 4; ev = Chaos.Replica_destroy { home = 3; replica = 0 } };
+          {
+            Chaos.at = 5;
+            ev = Chaos.Replica_corrupt { home = 1; replica = 1; file = 0; salt = 7 };
+          };
+          { Chaos.at = 6; ev = Chaos.Cache_destroy { replica = 0 } };
+          {
+            Chaos.at = 7;
+            ev = Chaos.Cache_corrupt { replica = 1; file = 1; salt = 8 };
+          };
+          { Chaos.at = 8; ev = Chaos.Split_brain { victim = 1 } };
+        ]
+      in
+      let t =
+        {
+          Repro.config = Chaos.smoke_config;
+          schedule;
+          invariant = "no-stale-epoch-accepted";
+          fence_enforced = false;
+        }
+      in
+      check_bool "of_text inverts to_text" true
+        (Repro.of_text (Repro.to_text t) = t);
+      let d = fresh_dir () in
+      Unix.mkdir d 0o755;
+      let path = Filename.concat d "x.repro" in
+      Repro.save t ~path;
+      check_bool "save/load round-trips" true (Repro.load ~path = t);
+      (match Repro.of_text "hg-chaos-repro v2\ninvariant x\n" with
+      | _ -> Alcotest.fail "a version mismatch must be rejected"
+      | exception Failure _ -> ());
+      match Repro.of_text (Repro.to_text t ^ "event at=9 meteor-strike\n") with
+      | _ -> Alcotest.fail "an unknown event kind must be rejected"
+      | exception Failure _ -> ())
+
+let chaos_shrinker_minimizes_fence_bug =
+  test "ddmin shrinks a fence-bug campaign to a tiny deterministic repro"
+    (fun () ->
+      let cfg = { Chaos.smoke_config with Chaos.homes = 6; Chaos.steps = 80 } in
+      let invariant = "cache-no-stale-epoch-byte" in
+      let schedule = Chaos.schedule_of_config cfg in
+      let minimal, trials =
+        Chaos.shrink ~config:cfg ~enforce_fence:false ~dir:(fresh_dir ())
+          ~invariant schedule
+      in
+      check_bool "the schedule shrank" true
+        (List.length minimal < List.length schedule);
+      check_bool "minimal repro is at most 3 events" true
+        (List.length minimal <= 3);
+      check_bool "the shrinker ran trial campaigns" true (trials > 1);
+      (* the minimized schedule replays deterministically: two buggy
+         runs violate identically, and an enforced run passes *)
+      let repro =
+        {
+          Repro.config = cfg;
+          schedule = minimal;
+          invariant;
+          fence_enforced = false;
+        }
+      in
+      let r1 = Repro.replay repro ~dir:(fresh_dir ()) in
+      let r2 = Repro.replay repro ~dir:(fresh_dir ()) in
+      check_bool "both replays reproduce the violation" true
+        (Repro.reproduces r1 repro && Repro.reproduces r2 repro);
+      check_int "identical workloads" r1.Chaos.ops r2.Chaos.ops;
+      check_bool "identical invariant verdicts" true
+        (List.map (fun (i : Chaos.invariant) -> (i.Chaos.name, i.Chaos.ok))
+           r1.Chaos.invariants
+        = List.map (fun (i : Chaos.invariant) -> (i.Chaos.name, i.Chaos.ok))
+            r2.Chaos.invariants);
+      let fixed = Repro.replay ~enforce_fence:true repro ~dir:(fresh_dir ()) in
+      check_bool "the same schedule passes with the fence enforced" true
+        (Chaos.passed fixed))
+
+let checked_in_repros_replay =
+  test "checked-in minimized repros reproduce, and the fix holds" (fun () ->
+      List.iter
+        (fun name ->
+          let path = Filename.concat "repros" name in
+          let repro = Repro.load ~path in
+          check_bool (name ^ " is minimized") true
+            (List.length repro.Repro.schedule <= 3);
+          let bug = Repro.replay repro ~dir:(fresh_dir ()) in
+          check_bool (name ^ " reproduces as recorded") true
+            (Repro.reproduces bug repro);
+          let fixed = Repro.replay ~enforce_fence:true repro ~dir:(fresh_dir ()) in
+          check_bool (name ^ " passes with the fence enforced") true
+            (Chaos.passed fixed))
+        [ "split-brain-home-journal.repro"; "split-brain-vcache.repro" ])
+
 (* -- synthetic homes ---------------------------------------------------------- *)
 
 let synth_deterministic =
@@ -620,5 +860,13 @@ let () =
         ] );
       ("chaos",
         [ chaos_smoke_campaign; chaos_cache_invariants; chaos_is_deterministic ]);
+      ( "cache-durability",
+        [ vcache_zombie_probe_never_lands; cache_scrub_patches_frames ] );
+      ( "repro",
+        [
+          repro_round_trip;
+          chaos_shrinker_minimizes_fence_bug;
+          checked_in_repros_replay;
+        ] );
       ("synth", [ synth_deterministic; synth_bounds ]);
     ]
